@@ -1,0 +1,310 @@
+// Exercises §5 of the paper: threshold selection for boolean constraints.
+//  * Disjunctions (§5.2): the per-disjunct FPTAS + best-branch selection is
+//    itself an FPTAS (Theorem 4) — measured against brute-force enumeration
+//    of branch choices with the exact DP per branch.
+//  * Conjunctions (§5.3): NP-hard to approximate (Theorem 5); we measure
+//    the min-merge heuristic and the benefit of the lift step.
+//  * General CNF (§5.4): the two-step heuristic end to end, plus covering
+//    verification by exhaustive sampling.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "histogram/empirical_cdf.h"
+#include "threshold/boolean_solver.h"
+#include "threshold/exact_dp.h"
+#include "threshold/fptas.h"
+
+namespace dcv {
+namespace {
+
+struct ModelSet {
+  std::vector<std::unique_ptr<EmpiricalCdf>> owned;
+  std::vector<const DistributionModel*> models;
+};
+
+ModelSet LogNormalModels(int n, int64_t m, uint64_t seed) {
+  ModelSet s;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int64_t> data;
+    for (int k = 0; k < 300; ++k) {
+      double v = rng.LogNormal(std::log(static_cast<double>(m) / 6.0),
+                               0.5 + 0.2 * i);
+      data.push_back(Clamp<int64_t>(static_cast<int64_t>(v), 0, m));
+    }
+    s.owned.push_back(std::make_unique<EmpiricalCdf>(data, m));
+    s.models.push_back(s.owned.back().get());
+  }
+  return s;
+}
+
+void DisjunctionQuality() {
+  bench::PrintHeader(
+      "S5.2 Disjunctions: best-branch FPTAS vs exhaustive branch "
+      "enumeration\n(objective ratio OPT/ours; Theorem 4 bound is 1+eps = "
+      "1.05)");
+  bench::PrintRow({"disjuncts", "instances", "worst", "mean"});
+  for (int num_disjuncts : {2, 3, 4}) {
+    Rng rng(static_cast<uint64_t>(num_disjuncts) * 100);
+    FptasSolver fptas(0.05);
+    ExactDpSolver exact;
+    BooleanThresholdSolver ours(&fptas);
+    BooleanThresholdSolver::Options no_lift;
+    no_lift.lift_rounds = 0;
+    BooleanThresholdSolver ours_nolift(&fptas, no_lift);
+    BooleanThresholdSolver best(&exact, no_lift);
+    double worst = 1.0;
+    double sum = 0.0;
+    int count = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      const int n = 3;
+      const int64_t m = 40;
+      ModelSet s = LogNormalModels(n, m, rng.NextUint64());
+      // Random disjunction of sum constraints over subsets.
+      std::vector<std::string> atoms;
+      const char* names[3] = {"a", "b", "c"};
+      for (int d = 0; d < num_disjuncts; ++d) {
+        std::string atom;
+        for (int v = 0; v < n; ++v) {
+          if (rng.Bernoulli(0.7) || atom.empty()) {
+            if (!atom.empty()) {
+              atom += " + ";
+            }
+            atom += std::to_string(rng.UniformInt(1, 2)) + "*" + names[v];
+          }
+        }
+        atom += " <= " + std::to_string(rng.UniformInt(m / 2, 3 * m));
+        atoms.push_back("(" + atom + ")");
+      }
+      std::string text = atoms[0];
+      for (size_t i = 1; i < atoms.size(); ++i) {
+        text += " || " + atoms[i];
+      }
+      auto parsed = ParseConstraintWithVars(text, {"a", "b", "c"});
+      DCV_CHECK(parsed.ok()) << parsed.status();
+      auto cnf = ToCnf(*parsed);
+      DCV_CHECK(cnf.ok());
+      auto approx = ours_nolift.Solve(*cnf, s.models);
+      auto opt = best.Solve(*cnf, s.models);
+      if (!approx.ok() || !opt.ok()) {
+        continue;  // Unsatisfiable random draw.
+      }
+      if (opt->log_probability == kNegInf) {
+        continue;
+      }
+      double gap = std::exp(opt->log_probability - approx->log_probability);
+      worst = std::max(worst, gap);
+      sum += gap;
+      ++count;
+    }
+    bench::PrintRow({bench::Fmt(static_cast<int64_t>(num_disjuncts)),
+                     bench::Fmt(static_cast<int64_t>(count)),
+                     bench::Fmt(worst, 4),
+                     bench::Fmt(count > 0 ? sum / count : 0.0, 4)});
+  }
+}
+
+void ConjunctionLift() {
+  bench::PrintHeader(
+      "S5.3 Conjunctions: min-merge heuristic, with and without the lift "
+      "step\n(P(all local bounds hold), in-model estimate; higher is "
+      "better)");
+  bench::PrintRow({"conjuncts", "no-lift", "lifted", "lift gain%"});
+  for (int num_conjuncts : {2, 3, 5, 8}) {
+    Rng rng(static_cast<uint64_t>(num_conjuncts) * 31 + 7);
+    FptasSolver fptas(0.05);
+    BooleanThresholdSolver::Options no_lift;
+    no_lift.lift_rounds = 0;
+    BooleanThresholdSolver plain(&fptas, no_lift);
+    BooleanThresholdSolver lifted(&fptas);
+    double sum_plain = 0;
+    double sum_lift = 0;
+    int count = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      const int n = 4;
+      const int64_t m = 40;
+      ModelSet s = LogNormalModels(n, m, rng.NextUint64());
+      const char* names[4] = {"a", "b", "c", "d"};
+      std::string text;
+      for (int c = 0; c < num_conjuncts; ++c) {
+        std::string atom;
+        for (int v = 0; v < n; ++v) {
+          if (rng.Bernoulli(0.6) || atom.empty()) {
+            if (!atom.empty()) {
+              atom += " + ";
+            }
+            atom += names[v];
+          }
+        }
+        atom += " <= " + std::to_string(rng.UniformInt(m, 3 * m));
+        if (!text.empty()) {
+          text += " && ";
+        }
+        text += "(" + atom + ")";
+      }
+      auto parsed = ParseConstraintWithVars(text, {"a", "b", "c", "d"});
+      DCV_CHECK(parsed.ok());
+      auto cnf = ToCnf(*parsed);
+      DCV_CHECK(cnf.ok());
+      auto a = plain.Solve(*cnf, s.models);
+      auto b = lifted.Solve(*cnf, s.models);
+      if (!a.ok() || !b.ok() || a->log_probability == kNegInf) {
+        continue;
+      }
+      sum_plain += a->log_probability;
+      sum_lift += b->log_probability;
+      ++count;
+    }
+    double p_plain = std::exp(sum_plain / count);
+    double p_lift = std::exp(sum_lift / count);
+    bench::PrintRow({bench::Fmt(static_cast<int64_t>(num_conjuncts)),
+                     bench::Fmt(p_plain, 4), bench::Fmt(p_lift, 4),
+                     bench::Fmt(100.0 * (p_lift - p_plain) /
+                                    std::max(1e-9, p_plain),
+                                1)});
+  }
+}
+
+void GeneralCnf() {
+  bench::PrintHeader(
+      "S5.4 General boolean constraints: two-step heuristic end to end\n"
+      "(paper's example constraint + random CNFs; covering verified by "
+      "sampling)");
+  // The paper's running example (§3.1).
+  {
+    const int64_t m = 10;
+    ModelSet s = LogNormalModels(3, m, 77);
+    auto parsed = ParseConstraint(
+        "((3x1 + x2 >= 1) || (MIN{x1, 2x3 - x2} <= 5)) && "
+        "(x1 + MAX{3x2, x3} >= 4)");
+    DCV_CHECK(parsed.ok());
+    auto cnf = ToCnf(parsed->expr);
+    DCV_CHECK(cnf.ok());
+    FptasSolver fptas(0.05);
+    BooleanThresholdSolver solver(&fptas);
+    auto sol = solver.Solve(*cnf, s.models);
+    DCV_CHECK(sol.ok()) << sol.status();
+    std::printf("paper example: clauses=%zu  P(hold)=%.4f  bounds:",
+                cnf->clauses.size(), std::exp(sol->log_probability));
+    for (const SiteBounds& b : sol->bounds) {
+      std::printf(" [%lld,%lld]", static_cast<long long>(b.lo),
+                  static_cast<long long>(b.hi));
+    }
+    std::printf("\n");
+    // Covering check by exhaustive enumeration over the box.
+    int64_t violations = 0;
+    for (int64_t a = sol->bounds[0].lo; a <= sol->bounds[0].hi; ++a) {
+      for (int64_t b = sol->bounds[1].lo; b <= sol->bounds[1].hi; ++b) {
+        for (int64_t c = sol->bounds[2].lo; c <= sol->bounds[2].hi; ++c) {
+          if (!parsed->expr.Evaluate({a, b, c})) {
+            ++violations;
+          }
+        }
+      }
+    }
+    std::printf("covering check (exhaustive over box): %lld violations\n",
+                static_cast<long long>(violations));
+    DCV_CHECK(violations == 0);
+  }
+
+  // Random CNFs: report solver success/covering statistics.
+  Rng rng(555);
+  FptasSolver fptas(0.05);
+  BooleanThresholdSolver solver(&fptas);
+  int solved = 0;
+  int infeasible = 0;
+  int covering_ok = 0;
+  double mean_p = 0;
+  const int trials = 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    const int n = 4;
+    const int64_t m = 30;
+    ModelSet s = LogNormalModels(n, m, rng.NextUint64());
+    const char* names[4] = {"a", "b", "c", "d"};
+    std::string text;
+    int clauses = static_cast<int>(rng.UniformInt(2, 4));
+    for (int c = 0; c < clauses; ++c) {
+      int atoms = static_cast<int>(rng.UniformInt(1, 3));
+      std::string clause;
+      for (int a = 0; a < atoms; ++a) {
+        std::string atom;
+        for (int v = 0; v < n; ++v) {
+          if (rng.Bernoulli(0.5) || atom.empty()) {
+            if (!atom.empty()) {
+              atom += " + ";
+            }
+            atom += names[v];
+          }
+        }
+        bool ge = rng.Bernoulli(0.25);
+        atom += ge ? " >= " + std::to_string(rng.UniformInt(0, m / 8))
+                   : " <= " + std::to_string(rng.UniformInt(m, 4 * m));
+        if (!clause.empty()) {
+          clause += " || ";
+        }
+        clause += "(" + atom + ")";
+      }
+      if (!text.empty()) {
+        text += " && ";
+      }
+      text += "(" + clause + ")";
+    }
+    auto parsed = ParseConstraintWithVars(text, {"a", "b", "c", "d"});
+    DCV_CHECK(parsed.ok());
+    auto cnf = ToCnf(*parsed);
+    DCV_CHECK(cnf.ok());
+    auto sol = solver.Solve(*cnf, s.models);
+    if (!sol.ok()) {
+      ++infeasible;
+      continue;
+    }
+    ++solved;
+    mean_p += std::exp(sol->log_probability);
+    // Sampled covering check.
+    bool ok = true;
+    for (int probe = 0; probe < 2000 && ok; ++probe) {
+      std::vector<int64_t> v(static_cast<size_t>(n));
+      bool empty_box = false;
+      for (int i = 0; i < n; ++i) {
+        const SiteBounds& b = sol->bounds[static_cast<size_t>(i)];
+        if (b.empty()) {
+          empty_box = true;
+          break;
+        }
+        v[static_cast<size_t>(i)] = rng.UniformInt(b.lo, b.hi);
+      }
+      if (empty_box) {
+        break;
+      }
+      ok = parsed->Evaluate(v);
+    }
+    covering_ok += ok ? 1 : 0;
+    DCV_CHECK(ok) << "covering violated for: " << text;
+  }
+  std::printf(
+      "random CNFs: %d solved, %d unsatisfiable, covering held on %d/%d, "
+      "mean P(hold)=%.4f\n",
+      solved, infeasible, covering_ok, solved,
+      solved > 0 ? mean_p / solved : 0.0);
+}
+
+int Main() {
+  DisjunctionQuality();
+  ConjunctionLift();
+  GeneralCnf();
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main() { return dcv::Main(); }

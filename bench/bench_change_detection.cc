@@ -1,0 +1,93 @@
+// Ablation of the change-detection machinery (§3.2, citing Kifer et al.
+// [17]): after an injected persistent load shift, how do stale thresholds
+// compare to change-detection-driven recomputation? The paper observed one
+// recomputation over four weeks (week of Nov 24-28) and found thresholds
+// from the previous week's histograms remained effective.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "sim/local_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+int Main() {
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 10;
+  trace_options.num_weeks = 5;
+  trace_options.seed = 424242;
+  trace_options.shift_week = 2;  // Shift at the start of eval week 2.
+  trace_options.shift_site_fraction = 0.4;
+
+  bench::PrintHeader(
+      "Change detection ablation: stale vs refreshed thresholds across a "
+      "load shift\n(messages per eval week; shift of the given factor hits "
+      "40% of sites at week 2)");
+
+  for (double shift_factor : {1.0, 1.5, 2.0, 3.0}) {
+    trace_options.shift_factor = shift_factor;
+    auto trace = GenerateSnmpTrace(trace_options);
+    DCV_CHECK(trace.ok());
+    const int64_t week = EpochsPerWeek(trace_options);
+    Trace training = *trace->Slice(0, week);
+    Trace eval = *trace->Slice(week, 5 * week);
+
+    auto threshold = ThresholdForOverflowFraction(eval, {}, 0.01);
+    DCV_CHECK(threshold.ok());
+    SimOptions sim;
+    sim.global_threshold = *threshold;
+
+    FptasSolver fptas(0.05);
+    auto run = [&](bool change_detection) {
+      LocalThresholdScheme::Options o;
+      o.solver = &fptas;
+      o.change_detection = change_detection;
+      o.change_options.window_size = 574;  // Two whole days: no diurnal aliasing.
+      o.change_options.alpha = 1e-10;
+      o.change_options.cooldown = 1435;
+      LocalThresholdScheme scheme(o);
+      auto segments = RunSimulationSegments(&scheme, sim, training, eval, week);
+      DCV_CHECK(segments.ok()) << segments.status();
+      std::vector<int64_t> messages;
+      for (const SimResult& s : *segments) {
+        DCV_CHECK(s.missed_violations == 0);
+        messages.push_back(s.messages.total());
+      }
+      messages.push_back(scheme.num_recomputes());
+      return messages;
+    };
+
+    std::printf("\nshift factor %.1f (global T=%lld, 1%% overflow):\n",
+                shift_factor, static_cast<long long>(*threshold));
+    bench::PrintRow({"scheme", "week1", "week2", "week3", "week4",
+                     "recomputes"});
+    auto stale = run(false);
+    auto fresh = run(true);
+    bench::PrintRow({"static", bench::Fmt(stale[0]), bench::Fmt(stale[1]),
+                     bench::Fmt(stale[2]), bench::Fmt(stale[3]),
+                     bench::Fmt(stale[4])});
+    bench::PrintRow({"change-det", bench::Fmt(fresh[0]), bench::Fmt(fresh[1]),
+                     bench::Fmt(fresh[2]), bench::Fmt(fresh[3]),
+                     bench::Fmt(fresh[4])});
+  }
+
+  std::printf(
+      "\nExpected shape: identical in week 1 (no shift yet); for larger "
+      "shifts the\nstatic scheme's messages blow up in weeks 2-4 while "
+      "change detection recovers\nafter one recomputation. With shift "
+      "factor 1.0 (stationary data), change\ndetection should not fire — "
+      "matching the paper's observation that weekly\nhistograms are stable "
+      "predictors.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main() { return dcv::Main(); }

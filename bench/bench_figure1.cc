@@ -1,0 +1,158 @@
+// Reproduces Figure 1 of the paper: number of messages exchanged due to
+// local threshold violations, per evaluation week, as the global threshold
+// T is varied — for the FPTAS, Equal-Value, Equal-Tail and Geometric
+// schemes.
+//
+// Setup mirrors §6: 10 sites (access points), one training week of 1435
+// five-minute observations used to build 100-bucket equi-depth histograms
+// and set local thresholds (FPTAS eps = 0.05), then four evaluation weeks.
+// The synthetic SNMP workload substitutes for the Dartmouth trace (see
+// DESIGN.md); it injects one distribution shift during evaluation week 2 so
+// that — as in the paper — change detection triggers a threshold
+// recomputation for the distribution-aware schemes.
+//
+// The x-axis of the paper's figure is the fraction of observations whose
+// sum exceeds T; each table row below is one x-position.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+constexpr int kNumSites = 10;
+constexpr int kEvalWeeks = 4;
+constexpr int kNumSchemes = 4;  // FPTAS, Equal-Value, Equal-Tail, Geometric.
+
+const char* kSchemeNames[kNumSchemes] = {"FPTAS", "Equal-Value", "Equal-Tail",
+                                         "Geometric"};
+
+struct SweepPoint {
+  double fraction;
+  int64_t threshold;
+  // messages[scheme][week].
+  int64_t messages[kNumSchemes][kEvalWeeks];
+};
+
+int Main() {
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = kNumSites;
+  trace_options.num_weeks = 1 + kEvalWeeks;
+  trace_options.seed = 20031117;  // Nov 17, 2003 — the paper's first week.
+  trace_options.shift_week = 2;   // One shift during evaluation (paper: one
+                                  // recomputation, week of Nov 24-28).
+  trace_options.shift_factor = 1.6;
+  trace_options.shift_site_fraction = 0.3;
+  // Dartmouth APs differ wildly in both load and burstiness: a few busy
+  // access points plus many near-idle ones with heavy-tailed bursts.
+  trace_options.site_scale_sigma = 1.3;
+  trace_options.shape_spread = 0.8;
+  trace_options.spike_shape = 1.2;
+  trace_options.spike_prob = 0.01;
+  auto trace = GenerateSnmpTrace(trace_options);
+  DCV_CHECK(trace.ok()) << trace.status();
+  const int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace eval_all = *trace->Slice(week, (1 + kEvalWeeks) * week);
+
+  bench::PrintHeader(
+      "Figure 1: messages due to local threshold violations vs overflow "
+      "fraction\n(10 sites, 1 training week = 1435 obs, 4 eval weeks, "
+      "100-bucket equi-depth\nhistograms, FPTAS eps=0.05; synthetic SNMP "
+      "stand-in for the Dartmouth trace)");
+
+  FptasSolver fptas(0.05);
+  EqualValueSolver equal_value;
+  EqualTailSolver equal_tail;
+
+  const double fractions[] = {0.001, 0.005, 0.01, 0.02, 0.05, 0.10};
+  std::vector<SweepPoint> sweep;
+
+  for (double fraction : fractions) {
+    auto threshold = ThresholdForOverflowFraction(eval_all, {}, fraction);
+    DCV_CHECK(threshold.ok());
+    SweepPoint point{};
+    point.fraction = fraction;
+    point.threshold = *threshold;
+
+    // Distribution-aware schemes get change detection, as in §6.4.
+    auto make_local_options = [&](const ThresholdSolver* solver,
+                                  bool change_detection) {
+      LocalThresholdScheme::Options o;
+      o.solver = solver;
+      o.histogram_buckets = 100;
+      o.change_detection = change_detection;
+      o.change_options.window_size = 574;  // Two whole days: no diurnal aliasing.
+      o.change_options.alpha = 1e-10;
+      o.change_options.cooldown = 1435;
+      return o;
+    };
+    LocalThresholdScheme fptas_scheme(make_local_options(&fptas, true));
+    LocalThresholdScheme ev_scheme(make_local_options(&equal_value, false));
+    LocalThresholdScheme et_scheme(make_local_options(&equal_tail, true));
+    GeometricScheme geometric;
+    DetectionScheme* schemes[kNumSchemes] = {&fptas_scheme, &ev_scheme,
+                                             &et_scheme, &geometric};
+
+    SimOptions sim;
+    sim.global_threshold = *threshold;
+    for (int s = 0; s < kNumSchemes; ++s) {
+      // One continuous run over the four weeks, split for per-week
+      // reporting: adapted state (recomputed thresholds, Geometric
+      // adjustments) carries across week boundaries as in the paper.
+      auto r =
+          RunSimulationSegments(schemes[s], sim, training, eval_all, week);
+      DCV_CHECK(r.ok()) << r.status();
+      DCV_CHECK(r->size() == static_cast<size_t>(kEvalWeeks));
+      for (int w = 0; w < kEvalWeeks; ++w) {
+        const SimResult& seg = (*r)[static_cast<size_t>(w)];
+        DCV_CHECK(seg.missed_violations == 0)
+            << kSchemeNames[s] << " missed detections (covering broken)";
+        point.messages[s][w] = seg.messages.total();
+      }
+    }
+    sweep.push_back(point);
+  }
+
+  for (int w = 0; w < kEvalWeeks; ++w) {
+    std::printf("\n--- Evaluation week %d ---\n", w + 1);
+    bench::PrintRow({"overflow%", "FPTAS", "Equal-Value", "Equal-Tail",
+                     "Geometric", "EV/FPTAS", "ET/FPTAS", "Geo/FPTAS"},
+                    12);
+    for (const SweepPoint& p : sweep) {
+      int64_t fm = p.messages[0][w];
+      auto ratio = [&](int64_t other) {
+        return fm > 0 ? bench::Fmt(static_cast<double>(other) /
+                                   static_cast<double>(fm))
+                      : std::string("inf");
+      };
+      bench::PrintRow(
+          {bench::Fmt(100.0 * p.fraction, 1), bench::Fmt(fm),
+           bench::Fmt(p.messages[1][w]), bench::Fmt(p.messages[2][w]),
+           bench::Fmt(p.messages[3][w]), ratio(p.messages[1][w]),
+           ratio(p.messages[2][w]), ratio(p.messages[3][w])},
+          12);
+    }
+  }
+
+  std::printf(
+      "\nPaper's claim: FPTAS ~70%% fewer messages than Equal-Value "
+      "(EV/FPTAS ~3x)\nand ~50%% fewer than Equal-Tail/Geometric "
+      "(~2x), across all four weeks.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main() { return dcv::Main(); }

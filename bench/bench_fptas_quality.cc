@@ -1,0 +1,151 @@
+// Validates the FPTAS's approximation guarantee (Theorem 2) empirically:
+// on instances small enough for the exact pseudo-polynomial DP (§4), the
+// FPTAS objective must be within (1+eps) of optimal. Reports the measured
+// worst/mean gap per eps, plus how often the FPTAS is exactly optimal —
+// the paper's analysis is a worst-case bound; in practice the gap is far
+// smaller.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "histogram/empirical_cdf.h"
+#include "histogram/equi_depth.h"
+#include "threshold/exact_dp.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+
+namespace dcv {
+namespace {
+
+struct Instance {
+  std::vector<std::unique_ptr<DistributionModel>> models;
+  ThresholdProblem problem;
+};
+
+Instance RandomInstance(Rng& rng, bool histogram_based) {
+  Instance inst;
+  const int n = static_cast<int>(rng.UniformInt(2, 8));
+  int64_t weight_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t m = rng.UniformInt(8, 60);
+    int64_t weight = rng.UniformInt(1, 3);
+    weight_sum += weight * m;
+    std::vector<int64_t> data;
+    const int count = static_cast<int>(rng.UniformInt(20, 200));
+    for (int k = 0; k < count; ++k) {
+      double v = rng.LogNormal(std::log(static_cast<double>(m) / 4.0), 0.8);
+      data.push_back(Clamp<int64_t>(static_cast<int64_t>(v), 0, m));
+    }
+    if (histogram_based) {
+      auto h = EquiDepthHistogram::Build(data, m, 20);
+      DCV_CHECK(h.ok());
+      inst.models.push_back(
+          std::make_unique<EquiDepthHistogram>(std::move(*h)));
+    } else {
+      inst.models.push_back(std::make_unique<EmpiricalCdf>(data, m));
+    }
+    inst.problem.vars.push_back(
+        ProblemVar{i, weight, CdfView(inst.models.back().get(), false)});
+  }
+  // Budgets between very tight and loose.
+  inst.problem.budget = rng.UniformInt(weight_sum / 8, weight_sum);
+  return inst;
+}
+
+void RunSweep(bool histogram_based, const char* label) {
+  bench::PrintHeader(std::string("FPTAS vs exact DP optimality gap (") +
+                     label + " CDFs)\n(gap = OPT_product / FPTAS_product; "
+                     "Theorem 2 guarantees gap <= 1 + eps)");
+  bench::PrintRow({"eps", "instances", "worst gap", "mean gap", "bound",
+                   "exact-opt%"});
+  for (double eps : {0.5, 0.2, 0.1, 0.05, 0.01}) {
+    Rng rng(static_cast<uint64_t>(eps * 1e6) + (histogram_based ? 17 : 0));
+    FptasSolver fptas(eps);
+    ExactDpSolver exact;
+    double worst = 1.0;
+    double sum = 0.0;
+    int count = 0;
+    int optimal = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      Instance inst = RandomInstance(rng, histogram_based);
+      auto a = fptas.Solve(inst.problem);
+      auto o = exact.Solve(inst.problem);
+      DCV_CHECK(a.ok() && o.ok());
+      if (o->log_probability == kNegInf) {
+        continue;
+      }
+      double gap = std::exp(o->log_probability - a->log_probability);
+      DCV_CHECK(gap <= 1.0 + eps + 1e-6)
+          << "guarantee violated: gap=" << gap << " eps=" << eps;
+      worst = std::max(worst, gap);
+      sum += gap;
+      ++count;
+      if (gap <= 1.0 + 1e-9) {
+        ++optimal;
+      }
+    }
+    bench::PrintRow({bench::Fmt(eps), bench::Fmt(static_cast<int64_t>(count)),
+                     bench::Fmt(worst, 4), bench::Fmt(sum / count, 4),
+                     bench::Fmt(1.0 + eps, 4),
+                     bench::Fmt(100.0 * optimal / count, 1)});
+  }
+}
+
+int Main() {
+  RunSweep(/*histogram_based=*/false, "exact empirical");
+  RunSweep(/*histogram_based=*/true, "20-bucket equi-depth");
+
+  // Objective comparison against the heuristics on the same instances —
+  // the quantity the experiments translate into message counts.
+  bench::PrintHeader(
+      "Objective comparison: P(all local constraints hold), FPTAS vs "
+      "heuristics\n(geometric mean over instances; higher is better)");
+  bench::PrintRow({"budget", "FPTAS", "Equal-Value", "Equal-Tail"});
+  for (double budget_frac : {0.15, 0.3, 0.5, 0.7}) {
+    Rng rng(991);
+    FptasSolver fptas(0.05);
+    EqualValueSolver ev;
+    EqualTailSolver et;
+    double lf = 0;
+    double lev = 0;
+    double let = 0;
+    int count = 0;
+    for (int trial = 0; trial < 150; ++trial) {
+      Instance inst = RandomInstance(rng, true);
+      int64_t weight_sum = 0;
+      for (const auto& v : inst.problem.vars) {
+        weight_sum += v.weight * v.cdf.domain_max();
+      }
+      inst.problem.budget =
+          static_cast<int64_t>(budget_frac * static_cast<double>(weight_sum));
+      auto f = fptas.Solve(inst.problem);
+      auto e1 = ev.Solve(inst.problem);
+      auto e2 = et.Solve(inst.problem);
+      DCV_CHECK(f.ok() && e1.ok() && e2.ok());
+      if (f->log_probability == kNegInf || e1->log_probability == kNegInf ||
+          e2->log_probability == kNegInf) {
+        continue;
+      }
+      lf += f->log_probability;
+      lev += e1->log_probability;
+      let += e2->log_probability;
+      ++count;
+    }
+    bench::PrintRow({bench::Fmt(budget_frac),
+                     bench::Fmt(std::exp(lf / count), 4),
+                     bench::Fmt(std::exp(lev / count), 4),
+                     bench::Fmt(std::exp(let / count), 4)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main() { return dcv::Main(); }

@@ -1,0 +1,125 @@
+// Microbenchmarks for the streaming substrates the paper builds on
+// (google-benchmark): Greenwald-Khanna quantile sketches [13], equi-depth
+// histogram construction, DGIM sliding-window counting [8], and the KS
+// change detector [17].
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "histogram/change_detector.h"
+#include "histogram/equi_depth.h"
+#include "histogram/exp_histogram.h"
+#include "histogram/gk_sketch.h"
+
+namespace dcv {
+namespace {
+
+std::vector<int64_t> LogNormalData(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> data;
+  data.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<int64_t>(rng.LogNormal(10.0, 1.0)));
+  }
+  return data;
+}
+
+void BM_GkSketchInsert(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  auto data = LogNormalData(100000, 1);
+  for (auto _ : state) {
+    GkSketch sketch(eps);
+    for (int64_t v : data) {
+      sketch.Insert(v);
+    }
+    benchmark::DoNotOptimize(sketch.num_tuples());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_GkSketchInsert)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_GkSketchToHistogram(benchmark::State& state) {
+  auto data = LogNormalData(100000, 2);
+  GkSketch sketch(0.01);
+  for (int64_t v : data) {
+    sketch.Insert(v);
+  }
+  for (auto _ : state) {
+    auto h = sketch.ToEquiDepthHistogram(100, 10'000'000);
+    DCV_CHECK(h.ok());
+    benchmark::DoNotOptimize(h->num_buckets());
+  }
+}
+BENCHMARK(BM_GkSketchToHistogram);
+
+void BM_EquiDepthBuild(benchmark::State& state) {
+  auto data = LogNormalData(state.range(0), 3);
+  for (auto _ : state) {
+    auto h = EquiDepthHistogram::Build(data, 10'000'000, 100);
+    DCV_CHECK(h.ok());
+    benchmark::DoNotOptimize(h->num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EquiDepthBuild)->Arg(1435)->Arg(10000)->Arg(100000);
+
+void BM_EquiDepthCdfLookup(benchmark::State& state) {
+  auto data = LogNormalData(10000, 4);
+  auto h = EquiDepthHistogram::Build(data, 10'000'000, 100);
+  DCV_CHECK(h.ok());
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        h->CumulativeAt(rng.UniformInt(0, 10'000'000)));
+  }
+}
+BENCHMARK(BM_EquiDepthCdfLookup);
+
+void BM_DgimAdd(benchmark::State& state) {
+  Rng rng(6);
+  ExpHistogram h(100000, static_cast<int>(state.range(0)));
+  int64_t t = 0;
+  for (auto _ : state) {
+    h.Add(++t, rng.Bernoulli(0.4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DgimAdd)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SlidingWindowSumAdd(benchmark::State& state) {
+  Rng rng(7);
+  SlidingWindowSum sum(100000, 20, 8);
+  int64_t t = 0;
+  for (auto _ : state) {
+    sum.Add(++t, rng.UniformInt(0, (1 << 20) - 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingWindowSumAdd);
+
+void BM_ChangeDetectorObserve(benchmark::State& state) {
+  Rng rng(8);
+  ChangeDetector::Options options;
+  options.window_size = static_cast<size_t>(state.range(0));
+  options.cooldown = 1;
+  ChangeDetector detector(options);
+  std::vector<int64_t> ref;
+  for (int i = 0; i < 1435; ++i) {
+    ref.push_back(rng.UniformInt(0, 100000));
+  }
+  detector.Reset(ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Observe(rng.UniformInt(0, 100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChangeDetectorObserve)->Arg(100)->Arg(400)->Arg(1000);
+
+}  // namespace
+}  // namespace dcv
+
+BENCHMARK_MAIN();

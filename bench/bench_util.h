@@ -1,0 +1,39 @@
+#ifndef DCV_BENCH_BENCH_UTIL_H_
+#define DCV_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the reproduction harnesses: fixed-width table printing
+// and the standard workload builders, so every bench binary reports in the
+// same format (one table per paper figure/table; see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dcv::bench {
+
+/// Prints a separator + title line for one experiment.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one row of right-aligned cells with the given width.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) {
+    std::printf("%*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+}  // namespace dcv::bench
+
+#endif  // DCV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,131 @@
+// DDoS detection at the network edge — the paper's first motivating
+// application (§1): "the total TCP SYN packet rate for a destination
+// observed across the network's edge routers does not exceed a specified
+// limit."
+//
+// 20 edge routers each observe a per-destination SYN rate. Normal traffic
+// is low and bursty; a simulated attack ramps SYN floods across a subset of
+// routers for one hour. We compare the local-threshold scheme against
+// periodic polling: both the message bill and the detection latency.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sim/local_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace dcv;
+
+constexpr int kRouters = 20;
+constexpr int64_t kEpochsPerHour = 60;  // One observation per minute.
+constexpr int64_t kTrainHours = 48;
+constexpr int64_t kLiveHours = 48;
+constexpr int64_t kAttackStart = 30 * kEpochsPerHour;  // Hour 30 of live.
+constexpr int64_t kAttackLength = kEpochsPerHour;
+
+// SYN packets/sec seen at one router in one epoch.
+int64_t NormalSynRate(Rng& rng, double scale) {
+  return static_cast<int64_t>(scale * rng.LogNormal(3.0, 0.7));
+}
+
+Trace MakeTrace(int64_t epochs, bool with_attack, uint64_t seed,
+                const std::vector<double>& router_scale) {
+  Rng rng(seed);
+  Trace trace(kRouters);
+  for (int64_t t = 0; t < epochs; ++t) {
+    std::vector<int64_t> rates(kRouters);
+    bool attacking =
+        with_attack && t >= kAttackStart && t < kAttackStart + kAttackLength;
+    for (int i = 0; i < kRouters; ++i) {
+      rates[static_cast<size_t>(i)] =
+          NormalSynRate(rng, router_scale[static_cast<size_t>(i)]);
+      // The botnet floods through a third of the edge; per-router the surge
+      // is only ~4x its normal rate, so single-router anomaly detection is
+      // unreliable — the *sum* is the signal.
+      if (attacking && i % 3 == 0) {
+        rates[static_cast<size_t>(i)] +=
+            static_cast<int64_t>(250.0 * rng.LogNormal(1.0, 0.3));
+      }
+    }
+    DCV_CHECK(trace.AppendEpoch(std::move(rates)).ok());
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  // Per-router ingress volumes are a property of the deployment, shared by
+  // the training and live periods.
+  Rng scale_rng(10);
+  std::vector<double> router_scale(kRouters);
+  for (auto& s : router_scale) {
+    s = scale_rng.LogNormal(0.0, 0.8);  // Heterogeneous ingress volumes.
+  }
+  Trace training =
+      MakeTrace(kTrainHours * kEpochsPerHour, false, 11, router_scale);
+  Trace live = MakeTrace(kLiveHours * kEpochsPerHour, true, 12, router_scale);
+
+  // Alarm when the network-wide SYN rate exceeds 3x the training p99.
+  std::vector<int64_t> sums;
+  for (int64_t t = 0; t < training.num_epochs(); ++t) {
+    sums.push_back(training.WeightedSum(t, {}));
+  }
+  std::vector<double> sums_d(sums.begin(), sums.end());
+  int64_t limit = static_cast<int64_t>(3.0 * Quantile(sums_d, 0.99));
+  std::printf("Global constraint: network-wide SYN rate <= %lld pkts/s\n",
+              static_cast<long long>(limit));
+
+  SimOptions sim;
+  sim.global_threshold = limit;
+
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme local(options);
+  auto local_result = RunSimulation(&local, sim, training, live);
+  DCV_CHECK(local_result.ok()) << local_result.status();
+
+  PollingScheme poll_1m(1);
+  auto poll_result = RunSimulation(&poll_1m, sim, training, live);
+  DCV_CHECK(poll_result.ok());
+  PollingScheme poll_15m(15);
+  auto poll15_result = RunSimulation(&poll_15m, sim, training, live);
+  DCV_CHECK(poll15_result.ok());
+
+  std::printf("\nAttack window: epochs %lld-%lld (%lld true violation "
+              "epochs in the live trace)\n",
+              static_cast<long long>(kAttackStart),
+              static_cast<long long>(kAttackStart + kAttackLength - 1),
+              static_cast<long long>(local_result->true_violations));
+  std::printf("\n%-28s %14s %10s %10s\n", "scheme", "messages", "detected",
+              "missed");
+  auto row = [](const char* name, const SimResult& r) {
+    std::printf("%-28s %14lld %10lld %10lld\n", name,
+                static_cast<long long>(r.messages.total()),
+                static_cast<long long>(r.detected_violations),
+                static_cast<long long>(r.missed_violations));
+  };
+  row("local thresholds (FPTAS)", *local_result);
+  row("polling every minute", *poll_result);
+  row("polling every 15 minutes", *poll15_result);
+
+  std::printf(
+      "\nThe local-threshold monitor is silent during normal operation and "
+      "still\ncatches every attack epoch; per-minute polling pays %lldx the "
+      "messages for\nthe same guarantee, and sparse polling misses attack "
+      "epochs outright.\n",
+      static_cast<long long>(
+          poll_result->messages.total() /
+          std::max<int64_t>(1, local_result->messages.total())));
+  DCV_CHECK(local_result->missed_violations == 0);
+  return 0;
+}

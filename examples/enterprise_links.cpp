@@ -1,0 +1,87 @@
+// Enterprise uplink monitoring — the paper's second motivating application
+// (§1): "for an Enterprise that is connected to the Internet via multiple
+// links, if the cumulative traffic on the links exceeds a threshold, then
+// this could be used to trigger actions like activating backup links."
+//
+// Four WAN links carry diurnal office traffic. Midway through the
+// simulation the organization onboards a new office and two links see a
+// persistent load increase: the per-site KS change detectors notice, the
+// histograms are rebuilt, and the local thresholds are recomputed — no
+// operator involved.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sim/local_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace dcv;
+
+  SnmpTraceOptions workload;
+  workload.num_sites = 4;          // Four uplinks.
+  workload.num_weeks = 4;          // Week 0 trains; 3 live weeks.
+  workload.seed = 99;
+  workload.base_median = 5.0e6;    // ~5 MB per 5-minute interval.
+  workload.bimodal_fraction = 0.0; // Links aggregate many users: unimodal.
+  workload.shift_week = 2;         // New office comes online in week 2.
+  workload.shift_factor = 1.9;
+  workload.shift_site_fraction = 0.5;
+  auto trace = GenerateSnmpTrace(workload);
+  DCV_CHECK(trace.ok()) << trace.status();
+  const int64_t week = EpochsPerWeek(workload);
+  Trace training = *trace->Slice(0, week);
+  Trace live = *trace->Slice(week, 4 * week);
+
+  auto capacity = ThresholdForOverflowFraction(live, {}, 0.005);
+  DCV_CHECK(capacity.ok());
+  std::printf("Contract: cumulative uplink traffic <= %lld bytes per "
+              "5-minute interval\n(backup capacity is requested beyond "
+              "that)\n\n",
+              static_cast<long long>(*capacity));
+
+  FptasSolver solver(0.05);
+  auto run = [&](bool adaptive) {
+    LocalThresholdScheme::Options options;
+    options.solver = &solver;
+    options.change_detection = adaptive;
+    options.change_options.window_size = 574;  // Two whole days.
+    options.change_options.alpha = 1e-10;
+    options.change_options.cooldown = 1435;
+    LocalThresholdScheme scheme(options);
+    SimOptions sim;
+    sim.global_threshold = *capacity;
+    auto segments =
+        RunSimulationSegments(&scheme, sim, training, live, week);
+    DCV_CHECK(segments.ok()) << segments.status();
+    std::printf("%s thresholds:\n", adaptive ? "Self-adapting" : "Static");
+    for (size_t wk = 0; wk < segments->size(); ++wk) {
+      const SimResult& s = (*segments)[wk];
+      DCV_CHECK(s.missed_violations == 0);
+      std::printf(
+          "  week %zu: %6lld messages, %4lld capacity breaches "
+          "(all detected)\n",
+          wk + 1, static_cast<long long>(s.messages.total()),
+          static_cast<long long>(s.true_violations));
+    }
+    if (adaptive) {
+      std::printf("  change-detection recomputations: %lld\n",
+                  static_cast<long long>(scheme.num_recomputes()));
+    }
+    std::printf("\n");
+  };
+
+  run(false);
+  run(true);
+
+  std::printf(
+      "Week 1 is identical (no shift yet). After the week-2 load increase, "
+      "the\nstatic monitor keeps alarming on traffic that is now normal, "
+      "while the\nadaptive monitor rebuilds its histograms once and quiets "
+      "back down —\nexactly the §3.2 recomputation loop the paper "
+      "describes.\n");
+  return 0;
+}

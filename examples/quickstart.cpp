@@ -1,0 +1,82 @@
+// Quickstart: the full dcv workflow in ~80 lines.
+//
+//  1. Parse a global constraint over distributed site variables.
+//  2. Build per-site distribution models from historical observations.
+//  3. Select local thresholds with the FPTAS so that
+//     (all local constraints hold) => (global constraint holds).
+//  4. Replay live traffic through the monitoring simulator and count
+//     messages — silence while the system is healthy, guaranteed detection
+//     when it is not.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sim/local_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace dcv;
+
+  // --- Workload: 5 sites reporting a value every 5 minutes. ------------
+  SnmpTraceOptions workload;
+  workload.num_sites = 5;
+  workload.num_weeks = 2;  // Week 0 trains, week 1 is "live".
+  workload.seed = 7;
+  auto trace = GenerateSnmpTrace(workload);
+  DCV_CHECK(trace.ok()) << trace.status();
+  const int64_t week = EpochsPerWeek(workload);
+  Trace training = *trace->Slice(0, week);
+  Trace live = *trace->Slice(week, 2 * week);
+
+  // --- Global constraint: total traffic below T. ------------------------
+  // Pick T so that roughly 1% of live epochs violate it (for the demo).
+  auto threshold = ThresholdForOverflowFraction(live, {}, 0.01);
+  DCV_CHECK(threshold.ok());
+  std::printf("Global constraint:  sum of %d site variables <= %lld\n",
+              live.num_sites(), static_cast<long long>(*threshold));
+
+  // --- Local thresholds via the FPTAS (eps = 0.05). ---------------------
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;        // The paper's contribution.
+  options.histogram_buckets = 100; // Equi-depth histograms, as in §6.4.
+  LocalThresholdScheme scheme(options);
+
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+  auto result = RunSimulation(&scheme, sim, training, live);
+  DCV_CHECK(result.ok()) << result.status();
+
+  std::printf("Local thresholds chosen from training histograms:\n");
+  for (size_t i = 0; i < scheme.thresholds().size(); ++i) {
+    std::printf("  site %zu: alarm if X > %lld\n", i,
+                static_cast<long long>(scheme.thresholds()[i]));
+  }
+
+  // --- What happened during the live week. ------------------------------
+  std::printf("\nLive week (%lld five-minute epochs):\n",
+              static_cast<long long>(live.num_epochs()));
+  std::printf("  true violations of the global constraint : %lld\n",
+              static_cast<long long>(result->true_violations));
+  std::printf("  detected (covering guarantees all)       : %lld\n",
+              static_cast<long long>(result->detected_violations));
+  std::printf("  missed                                   : %lld\n",
+              static_cast<long long>(result->missed_violations));
+  std::printf("  epochs with any message traffic          : %lld\n",
+              static_cast<long long>(result->alarm_epochs));
+  std::printf("  total messages (%s)\n",
+              result->messages.ToString().c_str());
+  std::printf("  vs naive per-epoch polling               : %lld messages\n",
+              static_cast<long long>(2 * live.num_epochs() *
+                                     live.num_sites()));
+  DCV_CHECK(result->missed_violations == 0);
+  std::printf("\nNo violation went undetected, at a fraction of polling's "
+              "cost.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Environmental sensor monitoring — the paper's sensor-network motivation
+// (§1): "collecting every individual reading ... may also be unnecessary;
+// only extreme sensor readings that are either too low or too high may be
+// of interest."
+//
+// Eight temperature sensors (tenths of °C). Normal operation means every
+// reading stays inside a band: MIN over sensors >= 50 (5.0°C — freeze
+// alert) and MAX over sensors <= 320 (32.0°C — overheat alert). This is a
+// boolean constraint whose normalization produces *two-sided* local bounds
+// (the MIN >= floor part becomes mirrored lower-bound constraints). The
+// full pipeline — parse, normalize, solve, simulate — runs through
+// BooleanLocalScheme, and the runner scores detections against the exact
+// boolean constraint.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "sim/boolean_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace dcv;
+
+constexpr int kSensors = 8;
+
+// A day/night temperature cycle per sensor plus noise; a few cold snaps
+// and heat spikes are injected into the live period.
+Trace MakeTrace(int64_t epochs, bool live, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> site_offset(kSensors);
+  for (auto& o : site_offset) {
+    o = rng.Normal(0.0, 15.0);  // Sensor placement differences.
+  }
+  Trace trace(kSensors);
+  for (int64_t t = 0; t < epochs; ++t) {
+    double hour = static_cast<double>(t % 288) * 24.0 / 288.0;
+    double base = 180.0 + 60.0 * std::sin((hour - 9.0) * M_PI / 12.0);
+    std::vector<int64_t> row(kSensors);
+    bool cold_snap = live && t >= 400 && t < 430;
+    bool heat_spike = live && t >= 900 && t < 915;
+    for (int i = 0; i < kSensors; ++i) {
+      double v = base + site_offset[static_cast<size_t>(i)] +
+                 rng.Normal(0.0, 8.0);
+      if (cold_snap && i < 2) {
+        v -= 165.0;  // Two exposed sensors drop near freezing.
+      }
+      if (heat_spike && i == 5) {
+        v += 240.0;  // One sensor overheats.
+      }
+      row[static_cast<size_t>(i)] =
+          std::max<int64_t>(0, static_cast<int64_t>(std::llround(v)));
+    }
+    DCV_CHECK(trace.AppendEpoch(std::move(row)).ok());
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  Trace training = MakeTrace(288 * 5, false, 71);
+  Trace live = MakeTrace(288 * 5, true, 72);
+
+  std::string text = "MIN{";
+  for (int i = 0; i < kSensors; ++i) {
+    text += (i ? ", " : "") + training.site_names()[static_cast<size_t>(i)];
+  }
+  std::string sensors_list = text.substr(4);
+  text += "} >= 50 && MAX{" + sensors_list + "} <= 320";
+
+  auto constraint = ParseConstraintWithVars(text, training.site_names());
+  DCV_CHECK(constraint.ok()) << constraint.status();
+  std::printf("Global constraint (all readings in band):\n  %s\n\n",
+              text.c_str());
+
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(*constraint, options);
+
+  SimOptions sim;
+  BoolExpr expr = *constraint;
+  sim.is_violation = [expr](const std::vector<int64_t>& values) {
+    return !expr.Evaluate(values);
+  };
+  auto result = RunSimulation(&scheme, sim, training, live);
+  DCV_CHECK(result.ok()) << result.status();
+
+  std::printf("Per-sensor local bands (alarm outside):\n");
+  for (int i = 0; i < kSensors; ++i) {
+    const SiteBounds& b = scheme.bounds()[static_cast<size_t>(i)];
+    std::printf("  sensor%-2d in [%3lld, %3lld]  (%4.1f - %4.1f degC)\n", i,
+                static_cast<long long>(b.lo), static_cast<long long>(b.hi),
+                static_cast<double>(b.lo) / 10.0,
+                static_cast<double>(b.hi) / 10.0);
+  }
+  std::printf("\nLive period (%lld epochs, one cold snap + one heat "
+              "spike):\n",
+              static_cast<long long>(live.num_epochs()));
+  std::printf("  band violations: %lld, detected: %lld, missed: %lld\n",
+              static_cast<long long>(result->true_violations),
+              static_cast<long long>(result->detected_violations),
+              static_cast<long long>(result->missed_violations));
+  std::printf("  messages: %lld (%s)\n",
+              static_cast<long long>(result->messages.total()),
+              result->messages.ToString().c_str());
+  std::printf("  vs collecting every reading: %lld messages\n",
+              static_cast<long long>(live.num_epochs() * kSensors));
+  DCV_CHECK(result->missed_violations == 0);
+  std::printf(
+      "\nEvery extreme event was caught from local band checks alone; "
+      "normal readings\nnever left the sensors.\n");
+  return 0;
+}

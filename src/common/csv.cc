@@ -1,0 +1,164 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dcv {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    *out += field;
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      *out += "\"\"";
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+// Parses one CSV record starting at *pos; advances *pos past the record's
+// terminating newline (or to text.size()).
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      // Consume \r\n or \n.
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+        ++i;
+      }
+      ++i;
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+}  // namespace
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) {
+      return i;
+    }
+  }
+  return NotFoundError("no CSV column named '" + name + "'");
+}
+
+Result<int64_t> CsvTable::Int64At(size_t row, size_t col) const {
+  if (row >= rows_.size() || col >= rows_[row].size()) {
+    return OutOfRangeError("CSV cell index out of range");
+  }
+  return ParseInt64(rows_[row][col]);
+}
+
+Result<double> CsvTable::DoubleAt(size_t row, size_t col) const {
+  if (row >= rows_.size() || col >= rows_[row].size()) {
+    return OutOfRangeError("CSV cell index out of range");
+  }
+  return ParseDouble(rows_[row][col]);
+}
+
+std::string CsvTable::Serialize() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+  }
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+Result<CsvTable> CsvTable::Parse(const std::string& text, bool has_header) {
+  CsvTable table;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    DCV_ASSIGN_OR_RETURN(auto record, ParseRecord(text, &pos));
+    // Skip blank trailing lines.
+    if (record.size() == 1 && record[0].empty()) {
+      continue;
+    }
+    if (first && has_header) {
+      table.header_ = std::move(record);
+    } else {
+      table.rows_.push_back(std::move(record));
+    }
+    first = false;
+  }
+  return table;
+}
+
+Status CsvTable::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  out << Serialize();
+  if (!out) {
+    return InternalError("error writing file: " + path);
+  }
+  return OkStatus();
+}
+
+Result<CsvTable> CsvTable::ReadFromFile(const std::string& path,
+                                        bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), has_header);
+}
+
+}  // namespace dcv

@@ -1,0 +1,60 @@
+#ifndef DCV_COMMON_CSV_H_
+#define DCV_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dcv {
+
+/// An in-memory CSV table: an optional header row plus data rows. Used for
+/// trace import/export and for dumping benchmark series. Values are kept as
+/// strings; numeric access goes through the typed getters.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Builds a table with the given header (may be empty for headerless CSV).
+  explicit CsvTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const {
+    return header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                           : header_.size();
+  }
+
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row. Row width is validated at serialization time.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Column index for a header name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Typed cell access.
+  Result<int64_t> Int64At(size_t row, size_t col) const;
+  Result<double> DoubleAt(size_t row, size_t col) const;
+
+  /// Serializes to RFC-4180-ish CSV (quotes fields containing , " or \n).
+  std::string Serialize() const;
+
+  /// Parses CSV text. When `has_header` the first row becomes the header.
+  static Result<CsvTable> Parse(const std::string& text, bool has_header);
+
+  /// File round-trip helpers.
+  Status WriteToFile(const std::string& path) const;
+  static Result<CsvTable> ReadFromFile(const std::string& path,
+                                       bool has_header);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_COMMON_CSV_H_

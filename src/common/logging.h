@@ -1,0 +1,73 @@
+#ifndef DCV_COMMON_LOGGING_H_
+#define DCV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcv {
+
+/// Log severities, lowest to highest. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-collecting helper behind the DCV_LOG macro. Emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the level
+/// threshold, so arguments are still evaluated lazily by the macro's ternary.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dcv
+
+#define DCV_LOG_INTERNAL_LEVEL_kDebug ::dcv::LogLevel::kDebug
+#define DCV_LOG_INTERNAL_LEVEL_kInfo ::dcv::LogLevel::kInfo
+#define DCV_LOG_INTERNAL_LEVEL_kWarning ::dcv::LogLevel::kWarning
+#define DCV_LOG_INTERNAL_LEVEL_kError ::dcv::LogLevel::kError
+#define DCV_LOG_INTERNAL_LEVEL_kFatal ::dcv::LogLevel::kFatal
+
+/// DCV_LOG(INFO) << "message"; — emitted iff INFO >= current level.
+#define DCV_LOG(severity)                                                 \
+  (::dcv::LogLevel::k##severity < ::dcv::GetLogLevel())                   \
+      ? (void)0                                                           \
+      : ::dcv::internal::LogMessageVoidify() &                            \
+            ::dcv::internal::LogMessage(::dcv::LogLevel::k##severity,     \
+                                        __FILE__, __LINE__)               \
+                .stream()
+
+/// DCV_CHECK(cond) << "detail"; — aborts with the detail if cond is false.
+#define DCV_CHECK(condition)                                              \
+  (condition)                                                             \
+      ? (void)0                                                           \
+      : ::dcv::internal::LogMessageVoidify() &                            \
+            ::dcv::internal::LogMessage(::dcv::LogLevel::kFatal,          \
+                                        __FILE__, __LINE__)               \
+                    .stream()                                             \
+                << "Check failed: " #condition " "
+
+#endif  // DCV_COMMON_LOGGING_H_

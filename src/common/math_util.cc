@@ -1,0 +1,51 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+namespace dcv {
+
+double KahanSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    double y = v - carry;
+    double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return KahanSum(values) / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Quantile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  p = Clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace dcv

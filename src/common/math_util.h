@@ -1,0 +1,56 @@
+#ifndef DCV_COMMON_MATH_UTIL_H_
+#define DCV_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dcv {
+
+/// Negative infinity, used as the log of probability/frequency zero.
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// log(x) that maps 0 (and negatives, which should not occur) to -inf rather
+/// than NaN, so products of frequencies can be safely accumulated in
+/// log-space.
+inline double SafeLog(double x) { return x > 0.0 ? std::log(x) : kNegInf; }
+
+/// exp(x) with exp(-inf) == 0 (the standard library already guarantees this;
+/// the wrapper documents intent at call sites).
+inline double SafeExp(double x) { return std::exp(x); }
+
+/// Clamps v into [lo, hi].
+template <typename T>
+T Clamp(T v, T lo, T hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+inline bool ApproxEqual(double a, double b, double tol = 1e-9) {
+  double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+/// Sum of doubles with Kahan compensation; the benchmark metrics add many
+/// small message counts and deserve a stable sum.
+double KahanSum(const std::vector<double>& values);
+
+/// Integer ceil(a / b) for positive b.
+inline int64_t CeilDiv(int64_t a, int64_t b) {
+  return (a >= 0) ? (a + b - 1) / b : -((-a) / b);
+}
+
+/// Arithmetic mean; returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation; returns 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// p-th quantile (p in [0,1]) by linear interpolation over the sorted copy.
+double Quantile(std::vector<double> values, double p);
+
+}  // namespace dcv
+
+#endif  // DCV_COMMON_MATH_UTIL_H_

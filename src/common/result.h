@@ -1,0 +1,83 @@
+#ifndef DCV_COMMON_RESULT_H_
+#define DCV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dcv {
+
+/// A value-or-error holder (StatusOr-style). Exactly one of {value, error
+/// status} is present. Accessing `value()` on an error Result aborts in debug
+/// builds and is undefined otherwise — always check `ok()` first or use the
+/// DCV_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : status_(OkStatus()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status (implicit, so `return SomeError();`
+  /// works). Constructing from an OK status is a programming error and is
+  /// converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dcv
+
+#define DCV_RESULT_CONCAT_INNER_(a, b) a##b
+#define DCV_RESULT_CONCAT_(a, b) DCV_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status from the
+/// current function, otherwise assigns the value to `lhs`.
+///
+///   DCV_ASSIGN_OR_RETURN(auto parsed, ParseConstraint(text));
+#define DCV_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  auto DCV_RESULT_CONCAT_(dcv_result_tmp_, __LINE__) = (rexpr);            \
+  if (!DCV_RESULT_CONCAT_(dcv_result_tmp_, __LINE__).ok()) {               \
+    return DCV_RESULT_CONCAT_(dcv_result_tmp_, __LINE__).status();         \
+  }                                                                        \
+  lhs = std::move(DCV_RESULT_CONCAT_(dcv_result_tmp_, __LINE__)).value()
+
+#endif  // DCV_COMMON_RESULT_H_

@@ -1,0 +1,88 @@
+#ifndef DCV_COMMON_STATUS_H_
+#define DCV_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dcv {
+
+/// Canonical error codes, modeled after the usual database-library set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kResourceExhausted = 7,
+  kInfeasible = 8,  ///< No assignment satisfies the requested constraints.
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. `dcv` does not use exceptions; every
+/// fallible operation returns a `Status` (or a `Result<T>`, see result.h).
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code with a
+  /// nonempty message is allowed but pointless; prefer `OkStatus()`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers, one per error code.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InfeasibleError(std::string message);
+
+}  // namespace dcv
+
+/// Propagates a non-OK Status from the current function.
+#define DCV_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dcv::Status dcv_status_tmp_ = (expr);      \
+    if (!dcv_status_tmp_.ok()) {                 \
+      return dcv_status_tmp_;                    \
+    }                                            \
+  } while (0)
+
+#endif  // DCV_COMMON_STATUS_H_

@@ -1,0 +1,208 @@
+#include "constraints/ast.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcv {
+
+std::string_view CmpOpName(CmpOp op) {
+  return op == CmpOp::kLe ? "<=" : ">=";
+}
+
+AggExpr AggExpr::Linear(LinearExpr expr) {
+  AggExpr e;
+  e.kind_ = Kind::kLinear;
+  e.linear_ = std::move(expr);
+  return e;
+}
+
+AggExpr AggExpr::Sum(std::vector<AggExpr> children) {
+  DCV_CHECK(!children.empty()) << "SUM needs at least one child";
+  AggExpr e;
+  e.kind_ = Kind::kSum;
+  e.children_ = std::move(children);
+  return e;
+}
+
+AggExpr AggExpr::Min(std::vector<AggExpr> children) {
+  DCV_CHECK(!children.empty()) << "MIN needs at least one child";
+  AggExpr e;
+  e.kind_ = Kind::kMin;
+  e.children_ = std::move(children);
+  return e;
+}
+
+AggExpr AggExpr::Max(std::vector<AggExpr> children) {
+  DCV_CHECK(!children.empty()) << "MAX needs at least one child";
+  AggExpr e;
+  e.kind_ = Kind::kMax;
+  e.children_ = std::move(children);
+  return e;
+}
+
+int64_t AggExpr::Evaluate(const std::vector<int64_t>& assignment) const {
+  switch (kind_) {
+    case Kind::kLinear:
+      return linear_.Evaluate(assignment);
+    case Kind::kSum: {
+      int64_t total = 0;
+      for (const AggExpr& c : children_) {
+        total += c.Evaluate(assignment);
+      }
+      return total;
+    }
+    case Kind::kMin: {
+      int64_t best = children_.front().Evaluate(assignment);
+      for (size_t i = 1; i < children_.size(); ++i) {
+        best = std::min(best, children_[i].Evaluate(assignment));
+      }
+      return best;
+    }
+    case Kind::kMax: {
+      int64_t best = children_.front().Evaluate(assignment);
+      for (size_t i = 1; i < children_.size(); ++i) {
+        best = std::max(best, children_[i].Evaluate(assignment));
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+int AggExpr::max_var() const {
+  if (kind_ == Kind::kLinear) {
+    return linear_.max_var();
+  }
+  int best = -1;
+  for (const AggExpr& c : children_) {
+    best = std::max(best, c.max_var());
+  }
+  return best;
+}
+
+size_t AggExpr::NodeCount() const {
+  size_t count = 1;
+  for (const AggExpr& c : children_) {
+    count += c.NodeCount();
+  }
+  return count;
+}
+
+std::string AggExpr::ToString(const std::vector<std::string>* names) const {
+  switch (kind_) {
+    case Kind::kLinear:
+      return linear_.ToString(names);
+    case Kind::kSum:
+    case Kind::kMin:
+    case Kind::kMax: {
+      std::string out = kind_ == Kind::kSum ? "SUM{"
+                        : kind_ == Kind::kMin ? "MIN{"
+                                              : "MAX{";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += children_[i].ToString(names);
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "";
+}
+
+BoolExpr BoolExpr::Atom(AggExpr agg, CmpOp op, int64_t threshold) {
+  BoolExpr e;
+  e.kind_ = Kind::kAtom;
+  e.agg_ = std::move(agg);
+  e.op_ = op;
+  e.threshold_ = threshold;
+  return e;
+}
+
+BoolExpr BoolExpr::And(std::vector<BoolExpr> children) {
+  DCV_CHECK(!children.empty()) << "AND needs at least one child";
+  BoolExpr e;
+  e.kind_ = Kind::kAnd;
+  e.children_ = std::move(children);
+  return e;
+}
+
+BoolExpr BoolExpr::Or(std::vector<BoolExpr> children) {
+  DCV_CHECK(!children.empty()) << "OR needs at least one child";
+  BoolExpr e;
+  e.kind_ = Kind::kOr;
+  e.children_ = std::move(children);
+  return e;
+}
+
+bool BoolExpr::Evaluate(const std::vector<int64_t>& assignment) const {
+  switch (kind_) {
+    case Kind::kAtom: {
+      int64_t v = agg_.Evaluate(assignment);
+      return op_ == CmpOp::kLe ? v <= threshold_ : v >= threshold_;
+    }
+    case Kind::kAnd:
+      for (const BoolExpr& c : children_) {
+        if (!c.Evaluate(assignment)) {
+          return false;
+        }
+      }
+      return true;
+    case Kind::kOr:
+      for (const BoolExpr& c : children_) {
+        if (c.Evaluate(assignment)) {
+          return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+int BoolExpr::max_var() const {
+  if (kind_ == Kind::kAtom) {
+    return agg_.max_var();
+  }
+  int best = -1;
+  for (const BoolExpr& c : children_) {
+    best = std::max(best, c.max_var());
+  }
+  return best;
+}
+
+size_t BoolExpr::NodeCount() const {
+  size_t count = 1;
+  if (kind_ == Kind::kAtom) {
+    count += agg_.NodeCount();
+  }
+  for (const BoolExpr& c : children_) {
+    count += c.NodeCount();
+  }
+  return count;
+}
+
+std::string BoolExpr::ToString(const std::vector<std::string>* names) const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return "(" + agg_.ToString(names) + " " + std::string(CmpOpName(op_)) +
+             " " + std::to_string(threshold_) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind_ == Kind::kAnd ? " && " : " || ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) {
+          out += sep;
+        }
+        out += children_[i].ToString(names);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace dcv

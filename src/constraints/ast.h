@@ -1,0 +1,104 @@
+#ifndef DCV_CONSTRAINTS_AST_H_
+#define DCV_CONSTRAINTS_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/linear_expr.h"
+
+namespace dcv {
+
+/// Comparison operator of an atomic condition (paper §3.1 restricts op to
+/// <= and >=).
+enum class CmpOp { kLe, kGe };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// An aggregate expression (paper §3.1): either a linear expression, or
+/// SUM / MIN / MAX applied to child aggregate expressions, recursively.
+/// Value-semantic tree.
+class AggExpr {
+ public:
+  enum class Kind { kLinear, kSum, kMin, kMax };
+
+  /// Leaf: a linear expression (covers the paper's A_i*X_i terms and sums
+  /// thereof).
+  static AggExpr Linear(LinearExpr expr);
+
+  /// SUM{children} (== children[0] + children[1] + ...). Needs >= 1 child.
+  static AggExpr Sum(std::vector<AggExpr> children);
+
+  /// MIN{children}. Needs >= 1 child.
+  static AggExpr Min(std::vector<AggExpr> children);
+
+  /// MAX{children}. Needs >= 1 child.
+  static AggExpr Max(std::vector<AggExpr> children);
+
+  Kind kind() const { return kind_; }
+  const LinearExpr& linear() const { return linear_; }
+  const std::vector<AggExpr>& children() const { return children_; }
+
+  /// Evaluates on a full assignment of the site variables.
+  int64_t Evaluate(const std::vector<int64_t>& assignment) const;
+
+  /// Largest variable index referenced, or -1.
+  int max_var() const;
+
+  /// Total node count (used by the normalizer's blow-up guard).
+  size_t NodeCount() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  AggExpr() = default;
+
+  Kind kind_ = Kind::kLinear;
+  LinearExpr linear_;
+  std::vector<AggExpr> children_;
+};
+
+/// A boolean constraint over atomic conditions `agg_expr op threshold`,
+/// closed under conjunction and disjunction (paper §3.1). Value-semantic
+/// tree. The *global constraint* G of the paper is one of these; G holding
+/// means the system is in a normal state.
+class BoolExpr {
+ public:
+  enum class Kind { kAtom, kAnd, kOr };
+
+  /// Atomic condition: `agg op threshold`.
+  static BoolExpr Atom(AggExpr agg, CmpOp op, int64_t threshold);
+
+  /// Conjunction; needs >= 1 child.
+  static BoolExpr And(std::vector<BoolExpr> children);
+
+  /// Disjunction; needs >= 1 child.
+  static BoolExpr Or(std::vector<BoolExpr> children);
+
+  Kind kind() const { return kind_; }
+  const AggExpr& agg() const { return agg_; }
+  CmpOp op() const { return op_; }
+  int64_t threshold() const { return threshold_; }
+  const std::vector<BoolExpr>& children() const { return children_; }
+
+  bool Evaluate(const std::vector<int64_t>& assignment) const;
+
+  int max_var() const;
+
+  size_t NodeCount() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+ private:
+  BoolExpr() = default;
+
+  Kind kind_ = Kind::kAtom;
+  AggExpr agg_ = AggExpr::Linear(LinearExpr());
+  CmpOp op_ = CmpOp::kLe;
+  int64_t threshold_ = 0;
+  std::vector<BoolExpr> children_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_AST_H_

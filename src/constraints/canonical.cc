@@ -1,0 +1,82 @@
+#include "constraints/canonical.h"
+
+namespace dcv {
+
+bool CanonicalIneq::Evaluate(const std::vector<int64_t>& assignment,
+                             const std::vector<int64_t>& domain_max) const {
+  int64_t lhs = 0;
+  for (const Term& t : terms) {
+    int64_t x = (t.var >= 0 && static_cast<size_t>(t.var) < assignment.size())
+                    ? assignment[static_cast<size_t>(t.var)]
+                    : 0;
+    int64_t y = t.mirrored ? domain_max[static_cast<size_t>(t.var)] - x : x;
+    lhs += t.coef * y;
+  }
+  return lhs <= bound;
+}
+
+std::string CanonicalIneq::ToString(
+    const std::vector<std::string>* names) const {
+  auto var_name = [&](int var) -> std::string {
+    if (names != nullptr && var >= 0 &&
+        static_cast<size_t>(var) < names->size()) {
+      return (*names)[static_cast<size_t>(var)];
+    }
+    return "x" + std::to_string(var);
+  };
+  std::string out;
+  for (const Term& t : terms) {
+    if (!out.empty()) {
+      out += " + ";
+    }
+    if (t.coef != 1) {
+      out += std::to_string(t.coef) + "*";
+    }
+    if (t.mirrored) {
+      out += "(M - " + var_name(t.var) + ")";
+    } else {
+      out += var_name(t.var);
+    }
+  }
+  if (out.empty()) {
+    out = "0";
+  }
+  out += " <= " + std::to_string(bound);
+  return out;
+}
+
+Result<CanonicalIneq> Canonicalize(const LinearAtom& atom,
+                                   const std::vector<int64_t>& domain_max) {
+  // Bring to  sum coef*X <= bound  form: for >=, negate both sides.
+  int64_t sign = atom.op == CmpOp::kLe ? 1 : -1;
+  int64_t bound = sign * atom.threshold - sign * atom.expr.offset();
+
+  CanonicalIneq out;
+  for (const LinearExpr::Term& t : atom.expr.terms()) {
+    int64_t coef = sign * t.coef;
+    if (coef == 0) {
+      continue;
+    }
+    if (t.var < 0 || static_cast<size_t>(t.var) >= domain_max.size()) {
+      return InvalidArgumentError(
+          "atom references variable x" + std::to_string(t.var) +
+          " with no declared domain");
+    }
+    int64_t m = domain_max[static_cast<size_t>(t.var)];
+    if (m < 0) {
+      return InvalidArgumentError("negative domain_max for variable x" +
+                                  std::to_string(t.var));
+    }
+    if (coef > 0) {
+      out.terms.push_back(CanonicalIneq::Term{t.var, coef, false});
+    } else {
+      // coef*X == |coef|*(M - X) - |coef|*M; move the constant to the bound.
+      out.terms.push_back(CanonicalIneq::Term{t.var, -coef, true});
+      bound += (-coef) * m;
+    }
+  }
+  out.bound = bound;
+  return out;
+}
+
+}  // namespace dcv

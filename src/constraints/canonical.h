@@ -1,0 +1,58 @@
+#ifndef DCV_CONSTRAINTS_CANONICAL_H_
+#define DCV_CONSTRAINTS_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/normalize.h"
+
+namespace dcv {
+
+/// A linear atom rewritten into the solver's canonical form
+///
+///     sum_i coef_i * Y_i <= bound,   coef_i > 0,
+///
+/// where Y_i is either X_{var_i} itself (`mirrored == false`) or its
+/// reflection M_{var_i} - X_{var_i} (`mirrored == true`). The reflection
+/// eliminates `>=` comparisons and negative coefficients (paper §3.1 assumes
+/// them away; this is the general reduction): an upper bound T on a mirrored
+/// variable is a lower bound M - T on the original.
+struct CanonicalIneq {
+  struct Term {
+    int var;        ///< Original variable index.
+    int64_t coef;   ///< Positive coefficient.
+    bool mirrored;  ///< True when the term is over M_var - X_var.
+
+    friend bool operator==(const Term&, const Term&) = default;
+  };
+
+  std::vector<Term> terms;
+  int64_t bound = 0;
+
+  /// True when the inequality holds for every assignment (no terms and
+  /// bound >= 0): it induces no local constraints.
+  bool IsTriviallyTrue() const { return terms.empty() && bound >= 0; }
+
+  /// True when no assignment satisfies it (no terms and bound < 0, or the
+  /// minimum achievable left-hand side, 0, exceeds bound).
+  bool IsTriviallyFalse() const { return bound < 0; }
+
+  /// Evaluates the canonical inequality on an assignment of the *original*
+  /// variables (mirrored terms are expanded using domain_max).
+  bool Evaluate(const std::vector<int64_t>& assignment,
+                const std::vector<int64_t>& domain_max) const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+};
+
+/// Rewrites `atom` into canonical form over variables with the given domain
+/// maxima (`domain_max[var]` is M_var). Fails when the atom references a
+/// variable without a domain bound.
+Result<CanonicalIneq> Canonicalize(const LinearAtom& atom,
+                                   const std::vector<int64_t>& domain_max);
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_CANONICAL_H_

@@ -1,0 +1,180 @@
+#include "constraints/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dcv {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kMin:
+      return "MIN";
+    case TokenKind::kMax:
+      return "MAX";
+    case TokenKind::kSum:
+      return "SUM";
+    case TokenKind::kAnd:
+      return "'&&'";
+    case TokenKind::kOr:
+      return "'||'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      std::string lit = text.substr(i, j - i);
+      DCV_ASSIGN_OR_RETURN(int64_t value, ParseInt64(lit));
+      tokens.push_back(Token{TokenKind::kInt, lit, value, start});
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      std::string word = text.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      TokenKind kind = TokenKind::kIdent;
+      if (upper == "MIN") {
+        kind = TokenKind::kMin;
+      } else if (upper == "MAX") {
+        kind = TokenKind::kMax;
+      } else if (upper == "SUM") {
+        kind = TokenKind::kSum;
+      } else if (upper == "AND") {
+        kind = TokenKind::kAnd;
+      } else if (upper == "OR") {
+        kind = TokenKind::kOr;
+      }
+      tokens.push_back(Token{kind, word, 0, start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '&':
+        if (i + 1 < text.size() && text[i + 1] == '&') {
+          tokens.push_back(Token{TokenKind::kAnd, "&&", 0, start});
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError("stray '&' at offset " +
+                                    std::to_string(start));
+      case '|':
+        if (i + 1 < text.size() && text[i + 1] == '|') {
+          tokens.push_back(Token{TokenKind::kOr, "||", 0, start});
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError("stray '|' at offset " +
+                                    std::to_string(start));
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(Token{TokenKind::kLe, "<=", 0, start});
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError(
+            "strict '<' is not supported (use '<=') at offset " +
+            std::to_string(start));
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(Token{TokenKind::kGe, ">=", 0, start});
+          i += 2;
+          continue;
+        }
+        return InvalidArgumentError(
+            "strict '>' is not supported (use '>=') at offset " +
+            std::to_string(start));
+      case '+':
+        tokens.push_back(Token{TokenKind::kPlus, "+", 0, start});
+        break;
+      case '-':
+        tokens.push_back(Token{TokenKind::kMinus, "-", 0, start});
+        break;
+      case '*':
+        tokens.push_back(Token{TokenKind::kStar, "*", 0, start});
+        break;
+      case '(':
+        tokens.push_back(Token{TokenKind::kLParen, "(", 0, start});
+        break;
+      case ')':
+        tokens.push_back(Token{TokenKind::kRParen, ")", 0, start});
+        break;
+      case '{':
+        tokens.push_back(Token{TokenKind::kLBrace, "{", 0, start});
+        break;
+      case '}':
+        tokens.push_back(Token{TokenKind::kRBrace, "}", 0, start});
+        break;
+      case ',':
+        tokens.push_back(Token{TokenKind::kComma, ",", 0, start});
+        break;
+      default:
+        return InvalidArgumentError("unexpected character '" +
+                                    std::string(1, c) + "' at offset " +
+                                    std::to_string(start));
+    }
+    ++i;
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, text.size()});
+  return tokens;
+}
+
+}  // namespace dcv

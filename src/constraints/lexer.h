@@ -1,0 +1,50 @@
+#ifndef DCV_CONSTRAINTS_LEXER_H_
+#define DCV_CONSTRAINTS_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dcv {
+
+/// Token kinds of the constraint language.
+enum class TokenKind {
+  kInt,        ///< Non-negative integer literal.
+  kIdent,      ///< Variable name: [A-Za-z_][A-Za-z0-9_]*.
+  kMin,        ///< Keyword MIN.
+  kMax,        ///< Keyword MAX.
+  kSum,        ///< Keyword SUM.
+  kAnd,        ///< "&&" or keyword AND.
+  kOr,         ///< "||" or keyword OR.
+  kLe,         ///< "<=".
+  kGe,         ///< ">=".
+  kPlus,       ///< "+".
+  kMinus,      ///< "-".
+  kStar,       ///< "*".
+  kLParen,     ///< "(".
+  kRParen,     ///< ")".
+  kLBrace,     ///< "{".
+  kRBrace,     ///< "}".
+  kComma,      ///< ",".
+  kEnd,        ///< End of input.
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind;
+  std::string text;    ///< Literal text (identifiers and integers).
+  int64_t int_value;   ///< Parsed value for kInt.
+  size_t offset;       ///< Byte offset in the source string.
+};
+
+/// Tokenizes a constraint string. Keywords MIN/MAX/SUM/AND/OR are
+/// case-insensitive; anything else alphabetic is an identifier.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_LEXER_H_

@@ -1,0 +1,112 @@
+#include "constraints/linear_expr.h"
+
+#include <algorithm>
+
+namespace dcv {
+
+LinearExpr LinearExpr::FromTerm(int var, int64_t coef) {
+  LinearExpr e;
+  e.AddTerm(var, coef);
+  return e;
+}
+
+LinearExpr LinearExpr::FromConstant(int64_t offset) {
+  LinearExpr e;
+  e.offset_ = offset;
+  return e;
+}
+
+void LinearExpr::AddTerm(int var, int64_t coef) {
+  if (coef == 0) {
+    return;
+  }
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const Term& t, int v) { return t.var < v; });
+  if (it != terms_.end() && it->var == var) {
+    it->coef += coef;
+    if (it->coef == 0) {
+      terms_.erase(it);
+    }
+  } else {
+    terms_.insert(it, Term{var, coef});
+  }
+}
+
+void LinearExpr::Add(const LinearExpr& other) {
+  for (const Term& t : other.terms_) {
+    AddTerm(t.var, t.coef);
+  }
+  offset_ += other.offset_;
+}
+
+void LinearExpr::Scale(int64_t factor) {
+  if (factor == 0) {
+    terms_.clear();
+    offset_ = 0;
+    return;
+  }
+  for (Term& t : terms_) {
+    t.coef *= factor;
+  }
+  offset_ *= factor;
+}
+
+int64_t LinearExpr::Evaluate(const std::vector<int64_t>& assignment) const {
+  int64_t value = offset_;
+  for (const Term& t : terms_) {
+    if (t.var >= 0 && static_cast<size_t>(t.var) < assignment.size()) {
+      value += t.coef * assignment[static_cast<size_t>(t.var)];
+    }
+  }
+  return value;
+}
+
+int64_t LinearExpr::CoefficientOf(int var) const {
+  auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), var,
+      [](const Term& t, int v) { return t.var < v; });
+  if (it != terms_.end() && it->var == var) {
+    return it->coef;
+  }
+  return 0;
+}
+
+std::string LinearExpr::ToString(
+    const std::vector<std::string>* names) const {
+  std::string out;
+  auto var_name = [&](int var) -> std::string {
+    if (names != nullptr && var >= 0 &&
+        static_cast<size_t>(var) < names->size()) {
+      return (*names)[static_cast<size_t>(var)];
+    }
+    return "x" + std::to_string(var);
+  };
+  for (const Term& t : terms_) {
+    int64_t coef = t.coef;
+    if (out.empty()) {
+      if (coef < 0) {
+        out += "-";
+        coef = -coef;
+      }
+    } else {
+      out += (coef < 0) ? " - " : " + ";
+      coef = std::abs(coef);
+    }
+    if (coef != 1) {
+      out += std::to_string(coef) + "*";
+    }
+    out += var_name(t.var);
+  }
+  if (offset_ != 0 || terms_.empty()) {
+    if (out.empty()) {
+      out += std::to_string(offset_);
+    } else {
+      out += (offset_ < 0) ? " - " : " + ";
+      out += std::to_string(std::abs(offset_));
+    }
+  }
+  return out;
+}
+
+}  // namespace dcv

@@ -1,0 +1,72 @@
+#ifndef DCV_CONSTRAINTS_LINEAR_EXPR_H_
+#define DCV_CONSTRAINTS_LINEAR_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dcv {
+
+/// A linear expression  sum_i A_i * X_i + offset  over integer site
+/// variables, stored as sorted (variable index, coefficient) terms with
+/// nonzero coefficients. This is the leaf type of aggregate expressions and
+/// the payload of canonical inequalities.
+class LinearExpr {
+ public:
+  struct Term {
+    int var;          ///< Variable index (site id).
+    int64_t coef;     ///< Nonzero coefficient A_i.
+
+    friend bool operator==(const Term&, const Term&) = default;
+  };
+
+  LinearExpr() = default;
+
+  /// A_i * X_i.
+  static LinearExpr FromTerm(int var, int64_t coef);
+
+  /// A constant expression.
+  static LinearExpr FromConstant(int64_t offset);
+
+  /// Adds `coef * X_var` to this expression, canceling to zero if needed.
+  void AddTerm(int var, int64_t coef);
+
+  /// Adds a constant.
+  void AddConstant(int64_t delta) { offset_ += delta; }
+
+  /// this += other.
+  void Add(const LinearExpr& other);
+
+  /// this *= factor (applied to every coefficient and the offset).
+  void Scale(int64_t factor);
+
+  /// Evaluates with assignment[var] substituted for X_var. Variables beyond
+  /// assignment.size() evaluate as 0.
+  int64_t Evaluate(const std::vector<int64_t>& assignment) const;
+
+  const std::vector<Term>& terms() const { return terms_; }
+  int64_t offset() const { return offset_; }
+  bool is_constant() const { return terms_.empty(); }
+
+  /// Coefficient of X_var (0 when absent).
+  int64_t CoefficientOf(int var) const;
+
+  /// Largest variable index referenced, or -1 for a constant expression.
+  int max_var() const { return terms_.empty() ? -1 : terms_.back().var; }
+
+  /// Human-readable form, e.g. "3*x1 + x2 - 5"; variable names come from
+  /// `names` when provided (by index), else "x<i>".
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+
+  friend bool operator==(const LinearExpr&, const LinearExpr&) = default;
+
+ private:
+  std::vector<Term> terms_;  // Sorted by var, coefficients nonzero.
+  int64_t offset_ = 0;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_LINEAR_EXPR_H_

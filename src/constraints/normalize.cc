@@ -1,0 +1,257 @@
+#include "constraints/normalize.h"
+
+#include <algorithm>
+
+namespace dcv {
+namespace {
+
+// Adds two MIN/MAX-normalized trees (linear leaves), distributing the sum
+// over MIN/MAX children. Grows *node_budget downward; returns error when
+// exhausted.
+Result<AggExpr> AddNormalized(const AggExpr& a, const AggExpr& b,
+                              int64_t* node_budget) {
+  if (*node_budget <= 0) {
+    return ResourceExhaustedError(
+        "SUM/MIN/MAX normalization exceeded the node budget");
+  }
+  if (a.kind() == AggExpr::Kind::kLinear &&
+      b.kind() == AggExpr::Kind::kLinear) {
+    --*node_budget;
+    LinearExpr lin = a.linear();
+    lin.Add(b.linear());
+    return AggExpr::Linear(std::move(lin));
+  }
+  // Distribute over the left tree first, then the right.
+  if (a.kind() == AggExpr::Kind::kMin || a.kind() == AggExpr::Kind::kMax) {
+    std::vector<AggExpr> kids;
+    kids.reserve(a.children().size());
+    for (const AggExpr& c : a.children()) {
+      DCV_ASSIGN_OR_RETURN(AggExpr sum, AddNormalized(c, b, node_budget));
+      kids.push_back(std::move(sum));
+    }
+    --*node_budget;
+    return a.kind() == AggExpr::Kind::kMin ? AggExpr::Min(std::move(kids))
+                                           : AggExpr::Max(std::move(kids));
+  }
+  if (b.kind() == AggExpr::Kind::kMin || b.kind() == AggExpr::Kind::kMax) {
+    std::vector<AggExpr> kids;
+    kids.reserve(b.children().size());
+    for (const AggExpr& c : b.children()) {
+      DCV_ASSIGN_OR_RETURN(AggExpr sum, AddNormalized(a, c, node_budget));
+      kids.push_back(std::move(sum));
+    }
+    --*node_budget;
+    return b.kind() == AggExpr::Kind::kMin ? AggExpr::Min(std::move(kids))
+                                           : AggExpr::Max(std::move(kids));
+  }
+  return InternalError("unexpected SUM node in normalized tree");
+}
+
+Result<AggExpr> PushSumsInsideImpl(const AggExpr& expr,
+                                   int64_t* node_budget) {
+  if (*node_budget <= 0) {
+    return ResourceExhaustedError(
+        "SUM/MIN/MAX normalization exceeded the node budget");
+  }
+  switch (expr.kind()) {
+    case AggExpr::Kind::kLinear:
+      --*node_budget;
+      return expr;
+    case AggExpr::Kind::kMin:
+    case AggExpr::Kind::kMax: {
+      std::vector<AggExpr> kids;
+      for (const AggExpr& c : expr.children()) {
+        DCV_ASSIGN_OR_RETURN(AggExpr norm, PushSumsInsideImpl(c, node_budget));
+        // Flatten MIN{MIN{..},..} to keep trees small.
+        if (norm.kind() == expr.kind()) {
+          for (const AggExpr& g : norm.children()) {
+            kids.push_back(g);
+          }
+        } else {
+          kids.push_back(std::move(norm));
+        }
+      }
+      --*node_budget;
+      return expr.kind() == AggExpr::Kind::kMin
+                 ? AggExpr::Min(std::move(kids))
+                 : AggExpr::Max(std::move(kids));
+    }
+    case AggExpr::Kind::kSum: {
+      DCV_ASSIGN_OR_RETURN(
+          AggExpr acc, PushSumsInsideImpl(expr.children().front(), node_budget));
+      for (size_t i = 1; i < expr.children().size(); ++i) {
+        DCV_ASSIGN_OR_RETURN(
+            AggExpr next, PushSumsInsideImpl(expr.children()[i], node_budget));
+        DCV_ASSIGN_OR_RETURN(acc, AddNormalized(acc, next, node_budget));
+      }
+      return acc;
+    }
+  }
+  return InternalError("unknown aggregate kind");
+}
+
+// Turns a MIN/MAX-normalized atom into a boolean tree over linear atoms.
+Result<BoolExpr> AtomTreeToBool(const AggExpr& tree, CmpOp op,
+                                int64_t threshold, int64_t* node_budget) {
+  if (*node_budget <= 0) {
+    return ResourceExhaustedError(
+        "MIN/MAX elimination exceeded the node budget");
+  }
+  --*node_budget;
+  if (tree.kind() == AggExpr::Kind::kLinear) {
+    return BoolExpr::Atom(tree, op, threshold);
+  }
+  std::vector<BoolExpr> kids;
+  kids.reserve(tree.children().size());
+  for (const AggExpr& c : tree.children()) {
+    DCV_ASSIGN_OR_RETURN(BoolExpr b,
+                         AtomTreeToBool(c, op, threshold, node_budget));
+    kids.push_back(std::move(b));
+  }
+  // MIN <= T is a disjunction, MAX <= T a conjunction; duals for >=.
+  bool disjunctive = (tree.kind() == AggExpr::Kind::kMin) == (op == CmpOp::kLe);
+  return disjunctive ? BoolExpr::Or(std::move(kids))
+                     : BoolExpr::And(std::move(kids));
+}
+
+Result<BoolExpr> EliminateMinMaxImpl(const BoolExpr& expr,
+                                     int64_t* node_budget) {
+  if (*node_budget <= 0) {
+    return ResourceExhaustedError(
+        "MIN/MAX elimination exceeded the node budget");
+  }
+  switch (expr.kind()) {
+    case BoolExpr::Kind::kAtom: {
+      DCV_ASSIGN_OR_RETURN(AggExpr normalized,
+                           PushSumsInsideImpl(expr.agg(), node_budget));
+      return AtomTreeToBool(normalized, expr.op(), expr.threshold(),
+                            node_budget);
+    }
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      std::vector<BoolExpr> kids;
+      kids.reserve(expr.children().size());
+      for (const BoolExpr& c : expr.children()) {
+        DCV_ASSIGN_OR_RETURN(BoolExpr b, EliminateMinMaxImpl(c, node_budget));
+        kids.push_back(std::move(b));
+      }
+      --*node_budget;
+      return expr.kind() == BoolExpr::Kind::kAnd
+                 ? BoolExpr::And(std::move(kids))
+                 : BoolExpr::Or(std::move(kids));
+    }
+  }
+  return InternalError("unknown boolean kind");
+}
+
+// CNF of a linear-atom boolean tree by distribution.
+Result<std::vector<Clause>> ToClauses(const BoolExpr& expr,
+                                      const NormalizeOptions& options) {
+  switch (expr.kind()) {
+    case BoolExpr::Kind::kAtom: {
+      Clause c;
+      c.atoms.push_back(
+          LinearAtom{expr.agg().linear(), expr.op(), expr.threshold()});
+      return std::vector<Clause>{std::move(c)};
+    }
+    case BoolExpr::Kind::kAnd: {
+      std::vector<Clause> out;
+      for (const BoolExpr& child : expr.children()) {
+        DCV_ASSIGN_OR_RETURN(auto sub, ToClauses(child, options));
+        for (auto& c : sub) {
+          out.push_back(std::move(c));
+        }
+        if (out.size() > options.max_clauses) {
+          return ResourceExhaustedError("CNF clause limit exceeded");
+        }
+      }
+      return out;
+    }
+    case BoolExpr::Kind::kOr: {
+      // Cross product of the children's clause sets.
+      std::vector<Clause> acc{Clause{}};
+      for (const BoolExpr& child : expr.children()) {
+        DCV_ASSIGN_OR_RETURN(auto sub, ToClauses(child, options));
+        std::vector<Clause> next;
+        next.reserve(acc.size() * sub.size());
+        if (acc.size() * sub.size() > options.max_clauses) {
+          return ResourceExhaustedError("CNF clause limit exceeded");
+        }
+        for (const Clause& a : acc) {
+          for (const Clause& b : sub) {
+            Clause merged = a;
+            merged.atoms.insert(merged.atoms.end(), b.atoms.begin(),
+                                b.atoms.end());
+            if (merged.atoms.size() > options.max_atoms_per_clause) {
+              return ResourceExhaustedError("CNF clause width limit exceeded");
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return InternalError("unknown boolean kind");
+}
+
+}  // namespace
+
+std::string LinearAtom::ToString(
+    const std::vector<std::string>* names) const {
+  return expr.ToString(names) + " " + std::string(CmpOpName(op)) + " " +
+         std::to_string(threshold);
+}
+
+int CnfConstraint::max_var() const {
+  int best = -1;
+  for (const Clause& c : clauses) {
+    for (const LinearAtom& a : c.atoms) {
+      best = std::max(best, a.expr.max_var());
+    }
+  }
+  return best;
+}
+
+std::string CnfConstraint::ToString(
+    const std::vector<std::string>* names) const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) {
+      out += " && ";
+    }
+    out += "(";
+    for (size_t j = 0; j < clauses[i].atoms.size(); ++j) {
+      if (j > 0) {
+        out += " || ";
+      }
+      out += clauses[i].atoms[j].ToString(names);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Result<AggExpr> PushSumsInside(const AggExpr& expr,
+                               const NormalizeOptions& options) {
+  int64_t budget = static_cast<int64_t>(options.max_nodes);
+  return PushSumsInsideImpl(expr, &budget);
+}
+
+Result<BoolExpr> EliminateMinMax(const BoolExpr& expr,
+                                 const NormalizeOptions& options) {
+  int64_t budget = static_cast<int64_t>(options.max_nodes);
+  return EliminateMinMaxImpl(expr, &budget);
+}
+
+Result<CnfConstraint> ToCnf(const BoolExpr& expr,
+                            const NormalizeOptions& options) {
+  DCV_ASSIGN_OR_RETURN(BoolExpr linearized, EliminateMinMax(expr, options));
+  DCV_ASSIGN_OR_RETURN(auto clauses, ToClauses(linearized, options));
+  CnfConstraint out;
+  out.clauses = std::move(clauses);
+  return out;
+}
+
+}  // namespace dcv

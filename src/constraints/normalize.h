@@ -1,0 +1,91 @@
+#ifndef DCV_CONSTRAINTS_NORMALIZE_H_
+#define DCV_CONSTRAINTS_NORMALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/ast.h"
+
+namespace dcv {
+
+/// An atomic linear condition `expr op threshold` with a purely linear
+/// left-hand side — the leaves of the paper's boolean constraint form
+/// ∧_j (∨_k E_{j,k} ≤ T̂_{j,k}) (§5).
+struct LinearAtom {
+  LinearExpr expr;
+  CmpOp op = CmpOp::kLe;
+  int64_t threshold = 0;
+
+  bool Evaluate(const std::vector<int64_t>& assignment) const {
+    int64_t v = expr.Evaluate(assignment);
+    return op == CmpOp::kLe ? v <= threshold : v >= threshold;
+  }
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+};
+
+/// A disjunction of linear atoms.
+struct Clause {
+  std::vector<LinearAtom> atoms;
+
+  bool Evaluate(const std::vector<int64_t>& assignment) const {
+    for (const LinearAtom& a : atoms) {
+      if (a.Evaluate(assignment)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Conjunctive normal form of a global constraint: AND over clauses, each a
+/// disjunction of linear atoms. This is the input format of the boolean
+/// threshold solver (§5.4).
+struct CnfConstraint {
+  std::vector<Clause> clauses;
+
+  bool Evaluate(const std::vector<int64_t>& assignment) const {
+    for (const Clause& c : clauses) {
+      if (!c.Evaluate(assignment)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Largest variable index referenced, or -1.
+  int max_var() const;
+
+  std::string ToString(const std::vector<std::string>* names = nullptr) const;
+};
+
+/// Blow-up guards for the (worst-case exponential, §5.1) rewrites.
+struct NormalizeOptions {
+  size_t max_nodes = 200000;         ///< Cap on intermediate tree size.
+  size_t max_clauses = 100000;       ///< Cap on CNF clause count.
+  size_t max_atoms_per_clause = 10000;
+};
+
+/// Pushes SUM inside MIN/MAX (paper §5.1: A + MIN{B, C} == MIN{A+B, A+C}),
+/// returning an equivalent tree whose internal nodes are only MIN/MAX and
+/// whose leaves are linear. Fails with ResourceExhausted when the rewrite
+/// exceeds options.max_nodes.
+Result<AggExpr> PushSumsInside(const AggExpr& expr,
+                               const NormalizeOptions& options = {});
+
+/// Rewrites every atom's MIN/MAX into conjunctions/disjunctions
+/// (MIN{A,B} <= T  ==  A<=T || B<=T;  MAX{A,B} <= T  ==  A<=T && B<=T; the
+/// duals hold for >=), returning a boolean tree whose atoms are all linear.
+Result<BoolExpr> EliminateMinMax(const BoolExpr& expr,
+                                 const NormalizeOptions& options = {});
+
+/// Full pipeline: EliminateMinMax then distribute to CNF. The result
+/// evaluates identically to `expr` on every assignment.
+Result<CnfConstraint> ToCnf(const BoolExpr& expr,
+                            const NormalizeOptions& options = {});
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_NORMALIZE_H_

@@ -1,0 +1,305 @@
+#include "constraints/parser.h"
+
+#include <utility>
+
+#include "constraints/lexer.h"
+
+namespace dcv {
+namespace {
+
+/// Scales an aggregate expression by an integer factor. Negative factors
+/// swap MIN and MAX (min(a,b) * -c == max(-a*c, -b*c)).
+AggExpr ScaleAgg(AggExpr expr, int64_t factor) {
+  if (factor == 0) {
+    return AggExpr::Linear(LinearExpr());
+  }
+  switch (expr.kind()) {
+    case AggExpr::Kind::kLinear: {
+      LinearExpr lin = expr.linear();
+      lin.Scale(factor);
+      return AggExpr::Linear(std::move(lin));
+    }
+    case AggExpr::Kind::kSum: {
+      std::vector<AggExpr> kids;
+      kids.reserve(expr.children().size());
+      for (const AggExpr& c : expr.children()) {
+        kids.push_back(ScaleAgg(c, factor));
+      }
+      return AggExpr::Sum(std::move(kids));
+    }
+    case AggExpr::Kind::kMin:
+    case AggExpr::Kind::kMax: {
+      std::vector<AggExpr> kids;
+      kids.reserve(expr.children().size());
+      for (const AggExpr& c : expr.children()) {
+        kids.push_back(ScaleAgg(c, factor));
+      }
+      bool is_min = expr.kind() == AggExpr::Kind::kMin;
+      if (factor < 0) {
+        is_min = !is_min;
+      }
+      return is_min ? AggExpr::Min(std::move(kids))
+                    : AggExpr::Max(std::move(kids));
+    }
+  }
+  return expr;
+}
+
+/// Adds two aggregate expressions, merging linear leaves where possible.
+AggExpr AddAgg(AggExpr a, AggExpr b) {
+  if (a.kind() == AggExpr::Kind::kLinear &&
+      b.kind() == AggExpr::Kind::kLinear) {
+    LinearExpr lin = a.linear();
+    lin.Add(b.linear());
+    return AggExpr::Linear(std::move(lin));
+  }
+  std::vector<AggExpr> kids;
+  // Flatten nested sums for compactness.
+  if (a.kind() == AggExpr::Kind::kSum) {
+    kids = a.children();
+  } else {
+    kids.push_back(std::move(a));
+  }
+  if (b.kind() == AggExpr::Kind::kSum) {
+    for (const AggExpr& c : b.children()) {
+      kids.push_back(c);
+    }
+  } else {
+    kids.push_back(std::move(b));
+  }
+  return AggExpr::Sum(std::move(kids));
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::vector<std::string> var_names,
+         bool allow_new_vars)
+      : tokens_(std::move(tokens)),
+        var_names_(std::move(var_names)),
+        allow_new_vars_(allow_new_vars) {}
+
+  Result<BoolExpr> Parse() {
+    DCV_ASSIGN_OR_RETURN(BoolExpr expr, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Unexpected("end of input");
+    }
+    return expr;
+  }
+
+  std::vector<std::string> TakeVarNames() { return std::move(var_names_); }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (!Match(kind)) {
+      return InvalidArgumentError(
+          "expected " + std::string(TokenKindName(kind)) + " but found " +
+          std::string(TokenKindName(Peek().kind)) + " at offset " +
+          std::to_string(Peek().offset));
+    }
+    return OkStatus();
+  }
+
+  Status Unexpected(const std::string& wanted) {
+    return InvalidArgumentError(
+        "expected " + wanted + " but found " +
+        std::string(TokenKindName(Peek().kind)) + " at offset " +
+        std::to_string(Peek().offset));
+  }
+
+  Result<int> ResolveVar(const std::string& name, size_t offset) {
+    for (size_t i = 0; i < var_names_.size(); ++i) {
+      if (var_names_[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    if (!allow_new_vars_) {
+      return InvalidArgumentError("unknown variable '" + name +
+                                  "' at offset " + std::to_string(offset));
+    }
+    var_names_.push_back(name);
+    return static_cast<int>(var_names_.size() - 1);
+  }
+
+  Result<BoolExpr> ParseOr() {
+    DCV_ASSIGN_OR_RETURN(BoolExpr first, ParseAnd());
+    std::vector<BoolExpr> children;
+    children.push_back(std::move(first));
+    while (Match(TokenKind::kOr)) {
+      DCV_ASSIGN_OR_RETURN(BoolExpr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) {
+      return std::move(children.front());
+    }
+    return BoolExpr::Or(std::move(children));
+  }
+
+  Result<BoolExpr> ParseAnd() {
+    DCV_ASSIGN_OR_RETURN(BoolExpr first, ParsePrimary());
+    std::vector<BoolExpr> children;
+    children.push_back(std::move(first));
+    while (Match(TokenKind::kAnd)) {
+      DCV_ASSIGN_OR_RETURN(BoolExpr next, ParsePrimary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) {
+      return std::move(children.front());
+    }
+    return BoolExpr::And(std::move(children));
+  }
+
+  Result<BoolExpr> ParsePrimary() {
+    // A '(' is ambiguous: it may group a boolean expression or an arithmetic
+    // one. Try the atom interpretation first and backtrack on failure.
+    size_t saved_pos = pos_;
+    size_t saved_vars = var_names_.size();
+    Result<BoolExpr> atom = ParseAtom();
+    if (atom.ok()) {
+      return atom;
+    }
+    pos_ = saved_pos;
+    var_names_.resize(saved_vars);
+    if (Match(TokenKind::kLParen)) {
+      DCV_ASSIGN_OR_RETURN(BoolExpr inner, ParseOr());
+      DCV_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    // Neither parse worked; surface the atom error, which is usually the
+    // more informative one.
+    return atom;
+  }
+
+  Result<BoolExpr> ParseAtom() {
+    DCV_ASSIGN_OR_RETURN(AggExpr agg, ParseAgg());
+    CmpOp op;
+    if (Match(TokenKind::kLe)) {
+      op = CmpOp::kLe;
+    } else if (Match(TokenKind::kGe)) {
+      op = CmpOp::kGe;
+    } else {
+      return Unexpected("'<=' or '>='");
+    }
+    bool negative = Match(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kInt) {
+      return Unexpected("integer threshold");
+    }
+    int64_t threshold = Advance().int_value;
+    if (negative) {
+      threshold = -threshold;
+    }
+    return BoolExpr::Atom(std::move(agg), op, threshold);
+  }
+
+  Result<AggExpr> ParseAgg() {
+    bool negate = Match(TokenKind::kMinus);
+    DCV_ASSIGN_OR_RETURN(AggExpr acc, ParseTerm());
+    if (negate) {
+      acc = ScaleAgg(std::move(acc), -1);
+    }
+    for (;;) {
+      if (Match(TokenKind::kPlus)) {
+        DCV_ASSIGN_OR_RETURN(AggExpr next, ParseTerm());
+        acc = AddAgg(std::move(acc), std::move(next));
+      } else if (Match(TokenKind::kMinus)) {
+        DCV_ASSIGN_OR_RETURN(AggExpr next, ParseTerm());
+        acc = AddAgg(std::move(acc), ScaleAgg(std::move(next), -1));
+      } else {
+        break;
+      }
+    }
+    return acc;
+  }
+
+  Result<AggExpr> ParseTerm() {
+    if (Peek().kind == TokenKind::kInt) {
+      int64_t coef = Advance().int_value;
+      // Optional '*' then a factor; a bare integer is a constant.
+      bool has_star = Match(TokenKind::kStar);
+      TokenKind next = Peek().kind;
+      bool factor_follows =
+          has_star || next == TokenKind::kIdent || next == TokenKind::kMin ||
+          next == TokenKind::kMax || next == TokenKind::kSum ||
+          next == TokenKind::kLParen;
+      if (!factor_follows) {
+        return AggExpr::Linear(LinearExpr::FromConstant(coef));
+      }
+      DCV_ASSIGN_OR_RETURN(AggExpr factor, ParseFactor());
+      return ScaleAgg(std::move(factor), coef);
+    }
+    return ParseFactor();
+  }
+
+  Result<AggExpr> ParseFactor() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kIdent: {
+        Token t = Advance();
+        DCV_ASSIGN_OR_RETURN(int var, ResolveVar(t.text, t.offset));
+        return AggExpr::Linear(LinearExpr::FromTerm(var, 1));
+      }
+      case TokenKind::kMin:
+      case TokenKind::kMax:
+      case TokenKind::kSum: {
+        TokenKind func = Advance().kind;
+        DCV_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+        std::vector<AggExpr> args;
+        do {
+          DCV_ASSIGN_OR_RETURN(AggExpr arg, ParseAgg());
+          args.push_back(std::move(arg));
+        } while (Match(TokenKind::kComma));
+        DCV_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+        if (func == TokenKind::kMin) {
+          return AggExpr::Min(std::move(args));
+        }
+        if (func == TokenKind::kMax) {
+          return AggExpr::Max(std::move(args));
+        }
+        return AggExpr::Sum(std::move(args));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        DCV_ASSIGN_OR_RETURN(AggExpr inner, ParseAgg());
+        DCV_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return inner;
+      }
+      default:
+        return Unexpected("variable, aggregate, or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<std::string> var_names_;
+  bool allow_new_vars_;
+};
+
+}  // namespace
+
+Result<ParsedConstraint> ParseConstraint(const std::string& text) {
+  DCV_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens), {}, /*allow_new_vars=*/true);
+  DCV_ASSIGN_OR_RETURN(BoolExpr expr, parser.Parse());
+  ParsedConstraint out{std::move(expr), parser.TakeVarNames()};
+  return out;
+}
+
+Result<BoolExpr> ParseConstraintWithVars(
+    const std::string& text, const std::vector<std::string>& var_names) {
+  DCV_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens), var_names, /*allow_new_vars=*/false);
+  return parser.Parse();
+}
+
+}  // namespace dcv

@@ -1,0 +1,46 @@
+#ifndef DCV_CONSTRAINTS_PARSER_H_
+#define DCV_CONSTRAINTS_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/ast.h"
+
+namespace dcv {
+
+/// A parsed global constraint plus the variable-name table. Variables are
+/// assigned indices in order of first appearance in the source text;
+/// `var_names[i]` is the name of variable i.
+struct ParsedConstraint {
+  BoolExpr expr;
+  std::vector<std::string> var_names;
+
+  /// Number of distinct variables.
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+};
+
+/// Parses the constraint language of the paper (§3.1):
+///
+///   constraint := or_expr
+///   or_expr    := and_expr (('||' | OR) and_expr)*
+///   and_expr   := primary (('&&' | AND) primary)*
+///   primary    := atom | '(' or_expr ')'
+///   atom       := agg ('<=' | '>=') ['-'] INT
+///   agg        := ['-'] term (('+' | '-') term)*
+///   term       := INT ['*'] factor | INT | factor
+///   factor     := IDENT | (MIN|MAX|SUM) '{' agg (',' agg)* '}' | '(' agg ')'
+///
+/// AND binds tighter than OR. Keywords are case-insensitive. Example:
+///   ((3*x1 + x2 >= 1) || (MIN{x1, 2*x3 - x2} <= 5)) && (x1 + MAX{3*x2, x3} >= 4)
+Result<ParsedConstraint> ParseConstraint(const std::string& text);
+
+/// Like ParseConstraint but resolves identifiers against a fixed name table;
+/// unknown identifiers are an error. Useful when the variable order is
+/// dictated by an existing deployment (site ids).
+Result<BoolExpr> ParseConstraintWithVars(
+    const std::string& text, const std::vector<std::string>& var_names);
+
+}  // namespace dcv
+
+#endif  // DCV_CONSTRAINTS_PARSER_H_

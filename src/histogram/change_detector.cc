@@ -1,0 +1,105 @@
+#include "histogram/change_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dcv {
+
+Result<double> KsStatistic(std::vector<int64_t> a, std::vector<int64_t> b) {
+  if (a.empty() || b.empty()) {
+    return InvalidArgumentError("KS statistic needs nonempty samples");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  size_t i = 0;
+  size_t j = 0;
+  double max_gap = 0.0;
+  while (i < a.size() && j < b.size()) {
+    int64_t v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == v) {
+      ++i;
+    }
+    while (j < b.size() && b[j] == v) {
+      ++j;
+    }
+    double fa = static_cast<double>(i) / na;
+    double fb = static_cast<double>(j) / nb;
+    max_gap = std::max(max_gap, std::fabs(fa - fb));
+  }
+  return max_gap;
+}
+
+double KsCriticalValue(size_t n, size_t m, double alpha) {
+  DCV_CHECK(n > 0 && m > 0) << "KS critical value needs positive sizes";
+  DCV_CHECK(alpha > 0.0 && alpha < 1.0) << "alpha must be in (0,1)";
+  double c = std::sqrt(-std::log(alpha / 2.0) / 2.0);
+  double nn = static_cast<double>(n);
+  double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
+ChangeDetector::ChangeDetector(Options options) : options_(options) {
+  DCV_CHECK(options_.window_size >= 2) << "window_size must be >= 2";
+}
+
+void ChangeDetector::Reset(std::vector<int64_t> reference) {
+  reference_ = std::move(reference);
+  std::sort(reference_.begin(), reference_.end());
+  current_.clear();
+  last_distance_ = 0.0;
+  since_last_alarm_ = 0;
+}
+
+double ChangeDetector::threshold() const {
+  size_t n = reference_.empty() ? options_.window_size : reference_.size();
+  return KsCriticalValue(n, options_.window_size, options_.alpha);
+}
+
+bool ChangeDetector::Observe(int64_t value) {
+  current_.push_back(value);
+  if (current_.size() > options_.window_size) {
+    current_.pop_front();
+  }
+  ++since_last_alarm_;
+  if (reference_.empty() || current_.size() < options_.window_size ||
+      since_last_alarm_ < options_.cooldown) {
+    return false;
+  }
+  // Two-pointer KS against the (already sorted) reference.
+  std::vector<int64_t> cur(current_.begin(), current_.end());
+  std::sort(cur.begin(), cur.end());
+  double na = static_cast<double>(reference_.size());
+  double nb = static_cast<double>(cur.size());
+  size_t i = 0;
+  size_t j = 0;
+  double max_gap = 0.0;
+  while (i < reference_.size() && j < cur.size()) {
+    int64_t v = std::min(reference_[i], cur[j]);
+    while (i < reference_.size() && reference_[i] == v) {
+      ++i;
+    }
+    while (j < cur.size() && cur[j] == v) {
+      ++j;
+    }
+    double fa = static_cast<double>(i) / na;
+    double fb = static_cast<double>(j) / nb;
+    max_gap = std::max(max_gap, std::fabs(fa - fb));
+  }
+  last_distance_ = max_gap;
+  if (max_gap > threshold()) {
+    ++num_alarms_;
+    since_last_alarm_ = 0;
+    return true;
+  }
+  return false;
+}
+
+std::vector<int64_t> ChangeDetector::CurrentWindow() const {
+  return std::vector<int64_t>(current_.begin(), current_.end());
+}
+
+}  // namespace dcv

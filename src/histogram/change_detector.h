@@ -1,0 +1,77 @@
+#ifndef DCV_HISTOGRAM_CHANGE_DETECTOR_H_
+#define DCV_HISTOGRAM_CHANGE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dcv {
+
+/// Two-sample Kolmogorov-Smirnov statistic between empirical CDFs:
+/// sup_v |F_a(v) - F_b(v)|. Both samples may be unsorted. Returns a value
+/// in [0, 1]; fails when either sample is empty.
+Result<double> KsStatistic(std::vector<int64_t> a, std::vector<int64_t> b);
+
+/// Critical KS distance at significance alpha for sample sizes (n, m):
+/// c(alpha) * sqrt((n + m) / (n * m)), with the standard asymptotic
+/// c(alpha) = sqrt(-ln(alpha / 2) / 2).
+double KsCriticalValue(size_t n, size_t m, double alpha);
+
+/// Streaming distribution-change detector in the style of Kifer, Ben-David &
+/// Gehrke (VLDB'04), cited by the paper (§3.2, [17]) as the trigger for
+/// recomputing per-site histograms and local thresholds.
+///
+/// It keeps a *reference window* (a snapshot of the distribution at the last
+/// reset) and a *current window* (the most recent `window_size`
+/// observations). Once the current window is full, every new observation
+/// recomputes the KS distance between the two windows; when it exceeds the
+/// critical value at the configured significance, a change is reported.
+/// Callers typically respond by rebuilding their histogram and calling
+/// `Reset` with fresh data.
+class ChangeDetector {
+ public:
+  struct Options {
+    size_t window_size = 256;  ///< Observations per window.
+    double alpha = 0.001;      ///< KS significance level (lower = less
+                               ///< sensitive).
+    /// Minimum observations between consecutive alarms, to avoid re-firing
+    /// while the caller's rebuild is in flight.
+    size_t cooldown = 64;
+  };
+
+  explicit ChangeDetector(Options options);
+
+  /// Seeds the reference window and clears the current one. Typically called
+  /// with the data that built the current histogram.
+  void Reset(std::vector<int64_t> reference);
+
+  /// Feeds one observation; returns true when a distribution change is
+  /// detected at this observation.
+  bool Observe(int64_t value);
+
+  /// Most recent KS distance computed (0 before the first full comparison).
+  double last_distance() const { return last_distance_; }
+
+  /// The detection threshold currently in force.
+  double threshold() const;
+
+  /// Number of change alarms raised since construction.
+  int64_t num_alarms() const { return num_alarms_; }
+
+  /// Contents of the current window (most recent observations).
+  std::vector<int64_t> CurrentWindow() const;
+
+ private:
+  Options options_;
+  std::vector<int64_t> reference_;  // Sorted.
+  std::deque<int64_t> current_;
+  double last_distance_ = 0.0;
+  int64_t num_alarms_ = 0;
+  size_t since_last_alarm_ = 0;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_CHANGE_DETECTOR_H_

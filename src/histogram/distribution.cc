@@ -1,0 +1,23 @@
+#include "histogram/distribution.h"
+
+namespace dcv {
+
+int64_t DistributionModel::MinValueWithCumAtLeast(double target) const {
+  int64_t max = domain_max();
+  if (CumulativeAt(max) < target) {
+    return max + 1;
+  }
+  int64_t lo = 0;
+  int64_t hi = max;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (CumulativeAt(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dcv

@@ -1,0 +1,46 @@
+#ifndef DCV_HISTOGRAM_DISTRIBUTION_H_
+#define DCV_HISTOGRAM_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace dcv {
+
+/// A cumulative-frequency model F for one site variable X over the integer
+/// domain [0, M]. This is the interface the threshold-selection algorithms
+/// consume (paper §3.2): F(v) is the (possibly interpolated) number of past
+/// observations with value <= v, F is non-decreasing, and F(M) is the total
+/// observation weight.
+///
+/// Implementations: exact empirical CDFs, equi-width histograms, equi-depth
+/// histograms, and sketch-backed models.
+class DistributionModel {
+ public:
+  virtual ~DistributionModel() = default;
+
+  /// Domain upper bound M (inclusive). X takes values in [0, M].
+  virtual int64_t domain_max() const = 0;
+
+  /// Total observation weight, == CumulativeAt(domain_max()).
+  virtual double total_weight() const = 0;
+
+  /// F(v): cumulative frequency of observations <= v. Monotone
+  /// non-decreasing in v. Values below 0 yield 0; values above M yield
+  /// total_weight().
+  virtual double CumulativeAt(int64_t v) const = 0;
+
+  /// P(X <= v) = F(v) / F(M); 0 when the model is empty.
+  double ProbabilityAtMost(int64_t v) const {
+    double total = total_weight();
+    return total > 0.0 ? CumulativeAt(v) / total : 0.0;
+  }
+
+  /// Smallest v in [0, M] with F(v) >= target, or M + 1 when even F(M) falls
+  /// short. Binary search over CumulativeAt; O(log M). Implementations with
+  /// cheaper inverses may override.
+  virtual int64_t MinValueWithCumAtLeast(double target) const;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_DISTRIBUTION_H_

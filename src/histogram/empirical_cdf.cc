@@ -1,0 +1,46 @@
+#include "histogram/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dcv {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<int64_t> observations,
+                           int64_t domain_max)
+    : sorted_(std::move(observations)), domain_max_(domain_max) {
+  for (auto& v : sorted_) {
+    v = Clamp<int64_t>(v, 0, domain_max_);
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::CumulativeAt(int64_t v) const {
+  if (v < 0) {
+    return 0.0;
+  }
+  if (v >= domain_max_) {
+    return static_cast<double>(sorted_.size());
+  }
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), v);
+  return static_cast<double>(it - sorted_.begin());
+}
+
+int64_t EmpiricalCdf::MinValueWithCumAtLeast(double target) const {
+  if (target <= 0.0) {
+    return 0;
+  }
+  double total = static_cast<double>(sorted_.size());
+  if (total < target) {
+    return domain_max_ + 1;
+  }
+  // The k-th order statistic (1-based) is the smallest v with F(v) >= k.
+  size_t k = static_cast<size_t>(std::ceil(target));
+  if (k == 0) {
+    return 0;
+  }
+  return sorted_[k - 1];
+}
+
+}  // namespace dcv

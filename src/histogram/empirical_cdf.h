@@ -1,0 +1,38 @@
+#ifndef DCV_HISTOGRAM_EMPIRICAL_CDF_H_
+#define DCV_HISTOGRAM_EMPIRICAL_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "histogram/distribution.h"
+
+namespace dcv {
+
+/// The exact empirical CDF of a sample set: F(v) = #{x_i <= v}. This keeps
+/// every observation (sorted), so it is the ground-truth model used by tests
+/// and by the "how good is a coarse histogram" ablation; production code
+/// should prefer the histogram models.
+class EmpiricalCdf : public DistributionModel {
+ public:
+  /// Builds from raw observations (clamped to [0, +inf)); `domain_max` is
+  /// the declared M. Observations above M are clamped to M.
+  EmpiricalCdf(std::vector<int64_t> observations, int64_t domain_max);
+
+  int64_t domain_max() const override { return domain_max_; }
+  double total_weight() const override {
+    return static_cast<double>(sorted_.size());
+  }
+  double CumulativeAt(int64_t v) const override;
+  int64_t MinValueWithCumAtLeast(double target) const override;
+
+  /// Number of stored observations.
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<int64_t> sorted_;
+  int64_t domain_max_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_EMPIRICAL_CDF_H_

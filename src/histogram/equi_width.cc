@@ -1,0 +1,87 @@
+#include "histogram/equi_width.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dcv {
+
+Result<EquiWidthHistogram> EquiWidthHistogram::Create(int64_t domain_max,
+                                                      int num_buckets) {
+  if (num_buckets < 1) {
+    return InvalidArgumentError("equi-width histogram needs >= 1 bucket");
+  }
+  if (domain_max < 0) {
+    return InvalidArgumentError("domain_max must be non-negative");
+  }
+  // More buckets than distinct values is harmless but wasteful; clamp.
+  int64_t distinct = domain_max + 1;
+  if (static_cast<int64_t>(num_buckets) > distinct) {
+    num_buckets = static_cast<int>(distinct);
+  }
+  return EquiWidthHistogram(domain_max, num_buckets);
+}
+
+EquiWidthHistogram::EquiWidthHistogram(int64_t domain_max, int num_buckets)
+    : domain_max_(domain_max), counts_(static_cast<size_t>(num_buckets), 0.0) {}
+
+int EquiWidthHistogram::BucketFor(int64_t value) const {
+  int64_t b = static_cast<int64_t>(counts_.size()) * value / (domain_max_ + 1);
+  return static_cast<int>(Clamp<int64_t>(
+      b, 0, static_cast<int64_t>(counts_.size()) - 1));
+}
+
+int64_t EquiWidthHistogram::BucketLo(int b) const {
+  return CeilDiv(static_cast<int64_t>(b) * (domain_max_ + 1),
+                 static_cast<int64_t>(counts_.size()));
+}
+
+int64_t EquiWidthHistogram::BucketHi(int b) const {
+  if (b + 1 == static_cast<int>(counts_.size())) {
+    return domain_max_;
+  }
+  return BucketLo(b + 1) - 1;
+}
+
+void EquiWidthHistogram::Add(int64_t value) { AddWeighted(value, 1.0); }
+
+void EquiWidthHistogram::AddWeighted(int64_t value, double weight) {
+  DCV_CHECK(weight >= 0) << "negative observation weight";
+  value = Clamp<int64_t>(value, 0, domain_max_);
+  counts_[static_cast<size_t>(BucketFor(value))] += weight;
+  total_ += weight;
+}
+
+Status EquiWidthHistogram::Merge(const EquiWidthHistogram& other) {
+  if (other.domain_max_ != domain_max_ ||
+      other.counts_.size() != counts_.size()) {
+    return InvalidArgumentError("cannot merge equi-width histograms of "
+                                "different shapes");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return OkStatus();
+}
+
+double EquiWidthHistogram::CumulativeAt(int64_t v) const {
+  if (v < 0) {
+    return 0.0;
+  }
+  if (v >= domain_max_) {
+    return total_;
+  }
+  int b = BucketFor(v);
+  double cum = 0.0;
+  for (int i = 0; i < b; ++i) {
+    cum += counts_[static_cast<size_t>(i)];
+  }
+  int64_t lo = BucketLo(b);
+  int64_t hi = BucketHi(b);
+  // Uniform-within-bucket: fraction of the bucket's integer values <= v.
+  double span = static_cast<double>(hi - lo + 1);
+  double covered = static_cast<double>(v - lo + 1);
+  return cum + counts_[static_cast<size_t>(b)] * (covered / span);
+}
+
+}  // namespace dcv

@@ -1,0 +1,58 @@
+#ifndef DCV_HISTOGRAM_EQUI_WIDTH_H_
+#define DCV_HISTOGRAM_EQUI_WIDTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "histogram/distribution.h"
+
+namespace dcv {
+
+/// A streaming equi-width histogram over the integer domain [0, M] with a
+/// fixed number of equal-width buckets. F(v) within a bucket is linearly
+/// interpolated (the standard uniform-within-bucket assumption).
+///
+/// This is the cheap, fully-streaming model; equi-depth (see equi_depth.h)
+/// is what the paper's experiments use, since it adapts resolution to the
+/// data's density.
+class EquiWidthHistogram : public DistributionModel {
+ public:
+  /// Creates an empty histogram. Fails if num_buckets < 1 or domain_max < 0.
+  static Result<EquiWidthHistogram> Create(int64_t domain_max,
+                                           int num_buckets);
+
+  /// Adds one observation with unit weight (clamped into [0, M]).
+  void Add(int64_t value);
+
+  /// Adds one observation with the given non-negative weight.
+  void AddWeighted(int64_t value, double weight);
+
+  /// Merges another histogram with identical shape (same M, same buckets).
+  Status Merge(const EquiWidthHistogram& other);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  int64_t domain_max() const override { return domain_max_; }
+  double total_weight() const override { return total_; }
+  double CumulativeAt(int64_t v) const override;
+
+ private:
+  EquiWidthHistogram(int64_t domain_max, int num_buckets);
+
+  // Bucket b covers values [b*width_lo(b), ...]; computed from indices so
+  // rounding never leaves gaps.
+  int BucketFor(int64_t value) const;
+  // First value of bucket b.
+  int64_t BucketLo(int b) const;
+  // Last value of bucket b (inclusive).
+  int64_t BucketHi(int b) const;
+
+  int64_t domain_max_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_EQUI_WIDTH_H_

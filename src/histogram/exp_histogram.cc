@@ -1,0 +1,121 @@
+#include "histogram/exp_histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dcv {
+
+ExpHistogram::ExpHistogram(int64_t window, int k) : window_(window), k_(k) {
+  DCV_CHECK(window >= 1) << "window must be >= 1";
+  DCV_CHECK(k >= 1) << "k must be >= 1";
+}
+
+void ExpHistogram::Add(int64_t timestamp, bool bit) {
+  DCV_CHECK(timestamp >= now_) << "timestamps must be non-decreasing";
+  now_ = timestamp;
+  Expire();
+  if (!bit) {
+    return;
+  }
+  buckets_.push_front(Bucket{timestamp, 1});
+  Merge();
+}
+
+void ExpHistogram::Expire() {
+  while (!buckets_.empty() && buckets_.back().timestamp <= now_ - window_) {
+    buckets_.pop_back();
+  }
+}
+
+void ExpHistogram::Merge() {
+  // Invariant: for each size class, at most k_ + 1 buckets; merging the two
+  // oldest of a class creates one of the next class.
+  // Buckets are ordered newest-first and sizes are non-decreasing back-to-
+  // front, so a linear scan with a size counter suffices.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    int64_t current_size = 0;
+    int count = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].size != current_size) {
+        current_size = buckets_[i].size;
+        count = 1;
+      } else {
+        ++count;
+      }
+      if (count == k_ + 2) {
+        // Merge buckets i and i-1 (the two oldest of this class are at the
+        // highest indices among the class; i is the oldest seen so far).
+        buckets_[i].size *= 2;
+        buckets_[i].timestamp =
+            std::max(buckets_[i].timestamp, buckets_[i - 1].timestamp);
+        buckets_.erase(buckets_.begin() + static_cast<int64_t>(i) - 1);
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+int64_t ExpHistogram::LowerBound() const {
+  if (buckets_.empty()) {
+    return 0;
+  }
+  int64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.size;
+  }
+  // The oldest bucket may straddle the window boundary; only its most recent
+  // 1 is certainly inside.
+  return total - buckets_.back().size + 1;
+}
+
+int64_t ExpHistogram::UpperBound() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.size;
+  }
+  return total;
+}
+
+int64_t ExpHistogram::Estimate() const {
+  if (buckets_.empty()) {
+    return 0;
+  }
+  int64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.size;
+  }
+  // Standard DGIM estimate: count all but half of the oldest bucket.
+  return total - buckets_.back().size / 2;
+}
+
+SlidingWindowSum::SlidingWindowSum(int64_t window, int bits, int k)
+    : bits_(bits) {
+  DCV_CHECK(bits >= 1 && bits <= 62) << "bits must be in [1, 62]";
+  per_bit_.reserve(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    per_bit_.emplace_back(window, k);
+  }
+}
+
+void SlidingWindowSum::Add(int64_t timestamp, int64_t value) {
+  int64_t max_value = (int64_t{1} << bits_) - 1;
+  value = Clamp<int64_t>(value, 0, max_value);
+  for (int b = 0; b < bits_; ++b) {
+    per_bit_[static_cast<size_t>(b)].Add(timestamp, (value >> b) & 1);
+  }
+}
+
+int64_t SlidingWindowSum::Estimate() const {
+  int64_t sum = 0;
+  for (int b = 0; b < bits_; ++b) {
+    sum += per_bit_[static_cast<size_t>(b)].Estimate() << b;
+  }
+  return sum;
+}
+
+}  // namespace dcv

@@ -1,0 +1,74 @@
+#ifndef DCV_HISTOGRAM_EXP_HISTOGRAM_H_
+#define DCV_HISTOGRAM_EXP_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dcv {
+
+/// Exponential histogram (Datar, Gionis, Indyk, Motwani, SODA'02) counting
+/// the number of 1s in the last `window` ticks of a bit stream, with relative
+/// error at most 1/k using O(k log window) buckets. The paper cites this
+/// ([8], §3.2) as the mechanism for maintaining recent-window statistics at
+/// each site.
+class ExpHistogram {
+ public:
+  /// window >= 1 ticks; k >= 1 controls accuracy (error <= 1/k).
+  ExpHistogram(int64_t window, int k);
+
+  /// Advances to time `timestamp` (monotone non-decreasing) and records a
+  /// bit. Zero bits only advance time.
+  void Add(int64_t timestamp, bool bit);
+
+  /// Approximate number of 1s in (timestamp - window, timestamp], where
+  /// `timestamp` is the latest time passed to Add.
+  int64_t Estimate() const;
+
+  /// Exact lower/upper bounds implied by the bucket structure.
+  int64_t LowerBound() const;
+  int64_t UpperBound() const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  int64_t window() const { return window_; }
+
+ private:
+  struct Bucket {
+    int64_t timestamp;  // Time of the most recent 1 in this bucket.
+    int64_t size;       // Number of 1s (a power of two).
+  };
+
+  void Expire();
+  void Merge();
+
+  int64_t window_;
+  int k_;
+  int64_t now_ = 0;
+  std::deque<Bucket> buckets_;  // Newest at front.
+};
+
+/// Approximate sum of integer values in [0, 2^bits) over a sliding window,
+/// built from one ExpHistogram per bit position (the standard DGIM
+/// extension). Used for windowed traffic-volume statistics at a site.
+class SlidingWindowSum {
+ public:
+  /// window >= 1; bits in [1, 62]; k controls per-bit accuracy.
+  SlidingWindowSum(int64_t window, int bits, int k);
+
+  /// Adds a value at the given (monotone non-decreasing) timestamp. Values
+  /// are clamped into [0, 2^bits - 1].
+  void Add(int64_t timestamp, int64_t value);
+
+  /// Approximate sum over the last `window` ticks.
+  int64_t Estimate() const;
+
+ private:
+  int bits_;
+  std::vector<ExpHistogram> per_bit_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_EXP_HISTOGRAM_H_

@@ -1,0 +1,131 @@
+#include "histogram/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace dcv {
+
+GkSketch::GkSketch(double eps) : eps_(eps) {
+  DCV_CHECK(eps > 0.0 && eps < 1.0) << "GK eps must be in (0,1)";
+  compress_period_ = std::max<int64_t>(1, static_cast<int64_t>(1.0 / (2.0 * eps_)));
+}
+
+void GkSketch::Insert(int64_t value) {
+  // Find insertion point: first tuple with tuple.value >= value.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, int64_t v) { return t.value < v; });
+  int64_t delta;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    delta = 0;  // New min or max is known exactly.
+  } else {
+    delta = static_cast<int64_t>(std::floor(2.0 * eps_ *
+                                            static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+  if (count_ % compress_period_ == 0) {
+    Compress();
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) {
+    return;
+  }
+  const double budget = 2.0 * eps_ * static_cast<double>(count_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  merged.push_back(tuples_.front());
+  // Scan interior tuples; fold tuple i into its successor when the combined
+  // uncertainty stays within the budget. The first and last tuples (min/max)
+  // are always kept.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& cur = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(cur.g + next.g + next.delta) <= budget) {
+      // Fold cur into next (accumulate g in the stored next when reached).
+      tuples_[i + 1].g += cur.g;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  merged.push_back(tuples_.back());
+  tuples_ = std::move(merged);
+}
+
+Result<int64_t> GkSketch::Quantile(double phi) const {
+  if (tuples_.empty()) {
+    return FailedPreconditionError("quantile of empty GK sketch");
+  }
+  phi = Clamp(phi, 0.0, 1.0);
+  const double rank = std::max(1.0, std::ceil(phi * static_cast<double>(count_)));
+  const double slack = eps_ * static_cast<double>(count_);
+  // Canonical GK query: return the last tuple whose successor would
+  // overshoot rank + slack in max-rank.
+  int64_t r_min = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    r_min += tuples_[i].g;
+    if (i + 1 == tuples_.size() ||
+        static_cast<double>(r_min + tuples_[i + 1].g + tuples_[i + 1].delta) >
+            rank + slack) {
+      return tuples_[i].value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+int64_t GkSketch::ApproxRank(int64_t value) const {
+  int64_t r_min = 0;
+  int64_t last_delta = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.value > value) {
+      break;
+    }
+    r_min += t.g;
+    last_delta = t.delta;
+  }
+  // The true rank lies in [r_min, r_min + last_delta]; report the midpoint.
+  return r_min + last_delta / 2;
+}
+
+Result<EquiDepthHistogram> GkSketch::ToEquiDepthHistogram(
+    int num_buckets, int64_t domain_max) const {
+  if (count_ == 0) {
+    return FailedPreconditionError("cannot build histogram from empty sketch");
+  }
+  if (num_buckets < 1) {
+    return InvalidArgumentError("num_buckets must be >= 1");
+  }
+  std::vector<int64_t> upper;
+  std::vector<double> counts;
+  double per_bucket = static_cast<double>(count_) /
+                      static_cast<double>(num_buckets);
+  double pending = 0.0;
+  for (int i = 1; i <= num_buckets; ++i) {
+    DCV_ASSIGN_OR_RETURN(
+        int64_t q, Quantile(static_cast<double>(i) /
+                            static_cast<double>(num_buckets)));
+    q = Clamp<int64_t>(q, 0, domain_max);
+    pending += per_bucket;
+    if (!upper.empty() && q <= upper.back()) {
+      // Duplicate quantile: merge mass into the previous bucket.
+      counts.back() += pending;
+      pending = 0.0;
+      continue;
+    }
+    upper.push_back(q);
+    counts.push_back(pending);
+    pending = 0.0;
+  }
+  if (pending > 0.0 && !counts.empty()) {
+    counts.back() += pending;
+  }
+  return EquiDepthHistogram::FromBoundaries(std::move(upper), std::move(counts),
+                                            domain_max);
+}
+
+}  // namespace dcv

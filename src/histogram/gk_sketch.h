@@ -1,0 +1,64 @@
+#ifndef DCV_HISTOGRAM_GK_SKETCH_H_
+#define DCV_HISTOGRAM_GK_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "histogram/equi_depth.h"
+
+namespace dcv {
+
+/// Greenwald-Khanna streaming quantile summary (SIGMOD'01), the algorithm the
+/// paper cites ([13], §3.2) for constructing per-site histograms over a
+/// stream of X_i values in sublinear space.
+///
+/// Guarantees: after n inserts, Quantile(phi) returns a value whose rank is
+/// within eps*n of ceil(phi*n), using O((1/eps) * log(eps*n)) tuples.
+class GkSketch {
+ public:
+  /// eps in (0, 1): the rank-error fraction.
+  explicit GkSketch(double eps);
+
+  /// Inserts one observation.
+  void Insert(int64_t value);
+
+  /// Number of observations inserted so far.
+  int64_t count() const { return count_; }
+
+  /// Number of summary tuples currently held (space usage).
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// A value whose rank is within eps*n of ceil(phi*n), phi in [0, 1].
+  /// Fails on an empty sketch.
+  Result<int64_t> Quantile(double phi) const;
+
+  /// Approximate rank of `value`: an estimate of #{x_i <= value} within
+  /// eps*n. Monotone non-decreasing in `value`. 0 on an empty sketch.
+  int64_t ApproxRank(int64_t value) const;
+
+  /// Converts the summary into an equi-depth histogram with `num_buckets`
+  /// buckets over [0, domain_max] (bucket boundaries at quantiles
+  /// 1/k, 2/k, ..., 1). This is the bridge from streaming estimation to the
+  /// threshold-selection algorithms.
+  Result<EquiDepthHistogram> ToEquiDepthHistogram(int num_buckets,
+                                                  int64_t domain_max) const;
+
+ private:
+  struct Tuple {
+    int64_t value;
+    int64_t g;      // rank(this) - rank(previous) lower-bound gap.
+    int64_t delta;  // rank uncertainty within the tuple.
+  };
+
+  void Compress();
+
+  double eps_;
+  int64_t count_ = 0;
+  int64_t compress_period_;
+  std::vector<Tuple> tuples_;  // Sorted by value.
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_GK_SKETCH_H_

@@ -1,0 +1,133 @@
+#include "histogram/sliding_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dcv {
+
+Result<SlidingWindowHistogram> SlidingWindowHistogram::Create(int64_t window,
+                                                              double eps) {
+  if (window < 2) {
+    return InvalidArgumentError("sliding window must be >= 2");
+  }
+  if (eps <= 0.0 || eps >= 1.0) {
+    return InvalidArgumentError("eps must be in (0, 1)");
+  }
+  int64_t k = static_cast<int64_t>(std::ceil(4.0 / eps));
+  int64_t block_size = std::max<int64_t>(1, window / k);
+  size_t max_blocks = static_cast<size_t>(CeilDiv(window, block_size)) + 1;
+  return SlidingWindowHistogram(window, eps, block_size, max_blocks);
+}
+
+SlidingWindowHistogram::SlidingWindowHistogram(int64_t window, double eps,
+                                               int64_t block_size,
+                                               size_t max_blocks)
+    : window_(window),
+      eps_(eps),
+      block_size_(block_size),
+      max_blocks_(max_blocks) {}
+
+void SlidingWindowHistogram::Insert(int64_t value) {
+  if (blocks_.empty() || blocks_.back().size >= block_size_) {
+    Block b;
+    b.sketch = std::make_unique<GkSketch>(eps_ / 2.0);
+    blocks_.push_back(std::move(b));
+    if (blocks_.size() > max_blocks_) {
+      blocks_.pop_front();
+    }
+  }
+  blocks_.back().sketch->Insert(value);
+  ++blocks_.back().size;
+  ++count_;
+}
+
+int64_t SlidingWindowHistogram::covered() const {
+  int64_t total = 0;
+  for (const Block& b : blocks_) {
+    total += b.size;
+  }
+  return total;
+}
+
+size_t SlidingWindowHistogram::num_tuples() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) {
+    total += b.sketch->num_tuples();
+  }
+  return total;
+}
+
+Result<int64_t> SlidingWindowHistogram::Quantile(double phi) const {
+  if (blocks_.empty()) {
+    return FailedPreconditionError("quantile of empty sliding window");
+  }
+  phi = Clamp(phi, 0.0, 1.0);
+  const double target = phi * static_cast<double>(covered());
+
+  // Summed approximate rank is monotone in the probed value, so binary
+  // search over the value domain spanned by the blocks.
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (const Block& b : blocks_) {
+    DCV_ASSIGN_OR_RETURN(int64_t bmin, b.sketch->Quantile(0.0));
+    DCV_ASSIGN_OR_RETURN(int64_t bmax, b.sketch->Quantile(1.0));
+    lo = std::min(lo, bmin);
+    hi = std::max(hi, bmax);
+  }
+  auto rank_of = [&](int64_t v) {
+    int64_t rank = 0;
+    for (const Block& b : blocks_) {
+      rank += b.sketch->ApproxRank(v);
+    }
+    return rank;
+  };
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(rank_of(mid)) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Result<EquiDepthHistogram> SlidingWindowHistogram::ToEquiDepthHistogram(
+    int num_buckets, int64_t domain_max) const {
+  if (blocks_.empty()) {
+    return FailedPreconditionError(
+        "cannot build histogram from empty sliding window");
+  }
+  if (num_buckets < 1) {
+    return InvalidArgumentError("num_buckets must be >= 1");
+  }
+  std::vector<int64_t> upper;
+  std::vector<double> counts;
+  double per_bucket = static_cast<double>(covered()) /
+                      static_cast<double>(num_buckets);
+  double pending = 0.0;
+  for (int i = 1; i <= num_buckets; ++i) {
+    DCV_ASSIGN_OR_RETURN(
+        int64_t q, Quantile(static_cast<double>(i) /
+                            static_cast<double>(num_buckets)));
+    q = Clamp<int64_t>(q, 0, domain_max);
+    pending += per_bucket;
+    if (!upper.empty() && q <= upper.back()) {
+      counts.back() += pending;
+      pending = 0.0;
+      continue;
+    }
+    upper.push_back(q);
+    counts.push_back(pending);
+    pending = 0.0;
+  }
+  if (pending > 0.0 && !counts.empty()) {
+    counts.back() += pending;
+  }
+  return EquiDepthHistogram::FromBoundaries(std::move(upper),
+                                            std::move(counts), domain_max);
+}
+
+}  // namespace dcv

@@ -1,0 +1,77 @@
+#ifndef DCV_HISTOGRAM_SLIDING_HISTOGRAM_H_
+#define DCV_HISTOGRAM_SLIDING_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/result.h"
+#include "histogram/equi_depth.h"
+#include "histogram/gk_sketch.h"
+
+namespace dcv {
+
+/// Approximate quantiles / histograms over a *sliding window* of the last W
+/// observations, in sublinear space — the capability the paper relies on
+/// for "a recent window of values using the techniques of [Datar et al.,
+/// Lee & Ting]" (§3.2).
+///
+/// Implementation: the stream is cut into blocks of size W/k; each block is
+/// summarized by a Greenwald-Khanna sketch with error eps/2, and the last
+/// k+1 blocks are retained. A query merges the retained block summaries
+/// (error eps/2) and treats the oldest, partially-expired block as fully
+/// in-window (error at most one block, i.e. 1/k of the window). Total rank
+/// error is at most (eps/2 + 1/k) * W; with the default k = ceil(4/eps)
+/// that is <= eps * W. Space: O(k * (1/eps) log(eps W/k)) tuples.
+class SlidingWindowHistogram {
+ public:
+  /// window >= 2 observations; eps in (0, 1).
+  static Result<SlidingWindowHistogram> Create(int64_t window, double eps);
+
+  SlidingWindowHistogram(SlidingWindowHistogram&&) noexcept = default;
+  SlidingWindowHistogram& operator=(SlidingWindowHistogram&&) noexcept =
+      default;
+  SlidingWindowHistogram(const SlidingWindowHistogram&) = delete;
+  SlidingWindowHistogram& operator=(const SlidingWindowHistogram&) = delete;
+
+  /// Inserts one observation (advances the window by one position).
+  void Insert(int64_t value);
+
+  /// Observations inserted so far (lifetime, not window).
+  int64_t count() const { return count_; }
+
+  /// Number of observations the current summary covers (min(count, ~W)).
+  int64_t covered() const;
+
+  /// A value whose rank within the last ~W observations is within eps*W of
+  /// ceil(phi * W). Fails when the window is empty.
+  Result<int64_t> Quantile(double phi) const;
+
+  /// Equi-depth histogram of the current window contents (boundaries at
+  /// quantiles i/buckets). Fails when the window is empty.
+  Result<EquiDepthHistogram> ToEquiDepthHistogram(int num_buckets,
+                                                  int64_t domain_max) const;
+
+  /// Total sketch tuples retained (space usage).
+  size_t num_tuples() const;
+
+ private:
+  SlidingWindowHistogram(int64_t window, double eps, int64_t block_size,
+                         size_t max_blocks);
+
+  struct Block {
+    std::unique_ptr<GkSketch> sketch;
+    int64_t size = 0;
+  };
+
+  int64_t window_;
+  double eps_;
+  int64_t block_size_;
+  size_t max_blocks_;
+  int64_t count_ = 0;
+  std::deque<Block> blocks_;  // Oldest at front; back is the open block.
+};
+
+}  // namespace dcv
+
+#endif  // DCV_HISTOGRAM_SLIDING_HISTOGRAM_H_

@@ -1,0 +1,127 @@
+#include "sim/adaptive_filter_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcv {
+
+Status AdaptiveFilterScheme::Initialize(const SimContext& ctx) {
+  if (options_.precision <= 0.0) {
+    return InvalidArgumentError("adaptive-filter precision must be positive");
+  }
+  if (static_cast<int>(ctx.weights.size()) != ctx.num_sites) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  if (options_.min_share < 0.0 || options_.min_share > 1.0) {
+    return InvalidArgumentError("min_share must be in [0, 1]");
+  }
+  ctx_ = ctx;
+  const int n = std::max(1, ctx.num_sites);
+  total_weighted_width_ =
+      std::max(static_cast<double>(n),
+               options_.precision * static_cast<double>(ctx.global_threshold));
+  centers_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  half_widths_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  breach_counts_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  epochs_since_realloc_ = 0;
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    double w = total_weighted_width_ /
+               (static_cast<double>(n) *
+                static_cast<double>(ctx.weights[si]));
+    half_widths_[si] = std::max<int64_t>(
+        0, static_cast<int64_t>(std::floor(w / 2.0)));
+  }
+  have_centers_ = false;
+  return OkStatus();
+}
+
+void AdaptiveFilterScheme::ReallocateWidths() {
+  // Width share = min_share of the uniform allocation plus the remainder
+  // split in proportion to recent breach counts (Olston's cost-driven
+  // reallocation, simplified). The total weighted width is preserved, so
+  // the coordinator's error bound — and with it guaranteed detection — is
+  // unchanged.
+  const int n = std::max(1, ctx_.num_sites);
+  int64_t total_breaches = 0;
+  for (int64_t b : breach_counts_) {
+    total_breaches += b;
+  }
+  const double uniform = total_weighted_width_ / static_cast<double>(n);
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    double share = uniform * options_.min_share;
+    if (total_breaches > 0) {
+      share += total_weighted_width_ * (1.0 - options_.min_share) *
+               static_cast<double>(breach_counts_[si]) /
+               static_cast<double>(total_breaches);
+    } else {
+      share += uniform * (1.0 - options_.min_share);
+    }
+    double w = share / static_cast<double>(ctx_.weights[si]);
+    half_widths_[si] = std::max<int64_t>(
+        0, static_cast<int64_t>(std::floor(w / 2.0)));
+    breach_counts_[si] = 0;
+  }
+  // New widths have to reach the sites: one update message each.
+  ctx_.counter->Count(MessageType::kFilterUpdate, ctx_.num_sites);
+}
+
+Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+
+  if (!have_centers_) {
+    // Bootstrap round: every site ships its first value.
+    ctx_.counter->Count(MessageType::kFilterReport, ctx_.num_sites);
+    ctx_.counter->Count(MessageType::kFilterUpdate, ctx_.num_sites);
+    centers_ = values;
+    have_centers_ = true;
+  } else {
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      size_t si = static_cast<size_t>(i);
+      int64_t lo = centers_[si] - half_widths_[si];
+      int64_t hi = centers_[si] + half_widths_[si];
+      if (values[si] < lo || values[si] > hi) {
+        // Filter breach: report and re-center.
+        ctx_.counter->Count(MessageType::kFilterReport);
+        ctx_.counter->Count(MessageType::kFilterUpdate);
+        centers_[si] = values[si];
+        ++breach_counts_[si];
+        ++result.num_alarms;
+      }
+    }
+  }
+
+  if (options_.realloc_period > 0 &&
+      ++epochs_since_realloc_ >= options_.realloc_period) {
+    epochs_since_realloc_ = 0;
+    ReallocateWidths();
+  }
+
+  // Coordinator-side bound check: can the true sum exceed T?
+  int64_t estimate = 0;
+  int64_t uncertainty = 0;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    estimate += ctx_.weights[si] * centers_[si];
+    uncertainty += ctx_.weights[si] * half_widths_[si];
+  }
+  if (estimate + uncertainty > ctx_.global_threshold) {
+    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+    result.polled = true;
+    int64_t sum = 0;
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      size_t si = static_cast<size_t>(i);
+      sum += ctx_.weights[si] * values[si];
+    }
+    result.violation_reported = sum > ctx_.global_threshold;
+  }
+  return result;
+}
+
+}  // namespace dcv

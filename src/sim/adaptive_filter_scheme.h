@@ -1,0 +1,70 @@
+#ifndef DCV_SIM_ADAPTIVE_FILTER_SCHEME_H_
+#define DCV_SIM_ADAPTIVE_FILTER_SCHEME_H_
+
+#include <vector>
+
+#include "sim/scheme.h"
+
+namespace dcv {
+
+/// Continuous-tracking comparator in the style of Olston, Jiang & Widom's
+/// adaptive filters (SIGMOD'03), the algorithm the paper cites ([20]) as the
+/// brute-force way to track sum_i A_i X_i with bounded error:
+///
+///  * site i holds a filter interval of width w_i centered at the last
+///    value it shipped; it stays silent while X_i remains inside;
+///  * when X_i escapes, the site reports the new value (1 message) and the
+///    coordinator re-centers the filter (1 message back);
+///  * the coordinator's estimate of the weighted sum is therefore accurate
+///    to within W/2 = sum_i A_i w_i / 2 at all times; whenever the estimate
+///    plus W/2 crosses the global threshold it polls all sites for an exact
+///    check, so no violation is ever missed.
+///
+/// Widths are allocated uniformly in weighted units: A_i w_i = W / n with
+/// W = precision * T. Small precision = tight tracking = many filter
+/// reports; large precision = frequent threshold-region polls. Either way
+/// the scheme pays for *tracking* even when the system is far from
+/// violation — the overhead the paper's local-constraint decomposition
+/// avoids.
+class AdaptiveFilterScheme : public DetectionScheme {
+ public:
+  struct Options {
+    /// Total tracking error budget as a fraction of the global threshold.
+    double precision = 0.05;
+
+    /// Olston-style width adaptation: every `realloc_period` epochs the
+    /// coordinator reallocates the width budget in proportion to each
+    /// site's recent breach count (volatile sites get wide filters, stable
+    /// ones tight filters), keeping the total weighted width — and hence
+    /// the tracking error bound — unchanged. 0 keeps widths uniform.
+    int64_t realloc_period = 0;
+    /// Smoothing floor: every site keeps at least this fraction of its
+    /// uniform share, so no filter collapses to zero width.
+    double min_share = 0.2;
+  };
+
+  explicit AdaptiveFilterScheme(Options options) : options_(options) {}
+  AdaptiveFilterScheme() : AdaptiveFilterScheme(Options()) {}
+
+  std::string_view name() const override { return "adaptive-filters"; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+ private:
+  void ReallocateWidths();
+
+  Options options_;
+  SimContext ctx_;
+  std::vector<int64_t> centers_;
+  std::vector<int64_t> half_widths_;  ///< In raw value units, per site.
+  std::vector<int64_t> breach_counts_;  ///< Since the last reallocation.
+  double total_weighted_width_ = 0.0;   ///< Invariant error budget W.
+  int64_t epochs_since_realloc_ = 0;
+  bool have_centers_ = false;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_ADAPTIVE_FILTER_SCHEME_H_

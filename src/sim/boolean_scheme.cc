@@ -1,0 +1,75 @@
+#include "sim/boolean_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "histogram/equi_depth.h"
+
+namespace dcv {
+
+Status BooleanLocalScheme::Initialize(const SimContext& ctx) {
+  if (options_.solver == nullptr) {
+    return InvalidArgumentError("BooleanLocalScheme requires a solver");
+  }
+  if (ctx.training == nullptr || ctx.training->num_epochs() == 0) {
+    return InvalidArgumentError(
+        "BooleanLocalScheme requires a nonempty training trace");
+  }
+  if (ctx.training->num_sites() != ctx.num_sites) {
+    return InvalidArgumentError("training trace site count mismatch");
+  }
+  if (constraint_.max_var() >= ctx.num_sites) {
+    return InvalidArgumentError(
+        "constraint references more variables than the trace has sites");
+  }
+  ctx_ = ctx;
+
+  models_.clear();
+  std::vector<const DistributionModel*> model_ptrs;
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    std::vector<int64_t> series = ctx.training->SiteSeries(i);
+    int64_t observed_max = *std::max_element(series.begin(), series.end());
+    int64_t m = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               options_.domain_headroom *
+               static_cast<double>(std::max<int64_t>(observed_max, 1)))));
+    DCV_ASSIGN_OR_RETURN(
+        EquiDepthHistogram model,
+        EquiDepthHistogram::Build(series, m, options_.histogram_buckets));
+    models_.push_back(std::make_unique<EquiDepthHistogram>(std::move(model)));
+    model_ptrs.push_back(models_.back().get());
+  }
+
+  DCV_ASSIGN_OR_RETURN(CnfConstraint cnf, ToCnf(constraint_));
+  BooleanThresholdSolver::Options solver_options;
+  solver_options.lift_rounds = options_.lift_rounds;
+  BooleanThresholdSolver solver(options_.solver, solver_options);
+  DCV_ASSIGN_OR_RETURN(BooleanSolution solution,
+                       solver.Solve(cnf, model_ptrs));
+  bounds_ = std::move(solution.bounds);
+  return OkStatus();
+}
+
+Result<EpochResult> BooleanLocalScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    if (!bounds_[si].Contains(values[si])) {
+      ++result.num_alarms;
+      ctx_.counter->Count(MessageType::kAlarm);
+    }
+  }
+  if (result.num_alarms > 0) {
+    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+    result.polled = true;
+    result.violation_reported = !constraint_.Evaluate(values);
+  }
+  return result;
+}
+
+}  // namespace dcv

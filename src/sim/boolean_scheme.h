@@ -1,0 +1,68 @@
+#ifndef DCV_SIM_BOOLEAN_SCHEME_H_
+#define DCV_SIM_BOOLEAN_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/ast.h"
+#include "constraints/normalize.h"
+#include "histogram/distribution.h"
+#include "sim/scheme.h"
+#include "threshold/boolean_solver.h"
+
+namespace dcv {
+
+/// Monitoring scheme for *general boolean* global constraints (§5): the
+/// full pipeline — normalize the constraint to CNF, build per-site
+/// equi-depth histograms from the training trace, compile per-site bounds
+/// with the BooleanThresholdSolver — deployed behind the standard
+/// DetectionScheme interface.
+///
+/// Protocol per epoch: each site checks lo_i <= X_i <= hi_i locally; any
+/// violation sends one alarm; on >= 1 alarm the coordinator polls all n
+/// sites and evaluates the boolean constraint exactly.
+///
+/// Pair with SimOptions::is_violation so the runner scores detections
+/// against the same boolean constraint.
+class BooleanLocalScheme : public DetectionScheme {
+ public:
+  struct Options {
+    /// Base per-atom threshold solver; must outlive the scheme.
+    const ThresholdSolver* solver = nullptr;
+
+    /// Equi-depth histogram resolution.
+    int histogram_buckets = 100;
+
+    /// Headroom multiplier for the declared per-site domain maximum.
+    double domain_headroom = 4.0;
+
+    /// Lift rounds for the boolean solver (§5.3).
+    int lift_rounds = 4;
+  };
+
+  /// `constraint` is the global constraint G over site variables indexed
+  /// by position in the trace.
+  BooleanLocalScheme(BoolExpr constraint, Options options)
+      : constraint_(std::move(constraint)), options_(options) {}
+
+  std::string_view name() const override { return "boolean-local"; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+  /// Installed local bounds (for inspection/tests).
+  const std::vector<SiteBounds>& bounds() const { return bounds_; }
+
+ private:
+  BoolExpr constraint_;
+  Options options_;
+  SimContext ctx_;
+  std::vector<std::unique_ptr<DistributionModel>> models_;
+  std::vector<SiteBounds> bounds_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_BOOLEAN_SCHEME_H_

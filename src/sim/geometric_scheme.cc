@@ -1,0 +1,71 @@
+#include "sim/geometric_scheme.h"
+
+#include <algorithm>
+
+namespace dcv {
+
+Status GeometricScheme::Initialize(const SimContext& ctx) {
+  if (static_cast<int>(ctx.weights.size()) != ctx.num_sites) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  ctx_ = ctx;
+  // Initial thresholds: equal split of the global budget (the adaptive
+  // rounds take over from the first alarm onward).
+  thresholds_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  int64_t n = std::max(1, ctx.num_sites);
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    thresholds_[static_cast<size_t>(i)] =
+        ctx.global_threshold / (n * ctx.weights[static_cast<size_t>(i)]);
+  }
+  return OkStatus();
+}
+
+Result<EpochResult> GeometricScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    if (values[static_cast<size_t>(i)] > thresholds_[static_cast<size_t>(i)]) {
+      ++result.num_alarms;
+      ctx_.counter->Count(MessageType::kAlarm);
+    }
+  }
+  if (result.num_alarms == 0) {
+    return result;
+  }
+
+  // Round 1: collect all current values.
+  ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+  ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+  result.polled = true;
+  int64_t weighted_sum = 0;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    weighted_sum += ctx_.weights[static_cast<size_t>(i)] *
+                    values[static_cast<size_t>(i)];
+  }
+  result.violation_reported = weighted_sum > ctx_.global_threshold;
+
+  // Round 2: redistribute the slack equally and install new thresholds.
+  // Floor division (also for negative slack) keeps sum A_i*T_i <= T, so the
+  // covering property is preserved: while the system stays in violation at
+  // least one local constraint stays violated and polling continues.
+  const int64_t n = std::max(1, ctx_.num_sites);
+  const int64_t slack = ctx_.global_threshold - weighted_sum;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    // Per-site slack share is in weighted units; convert to value units.
+    int64_t denom = n * ctx_.weights[si];
+    int64_t share = slack >= 0 ? slack / denom
+                               : -((-slack + denom - 1) / denom);
+    // Thresholds may go negative while the system is in violation; a
+    // negative threshold simply means "always alarm", which is what keeps
+    // the coordinator polling until the violation clears.
+    thresholds_[si] = values[si] + share;
+  }
+  ctx_.counter->Count(MessageType::kThresholdUpdate, ctx_.num_sites);
+  return result;
+}
+
+}  // namespace dcv

@@ -1,0 +1,38 @@
+#ifndef DCV_SIM_GEOMETRIC_SCHEME_H_
+#define DCV_SIM_GEOMETRIC_SCHEME_H_
+
+#include <vector>
+
+#include "sim/scheme.h"
+
+namespace dcv {
+
+/// The Geometric comparator (paper §6.1, simplifying Sharfman et al.,
+/// SIGMOD'06): local thresholds are adjusted dynamically after every local
+/// violation. On an alarm the coordinator (round 1) polls all sites for
+/// their current values, then (round 2) redistributes the slack equally:
+///
+///   T_i  <-  X_i + (T - sum_j X_j) / n.
+///
+/// Each violation therefore costs two message rounds: n requests +
+/// n responses, plus n threshold updates — in addition to the alarms.
+/// The scheme ignores the data distribution entirely, which is exactly the
+/// gap the paper's FPTAS exploits.
+class GeometricScheme : public DetectionScheme {
+ public:
+  std::string_view name() const override { return "geometric"; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+  const std::vector<int64_t>& thresholds() const { return thresholds_; }
+
+ private:
+  SimContext ctx_;
+  std::vector<int64_t> thresholds_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_GEOMETRIC_SCHEME_H_

@@ -1,0 +1,243 @@
+#include "sim/local_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "histogram/equi_depth.h"
+#include "histogram/equi_width.h"
+
+namespace dcv {
+
+LocalThresholdScheme::LocalThresholdScheme(Options options)
+    : options_(options) {
+  name_ = "local-threshold";
+  if (options_.solver != nullptr) {
+    name_ += "/" + std::string(options_.solver->name());
+  }
+}
+
+Status LocalThresholdScheme::Initialize(const SimContext& ctx) {
+  if (options_.solver == nullptr) {
+    return InvalidArgumentError("LocalThresholdScheme requires a solver");
+  }
+  if (options_.budget_discount <= 0.0 || options_.budget_discount > 1.0) {
+    return InvalidArgumentError("budget_discount must be in (0, 1]");
+  }
+  if (options_.tracking_precision <= 0.0) {
+    return InvalidArgumentError("tracking_precision must be positive");
+  }
+  track_center_.assign(static_cast<size_t>(ctx.num_sites), -1);
+  if (ctx.training == nullptr || ctx.training->num_epochs() == 0) {
+    return InvalidArgumentError(
+        "LocalThresholdScheme requires a nonempty training trace");
+  }
+  if (ctx.training->num_sites() != ctx.num_sites) {
+    return InvalidArgumentError("training trace site count mismatch");
+  }
+  if (static_cast<int>(ctx.weights.size()) != ctx.num_sites) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  ctx_ = ctx;
+
+  models_.clear();
+  detectors_.clear();
+  history_.assign(static_cast<size_t>(ctx.num_sites), {});
+  domain_max_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    std::vector<int64_t> series = ctx.training->SiteSeries(i);
+    // Seed the rolling rebuild history with the training tail.
+    size_t keep = std::min(series.size(), options_.rebuild_window);
+    history_[static_cast<size_t>(i)].assign(series.end() - keep,
+                                            series.end());
+    int64_t observed_max = *std::max_element(series.begin(), series.end());
+    int64_t m = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               options_.domain_headroom *
+               static_cast<double>(std::max<int64_t>(observed_max, 1)))));
+    domain_max_[static_cast<size_t>(i)] = m;
+    DCV_ASSIGN_OR_RETURN(auto model, BuildModel(series, m));
+    models_.push_back(std::move(model));
+    if (options_.change_detection) {
+      auto detector = std::make_unique<ChangeDetector>(options_.change_options);
+      detector->Reset(series);
+      detectors_.push_back(std::move(detector));
+    }
+  }
+  return RecomputeThresholds();
+}
+
+Result<std::unique_ptr<DistributionModel>> LocalThresholdScheme::BuildModel(
+    const std::vector<int64_t>& data, int64_t domain_max) const {
+  if (options_.histogram_kind == HistogramKind::kEquiWidth) {
+    DCV_ASSIGN_OR_RETURN(
+        EquiWidthHistogram h,
+        EquiWidthHistogram::Create(domain_max, options_.histogram_buckets));
+    for (int64_t v : data) {
+      h.Add(v);
+    }
+    return std::unique_ptr<DistributionModel>(
+        std::make_unique<EquiWidthHistogram>(std::move(h)));
+  }
+  DCV_ASSIGN_OR_RETURN(
+      EquiDepthHistogram h,
+      EquiDepthHistogram::Build(data, domain_max, options_.histogram_buckets));
+  return std::unique_ptr<DistributionModel>(
+      std::make_unique<EquiDepthHistogram>(std::move(h)));
+}
+
+Status LocalThresholdScheme::RecomputeThresholds() {
+  ThresholdProblem problem;
+  problem.budget = static_cast<int64_t>(
+      options_.budget_discount *
+      static_cast<double>(ctx_.global_threshold));
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    problem.vars.push_back(ProblemVar{
+        i, ctx_.weights[static_cast<size_t>(i)],
+        CdfView(models_[static_cast<size_t>(i)].get(), /*mirrored=*/false)});
+  }
+  DCV_ASSIGN_OR_RETURN(ThresholdSolution solution,
+                       options_.solver->Solve(problem));
+  thresholds_ = std::move(solution.thresholds);
+  return OkStatus();
+}
+
+Result<EpochResult> LocalThresholdScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+
+  const bool tracking = options_.global_check == GlobalCheck::kTrack;
+  const int64_t filter_width = std::max<int64_t>(
+      1, static_cast<int64_t>(options_.tracking_precision *
+                              static_cast<double>(ctx_.global_threshold) /
+                              static_cast<double>(std::max(1, ctx_.num_sites))));
+
+  // Site-local checks.
+  bool change_detected = false;
+  int change_site = -1;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    if (!tracking) {
+      if (values[si] > thresholds_[si]) {
+        ++result.num_alarms;
+        ctx_.counter->Count(MessageType::kAlarm);
+      }
+    } else {
+      const bool above = values[si] > thresholds_[si];
+      const int64_t w = filter_width / std::max<int64_t>(1, ctx_.weights[si]);
+      if (above && track_center_[si] < 0) {
+        // Entering the alarmed region: one alarm (carrying the value) and
+        // a filter installation ack.
+        ++result.num_alarms;
+        ctx_.counter->Count(MessageType::kAlarm);
+        ctx_.counter->Count(MessageType::kFilterUpdate);
+        track_center_[si] = values[si];
+      } else if (above) {
+        if (std::llabs(values[si] - track_center_[si]) > w) {
+          // Filter breach while tracked: report + recenter ack.
+          ctx_.counter->Count(MessageType::kFilterReport);
+          ctx_.counter->Count(MessageType::kFilterUpdate);
+          track_center_[si] = values[si];
+        }
+      } else if (track_center_[si] >= 0) {
+        // Back below the threshold: all-clear, filter dismantled.
+        ctx_.counter->Count(MessageType::kFilterReport);
+        track_center_[si] = -1;
+      }
+    }
+    if (options_.change_detection) {
+      history_[si].push_back(values[si]);
+      if (history_[si].size() > options_.rebuild_window) {
+        history_[si].pop_front();
+      }
+      if (detectors_[si]->Observe(values[si]) && !change_detected) {
+        change_detected = true;
+        change_site = i;
+      }
+    }
+  }
+
+  // Coordinator, tracking mode: certified upper bound from thresholds of
+  // quiet sites and filter intervals of tracked ones — no polls at all.
+  if (tracking) {
+    bool any_tracked = false;
+    int64_t bound = 0;
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      size_t si = static_cast<size_t>(i);
+      const int64_t w = filter_width / std::max<int64_t>(1, ctx_.weights[si]);
+      if (track_center_[si] >= 0) {
+        any_tracked = true;
+        bound += ctx_.weights[si] * (track_center_[si] + w);
+      } else {
+        bound += ctx_.weights[si] * std::max<int64_t>(0, thresholds_[si]);
+      }
+    }
+    result.violation_reported =
+        any_tracked && bound > ctx_.global_threshold;
+  }
+
+  // Coordinator: any alarm triggers global checking.
+  if (!tracking && result.num_alarms > 0) {
+    bool need_poll = true;
+    if (options_.piggyback_values) {
+      // Alarms carried the alarming sites' values; quiet sites are known
+      // to be at most at their thresholds, so a certified upper bound on
+      // the weighted sum is available without any extra messages.
+      int64_t bound = 0;
+      for (int i = 0; i < ctx_.num_sites; ++i) {
+        size_t si = static_cast<size_t>(i);
+        bound += ctx_.weights[si] *
+                 (values[si] > thresholds_[si] ? values[si]
+                                               : thresholds_[si]);
+      }
+      if (bound <= ctx_.global_threshold) {
+        need_poll = false;  // Certified: no violation is possible.
+      }
+    }
+    if (need_poll) {
+      ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+      ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+      result.polled = true;
+      int64_t sum = 0;
+      for (int i = 0; i < ctx_.num_sites; ++i) {
+        sum += ctx_.weights[static_cast<size_t>(i)] *
+               values[static_cast<size_t>(i)];
+      }
+      result.violation_reported = sum > ctx_.global_threshold;
+    }
+  }
+
+  // Change-triggered histogram rebuild + threshold recomputation (§3.2).
+  // The rebuild uses the rolling history, which is longer (hence less
+  // biased) than the detector's comparison window.
+  if (change_detected) {
+    size_t si = static_cast<size_t>(change_site);
+    std::vector<int64_t> window(history_[si].begin(), history_[si].end());
+    if (!window.empty()) {
+      int64_t observed_max =
+          *std::max_element(window.begin(), window.end());
+      int64_t m = std::max(
+          domain_max_[si],
+          static_cast<int64_t>(std::llround(
+              options_.domain_headroom *
+              static_cast<double>(std::max<int64_t>(observed_max, 1)))));
+      domain_max_[si] = m;
+      DCV_ASSIGN_OR_RETURN(auto model, BuildModel(window, m));
+      models_[si] = std::move(model);
+      detectors_[si]->Reset(std::move(window));
+      DCV_RETURN_IF_ERROR(RecomputeThresholds());
+      ++num_recomputes_;
+      // One report from the changed site, new thresholds to every site.
+      ctx_.counter->Count(MessageType::kFilterReport);
+      ctx_.counter->Count(MessageType::kThresholdUpdate, ctx_.num_sites);
+    }
+  }
+  return result;
+}
+
+}  // namespace dcv

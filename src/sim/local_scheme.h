@@ -1,0 +1,143 @@
+#ifndef DCV_SIM_LOCAL_SCHEME_H_
+#define DCV_SIM_LOCAL_SCHEME_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "histogram/change_detector.h"
+#include "histogram/distribution.h"
+#include "sim/scheme.h"
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// The paper's scheme: static local thresholds T_i chosen by a pluggable
+/// ThresholdSolver (FPTAS / Equal-Value / Equal-Tail / exact DP) from
+/// per-site equi-depth histograms built on the training trace (§6.1).
+///
+/// Protocol per epoch:
+///  * each site checks X_i <= T_i locally (no messages while it holds);
+///  * every violating site sends one alarm;
+///  * on >= 1 alarm the coordinator polls all n sites (n requests +
+///    n responses) and evaluates the global constraint exactly.
+///
+/// With change detection enabled, each site additionally feeds its stream
+/// into a KS-based ChangeDetector (§3.2 / [17]); on a detected shift the
+/// site's histogram is rebuilt from the detector's recent window and the
+/// coordinator recomputes and pushes all local thresholds (n threshold-
+/// update messages).
+class LocalThresholdScheme : public DetectionScheme {
+ public:
+  enum class HistogramKind {
+    kEquiDepth,  ///< What the paper's experiments use (§6.4).
+    kEquiWidth,  ///< Cheaper, uniform-bucket alternative (ablation).
+  };
+
+  /// How the coordinator checks the global constraint while local
+  /// constraints are violated (§3.1: "using either continuous polling or
+  /// the algorithms of Olston et al.").
+  enum class GlobalCheck {
+    /// Poll all n sites every alarmed epoch (exact; the §6 evaluation).
+    kPoll,
+    /// Olston-style tracking: only sites currently above their threshold
+    /// carry a filter; they report (1 message) when their value moves by
+    /// more than the filter width or drops back below the threshold.
+    /// Violations are flagged from the certified upper bound
+    ///   sum_quiet A_i T_i + sum_tracked A_i (center_i + w_i)
+    /// so no violation is ever missed, at the cost of possible
+    /// over-reports within the filter width (the paper's small relative
+    /// error epsilon). Far cheaper than polling when alarm episodes are
+    /// long and traffic is smooth.
+    kTrack,
+  };
+
+  struct Options {
+    /// Threshold selection algorithm; must outlive the scheme.
+    const ThresholdSolver* solver = nullptr;
+
+    /// Histogram resolution (paper: 100 buckets) and flavor.
+    int histogram_buckets = 100;
+    HistogramKind histogram_kind = HistogramKind::kEquiDepth;
+
+    /// Enable KS-based distribution-change detection and threshold
+    /// recomputation.
+    bool change_detection = false;
+    ChangeDetector::Options change_options;
+
+    /// On a detected change, histograms are rebuilt from the last
+    /// `rebuild_window` observations (a rolling per-site history), not just
+    /// from the detector's short comparison window — short windows are
+    /// biased samples (e.g., they may consist entirely of one burst) and
+    /// produce bad thresholds.
+    size_t rebuild_window = 1500;
+
+    /// When true, alarms carry the site's observed value, and the
+    /// coordinator first checks the certified bound
+    ///   sum_{alarming} A_i x_i + sum_{quiet} A_i T_i <= T
+    /// (quiet sites are at most at their thresholds). Only when the bound
+    /// is inconclusive does it fall back to a full poll. Detection stays
+    /// guaranteed; polls on shallow threshold crossings disappear. Off by
+    /// default to match the paper's protocol exactly.
+    ///
+    /// Piggybacking only pays off when the thresholds leave headroom below
+    /// the global budget — combine it with budget_discount < 1.
+    bool piggyback_values = false;
+
+    /// Global-check protocol while alarms are active.
+    GlobalCheck global_check = GlobalCheck::kPoll;
+
+    /// Filter width for GlobalCheck::kTrack, as a fraction of the global
+    /// threshold (split across sites).
+    double tracking_precision = 0.02;
+
+    /// Solve the local thresholds against budget_discount * T instead of T
+    /// (in (0, 1]). Discounting trades more (1-message) alarms for fewer
+    /// (2n-message) polls when piggyback_values is on: alarms whose
+    /// certified bound stays within the reserved headroom are absorbed
+    /// silently. 1.0 reproduces the paper's protocol.
+    double budget_discount = 1.0;
+
+    /// Headroom multiplier for the declared per-site domain maximum
+    /// M_i = headroom * max(training values); eval values above M_i are
+    /// handled correctly (they simply violate any threshold).
+    double domain_headroom = 4.0;
+  };
+
+  explicit LocalThresholdScheme(Options options);
+
+  std::string_view name() const override { return name_; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+  /// Thresholds currently installed (for inspection/tests).
+  const std::vector<int64_t>& thresholds() const { return thresholds_; }
+
+  /// Number of change-triggered threshold recomputations so far.
+  int64_t num_recomputes() const { return num_recomputes_; }
+
+ private:
+  Status RecomputeThresholds();
+  Result<std::unique_ptr<DistributionModel>> BuildModel(
+      const std::vector<int64_t>& data, int64_t domain_max) const;
+
+  Options options_;
+  std::string name_;
+  SimContext ctx_;
+  std::vector<std::unique_ptr<DistributionModel>> models_;
+  std::vector<std::unique_ptr<ChangeDetector>> detectors_;
+  std::vector<std::deque<int64_t>> history_;  ///< Rolling rebuild windows.
+  std::vector<int64_t> thresholds_;
+  std::vector<int64_t> domain_max_;
+  // GlobalCheck::kTrack state: filter center per tracked (above-threshold)
+  // site; -1 when the site is quiet.
+  std::vector<int64_t> track_center_;
+  int64_t num_recomputes_ = 0;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_LOCAL_SCHEME_H_

@@ -1,0 +1,38 @@
+#include "sim/message.h"
+
+namespace dcv {
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kAlarm:
+      return "alarm";
+    case MessageType::kPollRequest:
+      return "poll_request";
+    case MessageType::kPollResponse:
+      return "poll_response";
+    case MessageType::kThresholdUpdate:
+      return "threshold_update";
+    case MessageType::kFilterReport:
+      return "filter_report";
+    case MessageType::kFilterUpdate:
+      return "filter_update";
+  }
+  return "?";
+}
+
+std::string MessageCounter::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumMessageTypes; ++i) {
+    if (counts_[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::string(MessageTypeName(static_cast<MessageType>(i))) + "=" +
+           std::to_string(counts_[static_cast<size_t>(i)]);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace dcv

@@ -1,0 +1,57 @@
+#ifndef DCV_SIM_MESSAGE_H_
+#define DCV_SIM_MESSAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dcv {
+
+/// Message categories exchanged between remote sites and the coordinator.
+/// The paper's metric (§6.2) is the total count of alarm and poll messages
+/// caused by local threshold violations; the finer breakdown supports the
+/// cost-model ablation.
+enum class MessageType {
+  kAlarm = 0,            ///< Site -> coordinator: local constraint violated.
+  kPollRequest = 1,      ///< Coordinator -> site: report your value.
+  kPollResponse = 2,     ///< Site -> coordinator: current value.
+  kThresholdUpdate = 3,  ///< Coordinator -> site: new local threshold.
+  kFilterReport = 4,     ///< Site -> coordinator: adaptive-filter breach.
+  kFilterUpdate = 5,     ///< Coordinator -> site: new filter interval.
+};
+
+inline constexpr int kNumMessageTypes = 6;
+
+std::string_view MessageTypeName(MessageType type);
+
+/// Tallies messages by type. Schemes increment it as their protocol runs;
+/// the simulator reports the totals.
+class MessageCounter {
+ public:
+  void Count(MessageType type, int64_t n = 1) {
+    counts_[static_cast<size_t>(type)] += n;
+  }
+
+  int64_t of(MessageType type) const {
+    return counts_[static_cast<size_t>(type)];
+  }
+
+  int64_t total() const {
+    int64_t t = 0;
+    for (int64_t c : counts_) {
+      t += c;
+    }
+    return t;
+  }
+
+  void Reset() { counts_.fill(0); }
+
+  std::string ToString() const;
+
+ private:
+  std::array<int64_t, kNumMessageTypes> counts_{};
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_MESSAGE_H_

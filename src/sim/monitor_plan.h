@@ -1,0 +1,51 @@
+#ifndef DCV_SIM_MONITOR_PLAN_H_
+#define DCV_SIM_MONITOR_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "threshold/boolean_solver.h"
+
+namespace dcv {
+
+/// The deployable artifact of threshold selection: for every site, the
+/// local bounds to install, plus the provenance (constraint text, global
+/// threshold, solver) needed to audit or recompute them. Serializes to a
+/// small line-based text format so plans can be shipped to sites and
+/// checked into config management:
+///
+///   # dcv-monitor-plan v1
+///   constraint: <original constraint text>
+///   threshold: <global threshold, for plain SUM constraints>
+///   solver: <scheme name>
+///   site: <name> <lo> <hi>
+///   site: ...
+struct MonitorPlan {
+  std::string constraint_text;
+  int64_t global_threshold = 0;
+  std::string solver_name;
+  std::vector<std::string> site_names;   ///< Aligned with bounds.
+  std::vector<SiteBounds> bounds;
+
+  /// Checks structural consistency (names/bounds aligned, names nonempty
+  /// and whitespace-free, lo <= hi unless the interval is the documented
+  /// empty "always alarm" form).
+  Status Validate() const;
+
+  /// True when site `i`'s current value satisfies its local constraint.
+  bool SiteOk(int site, int64_t value) const {
+    return bounds[static_cast<size_t>(site)].Contains(value);
+  }
+
+  std::string Serialize() const;
+  static Result<MonitorPlan> Parse(const std::string& text);
+
+  Status WriteToFile(const std::string& path) const;
+  static Result<MonitorPlan> ReadFromFile(const std::string& path);
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_MONITOR_PLAN_H_

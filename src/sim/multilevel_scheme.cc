@@ -1,0 +1,162 @@
+#include "sim/multilevel_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "histogram/equi_depth.h"
+
+namespace dcv {
+
+Status MultiLevelScheme::Initialize(const SimContext& ctx) {
+  if (options_.solver == nullptr) {
+    return InvalidArgumentError("MultiLevelScheme requires a solver");
+  }
+  if (options_.num_levels < 2) {
+    return InvalidArgumentError("MultiLevelScheme needs >= 2 levels");
+  }
+  if (ctx.training == nullptr || ctx.training->num_epochs() == 0) {
+    return InvalidArgumentError(
+        "MultiLevelScheme requires a nonempty training trace");
+  }
+  if (ctx.training->num_sites() != ctx.num_sites ||
+      static_cast<int>(ctx.weights.size()) != ctx.num_sites) {
+    return InvalidArgumentError("site count / weights mismatch");
+  }
+  ctx_ = ctx;
+
+  // Build training models and solve for the certified top rungs T_i.
+  std::vector<EquiDepthHistogram> models;
+  std::vector<int64_t> domain_max(static_cast<size_t>(ctx.num_sites));
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    std::vector<int64_t> series = ctx.training->SiteSeries(i);
+    int64_t observed_max = *std::max_element(series.begin(), series.end());
+    domain_max[static_cast<size_t>(i)] = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               options_.domain_headroom *
+               static_cast<double>(std::max<int64_t>(observed_max, 1)))));
+    DCV_ASSIGN_OR_RETURN(
+        EquiDepthHistogram model,
+        EquiDepthHistogram::Build(series, domain_max[static_cast<size_t>(i)],
+                                  options_.histogram_buckets));
+    models.push_back(std::move(model));
+  }
+  ThresholdProblem problem;
+  problem.budget = ctx.global_threshold;
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    problem.vars.push_back(ProblemVar{
+        i, ctx.weights[static_cast<size_t>(i)],
+        CdfView(&models[static_cast<size_t>(i)], /*mirrored=*/false)});
+  }
+  DCV_ASSIGN_OR_RETURN(ThresholdSolution solution,
+                       options_.solver->Solve(problem));
+
+  // Band edges per site. Rung placement matters: rungs in the body of the
+  // distribution are crossed constantly (diurnal swings + noise) and only
+  // generate traffic, so we place
+  //   * one low rung at the 25th percentile (it certifies slack cheaply
+  //     when the site is quiet, which is what lets the coordinator skip
+  //     polls while some other site runs hot),
+  //   * the solver's certified rung T_i,
+  //   * the remaining rungs in the upper tail, halving the tail
+  //     probability each time (crossed rarely, but they cap the
+  //     coordinator's bound when a site exceeds T_i only modestly),
+  //   * the domain max.
+  edges_.assign(static_cast<size_t>(ctx.num_sites), {});
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    const double total = models[si].total_weight();
+    std::vector<int64_t> raw;
+    raw.push_back(solution.thresholds[si]);
+    if (options_.num_levels >= 3) {
+      raw.push_back(models[si].MinValueWithCumAtLeast(0.25 * total));
+    }
+    double tail =
+        1.0 - models[si].CumulativeAt(solution.thresholds[si]) / total;
+    tail = Clamp(tail, 1e-6, 1.0);
+    for (int j = 0; j < options_.num_levels - 4; ++j) {
+      tail /= 2.0;
+      raw.push_back(models[si].MinValueWithCumAtLeast((1.0 - tail) * total));
+    }
+    if (options_.num_levels >= 4) {
+      // A rung at the largest trained value keeps the band above the
+      // solver rung from extending all the way to the (headroomed) domain
+      // max, which would make any above-threshold value look worst-case.
+      raw.push_back(models[si].MinValueWithCumAtLeast(total));
+    }
+    raw.push_back(domain_max[si]);
+    std::sort(raw.begin(), raw.end());
+    std::vector<int64_t>& edges = edges_[si];
+    for (int64_t e : raw) {
+      if (edges.empty() || e > edges.back()) {
+        edges.push_back(e);
+      }
+    }
+  }
+
+  band_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  bootstrapped_ = false;
+  return OkStatus();
+}
+
+int MultiLevelScheme::BandOf(int site, int64_t value) const {
+  const std::vector<int64_t>& edges = edges_[static_cast<size_t>(site)];
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  // Values above the last edge land in a virtual overflow band.
+  return static_cast<int>(it - edges.begin());
+}
+
+Result<EpochResult> MultiLevelScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+
+  if (!bootstrapped_) {
+    ctx_.counter->Count(MessageType::kFilterReport, ctx_.num_sites);
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      band_[static_cast<size_t>(i)] = BandOf(i, values[static_cast<size_t>(i)]);
+    }
+    bootstrapped_ = true;
+  } else {
+    // Sites report band changes only (one message each).
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      size_t si = static_cast<size_t>(i);
+      int b = BandOf(i, values[si]);
+      if (b != band_[si]) {
+        band_[si] = b;
+        ctx_.counter->Count(MessageType::kFilterReport);
+        ++result.num_alarms;
+      }
+    }
+  }
+
+  // Coordinator: certified upper bound on the weighted sum from the bands.
+  bool overflow_band = false;
+  int64_t bound = 0;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    const std::vector<int64_t>& edges = edges_[si];
+    if (band_[si] >= static_cast<int>(edges.size())) {
+      overflow_band = true;
+      break;
+    }
+    bound += ctx_.weights[si] * edges[static_cast<size_t>(band_[si])];
+  }
+
+  if (overflow_band || bound > ctx_.global_threshold) {
+    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+    result.polled = true;
+    int64_t sum = 0;
+    for (int i = 0; i < ctx_.num_sites; ++i) {
+      size_t si = static_cast<size_t>(i);
+      sum += ctx_.weights[si] * values[si];
+    }
+    result.violation_reported = sum > ctx_.global_threshold;
+  }
+  return result;
+}
+
+}  // namespace dcv

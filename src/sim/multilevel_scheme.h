@@ -1,0 +1,74 @@
+#ifndef DCV_SIM_MULTILEVEL_SCHEME_H_
+#define DCV_SIM_MULTILEVEL_SCHEME_H_
+
+#include <vector>
+
+#include "sim/scheme.h"
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// Implementation of the paper's future-work proposal (§7): "instead of a
+/// single local constraint threshold at each site, it may be possible to
+/// further reduce global polling overhead ... by maintaining multiple local
+/// thresholds per site and tracking each threshold violation locally."
+///
+/// Each site's domain is cut into bands by a ladder of thresholds placed at
+/// quantiles of its training distribution. A site sends one (cheap) report
+/// whenever its value crosses into a different band; the coordinator
+/// maintains each site's current band and hence an upper bound
+/// u_i = (band's upper edge) on each X_i. A (2n-message) global poll is
+/// issued only when sum_i A_i * u_i > T — i.e., when the per-band bounds can
+/// no longer certify the global constraint.
+///
+/// Detection is still guaranteed: sum A_i X_i <= sum A_i u_i at all times,
+/// so any violation forces a poll. The trade-off the paper anticipates is
+/// visible directly: more levels => more band-crossing traffic but fewer
+/// full polls.
+class MultiLevelScheme : public DetectionScheme {
+ public:
+  struct Options {
+    /// Number of bands per site (>= 2). Two bands with the top edge from a
+    /// ThresholdSolver degenerates to the single-threshold scheme with
+    /// band-change hysteresis.
+    int num_levels = 4;
+
+    /// Solver used to place the *top* rung (below which the global
+    /// constraint is certified even if every site sits at its rung);
+    /// required. The remaining rungs are placed at geometric quantiles of
+    /// the training distribution below the top rung.
+    const ThresholdSolver* solver = nullptr;
+
+    /// Equi-depth histogram resolution for the training distributions.
+    int histogram_buckets = 100;
+
+    /// Headroom multiplier for each site's declared domain maximum.
+    double domain_headroom = 4.0;
+  };
+
+  explicit MultiLevelScheme(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "multi-level"; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+  /// Band edges of one site (ascending; the last edge is the domain max).
+  const std::vector<int64_t>& edges(int site) const {
+    return edges_[static_cast<size_t>(site)];
+  }
+
+ private:
+  int BandOf(int site, int64_t value) const;
+
+  Options options_;
+  SimContext ctx_;
+  std::vector<std::vector<int64_t>> edges_;  // edges_[site], ascending.
+  std::vector<int> band_;                    // Coordinator's view per site.
+  bool bootstrapped_ = false;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_MULTILEVEL_SCHEME_H_

@@ -1,0 +1,38 @@
+#include "sim/polling_scheme.h"
+
+namespace dcv {
+
+Status PollingScheme::Initialize(const SimContext& ctx) {
+  if (period_ < 1) {
+    return InvalidArgumentError("polling period must be >= 1");
+  }
+  if (static_cast<int>(ctx.weights.size()) != ctx.num_sites) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  ctx_ = ctx;
+  tick_ = 0;
+  return OkStatus();
+}
+
+Result<EpochResult> PollingScheme::OnEpoch(
+    const std::vector<int64_t>& values) {
+  if (static_cast<int>(values.size()) != ctx_.num_sites) {
+    return InvalidArgumentError("epoch size mismatch");
+  }
+  EpochResult result;
+  if (tick_++ % period_ != 0) {
+    return result;
+  }
+  ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
+  ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+  result.polled = true;
+  int64_t sum = 0;
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    sum += ctx_.weights[static_cast<size_t>(i)] *
+           values[static_cast<size_t>(i)];
+  }
+  result.violation_reported = sum > ctx_.global_threshold;
+  return result;
+}
+
+}  // namespace dcv

@@ -1,0 +1,33 @@
+#ifndef DCV_SIM_POLLING_SCHEME_H_
+#define DCV_SIM_POLLING_SCHEME_H_
+
+#include "sim/scheme.h"
+
+namespace dcv {
+
+/// The traditional brute-force baseline (paper §1, "Brute force
+/// solutions"): the coordinator polls every site every `period` epochs and
+/// checks the global constraint on the returned snapshot. Cheap periods
+/// miss violations between polls; period 1 detects everything at maximal
+/// cost. This scheme exists to quantify the polling-frequency/detection
+/// trade-off the local-constraint approach eliminates.
+class PollingScheme : public DetectionScheme {
+ public:
+  /// period >= 1: poll every `period`-th epoch (first poll at epoch 0).
+  explicit PollingScheme(int64_t period) : period_(period) {}
+
+  std::string_view name() const override { return "polling"; }
+
+  Status Initialize(const SimContext& ctx) override;
+
+  Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) override;
+
+ private:
+  int64_t period_;
+  int64_t tick_ = 0;
+  SimContext ctx_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_POLLING_SCHEME_H_

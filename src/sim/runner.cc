@@ -1,0 +1,142 @@
+#include "sim/runner.h"
+
+namespace dcv {
+namespace {
+
+Status ValidateAndFillWeights(const Trace& training, const Trace& eval,
+                              const SimOptions& options,
+                              std::vector<int64_t>* weights) {
+  const int n = eval.num_sites();
+  if (training.num_epochs() > 0 && training.num_sites() != n) {
+    return InvalidArgumentError(
+        "training and eval traces have different site counts");
+  }
+  *weights = options.weights;
+  if (weights->empty()) {
+    weights->assign(static_cast<size_t>(n), 1);
+  }
+  if (static_cast<int>(weights->size()) != n) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  for (int64_t w : *weights) {
+    if (w < 1) {
+      return InvalidArgumentError("weights must be >= 1");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<SimResult>> RunSimulationSegments(
+    DetectionScheme* scheme, const SimOptions& options, const Trace& training,
+    const Trace& eval, int64_t segment_epochs) {
+  if (scheme == nullptr) {
+    return InvalidArgumentError("scheme must not be null");
+  }
+  if (segment_epochs < 1) {
+    return InvalidArgumentError("segment_epochs must be >= 1");
+  }
+  std::vector<int64_t> weights;
+  DCV_RETURN_IF_ERROR(ValidateAndFillWeights(training, eval, options, &weights));
+  const int n = eval.num_sites();
+
+  // One shared counter; per-segment deltas are computed at boundaries.
+  MessageCounter counter;
+  SimContext ctx;
+  ctx.num_sites = n;
+  ctx.weights = weights;
+  ctx.global_threshold = options.global_threshold;
+  ctx.training = &training;
+  ctx.counter = &counter;
+  DCV_RETURN_IF_ERROR(scheme->Initialize(ctx));
+
+  std::vector<SimResult> segments;
+  MessageCounter counted_so_far;
+  SimResult current;
+  current.scheme_name = std::string(scheme->name());
+
+  auto flush_segment = [&]() {
+    // Attribute the counter growth since the last flush to this segment.
+    for (int m = 0; m < kNumMessageTypes; ++m) {
+      MessageType type = static_cast<MessageType>(m);
+      current.messages.Count(type, counter.of(type) - counted_so_far.of(type));
+      counted_so_far.Count(type,
+                           counter.of(type) - counted_so_far.of(type));
+    }
+    segments.push_back(current);
+    current = SimResult{};
+    current.scheme_name = std::string(scheme->name());
+  };
+
+  for (int64_t t = 0; t < eval.num_epochs(); ++t) {
+    const std::vector<int64_t>& values = eval.epoch(t);
+    DCV_ASSIGN_OR_RETURN(EpochResult epoch, scheme->OnEpoch(values));
+
+    ++current.epochs;
+    if (epoch.num_alarms > 0) {
+      ++current.alarm_epochs;
+      current.total_alarms += epoch.num_alarms;
+    }
+    if (epoch.polled) {
+      ++current.polled_epochs;
+    }
+    const bool violated =
+        options.is_violation
+            ? options.is_violation(values)
+            : eval.WeightedSum(t, weights) > options.global_threshold;
+    if (violated) {
+      ++current.true_violations;
+      if (epoch.violation_reported) {
+        ++current.detected_violations;
+      } else {
+        ++current.missed_violations;
+      }
+    } else if (epoch.polled) {
+      ++current.false_alarm_epochs;
+    }
+
+    if ((t + 1) % segment_epochs == 0) {
+      flush_segment();
+    }
+  }
+  if (current.epochs > 0) {
+    flush_segment();
+  }
+  return segments;
+}
+
+Result<SimResult> RunSimulation(DetectionScheme* scheme,
+                                const SimOptions& options,
+                                const Trace& training, const Trace& eval) {
+  if (eval.num_epochs() == 0) {
+    // Degenerate run: still initialize and return an empty result.
+    if (scheme == nullptr) {
+      return InvalidArgumentError("scheme must not be null");
+    }
+    std::vector<int64_t> weights;
+    DCV_RETURN_IF_ERROR(
+        ValidateAndFillWeights(training, eval, options, &weights));
+    MessageCounter counter;
+    SimContext ctx;
+    ctx.num_sites = eval.num_sites();
+    ctx.weights = weights;
+    ctx.global_threshold = options.global_threshold;
+    ctx.training = &training;
+    ctx.counter = &counter;
+    DCV_RETURN_IF_ERROR(scheme->Initialize(ctx));
+    SimResult empty;
+    empty.scheme_name = std::string(scheme->name());
+    return empty;
+  }
+  DCV_ASSIGN_OR_RETURN(
+      auto segments,
+      RunSimulationSegments(scheme, options, training, eval,
+                            eval.num_epochs()));
+  if (segments.size() != 1) {
+    return InternalError("expected a single simulation segment");
+  }
+  return segments.front();
+}
+
+}  // namespace dcv

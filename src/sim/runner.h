@@ -1,0 +1,75 @@
+#ifndef DCV_SIM_RUNNER_H_
+#define DCV_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/message.h"
+#include "sim/scheme.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Configuration of one simulation run: the global SUM constraint, the
+/// training data handed to the scheme, and the evaluation trace replayed
+/// epoch by epoch.
+struct SimOptions {
+  std::vector<int64_t> weights;  ///< A_i; empty = all ones.
+  int64_t global_threshold = 0;  ///< T of sum_i A_i X_i <= T.
+
+  /// Optional ground-truth override for non-SUM global constraints
+  /// (boolean constraints with MIN/MAX, &&, ||): given an epoch's values,
+  /// return true when the global constraint is VIOLATED. When unset, the
+  /// default sum_i A_i X_i > T is used. Schemes are configured separately;
+  /// this only controls how the runner scores detections.
+  std::function<bool(const std::vector<int64_t>&)> is_violation;
+};
+
+/// Aggregate outcome of a run. `messages` is the paper's §6.2 metric
+/// (alarms + polls + updates); the detection counters verify the covering
+/// property end to end.
+struct SimResult {
+  std::string scheme_name;
+  int64_t epochs = 0;
+  MessageCounter messages;
+
+  int64_t alarm_epochs = 0;   ///< Epochs with >= 1 local alarm.
+  int64_t total_alarms = 0;   ///< Sum of per-epoch alarm counts.
+  int64_t polled_epochs = 0;  ///< Epochs where the coordinator polled.
+
+  int64_t true_violations = 0;      ///< Epochs with sum > T (ground truth).
+  int64_t detected_violations = 0;  ///< True violations the scheme reported.
+  int64_t missed_violations = 0;    ///< True violations it did not report.
+  int64_t false_alarm_epochs = 0;   ///< Polled epochs without a violation.
+
+  /// messages.total() averaged per epoch.
+  double MessagesPerEpoch() const {
+    return epochs > 0 ? static_cast<double>(messages.total()) /
+                            static_cast<double>(epochs)
+                      : 0.0;
+  }
+};
+
+/// Replays `eval` through `scheme` and tallies messages and detection
+/// accuracy against ground truth. `training` may be empty for schemes that
+/// do not use it (it is still passed to Initialize).
+Result<SimResult> RunSimulation(DetectionScheme* scheme,
+                                const SimOptions& options,
+                                const Trace& training, const Trace& eval);
+
+/// Like RunSimulation, but initializes the scheme once and reports one
+/// SimResult per consecutive segment of `segment_epochs` epochs (the last
+/// segment may be shorter). Adaptive scheme state (Geometric thresholds,
+/// change-detection windows, recomputed histograms) carries across segment
+/// boundaries — this is how the paper evaluates week by week while
+/// threshold recomputations persist into following weeks (§6.4).
+Result<std::vector<SimResult>> RunSimulationSegments(
+    DetectionScheme* scheme, const SimOptions& options, const Trace& training,
+    const Trace& eval, int64_t segment_epochs);
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_RUNNER_H_

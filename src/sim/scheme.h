@@ -1,0 +1,55 @@
+#ifndef DCV_SIM_SCHEME_H_
+#define DCV_SIM_SCHEME_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/message.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Everything a detection scheme sees at initialization time: the global
+/// SUM constraint (sum_i weights[i] * X_i <= global_threshold), the
+/// training trace it may mine for distributions, and the message counter it
+/// must charge for every message its protocol sends.
+struct SimContext {
+  int num_sites = 0;
+  std::vector<int64_t> weights;  ///< Size num_sites; the A_i (all >= 1).
+  int64_t global_threshold = 0;  ///< T.
+  const Trace* training = nullptr;  ///< May be null for schemes not using it.
+  MessageCounter* counter = nullptr;
+};
+
+/// What a scheme did during one epoch.
+struct EpochResult {
+  int num_alarms = 0;        ///< Local constraint violations this epoch.
+  bool polled = false;       ///< Coordinator learned the exact global sum.
+  bool violation_reported = false;  ///< Scheme claims the global constraint
+                                    ///< is violated this epoch.
+};
+
+/// A distributed violation-detection scheme: site-local logic plus
+/// coordinator logic, with all communication charged to the context's
+/// MessageCounter. One instance simulates all sites (the simulator is
+/// single-process; the message counter is the fidelity boundary).
+class DetectionScheme {
+ public:
+  virtual ~DetectionScheme() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Called once before the run. Schemes build histograms / thresholds from
+  /// ctx.training here. The context outlives the run.
+  virtual Status Initialize(const SimContext& ctx) = 0;
+
+  /// Feeds one epoch of per-site observations (size num_sites) and runs the
+  /// scheme's protocol for that epoch.
+  virtual Result<EpochResult> OnEpoch(const std::vector<int64_t>& values) = 0;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_SIM_SCHEME_H_

@@ -1,0 +1,97 @@
+#ifndef DCV_THRESHOLD_BOOLEAN_SOLVER_H_
+#define DCV_THRESHOLD_BOOLEAN_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/canonical.h"
+#include "constraints/normalize.h"
+#include "histogram/distribution.h"
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// The local constraint installed at one site for boolean global
+/// constraints: lo <= X <= hi. One-sided constraints use lo = 0 or
+/// hi = M. An empty interval (lo > hi) means "always alarm".
+struct SiteBounds {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool Contains(int64_t x) const { return lo <= x && x <= hi; }
+  bool empty() const { return lo > hi; }
+
+  friend bool operator==(const SiteBounds&, const SiteBounds&) = default;
+};
+
+/// Result of boolean threshold selection: per-variable local bounds plus
+/// the estimated log-probability that all of them hold.
+struct BooleanSolution {
+  std::vector<SiteBounds> bounds;     ///< Indexed by variable.
+  double log_probability = 0.0;
+  bool degenerate = false;
+  /// For each CNF clause: index of the disjunct whose solution was selected
+  /// (paper §5.2: the j* maximizing the product), or -1 for clauses that are
+  /// trivially satisfied and impose nothing.
+  std::vector<int> chosen_disjunct;
+};
+
+/// Builds the canonical ThresholdProblem for a single canonical inequality:
+/// one ProblemVar per term, with a mirrored CdfView where the term is
+/// mirrored, and budget = bound. models[var] supplies each variable's
+/// distribution.
+Result<ThresholdProblem> MakeProblem(
+    const CanonicalIneq& ineq,
+    const std::vector<const DistributionModel*>& models);
+
+/// Checks the clause-wise covering property for a bounds vector: every
+/// clause must contain an atom that holds at the extreme point of the box
+/// (hi for unmirrored terms, M - lo for mirrored ones). Because canonical
+/// coefficients are positive, this is sufficient for
+/// (all locals hold) -> (global holds).
+bool BoundsCover(const std::vector<Clause>& clauses,
+                 const std::vector<std::vector<CanonicalIneq>>& canonical,
+                 const std::vector<SiteBounds>& bounds,
+                 const std::vector<int64_t>& domain_max);
+
+/// Threshold selection for general boolean constraints in CNF
+/// ∧_j (∨_k E_jk <= T̂_jk) (paper §5.2-5.4):
+///
+///   1. Per clause, run the base solver on every disjunct and keep the
+///      disjunct with the highest product (§5.2; an FPTAS for pure
+///      disjunctions, Lemma 3 / Theorem 4).
+///   2. Combine clauses by intersecting bounds, T_i = min_j T_ij (§5.3;
+///      pure conjunctions are NP-hard to approximate, Theorem 5, so this is
+///      a heuristic).
+///   3. Lift: greedily widen per-variable bounds while the covering check
+///      still passes (§5.3's "increase thresholds while no inequality is
+///      violated", strengthened to per-variable binary search).
+class BooleanThresholdSolver {
+ public:
+  struct Options {
+    /// Rounds of round-robin bound lifting (0 disables lifting).
+    int lift_rounds = 4;
+  };
+
+  /// `base` must outlive this solver.
+  BooleanThresholdSolver(const ThresholdSolver* base, Options options)
+      : base_(base), options_(options) {}
+  explicit BooleanThresholdSolver(const ThresholdSolver* base)
+      : BooleanThresholdSolver(base, Options()) {}
+
+  /// Solves for local bounds. models[v] is variable v's distribution and
+  /// defines M_v; every variable referenced by `cnf` must have a model.
+  Result<BooleanSolution> Solve(
+      const CnfConstraint& cnf,
+      const std::vector<const DistributionModel*>& models) const;
+
+ private:
+  const ThresholdSolver* base_;
+  Options options_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_BOOLEAN_SOLVER_H_

@@ -1,0 +1,26 @@
+#include "threshold/cdf_view.h"
+
+namespace dcv {
+
+int64_t CdfView::MinValueWithCumAtLeast(double target) const {
+  int64_t m = domain_max();
+  if (Cum(m) < target) {
+    return m + 1;
+  }
+  if (!mirrored_) {
+    return model_->MinValueWithCumAtLeast(target);
+  }
+  int64_t lo = 0;
+  int64_t hi = m;
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo) / 2;
+    if (Cum(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dcv

@@ -1,0 +1,68 @@
+#ifndef DCV_THRESHOLD_CDF_VIEW_H_
+#define DCV_THRESHOLD_CDF_VIEW_H_
+
+#include <cstdint>
+
+#include "histogram/distribution.h"
+
+namespace dcv {
+
+/// A possibly-mirrored view of a site's distribution model, used by the
+/// threshold solvers so they can always optimize the canonical problem
+/// "maximize prod G_i(T_i) subject to sum A_i T_i <= T" regardless of the
+/// original inequality's direction.
+///
+/// For an unmirrored view, G(t) = F(t) (frequency of X <= t). For a mirrored
+/// view over Y = M - X, G(t) = F(M) - F(M - t - 1) (frequency of Y <= t,
+/// i.e., X >= M - t). Both are non-decreasing in t.
+class CdfView {
+ public:
+  CdfView(const DistributionModel* model, bool mirrored)
+      : model_(model), mirrored_(mirrored) {}
+
+  const DistributionModel* model() const { return model_; }
+  bool mirrored() const { return mirrored_; }
+
+  /// Domain maximum M of the viewed variable (same for Y = M - X).
+  int64_t domain_max() const { return model_->domain_max(); }
+
+  /// Total observation weight G(M) = F(M).
+  double total() const { return model_->total_weight(); }
+
+  /// G(t); clamps t into [-1, M] semantics (t < 0 yields 0).
+  double Cum(int64_t t) const {
+    if (t < 0) {
+      return 0.0;
+    }
+    if (!mirrored_) {
+      return model_->CumulativeAt(t);
+    }
+    int64_t m = model_->domain_max();
+    if (t >= m) {
+      return model_->total_weight();
+    }
+    return model_->total_weight() - model_->CumulativeAt(m - t - 1);
+  }
+
+  /// G(t) / G(M); 0 when the model is empty.
+  double Prob(int64_t t) const {
+    double tot = total();
+    return tot > 0.0 ? Cum(t) / tot : 0.0;
+  }
+
+  /// Smallest t in [0, M] with G(t) >= target, or M + 1 when none exists.
+  int64_t MinValueWithCumAtLeast(double target) const;
+
+  /// Smallest t in [0, M] with Prob(t) >= prob, or M + 1 when none exists.
+  int64_t MinValueWithProbAtLeast(double prob) const {
+    return MinValueWithCumAtLeast(prob * total());
+  }
+
+ private:
+  const DistributionModel* model_;
+  bool mirrored_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_CDF_VIEW_H_

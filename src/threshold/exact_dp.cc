@@ -1,0 +1,74 @@
+#include "threshold/exact_dp.h"
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace dcv {
+
+Result<ThresholdSolution> ExactDpSolver::Solve(
+    const ThresholdProblem& problem) const {
+  DCV_RETURN_IF_ERROR(ValidateProblem(problem));
+  const size_t n = problem.vars.size();
+  if (n == 0) {
+    return ThresholdSolution{};
+  }
+  const int64_t budget = problem.budget;
+  const int64_t width = budget + 1;
+  if (static_cast<int64_t>(n) * width > options_.max_table_cells) {
+    return ResourceExhaustedError(
+        "exact DP table would need " +
+        std::to_string(static_cast<int64_t>(n) * width) +
+        " cells; budget too large for the pseudo-polynomial algorithm");
+  }
+
+  // prev[S] = best log product over the first i variables using weight <= S.
+  std::vector<double> prev(static_cast<size_t>(width), 0.0);
+  std::vector<double> cur(static_cast<size_t>(width), kNegInf);
+  // choice[i][S] = threshold T_{i+1} picked at state (i+1, S).
+  std::vector<std::vector<int64_t>> choice(
+      n, std::vector<int64_t>(static_cast<size_t>(width), 0));
+
+  for (size_t i = 0; i < n; ++i) {
+    const ProblemVar& v = problem.vars[i];
+    const int64_t m = v.cdf.domain_max();
+    const double total = v.cdf.total();
+    for (int64_t s = 0; s <= budget; ++s) {
+      double best = kNegInf;
+      int64_t best_j = 0;
+      const int64_t j_max = std::min(m, s / v.weight);
+      for (int64_t j = 0; j <= j_max; ++j) {
+        double lp = SafeLog(v.cdf.Cum(j) / total) +
+                    prev[static_cast<size_t>(s - v.weight * j)];
+        if (lp > best) {
+          best = lp;
+          best_j = j;
+        }
+      }
+      cur[static_cast<size_t>(s)] = best;
+      choice[i][static_cast<size_t>(s)] = best_j;
+    }
+    std::swap(prev, cur);
+  }
+
+  ThresholdSolution solution;
+  solution.thresholds.assign(n, 0);
+  int64_t s = budget;
+  for (size_t i = n; i-- > 0;) {
+    int64_t j = choice[i][static_cast<size_t>(s)];
+    solution.thresholds[i] = j;
+    s -= problem.vars[i].weight * j;
+  }
+  if (options_.redistribute_slack) {
+    RedistributeSlack(problem, &solution.thresholds);
+  }
+  solution.log_probability = LogProbability(problem, solution.thresholds);
+  if (solution.log_probability == kNegInf) {
+    // Even the best assignment has zero estimated probability; keep the
+    // covering thresholds but flag it.
+    solution.degenerate = true;
+  }
+  return solution;
+}
+
+}  // namespace dcv

@@ -1,0 +1,42 @@
+#ifndef DCV_THRESHOLD_EXACT_DP_H_
+#define DCV_THRESHOLD_EXACT_DP_H_
+
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// The paper's pseudo-polynomial exact algorithm (§4):
+///
+///   V_i(S) = max{ prod_{k<=i} G_k(T_k) : sum_{k<=i} A_k T_k <= S }
+///   V_i(S) = max_j { G_i(j) * V_{i-1}(S - A_i j) : j in [0, S/A_i] }
+///
+/// computed in log-space over an (n+1) x (budget+1) table with parent
+/// pointers for threshold recovery. O(n T^2) time, O(n T) space; only
+/// practical for modest budgets, and therefore mostly used as ground truth
+/// for validating the FPTAS (the paper proves the problem NP-hard, Thm 1).
+class ExactDpSolver : public ThresholdSolver {
+ public:
+  struct Options {
+    /// Refuse problems whose DP table would exceed this many cells.
+    int64_t max_table_cells = 200'000'000;
+
+    /// Spend leftover budget by raising thresholds toward the domain maxima
+    /// (never decreases the objective; see RedistributeSlack).
+    bool redistribute_slack = true;
+  };
+
+  explicit ExactDpSolver(Options options) : options_(options) {}
+  ExactDpSolver() : ExactDpSolver(Options()) {}
+
+  std::string_view name() const override { return "exact-dp"; }
+
+  Result<ThresholdSolution> Solve(
+      const ThresholdProblem& problem) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_EXACT_DP_H_

@@ -1,0 +1,88 @@
+#ifndef DCV_THRESHOLD_FPTAS_H_
+#define DCV_THRESHOLD_FPTAS_H_
+
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// The paper's FPTAS (§4.1, Theorem 2) for local-threshold selection:
+/// rounds the per-variable cumulative frequencies to powers of
+/// alpha = 1 + eps/2n and solves the resulting knapsack-style DP, giving a
+/// (1+eps)-approximation of max prod_i G_i(T_i) s.t. sum A_i T_i <= budget
+/// in time polynomial in the input size and 1/eps.
+///
+/// Implementation note: the paper indexes levels upward from frequency 1
+/// (r_i with F_i = alpha^{r_i}); we use the equivalent *deficit* form over
+/// normalized probabilities P_i = G_i/G_i(M): level s corresponds to
+/// P_i >= alpha^{-s}, I_i(s) = min t with P_i(t) >= alpha^{-s}, and the DP
+///
+///   D(i, p) = min{ sum_{k<=i} A_k I_k(s_k) : sum_{k<=i} s_k <= p }
+///
+/// is filled for p = 0..L; the answer is the smallest p with
+/// D(n, p) <= budget. Levels with identical I are deduplicated (keeping the
+/// smallest deficit), which preserves optimality and bounds the transition
+/// fan-out by the number of distinct threshold values. The standard rounding
+/// argument gives prod P_i(T_i) >= OPT / alpha^n >= OPT / (1+eps).
+class FptasSolver : public ThresholdSolver {
+ public:
+  struct Options {
+    /// Approximation parameter; the result is within (1+eps) of optimal.
+    double eps = 0.05;
+
+    /// Threshold values whose per-variable probability is below this floor
+    /// are never selected (they would be useless in practice and would blow
+    /// up the level count). The approximation guarantee is relative to the
+    /// best solution using only probabilities >= prob_floor.
+    double prob_floor = 1e-12;
+
+    /// Hard cap on deficit levels per variable.
+    int64_t max_levels_per_var = 1'000'000;
+
+    /// Hard cap on DP cells n * (L+1); exceeding it returns
+    /// ResourceExhausted instead of thrashing.
+    int64_t max_dp_cells = 400'000'000;
+
+    /// Spend leftover budget by raising thresholds toward the domain maxima
+    /// (never decreases the objective; see RedistributeSlack). Disable for
+    /// the strict textbook algorithm.
+    bool redistribute_slack = true;
+  };
+
+  /// Per-run diagnostics (sizes the complexity analysis talks about).
+  struct Stats {
+    /// Largest deficit column the DP explored before stopping (== deficit
+    /// when a solution was found; the worst case is L = log_alpha(P-bar)).
+    int64_t total_levels = 0;
+    int64_t useful_levels = 0;  ///< Deduplicated (s, I) pairs across vars.
+    int64_t dp_cells = 0;       ///< n * (explored columns).
+    int64_t deficit = 0;        ///< p*: total deficit of the returned
+                                ///< solution (-1 when degenerate).
+  };
+
+  explicit FptasSolver(Options options) : options_(options) {}
+  FptasSolver() : FptasSolver(Options()) {}
+
+  /// Convenience constructor matching the paper's "FPTAS with eps".
+  explicit FptasSolver(double eps) : options_(Options{.eps = eps}) {}
+
+  std::string_view name() const override { return "fptas"; }
+
+  Result<ThresholdSolution> Solve(
+      const ThresholdProblem& problem) const override {
+    Stats stats;
+    return SolveWithStats(problem, &stats);
+  }
+
+  /// Solve and report diagnostics.
+  Result<ThresholdSolution> SolveWithStats(const ThresholdProblem& problem,
+                                           Stats* stats) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_FPTAS_H_

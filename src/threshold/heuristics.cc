@@ -1,0 +1,80 @@
+#include "threshold/heuristics.h"
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace dcv {
+
+Result<ThresholdSolution> EqualValueSolver::Solve(
+    const ThresholdProblem& problem) const {
+  DCV_RETURN_IF_ERROR(ValidateProblem(problem));
+  ThresholdSolution solution;
+  if (problem.vars.empty()) {
+    return solution;
+  }
+  int64_t n = static_cast<int64_t>(problem.vars.size());
+  solution.thresholds.reserve(problem.vars.size());
+  for (const ProblemVar& v : problem.vars) {
+    int64_t t = problem.budget / (n * v.weight);
+    solution.thresholds.push_back(Clamp<int64_t>(t, 0, v.cdf.domain_max()));
+  }
+  solution.log_probability = LogProbability(problem, solution.thresholds);
+  solution.degenerate = solution.log_probability == kNegInf;
+  return solution;
+}
+
+namespace {
+
+// Thresholds at quantile level q (smallest t with P_i(t) >= q), clamped to
+// the domain; fills `used` with the weighted sum.
+std::vector<int64_t> QuantileThresholds(const ThresholdProblem& problem,
+                                        double q, int64_t* used) {
+  std::vector<int64_t> thresholds;
+  thresholds.reserve(problem.vars.size());
+  *used = 0;
+  for (const ProblemVar& v : problem.vars) {
+    int64_t t = v.cdf.MinValueWithProbAtLeast(q);
+    t = Clamp<int64_t>(t, 0, v.cdf.domain_max());
+    thresholds.push_back(t);
+    *used += v.weight * t;
+  }
+  return thresholds;
+}
+
+}  // namespace
+
+Result<ThresholdSolution> EqualTailSolver::Solve(
+    const ThresholdProblem& problem) const {
+  DCV_RETURN_IF_ERROR(ValidateProblem(problem));
+  ThresholdSolution solution;
+  if (problem.vars.empty()) {
+    return solution;
+  }
+  // Largest feasible q by bisection; the weighted quantile sum is
+  // non-decreasing in q.
+  double lo = 0.0;
+  double hi = 1.0;
+  int64_t used = 0;
+  std::vector<int64_t> at_hi = QuantileThresholds(problem, hi, &used);
+  if (used <= problem.budget) {
+    lo = hi;  // Even the full-coverage quantile fits.
+  } else {
+    for (int iter = 0; iter < options_.search_iterations; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      QuantileThresholds(problem, mid, &used);
+      if (used <= problem.budget) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  solution.thresholds = QuantileThresholds(problem, lo, &used);
+  // lo is always feasible: at q=0 every threshold is 0.
+  solution.log_probability = LogProbability(problem, solution.thresholds);
+  solution.degenerate = solution.log_probability == kNegInf;
+  return solution;
+}
+
+}  // namespace dcv

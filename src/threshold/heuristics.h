@@ -1,0 +1,44 @@
+#ifndef DCV_THRESHOLD_HEURISTICS_H_
+#define DCV_THRESHOLD_HEURISTICS_H_
+
+#include "threshold/solver.h"
+
+namespace dcv {
+
+/// The data-distribution-agnostic baseline (paper §6.1; called Simple-Value
+/// in Dilman & Raz): splits the global budget equally, T_i = budget/(n*A_i).
+/// Good only when all sites are uniformly and identically loaded.
+class EqualValueSolver : public ThresholdSolver {
+ public:
+  std::string_view name() const override { return "equal-value"; }
+
+  Result<ThresholdSolution> Solve(
+      const ThresholdProblem& problem) const override;
+};
+
+/// The Equal-Tail heuristic (paper §6.1): uses the per-site distributions
+/// but equalizes the *individual* violation probabilities
+/// 1 - P_i(T_i) across sites (instead of maximizing the joint probability),
+/// choosing the largest common quantile level q such that the q-quantiles
+/// still fit the budget. Binary search over q.
+class EqualTailSolver : public ThresholdSolver {
+ public:
+  struct Options {
+    int search_iterations = 60;  ///< Bisection steps over q in [0, 1].
+  };
+
+  explicit EqualTailSolver(Options options) : options_(options) {}
+  EqualTailSolver() : EqualTailSolver(Options()) {}
+
+  std::string_view name() const override { return "equal-tail"; }
+
+  Result<ThresholdSolution> Solve(
+      const ThresholdProblem& problem) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_HEURISTICS_H_

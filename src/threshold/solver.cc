@@ -1,0 +1,104 @@
+#include "threshold/solver.h"
+
+#include "common/math_util.h"
+
+namespace dcv {
+
+Status ValidateProblem(const ThresholdProblem& problem) {
+  if (problem.budget < 0) {
+    return InvalidArgumentError("threshold budget must be non-negative");
+  }
+  for (const ProblemVar& v : problem.vars) {
+    if (v.weight <= 0) {
+      return InvalidArgumentError(
+          "canonical problem requires positive weights (variable " +
+          std::to_string(v.var_id) + ")");
+    }
+    if (v.cdf.model() == nullptr) {
+      return InvalidArgumentError("variable " + std::to_string(v.var_id) +
+                                  " has no distribution model");
+    }
+    if (v.cdf.total() <= 0.0) {
+      return FailedPreconditionError(
+          "variable " + std::to_string(v.var_id) +
+          " has an empty distribution model (no observations)");
+    }
+    if (v.cdf.domain_max() < 0) {
+      return InvalidArgumentError("variable " + std::to_string(v.var_id) +
+                                  " has negative domain_max");
+    }
+  }
+  return OkStatus();
+}
+
+double LogProbability(const ThresholdProblem& problem,
+                      const std::vector<int64_t>& thresholds) {
+  double log_prob = 0.0;
+  for (size_t i = 0; i < problem.vars.size(); ++i) {
+    const ProblemVar& v = problem.vars[i];
+    log_prob += SafeLog(v.cdf.Prob(thresholds[i]));
+  }
+  return log_prob;
+}
+
+bool SatisfiesBudget(const ThresholdProblem& problem,
+                     const std::vector<int64_t>& thresholds) {
+  if (thresholds.size() != problem.vars.size()) {
+    return false;
+  }
+  int64_t used = 0;
+  for (size_t i = 0; i < problem.vars.size(); ++i) {
+    const ProblemVar& v = problem.vars[i];
+    if (thresholds[i] < 0 || thresholds[i] > v.cdf.domain_max()) {
+      return false;
+    }
+    used += v.weight * thresholds[i];
+  }
+  return used <= problem.budget;
+}
+
+void RedistributeSlack(const ThresholdProblem& problem,
+                       std::vector<int64_t>* thresholds) {
+  int64_t used = 0;
+  for (size_t i = 0; i < problem.vars.size(); ++i) {
+    used += problem.vars[i].weight * (*thresholds)[i];
+  }
+  int64_t slack = problem.budget - used;
+  // Round-robin until no variable can absorb more slack.
+  bool progress = true;
+  while (slack > 0 && progress) {
+    progress = false;
+    for (size_t i = 0; i < problem.vars.size() && slack > 0; ++i) {
+      const ProblemVar& v = problem.vars[i];
+      int64_t headroom = v.cdf.domain_max() - (*thresholds)[i];
+      if (headroom <= 0) {
+        continue;
+      }
+      int64_t grant = std::min(headroom, slack / v.weight);
+      if (grant <= 0) {
+        continue;
+      }
+      (*thresholds)[i] += grant;
+      slack -= grant * v.weight;
+      progress = true;
+    }
+  }
+}
+
+ThresholdSolution DegenerateFallback(const ThresholdProblem& problem) {
+  ThresholdSolution solution;
+  solution.degenerate = true;
+  if (problem.vars.empty()) {
+    return solution;
+  }
+  int64_t n = static_cast<int64_t>(problem.vars.size());
+  solution.thresholds.reserve(problem.vars.size());
+  for (const ProblemVar& v : problem.vars) {
+    int64_t t = problem.budget / (n * v.weight);
+    solution.thresholds.push_back(Clamp<int64_t>(t, 0, v.cdf.domain_max()));
+  }
+  solution.log_probability = LogProbability(problem, solution.thresholds);
+  return solution;
+}
+
+}  // namespace dcv

@@ -1,0 +1,93 @@
+#ifndef DCV_THRESHOLD_SOLVER_H_
+#define DCV_THRESHOLD_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "threshold/cdf_view.h"
+
+namespace dcv {
+
+/// One variable of the canonical local-threshold selection problem
+/// (paper §3.2): weight A_i > 0 and the (possibly mirrored) cumulative
+/// frequency view G_i of the site's distribution.
+struct ProblemVar {
+  int var_id = 0;     ///< Original site/variable index (for reporting).
+  int64_t weight = 1; ///< A_i > 0.
+  CdfView cdf;        ///< G_i over the canonical variable Y_i in [0, M_i].
+};
+
+/// The canonical local-threshold selection problem:
+///
+///   maximize   prod_i G_i(T_i)
+///   subject to sum_i A_i * T_i <= budget,  T_i integer in [0, M_i].
+///
+/// All solvers consume this form; `Canonicalize` (constraints/canonical.h)
+/// reduces arbitrary linear atoms to it.
+struct ThresholdProblem {
+  std::vector<ProblemVar> vars;
+  int64_t budget = 0;  ///< T.
+};
+
+/// Validates weights, budget, and distribution totals.
+Status ValidateProblem(const ThresholdProblem& problem);
+
+/// A solver's threshold assignment plus its objective value.
+struct ThresholdSolution {
+  /// T_i aligned with ThresholdProblem::vars, each in [0, M_i].
+  std::vector<int64_t> thresholds;
+
+  /// sum_i ln(G_i(T_i)/G_i(M_i)), i.e. the log of the estimated probability
+  /// that every local constraint holds; -inf when some factor is zero.
+  double log_probability = 0.0;
+
+  /// True when the solver could not find any assignment with positive
+  /// probability within the budget and fell back to a clamped Equal-Value
+  /// split (covering still holds).
+  bool degenerate = false;
+};
+
+/// Recomputes the log-probability objective for an arbitrary threshold
+/// vector (used by tests and by solvers to fill in solutions).
+double LogProbability(const ThresholdProblem& problem,
+                      const std::vector<int64_t>& thresholds);
+
+/// True when sum_i A_i * T_i <= budget and every T_i is within [0, M_i].
+bool SatisfiesBudget(const ThresholdProblem& problem,
+                     const std::vector<int64_t>& thresholds);
+
+/// Interface implemented by every local-threshold selection scheme
+/// (FPTAS, exact DP, Equal-Value, Equal-Tail).
+class ThresholdSolver {
+ public:
+  virtual ~ThresholdSolver() = default;
+
+  /// Scheme name for reports ("fptas", "equal-value", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Computes thresholds for the canonical problem. Implementations must
+  /// return solutions satisfying the budget (covering property).
+  virtual Result<ThresholdSolution> Solve(
+      const ThresholdProblem& problem) const = 0;
+};
+
+/// The budget-respecting fallback shared by solvers when no positive-
+/// probability assignment exists: an Equal-Value split clamped into domain
+/// bounds. Always satisfies the budget.
+ThresholdSolution DegenerateFallback(const ThresholdProblem& problem);
+
+/// Greedily spends leftover budget by raising thresholds toward their
+/// domain maxima (round-robin). Raising a threshold never decreases any
+/// G_i, so the objective is weakly improved and the covering property is
+/// preserved; operationally it reduces alarms on values beyond the training
+/// data (paper §5.3's "increase the thresholds as long as no inequality is
+/// violated", applied to the single-inequality case). In-place.
+void RedistributeSlack(const ThresholdProblem& problem,
+                       std::vector<int64_t>* thresholds);
+
+}  // namespace dcv
+
+#endif  // DCV_THRESHOLD_SOLVER_H_

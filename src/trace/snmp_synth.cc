@@ -1,0 +1,163 @@
+#include "trace/snmp_synth.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+// Smooth bump centered at `center` (hours) with the given width.
+double Bump(double hour, double center, double width) {
+  double d = (hour - center) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+// Campus-wifi-like diurnal curve over hour-of-day in [0, 24): quiet nights,
+// a late-morning peak, an afternoon plateau, and an evening shoulder.
+// Ranges over roughly [1 - depth, 1].
+double Diurnal(double hour, double depth) {
+  double activity = Bump(hour, 11.0, 2.8) + 0.9 * Bump(hour, 15.5, 2.8) +
+                    0.55 * Bump(hour, 20.5, 2.0);
+  constexpr double kPeak = 1.35;  // Approximate max of `activity`.
+  return (1.0 - depth) + depth * Clamp(activity / kPeak, 0.0, 1.0);
+}
+
+}  // namespace
+
+int64_t EpochsPerWeek(const SnmpTraceOptions& options) {
+  return static_cast<int64_t>(options.weekdays_per_week) *
+         options.epochs_per_day;
+}
+
+Result<Trace> GenerateSnmpTrace(const SnmpTraceOptions& options) {
+  if (options.num_sites < 1) {
+    return InvalidArgumentError("num_sites must be >= 1");
+  }
+  if (options.num_weeks < 1 || options.weekdays_per_week < 1 ||
+      options.epochs_per_day < 1) {
+    return InvalidArgumentError("trace dimensions must be >= 1");
+  }
+  if (options.correlation < 0.0 || options.correlation >= 1.0) {
+    return InvalidArgumentError("correlation must be in [0, 1)");
+  }
+  if (options.domain_max < 1) {
+    return InvalidArgumentError("domain_max must be >= 1");
+  }
+  if (options.shape_spread < 0.0 || options.shape_spread >= 1.0) {
+    return InvalidArgumentError("shape_spread must be in [0, 1)");
+  }
+  if (options.burst_autocorr < 0.0 || options.burst_autocorr >= 1.0) {
+    return InvalidArgumentError("burst_autocorr must be in [0, 1)");
+  }
+
+  Rng rng(options.seed);
+
+  // Per-site static parameters: scale, phase, and distribution *shape*
+  // (burstiness, spikiness, diurnal swing differ per access point).
+  const size_t num_sites = static_cast<size_t>(options.num_sites);
+  std::vector<double> base(num_sites);
+  std::vector<double> phase(num_sites);
+  std::vector<double> site_burst_sigma(num_sites);
+  std::vector<double> site_spike_prob(num_sites);
+  std::vector<double> site_diurnal_depth(num_sites);
+  std::vector<bool> shifted(num_sites, false);
+  std::vector<bool> bimodal(num_sites, false);
+  std::vector<double> session_factor(num_sites, 1.0);
+  std::vector<int64_t> session_remaining(num_sites, 0);
+  const double spread = options.shape_spread;
+  for (size_t i = 0; i < num_sites; ++i) {
+    base[i] = options.base_median *
+              std::exp(rng.Normal(0.0, options.site_scale_sigma));
+    phase[i] = rng.Normal(0.0, options.phase_jitter_hours);
+    site_burst_sigma[i] =
+        options.burst_sigma * rng.UniformDouble(1.0 - spread, 1.0 + spread);
+    site_spike_prob[i] = Clamp(
+        options.spike_prob * rng.UniformDouble(1.0 - spread, 1.0 + spread),
+        0.0, 1.0);
+    site_diurnal_depth[i] = Clamp(
+        options.diurnal_depth *
+            rng.UniformDouble(1.0 - spread / 2.0, 1.0 + spread / 2.0),
+        0.0, 1.0);
+    if (options.shift_week >= 0) {
+      shifted[i] = rng.Bernoulli(options.shift_site_fraction);
+    }
+    bimodal[i] = rng.Bernoulli(options.bimodal_fraction);
+    if (bimodal[i]) {
+      // Classroom-style sites idle at a fraction of the nominal base and
+      // jump by a large per-site factor during sessions.
+      base[i] *= 0.25;
+      session_factor[i] =
+          options.session_factor_median *
+          std::exp(rng.Normal(0.0, options.session_factor_sigma));
+    }
+  }
+
+  const double rho = options.correlation;
+  const double phi = options.burst_autocorr;
+  const double ar_innovation = std::sqrt(1.0 - phi * phi);
+  // Per-site AR(1) state for the idiosyncratic log-burst component, started
+  // from the stationary distribution (unit sigma; scaled per site below).
+  std::vector<double> ar_state(num_sites);
+  for (size_t i = 0; i < num_sites; ++i) {
+    ar_state[i] = rng.Normal(0.0, 1.0);
+  }
+
+  Trace trace(options.num_sites);
+  const int64_t week_epochs = EpochsPerWeek(options);
+  const double hours_per_epoch = 24.0 / options.epochs_per_day;
+
+  for (int week = 0; week < options.num_weeks; ++week) {
+    for (int64_t e = 0; e < week_epochs; ++e) {
+      const int64_t epoch_of_day = e % options.epochs_per_day;
+      const double hour = static_cast<double>(epoch_of_day) * hours_per_epoch;
+      // Shared burst factor drawn at unit sigma; each site applies its own
+      // sigma split so that marginals keep the site's burstiness while the
+      // correlated fraction rho is shared across sites.
+      const double shared_unit = rng.Normal(0.0, 1.0);
+      std::vector<int64_t> values(static_cast<size_t>(options.num_sites));
+      for (int i = 0; i < options.num_sites; ++i) {
+        size_t si = static_cast<size_t>(i);
+        double site_hour = hour + phase[si];
+        site_hour -= 24.0 * std::floor(site_hour / 24.0);
+        double level = base[si] * Diurnal(site_hour, site_diurnal_depth[si]);
+        if (bimodal[si]) {
+          if (session_remaining[si] > 0) {
+            level *= session_factor[si];
+            --session_remaining[si];
+          } else if (rng.Bernoulli(options.session_start_prob *
+                                   Diurnal(site_hour,
+                                           site_diurnal_depth[si]))) {
+            // Sessions start mostly during busy hours and last a geometric
+            // number of epochs.
+            session_remaining[si] = 1 + static_cast<int64_t>(
+                rng.Exponential(1.0 / options.session_mean_epochs));
+          }
+        }
+        if (shifted[si] && options.shift_week >= 0 &&
+            week >= options.shift_week) {
+          level *= options.shift_factor;
+        }
+        const double shared_sigma = site_burst_sigma[si] * std::sqrt(rho);
+        const double own_sigma = site_burst_sigma[si] * std::sqrt(1.0 - rho);
+        // AR(1) step at unit sigma keeps the stationary marginal N(0, 1).
+        ar_state[si] = phi * ar_state[si] +
+                       ar_innovation * rng.Normal(0.0, 1.0);
+        double burst =
+            std::exp(shared_unit * shared_sigma + ar_state[si] * own_sigma);
+        double v = level * burst;
+        if (rng.Bernoulli(site_spike_prob[si])) {
+          v *= rng.Pareto(1.0, options.spike_shape);
+        }
+        values[si] = Clamp<int64_t>(static_cast<int64_t>(std::llround(v)), 0,
+                                    options.domain_max);
+      }
+      DCV_RETURN_IF_ERROR(trace.AppendEpoch(std::move(values)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace dcv

@@ -1,0 +1,91 @@
+#ifndef DCV_TRACE_SNMP_SYNTH_H_
+#define DCV_TRACE_SNMP_SYNTH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Generator of a synthetic stand-in for the Dartmouth CRAWDAD SNMP trace
+/// used in the paper's evaluation (§6.3): per-access-point bytes transmitted
+/// per five-minute interval, weekdays only.
+///
+/// The generator reproduces the statistical features the experiment depends
+/// on (see DESIGN.md "Data substitution"):
+///  * per-site scale heterogeneity — busy vs. quiet APs (lognormal spread),
+///  * a shared diurnal (time-of-day) load curve with per-site phase jitter,
+///  * heavy-tailed per-interval bursts (lognormal body + rare Pareto
+///    spikes),
+///  * week-over-week stationarity, with an optional injected distribution
+///    shift (the paper's data triggered exactly one histogram recomputation
+///    across four evaluation weeks),
+///  * optional cross-site correlation (for the independence-assumption
+///    ablation; the paper's model assumes independence).
+struct SnmpTraceOptions {
+  int num_sites = 10;
+  int num_weeks = 5;           ///< Week 0 is typically used for training.
+  int weekdays_per_week = 5;   ///< The paper restricts to weekdays.
+  int epochs_per_day = 287;    ///< 287 * 5 = 1435 observations/week (§6.4).
+  uint64_t seed = 42;
+
+  double base_median = 2.0e5;     ///< Median per-interval bytes of a site.
+  double site_scale_sigma = 1.0;  ///< Lognormal spread of per-site scale.
+  double burst_sigma = 0.6;       ///< Lognormal sigma of per-interval bursts.
+
+  /// AR(1) coefficient of each site's log-burst process in [0, 1): real
+  /// five-minute traffic is strongly autocorrelated (consecutive intervals
+  /// look alike); 0 gives i.i.d. bursts. The stationary marginal stays
+  /// lognormal(0, burst_sigma) regardless.
+  double burst_autocorr = 0.7;
+  double spike_prob = 0.004;      ///< Probability of a Pareto spike.
+  double spike_shape = 1.5;       ///< Pareto shape of spikes (heavier < 2).
+  double diurnal_depth = 0.85;    ///< 0 = flat, 1 = nights near zero.
+  double phase_jitter_hours = 1.5;
+
+  /// Per-site *shape* heterogeneity in [0, 1): each site draws its own
+  /// burst sigma in burst_sigma * [1 - spread, 1 + spread], its own spike
+  /// probability in spike_prob * [1 - spread, 1 + spread], and its own
+  /// diurnal depth in diurnal_depth * [1 - spread/2, min(1, 1 + spread/2)].
+  /// Real access points differ in burstiness, not just scale; shape
+  /// heterogeneity is what separates distribution-aware threshold selection
+  /// from tail-equalizing heuristics.
+  double shape_spread = 0.6;
+
+  /// Fraction of sites with *bimodal* (classroom-style) load: mostly idle,
+  /// but entering occasional multi-epoch "sessions" during which traffic is
+  /// `session_factor` times the base level. Such sites have a plateau in
+  /// their CDF between the idle mode and the session mode — the regime
+  /// where tail-equalizing heuristics waste budget (they must pay the full
+  /// mode jump at every such site to raise the common quantile) while the
+  /// product-maximizing FPTAS spends it where it is cheap.
+  double bimodal_fraction = 0.3;
+  double session_start_prob = 0.015;  ///< Per-epoch session start chance.
+  double session_mean_epochs = 18.0;  ///< Mean session length (geometric).
+  double session_factor_median = 15.0;  ///< Median per-site session boost.
+  double session_factor_sigma = 0.5;    ///< Lognormal spread of the boost.
+
+  /// Cross-site correlation in [0, 1): fraction of the log-burst variance
+  /// contributed by a factor shared across all sites at an epoch.
+  double correlation = 0.0;
+
+  /// Week index (0-based) at which a persistent load shift begins at a
+  /// random `shift_site_fraction` of the sites; -1 disables the shift.
+  int shift_week = -1;
+  double shift_factor = 1.8;
+  double shift_site_fraction = 0.3;
+
+  /// Values are clamped into [0, domain_max].
+  int64_t domain_max = 1'000'000'000;
+};
+
+/// Epochs in one generated week.
+int64_t EpochsPerWeek(const SnmpTraceOptions& options);
+
+/// Generates the trace; deterministic in options.seed.
+Result<Trace> GenerateSnmpTrace(const SnmpTraceOptions& options);
+
+}  // namespace dcv
+
+#endif  // DCV_TRACE_SNMP_SYNTH_H_

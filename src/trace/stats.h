@@ -1,0 +1,44 @@
+#ifndef DCV_TRACE_STATS_H_
+#define DCV_TRACE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Summary statistics of one site's series.
+struct SiteStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes summary stats for a site; zeroes for an empty trace.
+SiteStats ComputeSiteStats(const Trace& trace, int site);
+
+/// Per-epoch weighted sums sum_i A_i * X_i(t). Empty weights mean all-ones.
+std::vector<int64_t> EpochSums(const Trace& trace,
+                               const std::vector<int64_t>& weights);
+
+/// Fraction of epochs whose weighted sum strictly exceeds `threshold`.
+double OverflowFraction(const Trace& trace,
+                        const std::vector<int64_t>& weights,
+                        int64_t threshold);
+
+/// The smallest global threshold T such that at most `fraction` of the
+/// trace's epochs have weighted sum > T. Used by the benchmark harness to
+/// sweep the x-axis of Figure 1 ("% of observations for which the sum
+/// exceeded the chosen global threshold"). Fails on an empty trace.
+Result<int64_t> ThresholdForOverflowFraction(
+    const Trace& trace, const std::vector<int64_t>& weights, double fraction);
+
+}  // namespace dcv
+
+#endif  // DCV_TRACE_STATS_H_

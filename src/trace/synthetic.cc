@@ -1,0 +1,68 @@
+#include "trace/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+int64_t DrawMarginal(Rng& rng, const SyntheticTraceOptions& options) {
+  switch (options.marginal) {
+    case Marginal::kUniform:
+      return rng.UniformInt(0, options.domain_max);
+    case Marginal::kZipf:
+      return rng.Zipf(options.domain_max, options.param1);
+    case Marginal::kPareto:
+      return static_cast<int64_t>(
+          std::llround(rng.Pareto(options.param1, options.param2)));
+    case Marginal::kLogNormal:
+      return static_cast<int64_t>(
+          std::llround(rng.LogNormal(options.param1, options.param2)));
+    case Marginal::kExponential:
+      return static_cast<int64_t>(std::llround(
+          rng.Exponential(options.param1)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<Trace> GenerateSyntheticTrace(const SyntheticTraceOptions& options) {
+  if (options.num_sites < 1 || options.num_epochs < 0) {
+    return InvalidArgumentError("invalid synthetic trace dimensions");
+  }
+  if (options.domain_max < 1) {
+    return InvalidArgumentError("domain_max must be >= 1");
+  }
+  if (options.correlation < 0.0 || options.correlation >= 1.0) {
+    return InvalidArgumentError("correlation must be in [0, 1)");
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> scale(static_cast<size_t>(options.num_sites), 1.0);
+  if (options.heterogeneous) {
+    for (double& s : scale) {
+      s = std::exp(rng.Normal(0.0, options.heterogeneity_sigma));
+    }
+  }
+
+  Trace trace(options.num_sites);
+  for (int64_t t = 0; t < options.num_epochs; ++t) {
+    std::vector<int64_t> values(static_cast<size_t>(options.num_sites));
+    const bool shared_epoch = rng.Bernoulli(options.correlation);
+    const int64_t shared_draw = DrawMarginal(rng, options);
+    for (int i = 0; i < options.num_sites; ++i) {
+      int64_t draw = shared_epoch ? shared_draw : DrawMarginal(rng, options);
+      double v = static_cast<double>(draw) * scale[static_cast<size_t>(i)];
+      values[static_cast<size_t>(i)] = Clamp<int64_t>(
+          static_cast<int64_t>(std::llround(v)), 0, options.domain_max);
+    }
+    DCV_RETURN_IF_ERROR(trace.AppendEpoch(std::move(values)));
+  }
+  return trace;
+}
+
+}  // namespace dcv

@@ -1,0 +1,48 @@
+#ifndef DCV_TRACE_SYNTHETIC_H_
+#define DCV_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Marginal distribution families for the generic synthetic workloads used
+/// by tests, micro-benchmarks, and ablations.
+enum class Marginal {
+  kUniform,      ///< Uniform integers in [0, domain_max].
+  kZipf,         ///< Zipf rank in [1, domain_max] with exponent param1.
+  kPareto,       ///< Pareto(scale=param1, shape=param2), rounded & clamped.
+  kLogNormal,    ///< exp(N(param1, param2)), rounded & clamped.
+  kExponential,  ///< Exponential(rate=param1), rounded & clamped.
+};
+
+struct SyntheticTraceOptions {
+  int num_sites = 4;
+  int64_t num_epochs = 1000;
+  uint64_t seed = 1;
+  Marginal marginal = Marginal::kLogNormal;
+  int64_t domain_max = 1'000'000;
+  double param1 = 8.0;  ///< Family-specific (see Marginal).
+  double param2 = 1.0;
+
+  /// When true, each site's draws are scaled by a site-specific lognormal
+  /// factor, making sites heterogeneous (the regime where distribution-aware
+  /// threshold selection wins).
+  bool heterogeneous = false;
+  double heterogeneity_sigma = 1.0;
+
+  /// Cross-site correlation in [0, 1): probability that an epoch reuses one
+  /// shared draw for every site (mixture construction; preserves
+  /// marginals).
+  double correlation = 0.0;
+};
+
+/// Generates an i.i.d.-per-epoch trace with the requested marginals;
+/// deterministic in options.seed.
+Result<Trace> GenerateSyntheticTrace(const SyntheticTraceOptions& options);
+
+}  // namespace dcv
+
+#endif  // DCV_TRACE_SYNTHETIC_H_

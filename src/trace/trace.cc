@@ -1,0 +1,136 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace dcv {
+
+Trace::Trace(int num_sites) {
+  DCV_CHECK(num_sites >= 0) << "negative site count";
+  site_names_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    site_names_.push_back("site" + std::to_string(i));
+  }
+}
+
+Trace::Trace(std::vector<std::string> site_names)
+    : site_names_(std::move(site_names)) {}
+
+Status Trace::AppendEpoch(std::vector<int64_t> values) {
+  if (values.size() != site_names_.size()) {
+    return InvalidArgumentError(
+        "epoch has " + std::to_string(values.size()) + " values but trace has " +
+        std::to_string(site_names_.size()) + " sites");
+  }
+  for (int64_t v : values) {
+    if (v < 0) {
+      return InvalidArgumentError("trace values must be non-negative");
+    }
+  }
+  epochs_.push_back(std::move(values));
+  return OkStatus();
+}
+
+int64_t Trace::at(int64_t epoch, int site) const {
+  DCV_CHECK(epoch >= 0 && epoch < num_epochs()) << "epoch out of range";
+  DCV_CHECK(site >= 0 && site < num_sites()) << "site out of range";
+  return epochs_[static_cast<size_t>(epoch)][static_cast<size_t>(site)];
+}
+
+const std::vector<int64_t>& Trace::epoch(int64_t epoch) const {
+  DCV_CHECK(epoch >= 0 && epoch < num_epochs()) << "epoch out of range";
+  return epochs_[static_cast<size_t>(epoch)];
+}
+
+std::vector<int64_t> Trace::SiteSeries(int site) const {
+  DCV_CHECK(site >= 0 && site < num_sites()) << "site out of range";
+  std::vector<int64_t> out;
+  out.reserve(epochs_.size());
+  for (const auto& e : epochs_) {
+    out.push_back(e[static_cast<size_t>(site)]);
+  }
+  return out;
+}
+
+int64_t Trace::WeightedSum(int64_t epoch,
+                           const std::vector<int64_t>& weights) const {
+  const auto& e = this->epoch(epoch);
+  int64_t sum = 0;
+  for (size_t i = 0; i < e.size(); ++i) {
+    int64_t w = i < weights.size() ? weights[i] : 1;
+    sum += w * e[i];
+  }
+  return sum;
+}
+
+Result<Trace> Trace::Slice(int64_t begin, int64_t end) const {
+  if (begin < 0 || end < begin || end > num_epochs()) {
+    return OutOfRangeError("invalid trace slice [" + std::to_string(begin) +
+                           ", " + std::to_string(end) + ")");
+  }
+  Trace out(site_names_);
+  out.epochs_.assign(epochs_.begin() + begin, epochs_.begin() + end);
+  return out;
+}
+
+int64_t Trace::MaxValue(int site) const {
+  DCV_CHECK(site >= 0 && site < num_sites()) << "site out of range";
+  int64_t best = 0;
+  for (const auto& e : epochs_) {
+    best = std::max(best, e[static_cast<size_t>(site)]);
+  }
+  return best;
+}
+
+int64_t Trace::GlobalMaxValue() const {
+  int64_t best = 0;
+  for (int i = 0; i < num_sites(); ++i) {
+    best = std::max(best, MaxValue(i));
+  }
+  return best;
+}
+
+Status Trace::WriteCsv(const std::string& path) const {
+  std::vector<std::string> header;
+  header.push_back("epoch");
+  for (const auto& name : site_names_) {
+    header.push_back(name);
+  }
+  CsvTable table(std::move(header));
+  for (int64_t t = 0; t < num_epochs(); ++t) {
+    std::vector<std::string> row;
+    row.reserve(site_names_.size() + 1);
+    row.push_back(std::to_string(t));
+    for (int64_t v : epochs_[static_cast<size_t>(t)]) {
+      row.push_back(std::to_string(v));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.WriteToFile(path);
+}
+
+Result<Trace> Trace::ReadCsv(const std::string& path) {
+  DCV_ASSIGN_OR_RETURN(CsvTable table,
+                       CsvTable::ReadFromFile(path, /*has_header=*/true));
+  if (table.header().size() < 2 || table.header()[0] != "epoch") {
+    return InvalidArgumentError(
+        "trace CSV must have an 'epoch' column followed by site columns");
+  }
+  std::vector<std::string> names(table.header().begin() + 1,
+                                 table.header().end());
+  Trace out(std::move(names));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<int64_t> values;
+    values.reserve(table.header().size() - 1);
+    for (size_t c = 1; c < table.header().size(); ++c) {
+      DCV_ASSIGN_OR_RETURN(int64_t v, table.Int64At(r, c));
+      values.push_back(v);
+    }
+    DCV_RETURN_IF_ERROR(out.AppendEpoch(std::move(values)));
+  }
+  return out;
+}
+
+}  // namespace dcv

@@ -1,0 +1,70 @@
+#ifndef DCV_TRACE_TRACE_H_
+#define DCV_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dcv {
+
+/// A multi-site time series: for each epoch (e.g., a five-minute polling
+/// interval) one non-negative integer observation per site. This is the
+/// workload format consumed by the monitoring simulator and produced by the
+/// trace generators / CSV import.
+class Trace {
+ public:
+  /// Creates an empty trace over `num_sites` sites. Site names default to
+  /// "site<i>".
+  explicit Trace(int num_sites);
+
+  /// Creates with explicit site names.
+  explicit Trace(std::vector<std::string> site_names);
+
+  int num_sites() const { return static_cast<int>(site_names_.size()); }
+  int64_t num_epochs() const {
+    return static_cast<int64_t>(epochs_.size());
+  }
+  const std::vector<std::string>& site_names() const { return site_names_; }
+
+  /// Appends one epoch of observations; `values.size()` must equal
+  /// num_sites() and every value must be >= 0.
+  Status AppendEpoch(std::vector<int64_t> values);
+
+  /// Value of site `site` at epoch `epoch` (both bounds-checked by
+  /// DCV_CHECK in debug spirit: out of range aborts).
+  int64_t at(int64_t epoch, int site) const;
+
+  /// One epoch's vector of per-site values.
+  const std::vector<int64_t>& epoch(int64_t epoch) const;
+
+  /// The full series of one site.
+  std::vector<int64_t> SiteSeries(int site) const;
+
+  /// Sum over sites at an epoch with per-site weights (weights may be empty
+  /// for unweighted sums).
+  int64_t WeightedSum(int64_t epoch, const std::vector<int64_t>& weights) const;
+
+  /// Sub-trace of epochs [begin, end).
+  Result<Trace> Slice(int64_t begin, int64_t end) const;
+
+  /// Largest observed value of a site (0 for an empty trace).
+  int64_t MaxValue(int site) const;
+
+  /// Largest observed value across all sites.
+  int64_t GlobalMaxValue() const;
+
+  /// CSV round-trip: columns are epoch plus one column per site.
+  Status WriteCsv(const std::string& path) const;
+  static Result<Trace> ReadCsv(const std::string& path);
+
+ private:
+  std::vector<std::string> site_names_;
+  std::vector<std::vector<int64_t>> epochs_;  // epochs_[t][site].
+};
+
+}  // namespace dcv
+
+#endif  // DCV_TRACE_TRACE_H_

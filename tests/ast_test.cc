@@ -1,0 +1,104 @@
+#include "constraints/ast.h"
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+AggExpr Var(int i, int64_t coef = 1) {
+  return AggExpr::Linear(LinearExpr::FromTerm(i, coef));
+}
+
+TEST(AggExprTest, LinearLeafEvaluates) {
+  AggExpr e = Var(0, 3);
+  EXPECT_EQ(e.Evaluate({4}), 12);
+  EXPECT_EQ(e.kind(), AggExpr::Kind::kLinear);
+}
+
+TEST(AggExprTest, SumEvaluates) {
+  AggExpr e = AggExpr::Sum({Var(0), Var(1, 2)});
+  EXPECT_EQ(e.Evaluate({3, 5}), 13);
+}
+
+TEST(AggExprTest, MinMaxEvaluate) {
+  AggExpr mn = AggExpr::Min({Var(0), Var(1)});
+  AggExpr mx = AggExpr::Max({Var(0), Var(1)});
+  EXPECT_EQ(mn.Evaluate({7, 3}), 3);
+  EXPECT_EQ(mx.Evaluate({7, 3}), 7);
+}
+
+TEST(AggExprTest, NestedEvaluation) {
+  // MAX{MIN{x0, x1} + 2, x2}
+  AggExpr inner = AggExpr::Min({Var(0), Var(1)});
+  AggExpr sum = AggExpr::Sum(
+      {inner, AggExpr::Linear(LinearExpr::FromConstant(2))});
+  AggExpr e = AggExpr::Max({sum, Var(2)});
+  EXPECT_EQ(e.Evaluate({5, 9, 4}), 7);   // min=5, +2=7 > 4.
+  EXPECT_EQ(e.Evaluate({5, 9, 10}), 10);
+}
+
+TEST(AggExprTest, MaxVarAndNodeCount) {
+  AggExpr e = AggExpr::Max({Var(3), AggExpr::Min({Var(1), Var(7)})});
+  EXPECT_EQ(e.max_var(), 7);
+  EXPECT_EQ(e.NodeCount(), 5u);
+}
+
+TEST(AggExprTest, ToStringRendersFunctions) {
+  AggExpr e = AggExpr::Min({Var(0), AggExpr::Sum({Var(1), Var(2)})});
+  EXPECT_EQ(e.ToString(), "MIN{x0, SUM{x1, x2}}");
+}
+
+TEST(BoolExprTest, AtomLeAndGe) {
+  BoolExpr le = BoolExpr::Atom(Var(0), CmpOp::kLe, 5);
+  BoolExpr ge = BoolExpr::Atom(Var(0), CmpOp::kGe, 5);
+  EXPECT_TRUE(le.Evaluate({5}));
+  EXPECT_FALSE(le.Evaluate({6}));
+  EXPECT_TRUE(ge.Evaluate({5}));
+  EXPECT_FALSE(ge.Evaluate({4}));
+}
+
+TEST(BoolExprTest, AndOrShortSemantics) {
+  BoolExpr a = BoolExpr::Atom(Var(0), CmpOp::kLe, 5);
+  BoolExpr b = BoolExpr::Atom(Var(1), CmpOp::kLe, 5);
+  BoolExpr both = BoolExpr::And({a, b});
+  BoolExpr either = BoolExpr::Or({a, b});
+  EXPECT_TRUE(both.Evaluate({5, 5}));
+  EXPECT_FALSE(both.Evaluate({5, 6}));
+  EXPECT_TRUE(either.Evaluate({5, 6}));
+  EXPECT_FALSE(either.Evaluate({6, 6}));
+}
+
+TEST(BoolExprTest, PaperExampleConstraint) {
+  // ((3x0 + x1 >= 1) || (MIN{x0, 2x2 - x1} <= 5)) && (x0 + MAX{3x1, x2} >= 4)
+  BoolExpr left1 = BoolExpr::Atom(
+      AggExpr::Sum({Var(0, 3), Var(1)}), CmpOp::kGe, 1);
+  LinearExpr two_x2_minus_x1;
+  two_x2_minus_x1.AddTerm(2, 2);
+  two_x2_minus_x1.AddTerm(1, -1);
+  BoolExpr left2 = BoolExpr::Atom(
+      AggExpr::Min({Var(0), AggExpr::Linear(two_x2_minus_x1)}), CmpOp::kLe, 5);
+  BoolExpr right = BoolExpr::Atom(
+      AggExpr::Sum({Var(0), AggExpr::Max({Var(1, 3), Var(2)})}), CmpOp::kGe,
+      4);
+  BoolExpr g = BoolExpr::And({BoolExpr::Or({left1, left2}), right});
+
+  EXPECT_TRUE(g.Evaluate({1, 1, 1}));    // 4>=1; 1+3=4>=4.
+  EXPECT_FALSE(g.Evaluate({0, 1, 0}));   // Right: 0+max(3,0)=3 < 4.
+  EXPECT_TRUE(g.Evaluate({0, 0, 4}));    // Left2: min(0,8)=0<=5; right: 4>=4.
+}
+
+TEST(BoolExprTest, MaxVarAndNodeCount) {
+  BoolExpr e = BoolExpr::And({BoolExpr::Atom(Var(2), CmpOp::kLe, 1),
+                              BoolExpr::Atom(Var(5), CmpOp::kLe, 1)});
+  EXPECT_EQ(e.max_var(), 5);
+  EXPECT_EQ(e.NodeCount(), 5u);  // And + 2 atoms + 2 agg leaves.
+}
+
+TEST(BoolExprTest, ToStringRendersTree) {
+  BoolExpr e = BoolExpr::Or({BoolExpr::Atom(Var(0), CmpOp::kLe, 3),
+                             BoolExpr::Atom(Var(1), CmpOp::kGe, 7)});
+  EXPECT_EQ(e.ToString(), "((x0 <= 3) || (x1 >= 7))");
+}
+
+}  // namespace
+}  // namespace dcv

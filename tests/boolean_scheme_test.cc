@@ -1,0 +1,145 @@
+#include "sim/boolean_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeWorkload(uint64_t seed, int sites = 3) {
+  SyntheticTraceOptions options;
+  options.num_sites = sites;
+  options.num_epochs = 2000;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.6;
+  options.domain_max = 100000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, 1000);
+  w.eval = *trace->Slice(1000, 2000);
+  return w;
+}
+
+SimOptions BooleanSim(const BoolExpr& expr) {
+  SimOptions sim;
+  sim.is_violation = [expr](const std::vector<int64_t>& values) {
+    return !expr.Evaluate(values);
+  };
+  return sim;
+}
+
+TEST(BooleanSchemeTest, RequiresSolverAndTraining) {
+  auto parsed = ParseConstraint("a <= 5");
+  ASSERT_TRUE(parsed.ok());
+  BooleanLocalScheme::Options options;
+  BooleanLocalScheme scheme(parsed->expr, options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(BooleanSchemeTest, RejectsConstraintWithTooManyVariables) {
+  Workload w = MakeWorkload(21, 2);
+  auto parsed = ParseConstraint("a + b + c <= 100");
+  ASSERT_TRUE(parsed.ok());
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(parsed->expr, options);
+  auto result =
+      RunSimulation(&scheme, BooleanSim(parsed->expr), w.training, w.eval);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BooleanSchemeTest, SumConstraintNeverMisses) {
+  Workload w = MakeWorkload(22);
+  // Pick a threshold near the upper range of eval sums.
+  int64_t t = 0;
+  for (int64_t e = 0; e < w.eval.num_epochs(); ++e) {
+    t = std::max(t, w.eval.WeightedSum(e, {}));
+  }
+  t = (t * 4) / 5;
+  auto parsed = ParseConstraintWithVars(
+      "site0 + site1 + site2 <= " + std::to_string(t), w.eval.site_names());
+  ASSERT_TRUE(parsed.ok());
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(*parsed, options);
+  auto result = RunSimulation(&scheme, BooleanSim(*parsed), w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->true_violations, 0);
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(BooleanSchemeTest, MinMaxBandConstraintNeverMisses) {
+  // Sensor-style band constraint: the minimum must stay above a floor and
+  // the maximum below a ceiling — exercises mirrored (lower-bound) local
+  // constraints end to end.
+  Workload w = MakeWorkload(23);
+  auto parsed = ParseConstraintWithVars(
+      "MIN{site0, site1, site2} >= 2 && MAX{site0, site1, site2} <= 5000",
+      w.eval.site_names());
+  ASSERT_TRUE(parsed.ok());
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(*parsed, options);
+  auto result = RunSimulation(&scheme, BooleanSim(*parsed), w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->missed_violations, 0);
+  // The bounds should be two-sided.
+  bool has_lower = false;
+  for (const SiteBounds& b : scheme.bounds()) {
+    has_lower = has_lower || b.lo > 0;
+  }
+  EXPECT_TRUE(has_lower);
+}
+
+TEST(BooleanSchemeTest, DisjunctiveConstraintNeverMisses) {
+  Workload w = MakeWorkload(24);
+  auto parsed = ParseConstraintWithVars(
+      "site0 + site1 <= 800 || site2 <= 300", w.eval.site_names());
+  ASSERT_TRUE(parsed.ok());
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(*parsed, options);
+  auto result = RunSimulation(&scheme, BooleanSim(*parsed), w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(BooleanSchemeTest, SilentWhenConstraintIsLoose) {
+  Workload w = MakeWorkload(25);
+  auto parsed = ParseConstraintWithVars(
+      "site0 + site1 + site2 <= 99999999", w.eval.site_names());
+  ASSERT_TRUE(parsed.ok());
+  FptasSolver solver(0.05);
+  BooleanLocalScheme::Options options;
+  options.solver = &solver;
+  BooleanLocalScheme scheme(*parsed, options);
+  auto result = RunSimulation(&scheme, BooleanSim(*parsed), w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_violations, 0);
+  EXPECT_EQ(result->messages.total(), 0);
+}
+
+}  // namespace
+}  // namespace dcv

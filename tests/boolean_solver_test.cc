@@ -1,0 +1,379 @@
+#include "threshold/boolean_solver.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "constraints/parser.h"
+#include "histogram/empirical_cdf.h"
+#include "threshold/exact_dp.h"
+#include "threshold/fptas.h"
+
+namespace dcv {
+namespace {
+
+// Samples assignments inside the local-constraint box and asserts the
+// original constraint holds on every one (the covering property).
+void ExpectCovering(const BoolExpr& expr, const BooleanSolution& solution,
+                    const std::vector<int64_t>& domain_max, uint64_t seed,
+                    int trials = 1000) {
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int64_t> v(domain_max.size());
+    bool box_nonempty = true;
+    for (size_t i = 0; i < v.size(); ++i) {
+      const SiteBounds& b = solution.bounds[i];
+      if (b.empty()) {
+        box_nonempty = false;
+        break;
+      }
+      v[i] = rng.UniformInt(b.lo, b.hi);
+    }
+    if (!box_nonempty) {
+      return;  // Empty box: covering holds vacuously (always alarms).
+    }
+    ASSERT_TRUE(expr.Evaluate(v))
+        << "covering violated at trial " << t;
+  }
+}
+
+struct ModelSet {
+  std::vector<std::unique_ptr<EmpiricalCdf>> owned;
+  std::vector<const DistributionModel*> models;
+};
+
+ModelSet MakeUniformModels(int n, int64_t domain_max, int samples, uint64_t seed) {
+  ModelSet s;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int64_t> data;
+    for (int k = 0; k < samples; ++k) {
+      data.push_back(rng.UniformInt(0, domain_max));
+    }
+    s.owned.push_back(std::make_unique<EmpiricalCdf>(data, domain_max));
+    s.models.push_back(s.owned.back().get());
+  }
+  return s;
+}
+
+CnfConstraint MustCnf(const std::string& text,
+                      std::vector<std::string>* names = nullptr) {
+  auto parsed = ParseConstraint(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  auto cnf = ToCnf(parsed->expr);
+  EXPECT_TRUE(cnf.ok()) << cnf.status();
+  if (names != nullptr) {
+    *names = parsed->var_names;
+  }
+  return *cnf;
+}
+
+TEST(BooleanSolverTest, SingleAtomMatchesBaseSolver) {
+  ModelSet s = MakeUniformModels(2, 20, 50, 1);
+  CnfConstraint cnf = MustCnf("a + b <= 15");
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->bounds.size(), 2u);
+  // Upper bounds installed, lower bounds untouched.
+  EXPECT_EQ(sol->bounds[0].lo, 0);
+  EXPECT_EQ(sol->bounds[1].lo, 0);
+  EXPECT_LE(sol->bounds[0].hi + sol->bounds[1].hi, 15);
+}
+
+TEST(BooleanSolverTest, CoveringForSumConstraint) {
+  ModelSet s = MakeUniformModels(3, 30, 80, 2);
+  auto parsed = ParseConstraint("a + 2b + c <= 40");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  ExpectCovering(parsed->expr, *sol, {30, 30, 30}, 77);
+}
+
+TEST(BooleanSolverTest, DisjunctionPicksBestBranch) {
+  // Site values concentrated low: the "a + b <= 30" branch is far more
+  // probable than "a >= 25" (mass near 0), so it should be chosen.
+  ModelSet s;
+  Rng rng(3);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<int64_t> data;
+    for (int k = 0; k < 100; ++k) {
+      data.push_back(rng.UniformInt(0, 10));
+    }
+    s.owned.push_back(std::make_unique<EmpiricalCdf>(data, 40));
+    s.models.push_back(s.owned.back().get());
+  }
+  std::vector<std::string> names;
+  CnfConstraint cnf = MustCnf("a >= 25 || a + b <= 30", &names);
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->chosen_disjunct.size(), 1u);
+  // The sum branch has probability ~1; the >= branch near 0.
+  EXPECT_GT(std::exp(sol->log_probability), 0.5);
+}
+
+TEST(BooleanSolverTest, CoveringForDisjunction) {
+  ModelSet s = MakeUniformModels(2, 20, 60, 4);
+  auto parsed = ParseConstraint("a + b <= 18 || a >= 15");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  ExpectCovering(parsed->expr, *sol, {20, 20}, 78);
+}
+
+TEST(BooleanSolverTest, ConjunctionIntersectsBounds) {
+  ModelSet s = MakeUniformModels(2, 20, 60, 5);
+  auto parsed = ParseConstraint("a + b <= 20 && a <= 8");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(sol->bounds[0].hi, 8);
+  ExpectCovering(parsed->expr, *sol, {20, 20}, 79);
+}
+
+TEST(BooleanSolverTest, GeConstraintInstallsLowerBounds) {
+  // Mass concentrated high; constraint a + b >= 10 (normal = high values).
+  ModelSet s;
+  Rng rng(6);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<int64_t> data;
+    for (int k = 0; k < 100; ++k) {
+      data.push_back(rng.UniformInt(12, 20));
+    }
+    s.owned.push_back(std::make_unique<EmpiricalCdf>(data, 20));
+    s.models.push_back(s.owned.back().get());
+  }
+  auto parsed = ParseConstraint("a + b >= 10");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  // Lower bounds must guarantee the sum: lo_a + lo_b >= 10.
+  EXPECT_GE(sol->bounds[0].lo + sol->bounds[1].lo, 10);
+  EXPECT_EQ(sol->bounds[0].hi, 20);
+  ExpectCovering(parsed->expr, *sol, {20, 20}, 80);
+  // The data sits at >= 12, so the probability should be substantial.
+  EXPECT_GT(std::exp(sol->log_probability), 0.3);
+}
+
+TEST(BooleanSolverTest, PaperExampleEndToEnd) {
+  ModelSet s = MakeUniformModels(3, 10, 200, 7);
+  auto parsed = ParseConstraint(
+      "((3x1 + x2 >= 1) || (MIN{x1, 2x3 - x2} <= 5)) && "
+      "(x1 + MAX{3x2, x3} >= 4)");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  ExpectCovering(parsed->expr, *sol, {10, 10, 10}, 81);
+}
+
+TEST(BooleanSolverTest, TrivialClauseImposesNothing) {
+  ModelSet s = MakeUniformModels(1, 10, 20, 8);
+  CnfConstraint cnf = MustCnf("a <= 100");  // Always true over [0, 10].
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->bounds[0], (SiteBounds{0, 10}));
+  EXPECT_EQ(sol->chosen_disjunct[0], -1);
+  EXPECT_NEAR(sol->log_probability, 0.0, 1e-12);
+}
+
+TEST(BooleanSolverTest, UnsatisfiableClauseIsInfeasible) {
+  ModelSet s = MakeUniformModels(1, 10, 20, 9);
+  CnfConstraint cnf = MustCnf("a <= -5");
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  EXPECT_EQ(solver.Solve(cnf, s.models).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(BooleanSolverTest, LiftingRecoversSlack) {
+  ModelSet s = MakeUniformModels(2, 100, 60, 10);
+  // Two clauses whose chosen atoms each constrain only one variable:
+  // merging leaves slack the lift can reclaim up to the domain bounds.
+  auto parsed = ParseConstraint("a <= 40 && b <= 70");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver::Options options;
+  options.lift_rounds = 4;
+  BooleanThresholdSolver solver(&base, options);
+  auto sol = solver.Solve(*cnf, s.models);
+  ASSERT_TRUE(sol.ok());
+  // The atoms themselves are the binding constraints.
+  EXPECT_EQ(sol->bounds[0].hi, 40);
+  EXPECT_EQ(sol->bounds[1].hi, 70);
+  ExpectCovering(parsed->expr, *sol, {100, 100}, 82);
+}
+
+TEST(BooleanSolverTest, LiftImprovesObjectiveNeverWorsens) {
+  ModelSet s = MakeUniformModels(3, 50, 80, 11);
+  auto parsed = ParseConstraint("a + b <= 60 && b + c <= 60");
+  ASSERT_TRUE(parsed.ok());
+  auto cnf = ToCnf(parsed->expr);
+  ASSERT_TRUE(cnf.ok());
+  FptasSolver base(0.05);
+  BooleanThresholdSolver::Options no_lift;
+  no_lift.lift_rounds = 0;
+  BooleanThresholdSolver::Options with_lift;
+  with_lift.lift_rounds = 4;
+  BooleanThresholdSolver solver_a(&base, no_lift);
+  BooleanThresholdSolver solver_b(&base, with_lift);
+  auto a = solver_a.Solve(*cnf, s.models);
+  auto b = solver_b.Solve(*cnf, s.models);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->log_probability, a->log_probability - 1e-12);
+  ExpectCovering(parsed->expr, *b, {50, 50, 50}, 83);
+}
+
+TEST(BooleanSolverTest, RejectsMissingModels) {
+  ModelSet s = MakeUniformModels(1, 10, 20, 12);
+  CnfConstraint cnf = MustCnf("a + b <= 5");
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  EXPECT_FALSE(solver.Solve(cnf, s.models).ok());
+}
+
+class ExhaustiveCovering : public testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveCovering, EveryBoxPointSatisfiesConstraint) {
+  // Small domains allow checking the covering property on EVERY point of
+  // the solved box, not just samples — the strongest form of the paper's
+  // §3.1 requirement.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 3);
+  const int n = 2;
+  const int64_t m = 6;
+  ModelSet s = MakeUniformModels(n, m, 40, rng.NextUint64());
+
+  // Random small CNF with both comparison directions and mixed signs.
+  std::vector<BoolExpr> clauses;
+  const int num_clauses = static_cast<int>(rng.UniformInt(1, 3));
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<BoolExpr> atoms;
+    const int num_atoms = static_cast<int>(rng.UniformInt(1, 2));
+    for (int a = 0; a < num_atoms; ++a) {
+      LinearExpr lin;
+      lin.AddTerm(0, rng.UniformInt(1, 2) * (rng.Bernoulli(0.3) ? -1 : 1));
+      if (rng.Bernoulli(0.8)) {
+        lin.AddTerm(1, rng.UniformInt(1, 2) * (rng.Bernoulli(0.3) ? -1 : 1));
+      }
+      CmpOp op = rng.Bernoulli(0.7) ? CmpOp::kLe : CmpOp::kGe;
+      int64_t threshold = op == CmpOp::kLe ? rng.UniformInt(2, 20)
+                                           : rng.UniformInt(-8, 3);
+      atoms.push_back(BoolExpr::Atom(AggExpr::Linear(lin), op, threshold));
+    }
+    clauses.push_back(atoms.size() == 1 ? atoms[0]
+                                        : BoolExpr::Or(std::move(atoms)));
+  }
+  BoolExpr expr = clauses.size() == 1 ? clauses[0]
+                                      : BoolExpr::And(std::move(clauses));
+  auto cnf = ToCnf(expr);
+  ASSERT_TRUE(cnf.ok());
+  ExactDpSolver base;  // Exact per-atom solutions on these tiny domains.
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf, s.models);
+  if (!sol.ok()) {
+    EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+    return;
+  }
+  if (sol->bounds[0].empty() || sol->bounds[1].empty()) {
+    return;  // Always-alarm box: vacuously covering.
+  }
+  for (int64_t a = sol->bounds[0].lo; a <= sol->bounds[0].hi; ++a) {
+    for (int64_t b = sol->bounds[1].lo; b <= sol->bounds[1].hi; ++b) {
+      ASSERT_TRUE(expr.Evaluate({a, b}))
+          << "covering violated at (" << a << ", " << b << ") for "
+          << expr.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveCovering, testing::Range(0, 40));
+
+class RandomBooleanCovering : public testing::TestWithParam<int> {};
+
+TEST_P(RandomBooleanCovering, CoveringHoldsOnRandomCnfs) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 5);
+  const int n = 3;
+  const int64_t m = 12;
+  ModelSet s = MakeUniformModels(n, m, 60, rng.NextUint64());
+
+  // Random CNF over <=/>= linear atoms with positive/negative coefficients.
+  std::vector<std::string> names{"x0", "x1", "x2"};
+  CnfConstraint cnf;
+  const int num_clauses = static_cast<int>(rng.UniformInt(1, 3));
+  BoolExpr expr = BoolExpr::Atom(
+      AggExpr::Linear(LinearExpr::FromConstant(0)), CmpOp::kLe, 0);
+  std::vector<BoolExpr> clauses;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<BoolExpr> atoms;
+    const int num_atoms = static_cast<int>(rng.UniformInt(1, 2));
+    for (int a = 0; a < num_atoms; ++a) {
+      LinearExpr lin;
+      for (int v = 0; v < n; ++v) {
+        if (rng.Bernoulli(0.7)) {
+          lin.AddTerm(v, rng.UniformInt(1, 3) * (rng.Bernoulli(0.2) ? -1 : 1));
+        }
+      }
+      if (lin.terms().empty()) {
+        lin.AddTerm(0, 1);
+      }
+      CmpOp op = rng.Bernoulli(0.75) ? CmpOp::kLe : CmpOp::kGe;
+      // Keep thresholds generous enough to be satisfiable.
+      int64_t threshold = op == CmpOp::kLe ? rng.UniformInt(10, 60)
+                                           : rng.UniformInt(0, 6);
+      atoms.push_back(
+          BoolExpr::Atom(AggExpr::Linear(lin), op, threshold));
+    }
+    clauses.push_back(atoms.size() == 1 ? atoms[0]
+                                        : BoolExpr::Or(std::move(atoms)));
+  }
+  expr = clauses.size() == 1 ? clauses[0] : BoolExpr::And(std::move(clauses));
+  auto cnf_result = ToCnf(expr);
+  ASSERT_TRUE(cnf_result.ok());
+
+  FptasSolver base(0.1);
+  BooleanThresholdSolver solver(&base);
+  auto sol = solver.Solve(*cnf_result, s.models);
+  if (!sol.ok()) {
+    // Randomly generated constraints may be unsatisfiable; that is the only
+    // acceptable failure.
+    EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+    return;
+  }
+  ExpectCovering(expr, *sol, std::vector<int64_t>(n, m),
+                 static_cast<uint64_t>(GetParam()) + 999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBooleanCovering, testing::Range(0, 25));
+
+}  // namespace
+}  // namespace dcv

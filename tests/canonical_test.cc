@@ -1,0 +1,112 @@
+#include "constraints/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+LinearAtom MakeAtom(std::vector<std::pair<int, int64_t>> terms, CmpOp op,
+                    int64_t threshold, int64_t offset = 0) {
+  LinearAtom atom;
+  for (auto [var, coef] : terms) {
+    atom.expr.AddTerm(var, coef);
+  }
+  atom.expr.AddConstant(offset);
+  atom.op = op;
+  atom.threshold = threshold;
+  return atom;
+}
+
+TEST(CanonicalTest, PositiveLeAtomIsUnchanged) {
+  auto ineq = Canonicalize(MakeAtom({{0, 2}, {1, 3}}, CmpOp::kLe, 10),
+                           {100, 100});
+  ASSERT_TRUE(ineq.ok());
+  ASSERT_EQ(ineq->terms.size(), 2u);
+  EXPECT_EQ(ineq->terms[0].coef, 2);
+  EXPECT_FALSE(ineq->terms[0].mirrored);
+  EXPECT_EQ(ineq->bound, 10);
+}
+
+TEST(CanonicalTest, OffsetFoldsIntoBound) {
+  auto ineq =
+      Canonicalize(MakeAtom({{0, 1}}, CmpOp::kLe, 10, /*offset=*/3), {100});
+  ASSERT_TRUE(ineq.ok());
+  EXPECT_EQ(ineq->bound, 7);
+}
+
+TEST(CanonicalTest, GeAtomMirrorsAllTerms) {
+  // x0 + x1 >= 5 over M = 10 each: (10-x0) + (10-x1) <= 15.
+  auto ineq = Canonicalize(MakeAtom({{0, 1}, {1, 1}}, CmpOp::kGe, 5),
+                           {10, 10});
+  ASSERT_TRUE(ineq.ok());
+  ASSERT_EQ(ineq->terms.size(), 2u);
+  EXPECT_TRUE(ineq->terms[0].mirrored);
+  EXPECT_TRUE(ineq->terms[1].mirrored);
+  EXPECT_EQ(ineq->bound, 15);
+}
+
+TEST(CanonicalTest, MixedSignsMirrorOnlyNegatives) {
+  // 2*x0 - 3*x1 <= 4 over M = (10, 20): 2*x0 + 3*(20 - x1) <= 64.
+  auto ineq = Canonicalize(MakeAtom({{0, 2}, {1, -3}}, CmpOp::kLe, 4),
+                           {10, 20});
+  ASSERT_TRUE(ineq.ok());
+  ASSERT_EQ(ineq->terms.size(), 2u);
+  EXPECT_FALSE(ineq->terms[0].mirrored);
+  EXPECT_EQ(ineq->terms[0].coef, 2);
+  EXPECT_TRUE(ineq->terms[1].mirrored);
+  EXPECT_EQ(ineq->terms[1].coef, 3);
+  EXPECT_EQ(ineq->bound, 64);
+}
+
+TEST(CanonicalTest, TrivialChecks) {
+  auto true_ineq = Canonicalize(MakeAtom({}, CmpOp::kLe, 5), {});
+  ASSERT_TRUE(true_ineq.ok());
+  EXPECT_TRUE(true_ineq->IsTriviallyTrue());
+  EXPECT_FALSE(true_ineq->IsTriviallyFalse());
+
+  auto false_ineq = Canonicalize(MakeAtom({}, CmpOp::kLe, -5), {});
+  ASSERT_TRUE(false_ineq.ok());
+  EXPECT_TRUE(false_ineq->IsTriviallyFalse());
+
+  // x0 <= -1 has bound < 0: unsatisfiable for non-negative x0.
+  auto neg = Canonicalize(MakeAtom({{0, 1}}, CmpOp::kLe, -1), {10});
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(neg->IsTriviallyFalse());
+}
+
+TEST(CanonicalTest, MissingDomainIsError) {
+  EXPECT_FALSE(Canonicalize(MakeAtom({{3, 1}}, CmpOp::kLe, 5), {10}).ok());
+}
+
+TEST(CanonicalTest, EvaluateMatchesOriginalAtomEverywhere) {
+  Rng rng(44);
+  const std::vector<int64_t> domain_max{8, 12, 6};
+  for (int trial = 0; trial < 200; ++trial) {
+    LinearAtom atom = MakeAtom({{0, rng.UniformInt(-4, 4)},
+                                {1, rng.UniformInt(-4, 4)},
+                                {2, rng.UniformInt(-4, 4)}},
+                               rng.Bernoulli(0.5) ? CmpOp::kLe : CmpOp::kGe,
+                               rng.UniformInt(-30, 60),
+                               rng.UniformInt(-5, 5));
+    auto ineq = Canonicalize(atom, domain_max);
+    ASSERT_TRUE(ineq.ok());
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<int64_t> v{rng.UniformInt(0, 8), rng.UniformInt(0, 12),
+                             rng.UniformInt(0, 6)};
+      ASSERT_EQ(atom.Evaluate(v), ineq->Evaluate(v, domain_max))
+          << atom.ToString() << " vs " << ineq->ToString();
+    }
+  }
+}
+
+TEST(CanonicalTest, ToStringShowsMirrors) {
+  auto ineq =
+      Canonicalize(MakeAtom({{0, -2}}, CmpOp::kLe, 0), {5});
+  ASSERT_TRUE(ineq.ok());
+  EXPECT_EQ(ineq->ToString(), "2*(M - x0) <= 10");
+}
+
+}  // namespace
+}  // namespace dcv

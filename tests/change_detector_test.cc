@@ -1,0 +1,172 @@
+#include "histogram/change_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+std::vector<int64_t> UniformSample(Rng& rng, int n, int64_t lo, int64_t hi) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(rng.UniformInt(lo, hi));
+  }
+  return out;
+}
+
+TEST(KsStatisticTest, IdenticalSamplesHaveZeroDistance) {
+  std::vector<int64_t> a{1, 2, 3, 4, 5};
+  auto d = KsStatistic(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(KsStatisticTest, DisjointSamplesHaveDistanceOne) {
+  auto d = KsStatistic({1, 2, 3}, {10, 11, 12});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 1.0);
+}
+
+TEST(KsStatisticTest, KnownIntermediateValue) {
+  // F_a jumps to 1 at 1; F_b jumps to 1 at 2. Gap at v=1: |1 - 0.5| = 0.5.
+  auto d = KsStatistic({1, 1}, {1, 2});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+}
+
+TEST(KsStatisticTest, EmptySampleIsError) {
+  EXPECT_FALSE(KsStatistic({}, {1}).ok());
+  EXPECT_FALSE(KsStatistic({1}, {}).ok());
+}
+
+TEST(KsStatisticTest, SymmetricInArguments) {
+  Rng rng(1);
+  auto a = UniformSample(rng, 100, 0, 50);
+  auto b = UniformSample(rng, 80, 10, 90);
+  EXPECT_DOUBLE_EQ(*KsStatistic(a, b), *KsStatistic(b, a));
+}
+
+TEST(KsCriticalValueTest, ShrinksWithSampleSize) {
+  double small = KsCriticalValue(50, 50, 0.01);
+  double large = KsCriticalValue(5000, 5000, 0.01);
+  EXPECT_GT(small, large);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(KsCriticalValueTest, LowerAlphaRaisesThreshold) {
+  EXPECT_GT(KsCriticalValue(100, 100, 0.001), KsCriticalValue(100, 100, 0.05));
+}
+
+TEST(ChangeDetectorTest, NoAlarmOnStationaryStream) {
+  ChangeDetector::Options opts;
+  opts.window_size = 200;
+  opts.alpha = 0.001;
+  ChangeDetector detector(opts);
+  Rng rng(7);
+  detector.Reset(UniformSample(rng, 1000, 100, 200));
+  int alarms = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (detector.Observe(rng.UniformInt(100, 200))) {
+      ++alarms;
+    }
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(ChangeDetectorTest, DetectsLargeShift) {
+  ChangeDetector::Options opts;
+  opts.window_size = 200;
+  opts.alpha = 0.001;
+  ChangeDetector detector(opts);
+  Rng rng(8);
+  detector.Reset(UniformSample(rng, 1000, 100, 200));
+  // Feed shifted data: distribution moved up by 3x.
+  bool detected = false;
+  int observations_until_detection = 0;
+  for (int i = 0; i < 2000 && !detected; ++i) {
+    detected = detector.Observe(rng.UniformInt(300, 600));
+    ++observations_until_detection;
+  }
+  EXPECT_TRUE(detected);
+  // Needs a full window before it can compare.
+  EXPECT_GE(observations_until_detection, 200);
+  EXPECT_LE(observations_until_detection, 500);
+  EXPECT_EQ(detector.num_alarms(), 1);
+}
+
+TEST(ChangeDetectorTest, DetectsModerateMeanShift) {
+  ChangeDetector::Options opts;
+  opts.window_size = 400;
+  opts.alpha = 0.001;
+  ChangeDetector detector(opts);
+  Rng rng(9);
+  std::vector<int64_t> ref;
+  for (int i = 0; i < 2000; ++i) {
+    ref.push_back(static_cast<int64_t>(rng.LogNormal(5.0, 0.5)));
+  }
+  detector.Reset(ref);
+  bool detected = false;
+  for (int i = 0; i < 3000 && !detected; ++i) {
+    detected = detector.Observe(
+        static_cast<int64_t>(rng.LogNormal(5.6, 0.5)));
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(ChangeDetectorTest, CooldownSuppressesRapidRefiring) {
+  ChangeDetector::Options opts;
+  opts.window_size = 100;
+  opts.alpha = 0.01;
+  opts.cooldown = 500;
+  ChangeDetector detector(opts);
+  Rng rng(10);
+  detector.Reset(UniformSample(rng, 500, 0, 10));
+  int alarms = 0;
+  for (int i = 0; i < 600; ++i) {
+    if (detector.Observe(rng.UniformInt(1000, 2000))) {
+      ++alarms;
+    }
+  }
+  // Without a Reset after the first alarm, the cooldown limits re-fires.
+  EXPECT_LE(alarms, 2);
+  EXPECT_GE(alarms, 1);
+}
+
+TEST(ChangeDetectorTest, ResetClearsState) {
+  ChangeDetector::Options opts;
+  opts.window_size = 100;
+  opts.alpha = 0.001;
+  ChangeDetector detector(opts);
+  Rng rng(11);
+  detector.Reset(UniformSample(rng, 500, 0, 10));
+  for (int i = 0; i < 300; ++i) {
+    detector.Observe(rng.UniformInt(500, 600));
+  }
+  EXPECT_GE(detector.num_alarms(), 1);
+  // Re-seed with the new distribution: no further alarms on it.
+  detector.Reset(UniformSample(rng, 500, 500, 600));
+  int alarms_after = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (detector.Observe(rng.UniformInt(500, 600))) {
+      ++alarms_after;
+    }
+  }
+  EXPECT_EQ(alarms_after, 0);
+}
+
+TEST(ChangeDetectorTest, CurrentWindowHoldsRecentObservations) {
+  ChangeDetector::Options opts;
+  opts.window_size = 5;
+  ChangeDetector detector(opts);
+  detector.Reset({1, 2, 3});
+  for (int64_t v = 10; v < 20; ++v) {
+    detector.Observe(v);
+  }
+  EXPECT_EQ(detector.CurrentWindow(),
+            (std::vector<int64_t>{15, 16, 17, 18, 19}));
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,235 @@
+// Conformance suite: every DistributionModel implementation must satisfy
+// the same contract the threshold solvers rely on — monotone CDF, correct
+// boundary behavior, and a consistent inverse. Run over all five model
+// kinds with several data shapes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "histogram/empirical_cdf.h"
+#include "histogram/equi_depth.h"
+#include "histogram/equi_width.h"
+#include "histogram/gk_sketch.h"
+#include "histogram/sliding_histogram.h"
+
+namespace dcv {
+namespace {
+
+enum class ModelKind {
+  kEmpirical,
+  kEquiWidth,
+  kEquiDepth,
+  kGkSketch,
+  kSlidingWindow,
+};
+
+enum class DataShape { kUniform, kLogNormal, kConstant, kBimodal };
+
+std::string KindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kEmpirical:
+      return "empirical";
+    case ModelKind::kEquiWidth:
+      return "equi_width";
+    case ModelKind::kEquiDepth:
+      return "equi_depth";
+    case ModelKind::kGkSketch:
+      return "gk";
+    case ModelKind::kSlidingWindow:
+      return "sliding";
+  }
+  return "?";
+}
+
+std::string ShapeName(DataShape shape) {
+  switch (shape) {
+    case DataShape::kUniform:
+      return "uniform";
+    case DataShape::kLogNormal:
+      return "lognormal";
+    case DataShape::kConstant:
+      return "constant";
+    case DataShape::kBimodal:
+      return "bimodal";
+  }
+  return "?";
+}
+
+constexpr int64_t kDomainMax = 5000;
+
+std::vector<int64_t> MakeData(DataShape shape, uint64_t seed, int n = 800) {
+  Rng rng(seed);
+  std::vector<int64_t> data;
+  data.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    switch (shape) {
+      case DataShape::kUniform:
+        data.push_back(rng.UniformInt(0, kDomainMax));
+        break;
+      case DataShape::kLogNormal:
+        data.push_back(std::min<int64_t>(
+            kDomainMax, static_cast<int64_t>(rng.LogNormal(5.0, 1.0))));
+        break;
+      case DataShape::kConstant:
+        data.push_back(1234);
+        break;
+      case DataShape::kBimodal:
+        data.push_back(rng.Bernoulli(0.8) ? rng.UniformInt(10, 50)
+                                          : rng.UniformInt(4000, 4500));
+        break;
+    }
+  }
+  return data;
+}
+
+std::unique_ptr<DistributionModel> BuildModel(ModelKind kind,
+                                              const std::vector<int64_t>& data) {
+  switch (kind) {
+    case ModelKind::kEmpirical:
+      return std::make_unique<EmpiricalCdf>(data, kDomainMax);
+    case ModelKind::kEquiWidth: {
+      auto h = EquiWidthHistogram::Create(kDomainMax, 64);
+      EXPECT_TRUE(h.ok());
+      for (int64_t v : data) {
+        h->Add(v);
+      }
+      return std::make_unique<EquiWidthHistogram>(std::move(*h));
+    }
+    case ModelKind::kEquiDepth: {
+      auto h = EquiDepthHistogram::Build(data, kDomainMax, 64);
+      EXPECT_TRUE(h.ok());
+      return std::make_unique<EquiDepthHistogram>(std::move(*h));
+    }
+    case ModelKind::kGkSketch: {
+      GkSketch sketch(0.01);
+      for (int64_t v : data) {
+        sketch.Insert(v);
+      }
+      auto h = sketch.ToEquiDepthHistogram(64, kDomainMax);
+      EXPECT_TRUE(h.ok());
+      return std::make_unique<EquiDepthHistogram>(std::move(*h));
+    }
+    case ModelKind::kSlidingWindow: {
+      auto sw = SlidingWindowHistogram::Create(
+          static_cast<int64_t>(2 * data.size()), 0.02);
+      EXPECT_TRUE(sw.ok());
+      for (int64_t v : data) {
+        sw->Insert(v);
+      }
+      auto h = sw->ToEquiDepthHistogram(64, kDomainMax);
+      EXPECT_TRUE(h.ok());
+      return std::make_unique<EquiDepthHistogram>(std::move(*h));
+    }
+  }
+  return nullptr;
+}
+
+class DistributionConformance
+    : public testing::TestWithParam<std::tuple<ModelKind, DataShape>> {};
+
+TEST_P(DistributionConformance, SatisfiesModelContract) {
+  auto [kind, shape] = GetParam();
+  std::vector<int64_t> data = MakeData(shape, 99);
+  auto model = BuildModel(kind, data);
+  ASSERT_NE(model, nullptr);
+
+  // Boundary behavior.
+  EXPECT_EQ(model->domain_max(), kDomainMax);
+  EXPECT_DOUBLE_EQ(model->CumulativeAt(-1), 0.0);
+  EXPECT_NEAR(model->CumulativeAt(kDomainMax), model->total_weight(), 1e-9);
+  EXPECT_NEAR(model->total_weight(), static_cast<double>(data.size()),
+              static_cast<double>(data.size()) * 0.01 + 1e-9);
+  EXPECT_DOUBLE_EQ(model->CumulativeAt(kDomainMax + 100),
+                   model->total_weight());
+
+  // Monotone CDF, probabilities in [0, 1].
+  double prev = -1e-9;
+  for (int64_t v = 0; v <= kDomainMax; v += 37) {
+    double c = model->CumulativeAt(v);
+    ASSERT_GE(c, prev - 1e-9) << KindName(kind) << "/" << ShapeName(shape)
+                              << " at v=" << v;
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, model->total_weight() + 1e-9);
+    double p = model->ProbabilityAtMost(v);
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0 + 1e-12);
+    prev = c;
+  }
+
+  // Inverse consistency: MinValueWithCumAtLeast is the true inverse.
+  for (double frac : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    double target = frac * model->total_weight();
+    int64_t v = model->MinValueWithCumAtLeast(target);
+    ASSERT_LE(v, kDomainMax);
+    ASSERT_GE(v, 0);
+    EXPECT_GE(model->CumulativeAt(v), target - 1e-6);
+    if (v > 0) {
+      EXPECT_LT(model->CumulativeAt(v - 1), target + 1e-6);
+    }
+  }
+
+  // Unreachable target reports M + 1.
+  EXPECT_EQ(model->MinValueWithCumAtLeast(model->total_weight() * 2.0),
+            kDomainMax + 1);
+}
+
+TEST_P(DistributionConformance, ApproximatesTrueQuantiles) {
+  auto [kind, shape] = GetParam();
+  std::vector<int64_t> data = MakeData(shape, 171);
+  auto model = BuildModel(kind, data);
+  ASSERT_NE(model, nullptr);
+  EmpiricalCdf exact(data, kDomainMax);
+
+  // Model-appropriate rank slack: equi-depth-style models err by a few
+  // buckets' depth; equi-width's interpolation error is bounded by the
+  // heaviest bucket's mass (which can be large for clustered data).
+  double slack = static_cast<double>(data.size()) / 64.0 * 3.0 + 2.0;
+  if (kind == ModelKind::kEquiWidth) {
+    double max_bucket = 0.0;
+    const int64_t width = (kDomainMax + 1 + 63) / 64;
+    for (int64_t lo = 0; lo <= kDomainMax; lo += width) {
+      max_bucket = std::max(max_bucket,
+                            exact.CumulativeAt(lo + width - 1) -
+                                exact.CumulativeAt(lo - 1));
+    }
+    slack = max_bucket + 2.0;
+  }
+
+  // Two-sided check (robust to point masses, where the rank *at* the
+  // quantile value legitimately jumps): the returned value must not be so
+  // small that its own rank is far below the target, nor so large that the
+  // value just below it already reaches the target.
+  for (double frac : {0.1, 0.5, 0.9}) {
+    double target = frac * static_cast<double>(data.size());
+    int64_t approx_v = model->MinValueWithCumAtLeast(target);
+    EXPECT_GE(exact.CumulativeAt(approx_v), target - slack)
+        << KindName(kind) << "/" << ShapeName(shape) << " frac=" << frac;
+    if (approx_v > 0) {
+      EXPECT_LT(exact.CumulativeAt(approx_v - 1), target + slack)
+          << KindName(kind) << "/" << ShapeName(shape) << " frac=" << frac;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllShapes, DistributionConformance,
+    testing::Combine(testing::Values(ModelKind::kEmpirical,
+                                     ModelKind::kEquiWidth,
+                                     ModelKind::kEquiDepth,
+                                     ModelKind::kGkSketch,
+                                     ModelKind::kSlidingWindow),
+                     testing::Values(DataShape::kUniform,
+                                     DataShape::kLogNormal,
+                                     DataShape::kConstant,
+                                     DataShape::kBimodal)),
+    [](const testing::TestParamInfo<std::tuple<ModelKind, DataShape>>& info) {
+      return KindName(std::get<0>(info.param)) + "_" +
+             ShapeName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,91 @@
+#include "histogram/empirical_cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+TEST(EmpiricalCdfTest, BasicCounts) {
+  EmpiricalCdf cdf({1, 3, 3, 7}, /*domain_max=*/10);
+  EXPECT_EQ(cdf.domain_max(), 10);
+  EXPECT_DOUBLE_EQ(cdf.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(3), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(6), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(7), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(10), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(-5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(99), 4.0);
+}
+
+TEST(EmpiricalCdfTest, ClampsToDomain) {
+  EmpiricalCdf cdf({-2, 100}, /*domain_max=*/10);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(0), 1.0);   // -2 clamped to 0.
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(9), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.CumulativeAt(10), 2.0);  // 100 clamped to 10.
+}
+
+TEST(EmpiricalCdfTest, ProbabilityAtMost) {
+  EmpiricalCdf cdf({0, 1, 2, 3}, 3);
+  EXPECT_DOUBLE_EQ(cdf.ProbabilityAtMost(1), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.ProbabilityAtMost(3), 1.0);
+}
+
+TEST(EmpiricalCdfTest, MinValueWithCumAtLeastMatchesDefinition) {
+  EmpiricalCdf cdf({2, 2, 5, 9}, 9);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(0.5), 2);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(1.0), 2);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(2.0), 2);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(2.1), 5);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(3.0), 5);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(4.0), 9);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(4.5), 10);  // Unreachable -> M+1.
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(0.0), 0);
+}
+
+TEST(EmpiricalCdfTest, MonotoneCdfProperty) {
+  Rng rng(5);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(rng.UniformInt(0, 200));
+  }
+  EmpiricalCdf cdf(data, 200);
+  double prev = -1.0;
+  for (int64_t v = 0; v <= 200; ++v) {
+    double c = cdf.CumulativeAt(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(prev, 500.0);
+}
+
+TEST(EmpiricalCdfTest, InverseConsistentWithForward) {
+  Rng rng(6);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(rng.UniformInt(0, 50));
+  }
+  EmpiricalCdf cdf(data, 50);
+  for (double target = 0.5; target < 300; target += 7.3) {
+    int64_t v = cdf.MinValueWithCumAtLeast(target);
+    ASSERT_LE(v, 50);
+    EXPECT_GE(cdf.CumulativeAt(v), target);
+    if (v > 0) {
+      EXPECT_LT(cdf.CumulativeAt(v - 1), target);
+    }
+  }
+}
+
+TEST(EmpiricalCdfTest, EmptyModel) {
+  EmpiricalCdf cdf({}, 10);
+  EXPECT_DOUBLE_EQ(cdf.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.ProbabilityAtMost(5), 0.0);
+  EXPECT_EQ(cdf.MinValueWithCumAtLeast(1.0), 11);
+}
+
+}  // namespace
+}  // namespace dcv

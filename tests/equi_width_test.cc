@@ -1,0 +1,134 @@
+#include "histogram/equi_width.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "histogram/empirical_cdf.h"
+
+namespace dcv {
+namespace {
+
+TEST(EquiWidthTest, CreateValidation) {
+  EXPECT_FALSE(EquiWidthHistogram::Create(10, 0).ok());
+  EXPECT_FALSE(EquiWidthHistogram::Create(-1, 4).ok());
+  EXPECT_TRUE(EquiWidthHistogram::Create(10, 4).ok());
+}
+
+TEST(EquiWidthTest, ClampsBucketCountToDomain) {
+  auto h = EquiWidthHistogram::Create(3, 100);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 4);  // Domain {0,1,2,3} has 4 values.
+}
+
+TEST(EquiWidthTest, SingleBucketInterpolates) {
+  auto h = EquiWidthHistogram::Create(9, 1);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 10; ++i) {
+    h->Add(i);
+  }
+  EXPECT_DOUBLE_EQ(h->total_weight(), 10.0);
+  // Uniform-within-bucket: F(4) = 10 * 5/10 = 5.
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(4), 5.0);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(9), 10.0);
+}
+
+TEST(EquiWidthTest, ExactWhenBucketsEqualDomain) {
+  auto h = EquiWidthHistogram::Create(4, 5);
+  ASSERT_TRUE(h.ok());
+  std::vector<int64_t> data{0, 1, 1, 3, 4, 4, 4};
+  for (int64_t v : data) {
+    h->Add(v);
+  }
+  EmpiricalCdf exact(data, 4);
+  for (int64_t v = 0; v <= 4; ++v) {
+    EXPECT_DOUBLE_EQ(h->CumulativeAt(v), exact.CumulativeAt(v)) << "v=" << v;
+  }
+}
+
+TEST(EquiWidthTest, CdfIsMonotone) {
+  auto h = EquiWidthHistogram::Create(1000, 16);
+  ASSERT_TRUE(h.ok());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    h->Add(rng.UniformInt(0, 1000));
+  }
+  double prev = -1;
+  for (int64_t v = 0; v <= 1000; v += 7) {
+    double c = h->CumulativeAt(v);
+    EXPECT_GE(c, prev - 1e-9);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(1000), 2000.0);
+}
+
+TEST(EquiWidthTest, ApproximatesEmpiricalCdf) {
+  auto h = EquiWidthHistogram::Create(999, 50);
+  ASSERT_TRUE(h.ok());
+  Rng rng(4);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(rng.UniformInt(0, 999));
+  }
+  for (int64_t v : data) {
+    h->Add(v);
+  }
+  EmpiricalCdf exact(data, 999);
+  for (int64_t v = 0; v <= 999; v += 37) {
+    // Uniform data: interpolation error bounded by one bucket's mass.
+    EXPECT_NEAR(h->CumulativeAt(v), exact.CumulativeAt(v), 5000.0 / 50.0);
+  }
+}
+
+TEST(EquiWidthTest, WeightedAdds) {
+  auto h = EquiWidthHistogram::Create(9, 10);
+  ASSERT_TRUE(h.ok());
+  h->AddWeighted(3, 2.5);
+  h->AddWeighted(7, 0.5);
+  EXPECT_DOUBLE_EQ(h->total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(3), 2.5);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(6), 2.5);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(7), 3.0);
+}
+
+TEST(EquiWidthTest, AddClampsOutOfDomainValues) {
+  auto h = EquiWidthHistogram::Create(9, 10);
+  ASSERT_TRUE(h.ok());
+  h->Add(-5);
+  h->Add(100);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(h->CumulativeAt(9), 2.0);
+}
+
+TEST(EquiWidthTest, MergeCompatibleHistograms) {
+  auto a = EquiWidthHistogram::Create(9, 5);
+  auto b = EquiWidthHistogram::Create(9, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->Add(1);
+  b->Add(8);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_DOUBLE_EQ(a->total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(a->CumulativeAt(9), 2.0);
+}
+
+TEST(EquiWidthTest, MergeRejectsShapeMismatch) {
+  auto a = EquiWidthHistogram::Create(9, 5);
+  auto b = EquiWidthHistogram::Create(9, 4);
+  auto c = EquiWidthHistogram::Create(19, 5);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(a->Merge(*b).ok());
+  EXPECT_FALSE(a->Merge(*c).ok());
+}
+
+TEST(EquiWidthTest, InverseLookupViaBaseClass) {
+  auto h = EquiWidthHistogram::Create(99, 10);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 100; ++i) {
+    h->Add(i);
+  }
+  int64_t v = h->MinValueWithCumAtLeast(50.0);
+  EXPECT_GE(h->CumulativeAt(v), 50.0);
+  EXPECT_LT(h->CumulativeAt(v - 1), 50.0);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,163 @@
+#include "threshold/exact_dp.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "histogram/empirical_cdf.h"
+
+namespace dcv {
+namespace {
+
+// Brute-force optimum by enumerating all threshold vectors (tiny domains).
+double BruteForceBest(const ThresholdProblem& problem) {
+  const size_t n = problem.vars.size();
+  std::vector<int64_t> t(n, 0);
+  double best = kNegInf;
+  for (;;) {
+    if (SatisfiesBudget(problem, t)) {
+      best = std::max(best, LogProbability(problem, t));
+    }
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (t[i] < problem.vars[i].cdf.domain_max()) {
+        ++t[i];
+        break;
+      }
+      t[i] = 0;
+    }
+    if (i == n) {
+      break;
+    }
+  }
+  return best;
+}
+
+TEST(ExactDpTest, EmptyProblem) {
+  ExactDpSolver solver;
+  auto sol = solver.Solve(ThresholdProblem{});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->thresholds.empty());
+}
+
+TEST(ExactDpTest, SingleVariableTakesWholeBudget) {
+  EmpiricalCdf model({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 9);
+  ThresholdProblem p;
+  p.budget = 6;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  ExactDpSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], 6);
+  EXPECT_NEAR(sol->log_probability, std::log(0.7), 1e-12);
+}
+
+TEST(ExactDpTest, PrefersTheSkewedSite) {
+  // Site 0 concentrated near 0, site 1 spread out: most budget should go to
+  // site 1.
+  EmpiricalCdf low({0, 0, 0, 1, 1}, 20);
+  EmpiricalCdf wide({2, 6, 10, 14, 18}, 20);
+  ThresholdProblem p;
+  p.budget = 20;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&low, false)});
+  p.vars.push_back(ProblemVar{1, 1, CdfView(&wide, false)});
+  ExactDpSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->thresholds[1], sol->thresholds[0]);
+  EXPECT_TRUE(SatisfiesBudget(p, sol->thresholds));
+}
+
+TEST(ExactDpTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<std::unique_ptr<EmpiricalCdf>> models;
+    ThresholdProblem p;
+    p.budget = rng.UniformInt(0, 15);
+    for (int i = 0; i < n; ++i) {
+      const int64_t m = rng.UniformInt(2, 6);
+      std::vector<int64_t> data;
+      const int count = static_cast<int>(rng.UniformInt(3, 10));
+      for (int k = 0; k < count; ++k) {
+        data.push_back(rng.UniformInt(0, m));
+      }
+      models.push_back(std::make_unique<EmpiricalCdf>(data, m));
+      p.vars.push_back(ProblemVar{i, rng.UniformInt(1, 3),
+                                  CdfView(models.back().get(), false)});
+    }
+    ExactDpSolver solver;
+    auto sol = solver.Solve(p);
+    ASSERT_TRUE(sol.ok());
+    ASSERT_TRUE(SatisfiesBudget(p, sol->thresholds));
+    double brute = BruteForceBest(p);
+    if (brute == kNegInf) {
+      EXPECT_EQ(sol->log_probability, kNegInf);
+    } else {
+      EXPECT_NEAR(sol->log_probability, brute, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ExactDpTest, MirroredVariablesSolveLowerBoundProblems) {
+  // Canonical form of x0 + x1 >= 8 over M=10: (10-x0) + (10-x1) <= 12.
+  // Data concentrated high: mirrored CDF mass near small Y.
+  EmpiricalCdf model({7, 8, 8, 9, 10}, 10);
+  ThresholdProblem p;
+  p.budget = 12;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, true)});
+  p.vars.push_back(ProblemVar{1, 1, CdfView(&model, true)});
+  ExactDpSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(SatisfiesBudget(p, sol->thresholds));
+  EXPECT_GT(sol->log_probability, kNegInf);
+  // Y <= t means X >= 10 - t; most mass is at X >= 7, i.e. Y <= 3, so both
+  // thresholds should be at least 3.
+  EXPECT_GE(sol->thresholds[0] + sol->thresholds[1], 5);
+}
+
+TEST(ExactDpTest, ZeroBudgetForcesZeroThresholds) {
+  EmpiricalCdf model({1, 2, 3}, 5);
+  ThresholdProblem p;
+  p.budget = 0;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  ExactDpSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], 0);
+  // No observation is <= 0: zero probability, flagged degenerate.
+  EXPECT_EQ(sol->log_probability, kNegInf);
+  EXPECT_TRUE(sol->degenerate);
+}
+
+TEST(ExactDpTest, TableSizeGuard) {
+  EmpiricalCdf model({1, 2, 3}, 5);
+  ThresholdProblem p;
+  p.budget = 1'000'000'000;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  ExactDpSolver::Options options;
+  options.max_table_cells = 1000;
+  ExactDpSolver solver(options);
+  EXPECT_EQ(solver.Solve(p).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactDpTest, WeightsRestrictChoices) {
+  // Weight 5 on a budget of 9 permits threshold at most 1.
+  EmpiricalCdf model({0, 1, 2, 3}, 3);
+  ThresholdProblem p;
+  p.budget = 9;
+  p.vars.push_back(ProblemVar{0, 5, CdfView(&model, false)});
+  ExactDpSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], 1);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,153 @@
+#include "histogram/exp_histogram.h"
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+// Exact count of 1s in the window, for comparison.
+class ExactWindowCounter {
+ public:
+  explicit ExactWindowCounter(int64_t window) : window_(window) {}
+
+  void Add(int64_t timestamp, bool bit) {
+    now_ = timestamp;
+    if (bit) {
+      ones_.push_back(timestamp);
+    }
+    while (!ones_.empty() && ones_.front() <= now_ - window_) {
+      ones_.pop_front();
+    }
+  }
+
+  int64_t Count() const { return static_cast<int64_t>(ones_.size()); }
+
+ private:
+  int64_t window_;
+  int64_t now_ = 0;
+  std::deque<int64_t> ones_;
+};
+
+TEST(ExpHistogramTest, EmptyEstimatesZero) {
+  ExpHistogram h(100, 2);
+  EXPECT_EQ(h.Estimate(), 0);
+  EXPECT_EQ(h.LowerBound(), 0);
+}
+
+TEST(ExpHistogramTest, CountsExactlyWhenFewOnes) {
+  ExpHistogram h(1000, 4);
+  for (int t = 1; t <= 3; ++t) {
+    h.Add(t, true);
+  }
+  // Three singleton buckets, no merging with k=4.
+  EXPECT_EQ(h.UpperBound(), 3);
+  EXPECT_GE(h.Estimate(), 2);
+  EXPECT_LE(h.Estimate(), 3);
+}
+
+TEST(ExpHistogramTest, ExpiresOldBuckets) {
+  ExpHistogram h(10, 2);
+  h.Add(1, true);
+  h.Add(2, true);
+  EXPECT_GT(h.UpperBound(), 0);
+  h.Add(20, false);  // Both 1s are now outside (10, 20].
+  EXPECT_EQ(h.UpperBound(), 0);
+  EXPECT_EQ(h.Estimate(), 0);
+}
+
+class ExpHistogramKSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ExpHistogramKSweep, RelativeErrorWithinBound) {
+  const int k = GetParam();
+  const int64_t window = 2000;
+  ExpHistogram h(window, k);
+  ExactWindowCounter exact(window);
+  Rng rng(100 + k);
+  for (int64_t t = 1; t <= 50000; ++t) {
+    bool bit = rng.Bernoulli(0.3);
+    h.Add(t, bit);
+    exact.Add(t, bit);
+    if (t % 997 == 0 && exact.Count() > 0) {
+      double err = std::abs(static_cast<double>(h.Estimate()) -
+                            static_cast<double>(exact.Count())) /
+                   static_cast<double>(exact.Count());
+      EXPECT_LE(err, 1.0 / k + 0.05) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, ExpHistogramKSweep,
+                         testing::Values(2, 4, 8, 16));
+
+TEST(ExpHistogramTest, BoundsBracketTruth) {
+  const int64_t window = 500;
+  ExpHistogram h(window, 3);
+  ExactWindowCounter exact(window);
+  Rng rng(55);
+  for (int64_t t = 1; t <= 20000; ++t) {
+    bool bit = rng.Bernoulli(0.5);
+    h.Add(t, bit);
+    exact.Add(t, bit);
+    if (t % 503 == 0) {
+      EXPECT_LE(exact.Count(), h.UpperBound());
+      if (h.UpperBound() > 0) {
+        EXPECT_GE(exact.Count(), h.LowerBound());
+      }
+    }
+  }
+}
+
+TEST(ExpHistogramTest, BucketCountIsLogarithmic) {
+  ExpHistogram h(100000, 2);
+  for (int64_t t = 1; t <= 100000; ++t) {
+    h.Add(t, true);
+  }
+  // (k+1) buckets per size class, ~log2(n/k) classes.
+  EXPECT_LT(h.num_buckets(), 64u);
+}
+
+TEST(SlidingWindowSumTest, TracksConstantStream) {
+  SlidingWindowSum sum(100, 8, 4);
+  for (int64_t t = 1; t <= 1000; ++t) {
+    sum.Add(t, 100);
+  }
+  // Window holds 100 values of 100 -> 10000.
+  EXPECT_NEAR(static_cast<double>(sum.Estimate()), 10000.0, 2500.0);
+}
+
+TEST(SlidingWindowSumTest, ClampsToBitRange) {
+  SlidingWindowSum sum(10, 4, 4);  // Values in [0, 15].
+  sum.Add(1, 1000);
+  EXPECT_LE(sum.Estimate(), 15);
+}
+
+TEST(SlidingWindowSumTest, ApproximatesExactWindowSum) {
+  const int64_t window = 512;
+  SlidingWindowSum sum(window, 10, 8);  // Values in [0, 1023].
+  std::deque<int64_t> exact;
+  int64_t exact_sum = 0;
+  Rng rng(66);
+  for (int64_t t = 1; t <= 20000; ++t) {
+    int64_t v = rng.UniformInt(0, 1023);
+    sum.Add(t, v);
+    exact.push_back(v);
+    exact_sum += v;
+    if (static_cast<int64_t>(exact.size()) > window) {
+      exact_sum -= exact.front();
+      exact.pop_front();
+    }
+    if (t % 1009 == 0 && exact_sum > 0) {
+      double err = std::abs(static_cast<double>(sum.Estimate()) -
+                            static_cast<double>(exact_sum)) /
+                   static_cast<double>(exact_sum);
+      EXPECT_LE(err, 0.25) << "t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcv

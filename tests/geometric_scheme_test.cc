@@ -1,0 +1,129 @@
+// Focused tests for the Geometric comparator beyond the behavior covered in
+// sim_schemes_test.cc: weighted constraints, slack arithmetic at the edges,
+// and the covering invariant under adversarial value sequences.
+
+#include "sim/geometric_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/runner.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+struct Harness {
+  GeometricScheme scheme;
+  MessageCounter counter;
+  SimContext ctx;
+
+  Status Init(int sites, std::vector<int64_t> weights, int64_t threshold) {
+    ctx.num_sites = sites;
+    ctx.weights = std::move(weights);
+    ctx.global_threshold = threshold;
+    ctx.counter = &counter;
+    return scheme.Initialize(ctx);
+  }
+};
+
+TEST(GeometricSchemeTest, InitialThresholdsRespectWeights) {
+  Harness h;
+  ASSERT_TRUE(h.Init(2, {1, 3}, 24).ok());
+  // T/(n*A_i): 24/(2*1)=12, 24/(2*3)=4.
+  EXPECT_EQ(h.scheme.thresholds(), (std::vector<int64_t>{12, 4}));
+}
+
+TEST(GeometricSchemeTest, WeightedSlackRedistribution) {
+  Harness h;
+  ASSERT_TRUE(h.Init(2, {2, 1}, 20).ok());
+  // Initial thresholds: 20/(2*2)=5, 20/(2*1)=10.
+  // Epoch: site 0 at 6 (> 5) -> alarm; weighted sum = 12+4=16, slack 4.
+  auto r = h.scheme.OnEpoch({6, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_alarms, 1);
+  EXPECT_FALSE(r->violation_reported);
+  // share_i = slack/(n*A_i): site0 4/(2*2)=1 -> 7; site1 4/(2*1)=2 -> 6.
+  EXPECT_EQ(h.scheme.thresholds(), (std::vector<int64_t>{7, 6}));
+  // Covering preserved: 2*7 + 1*6 = 20 <= 20.
+}
+
+TEST(GeometricSchemeTest, CoveringInvariantUnderRandomSequences) {
+  // After every adaptation, sum_i A_i * T_i <= T must hold, and whenever
+  // the global constraint is violated at least one local must alarm.
+  Rng rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    Harness h;
+    const int n = static_cast<int>(rng.UniformInt(2, 5));
+    std::vector<int64_t> weights;
+    for (int i = 0; i < n; ++i) {
+      weights.push_back(rng.UniformInt(1, 3));
+    }
+    const int64_t threshold = rng.UniformInt(20, 200);
+    ASSERT_TRUE(h.Init(n, weights, threshold).ok());
+    for (int epoch = 0; epoch < 200; ++epoch) {
+      std::vector<int64_t> values;
+      int64_t sum = 0;
+      for (int i = 0; i < n; ++i) {
+        values.push_back(rng.UniformInt(0, 60));
+        sum += weights[static_cast<size_t>(i)] * values.back();
+      }
+      bool violated = sum > threshold;
+      auto r = h.scheme.OnEpoch(values);
+      ASSERT_TRUE(r.ok());
+      if (violated) {
+        ASSERT_GT(r->num_alarms, 0) << "violation without alarm";
+        ASSERT_TRUE(r->violation_reported);
+      }
+      // Post-adaptation covering: sum of weighted thresholds <= T.
+      int64_t wt = 0;
+      for (int i = 0; i < n; ++i) {
+        wt += weights[static_cast<size_t>(i)] *
+              h.scheme.thresholds()[static_cast<size_t>(i)];
+      }
+      ASSERT_LE(wt, threshold) << "trial " << trial << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(GeometricSchemeTest, QuietEpochsSendNothing) {
+  Harness h;
+  ASSERT_TRUE(h.Init(3, {1, 1, 1}, 300).ok());
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    auto r = h.scheme.OnEpoch({10, 20, 30});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->num_alarms, 0);
+    EXPECT_FALSE(r->polled);
+  }
+  EXPECT_EQ(h.counter.total(), 0);
+}
+
+TEST(GeometricSchemeTest, RecoversAfterViolationClears) {
+  Harness h;
+  ASSERT_TRUE(h.Init(2, {1, 1}, 10).ok());
+  // Violation epoch.
+  auto r1 = h.scheme.OnEpoch({9, 9});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->violation_reported);
+  // System recovers: values drop well below; the adapted (negative-slack)
+  // thresholds still alarm once, then re-center with positive slack.
+  auto r2 = h.scheme.OnEpoch({2, 2});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->violation_reported);
+  // Now thresholds have slack again: T_i = 2 + (10-4)/2 = 5.
+  EXPECT_EQ(h.scheme.thresholds(), (std::vector<int64_t>{5, 5}));
+  // And a calm epoch is silent.
+  auto r3 = h.scheme.OnEpoch({3, 3});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->num_alarms, 0);
+}
+
+TEST(GeometricSchemeTest, MismatchedEpochSizeIsError) {
+  Harness h;
+  ASSERT_TRUE(h.Init(2, {1, 1}, 10).ok());
+  EXPECT_FALSE(h.scheme.OnEpoch({1}).ok());
+  EXPECT_FALSE(h.scheme.OnEpoch({1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace dcv

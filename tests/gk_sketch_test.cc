@@ -1,0 +1,187 @@
+#include "histogram/gk_sketch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+// Rank of value v within sorted data (count of elements <= v).
+int64_t RankOf(const std::vector<int64_t>& sorted, int64_t v) {
+  return std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+}
+
+TEST(GkSketchTest, EmptySketchFails) {
+  GkSketch sketch(0.05);
+  EXPECT_FALSE(sketch.Quantile(0.5).ok());
+  EXPECT_FALSE(sketch.ToEquiDepthHistogram(10, 100).ok());
+}
+
+TEST(GkSketchTest, SingleElement) {
+  GkSketch sketch(0.1);
+  sketch.Insert(7);
+  EXPECT_EQ(*sketch.Quantile(0.0), 7);
+  EXPECT_EQ(*sketch.Quantile(0.5), 7);
+  EXPECT_EQ(*sketch.Quantile(1.0), 7);
+}
+
+TEST(GkSketchTest, ExactOnSmallStreams) {
+  GkSketch sketch(0.01);
+  for (int i = 1; i <= 20; ++i) {
+    sketch.Insert(i);
+  }
+  // With eps*n well below 1, queries must be exact.
+  EXPECT_EQ(*sketch.Quantile(0.5), 10);
+  EXPECT_EQ(*sketch.Quantile(1.0), 20);
+}
+
+class GkSketchEpsSweep : public testing::TestWithParam<double> {};
+
+TEST_P(GkSketchEpsSweep, RankErrorWithinGuarantee) {
+  const double eps = GetParam();
+  GkSketch sketch(eps);
+  Rng rng(77);
+  std::vector<int64_t> data;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = static_cast<int64_t>(rng.LogNormal(6.0, 1.2));
+    data.push_back(v);
+    sketch.Insert(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    int64_t q = *sketch.Quantile(phi);
+    int64_t rank = RankOf(data, q);
+    double target = phi * n;
+    EXPECT_NEAR(static_cast<double>(rank), target, 2.0 * eps * n + 1.0)
+        << "phi=" << phi << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsValues, GkSketchEpsSweep,
+                         testing::Values(0.1, 0.05, 0.02, 0.01));
+
+TEST(GkSketchTest, SpaceIsSublinear) {
+  GkSketch sketch(0.05);
+  Rng rng(78);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sketch.Insert(rng.UniformInt(0, 1'000'000));
+  }
+  EXPECT_EQ(sketch.count(), n);
+  // O((1/eps) log(eps n)) tuples; generous constant.
+  EXPECT_LT(sketch.num_tuples(), 4000u);
+}
+
+TEST(GkSketchTest, SortedAndReverseSortedStreams) {
+  for (bool reverse : {false, true}) {
+    GkSketch sketch(0.05);
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+      sketch.Insert(reverse ? n - i : i);
+    }
+    int64_t median = *sketch.Quantile(0.5);
+    EXPECT_NEAR(static_cast<double>(median), n / 2.0, 2 * 0.05 * n + 1);
+  }
+}
+
+TEST(GkSketchTest, ToEquiDepthHistogramPreservesMassAndQuantiles) {
+  GkSketch sketch(0.01);
+  Rng rng(79);
+  std::vector<int64_t> data;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.UniformInt(0, 10000);
+    data.push_back(v);
+    sketch.Insert(v);
+  }
+  auto hist = sketch.ToEquiDepthHistogram(50, 10000);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_NEAR(hist->total_weight(), static_cast<double>(n), 1e-6);
+  std::sort(data.begin(), data.end());
+  // Histogram CDF should be close to the true empirical CDF.
+  for (int64_t v = 500; v <= 9500; v += 500) {
+    double true_rank = static_cast<double>(RankOf(data, v));
+    EXPECT_NEAR(hist->CumulativeAt(v), true_rank, 0.05 * n)
+        << "v=" << v;
+  }
+}
+
+TEST(GkSketchTest, HistogramBoundaryClamping) {
+  GkSketch sketch(0.05);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Insert(1'000'000);  // All above the declared domain.
+  }
+  auto hist = sketch.ToEquiDepthHistogram(10, 1000);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ(hist->CumulativeAt(1000), 100.0);
+}
+
+TEST(GkSketchTest, ExtremeQuantilesReturnMinAndMax) {
+  GkSketch sketch(0.05);
+  Rng rng(80);
+  int64_t true_min = std::numeric_limits<int64_t>::max();
+  int64_t true_max = std::numeric_limits<int64_t>::min();
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(100, 100000);
+    true_min = std::min(true_min, v);
+    true_max = std::max(true_max, v);
+    sketch.Insert(v);
+  }
+  // phi=0 must return a value near the minimum (within eps*n ranks), and
+  // phi=1 exactly the maximum (GK always keeps the max tuple).
+  int64_t q0 = *sketch.Quantile(0.0);
+  EXPECT_GE(q0, true_min);
+  EXPECT_LE(q0, *sketch.Quantile(0.1));
+  EXPECT_EQ(*sketch.Quantile(1.0), true_max);
+}
+
+TEST(GkSketchTest, ApproxRankWithinGuarantee) {
+  const double eps = 0.02;
+  GkSketch sketch(eps);
+  Rng rng(81);
+  std::vector<int64_t> data;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = static_cast<int64_t>(rng.LogNormal(7.0, 1.0));
+    data.push_back(v);
+    sketch.Insert(v);
+  }
+  std::sort(data.begin(), data.end());
+  for (double frac : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+    int64_t v = data[static_cast<size_t>(frac * (n - 1))];
+    int64_t approx = sketch.ApproxRank(v);
+    int64_t exact = RankOf(data, v);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                2 * eps * n + 1)
+        << "value " << v;
+  }
+}
+
+TEST(GkSketchTest, ApproxRankIsMonotone) {
+  GkSketch sketch(0.05);
+  Rng rng(82);
+  for (int i = 0; i < 3000; ++i) {
+    sketch.Insert(rng.UniformInt(0, 10000));
+  }
+  int64_t prev = -1;
+  for (int64_t v = 0; v <= 10000; v += 97) {
+    int64_t r = sketch.ApproxRank(v);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_EQ(sketch.ApproxRank(-1), 0);
+}
+
+TEST(GkSketchTest, RejectsBadArguments) {
+  GkSketch sketch(0.05);
+  sketch.Insert(1);
+  EXPECT_FALSE(sketch.ToEquiDepthHistogram(0, 100).ok());
+}
+
+}  // namespace
+}  // namespace dcv

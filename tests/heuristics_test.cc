@@ -1,0 +1,150 @@
+#include "threshold/heuristics.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "histogram/empirical_cdf.h"
+#include "threshold/fptas.h"
+
+namespace dcv {
+namespace {
+
+TEST(EqualValueTest, SplitsBudgetEqually) {
+  EmpiricalCdf model({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 9);
+  ThresholdProblem p;
+  p.budget = 12;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  p.vars.push_back(ProblemVar{1, 1, CdfView(&model, false)});
+  p.vars.push_back(ProblemVar{2, 1, CdfView(&model, false)});
+  EqualValueSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds, (std::vector<int64_t>{4, 4, 4}));
+  EXPECT_TRUE(SatisfiesBudget(p, sol->thresholds));
+}
+
+TEST(EqualValueTest, AccountsForWeights) {
+  EmpiricalCdf model({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 9);
+  ThresholdProblem p;
+  p.budget = 12;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  p.vars.push_back(ProblemVar{1, 3, CdfView(&model, false)});
+  EqualValueSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds, (std::vector<int64_t>{6, 2}));
+  EXPECT_TRUE(SatisfiesBudget(p, sol->thresholds));
+}
+
+TEST(EqualValueTest, ClampsToDomain) {
+  EmpiricalCdf model({0, 1}, 2);
+  ThresholdProblem p;
+  p.budget = 100;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  EqualValueSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], 2);
+}
+
+TEST(EqualValueTest, IgnoresDistributionShape) {
+  // One site near 0, one spread out: Equal-Value still splits evenly.
+  EmpiricalCdf low({0, 0, 1}, 20);
+  EmpiricalCdf wide({5, 10, 19}, 20);
+  ThresholdProblem p;
+  p.budget = 20;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&low, false)});
+  p.vars.push_back(ProblemVar{1, 1, CdfView(&wide, false)});
+  EqualValueSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], sol->thresholds[1]);
+}
+
+TEST(EqualTailTest, EqualizesViolationProbability) {
+  // Two sites with very different spreads: tails should end up (nearly)
+  // equal rather than the thresholds.
+  EmpiricalCdf low({0, 1, 1, 2, 2, 2, 3, 3, 4, 5}, 50);
+  EmpiricalCdf wide({5, 10, 15, 20, 25, 30, 35, 40, 45, 50}, 50);
+  ThresholdProblem p;
+  p.budget = 40;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&low, false)});
+  p.vars.push_back(ProblemVar{1, 1, CdfView(&wide, false)});
+  EqualTailSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(SatisfiesBudget(p, sol->thresholds));
+  double tail0 = 1.0 - p.vars[0].cdf.Prob(sol->thresholds[0]);
+  double tail1 = 1.0 - p.vars[1].cdf.Prob(sol->thresholds[1]);
+  EXPECT_NEAR(tail0, tail1, 0.15);
+  // The wide site gets the larger threshold.
+  EXPECT_GT(sol->thresholds[1], sol->thresholds[0]);
+}
+
+TEST(EqualTailTest, FullBudgetCoversEverything) {
+  EmpiricalCdf model({1, 2, 3}, 10);
+  ThresholdProblem p;
+  p.budget = 100;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  EqualTailSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  // q = 1 is affordable: threshold at the max observation.
+  EXPECT_GE(sol->thresholds[0], 3);
+  EXPECT_NEAR(sol->log_probability, 0.0, 1e-9);
+}
+
+TEST(EqualTailTest, ZeroBudgetIsDegenerate) {
+  EmpiricalCdf model({5, 6}, 10);
+  ThresholdProblem p;
+  p.budget = 0;
+  p.vars.push_back(ProblemVar{0, 1, CdfView(&model, false)});
+  EqualTailSolver solver;
+  auto sol = solver.Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->thresholds[0], 0);
+  EXPECT_TRUE(sol->degenerate);
+}
+
+TEST(HeuristicsOrderingTest, FptasDominatesBothHeuristicsInObjective) {
+  // The FPTAS directly maximizes the objective both heuristics only
+  // approximate, so (up to 1+eps) it must be at least as good.
+  Rng rng(888);
+  FptasSolver fptas(0.01);
+  EqualValueSolver equal_value;
+  EqualTailSolver equal_tail;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::unique_ptr<EmpiricalCdf>> models;
+    ThresholdProblem p;
+    const int n = static_cast<int>(rng.UniformInt(2, 5));
+    p.budget = rng.UniformInt(5, 80);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int64_t> data;
+      const int64_t m = rng.UniformInt(5, 40);
+      for (int k = 0; k < 20; ++k) {
+        data.push_back(static_cast<int64_t>(
+            std::min<double>(static_cast<double>(m),
+                             rng.LogNormal(1.0 + i * 0.5, 0.7))));
+      }
+      models.push_back(std::make_unique<EmpiricalCdf>(data, m));
+      p.vars.push_back(
+          ProblemVar{i, 1, CdfView(models.back().get(), false)});
+    }
+    auto f = fptas.Solve(p);
+    auto ev = equal_value.Solve(p);
+    auto et = equal_tail.Solve(p);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(ev.ok());
+    ASSERT_TRUE(et.ok());
+    const double slack = std::log1p(0.01) + 1e-9;
+    EXPECT_GE(f->log_probability, ev->log_probability - slack);
+    EXPECT_GE(f->log_probability, et->log_probability - slack);
+  }
+}
+
+}  // namespace
+}  // namespace dcv

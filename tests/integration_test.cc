@@ -1,0 +1,279 @@
+// End-to-end tests: parse a global constraint, normalize it, select local
+// thresholds, and verify the full pipeline against a simulated deployment —
+// the workflow a user of the library follows.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "constraints/normalize.h"
+#include "constraints/parser.h"
+#include "histogram/equi_depth.h"
+#include "sim/local_scheme.h"
+#include "sim/monitor_plan.h"
+#include "sim/runner.h"
+#include "threshold/boolean_solver.h"
+#include "threshold/exact_dp.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+TEST(IntegrationTest, ParseNormalizeSolveCoversSimulatedTraffic) {
+  // Build per-site histograms from a synthetic SNMP training week, solve a
+  // parsed boolean constraint, then replay the next week and check that
+  // every global violation coincides with a local-bound violation.
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 3;
+  trace_options.num_weeks = 2;
+  trace_options.epochs_per_day = 60;
+  trace_options.seed = 101;
+  auto trace = GenerateSnmpTrace(trace_options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace eval = *trace->Slice(week, 2 * week);
+
+  // Global constraint: total traffic bounded AND no single-pair MAX too hot.
+  auto sums = EpochSums(eval, {});
+  std::vector<double> sums_d(sums.begin(), sums.end());
+  int64_t total_cap = static_cast<int64_t>(Quantile(sums_d, 0.98));
+  int64_t pair_cap = total_cap;  // Loose second conjunct.
+  auto parsed = ParseConstraintWithVars(
+      "site0 + site1 + site2 <= " + std::to_string(total_cap) +
+          " && MAX{site0 + site1, site1 + site2} <= " +
+          std::to_string(pair_cap),
+      {"site0", "site1", "site2"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto cnf = ToCnf(*parsed);
+  ASSERT_TRUE(cnf.ok());
+
+  // Histograms as in the paper: 100-bucket equi-depth on training data.
+  std::vector<std::unique_ptr<EquiDepthHistogram>> models;
+  std::vector<const DistributionModel*> model_ptrs;
+  for (int i = 0; i < 3; ++i) {
+    auto h = EquiDepthHistogram::Build(training.SiteSeries(i),
+                                       trace->GlobalMaxValue() * 2, 100);
+    ASSERT_TRUE(h.ok());
+    models.push_back(std::make_unique<EquiDepthHistogram>(std::move(*h)));
+    model_ptrs.push_back(models.back().get());
+  }
+
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto solution = solver.Solve(*cnf, model_ptrs);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+
+  // Covering property against the real evaluation traffic.
+  int64_t violations = 0;
+  int64_t alarms_at_violations = 0;
+  for (int64_t t = 0; t < eval.num_epochs(); ++t) {
+    const auto& v = eval.epoch(t);
+    bool global_ok = parsed->Evaluate(v);
+    bool any_local_violated = false;
+    for (int i = 0; i < 3; ++i) {
+      if (!solution->bounds[static_cast<size_t>(i)].Contains(
+              v[static_cast<size_t>(i)])) {
+        any_local_violated = true;
+      }
+    }
+    if (!global_ok) {
+      ++violations;
+      if (any_local_violated) {
+        ++alarms_at_violations;
+      }
+    }
+  }
+  EXPECT_GT(violations, 0);
+  EXPECT_EQ(alarms_at_violations, violations)
+      << "covering property violated on replay";
+}
+
+TEST(IntegrationTest, FptasBeatsEqualValueOnSkewedSites) {
+  // The headline claim, end to end on a miniature version of the paper's
+  // experiment: with heterogeneous sites, FPTAS thresholds produce fewer
+  // messages than Equal-Value thresholds, with zero missed detections for
+  // both.
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 10;
+  trace_options.num_weeks = 2;
+  trace_options.epochs_per_day = 100;
+  trace_options.seed = 2024;
+  auto trace = GenerateSnmpTrace(trace_options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace eval = *trace->Slice(week, 2 * week);
+
+  auto threshold = ThresholdForOverflowFraction(eval, {}, 0.01);
+  ASSERT_TRUE(threshold.ok());
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+
+  FptasSolver fptas(0.05);
+  EqualValueSolver equal_value;
+
+  LocalThresholdScheme::Options fptas_options;
+  fptas_options.solver = &fptas;
+  LocalThresholdScheme fptas_scheme(fptas_options);
+  LocalThresholdScheme::Options ev_options;
+  ev_options.solver = &equal_value;
+  LocalThresholdScheme ev_scheme(ev_options);
+
+  auto fptas_result = RunSimulation(&fptas_scheme, sim, training, eval);
+  auto ev_result = RunSimulation(&ev_scheme, sim, training, eval);
+  ASSERT_TRUE(fptas_result.ok());
+  ASSERT_TRUE(ev_result.ok());
+
+  EXPECT_EQ(fptas_result->missed_violations, 0);
+  EXPECT_EQ(ev_result->missed_violations, 0);
+  EXPECT_LT(fptas_result->messages.total(), ev_result->messages.total());
+}
+
+TEST(IntegrationTest, ExactDpAgreesWithFptasOnTrainedHistograms) {
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 4;
+  trace_options.num_weeks = 1;
+  trace_options.epochs_per_day = 60;
+  trace_options.seed = 55;
+  trace_options.base_median = 50.0;  // Small values so exact DP is feasible.
+  trace_options.site_scale_sigma = 0.8;
+  auto trace = GenerateSnmpTrace(trace_options);
+  ASSERT_TRUE(trace.ok());
+
+  std::vector<std::unique_ptr<EquiDepthHistogram>> models;
+  ThresholdProblem problem;
+  for (int i = 0; i < 4; ++i) {
+    auto h = EquiDepthHistogram::Build(trace->SiteSeries(i), 2000, 50);
+    ASSERT_TRUE(h.ok());
+    models.push_back(std::make_unique<EquiDepthHistogram>(std::move(*h)));
+    problem.vars.push_back(
+        ProblemVar{i, 1, CdfView(models.back().get(), false)});
+  }
+  auto sums = EpochSums(*trace, {});
+  std::vector<double> sums_d(sums.begin(), sums.end());
+  problem.budget = static_cast<int64_t>(Quantile(sums_d, 0.95));
+
+  FptasSolver fptas(0.05);
+  ExactDpSolver exact;
+  auto a = fptas.Solve(problem);
+  auto b = exact.Solve(problem);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_GT(b->log_probability, kNegInf);
+  EXPECT_GE(a->log_probability,
+            b->log_probability - std::log1p(0.05) - 1e-9);
+  EXPECT_TRUE(SatisfiesBudget(problem, a->thresholds));
+  EXPECT_TRUE(SatisfiesBudget(problem, b->thresholds));
+}
+
+TEST(IntegrationTest, MonitorPlanDeploymentRoundTrip) {
+  // Full deployment flow: parse constraint -> solve bounds -> serialize a
+  // MonitorPlan -> "ship" it (parse it back) -> replay live traffic using
+  // only the plan's per-site checks, and verify covering end to end.
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 4;
+  trace_options.num_weeks = 2;
+  trace_options.epochs_per_day = 80;
+  trace_options.seed = 909;
+  auto trace = GenerateSnmpTrace(trace_options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace live = *trace->Slice(week, 2 * week);
+
+  auto total_cap = ThresholdForOverflowFraction(live, {}, 0.02);
+  ASSERT_TRUE(total_cap.ok());
+  std::string constraint_text =
+      "site0 + site1 + site2 + site3 <= " + std::to_string(*total_cap);
+  auto expr = ParseConstraintWithVars(constraint_text, live.site_names());
+  ASSERT_TRUE(expr.ok());
+  auto cnf = ToCnf(*expr);
+  ASSERT_TRUE(cnf.ok());
+
+  std::vector<std::unique_ptr<EquiDepthHistogram>> models;
+  std::vector<const DistributionModel*> model_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    auto h = EquiDepthHistogram::Build(training.SiteSeries(i),
+                                       4 * training.MaxValue(i) + 1, 100);
+    ASSERT_TRUE(h.ok());
+    models.push_back(std::make_unique<EquiDepthHistogram>(std::move(*h)));
+    model_ptrs.push_back(models.back().get());
+  }
+  FptasSolver base(0.05);
+  BooleanThresholdSolver solver(&base);
+  auto solution = solver.Solve(*cnf, model_ptrs);
+  ASSERT_TRUE(solution.ok());
+
+  MonitorPlan plan;
+  plan.constraint_text = constraint_text;
+  plan.global_threshold = *total_cap;
+  plan.solver_name = "fptas";
+  plan.site_names = live.site_names();
+  plan.bounds = solution->bounds;
+  ASSERT_TRUE(plan.Validate().ok());
+
+  auto shipped = MonitorPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(shipped.ok());
+
+  // Replay: every epoch where the global constraint is violated must have
+  // at least one site failing its shipped local check.
+  int64_t violations = 0;
+  for (int64_t t = 0; t < live.num_epochs(); ++t) {
+    const auto& v = live.epoch(t);
+    bool global_ok = live.WeightedSum(t, {}) <= *total_cap;
+    bool any_local_alarm = false;
+    for (int i = 0; i < 4; ++i) {
+      if (!shipped->SiteOk(i, v[static_cast<size_t>(i)])) {
+        any_local_alarm = true;
+      }
+    }
+    if (!global_ok) {
+      ++violations;
+      ASSERT_TRUE(any_local_alarm) << "epoch " << t;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(IntegrationTest, ChangeDetectionRecomputesThresholdsOnShift) {
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = 4;
+  trace_options.num_weeks = 3;
+  trace_options.epochs_per_day = 100;
+  trace_options.seed = 77;
+  trace_options.shift_week = 1;  // Shift at the start of eval week 1.
+  trace_options.shift_factor = 3.0;
+  trace_options.shift_site_fraction = 0.5;
+  auto trace = GenerateSnmpTrace(trace_options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace eval = *trace->Slice(week, 3 * week);
+
+  auto threshold = ThresholdForOverflowFraction(eval, {}, 0.02);
+  ASSERT_TRUE(threshold.ok());
+
+  FptasSolver fptas(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &fptas;
+  options.change_detection = true;
+  options.change_options.window_size = 200;
+  options.change_options.alpha = 0.001;
+  options.change_options.cooldown = 300;
+  LocalThresholdScheme scheme(options);
+
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+  auto result = RunSimulation(&scheme, sim, training, eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(scheme.num_recomputes(), 1);
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,93 @@
+#include "constraints/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokens) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ(tokens->front().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IntegersAndIdentifiers) {
+  auto tokens = Tokenize("12 foo x1 _bar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{TokenKind::kInt, TokenKind::kIdent,
+                                    TokenKind::kIdent, TokenKind::kIdent,
+                                    TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[0].int_value, 12);
+  EXPECT_EQ((*tokens)[1].text, "foo");
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("MIN min Max SUM and OR");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{TokenKind::kMin, TokenKind::kMin,
+                                    TokenKind::kMax, TokenKind::kSum,
+                                    TokenKind::kAnd, TokenKind::kOr,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Tokenize("<= >= && || + - * ( ) { } ,");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(Kinds(*tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kLe, TokenKind::kGe, TokenKind::kAnd,
+                TokenKind::kOr, TokenKind::kPlus, TokenKind::kMinus,
+                TokenKind::kStar, TokenKind::kLParen, TokenKind::kRParen,
+                TokenKind::kLBrace, TokenKind::kRBrace, TokenKind::kComma,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NoSpacesNeeded) {
+  auto tokens = Tokenize("3*x1+x2<=5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 8u);
+}
+
+TEST(LexerTest, JuxtaposedIntIdent) {
+  // "3x1" lexes as INT(3) IDENT(x1), which the parser treats as 3*x1.
+  auto tokens = Tokenize("3x1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+}
+
+TEST(LexerTest, RejectsStrictComparisons) {
+  EXPECT_FALSE(Tokenize("x < 5").ok());
+  EXPECT_FALSE(Tokenize("x > 5").ok());
+}
+
+TEST(LexerTest, RejectsStrayAmpersandAndPipe) {
+  EXPECT_FALSE(Tokenize("a & b").ok());
+  EXPECT_FALSE(Tokenize("a | b").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("x1 ^ 2").ok());
+  EXPECT_FALSE(Tokenize("x1 = 2").ok());
+}
+
+TEST(LexerTest, TracksOffsets) {
+  auto tokens = Tokenize("ab  12");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,100 @@
+#include "constraints/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+TEST(LinearExprTest, EmptyIsZeroConstant) {
+  LinearExpr e;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.offset(), 0);
+  EXPECT_EQ(e.Evaluate({1, 2, 3}), 0);
+  EXPECT_EQ(e.max_var(), -1);
+}
+
+TEST(LinearExprTest, FromTermAndEvaluate) {
+  LinearExpr e = LinearExpr::FromTerm(1, 3);
+  EXPECT_EQ(e.Evaluate({10, 20, 30}), 60);
+  EXPECT_EQ(e.CoefficientOf(1), 3);
+  EXPECT_EQ(e.CoefficientOf(0), 0);
+  EXPECT_EQ(e.max_var(), 1);
+}
+
+TEST(LinearExprTest, AddTermMergesAndCancels) {
+  LinearExpr e;
+  e.AddTerm(2, 5);
+  e.AddTerm(0, 1);
+  e.AddTerm(2, -5);  // Cancels to zero and is removed.
+  EXPECT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.CoefficientOf(2), 0);
+  EXPECT_EQ(e.CoefficientOf(0), 1);
+}
+
+TEST(LinearExprTest, TermsStaySorted) {
+  LinearExpr e;
+  e.AddTerm(5, 1);
+  e.AddTerm(1, 1);
+  e.AddTerm(3, 1);
+  ASSERT_EQ(e.terms().size(), 3u);
+  EXPECT_EQ(e.terms()[0].var, 1);
+  EXPECT_EQ(e.terms()[1].var, 3);
+  EXPECT_EQ(e.terms()[2].var, 5);
+}
+
+TEST(LinearExprTest, AddCombinesExpressions) {
+  LinearExpr a = LinearExpr::FromTerm(0, 2);
+  a.AddConstant(5);
+  LinearExpr b = LinearExpr::FromTerm(0, 3);
+  b.AddTerm(1, 1);
+  a.Add(b);
+  EXPECT_EQ(a.CoefficientOf(0), 5);
+  EXPECT_EQ(a.CoefficientOf(1), 1);
+  EXPECT_EQ(a.offset(), 5);
+  EXPECT_EQ(a.Evaluate({1, 1}), 11);
+}
+
+TEST(LinearExprTest, ScaleMultipliesEverything) {
+  LinearExpr e = LinearExpr::FromTerm(0, 2);
+  e.AddConstant(3);
+  e.Scale(-2);
+  EXPECT_EQ(e.CoefficientOf(0), -4);
+  EXPECT_EQ(e.offset(), -6);
+  e.Scale(0);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.offset(), 0);
+}
+
+TEST(LinearExprTest, EvaluateIgnoresMissingVars) {
+  LinearExpr e = LinearExpr::FromTerm(5, 7);
+  EXPECT_EQ(e.Evaluate({1, 2}), 0);  // x5 not in assignment -> treated as 0.
+}
+
+TEST(LinearExprTest, ToStringFormats) {
+  LinearExpr e;
+  e.AddTerm(0, 3);
+  e.AddTerm(1, 1);
+  e.AddTerm(2, -2);
+  e.AddConstant(-5);
+  EXPECT_EQ(e.ToString(), "3*x0 + x1 - 2*x2 - 5");
+  std::vector<std::string> names{"a", "b", "c"};
+  EXPECT_EQ(e.ToString(&names), "3*a + b - 2*c - 5");
+}
+
+TEST(LinearExprTest, ToStringConstantAndNegativeLead) {
+  EXPECT_EQ(LinearExpr::FromConstant(7).ToString(), "7");
+  EXPECT_EQ(LinearExpr().ToString(), "0");
+  LinearExpr e = LinearExpr::FromTerm(0, -1);
+  EXPECT_EQ(e.ToString(), "-x0");
+}
+
+TEST(LinearExprTest, EqualityIsStructural) {
+  LinearExpr a = LinearExpr::FromTerm(0, 1);
+  LinearExpr b = LinearExpr::FromTerm(0, 1);
+  EXPECT_EQ(a, b);
+  b.AddConstant(1);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,380 @@
+// Focused tests for LocalThresholdScheme options added on top of the basic
+// behavior covered in sim_schemes_test.cc: histogram flavor, rebuild
+// window, and change-detection plumbing.
+
+#include "sim/local_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+  int64_t threshold = 0;
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  SyntheticTraceOptions options;
+  options.num_sites = 4;
+  options.num_epochs = 1600;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.5;
+  options.param2 = 0.7;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, 800);
+  w.eval = *trace->Slice(800, 1600);
+  auto threshold = ThresholdForOverflowFraction(w.eval, {}, 0.02);
+  EXPECT_TRUE(threshold.ok());
+  w.threshold = *threshold;
+  return w;
+}
+
+TEST(LocalSchemeOptionsTest, EquiWidthHistogramsAlsoCover) {
+  Workload w = MakeWorkload(11);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.histogram_kind = LocalThresholdScheme::HistogramKind::kEquiWidth;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->missed_violations, 0);
+  int64_t sum = 0;
+  for (int64_t t : scheme.thresholds()) {
+    sum += t;
+  }
+  EXPECT_LE(sum, w.threshold);
+}
+
+TEST(LocalSchemeOptionsTest, SchemeNameIncludesSolver) {
+  FptasSolver fptas(0.05);
+  EqualValueSolver ev;
+  LocalThresholdScheme::Options a;
+  a.solver = &fptas;
+  LocalThresholdScheme::Options b;
+  b.solver = &ev;
+  EXPECT_EQ(LocalThresholdScheme(a).name(), "local-threshold/fptas");
+  EXPECT_EQ(LocalThresholdScheme(b).name(), "local-threshold/equal-value");
+}
+
+TEST(LocalSchemeOptionsTest, BucketCountOneStillWorks) {
+  // A single-bucket histogram is maximally coarse but must not break
+  // covering.
+  Workload w = MakeWorkload(12);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.histogram_buckets = 1;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(LocalSchemeOptionsTest, ChangeDetectionRebuildUsesRollingHistory) {
+  // Stationary training then a step change: with a small detector window
+  // but a long rebuild window, the scheme must recompute and the new
+  // thresholds must reflect the post-change scale (sum near the budget,
+  // not collapsed onto a biased micro-window).
+  Trace training(2);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        training.AppendEpoch({rng.UniformInt(80, 120), rng.UniformInt(80, 120)})
+            .ok());
+  }
+  Trace eval(2);
+  for (int i = 0; i < 1500; ++i) {
+    // Both sites shift up 3x.
+    ASSERT_TRUE(
+        eval.AppendEpoch({rng.UniformInt(240, 360), rng.UniformInt(240, 360)})
+            .ok());
+  }
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.change_detection = true;
+  options.change_options.window_size = 100;
+  options.change_options.alpha = 1e-4;
+  options.change_options.cooldown = 200;
+  options.rebuild_window = 600;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = 800;  // Generous post-change.
+  auto result = RunSimulation(&scheme, sim, training, eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(scheme.num_recomputes(), 1);
+  // After recomputation the thresholds should admit typical post-change
+  // values (~300 per site).
+  EXPECT_GE(scheme.thresholds()[0], 300);
+  EXPECT_GE(scheme.thresholds()[1], 300);
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(LocalSchemeOptionsTest, ThresholdUpdateMessagesChargedOnRecompute) {
+  Trace training(2);
+  Rng rng(10);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(
+        training.AppendEpoch({rng.UniformInt(10, 20), rng.UniformInt(10, 20)})
+            .ok());
+  }
+  Trace eval(2);
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(
+        eval.AppendEpoch({rng.UniformInt(200, 300), rng.UniformInt(200, 300)})
+            .ok());
+  }
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.change_detection = true;
+  options.change_options.window_size = 100;
+  options.change_options.cooldown = 100;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = 10000;
+  auto result = RunSimulation(&scheme, sim, training, eval);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(scheme.num_recomputes(), 1);
+  EXPECT_EQ(result->messages.of(MessageType::kThresholdUpdate),
+            scheme.num_recomputes() * 2);
+  EXPECT_EQ(result->messages.of(MessageType::kFilterReport),
+            scheme.num_recomputes());
+}
+
+TEST(LocalSchemeOptionsTest, PiggybackValuesCertifiesShallowCrossings) {
+  // One site slightly exceeds its threshold while everything else is far
+  // below: with piggybacked values the coordinator can certify safety
+  // without polling.
+  Workload w = MakeWorkload(14);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options plain;
+  plain.solver = &solver;
+  // Reserve 10% headroom below T and let alarms carry values: crossings
+  // whose certified bound stays inside the headroom are absorbed silently.
+  LocalThresholdScheme::Options piggyback = plain;
+  piggyback.piggyback_values = true;
+  piggyback.budget_discount = 0.9;
+
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  LocalThresholdScheme plain_scheme(plain);
+  LocalThresholdScheme pb_scheme(piggyback);
+  auto a = RunSimulation(&plain_scheme, sim, w.training, w.eval);
+  auto b = RunSimulation(&pb_scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both guarantee detection.
+  EXPECT_EQ(a->missed_violations, 0);
+  EXPECT_EQ(b->missed_violations, 0);
+  EXPECT_EQ(b->detected_violations, b->true_violations);
+  // The discounted thresholds alarm more often but poll less.
+  EXPECT_LT(b->polled_epochs, a->polled_epochs);
+}
+
+TEST(LocalSchemeOptionsTest, TrackingModeNeverMissesViolations) {
+  Workload w = MakeWorkload(16);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.global_check = LocalThresholdScheme::GlobalCheck::kTrack;
+  options.tracking_precision = 0.02;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->true_violations, 0);
+  // The certified bound can only over-report, never miss.
+  EXPECT_EQ(result->missed_violations, 0);
+  // Tracking never issues full polls.
+  EXPECT_EQ(result->messages.of(MessageType::kPollRequest), 0);
+  EXPECT_EQ(result->polled_epochs, 0);
+}
+
+TEST(LocalSchemeOptionsTest, TrackingIsCheaperOnSmoothAlarmEpisodes) {
+  // A site sits persistently above its threshold with slowly-drifting
+  // values: polling pays 2n per epoch; tracking pays only on filter
+  // breaches.
+  Trace training(3);
+  Rng rng(17);
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(training
+                    .AppendEpoch({rng.UniformInt(90, 110),
+                                  rng.UniformInt(90, 110),
+                                  rng.UniformInt(90, 110)})
+                    .ok());
+  }
+  Trace eval(3);
+  for (int i = 0; i < 800; ++i) {
+    // Site 0 runs hot but stable; the global sum stays below T.
+    ASSERT_TRUE(eval.AppendEpoch(
+                        {400 + rng.UniformInt(0, 3), rng.UniformInt(90, 110),
+                         rng.UniformInt(90, 110)})
+                    .ok());
+  }
+  SimOptions sim;
+  sim.global_threshold = 1000;
+
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options poll_options;
+  poll_options.solver = &solver;
+  // Keep the declared domains close to the training range so the hot site
+  // actually sits above its threshold (otherwise slack redistribution
+  // raises the thresholds past it and neither scheme sends anything).
+  poll_options.domain_headroom = 1.5;
+  LocalThresholdScheme poll_scheme(poll_options);
+  auto poll_result = RunSimulation(&poll_scheme, sim, training, eval);
+  ASSERT_TRUE(poll_result.ok());
+
+  LocalThresholdScheme::Options track_options = poll_options;
+  track_options.global_check = LocalThresholdScheme::GlobalCheck::kTrack;
+  track_options.tracking_precision = 0.05;
+  LocalThresholdScheme track_scheme(track_options);
+  auto track_result = RunSimulation(&track_scheme, sim, training, eval);
+  ASSERT_TRUE(track_result.ok());
+
+  EXPECT_EQ(poll_result->missed_violations, 0);
+  EXPECT_EQ(track_result->missed_violations, 0);
+  // The hot site alarms every epoch under polling.
+  EXPECT_GT(poll_result->polled_epochs, 700);
+  EXPECT_LT(track_result->messages.total(),
+            poll_result->messages.total() / 5);
+}
+
+TEST(LocalSchemeOptionsTest, TrackingValidation) {
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.tracking_precision = 0.0;
+  LocalThresholdScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(LocalSchemeOptionsTest, WeightedConstraintCoversEndToEnd) {
+  // Global constraint 3*X0 + X1 + 2*X2 + X3 <= T: thresholds must respect
+  // the weights and detection must stay complete.
+  Workload w = MakeWorkload(15);
+  std::vector<int64_t> weights{3, 1, 2, 1};
+  auto threshold = ThresholdForOverflowFraction(w.eval, weights, 0.02);
+  ASSERT_TRUE(threshold.ok());
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+  sim.weights = weights;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->true_violations, 0);
+  EXPECT_EQ(result->missed_violations, 0);
+  int64_t weighted_sum = 0;
+  for (size_t i = 0; i < scheme.thresholds().size(); ++i) {
+    weighted_sum += weights[i] * scheme.thresholds()[i];
+  }
+  EXPECT_LE(weighted_sum, *threshold);
+}
+
+TEST(LocalSchemeOptionsTest, BudgetDiscountValidation) {
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.budget_discount = 0.0;
+  LocalThresholdScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(LocalSchemeOptionsTest, PiggybackPollsExactlyWhenBoundInconclusive) {
+  // Deterministic micro-scenario: thresholds land at (2.5 -> redistributed)
+  // known values; verify the certify-vs-poll decision epoch by epoch.
+  Trace training(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(training.AppendEpoch({10, 10}).ok());
+  }
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.piggyback_values = true;
+  LocalThresholdScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 2;
+  ctx.weights = {1, 1};
+  ctx.global_threshold = 30;
+  ctx.training = &training;
+  MessageCounter counter;
+  ctx.counter = &counter;
+  ASSERT_TRUE(scheme.Initialize(ctx).ok());
+  int64_t t0 = scheme.thresholds()[0];
+  int64_t t1 = scheme.thresholds()[1];
+  ASSERT_LE(t0 + t1, 30);
+
+  // Shallow crossing: site 0 at t0 + 1 while site 1 is low. The bound is
+  // (t0 + 1) + t1 <= 31; whether it polls depends on the slack, so pick a
+  // crossing that keeps the bound within T.
+  int64_t spare = 30 - (t0 + t1);
+  if (spare >= 1) {
+    auto r = scheme.OnEpoch({t0 + 1, 0});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->num_alarms, 1);
+    EXPECT_FALSE(r->polled);  // Certified without polling.
+  }
+  // Deep crossing: bound exceeds T, must poll.
+  auto r2 = scheme.OnEpoch({t0 + spare + 1, 0});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->polled);
+  EXPECT_FALSE(r2->violation_reported);  // Actual sum is below T.
+  // Actual violation: must poll and report.
+  auto r3 = scheme.OnEpoch({31, 5});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->polled);
+  EXPECT_TRUE(r3->violation_reported);
+}
+
+TEST(LocalSchemeOptionsTest, NoChangeDetectionMeansNoRecomputes) {
+  Workload w = MakeWorkload(13);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  options.change_detection = false;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(scheme.num_recomputes(), 0);
+  EXPECT_EQ(result->messages.of(MessageType::kThresholdUpdate), 0);
+}
+
+}  // namespace
+}  // namespace dcv

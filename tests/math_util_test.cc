@@ -1,0 +1,73 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+TEST(SafeLogTest, PositiveAndZero) {
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeLog(std::exp(1.0)), 1.0);
+  EXPECT_EQ(SafeLog(0.0), kNegInf);
+  EXPECT_EQ(SafeLog(-3.0), kNegInf);
+}
+
+TEST(SafeExpTest, InverseOfSafeLog) {
+  EXPECT_DOUBLE_EQ(SafeExp(SafeLog(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(SafeExp(kNegInf), 0.0);
+}
+
+TEST(ClampTest, AllRegions) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-1, 0, 10), 0);
+  EXPECT_EQ(Clamp(11, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ApproxEqualTest, RelativeTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.1));
+  EXPECT_TRUE(ApproxEqual(0.0, 1e-12));
+}
+
+TEST(KahanSumTest, CompensatesSmallTerms) {
+  std::vector<double> values(1000000, 1e-6);
+  values.push_back(1e6);
+  double sum = KahanSum(values);
+  EXPECT_NEAR(sum, 1e6 + 1.0, 1e-6);
+}
+
+TEST(CeilDivTest, PositiveAndNegative) {
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(-7, 2), -3);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  std::vector<double> v{0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.625), 25.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  std::vector<double> v{40, 0, 30, 10, 20};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 20.0);
+}
+
+}  // namespace
+}  // namespace dcv

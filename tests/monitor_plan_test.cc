@@ -1,0 +1,111 @@
+#include "sim/monitor_plan.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+MonitorPlan SamplePlan() {
+  MonitorPlan plan;
+  plan.constraint_text = "r1 + r2 <= 100";
+  plan.global_threshold = 100;
+  plan.solver_name = "fptas";
+  plan.site_names = {"r1", "r2"};
+  plan.bounds = {SiteBounds{0, 60}, SiteBounds{0, 40}};
+  return plan;
+}
+
+TEST(MonitorPlanTest, ValidateAcceptsGoodPlan) {
+  EXPECT_TRUE(SamplePlan().Validate().ok());
+}
+
+TEST(MonitorPlanTest, ValidateRejectsMisalignment) {
+  MonitorPlan plan = SamplePlan();
+  plan.bounds.pop_back();
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(MonitorPlanTest, ValidateRejectsBadNames) {
+  MonitorPlan plan = SamplePlan();
+  plan.site_names[0] = "has space";
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = SamplePlan();
+  plan.site_names[0] = "";
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = SamplePlan();
+  plan.site_names[1] = plan.site_names[0];
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(MonitorPlanTest, SerializeParseRoundTrip) {
+  MonitorPlan plan = SamplePlan();
+  auto back = MonitorPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->constraint_text, plan.constraint_text);
+  EXPECT_EQ(back->global_threshold, plan.global_threshold);
+  EXPECT_EQ(back->solver_name, plan.solver_name);
+  EXPECT_EQ(back->site_names, plan.site_names);
+  EXPECT_EQ(back->bounds, plan.bounds);
+}
+
+TEST(MonitorPlanTest, ParseToleratesCommentsAndBlankLines) {
+  const std::string text =
+      "# dcv-monitor-plan v1\n"
+      "\n"
+      "# produced by dcvtool on 2026-07-04\n"
+      "threshold: 42\n"
+      "site: a 0 10\n";
+  auto plan = MonitorPlan::Parse(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->global_threshold, 42);
+  ASSERT_EQ(plan->site_names.size(), 1u);
+  EXPECT_TRUE(plan->SiteOk(0, 10));
+  EXPECT_FALSE(plan->SiteOk(0, 11));
+}
+
+TEST(MonitorPlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(MonitorPlan::Parse("").ok());
+  EXPECT_FALSE(MonitorPlan::Parse("threshold: 5\n").ok());  // No header.
+  EXPECT_FALSE(
+      MonitorPlan::Parse("# dcv-monitor-plan v1\nwhat is this\n").ok());
+  EXPECT_FALSE(
+      MonitorPlan::Parse("# dcv-monitor-plan v1\nbogus: 1\n").ok());
+  EXPECT_FALSE(
+      MonitorPlan::Parse("# dcv-monitor-plan v1\nsite: a 1\n").ok());
+  EXPECT_FALSE(
+      MonitorPlan::Parse("# dcv-monitor-plan v1\nsite: a x y\n").ok());
+}
+
+TEST(MonitorPlanTest, ConstraintTextWithColonsSurvives) {
+  MonitorPlan plan = SamplePlan();
+  plan.constraint_text = "MIN{a, b} <= 5 && a <= 3";
+  auto back = MonitorPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->constraint_text, plan.constraint_text);
+}
+
+TEST(MonitorPlanTest, FileRoundTrip) {
+  MonitorPlan plan = SamplePlan();
+  std::string path = testing::TempDir() + "/dcv_plan_test.txt";
+  ASSERT_TRUE(plan.WriteToFile(path).ok());
+  auto back = MonitorPlan::ReadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->bounds, plan.bounds);
+  std::remove(path.c_str());
+  EXPECT_FALSE(MonitorPlan::ReadFromFile(path).ok());
+}
+
+TEST(MonitorPlanTest, EmptyAlwaysAlarmIntervalRoundTrips) {
+  MonitorPlan plan = SamplePlan();
+  plan.bounds[0] = SiteBounds{5, 4};  // Empty interval: always alarm.
+  auto back = MonitorPlan::Parse(plan.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->bounds[0].empty());
+  EXPECT_FALSE(back->SiteOk(0, 4));
+  EXPECT_FALSE(back->SiteOk(0, 5));
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,188 @@
+#include "sim/multilevel_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/local_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  SyntheticTraceOptions options;
+  options.num_sites = 5;
+  options.num_epochs = 2000;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 5.0;
+  options.param2 = 0.7;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, 1000);
+  w.eval = *trace->Slice(1000, 2000);
+  return w;
+}
+
+TEST(MultiLevelSchemeTest, RequiresSolverAndLevels) {
+  MultiLevelScheme::Options options;
+  options.solver = nullptr;
+  MultiLevelScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options bad_levels;
+  bad_levels.solver = &solver;
+  bad_levels.num_levels = 1;
+  MultiLevelScheme scheme2(bad_levels);
+  EXPECT_FALSE(scheme2.Initialize(ctx).ok());
+}
+
+class MultiLevelLevelsSweep : public testing::TestWithParam<int> {};
+
+TEST_P(MultiLevelLevelsSweep, NeverMissesViolations) {
+  Workload w = MakeWorkload(31 + static_cast<uint64_t>(GetParam()));
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options options;
+  options.solver = &solver;
+  options.num_levels = GetParam();
+  MultiLevelScheme scheme(options);
+  auto threshold = ThresholdForOverflowFraction(w.eval, {}, 0.03);
+  ASSERT_TRUE(threshold.ok());
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->true_violations, 0);
+  EXPECT_EQ(result->missed_violations, 0);
+  EXPECT_EQ(result->detected_violations, result->true_violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MultiLevelLevelsSweep,
+                         testing::Values(2, 3, 4, 6, 10));
+
+TEST(MultiLevelSchemeTest, EdgesAreStrictlyIncreasingAndEndAtDomainMax) {
+  Workload w = MakeWorkload(77);
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options options;
+  options.solver = &solver;
+  options.num_levels = 6;
+  MultiLevelScheme scheme(options);
+  auto threshold = ThresholdForOverflowFraction(w.eval, {}, 0.02);
+  ASSERT_TRUE(threshold.ok());
+  SimOptions sim;
+  sim.global_threshold = *threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < w.training.num_sites(); ++i) {
+    const auto& edges = scheme.edges(i);
+    ASSERT_GE(edges.size(), 2u);
+    for (size_t j = 1; j < edges.size(); ++j) {
+      EXPECT_LT(edges[j - 1], edges[j]) << "site " << i;
+    }
+    // Last edge is the (headroomed) domain maximum, above anything trained.
+    EXPECT_GE(edges.back(), w.training.MaxValue(i));
+  }
+}
+
+TEST(MultiLevelSchemeTest, BootstrapSendsOneReportPerSite) {
+  Workload w = MakeWorkload(78);
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options options;
+  options.solver = &solver;
+  MultiLevelScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = w.training.num_sites();
+  ctx.weights.assign(static_cast<size_t>(ctx.num_sites), 1);
+  ctx.global_threshold = 1'000'000'000;  // Never polls.
+  ctx.training = &w.training;
+  MessageCounter counter;
+  ctx.counter = &counter;
+  ASSERT_TRUE(scheme.Initialize(ctx).ok());
+  auto r = scheme.OnEpoch(w.eval.epoch(0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(counter.of(MessageType::kFilterReport), ctx.num_sites);
+}
+
+TEST(MultiLevelSchemeTest, StableValuesGenerateNoTraffic) {
+  // Constant values: after bootstrap, no band changes and (with a generous
+  // threshold) no polls.
+  Trace training(2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(training.AppendEpoch({50, 60}).ok());
+  }
+  Trace eval(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(eval.AppendEpoch({50, 60}).ok());
+  }
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options options;
+  options.solver = &solver;
+  options.num_levels = 4;
+  MultiLevelScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = 1000;
+  auto result = RunSimulation(&scheme, sim, training, eval);
+  ASSERT_TRUE(result.ok());
+  // Bootstrap reports only.
+  EXPECT_EQ(result->messages.total(), 2);
+  EXPECT_EQ(result->polled_epochs, 0);
+}
+
+TEST(MultiLevelSchemeTest, CertifiedBoundSkipsPollsThatSingleThresholdPays) {
+  // One site hot, others cold: the band bound keeps the coordinator from
+  // polling, while the single-threshold scheme polls on the hot alarm.
+  Trace training(3);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(training
+                    .AppendEpoch({rng.UniformInt(40, 60),
+                                  rng.UniformInt(40, 60),
+                                  rng.UniformInt(40, 60)})
+                    .ok());
+  }
+  Trace eval(3);
+  for (int i = 0; i < 100; ++i) {
+    // Site 0 runs hot (but within its trained range); others sit cold.
+    ASSERT_TRUE(eval.AppendEpoch({59, 41, 41}).ok());
+  }
+  SimOptions sim;
+  sim.global_threshold = 170;  // 59 + 41 + 41 = 141: no violation.
+
+  FptasSolver solver(0.05);
+  MultiLevelScheme::Options ml_options;
+  ml_options.solver = &solver;
+  ml_options.num_levels = 6;
+  MultiLevelScheme multi(ml_options);
+  auto multi_result = RunSimulation(&multi, sim, training, eval);
+  ASSERT_TRUE(multi_result.ok());
+
+  LocalThresholdScheme::Options single_options;
+  single_options.solver = &solver;
+  LocalThresholdScheme single(single_options);
+  auto single_result = RunSimulation(&single, sim, training, eval);
+  ASSERT_TRUE(single_result.ok());
+
+  EXPECT_EQ(multi_result->missed_violations, 0);
+  EXPECT_EQ(single_result->missed_violations, 0);
+  EXPECT_LT(multi_result->polled_epochs, single_result->polled_epochs);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,251 @@
+#include "constraints/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraints/parser.h"
+
+namespace dcv {
+namespace {
+
+AggExpr Var(int i, int64_t coef = 1) {
+  return AggExpr::Linear(LinearExpr::FromTerm(i, coef));
+}
+
+// Checks semantic equivalence of a BoolExpr and its CNF over random
+// assignments of `num_vars` variables in [0, hi].
+void ExpectCnfEquivalent(const BoolExpr& expr, int num_vars, int64_t hi,
+                         uint64_t seed, int trials = 500) {
+  auto cnf = ToCnf(expr);
+  ASSERT_TRUE(cnf.ok()) << cnf.status();
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int64_t> v(static_cast<size_t>(num_vars));
+    for (auto& x : v) {
+      x = rng.UniformInt(0, hi);
+    }
+    ASSERT_EQ(expr.Evaluate(v), cnf->Evaluate(v))
+        << "assignment mismatch at trial " << t << " for "
+        << cnf->ToString();
+  }
+}
+
+TEST(PushSumsInsideTest, LinearPassesThrough) {
+  AggExpr e = Var(0, 3);
+  auto norm = PushSumsInside(e);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_EQ(norm->kind(), AggExpr::Kind::kLinear);
+}
+
+TEST(PushSumsInsideTest, SumOfLinearsMerges) {
+  AggExpr e = AggExpr::Sum({Var(0), Var(1, 2)});
+  auto norm = PushSumsInside(e);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm->kind(), AggExpr::Kind::kLinear);
+  EXPECT_EQ(norm->linear().CoefficientOf(0), 1);
+  EXPECT_EQ(norm->linear().CoefficientOf(1), 2);
+}
+
+TEST(PushSumsInsideTest, PaperRewriteExample) {
+  // A + MIN{B, C} == MIN{A+B, A+C} (§5.1).
+  AggExpr e = AggExpr::Sum({Var(0), AggExpr::Min({Var(1), Var(2)})});
+  auto norm = PushSumsInside(e);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm->kind(), AggExpr::Kind::kMin);
+  ASSERT_EQ(norm->children().size(), 2u);
+  for (const AggExpr& child : norm->children()) {
+    EXPECT_EQ(child.kind(), AggExpr::Kind::kLinear);
+  }
+  // Semantics preserved.
+  Rng rng(21);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<int64_t> v{rng.UniformInt(0, 9), rng.UniformInt(0, 9),
+                           rng.UniformInt(0, 9)};
+    EXPECT_EQ(e.Evaluate(v), norm->Evaluate(v));
+  }
+}
+
+TEST(PushSumsInsideTest, NestedMinMaxPreservesSemantics) {
+  // MAX{x0, MIN{x1, x2} + MAX{x3, 2}} + x4.
+  AggExpr inner = AggExpr::Sum(
+      {AggExpr::Min({Var(1), Var(2)}),
+       AggExpr::Max({Var(3), AggExpr::Linear(LinearExpr::FromConstant(2))})});
+  AggExpr e = AggExpr::Sum({AggExpr::Max({Var(0), inner}), Var(4)});
+  auto norm = PushSumsInside(e);
+  ASSERT_TRUE(norm.ok());
+  Rng rng(22);
+  for (int t = 0; t < 300; ++t) {
+    std::vector<int64_t> v(5);
+    for (auto& x : v) {
+      x = rng.UniformInt(0, 7);
+    }
+    ASSERT_EQ(e.Evaluate(v), norm->Evaluate(v));
+  }
+  // The normalized tree has no SUM nodes.
+  std::vector<const AggExpr*> stack{&*norm};
+  while (!stack.empty()) {
+    const AggExpr* node = stack.back();
+    stack.pop_back();
+    EXPECT_NE(node->kind(), AggExpr::Kind::kSum);
+    for (const AggExpr& c : node->children()) {
+      stack.push_back(&c);
+    }
+  }
+}
+
+TEST(PushSumsInsideTest, BudgetGuardTriggers) {
+  // Sum of many MIN pairs: cross-product blow-up 2^k.
+  std::vector<AggExpr> parts;
+  for (int i = 0; i < 24; ++i) {
+    parts.push_back(AggExpr::Min({Var(2 * i), Var(2 * i + 1)}));
+  }
+  AggExpr e = AggExpr::Sum(std::move(parts));
+  NormalizeOptions options;
+  options.max_nodes = 10000;
+  auto norm = PushSumsInside(e, options);
+  EXPECT_FALSE(norm.ok());
+  EXPECT_EQ(norm.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EliminateMinMaxTest, MinLeBecomesOr) {
+  BoolExpr atom = BoolExpr::Atom(AggExpr::Min({Var(0), Var(1)}), CmpOp::kLe, 5);
+  auto out = EliminateMinMax(atom);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->kind(), BoolExpr::Kind::kOr);
+}
+
+TEST(EliminateMinMaxTest, MaxLeBecomesAnd) {
+  BoolExpr atom = BoolExpr::Atom(AggExpr::Max({Var(0), Var(1)}), CmpOp::kLe, 5);
+  auto out = EliminateMinMax(atom);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->kind(), BoolExpr::Kind::kAnd);
+}
+
+TEST(EliminateMinMaxTest, DualsForGe) {
+  BoolExpr min_ge =
+      BoolExpr::Atom(AggExpr::Min({Var(0), Var(1)}), CmpOp::kGe, 5);
+  BoolExpr max_ge =
+      BoolExpr::Atom(AggExpr::Max({Var(0), Var(1)}), CmpOp::kGe, 5);
+  auto a = EliminateMinMax(min_ge);
+  auto b = EliminateMinMax(max_ge);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->kind(), BoolExpr::Kind::kAnd);
+  EXPECT_EQ(b->kind(), BoolExpr::Kind::kOr);
+}
+
+TEST(ToCnfTest, AtomYieldsSingleUnitClause) {
+  BoolExpr atom = BoolExpr::Atom(Var(0), CmpOp::kLe, 3);
+  auto cnf = ToCnf(atom);
+  ASSERT_TRUE(cnf.ok());
+  ASSERT_EQ(cnf->clauses.size(), 1u);
+  EXPECT_EQ(cnf->clauses[0].atoms.size(), 1u);
+}
+
+TEST(ToCnfTest, DistributesOrOverAnd) {
+  // (a<=1 && b<=1) || c<=1  ->  (a<=1 || c<=1) && (b<=1 || c<=1).
+  BoolExpr e = BoolExpr::Or(
+      {BoolExpr::And({BoolExpr::Atom(Var(0), CmpOp::kLe, 1),
+                      BoolExpr::Atom(Var(1), CmpOp::kLe, 1)}),
+       BoolExpr::Atom(Var(2), CmpOp::kLe, 1)});
+  auto cnf = ToCnf(e);
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_EQ(cnf->clauses.size(), 2u);
+  ExpectCnfEquivalent(e, 3, 3, 31);
+}
+
+TEST(ToCnfTest, PaperExampleEquivalence) {
+  auto parsed = ParseConstraint(
+      "((3x1 + x2 >= 1) || (MIN{x1, 2x3 - x2} <= 5)) && "
+      "(x1 + MAX{3x2, x3} >= 4)");
+  ASSERT_TRUE(parsed.ok());
+  ExpectCnfEquivalent(parsed->expr, 3, 9, 32);
+}
+
+TEST(ToCnfTest, DeepMinMaxNesting) {
+  auto parsed = ParseConstraint(
+      "MAX{MIN{a, b} + c, MIN{c + 2d, MAX{a, b}}} <= 12");
+  ASSERT_TRUE(parsed.ok());
+  ExpectCnfEquivalent(parsed->expr, 4, 8, 33);
+}
+
+TEST(ToCnfTest, GeAtomsSurvive) {
+  auto parsed = ParseConstraint("MIN{a, b} >= 3 && a + b <= 20");
+  ASSERT_TRUE(parsed.ok());
+  ExpectCnfEquivalent(parsed->expr, 2, 15, 34);
+}
+
+TEST(ToCnfTest, ClauseLimitGuard) {
+  // OR of many ANDs: CNF cross product explodes.
+  std::vector<BoolExpr> disjuncts;
+  for (int i = 0; i < 12; ++i) {
+    disjuncts.push_back(
+        BoolExpr::And({BoolExpr::Atom(Var(2 * i), CmpOp::kLe, 1),
+                       BoolExpr::Atom(Var(2 * i + 1), CmpOp::kLe, 1)}));
+  }
+  BoolExpr e = BoolExpr::Or(std::move(disjuncts));
+  NormalizeOptions options;
+  options.max_clauses = 1000;
+  auto cnf = ToCnf(e, options);
+  EXPECT_FALSE(cnf.ok());
+  EXPECT_EQ(cnf.status().code(), StatusCode::kResourceExhausted);
+}
+
+class RandomConstraintEquivalence : public testing::TestWithParam<int> {};
+
+TEST_P(RandomConstraintEquivalence, CnfMatchesOriginal) {
+  // Build a random boolean constraint over MIN/MAX/SUM atoms and verify the
+  // full normalization pipeline preserves semantics.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const int num_vars = 4;
+
+  auto random_agg = [&](auto&& self, int depth) -> AggExpr {
+    if (depth == 0 || rng.Bernoulli(0.4)) {
+      LinearExpr lin;
+      int terms = static_cast<int>(rng.UniformInt(1, 3));
+      for (int i = 0; i < terms; ++i) {
+        lin.AddTerm(static_cast<int>(rng.UniformInt(0, num_vars - 1)),
+                    rng.UniformInt(-3, 3));
+      }
+      lin.AddConstant(rng.UniformInt(-2, 2));
+      return AggExpr::Linear(std::move(lin));
+    }
+    std::vector<AggExpr> kids;
+    int n = static_cast<int>(rng.UniformInt(2, 3));
+    for (int i = 0; i < n; ++i) {
+      kids.push_back(self(self, depth - 1));
+    }
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        return AggExpr::Sum(std::move(kids));
+      case 1:
+        return AggExpr::Min(std::move(kids));
+      default:
+        return AggExpr::Max(std::move(kids));
+    }
+  };
+  auto random_bool = [&](auto&& self, int depth) -> BoolExpr {
+    if (depth == 0 || rng.Bernoulli(0.5)) {
+      return BoolExpr::Atom(random_agg(random_agg, 2),
+                            rng.Bernoulli(0.5) ? CmpOp::kLe : CmpOp::kGe,
+                            rng.UniformInt(-5, 15));
+    }
+    std::vector<BoolExpr> kids;
+    int n = static_cast<int>(rng.UniformInt(2, 3));
+    for (int i = 0; i < n; ++i) {
+      kids.push_back(self(self, depth - 1));
+    }
+    return rng.Bernoulli(0.5) ? BoolExpr::And(std::move(kids))
+                              : BoolExpr::Or(std::move(kids));
+  };
+
+  BoolExpr expr = random_bool(random_bool, 2);
+  ExpectCnfEquivalent(expr, num_vars, 6,
+                      static_cast<uint64_t>(GetParam()) + 1000, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConstraintEquivalence,
+                         testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dcv

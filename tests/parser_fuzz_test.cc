@@ -1,0 +1,158 @@
+// Robustness tests: the lexer/parser/normalizer must never crash or abort
+// on malformed input — every outcome is either a parse or a clean Status.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "constraints/normalize.h"
+#include "constraints/parser.h"
+
+namespace dcv {
+namespace {
+
+const char kAlphabet[] =
+    "abxyz019 +-*(){},<=>&|MINMAXSUM\t_";
+
+TEST(ParserFuzzTest, RandomStringsNeverCrash) {
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 20000; ++trial) {
+    size_t len = static_cast<size_t>(rng.UniformInt(0, 40));
+    std::string text;
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(kAlphabet[rng.UniformInt(
+          0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)]);
+    }
+    auto parsed = ParseConstraint(text);
+    if (parsed.ok()) {
+      // Whatever parsed must evaluate and normalize without crashing.
+      std::vector<int64_t> zeros(
+          static_cast<size_t>(parsed->num_vars()), 0);
+      (void)parsed->expr.Evaluate(zeros);
+      (void)ToCnf(parsed->expr);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidConstraintsNeverCrash) {
+  // Start from valid constraints and apply random single-character edits:
+  // many mutants stay valid (exercising odd-but-legal shapes), the rest
+  // must fail with a clean Status.
+  const std::string base =
+      "((3*x1 + x2 >= 1) || (MIN{x1, 2*x3 - x2} <= 5)) && "
+      "(x1 + MAX{3*x2, x3} >= 4)";
+  Rng rng(0xF024);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string text = base;
+    int edits = static_cast<int>(rng.UniformInt(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(text.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // Replace.
+          text[pos] = kAlphabet[rng.UniformInt(
+              0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)];
+          break;
+        case 1:  // Delete.
+          text.erase(pos, 1);
+          break;
+        default:  // Insert.
+          text.insert(pos, 1,
+                      kAlphabet[rng.UniformInt(
+                          0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)]);
+          break;
+      }
+    }
+    auto parsed = ParseConstraint(text);
+    if (parsed.ok()) {
+      ++parsed_ok;
+      std::vector<int64_t> zeros(
+          static_cast<size_t>(parsed->num_vars()), 0);
+      (void)parsed->expr.Evaluate(zeros);
+      (void)ToCnf(parsed->expr);
+    }
+  }
+  // Light mutation keeps a healthy fraction of inputs valid.
+  EXPECT_GT(parsed_ok, 100);
+}
+
+TEST(ParserFuzzTest, RandomValidConstraintsRoundTrip) {
+  // Generate syntactically valid constraints from the grammar, print them,
+  // and re-parse; both must evaluate identically everywhere.
+  Rng rng(0xF023);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int num_vars = 3;
+    auto gen_agg = [&](auto&& self, int depth) -> std::string {
+      if (depth == 0 || rng.Bernoulli(0.5)) {
+        std::string s;
+        int terms = static_cast<int>(rng.UniformInt(1, 2));
+        for (int i = 0; i < terms; ++i) {
+          if (i > 0) {
+            s += rng.Bernoulli(0.5) ? " + " : " - ";
+          }
+          if (rng.Bernoulli(0.5)) {
+            s += std::to_string(rng.UniformInt(1, 4)) + "*";
+          }
+          s += std::string(1, static_cast<char>('a' + rng.UniformInt(0, 2)));
+        }
+        return s;
+      }
+      const char* fn = rng.Bernoulli(0.5)
+                           ? "MIN"
+                           : (rng.Bernoulli(0.5) ? "MAX" : "SUM");
+      return std::string(fn) + "{" + self(self, depth - 1) + ", " +
+             self(self, depth - 1) + "}";
+    };
+    auto gen_bool = [&](auto&& self, int depth) -> std::string {
+      if (depth == 0 || rng.Bernoulli(0.5)) {
+        return "(" + gen_agg(gen_agg, 2) +
+               (rng.Bernoulli(0.5) ? " <= " : " >= ") +
+               std::to_string(rng.UniformInt(-5, 15)) + ")";
+      }
+      return "(" + self(self, depth - 1) +
+             (rng.Bernoulli(0.5) ? " && " : " || ") + self(self, depth - 1) +
+             ")";
+    };
+    std::string text = gen_bool(gen_bool, 2);
+    auto parsed = ParseConstraint(text);
+    ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.status();
+    std::string printed = parsed->expr.ToString(&parsed->var_names);
+    auto reparsed = ParseConstraintWithVars(printed, parsed->var_names);
+    ASSERT_TRUE(reparsed.ok()) << printed << " -> " << reparsed.status();
+    for (int probe = 0; probe < 60; ++probe) {
+      std::vector<int64_t> v(static_cast<size_t>(num_vars));
+      for (auto& x : v) {
+        x = rng.UniformInt(0, 6);
+      }
+      ASSERT_EQ(parsed->expr.Evaluate(v), reparsed->Evaluate(v))
+          << "source: " << text << "\nprinted: " << printed;
+    }
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedInputIsHandled) {
+  // Very deep nesting must either parse or error out, not smash the stack.
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "(";
+  }
+  text += "x <= 1";
+  for (int i = 0; i < 200; ++i) {
+    text += ")";
+  }
+  auto parsed = ParseConstraint(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({1}));
+
+  std::string unbalanced(500, '(');
+  EXPECT_FALSE(ParseConstraint(unbalanced).ok());
+}
+
+TEST(ParserFuzzTest, HugeNumbersAreRejectedCleanly) {
+  EXPECT_FALSE(ParseConstraint("x <= 99999999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace dcv

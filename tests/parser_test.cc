@@ -1,0 +1,169 @@
+#include "constraints/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+TEST(ParserTest, SimpleSumConstraint) {
+  auto parsed = ParseConstraint("x1 + x2 <= 5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vars(), 2);
+  EXPECT_EQ(parsed->var_names, (std::vector<std::string>{"x1", "x2"}));
+  EXPECT_TRUE(parsed->expr.Evaluate({2, 3}));
+  EXPECT_FALSE(parsed->expr.Evaluate({3, 3}));
+}
+
+TEST(ParserTest, CoefficientsWithAndWithoutStar) {
+  auto a = ParseConstraint("3*x + 2*y <= 10");
+  auto b = ParseConstraint("3x + 2y <= 10");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t x = 0; x <= 4; ++x) {
+    for (int64_t y = 0; y <= 4; ++y) {
+      EXPECT_EQ(a->expr.Evaluate({x, y}), b->expr.Evaluate({x, y}));
+    }
+  }
+}
+
+TEST(ParserTest, SubtractionAndUnaryMinus) {
+  auto parsed = ParseConstraint("-a + 2b - 3 <= 4");
+  ASSERT_TRUE(parsed.ok());
+  // -a + 2b - 3 <= 4.
+  EXPECT_TRUE(parsed->expr.Evaluate({0, 0}));    // -3 <= 4.
+  EXPECT_FALSE(parsed->expr.Evaluate({0, 4}));   // 8-3=5 > 4.
+  EXPECT_TRUE(parsed->expr.Evaluate({10, 4}));   // -10+8-3=-5 <= 4.
+}
+
+TEST(ParserTest, NegativeThreshold) {
+  auto parsed = ParseConstraint("a - b <= -2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({0, 2}));
+  EXPECT_FALSE(parsed->expr.Evaluate({0, 1}));
+}
+
+TEST(ParserTest, MinMaxSumFunctions) {
+  auto parsed = ParseConstraint("MIN{a, b} + MAX{c, 2d} + SUM{a, c} <= 10");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vars(), 4);
+  // min(1,2) + max(3, 2) + (1+3) = 1 + 3 + 4 = 8 <= 10.
+  EXPECT_TRUE(parsed->expr.Evaluate({1, 2, 3, 1}));
+  // min(5,9)=5, max(0,8)=8, 5+0=5 -> 18 > 10.
+  EXPECT_FALSE(parsed->expr.Evaluate({5, 9, 0, 4}));
+}
+
+TEST(ParserTest, BooleanPrecedenceAndBindsTighter) {
+  auto parsed = ParseConstraint("a <= 1 || b <= 1 && c <= 1");
+  ASSERT_TRUE(parsed.ok());
+  // Parsed as (a<=1) || ((b<=1) && (c<=1)).
+  EXPECT_TRUE(parsed->expr.Evaluate({0, 9, 9}));
+  EXPECT_FALSE(parsed->expr.Evaluate({9, 0, 9}));
+  EXPECT_TRUE(parsed->expr.Evaluate({9, 0, 0}));
+}
+
+TEST(ParserTest, ParenthesizedBooleanGrouping) {
+  auto parsed = ParseConstraint("(a <= 1 || b <= 1) && c <= 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->expr.Evaluate({0, 9, 9}));
+  EXPECT_TRUE(parsed->expr.Evaluate({0, 9, 0}));
+}
+
+TEST(ParserTest, ParenthesizedArithmeticGrouping) {
+  auto parsed = ParseConstraint("2*(a + b) <= 6");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({1, 2}));
+  EXPECT_FALSE(parsed->expr.Evaluate({2, 2}));
+}
+
+TEST(ParserTest, PaperExampleParses) {
+  auto parsed = ParseConstraint(
+      "((3x1 + x2 >= 1) || (MIN{x1, 2x3 - x2} <= 5)) && "
+      "(x1 + MAX{3x2, x3} >= 4)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_vars(), 3);
+  EXPECT_TRUE(parsed->expr.Evaluate({1, 1, 1}));
+  EXPECT_FALSE(parsed->expr.Evaluate({0, 1, 0}));
+}
+
+TEST(ParserTest, KeywordOperatorsAndOr) {
+  auto parsed = ParseConstraint("a <= 1 AND b <= 1 OR c <= 1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({9, 9, 0}));
+  EXPECT_TRUE(parsed->expr.Evaluate({0, 0, 9}));
+  EXPECT_FALSE(parsed->expr.Evaluate({0, 9, 9}));
+}
+
+TEST(ParserTest, ScalingMinFlipsToMaxUnderNegation) {
+  // -MIN{a,b} <= -3 is equivalent to MAX{-a,-b} <= -3, i.e. min(a,b) >= 3.
+  auto parsed = ParseConstraint("0 - MIN{a, b} <= -3");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({3, 5}));
+  EXPECT_FALSE(parsed->expr.Evaluate({2, 5}));
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const std::string source =
+      "((3*x1 + x2 >= 1) || (MIN{x1, 2*x3 - x2} <= 5)) && "
+      "(x1 + MAX{3*x2, x3} >= 4)";
+  auto parsed = ParseConstraint(source);
+  ASSERT_TRUE(parsed.ok());
+  std::string printed = parsed->expr.ToString(&parsed->var_names);
+  auto reparsed = ParseConstraintWithVars(printed, parsed->var_names);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int64_t> v{rng.UniformInt(0, 8), rng.UniformInt(0, 8),
+                           rng.UniformInt(0, 8)};
+    EXPECT_EQ(parsed->expr.Evaluate(v), reparsed->Evaluate(v));
+  }
+}
+
+TEST(ParserTest, FixedVariableTableResolvesByName) {
+  auto parsed = ParseConstraintWithVars("b + a <= 4", {"a", "b", "c"});
+  ASSERT_TRUE(parsed.ok());
+  // a is index 0, b is index 1 regardless of appearance order.
+  EXPECT_TRUE(parsed->Evaluate({4, 0, 99}));
+  EXPECT_FALSE(parsed->Evaluate({4, 1, 99}));
+}
+
+TEST(ParserTest, FixedVariableTableRejectsUnknown) {
+  auto parsed = ParseConstraintWithVars("z <= 4", {"a", "b"});
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, ErrorMissingComparison) {
+  EXPECT_FALSE(ParseConstraint("x1 + x2").ok());
+}
+
+TEST(ParserTest, ErrorDanglingOperator) {
+  EXPECT_FALSE(ParseConstraint("x1 + <= 5").ok());
+  EXPECT_FALSE(ParseConstraint("x1 <= 5 &&").ok());
+}
+
+TEST(ParserTest, ErrorUnbalancedDelimiters) {
+  EXPECT_FALSE(ParseConstraint("(x1 <= 5").ok());
+  EXPECT_FALSE(ParseConstraint("MIN{x1, x2 <= 5").ok());
+  EXPECT_FALSE(ParseConstraint("x1) <= 5").ok());
+}
+
+TEST(ParserTest, ErrorTrailingGarbage) {
+  EXPECT_FALSE(ParseConstraint("x1 <= 5 x2").ok());
+}
+
+TEST(ParserTest, ErrorEmptyInput) {
+  EXPECT_FALSE(ParseConstraint("").ok());
+}
+
+TEST(ParserTest, ConstantOnlyAtom) {
+  auto parsed = ParseConstraint("3 <= 5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->expr.Evaluate({}));
+  auto parsed2 = ParseConstraint("7 <= 5");
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_FALSE(parsed2->expr.Evaluate({}));
+}
+
+}  // namespace
+}  // namespace dcv

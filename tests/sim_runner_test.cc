@@ -1,0 +1,107 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/polling_scheme.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+SimOptions MakeSimOptions(int64_t threshold) {
+  SimOptions options;
+  options.global_threshold = threshold;
+  return options;
+}
+
+Trace MakeTrace(std::vector<std::vector<int64_t>> rows, int sites) {
+  Trace t(sites);
+  for (auto& r : rows) {
+    EXPECT_TRUE(t.AppendEpoch(std::move(r)).ok());
+  }
+  return t;
+}
+
+TEST(RunnerTest, RejectsNullScheme) {
+  Trace t(1);
+  EXPECT_FALSE(RunSimulation(nullptr, SimOptions{}, t, t).ok());
+}
+
+TEST(RunnerTest, RejectsSiteCountMismatch) {
+  Trace training = MakeTrace({{1, 2}}, 2);
+  Trace eval = MakeTrace({{1}}, 1);
+  PollingScheme scheme(1);
+  EXPECT_FALSE(RunSimulation(&scheme, SimOptions{}, training, eval).ok());
+}
+
+TEST(RunnerTest, RejectsBadWeights) {
+  Trace t = MakeTrace({{1}}, 1);
+  PollingScheme scheme(1);
+  SimOptions options;
+  options.weights = {0};
+  EXPECT_FALSE(RunSimulation(&scheme, options, t, t).ok());
+  options.weights = {1, 1};
+  EXPECT_FALSE(RunSimulation(&scheme, options, t, t).ok());
+}
+
+TEST(RunnerTest, EmptyWeightsDefaultToOnes) {
+  Trace t = MakeTrace({{3, 4}, {1, 1}}, 2);
+  PollingScheme scheme(1);
+  SimOptions options;
+  options.global_threshold = 5;
+  auto result = RunSimulation(&scheme, options, t, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_violations, 1);  // 7 > 5 at epoch 0.
+  EXPECT_EQ(result->detected_violations, 1);
+}
+
+TEST(RunnerTest, GroundTruthUsesWeights) {
+  Trace t = MakeTrace({{3, 4}}, 2);
+  PollingScheme scheme(1);
+  SimOptions options;
+  options.global_threshold = 10;
+  options.weights = {2, 1};
+  auto result = RunSimulation(&scheme, options, t, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_violations, 0);  // 2*3 + 4 = 10, not > 10.
+  options.weights = {3, 1};
+  auto result2 = RunSimulation(&scheme, options, t, t);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->true_violations, 1);  // 13 > 10.
+}
+
+TEST(RunnerTest, FalseAlarmAccounting) {
+  // Period-1 polling polls every epoch; non-violating epochs count as
+  // false-alarm (unnecessary) polls.
+  Trace t = MakeTrace({{1}, {9}, {1}}, 1);
+  PollingScheme scheme(1);
+  SimOptions options;
+  options.global_threshold = 5;
+  auto result = RunSimulation(&scheme, options, t, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_violations, 1);
+  EXPECT_EQ(result->false_alarm_epochs, 2);
+  EXPECT_EQ(result->epochs, 3);
+}
+
+TEST(RunnerTest, MessagesPerEpoch) {
+  Trace t = MakeTrace({{1}, {1}}, 1);
+  PollingScheme scheme(1);
+  SimOptions options;
+  options.global_threshold = 100;
+  auto result = RunSimulation(&scheme, options, t, t);
+  ASSERT_TRUE(result.ok());
+  // 2 messages per epoch (1 request + 1 response for a single site).
+  EXPECT_DOUBLE_EQ(result->MessagesPerEpoch(), 2.0);
+}
+
+TEST(RunnerTest, SchemeNameIsRecorded) {
+  Trace t = MakeTrace({{1}}, 1);
+  PollingScheme scheme(1);
+  auto result = RunSimulation(&scheme, MakeSimOptions(5), t, t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scheme_name, "polling");
+}
+
+}  // namespace
+}  // namespace dcv

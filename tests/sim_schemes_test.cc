@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/adaptive_filter_scheme.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+// A small, reproducible workload: heterogeneous lognormal sites.
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeWorkload(uint64_t seed, int num_sites = 4,
+                      int64_t train_epochs = 800, int64_t eval_epochs = 800) {
+  SyntheticTraceOptions options;
+  options.num_sites = num_sites;
+  options.num_epochs = train_epochs + eval_epochs;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.8;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, train_epochs);
+  w.eval = *trace->Slice(train_epochs, train_epochs + eval_epochs);
+  return w;
+}
+
+int64_t PickThreshold(const Workload& w, double overflow_fraction) {
+  auto t = ThresholdForOverflowFraction(w.eval, {}, overflow_fraction);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(LocalSchemeTest, RequiresSolverAndTraining) {
+  LocalThresholdScheme::Options options;
+  LocalThresholdScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(LocalSchemeTest, InstalledThresholdsSatisfyCovering) {
+  Workload w = MakeWorkload(1);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+  int64_t threshold = PickThreshold(w, 0.02);
+  SimOptions sim;
+  sim.global_threshold = threshold;
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  // Covering: sum of thresholds within the budget.
+  int64_t sum = 0;
+  for (int64_t t : scheme.thresholds()) {
+    sum += t;
+  }
+  EXPECT_LE(sum, threshold);
+  // Covering implies zero missed violations.
+  EXPECT_EQ(result->missed_violations, 0);
+  EXPECT_EQ(result->detected_violations, result->true_violations);
+}
+
+TEST(LocalSchemeTest, SilentWhenFarFromThreshold) {
+  Workload w = MakeWorkload(2);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  // Threshold far above anything observed: no alarms, no messages.
+  sim.global_threshold = 100 * PickThreshold(w, 0.0);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->messages.total(), 0);
+  EXPECT_EQ(result->true_violations, 0);
+}
+
+TEST(LocalSchemeTest, EveryAlarmEpochTriggersExactlyOnePollRound) {
+  Workload w = MakeWorkload(3);
+  EqualValueSolver solver;
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.05);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->polled_epochs, result->alarm_epochs);
+  EXPECT_EQ(result->messages.of(MessageType::kPollRequest),
+            result->polled_epochs * w.eval.num_sites());
+  EXPECT_EQ(result->messages.of(MessageType::kPollResponse),
+            result->polled_epochs * w.eval.num_sites());
+  EXPECT_EQ(result->messages.of(MessageType::kAlarm), result->total_alarms);
+}
+
+TEST(GeometricSchemeTest, NeverMissesViolations) {
+  Workload w = MakeWorkload(4);
+  GeometricScheme scheme;
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.03);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->missed_violations, 0);
+  EXPECT_GT(result->polled_epochs, 0);
+  // Geometric pays an extra threshold-update round per violation epoch.
+  EXPECT_EQ(result->messages.of(MessageType::kThresholdUpdate),
+            result->polled_epochs * w.eval.num_sites());
+}
+
+TEST(GeometricSchemeTest, AdaptsThresholdsAfterViolation) {
+  GeometricScheme scheme;
+  SimContext ctx;
+  ctx.num_sites = 2;
+  ctx.weights = {1, 1};
+  ctx.global_threshold = 10;
+  MessageCounter counter;
+  ctx.counter = &counter;
+  ASSERT_TRUE(scheme.Initialize(ctx).ok());
+  EXPECT_EQ(scheme.thresholds(), (std::vector<int64_t>{5, 5}));
+  // Epoch with an alarm at site 0 (6 > 5): slack = 10 - 8 = 2, share 1.
+  auto r = scheme.OnEpoch({6, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_alarms, 1);
+  EXPECT_TRUE(r->polled);
+  EXPECT_FALSE(r->violation_reported);
+  EXPECT_EQ(scheme.thresholds(), (std::vector<int64_t>{7, 3}));
+}
+
+TEST(GeometricSchemeTest, KeepsPollingWhileInViolation) {
+  GeometricScheme scheme;
+  SimContext ctx;
+  ctx.num_sites = 2;
+  ctx.weights = {1, 1};
+  ctx.global_threshold = 10;
+  MessageCounter counter;
+  ctx.counter = &counter;
+  ASSERT_TRUE(scheme.Initialize(ctx).ok());
+  auto r1 = scheme.OnEpoch({9, 9});  // Violation: sum 18 > 10.
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->violation_reported);
+  // Values unchanged: the adapted thresholds must keep alarming.
+  auto r2 = scheme.OnEpoch({9, 9});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->num_alarms, 0);
+  EXPECT_TRUE(r2->violation_reported);
+}
+
+TEST(PollingSchemeTest, PeriodOneDetectsEverythingAtFullCost) {
+  Workload w = MakeWorkload(5);
+  PollingScheme scheme(1);
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.05);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->missed_violations, 0);
+  EXPECT_EQ(result->polled_epochs, w.eval.num_epochs());
+  EXPECT_EQ(result->messages.total(),
+            2 * w.eval.num_epochs() * w.eval.num_sites());
+}
+
+TEST(PollingSchemeTest, SparsePollingMissesViolations) {
+  Workload w = MakeWorkload(6);
+  PollingScheme scheme(50);
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.05);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->true_violations, 0);
+  EXPECT_GT(result->missed_violations, 0);
+  // But it is much cheaper than per-epoch polling.
+  EXPECT_LT(result->messages.total(),
+            2 * w.eval.num_epochs() * w.eval.num_sites() / 10);
+}
+
+TEST(PollingSchemeTest, RejectsBadPeriod) {
+  PollingScheme scheme(0);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(AdaptiveFilterSchemeTest, NeverMissesViolations) {
+  Workload w = MakeWorkload(7);
+  AdaptiveFilterScheme scheme;
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.03);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(AdaptiveFilterSchemeTest, TracksContinuouslyEvenWhenSafe) {
+  Workload w = MakeWorkload(8);
+  AdaptiveFilterScheme::Options options;
+  options.precision = 0.05;
+  AdaptiveFilterScheme scheme(options);
+  SimOptions sim;
+  // Threshold at the max observed sum: never violated, but the tight
+  // tracking filters keep generating traffic anyway — the overhead the
+  // local-threshold approach avoids.
+  sim.global_threshold = PickThreshold(w, 0.0);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->true_violations, 0);
+  EXPECT_GT(result->messages.of(MessageType::kFilterReport), 0);
+  EXPECT_GT(result->messages.total(), w.eval.num_epochs() / 4);
+}
+
+TEST(AdaptiveFilterSchemeTest, WidthReallocationPreservesDetection) {
+  Workload w = MakeWorkload(9);
+  AdaptiveFilterScheme::Options options;
+  options.precision = 0.05;
+  options.realloc_period = 50;
+  AdaptiveFilterScheme scheme(options);
+  SimOptions sim;
+  sim.global_threshold = PickThreshold(w, 0.03);
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->missed_violations, 0);
+}
+
+TEST(AdaptiveFilterSchemeTest, ReallocationReducesReportsOnSkewedVolatility) {
+  // Site 0 is wildly volatile, the others nearly constant: shifting width
+  // budget toward site 0 must reduce filter reports versus uniform widths.
+  Trace training(4);
+  Trace eval(4);
+  Rng rng(44);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int64_t> row{rng.UniformInt(0, 10000),
+                             5000 + rng.UniformInt(0, 10),
+                             5000 + rng.UniformInt(0, 10),
+                             5000 + rng.UniformInt(0, 10)};
+    if (i < 500) {
+      ASSERT_TRUE(training.AppendEpoch(std::move(row)).ok());
+    } else {
+      ASSERT_TRUE(eval.AppendEpoch(std::move(row)).ok());
+    }
+  }
+  SimOptions sim;
+  sim.global_threshold = 40000;  // Never violated (max sum ~25030).
+
+  AdaptiveFilterScheme::Options uniform;
+  uniform.precision = 0.2;
+  AdaptiveFilterScheme uniform_scheme(uniform);
+  auto uniform_result = RunSimulation(&uniform_scheme, sim, training, eval);
+  ASSERT_TRUE(uniform_result.ok());
+
+  AdaptiveFilterScheme::Options adaptive = uniform;
+  adaptive.realloc_period = 100;
+  AdaptiveFilterScheme adaptive_scheme(adaptive);
+  auto adaptive_result = RunSimulation(&adaptive_scheme, sim, training, eval);
+  ASSERT_TRUE(adaptive_result.ok());
+
+  EXPECT_EQ(uniform_result->missed_violations, 0);
+  EXPECT_EQ(adaptive_result->missed_violations, 0);
+  EXPECT_LT(adaptive_result->messages.of(MessageType::kFilterReport),
+            uniform_result->messages.of(MessageType::kFilterReport));
+}
+
+TEST(AdaptiveFilterSchemeTest, RejectsBadMinShare) {
+  AdaptiveFilterScheme::Options options;
+  options.min_share = 1.5;
+  AdaptiveFilterScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(AdaptiveFilterSchemeTest, RejectsBadPrecision) {
+  AdaptiveFilterScheme::Options options;
+  options.precision = 0.0;
+  AdaptiveFilterScheme scheme(options);
+  SimContext ctx;
+  ctx.num_sites = 1;
+  ctx.weights = {1};
+  MessageCounter counter;
+  ctx.counter = &counter;
+  EXPECT_FALSE(scheme.Initialize(ctx).ok());
+}
+
+TEST(MessageCounterTest, CountsAndResets) {
+  MessageCounter c;
+  c.Count(MessageType::kAlarm);
+  c.Count(MessageType::kPollRequest, 5);
+  EXPECT_EQ(c.of(MessageType::kAlarm), 1);
+  EXPECT_EQ(c.of(MessageType::kPollRequest), 5);
+  EXPECT_EQ(c.total(), 6);
+  EXPECT_NE(c.ToString(), "none");
+  c.Reset();
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(c.ToString(), "none");
+}
+
+}  // namespace
+}  // namespace dcv

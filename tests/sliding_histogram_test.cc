@@ -1,0 +1,121 @@
+#include "histogram/sliding_histogram.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+TEST(SlidingHistogramTest, CreateValidation) {
+  EXPECT_FALSE(SlidingWindowHistogram::Create(1, 0.1).ok());
+  EXPECT_FALSE(SlidingWindowHistogram::Create(100, 0.0).ok());
+  EXPECT_FALSE(SlidingWindowHistogram::Create(100, 1.0).ok());
+  EXPECT_TRUE(SlidingWindowHistogram::Create(100, 0.1).ok());
+}
+
+TEST(SlidingHistogramTest, EmptyWindowFails) {
+  auto h = SlidingWindowHistogram::Create(100, 0.1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(h->Quantile(0.5).ok());
+  EXPECT_FALSE(h->ToEquiDepthHistogram(10, 100).ok());
+}
+
+TEST(SlidingHistogramTest, SmallStreamIsNearExact) {
+  auto h = SlidingWindowHistogram::Create(1000, 0.05);
+  ASSERT_TRUE(h.ok());
+  for (int i = 1; i <= 100; ++i) {
+    h->Insert(i);
+  }
+  EXPECT_EQ(h->covered(), 100);
+  int64_t median = *h->Quantile(0.5);
+  EXPECT_NEAR(static_cast<double>(median), 50.0, 10.0);
+}
+
+TEST(SlidingHistogramTest, OldValuesExpire) {
+  // Window of 500: fill with large values, then with small ones; after >
+  // one window of small values the quantiles must reflect only them.
+  auto h = SlidingWindowHistogram::Create(500, 0.05);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 600; ++i) {
+    h->Insert(1'000'000);
+  }
+  for (int i = 0; i < 700; ++i) {
+    h->Insert(10);
+  }
+  EXPECT_EQ(*h->Quantile(0.5), 10);
+  EXPECT_EQ(*h->Quantile(0.99), 10);
+  // Coverage stays near the window size, not the stream length.
+  EXPECT_LE(h->covered(), 510);
+}
+
+class SlidingHistogramEpsSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SlidingHistogramEpsSweep, WindowRankErrorWithinBound) {
+  const double eps = GetParam();
+  const int64_t window = 2000;
+  auto h = SlidingWindowHistogram::Create(window, eps);
+  ASSERT_TRUE(h.ok());
+  Rng rng(313);
+  std::deque<int64_t> exact;
+  for (int64_t t = 0; t < 20000; ++t) {
+    int64_t v = static_cast<int64_t>(rng.LogNormal(6.0, 1.0));
+    h->Insert(v);
+    exact.push_back(v);
+    if (static_cast<int64_t>(exact.size()) > window) {
+      exact.pop_front();
+    }
+    if (t > window && t % 1777 == 0) {
+      std::vector<int64_t> sorted(exact.begin(), exact.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (double phi : {0.1, 0.5, 0.9, 0.99}) {
+        int64_t q = *h->Quantile(phi);
+        int64_t rank =
+            std::upper_bound(sorted.begin(), sorted.end(), q) - sorted.begin();
+        double target = phi * static_cast<double>(sorted.size());
+        // Window boundary slop: one block plus sketch error.
+        EXPECT_NEAR(static_cast<double>(rank), target,
+                    2.0 * eps * window + 2.0)
+            << "phi=" << phi << " eps=" << eps << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsValues, SlidingHistogramEpsSweep,
+                         testing::Values(0.1, 0.05, 0.02));
+
+TEST(SlidingHistogramTest, SpaceIsSublinearInWindow) {
+  const int64_t window = 100000;
+  auto h = SlidingWindowHistogram::Create(window, 0.05);
+  ASSERT_TRUE(h.ok());
+  Rng rng(314);
+  for (int64_t t = 0; t < 2 * window; ++t) {
+    h->Insert(rng.UniformInt(0, 1'000'000));
+  }
+  EXPECT_LT(h->num_tuples(), static_cast<size_t>(window) / 4);
+}
+
+TEST(SlidingHistogramTest, HistogramTracksWindowDistributionShift) {
+  auto h = SlidingWindowHistogram::Create(1000, 0.05);
+  ASSERT_TRUE(h.ok());
+  Rng rng(315);
+  for (int i = 0; i < 1500; ++i) {
+    h->Insert(rng.UniformInt(0, 100));
+  }
+  for (int i = 0; i < 1500; ++i) {
+    h->Insert(rng.UniformInt(900, 1000));
+  }
+  auto hist = h->ToEquiDepthHistogram(20, 1000);
+  ASSERT_TRUE(hist.ok());
+  // Essentially all window mass is now in [900, 1000].
+  double frac_low = hist->CumulativeAt(500) / hist->total_weight();
+  EXPECT_LT(frac_low, 0.1);
+}
+
+}  // namespace
+}  // namespace dcv

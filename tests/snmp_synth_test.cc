@@ -1,0 +1,255 @@
+#include "trace/snmp_synth.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "histogram/change_detector.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+SnmpTraceOptions SmallOptions() {
+  SnmpTraceOptions options;
+  options.num_sites = 5;
+  options.num_weeks = 2;
+  options.weekdays_per_week = 5;
+  options.epochs_per_day = 48;  // Smaller for test speed.
+  options.seed = 7;
+  return options;
+}
+
+TEST(SnmpSynthTest, DimensionsMatchOptions) {
+  SnmpTraceOptions options = SmallOptions();
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_sites(), 5);
+  EXPECT_EQ(trace->num_epochs(),
+            static_cast<int64_t>(options.num_weeks) * EpochsPerWeek(options));
+  EXPECT_EQ(EpochsPerWeek(options), 5 * 48);
+}
+
+TEST(SnmpSynthTest, DefaultWeekMatchesPaperObservationCount) {
+  SnmpTraceOptions options;
+  EXPECT_EQ(EpochsPerWeek(options), 1435);  // §6.4: 1435 obs per week.
+}
+
+TEST(SnmpSynthTest, DeterministicInSeed) {
+  auto a = GenerateSnmpTrace(SmallOptions());
+  auto b = GenerateSnmpTrace(SmallOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t t = 0; t < a->num_epochs(); t += 17) {
+    EXPECT_EQ(a->epoch(t), b->epoch(t));
+  }
+  SnmpTraceOptions other = SmallOptions();
+  other.seed = 8;
+  auto c = GenerateSnmpTrace(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->epoch(0), c->epoch(0));
+}
+
+TEST(SnmpSynthTest, ValuesWithinDomain) {
+  SnmpTraceOptions options = SmallOptions();
+  options.domain_max = 500000;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LE(trace->GlobalMaxValue(), 500000);
+}
+
+TEST(SnmpSynthTest, SitesAreHeterogeneous) {
+  SnmpTraceOptions options = SmallOptions();
+  options.num_sites = 10;
+  options.site_scale_sigma = 1.0;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  double min_mean = 1e300;
+  double max_mean = 0;
+  for (int i = 0; i < 10; ++i) {
+    double mean = ComputeSiteStats(*trace, i).mean;
+    min_mean = std::min(min_mean, mean);
+    max_mean = std::max(max_mean, mean);
+  }
+  // Lognormal(sigma=1) spread across 10 sites: expect a wide ratio.
+  EXPECT_GT(max_mean / min_mean, 3.0);
+}
+
+TEST(SnmpSynthTest, DiurnalPatternPresent) {
+  SnmpTraceOptions options = SmallOptions();
+  options.num_weeks = 1;
+  options.epochs_per_day = 288;
+  options.burst_sigma = 0.2;
+  options.phase_jitter_hours = 0.0;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  // Compare average traffic at 3am vs 3pm epochs across days and sites.
+  double night = 0;
+  double day = 0;
+  int night_count = 0;
+  int day_count = 0;
+  for (int64_t e = 0; e < trace->num_epochs(); ++e) {
+    int64_t epoch_of_day = e % 288;
+    double hour = static_cast<double>(epoch_of_day) * 24.0 / 288.0;
+    for (int i = 0; i < trace->num_sites(); ++i) {
+      if (hour >= 2 && hour < 4) {
+        night += static_cast<double>(trace->at(e, i));
+        ++night_count;
+      } else if (hour >= 14 && hour < 16) {
+        day += static_cast<double>(trace->at(e, i));
+        ++day_count;
+      }
+    }
+  }
+  ASSERT_GT(night_count, 0);
+  ASSERT_GT(day_count, 0);
+  EXPECT_GT(day / day_count, 2.0 * night / night_count);
+}
+
+TEST(SnmpSynthTest, WeekOverWeekStability) {
+  // KS distance between week-0 and week-1 marginals should be small
+  // (the paper found weekly histograms good predictors, §6.4).
+  SnmpTraceOptions options = SmallOptions();
+  options.num_weeks = 2;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(options);
+  auto w0 = trace->Slice(0, week);
+  auto w1 = trace->Slice(week, 2 * week);
+  ASSERT_TRUE(w0.ok());
+  ASSERT_TRUE(w1.ok());
+  for (int i = 0; i < trace->num_sites(); ++i) {
+    auto d = KsStatistic(w0->SiteSeries(i), w1->SiteSeries(i));
+    ASSERT_TRUE(d.ok());
+    // Autocorrelation and session blocks shrink the effective sample size,
+    // so allow more week-to-week KS noise than an i.i.d. bound would.
+    EXPECT_LT(*d, 0.25) << "site " << i;
+  }
+}
+
+TEST(SnmpSynthTest, ShiftChangesDistributionOfSomeSites) {
+  SnmpTraceOptions options = SmallOptions();
+  options.num_weeks = 2;
+  options.shift_week = 1;
+  options.shift_factor = 3.0;
+  options.shift_site_fraction = 0.5;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  int64_t week = EpochsPerWeek(options);
+  auto w0 = trace->Slice(0, week);
+  auto w1 = trace->Slice(week, 2 * week);
+  ASSERT_TRUE(w0.ok());
+  ASSERT_TRUE(w1.ok());
+  int shifted_sites = 0;
+  for (int i = 0; i < trace->num_sites(); ++i) {
+    auto d = KsStatistic(w0->SiteSeries(i), w1->SiteSeries(i));
+    ASSERT_TRUE(d.ok());
+    if (*d > 0.3) {
+      ++shifted_sites;
+    }
+  }
+  EXPECT_GE(shifted_sites, 1);
+  EXPECT_LT(shifted_sites, trace->num_sites());
+}
+
+TEST(SnmpSynthTest, OptionValidation) {
+  SnmpTraceOptions bad = SmallOptions();
+  bad.num_sites = 0;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+  bad = SmallOptions();
+  bad.correlation = 1.5;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+  bad = SmallOptions();
+  bad.domain_max = 0;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+}
+
+TEST(SnmpSynthTest, BurstAutocorrelationIsPresent) {
+  SnmpTraceOptions options = SmallOptions();
+  options.num_weeks = 4;
+  options.burst_autocorr = 0.8;
+  options.bimodal_fraction = 0.0;
+  SnmpTraceOptions iid = options;
+  iid.burst_autocorr = 0.0;
+  auto corr_trace = GenerateSnmpTrace(options);
+  auto iid_trace = GenerateSnmpTrace(iid);
+  ASSERT_TRUE(corr_trace.ok());
+  ASSERT_TRUE(iid_trace.ok());
+  // Lag-1 autocorrelation of log-values, averaged over sites.
+  auto lag1 = [](const Trace& t) {
+    double acc = 0;
+    for (int i = 0; i < t.num_sites(); ++i) {
+      std::vector<int64_t> s = t.SiteSeries(i);
+      std::vector<double> logs;
+      for (int64_t v : s) {
+        logs.push_back(std::log(static_cast<double>(std::max<int64_t>(v, 1))));
+      }
+      double mean = Mean(logs);
+      double num = 0;
+      double den = 0;
+      for (size_t k = 0; k < logs.size(); ++k) {
+        den += (logs[k] - mean) * (logs[k] - mean);
+        if (k > 0) {
+          num += (logs[k] - mean) * (logs[k - 1] - mean);
+        }
+      }
+      acc += num / den;
+    }
+    return acc / t.num_sites();
+  };
+  // Both have diurnal structure (which itself induces correlation), but
+  // the AR component must add clearly on top.
+  EXPECT_GT(lag1(*corr_trace), lag1(*iid_trace) + 0.15);
+}
+
+TEST(SnmpSynthTest, BimodalSitesHaveCdfPlateau) {
+  SnmpTraceOptions options = SmallOptions();
+  options.num_sites = 1;
+  options.num_weeks = 8;
+  options.bimodal_fraction = 1.0;  // Force the site to be bimodal.
+  options.session_factor_median = 30.0;
+  options.burst_sigma = 0.3;
+  options.diurnal_depth = 0.3;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  SiteStats s = ComputeSiteStats(*trace, 0);
+  // Idle mode dominates the median; sessions push p99 far above it — the
+  // plateau that defeats tail-equalizing heuristics.
+  EXPECT_GT(s.p99 / std::max(1.0, s.p50), 8.0);
+}
+
+TEST(SnmpSynthTest, RejectsBadAutocorrAndShapeSpread) {
+  SnmpTraceOptions bad = SmallOptions();
+  bad.burst_autocorr = 1.0;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+  bad = SmallOptions();
+  bad.burst_autocorr = -0.1;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+  bad = SmallOptions();
+  bad.shape_spread = 1.0;
+  EXPECT_FALSE(GenerateSnmpTrace(bad).ok());
+}
+
+TEST(SnmpSynthTest, CorrelationRaisesJointTailWithoutChangingMarginals) {
+  SnmpTraceOptions indep = SmallOptions();
+  indep.num_weeks = 4;
+  indep.correlation = 0.0;
+  SnmpTraceOptions corr = indep;
+  corr.correlation = 0.8;
+  auto a = GenerateSnmpTrace(indep);
+  auto b = GenerateSnmpTrace(corr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Correlated bursts make the *sum* heavier-tailed: compare the ratio of
+  // the 99.5th percentile to the median of epoch sums.
+  auto tail_ratio = [](const Trace& t) {
+    std::vector<int64_t> sums = EpochSums(t, {});
+    std::vector<double> d(sums.begin(), sums.end());
+    return Quantile(d, 0.995) / std::max(1.0, Quantile(d, 0.5));
+  };
+  EXPECT_GT(tail_ratio(*b), tail_ratio(*a));
+}
+
+}  // namespace
+}  // namespace dcv

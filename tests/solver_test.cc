@@ -1,0 +1,168 @@
+#include "threshold/solver.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "histogram/empirical_cdf.h"
+#include "threshold/cdf_view.h"
+
+namespace dcv {
+namespace {
+
+TEST(CdfViewTest, UnmirroredMatchesModel) {
+  EmpiricalCdf model({1, 3, 3, 7}, 10);
+  CdfView view(&model, /*mirrored=*/false);
+  EXPECT_EQ(view.domain_max(), 10);
+  EXPECT_DOUBLE_EQ(view.total(), 4.0);
+  for (int64_t t = -1; t <= 11; ++t) {
+    EXPECT_DOUBLE_EQ(view.Cum(t), model.CumulativeAt(t));
+  }
+}
+
+TEST(CdfViewTest, MirroredCountsUpperTail) {
+  // Y = 10 - X. G(t) = #{X >= 10 - t}.
+  EmpiricalCdf model({1, 3, 3, 7}, 10);
+  CdfView view(&model, /*mirrored=*/true);
+  EXPECT_DOUBLE_EQ(view.Cum(0), 0.0);   // X >= 10: none.
+  EXPECT_DOUBLE_EQ(view.Cum(3), 1.0);   // X >= 7: {7}.
+  EXPECT_DOUBLE_EQ(view.Cum(7), 3.0);   // X >= 3: {3,3,7}.
+  EXPECT_DOUBLE_EQ(view.Cum(9), 4.0);   // X >= 1: all.
+  EXPECT_DOUBLE_EQ(view.Cum(10), 4.0);
+  EXPECT_DOUBLE_EQ(view.Cum(-1), 0.0);
+}
+
+TEST(CdfViewTest, MirroredCumIsMonotone) {
+  EmpiricalCdf model({0, 2, 2, 5, 9, 9, 9, 10}, 10);
+  CdfView view(&model, true);
+  double prev = -1;
+  for (int64_t t = 0; t <= 10; ++t) {
+    double c = view.Cum(t);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CdfViewTest, MirroredInverseConsistent) {
+  EmpiricalCdf model({0, 2, 2, 5, 9, 9, 9, 10}, 10);
+  CdfView view(&model, true);
+  for (double target = 0.5; target <= 8.0; target += 0.7) {
+    int64_t t = view.MinValueWithCumAtLeast(target);
+    ASSERT_LE(t, 10);
+    EXPECT_GE(view.Cum(t), target);
+    if (t > 0) {
+      EXPECT_LT(view.Cum(t - 1), target);
+    }
+  }
+  EXPECT_EQ(view.MinValueWithCumAtLeast(9.0), 11);  // More than total.
+}
+
+class SolverTypesTest : public testing::Test {
+ protected:
+  SolverTypesTest() : model_({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 9) {}
+
+  ThresholdProblem MakeProblem(int64_t budget) {
+    ThresholdProblem p;
+    p.budget = budget;
+    p.vars.push_back(ProblemVar{0, 1, CdfView(&model_, false)});
+    p.vars.push_back(ProblemVar{1, 2, CdfView(&model_, false)});
+    return p;
+  }
+
+  EmpiricalCdf model_;
+};
+
+TEST_F(SolverTypesTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(ValidateProblem(MakeProblem(10)).ok());
+}
+
+TEST_F(SolverTypesTest, ValidateRejectsNegativeBudget) {
+  EXPECT_FALSE(ValidateProblem(MakeProblem(-1)).ok());
+}
+
+TEST_F(SolverTypesTest, ValidateRejectsNonPositiveWeight) {
+  ThresholdProblem p = MakeProblem(10);
+  p.vars[0].weight = 0;
+  EXPECT_FALSE(ValidateProblem(p).ok());
+}
+
+TEST_F(SolverTypesTest, ValidateRejectsEmptyModel) {
+  EmpiricalCdf empty({}, 9);
+  ThresholdProblem p = MakeProblem(10);
+  p.vars[0] = ProblemVar{0, 1, CdfView(&empty, false)};
+  EXPECT_EQ(ValidateProblem(p).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SolverTypesTest, LogProbabilitySumsPerVarLogs) {
+  ThresholdProblem p = MakeProblem(10);
+  // P(X <= 4) = 0.5 each.
+  double lp = LogProbability(p, {4, 4});
+  EXPECT_NEAR(lp, 2 * std::log(0.5), 1e-12);
+  EXPECT_EQ(LogProbability(p, {-1, 4}), kNegInf);
+}
+
+TEST_F(SolverTypesTest, SatisfiesBudgetChecksWeightsAndDomain) {
+  ThresholdProblem p = MakeProblem(10);
+  EXPECT_TRUE(SatisfiesBudget(p, {2, 4}));    // 2 + 8 = 10 <= 10.
+  EXPECT_FALSE(SatisfiesBudget(p, {3, 4}));   // 11 > 10.
+  EXPECT_FALSE(SatisfiesBudget(p, {-1, 0}));  // Below domain.
+  EXPECT_FALSE(SatisfiesBudget(p, {10, 0}));  // Above domain max 9.
+  EXPECT_FALSE(SatisfiesBudget(p, {2}));      // Wrong arity.
+}
+
+TEST_F(SolverTypesTest, DegenerateFallbackRespectsBudget) {
+  ThresholdProblem p = MakeProblem(7);
+  ThresholdSolution s = DegenerateFallback(p);
+  EXPECT_TRUE(s.degenerate);
+  EXPECT_TRUE(SatisfiesBudget(p, s.thresholds));
+  EXPECT_EQ(s.thresholds[0], 3);  // 7 / (2*1).
+  EXPECT_EQ(s.thresholds[1], 1);  // 7 / (2*2).
+}
+
+TEST(DegenerateFallbackTest, EmptyProblem) {
+  ThresholdProblem p;
+  ThresholdSolution s = DegenerateFallback(p);
+  EXPECT_TRUE(s.thresholds.empty());
+}
+
+class RedistributeSlackTest : public SolverTypesTest {};
+
+TEST_F(RedistributeSlackTest, SpendsLeftoverBudget) {
+  ThresholdProblem p = MakeProblem(30);  // Weights 1 and 2, domains 9.
+  std::vector<int64_t> thresholds{2, 3};  // Uses 2 + 6 = 8; slack 22.
+  RedistributeSlack(p, &thresholds);
+  // Var 0 absorbs 7 (to its domain max 9), var 1 absorbs the rest.
+  EXPECT_EQ(thresholds[0], 9);
+  EXPECT_EQ(thresholds[1], 9);
+  EXPECT_TRUE(SatisfiesBudget(p, thresholds));
+}
+
+TEST_F(RedistributeSlackTest, StopsAtBudget) {
+  ThresholdProblem p = MakeProblem(10);
+  std::vector<int64_t> thresholds{0, 0};
+  RedistributeSlack(p, &thresholds);
+  EXPECT_TRUE(SatisfiesBudget(p, thresholds));
+  // All budget spent except any un-splittable remainder.
+  int64_t used = thresholds[0] + 2 * thresholds[1];
+  EXPECT_GE(used, 9);  // Weight-2 var may leave one unit unusable.
+}
+
+TEST_F(RedistributeSlackTest, NoSlackIsNoOp) {
+  ThresholdProblem p = MakeProblem(8);
+  std::vector<int64_t> thresholds{2, 3};  // Exactly 8.
+  std::vector<int64_t> before = thresholds;
+  RedistributeSlack(p, &thresholds);
+  EXPECT_EQ(thresholds, before);
+}
+
+TEST_F(RedistributeSlackTest, NeverDecreasesObjective) {
+  ThresholdProblem p = MakeProblem(15);
+  std::vector<int64_t> thresholds{1, 2};
+  double before = LogProbability(p, thresholds);
+  RedistributeSlack(p, &thresholds);
+  EXPECT_GE(LogProbability(p, thresholds), before);
+}
+
+}  // namespace
+}  // namespace dcv

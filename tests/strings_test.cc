@@ -1,0 +1,82 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrJoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ","), "x,y,z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, ","), ','), parts);
+}
+
+TEST(StrJoinTest, EmptyAndSingle) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("histogram", "hist"));
+  EXPECT_FALSE(StartsWith("hist", "histogram"));
+  EXPECT_TRUE(EndsWith("threshold", "old"));
+  EXPECT_FALSE(EndsWith("old", "threshold"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseInt64Test, ParsesValid) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-45"), -45);
+  EXPECT_EQ(*ParseInt64("  7 "), 7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, RejectsInvalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("--3").ok());
+}
+
+TEST(ParseInt64Test, RangeErrors) {
+  EXPECT_EQ(ParseInt64("99999999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseDoubleTest, ParsesValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 0 "), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,130 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+TEST(SyntheticTest, DimensionsAndDeterminism) {
+  SyntheticTraceOptions options;
+  options.num_sites = 3;
+  options.num_epochs = 100;
+  options.seed = 5;
+  auto a = GenerateSyntheticTrace(options);
+  auto b = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_sites(), 3);
+  EXPECT_EQ(a->num_epochs(), 100);
+  for (int64_t t = 0; t < 100; t += 11) {
+    EXPECT_EQ(a->epoch(t), b->epoch(t));
+  }
+}
+
+TEST(SyntheticTest, Validation) {
+  SyntheticTraceOptions options;
+  options.num_sites = 0;
+  EXPECT_FALSE(GenerateSyntheticTrace(options).ok());
+  options = SyntheticTraceOptions{};
+  options.domain_max = 0;
+  EXPECT_FALSE(GenerateSyntheticTrace(options).ok());
+  options = SyntheticTraceOptions{};
+  options.correlation = 1.0;
+  EXPECT_FALSE(GenerateSyntheticTrace(options).ok());
+}
+
+TEST(SyntheticTest, UniformMarginalSpansDomain) {
+  SyntheticTraceOptions options;
+  options.marginal = Marginal::kUniform;
+  options.domain_max = 100;
+  options.num_sites = 1;
+  options.num_epochs = 5000;
+  options.seed = 6;
+  auto t = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(t.ok());
+  SiteStats s = ComputeSiteStats(*t, 0);
+  EXPECT_NEAR(s.mean, 50.0, 3.0);
+  EXPECT_LE(s.max, 100);
+  EXPECT_GE(s.min, 0);
+}
+
+TEST(SyntheticTest, ZipfIsSkewed) {
+  SyntheticTraceOptions options;
+  options.marginal = Marginal::kZipf;
+  options.domain_max = 1000;
+  options.param1 = 1.2;
+  options.num_sites = 1;
+  options.num_epochs = 5000;
+  options.seed = 7;
+  auto t = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(t.ok());
+  SiteStats s = ComputeSiteStats(*t, 0);
+  // Zipf mass concentrates at small ranks.
+  EXPECT_LT(s.p50, 10.0);
+  EXPECT_GT(s.max, 100);
+}
+
+TEST(SyntheticTest, LogNormalHeavyTail) {
+  SyntheticTraceOptions options;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 5.0;
+  options.param2 = 1.5;
+  options.domain_max = 10'000'000;
+  options.num_sites = 1;
+  options.num_epochs = 8000;
+  options.seed = 8;
+  auto t = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(t.ok());
+  SiteStats s = ComputeSiteStats(*t, 0);
+  EXPECT_GT(s.p99 / std::max(1.0, s.p50), 10.0);
+}
+
+TEST(SyntheticTest, HeterogeneousScalesDiffer) {
+  SyntheticTraceOptions options;
+  options.marginal = Marginal::kUniform;
+  options.domain_max = 10000;
+  options.num_sites = 8;
+  options.num_epochs = 2000;
+  options.heterogeneous = true;
+  options.heterogeneity_sigma = 1.2;
+  options.seed = 9;
+  auto t = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(t.ok());
+  double min_mean = 1e300;
+  double max_mean = 0;
+  for (int i = 0; i < 8; ++i) {
+    double mean = ComputeSiteStats(*t, i).mean;
+    min_mean = std::min(min_mean, mean);
+    max_mean = std::max(max_mean, mean);
+  }
+  EXPECT_GT(max_mean / min_mean, 2.0);
+}
+
+TEST(SyntheticTest, CorrelatedEpochsShareDraws) {
+  SyntheticTraceOptions options;
+  options.marginal = Marginal::kUniform;
+  options.domain_max = 1'000'000;
+  options.num_sites = 4;
+  options.num_epochs = 2000;
+  options.correlation = 0.9;
+  options.seed = 10;
+  auto t = GenerateSyntheticTrace(options);
+  ASSERT_TRUE(t.ok());
+  // With 90% shared epochs, most epochs have all sites equal.
+  int64_t equal_epochs = 0;
+  for (int64_t e = 0; e < t->num_epochs(); ++e) {
+    const auto& row = t->epoch(e);
+    bool all_equal = true;
+    for (int i = 1; i < 4; ++i) {
+      all_equal = all_equal && row[static_cast<size_t>(i)] == row[0];
+    }
+    equal_epochs += all_equal ? 1 : 0;
+  }
+  EXPECT_GT(equal_epochs, 1600);
+  EXPECT_LT(equal_epochs, 2000);
+}
+
+}  // namespace
+}  // namespace dcv

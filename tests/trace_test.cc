@@ -1,0 +1,111 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dcv {
+namespace {
+
+TEST(TraceTest, EmptyTrace) {
+  Trace t(3);
+  EXPECT_EQ(t.num_sites(), 3);
+  EXPECT_EQ(t.num_epochs(), 0);
+  EXPECT_EQ(t.site_names()[0], "site0");
+  EXPECT_EQ(t.GlobalMaxValue(), 0);
+}
+
+TEST(TraceTest, CustomNames) {
+  Trace t({"router-a", "router-b"});
+  EXPECT_EQ(t.num_sites(), 2);
+  EXPECT_EQ(t.site_names()[1], "router-b");
+}
+
+TEST(TraceTest, AppendAndAccess) {
+  Trace t(2);
+  ASSERT_TRUE(t.AppendEpoch({1, 2}).ok());
+  ASSERT_TRUE(t.AppendEpoch({3, 4}).ok());
+  EXPECT_EQ(t.num_epochs(), 2);
+  EXPECT_EQ(t.at(0, 0), 1);
+  EXPECT_EQ(t.at(1, 1), 4);
+  EXPECT_EQ(t.epoch(1), (std::vector<int64_t>{3, 4}));
+}
+
+TEST(TraceTest, AppendValidation) {
+  Trace t(2);
+  EXPECT_FALSE(t.AppendEpoch({1}).ok());
+  EXPECT_FALSE(t.AppendEpoch({1, 2, 3}).ok());
+  EXPECT_FALSE(t.AppendEpoch({1, -2}).ok());
+}
+
+TEST(TraceTest, SiteSeries) {
+  Trace t(2);
+  ASSERT_TRUE(t.AppendEpoch({1, 10}).ok());
+  ASSERT_TRUE(t.AppendEpoch({2, 20}).ok());
+  ASSERT_TRUE(t.AppendEpoch({3, 30}).ok());
+  EXPECT_EQ(t.SiteSeries(0), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(t.SiteSeries(1), (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(TraceTest, WeightedSum) {
+  Trace t(3);
+  ASSERT_TRUE(t.AppendEpoch({1, 2, 3}).ok());
+  EXPECT_EQ(t.WeightedSum(0, {}), 6);
+  EXPECT_EQ(t.WeightedSum(0, {2, 1, 1}), 7);
+  EXPECT_EQ(t.WeightedSum(0, {0, 0, 10}), 30);
+}
+
+TEST(TraceTest, SliceBounds) {
+  Trace t(1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendEpoch({i}).ok());
+  }
+  auto s = t.Slice(2, 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_epochs(), 3);
+  EXPECT_EQ(s->at(0, 0), 2);
+  EXPECT_EQ(s->at(2, 0), 4);
+  EXPECT_FALSE(t.Slice(-1, 5).ok());
+  EXPECT_FALSE(t.Slice(5, 2).ok());
+  EXPECT_FALSE(t.Slice(0, 11).ok());
+  auto empty = t.Slice(3, 3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_epochs(), 0);
+}
+
+TEST(TraceTest, MaxValues) {
+  Trace t(2);
+  ASSERT_TRUE(t.AppendEpoch({5, 100}).ok());
+  ASSERT_TRUE(t.AppendEpoch({50, 1}).ok());
+  EXPECT_EQ(t.MaxValue(0), 50);
+  EXPECT_EQ(t.MaxValue(1), 100);
+  EXPECT_EQ(t.GlobalMaxValue(), 100);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  Trace t({"alpha", "beta"});
+  ASSERT_TRUE(t.AppendEpoch({10, 20}).ok());
+  ASSERT_TRUE(t.AppendEpoch({30, 40}).ok());
+  std::string path = testing::TempDir() + "/dcv_trace_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  auto back = Trace::ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->site_names(), t.site_names());
+  EXPECT_EQ(back->num_epochs(), 2);
+  EXPECT_EQ(back->at(1, 1), 40);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReadCsvRejectsBadHeader) {
+  std::string path = testing::TempDir() + "/dcv_trace_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("time,a\n0,1\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(Trace::ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,377 @@
+// dcvtool — command-line front end for the dcv library.
+//
+//   dcvtool generate --out trace.csv [--sites 10] [--weeks 5] [--seed 42]
+//       Write a synthetic SNMP-style multi-site trace as CSV.
+//
+//   dcvtool plan --trace trace.csv --constraint "a + b <= 100"
+//           [--train-epochs N] [--eps 0.05] [--buckets 100]
+//           [--solver fptas|exact-dp|equal-value|equal-tail]
+//           [--out plan.txt]
+//       Build per-site histograms from the trace (site columns must match
+//       the constraint's variable names), select local thresholds, and
+//       print/write a deployable monitor plan.
+//
+//   dcvtool simulate --trace trace.csv --threshold T
+//           [--train-epochs N] [--scheme fptas|equal-value|equal-tail|
+//            geometric|polling|filters|multilevel] [--poll-period 5]
+//       Replay the remaining epochs through a detection scheme and report
+//       messages and detection accuracy.
+//
+// Every subcommand prints machine-greppable "key: value" lines.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+#include "constraints/normalize.h"
+#include "constraints/parser.h"
+#include "histogram/equi_depth.h"
+#include "sim/adaptive_filter_scheme.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/monitor_plan.h"
+#include "sim/multilevel_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/boolean_solver.h"
+#include "threshold/exact_dp.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+// ----------------------------------------------------------------------
+// Minimal --flag value parsing.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        return InvalidArgumentError("expected --flag, got '" + arg + "'");
+      }
+      std::string key = arg.substr(2);
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("flag --" + key + " needs a value");
+      }
+      flags.values_[key] = argv[++i];
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<std::string> GetRequired(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return InvalidArgumentError("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return ParseInt64(it->second);
+  }
+
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return ParseDouble(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// ----------------------------------------------------------------------
+Status RunGenerate(const Flags& flags) {
+  DCV_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
+  SnmpTraceOptions options;
+  DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 10));
+  DCV_ASSIGN_OR_RETURN(int64_t weeks, flags.GetInt("weeks", 5));
+  DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  DCV_ASSIGN_OR_RETURN(int64_t shift_week, flags.GetInt("shift-week", -1));
+  options.num_sites = static_cast<int>(sites);
+  options.num_weeks = static_cast<int>(weeks);
+  options.seed = static_cast<uint64_t>(seed);
+  options.shift_week = static_cast<int>(shift_week);
+  DCV_ASSIGN_OR_RETURN(Trace trace, GenerateSnmpTrace(options));
+  DCV_RETURN_IF_ERROR(trace.WriteCsv(out));
+  std::printf("trace: %s\n", out.c_str());
+  std::printf("sites: %d\n", trace.num_sites());
+  std::printf("epochs: %lld\n", static_cast<long long>(trace.num_epochs()));
+  std::printf("epochs-per-week: %lld\n",
+              static_cast<long long>(EpochsPerWeek(options)));
+  return OkStatus();
+}
+
+// ----------------------------------------------------------------------
+Result<std::unique_ptr<ThresholdSolver>> MakeSolver(const std::string& name,
+                                                    double eps) {
+  if (name == "fptas") {
+    return std::unique_ptr<ThresholdSolver>(
+        std::make_unique<FptasSolver>(eps));
+  }
+  if (name == "exact-dp") {
+    return std::unique_ptr<ThresholdSolver>(std::make_unique<ExactDpSolver>());
+  }
+  if (name == "equal-value") {
+    return std::unique_ptr<ThresholdSolver>(
+        std::make_unique<EqualValueSolver>());
+  }
+  if (name == "equal-tail") {
+    return std::unique_ptr<ThresholdSolver>(
+        std::make_unique<EqualTailSolver>());
+  }
+  return InvalidArgumentError("unknown solver '" + name + "'");
+}
+
+Status RunPlan(const Flags& flags) {
+  DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
+  DCV_ASSIGN_OR_RETURN(std::string constraint_text,
+                       flags.GetRequired("constraint"));
+  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
+                       flags.GetInt("train-epochs", trace.num_epochs()));
+  DCV_ASSIGN_OR_RETURN(double eps, flags.GetDouble("eps", 0.05));
+  DCV_ASSIGN_OR_RETURN(int64_t buckets, flags.GetInt("buckets", 100));
+  std::string solver_name = flags.GetString("solver", "fptas");
+  if (train_epochs < 1 || train_epochs > trace.num_epochs()) {
+    return InvalidArgumentError("--train-epochs out of range");
+  }
+  DCV_ASSIGN_OR_RETURN(Trace training, trace.Slice(0, train_epochs));
+
+  // Resolve constraint variables against the trace's site columns.
+  DCV_ASSIGN_OR_RETURN(
+      BoolExpr expr,
+      ParseConstraintWithVars(constraint_text, trace.site_names()));
+  DCV_ASSIGN_OR_RETURN(CnfConstraint cnf, ToCnf(expr));
+
+  std::vector<std::unique_ptr<EquiDepthHistogram>> models;
+  std::vector<const DistributionModel*> model_ptrs;
+  for (int i = 0; i < training.num_sites(); ++i) {
+    int64_t m = std::max<int64_t>(1, 4 * training.MaxValue(i));
+    DCV_ASSIGN_OR_RETURN(
+        EquiDepthHistogram h,
+        EquiDepthHistogram::Build(training.SiteSeries(i), m,
+                                  static_cast<int>(buckets)));
+    models.push_back(std::make_unique<EquiDepthHistogram>(std::move(h)));
+    model_ptrs.push_back(models.back().get());
+  }
+
+  DCV_ASSIGN_OR_RETURN(auto base, MakeSolver(solver_name, eps));
+  BooleanThresholdSolver solver(base.get());
+  DCV_ASSIGN_OR_RETURN(BooleanSolution solution,
+                       solver.Solve(cnf, model_ptrs));
+
+  MonitorPlan plan;
+  plan.constraint_text = constraint_text;
+  plan.solver_name = solver_name;
+  plan.site_names = trace.site_names();
+  plan.bounds = solution.bounds;
+  // For the common single-SUM-atom case, record the global threshold.
+  if (cnf.clauses.size() == 1 && cnf.clauses[0].atoms.size() == 1 &&
+      cnf.clauses[0].atoms[0].op == CmpOp::kLe) {
+    plan.global_threshold = cnf.clauses[0].atoms[0].threshold;
+  }
+  DCV_RETURN_IF_ERROR(plan.Validate());
+
+  std::printf("%s", plan.Serialize().c_str());
+  std::printf("# P(all local constraints hold) ~= %.4f (training estimate)\n",
+              std::exp(solution.log_probability));
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    DCV_RETURN_IF_ERROR(plan.WriteToFile(out));
+    std::printf("# written to %s\n", out.c_str());
+  }
+  return OkStatus();
+}
+
+// ----------------------------------------------------------------------
+Status RunSimulate(const Flags& flags) {
+  DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
+  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
+                       flags.GetInt("train-epochs", trace.num_epochs() / 2));
+  DCV_ASSIGN_OR_RETURN(int64_t threshold, flags.GetInt("threshold", -1));
+  DCV_ASSIGN_OR_RETURN(double eps, flags.GetDouble("eps", 0.05));
+  DCV_ASSIGN_OR_RETURN(int64_t poll_period, flags.GetInt("poll-period", 5));
+  DCV_ASSIGN_OR_RETURN(int64_t levels, flags.GetInt("levels", 4));
+  std::string scheme_name = flags.GetString("scheme", "fptas");
+  if (train_epochs < 1 || train_epochs >= trace.num_epochs()) {
+    return InvalidArgumentError("--train-epochs out of range");
+  }
+  DCV_ASSIGN_OR_RETURN(Trace training, trace.Slice(0, train_epochs));
+  DCV_ASSIGN_OR_RETURN(Trace eval,
+                       trace.Slice(train_epochs, trace.num_epochs()));
+  if (threshold < 0) {
+    // Default: 1% overflow on the evaluation period.
+    DCV_ASSIGN_OR_RETURN(threshold,
+                         ThresholdForOverflowFraction(eval, {}, 0.01));
+  }
+
+  std::unique_ptr<ThresholdSolver> base;
+  std::unique_ptr<DetectionScheme> scheme;
+  if (scheme_name == "fptas" || scheme_name == "equal-value" ||
+      scheme_name == "equal-tail" || scheme_name == "exact-dp") {
+    DCV_ASSIGN_OR_RETURN(base, MakeSolver(scheme_name, eps));
+    LocalThresholdScheme::Options options;
+    options.solver = base.get();
+    scheme = std::make_unique<LocalThresholdScheme>(options);
+  } else if (scheme_name == "geometric") {
+    scheme = std::make_unique<GeometricScheme>();
+  } else if (scheme_name == "polling") {
+    scheme = std::make_unique<PollingScheme>(poll_period);
+  } else if (scheme_name == "filters") {
+    scheme = std::make_unique<AdaptiveFilterScheme>();
+  } else if (scheme_name == "multilevel") {
+    DCV_ASSIGN_OR_RETURN(base, MakeSolver("fptas", eps));
+    MultiLevelScheme::Options options;
+    options.solver = base.get();
+    options.num_levels = static_cast<int>(levels);
+    scheme = std::make_unique<MultiLevelScheme>(options);
+  } else {
+    return InvalidArgumentError("unknown scheme '" + scheme_name + "'");
+  }
+
+  SimOptions sim;
+  sim.global_threshold = threshold;
+  DCV_ASSIGN_OR_RETURN(SimResult result,
+                       RunSimulation(scheme.get(), sim, training, eval));
+
+  std::printf("scheme: %s\n", result.scheme_name.c_str());
+  std::printf("threshold: %lld\n", static_cast<long long>(threshold));
+  std::printf("epochs: %lld\n", static_cast<long long>(result.epochs));
+  std::printf("messages: %lld\n",
+              static_cast<long long>(result.messages.total()));
+  std::printf("messages-breakdown: %s\n", result.messages.ToString().c_str());
+  std::printf("messages-per-epoch: %.3f\n", result.MessagesPerEpoch());
+  std::printf("true-violations: %lld\n",
+              static_cast<long long>(result.true_violations));
+  std::printf("detected: %lld\n",
+              static_cast<long long>(result.detected_violations));
+  std::printf("missed: %lld\n",
+              static_cast<long long>(result.missed_violations));
+  std::printf("false-alarm-epochs: %lld\n",
+              static_cast<long long>(result.false_alarm_epochs));
+  return OkStatus();
+}
+
+// ----------------------------------------------------------------------
+Status RunCheck(const Flags& flags) {
+  // Replay a trace against a shipped monitor plan: per-epoch local checks
+  // plus exact evaluation of the plan's constraint, reporting alarm and
+  // violation statistics — what an operator runs before rolling a plan out.
+  DCV_ASSIGN_OR_RETURN(std::string plan_path, flags.GetRequired("plan"));
+  DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
+  DCV_ASSIGN_OR_RETURN(MonitorPlan plan, MonitorPlan::ReadFromFile(plan_path));
+  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  if (trace.site_names() != plan.site_names) {
+    return InvalidArgumentError(
+        "trace site columns do not match the plan's sites");
+  }
+  BoolExpr constraint = BoolExpr::Atom(
+      AggExpr::Linear(LinearExpr::FromConstant(0)), CmpOp::kLe, 0);
+  bool have_constraint = false;
+  if (!plan.constraint_text.empty()) {
+    DCV_ASSIGN_OR_RETURN(
+        constraint,
+        ParseConstraintWithVars(plan.constraint_text, plan.site_names));
+    have_constraint = true;
+  }
+
+  int64_t alarm_epochs = 0;
+  int64_t total_alarms = 0;
+  int64_t violations = 0;
+  int64_t covered = 0;
+  for (int64_t t = 0; t < trace.num_epochs(); ++t) {
+    const auto& values = trace.epoch(t);
+    int alarms = 0;
+    for (int i = 0; i < trace.num_sites(); ++i) {
+      if (!plan.SiteOk(i, values[static_cast<size_t>(i)])) {
+        ++alarms;
+      }
+    }
+    alarm_epochs += alarms > 0 ? 1 : 0;
+    total_alarms += alarms;
+    if (have_constraint && !constraint.Evaluate(values)) {
+      ++violations;
+      covered += alarms > 0 ? 1 : 0;
+    }
+  }
+  std::printf("epochs: %lld\n", static_cast<long long>(trace.num_epochs()));
+  std::printf("alarm-epochs: %lld\n", static_cast<long long>(alarm_epochs));
+  std::printf("total-alarms: %lld\n", static_cast<long long>(total_alarms));
+  if (have_constraint) {
+    std::printf("constraint-violations: %lld\n",
+                static_cast<long long>(violations));
+    std::printf("violations-covered-by-alarms: %lld\n",
+                static_cast<long long>(covered));
+    if (covered != violations) {
+      return InternalError(
+          "covering property violated on this trace — do not deploy");
+    }
+    std::printf("covering: OK\n");
+  }
+  return OkStatus();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcvtool <generate|plan|simulate|check> --flag value "
+               "...\nsee the header of tools/dcvtool.cc for details\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return Usage();
+  }
+  Status status = OkStatus();
+  if (command == "generate") {
+    status = RunGenerate(*flags);
+  } else if (command == "plan") {
+    status = RunPlan(*flags);
+  } else if (command == "simulate") {
+    status = RunSimulate(*flags);
+  } else if (command == "check") {
+    status = RunCheck(*flags);
+  } else {
+    return Usage();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main(int argc, char** argv) { return dcv::Main(argc, argv); }
