@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boolean.dir/bench_boolean.cc.o"
+  "CMakeFiles/bench_boolean.dir/bench_boolean.cc.o.d"
+  "bench_boolean"
+  "bench_boolean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_change_detection.dir/bench_change_detection.cc.o"
+  "CMakeFiles/bench_change_detection.dir/bench_change_detection.cc.o.d"
+  "bench_change_detection"
+  "bench_change_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_change_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fptas_quality.dir/bench_fptas_quality.cc.o"
+  "CMakeFiles/bench_fptas_quality.dir/bench_fptas_quality.cc.o.d"
+  "bench_fptas_quality"
+  "bench_fptas_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fptas_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

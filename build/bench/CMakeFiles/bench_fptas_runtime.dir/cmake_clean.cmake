@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fptas_runtime.dir/bench_fptas_runtime.cc.o"
+  "CMakeFiles/bench_fptas_runtime.dir/bench_fptas_runtime.cc.o.d"
+  "bench_fptas_runtime"
+  "bench_fptas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fptas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_detection.dir/ddos_detection.cpp.o"
+  "CMakeFiles/ddos_detection.dir/ddos_detection.cpp.o.d"
+  "ddos_detection"
+  "ddos_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_links.dir/enterprise_links.cpp.o"
+  "CMakeFiles/enterprise_links.dir/enterprise_links.cpp.o.d"
+  "enterprise_links"
+  "enterprise_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for enterprise_links.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_extremes.dir/sensor_extremes.cpp.o"
+  "CMakeFiles/sensor_extremes.dir/sensor_extremes.cpp.o.d"
+  "sensor_extremes"
+  "sensor_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_site.dir/streaming_site.cpp.o"
+  "CMakeFiles/streaming_site.dir/streaming_site.cpp.o.d"
+  "streaming_site"
+  "streaming_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_qos.dir/voip_qos.cpp.o"
+  "CMakeFiles/voip_qos.dir/voip_qos.cpp.o.d"
+  "voip_qos"
+  "voip_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

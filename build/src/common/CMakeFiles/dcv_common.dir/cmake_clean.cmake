@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_common.dir/csv.cc.o"
+  "CMakeFiles/dcv_common.dir/csv.cc.o.d"
+  "CMakeFiles/dcv_common.dir/logging.cc.o"
+  "CMakeFiles/dcv_common.dir/logging.cc.o.d"
+  "CMakeFiles/dcv_common.dir/math_util.cc.o"
+  "CMakeFiles/dcv_common.dir/math_util.cc.o.d"
+  "CMakeFiles/dcv_common.dir/rng.cc.o"
+  "CMakeFiles/dcv_common.dir/rng.cc.o.d"
+  "CMakeFiles/dcv_common.dir/status.cc.o"
+  "CMakeFiles/dcv_common.dir/status.cc.o.d"
+  "CMakeFiles/dcv_common.dir/strings.cc.o"
+  "CMakeFiles/dcv_common.dir/strings.cc.o.d"
+  "libdcv_common.a"
+  "libdcv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/ast.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/ast.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/ast.cc.o.d"
+  "/root/repo/src/constraints/canonical.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/canonical.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/canonical.cc.o.d"
+  "/root/repo/src/constraints/lexer.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/lexer.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/lexer.cc.o.d"
+  "/root/repo/src/constraints/linear_expr.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/linear_expr.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/linear_expr.cc.o.d"
+  "/root/repo/src/constraints/normalize.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/normalize.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/normalize.cc.o.d"
+  "/root/repo/src/constraints/parser.cc" "src/constraints/CMakeFiles/dcv_constraints.dir/parser.cc.o" "gcc" "src/constraints/CMakeFiles/dcv_constraints.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_constraints.dir/ast.cc.o"
+  "CMakeFiles/dcv_constraints.dir/ast.cc.o.d"
+  "CMakeFiles/dcv_constraints.dir/canonical.cc.o"
+  "CMakeFiles/dcv_constraints.dir/canonical.cc.o.d"
+  "CMakeFiles/dcv_constraints.dir/lexer.cc.o"
+  "CMakeFiles/dcv_constraints.dir/lexer.cc.o.d"
+  "CMakeFiles/dcv_constraints.dir/linear_expr.cc.o"
+  "CMakeFiles/dcv_constraints.dir/linear_expr.cc.o.d"
+  "CMakeFiles/dcv_constraints.dir/normalize.cc.o"
+  "CMakeFiles/dcv_constraints.dir/normalize.cc.o.d"
+  "CMakeFiles/dcv_constraints.dir/parser.cc.o"
+  "CMakeFiles/dcv_constraints.dir/parser.cc.o.d"
+  "libdcv_constraints.a"
+  "libdcv_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

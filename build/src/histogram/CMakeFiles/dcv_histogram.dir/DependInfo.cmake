@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histogram/change_detector.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/change_detector.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/change_detector.cc.o.d"
+  "/root/repo/src/histogram/distribution.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/distribution.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/distribution.cc.o.d"
+  "/root/repo/src/histogram/empirical_cdf.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/empirical_cdf.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/empirical_cdf.cc.o.d"
+  "/root/repo/src/histogram/equi_depth.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/equi_depth.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/equi_depth.cc.o.d"
+  "/root/repo/src/histogram/equi_width.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/equi_width.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/equi_width.cc.o.d"
+  "/root/repo/src/histogram/exp_histogram.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/exp_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/exp_histogram.cc.o.d"
+  "/root/repo/src/histogram/gk_sketch.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/gk_sketch.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/gk_sketch.cc.o.d"
+  "/root/repo/src/histogram/sliding_histogram.cc" "src/histogram/CMakeFiles/dcv_histogram.dir/sliding_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/dcv_histogram.dir/sliding_histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

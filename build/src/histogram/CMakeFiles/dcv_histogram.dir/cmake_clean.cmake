@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_histogram.dir/change_detector.cc.o"
+  "CMakeFiles/dcv_histogram.dir/change_detector.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/distribution.cc.o"
+  "CMakeFiles/dcv_histogram.dir/distribution.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/empirical_cdf.cc.o"
+  "CMakeFiles/dcv_histogram.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/equi_depth.cc.o"
+  "CMakeFiles/dcv_histogram.dir/equi_depth.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/equi_width.cc.o"
+  "CMakeFiles/dcv_histogram.dir/equi_width.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/exp_histogram.cc.o"
+  "CMakeFiles/dcv_histogram.dir/exp_histogram.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/gk_sketch.cc.o"
+  "CMakeFiles/dcv_histogram.dir/gk_sketch.cc.o.d"
+  "CMakeFiles/dcv_histogram.dir/sliding_histogram.cc.o"
+  "CMakeFiles/dcv_histogram.dir/sliding_histogram.cc.o.d"
+  "libdcv_histogram.a"
+  "libdcv_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

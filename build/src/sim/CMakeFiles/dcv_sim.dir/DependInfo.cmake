@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adaptive_filter_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/adaptive_filter_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/adaptive_filter_scheme.cc.o.d"
+  "/root/repo/src/sim/boolean_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/boolean_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/boolean_scheme.cc.o.d"
+  "/root/repo/src/sim/geometric_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/geometric_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/geometric_scheme.cc.o.d"
+  "/root/repo/src/sim/local_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/local_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/local_scheme.cc.o.d"
+  "/root/repo/src/sim/message.cc" "src/sim/CMakeFiles/dcv_sim.dir/message.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/message.cc.o.d"
+  "/root/repo/src/sim/monitor_plan.cc" "src/sim/CMakeFiles/dcv_sim.dir/monitor_plan.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/monitor_plan.cc.o.d"
+  "/root/repo/src/sim/multilevel_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/multilevel_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/multilevel_scheme.cc.o.d"
+  "/root/repo/src/sim/polling_scheme.cc" "src/sim/CMakeFiles/dcv_sim.dir/polling_scheme.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/polling_scheme.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/dcv_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/dcv_sim.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/dcv_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/threshold/CMakeFiles/dcv_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dcv_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_sim.dir/adaptive_filter_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/adaptive_filter_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/boolean_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/boolean_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/geometric_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/geometric_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/local_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/local_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/message.cc.o"
+  "CMakeFiles/dcv_sim.dir/message.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/monitor_plan.cc.o"
+  "CMakeFiles/dcv_sim.dir/monitor_plan.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/multilevel_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/multilevel_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/polling_scheme.cc.o"
+  "CMakeFiles/dcv_sim.dir/polling_scheme.cc.o.d"
+  "CMakeFiles/dcv_sim.dir/runner.cc.o"
+  "CMakeFiles/dcv_sim.dir/runner.cc.o.d"
+  "libdcv_sim.a"
+  "libdcv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

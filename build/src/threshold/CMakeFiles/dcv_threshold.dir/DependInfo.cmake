@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threshold/boolean_solver.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/boolean_solver.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/boolean_solver.cc.o.d"
+  "/root/repo/src/threshold/cdf_view.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/cdf_view.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/cdf_view.cc.o.d"
+  "/root/repo/src/threshold/exact_dp.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/exact_dp.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/exact_dp.cc.o.d"
+  "/root/repo/src/threshold/fptas.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/fptas.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/fptas.cc.o.d"
+  "/root/repo/src/threshold/heuristics.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/heuristics.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/heuristics.cc.o.d"
+  "/root/repo/src/threshold/solver.cc" "src/threshold/CMakeFiles/dcv_threshold.dir/solver.cc.o" "gcc" "src/threshold/CMakeFiles/dcv_threshold.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/dcv_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dcv_constraints.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

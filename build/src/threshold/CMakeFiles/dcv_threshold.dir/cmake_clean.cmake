@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_threshold.dir/boolean_solver.cc.o"
+  "CMakeFiles/dcv_threshold.dir/boolean_solver.cc.o.d"
+  "CMakeFiles/dcv_threshold.dir/cdf_view.cc.o"
+  "CMakeFiles/dcv_threshold.dir/cdf_view.cc.o.d"
+  "CMakeFiles/dcv_threshold.dir/exact_dp.cc.o"
+  "CMakeFiles/dcv_threshold.dir/exact_dp.cc.o.d"
+  "CMakeFiles/dcv_threshold.dir/fptas.cc.o"
+  "CMakeFiles/dcv_threshold.dir/fptas.cc.o.d"
+  "CMakeFiles/dcv_threshold.dir/heuristics.cc.o"
+  "CMakeFiles/dcv_threshold.dir/heuristics.cc.o.d"
+  "CMakeFiles/dcv_threshold.dir/solver.cc.o"
+  "CMakeFiles/dcv_threshold.dir/solver.cc.o.d"
+  "libdcv_threshold.a"
+  "libdcv_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

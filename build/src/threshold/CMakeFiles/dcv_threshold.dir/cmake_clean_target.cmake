@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcv_threshold.a"
+)

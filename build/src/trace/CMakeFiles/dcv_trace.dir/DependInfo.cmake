@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/snmp_synth.cc" "src/trace/CMakeFiles/dcv_trace.dir/snmp_synth.cc.o" "gcc" "src/trace/CMakeFiles/dcv_trace.dir/snmp_synth.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/dcv_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/dcv_trace.dir/stats.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/dcv_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/dcv_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/dcv_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/dcv_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

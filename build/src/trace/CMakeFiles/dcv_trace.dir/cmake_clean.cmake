@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcv_trace.dir/snmp_synth.cc.o"
+  "CMakeFiles/dcv_trace.dir/snmp_synth.cc.o.d"
+  "CMakeFiles/dcv_trace.dir/stats.cc.o"
+  "CMakeFiles/dcv_trace.dir/stats.cc.o.d"
+  "CMakeFiles/dcv_trace.dir/synthetic.cc.o"
+  "CMakeFiles/dcv_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/dcv_trace.dir/trace.cc.o"
+  "CMakeFiles/dcv_trace.dir/trace.cc.o.d"
+  "libdcv_trace.a"
+  "libdcv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

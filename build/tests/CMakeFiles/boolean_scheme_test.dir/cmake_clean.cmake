@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_scheme_test.dir/boolean_scheme_test.cc.o"
+  "CMakeFiles/boolean_scheme_test.dir/boolean_scheme_test.cc.o.d"
+  "boolean_scheme_test"
+  "boolean_scheme_test.pdb"
+  "boolean_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/change_detector_test.cc" "tests/CMakeFiles/change_detector_test.dir/change_detector_test.cc.o" "gcc" "tests/CMakeFiles/change_detector_test.dir/change_detector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threshold/CMakeFiles/dcv_threshold.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/dcv_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/dcv_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

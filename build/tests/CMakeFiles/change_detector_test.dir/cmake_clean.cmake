@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_detector_test.dir/change_detector_test.cc.o"
+  "CMakeFiles/change_detector_test.dir/change_detector_test.cc.o.d"
+  "change_detector_test"
+  "change_detector_test.pdb"
+  "change_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

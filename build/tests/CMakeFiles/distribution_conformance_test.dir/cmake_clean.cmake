@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_conformance_test.dir/distribution_conformance_test.cc.o"
+  "CMakeFiles/distribution_conformance_test.dir/distribution_conformance_test.cc.o.d"
+  "distribution_conformance_test"
+  "distribution_conformance_test.pdb"
+  "distribution_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

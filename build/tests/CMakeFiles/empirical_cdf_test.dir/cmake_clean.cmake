@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_cdf_test.dir/empirical_cdf_test.cc.o"
+  "CMakeFiles/empirical_cdf_test.dir/empirical_cdf_test.cc.o.d"
+  "empirical_cdf_test"
+  "empirical_cdf_test.pdb"
+  "empirical_cdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

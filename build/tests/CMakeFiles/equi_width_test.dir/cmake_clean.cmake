@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equi_width_test.dir/equi_width_test.cc.o"
+  "CMakeFiles/equi_width_test.dir/equi_width_test.cc.o.d"
+  "equi_width_test"
+  "equi_width_test.pdb"
+  "equi_width_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equi_width_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for equi_width_test.
+# This may be replaced when dependencies are built.

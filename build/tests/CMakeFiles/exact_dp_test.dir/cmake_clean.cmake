@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_dp_test.dir/exact_dp_test.cc.o"
+  "CMakeFiles/exact_dp_test.dir/exact_dp_test.cc.o.d"
+  "exact_dp_test"
+  "exact_dp_test.pdb"
+  "exact_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

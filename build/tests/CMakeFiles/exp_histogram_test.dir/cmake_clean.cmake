@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_histogram_test.dir/exp_histogram_test.cc.o"
+  "CMakeFiles/exp_histogram_test.dir/exp_histogram_test.cc.o.d"
+  "exp_histogram_test"
+  "exp_histogram_test.pdb"
+  "exp_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

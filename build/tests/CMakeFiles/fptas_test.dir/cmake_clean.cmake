@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptas_test.dir/fptas_test.cc.o"
+  "CMakeFiles/fptas_test.dir/fptas_test.cc.o.d"
+  "fptas_test"
+  "fptas_test.pdb"
+  "fptas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

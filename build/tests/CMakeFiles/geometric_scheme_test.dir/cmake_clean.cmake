@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometric_scheme_test.dir/geometric_scheme_test.cc.o"
+  "CMakeFiles/geometric_scheme_test.dir/geometric_scheme_test.cc.o.d"
+  "geometric_scheme_test"
+  "geometric_scheme_test.pdb"
+  "geometric_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometric_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

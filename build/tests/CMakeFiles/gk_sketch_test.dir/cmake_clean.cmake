@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_sketch_test.dir/gk_sketch_test.cc.o"
+  "CMakeFiles/gk_sketch_test.dir/gk_sketch_test.cc.o.d"
+  "gk_sketch_test"
+  "gk_sketch_test.pdb"
+  "gk_sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

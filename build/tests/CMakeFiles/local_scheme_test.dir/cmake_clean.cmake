@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_scheme_test.dir/local_scheme_test.cc.o"
+  "CMakeFiles/local_scheme_test.dir/local_scheme_test.cc.o.d"
+  "local_scheme_test"
+  "local_scheme_test.pdb"
+  "local_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

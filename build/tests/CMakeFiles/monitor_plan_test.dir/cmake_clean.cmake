@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_plan_test.dir/monitor_plan_test.cc.o"
+  "CMakeFiles/monitor_plan_test.dir/monitor_plan_test.cc.o.d"
+  "monitor_plan_test"
+  "monitor_plan_test.pdb"
+  "monitor_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_scheme_test.dir/multilevel_scheme_test.cc.o"
+  "CMakeFiles/multilevel_scheme_test.dir/multilevel_scheme_test.cc.o.d"
+  "multilevel_scheme_test"
+  "multilevel_scheme_test.pdb"
+  "multilevel_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

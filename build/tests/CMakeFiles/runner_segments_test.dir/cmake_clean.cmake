@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_segments_test.dir/runner_segments_test.cc.o"
+  "CMakeFiles/runner_segments_test.dir/runner_segments_test.cc.o.d"
+  "runner_segments_test"
+  "runner_segments_test.pdb"
+  "runner_segments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_segments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_runner_test.dir/sim_runner_test.cc.o"
+  "CMakeFiles/sim_runner_test.dir/sim_runner_test.cc.o.d"
+  "sim_runner_test"
+  "sim_runner_test.pdb"
+  "sim_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_schemes_test.dir/sim_schemes_test.cc.o"
+  "CMakeFiles/sim_schemes_test.dir/sim_schemes_test.cc.o.d"
+  "sim_schemes_test"
+  "sim_schemes_test.pdb"
+  "sim_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_histogram_test.dir/sliding_histogram_test.cc.o"
+  "CMakeFiles/sliding_histogram_test.dir/sliding_histogram_test.cc.o.d"
+  "sliding_histogram_test"
+  "sliding_histogram_test.pdb"
+  "sliding_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

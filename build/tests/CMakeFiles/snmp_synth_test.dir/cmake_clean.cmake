@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snmp_synth_test.dir/snmp_synth_test.cc.o"
+  "CMakeFiles/snmp_synth_test.dir/snmp_synth_test.cc.o.d"
+  "snmp_synth_test"
+  "snmp_synth_test.pdb"
+  "snmp_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snmp_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcvtool.dir/dcvtool.cc.o"
+  "CMakeFiles/dcvtool.dir/dcvtool.cc.o.d"
+  "dcvtool"
+  "dcvtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcvtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
