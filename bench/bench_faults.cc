@@ -1,0 +1,158 @@
+// Robustness sweep: every detection scheme under an imperfect network.
+//
+// The detection guarantees of the paper (§3.1: the covering property) are
+// proved over a reliable transport. This harness quantifies what each scheme
+// pays — and what it still detects — when the site<->coordinator channel
+// drops, delays, and black-holes messages, with the ack/retransmission
+// machinery of sim/channel.h switched on.
+//
+// Two scenario axes:
+//   * link loss rate in {0, 2, 5, 10, 20}%;
+//   * site crashes off/on (two sites each down for multi-day windows, plus
+//     one short coordinator partition).
+//
+// Workload: the synthetic SNMP stand-in (10 sites, 1 training week, 2
+// evaluation weeks), threshold at the 2% overflow fraction. Reported per
+// scheme and scenario: messages/epoch (retransmissions and acks included),
+// retransmissions, poll round-trips that timed out, degraded coordinator
+// decisions, detected/true violations, and misses.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "sim/adaptive_filter_scheme.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/multilevel_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+
+namespace dcv {
+namespace {
+
+constexpr int kNumSites = 10;
+constexpr int kEvalWeeks = 2;
+
+FaultSpec MakeSpec(double loss, bool crashes, int64_t eval_epochs) {
+  FaultSpec spec;
+  spec.loss = loss;
+  spec.delay = loss > 0.0 ? 0.02 : 0.0;  // A little reordering jitter.
+  spec.max_delay_epochs = 3;
+  spec.retry.enable_acks = loss > 0.0 || crashes;
+  spec.retry.max_attempts = 4;
+  spec.degrade = DegradeMode::kAssumeBreach;
+  spec.seed = 0xfa017;
+  if (crashes) {
+    // Two sites down for ~2 and ~1 days, one 2-hour coordinator partition.
+    spec.crashes = {CrashWindow{0, eval_epochs / 4, eval_epochs / 4 + 574},
+                    CrashWindow{7, eval_epochs / 2, eval_epochs / 2 + 287}};
+    spec.partitions = {EpochWindow{3 * eval_epochs / 4,
+                                   3 * eval_epochs / 4 + 24}};
+  }
+  return spec;
+}
+
+int Main() {
+  SnmpTraceOptions trace_options;
+  trace_options.num_sites = kNumSites;
+  trace_options.num_weeks = 1 + kEvalWeeks;
+  trace_options.seed = 20031117;
+  trace_options.site_scale_sigma = 1.3;
+  trace_options.shape_spread = 0.8;
+  trace_options.spike_shape = 1.2;
+  trace_options.spike_prob = 0.01;
+  auto trace = GenerateSnmpTrace(trace_options);
+  DCV_CHECK(trace.ok()) << trace.status();
+  const int64_t week = EpochsPerWeek(trace_options);
+  Trace training = *trace->Slice(0, week);
+  Trace eval = *trace->Slice(week, (1 + kEvalWeeks) * week);
+
+  auto threshold = ThresholdForOverflowFraction(eval, {}, 0.02);
+  DCV_CHECK(threshold.ok());
+
+  FptasSolver fptas(0.05);
+
+  struct SchemeCase {
+    const char* label;
+    std::function<std::unique_ptr<DetectionScheme>()> make;
+  };
+  std::vector<SchemeCase> schemes;
+  schemes.push_back({"fptas-local", [&] {
+                       LocalThresholdScheme::Options o;
+                       o.solver = &fptas;
+                       o.histogram_buckets = 100;
+                       return std::make_unique<LocalThresholdScheme>(o);
+                     }});
+  schemes.push_back({"geometric", [&] {
+                       return std::make_unique<GeometricScheme>();
+                     }});
+  schemes.push_back({"polling-p10", [&] {
+                       return std::make_unique<PollingScheme>(10);
+                     }});
+  schemes.push_back({"adaptive-filters", [&] {
+                       AdaptiveFilterScheme::Options o;
+                       o.precision = 0.05;
+                       return std::make_unique<AdaptiveFilterScheme>(o);
+                     }});
+  schemes.push_back({"multi-level", [&] {
+                       MultiLevelScheme::Options o;
+                       o.solver = &fptas;
+                       return std::make_unique<MultiLevelScheme>(o);
+                     }});
+
+  bench::PrintHeader(
+      "Fault sweep: loss x crashes per scheme (10 sites, 2 eval weeks, "
+      "T at 2%\noverflow, acks + <=4 attempts, assume-breach degradation; "
+      "msgs/epoch\nincludes retransmissions and acks)");
+
+  const double losses[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+
+  for (const SchemeCase& sc : schemes) {
+    std::printf("\n--- %s ---\n", sc.label);
+    bench::PrintRow({"loss%", "crashes", "msgs/ep", "retrans", "poll-t/o",
+                     "degraded", "det/true", "missed"},
+                    10);
+    for (bool crashes : {false, true}) {
+      for (double loss : losses) {
+        SimOptions sim;
+        sim.global_threshold = *threshold;
+        sim.faults = MakeSpec(loss, crashes, eval.num_epochs());
+        auto scheme = sc.make();
+        auto r = RunSimulation(scheme.get(), sim, training, eval);
+        DCV_CHECK(r.ok()) << sc.label << ": " << r.status();
+        char det[32];
+        std::snprintf(det, sizeof(det), "%lld/%lld",
+                      static_cast<long long>(r->detected_violations),
+                      static_cast<long long>(r->true_violations));
+        bench::PrintRow(
+            {bench::Fmt(100.0 * loss, 0), crashes ? "yes" : "no",
+             bench::Fmt(r->MessagesPerEpoch()),
+             bench::Fmt(r->reliability.retransmissions),
+             bench::Fmt(r->reliability.timed_out_polls),
+             bench::Fmt(r->reliability.degraded_decisions), det,
+             bench::Fmt(r->missed_violations)},
+            10);
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading guide: at 0%% loss every scheme matches its perfect-network "
+      "message\ncounts (acks off). With loss, retransmission overhead grows "
+      "roughly linearly\nwhile assume-breach degradation keeps misses near "
+      "zero; crash windows show up\nas poll timeouts and degraded decisions "
+      "rather than missed violations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcv
+
+int main() { return dcv::Main(); }

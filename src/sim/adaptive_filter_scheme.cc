@@ -16,11 +16,15 @@ Status AdaptiveFilterScheme::Initialize(const SimContext& ctx) {
     return InvalidArgumentError("min_share must be in [0, 1]");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
   const int n = std::max(1, ctx.num_sites);
   total_weighted_width_ =
       std::max(static_cast<double>(n),
                options_.precision * static_cast<double>(ctx.global_threshold));
   centers_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  centers_known_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  site_center_.assign(static_cast<size_t>(ctx.num_sites), 0);
+  site_sent_.assign(static_cast<size_t>(ctx.num_sites), 0);
   half_widths_.assign(static_cast<size_t>(ctx.num_sites), 0);
   breach_counts_.assign(static_cast<size_t>(ctx.num_sites), 0);
   epochs_since_realloc_ = 0;
@@ -32,7 +36,6 @@ Status AdaptiveFilterScheme::Initialize(const SimContext& ctx) {
     half_widths_[si] = std::max<int64_t>(
         0, static_cast<int64_t>(std::floor(w / 2.0)));
   }
-  have_centers_ = false;
   return OkStatus();
 }
 
@@ -63,8 +66,13 @@ void AdaptiveFilterScheme::ReallocateWidths() {
         0, static_cast<int64_t>(std::floor(w / 2.0)));
     breach_counts_[si] = 0;
   }
-  // New widths have to reach the sites: one update message each.
-  ctx_.counter->Count(MessageType::kFilterUpdate, ctx_.num_sites);
+  // New widths have to reach the sites: one update message each. Widths
+  // are applied on both sides regardless of delivery outcome — a lost
+  // width update only perturbs which side suppresses what, never the
+  // coordinator's total error budget, so detection stays guaranteed.
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    channel_->SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
+  }
 }
 
 Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
@@ -73,26 +81,71 @@ Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
     return InvalidArgumentError("epoch size mismatch");
   }
   EpochResult result;
+  Channel& ch = *channel_;
 
-  if (!have_centers_) {
-    // Bootstrap round: every site ships its first value.
-    ctx_.counter->Count(MessageType::kFilterReport, ctx_.num_sites);
-    ctx_.counter->Count(MessageType::kFilterUpdate, ctx_.num_sites);
-    centers_ = values;
-    have_centers_ = true;
-  } else {
-    for (int i = 0; i < ctx_.num_sites; ++i) {
-      size_t si = static_cast<size_t>(i);
-      int64_t lo = centers_[si] - half_widths_[si];
-      int64_t hi = centers_[si] + half_widths_[si];
-      if (values[si] < lo || values[si] > hi) {
-        // Filter breach: report and re-center.
-        ctx_.counter->Count(MessageType::kFilterReport);
-        ctx_.counter->Count(MessageType::kFilterUpdate);
+  // A recovered site lost its filter state: it re-introduces itself with a
+  // fresh bootstrap report, and the coordinator treats its center as
+  // unknown (forcing polls) until that report arrives.
+  for (int site : ch.newly_recovered()) {
+    size_t si = static_cast<size_t>(site);
+    site_sent_[si] = 0;
+    centers_known_[si] = 0;
+    ch.CountResync();
+  }
+
+  // Reports delayed in the network arrive now; late centers are better
+  // than none — they move the coordinator's estimate and may end an
+  // unknown-center polling spell.
+  for (const Channel::Arrival& a :
+       ch.TakeArrivals(MessageType::kFilterReport)) {
+    size_t si = static_cast<size_t>(a.site);
+    centers_[si] = a.payload;
+    centers_known_[si] = 1;
+  }
+
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    if (!ch.SiteUp(i)) {
+      continue;  // A crashed site neither observes nor reports.
+    }
+    if (!site_sent_[si]) {
+      // Bootstrap: the site ships its first value; the coordinator
+      // acknowledges with a filter installation.
+      SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
+                                     /*reliable=*/true, values[si]);
+      if (s == SendStatus::kDelivered) {
+        ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
         centers_[si] = values[si];
-        ++breach_counts_[si];
-        ++result.num_alarms;
+        centers_known_[si] = 1;
+        site_center_[si] = values[si];
+        site_sent_[si] = 1;
+      } else if (s == SendStatus::kDelayed) {
+        // The report is in flight; the site considers itself introduced.
+        site_center_[si] = values[si];
+        site_sent_[si] = 1;
       }
+      // Lost outright: the site retries its bootstrap next epoch.
+      continue;
+    }
+    // The site suppresses against its *own* view of the filter center,
+    // which may lag the coordinator's when a report was delayed.
+    int64_t lo = site_center_[si] - half_widths_[si];
+    int64_t hi = site_center_[si] + half_widths_[si];
+    if (values[si] < lo || values[si] > hi) {
+      // Filter breach: report and re-center.
+      ++result.num_alarms;
+      SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
+                                     /*reliable=*/true, values[si]);
+      if (s == SendStatus::kDelivered) {
+        ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
+        centers_[si] = values[si];
+        site_center_[si] = values[si];
+        ++breach_counts_[si];
+      } else if (s == SendStatus::kDelayed) {
+        site_center_[si] = values[si];
+      }
+      // Lost outright: the filter stays where it was on both sides; the
+      // site will breach (and report) again if the value stays outside.
     }
   }
 
@@ -102,24 +155,22 @@ Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
     ReallocateWidths();
   }
 
-  // Coordinator-side bound check: can the true sum exceed T?
+  // Coordinator-side bound check: can the true sum exceed T? While any
+  // center is unknown (bootstrap not yet through, or site crashed before
+  // introducing itself) the bound is unsound and the coordinator polls.
   int64_t estimate = 0;
   int64_t uncertainty = 0;
+  bool unknown = false;
   for (int i = 0; i < ctx_.num_sites; ++i) {
     size_t si = static_cast<size_t>(i);
     estimate += ctx_.weights[si] * centers_[si];
     uncertainty += ctx_.weights[si] * half_widths_[si];
+    unknown = unknown || !centers_known_[si];
   }
-  if (estimate + uncertainty > ctx_.global_threshold) {
-    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+  if (unknown || estimate + uncertainty > ctx_.global_threshold) {
+    PollOutcome poll = ch.PollSites(values, ctx_.weights, /*pessimistic=*/{});
     result.polled = true;
-    int64_t sum = 0;
-    for (int i = 0; i < ctx_.num_sites; ++i) {
-      size_t si = static_cast<size_t>(i);
-      sum += ctx_.weights[si] * values[si];
-    }
-    result.violation_reported = sum > ctx_.global_threshold;
+    result.violation_reported = poll.weighted_sum > ctx_.global_threshold;
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #ifndef DCV_SIM_ADAPTIVE_FILTER_SCHEME_H_
 #define DCV_SIM_ADAPTIVE_FILTER_SCHEME_H_
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheme.h"
@@ -57,12 +58,24 @@ class AdaptiveFilterScheme : public DetectionScheme {
 
   Options options_;
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
+  /// Coordinator's view of each site's filter center; only moves when a
+  /// report actually arrives.
   std::vector<int64_t> centers_;
+  /// Whether the coordinator has ever received a center from site i. While
+  /// any site is unknown the bound is unsound and the coordinator polls.
+  std::vector<char> centers_known_;
+  /// Each site's own view of its filter center (what it suppresses
+  /// against); diverges from `centers_` when a report is delayed.
+  std::vector<int64_t> site_center_;
+  /// Whether site i believes its bootstrap report is out; reset on crash
+  /// recovery so the site re-introduces itself.
+  std::vector<char> site_sent_;
   std::vector<int64_t> half_widths_;  ///< In raw value units, per site.
   std::vector<int64_t> breach_counts_;  ///< Since the last reallocation.
   double total_weighted_width_ = 0.0;   ///< Invariant error budget W.
   int64_t epochs_since_realloc_ = 0;
-  bool have_centers_ = false;
 };
 
 }  // namespace dcv

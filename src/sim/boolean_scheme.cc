@@ -23,8 +23,10 @@ Status BooleanLocalScheme::Initialize(const SimContext& ctx) {
         "constraint references more variables than the trace has sites");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
 
   models_.clear();
+  domain_max_.clear();
   std::vector<const DistributionModel*> model_ptrs;
   for (int i = 0; i < ctx.num_sites; ++i) {
     std::vector<int64_t> series = ctx.training->SiteSeries(i);
@@ -38,6 +40,7 @@ Status BooleanLocalScheme::Initialize(const SimContext& ctx) {
         EquiDepthHistogram::Build(series, m, options_.histogram_buckets));
     models_.push_back(std::make_unique<EquiDepthHistogram>(std::move(model)));
     model_ptrs.push_back(models_.back().get());
+    domain_max_.push_back(m);
   }
 
   DCV_ASSIGN_OR_RETURN(CnfConstraint cnf, ToCnf(constraint_));
@@ -56,18 +59,35 @@ Result<EpochResult> BooleanLocalScheme::OnEpoch(
     return InvalidArgumentError("epoch size mismatch");
   }
   EpochResult result;
+  Channel& ch = *channel_;
+
+  // Alarms delayed in the network arriving now still trigger a poll.
+  // (No re-sync on recovery: the per-site bounds are static.)
+  std::vector<Channel::Arrival> stale_alarms =
+      ch.TakeArrivals(MessageType::kAlarm);
+
+  int delivered_alarms = 0;
   for (int i = 0; i < ctx_.num_sites; ++i) {
     size_t si = static_cast<size_t>(i);
+    if (!ch.SiteUp(i)) {
+      continue;  // A crashed site checks nothing and sends nothing.
+    }
     if (!bounds_[si].Contains(values[si])) {
       ++result.num_alarms;
-      ctx_.counter->Count(MessageType::kAlarm);
+      SendStatus s =
+          ch.SendFromSite(i, MessageType::kAlarm, /*reliable=*/true);
+      if (s == SendStatus::kDelivered) {
+        ++delivered_alarms;
+      }
     }
   }
-  if (result.num_alarms > 0) {
-    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+  if (delivered_alarms > 0 || !stale_alarms.empty()) {
+    // Unreachable sites degrade to last-known or (assume-breach) their
+    // declared domain maximum — for boolean constraints an extreme value
+    // is the natural "suspect the worst" substitute.
+    PollOutcome poll = ch.PollSites(values, ctx_.weights, domain_max_);
     result.polled = true;
-    result.violation_reported = !constraint_.Evaluate(values);
+    result.violation_reported = !constraint_.Evaluate(poll.values);
   }
   return result;
 }

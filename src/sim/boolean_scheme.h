@@ -59,8 +59,13 @@ class BooleanLocalScheme : public DetectionScheme {
   BoolExpr constraint_;
   Options options_;
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
   std::vector<std::unique_ptr<DistributionModel>> models_;
   std::vector<SiteBounds> bounds_;
+  /// Declared per-site domain maxima, used as the assume-breach
+  /// substitute for sites that cannot be polled.
+  std::vector<int64_t> domain_max_;
 };
 
 }  // namespace dcv

@@ -9,6 +9,7 @@ Status GeometricScheme::Initialize(const SimContext& ctx) {
     return InvalidArgumentError("weights size mismatch");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
   // Initial thresholds: equal split of the global budget (the adaptive
   // rounds take over from the first alarm onward).
   thresholds_.assign(static_cast<size_t>(ctx.num_sites), 0);
@@ -17,6 +18,7 @@ Status GeometricScheme::Initialize(const SimContext& ctx) {
     thresholds_[static_cast<size_t>(i)] =
         ctx.global_threshold / (n * ctx.weights[static_cast<size_t>(i)]);
   }
+  site_thresholds_ = thresholds_;
   return OkStatus();
 }
 
@@ -26,33 +28,63 @@ Result<EpochResult> GeometricScheme::OnEpoch(
     return InvalidArgumentError("epoch size mismatch");
   }
   EpochResult result;
+  Channel& ch = *channel_;
+
+  // A recovered site may have missed threshold updates pushed while it was
+  // down: re-sync it to the coordinator's current threshold.
+  for (int site : ch.newly_recovered()) {
+    SendStatus s =
+        ch.SendToSite(site, MessageType::kThresholdUpdate, /*reliable=*/true);
+    if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
+      site_thresholds_[static_cast<size_t>(site)] =
+          thresholds_[static_cast<size_t>(site)];
+    }
+    ch.CountResync();
+  }
+
+  // Alarms delayed in the network arriving now still trigger a poll.
+  std::vector<Channel::Arrival> stale_alarms =
+      ch.TakeArrivals(MessageType::kAlarm);
+
+  int delivered_alarms = 0;
   for (int i = 0; i < ctx_.num_sites; ++i) {
-    if (values[static_cast<size_t>(i)] > thresholds_[static_cast<size_t>(i)]) {
+    size_t si = static_cast<size_t>(i);
+    if (!ch.SiteUp(i)) {
+      continue;  // A crashed site checks nothing and sends nothing.
+    }
+    if (values[si] > site_thresholds_[si]) {
       ++result.num_alarms;
-      ctx_.counter->Count(MessageType::kAlarm);
+      SendStatus s =
+          ch.SendFromSite(i, MessageType::kAlarm, /*reliable=*/true);
+      if (s == SendStatus::kDelivered) {
+        ++delivered_alarms;
+      }
     }
   }
-  if (result.num_alarms == 0) {
+  if (delivered_alarms == 0 && stale_alarms.empty()) {
     return result;
   }
 
-  // Round 1: collect all current values.
-  ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-  ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
-  result.polled = true;
-  int64_t weighted_sum = 0;
+  // Round 1: collect all current values (degraded sites are substituted by
+  // the channel's policy; "assume breach" pessimistically places them just
+  // above their threshold).
+  std::vector<int64_t> pessimistic(static_cast<size_t>(ctx_.num_sites));
   for (int i = 0; i < ctx_.num_sites; ++i) {
-    weighted_sum += ctx_.weights[static_cast<size_t>(i)] *
-                    values[static_cast<size_t>(i)];
+    size_t si = static_cast<size_t>(i);
+    pessimistic[si] = std::max<int64_t>(thresholds_[si] + 1, 1);
   }
-  result.violation_reported = weighted_sum > ctx_.global_threshold;
+  PollOutcome poll = ch.PollSites(values, ctx_.weights, pessimistic);
+  result.polled = true;
+  result.violation_reported = poll.weighted_sum > ctx_.global_threshold;
 
   // Round 2: redistribute the slack equally and install new thresholds.
   // Floor division (also for negative slack) keeps sum A_i*T_i <= T, so the
   // covering property is preserved: while the system stays in violation at
-  // least one local constraint stays violated and polling continues.
+  // least one local constraint stays violated and polling continues. The
+  // redistribution is computed from the coordinator's (possibly degraded)
+  // view, never from values it did not receive.
   const int64_t n = std::max(1, ctx_.num_sites);
-  const int64_t slack = ctx_.global_threshold - weighted_sum;
+  const int64_t slack = ctx_.global_threshold - poll.weighted_sum;
   for (int i = 0; i < ctx_.num_sites; ++i) {
     size_t si = static_cast<size_t>(i);
     // Per-site slack share is in weighted units; convert to value units.
@@ -62,9 +94,13 @@ Result<EpochResult> GeometricScheme::OnEpoch(
     // Thresholds may go negative while the system is in violation; a
     // negative threshold simply means "always alarm", which is what keeps
     // the coordinator polling until the violation clears.
-    thresholds_[si] = values[si] + share;
+    thresholds_[si] = poll.values[si] + share;
+    SendStatus s =
+        ch.SendToSite(i, MessageType::kThresholdUpdate, /*reliable=*/true);
+    if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
+      site_thresholds_[si] = thresholds_[si];
+    }
   }
-  ctx_.counter->Count(MessageType::kThresholdUpdate, ctx_.num_sites);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DCV_SIM_GEOMETRIC_SCHEME_H_
 #define DCV_SIM_GEOMETRIC_SCHEME_H_
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheme.h"
@@ -30,7 +31,13 @@ class GeometricScheme : public DetectionScheme {
 
  private:
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
   std::vector<int64_t> thresholds_;
+  /// What each site actually enforces; diverges from the coordinator's
+  /// `thresholds_` when an update is lost or the site is crashed, and
+  /// converges again via the recovery re-sync.
+  std::vector<int64_t> site_thresholds_;
 };
 
 }  // namespace dcv

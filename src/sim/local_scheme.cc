@@ -41,6 +41,7 @@ Status LocalThresholdScheme::Initialize(const SimContext& ctx) {
     return InvalidArgumentError("weights size mismatch");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
 
   models_.clear();
   detectors_.clear();
@@ -66,7 +67,22 @@ Status LocalThresholdScheme::Initialize(const SimContext& ctx) {
       detectors_.push_back(std::move(detector));
     }
   }
-  return RecomputeThresholds();
+  DCV_RETURN_IF_ERROR(RecomputeThresholds());
+  // Initial thresholds are installed out of band (part of deployment), so
+  // every site starts in sync with the coordinator.
+  site_thresholds_ = thresholds_;
+  return OkStatus();
+}
+
+void LocalThresholdScheme::PushThresholds(const std::vector<int>& sites) {
+  for (int i : sites) {
+    SendStatus s = channel_->SendToSite(i, MessageType::kThresholdUpdate,
+                                        /*reliable=*/true);
+    if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
+      site_thresholds_[static_cast<size_t>(i)] =
+          thresholds_[static_cast<size_t>(i)];
+    }
+  }
 }
 
 Result<std::unique_ptr<DistributionModel>> LocalThresholdScheme::BuildModel(
@@ -110,6 +126,14 @@ Result<EpochResult> LocalThresholdScheme::OnEpoch(
     return InvalidArgumentError("epoch size mismatch");
   }
   EpochResult result;
+  Channel& ch = *channel_;
+
+  // Sites that just recovered from a crash may have missed threshold
+  // pushes: re-sync them to the coordinator's current thresholds.
+  if (!ch.newly_recovered().empty()) {
+    PushThresholds(ch.newly_recovered());
+    ch.CountResync(static_cast<int64_t>(ch.newly_recovered().size()));
+  }
 
   const bool tracking = options_.global_check == GlobalCheck::kTrack;
   const int64_t filter_width = std::max<int64_t>(
@@ -117,37 +141,70 @@ Result<EpochResult> LocalThresholdScheme::OnEpoch(
                               static_cast<double>(ctx_.global_threshold) /
                               static_cast<double>(std::max(1, ctx_.num_sites))));
 
-  // Site-local checks.
+  // Alarms delayed in the network arriving now still trigger a poll.
+  // Late tracking/change reports are consumed but ignored: filter centers
+  // and histogram rebuilds only move on timely, acknowledged delivery.
+  std::vector<Channel::Arrival> stale_alarms =
+      ch.TakeArrivals(MessageType::kAlarm);
+  ch.TakeArrivals(MessageType::kFilterReport);
+
+  // Site-local checks. Sites enforce site_thresholds_ — the thresholds
+  // they actually received — which may lag the coordinator's under faults.
   bool change_detected = false;
   int change_site = -1;
+  std::vector<char> delivered_alarm(static_cast<size_t>(ctx_.num_sites), 0);
+  int delivered_alarms = 0;
   for (int i = 0; i < ctx_.num_sites; ++i) {
     size_t si = static_cast<size_t>(i);
+    const bool site_up = ch.SiteUp(i);
+    if (!site_up) {
+      continue;  // A crashed site observes nothing and sends nothing.
+    }
     if (!tracking) {
-      if (values[si] > thresholds_[si]) {
+      if (values[si] > site_thresholds_[si]) {
         ++result.num_alarms;
-        ctx_.counter->Count(MessageType::kAlarm);
+        SendStatus s = ch.SendFromSite(i, MessageType::kAlarm,
+                                       /*reliable=*/true, values[si]);
+        if (s == SendStatus::kDelivered) {
+          delivered_alarm[si] = 1;
+          ++delivered_alarms;
+          if (options_.piggyback_values) {
+            ch.RecordLastKnown(i, values[si]);
+          }
+        }
       }
     } else {
-      const bool above = values[si] > thresholds_[si];
+      const bool above = values[si] > site_thresholds_[si];
       const int64_t w = filter_width / std::max<int64_t>(1, ctx_.weights[si]);
       if (above && track_center_[si] < 0) {
         // Entering the alarmed region: one alarm (carrying the value) and
-        // a filter installation ack.
+        // a filter installation ack. The filter is only considered
+        // installed when the alarm actually reached the coordinator.
         ++result.num_alarms;
-        ctx_.counter->Count(MessageType::kAlarm);
-        ctx_.counter->Count(MessageType::kFilterUpdate);
-        track_center_[si] = values[si];
+        SendStatus s = ch.SendFromSite(i, MessageType::kAlarm,
+                                       /*reliable=*/true, values[si]);
+        if (s == SendStatus::kDelivered) {
+          ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
+          track_center_[si] = values[si];
+        }
       } else if (above) {
         if (std::llabs(values[si] - track_center_[si]) > w) {
           // Filter breach while tracked: report + recenter ack.
-          ctx_.counter->Count(MessageType::kFilterReport);
-          ctx_.counter->Count(MessageType::kFilterUpdate);
-          track_center_[si] = values[si];
+          SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
+                                         /*reliable=*/true, values[si]);
+          if (s == SendStatus::kDelivered) {
+            ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
+            track_center_[si] = values[si];
+          }
         }
       } else if (track_center_[si] >= 0) {
-        // Back below the threshold: all-clear, filter dismantled.
-        ctx_.counter->Count(MessageType::kFilterReport);
-        track_center_[si] = -1;
+        // Back below the threshold: all-clear, filter dismantled (the
+        // coordinator keeps tracking until the all-clear arrives).
+        SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
+                                       /*reliable=*/true, values[si]);
+        if (s == SendStatus::kDelivered) {
+          track_center_[si] = -1;
+        }
       }
     }
     if (options_.change_detection) {
@@ -181,60 +238,67 @@ Result<EpochResult> LocalThresholdScheme::OnEpoch(
         any_tracked && bound > ctx_.global_threshold;
   }
 
-  // Coordinator: any alarm triggers global checking.
-  if (!tracking && result.num_alarms > 0) {
+  // Coordinator: any alarm that made it through — fresh or delayed —
+  // triggers global checking.
+  if (!tracking && (delivered_alarms > 0 || !stale_alarms.empty())) {
     bool need_poll = true;
-    if (options_.piggyback_values) {
-      // Alarms carried the alarming sites' values; quiet sites are known
-      // to be at most at their thresholds, so a certified upper bound on
-      // the weighted sum is available without any extra messages.
+    if (options_.piggyback_values && stale_alarms.empty()) {
+      // Delivered alarms carried their sites' values; quiet sites are
+      // known to be at most at their thresholds, so a certified upper
+      // bound on the weighted sum is available without extra messages.
+      // (Stale alarms carry stale values, so they always force a poll.)
       int64_t bound = 0;
       for (int i = 0; i < ctx_.num_sites; ++i) {
         size_t si = static_cast<size_t>(i);
         bound += ctx_.weights[si] *
-                 (values[si] > thresholds_[si] ? values[si]
-                                               : thresholds_[si]);
+                 (delivered_alarm[si] ? values[si] : thresholds_[si]);
       }
       if (bound <= ctx_.global_threshold) {
         need_poll = false;  // Certified: no violation is possible.
       }
     }
     if (need_poll) {
-      ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-      ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+      // Poll with a per-epoch deadline; unreachable sites degrade to their
+      // last-known value or (assume-breach) their domain maximum.
+      PollOutcome poll = ch.PollSites(values, ctx_.weights, domain_max_);
       result.polled = true;
-      int64_t sum = 0;
-      for (int i = 0; i < ctx_.num_sites; ++i) {
-        sum += ctx_.weights[static_cast<size_t>(i)] *
-               values[static_cast<size_t>(i)];
-      }
-      result.violation_reported = sum > ctx_.global_threshold;
+      result.violation_reported = poll.weighted_sum > ctx_.global_threshold;
     }
   }
 
   // Change-triggered histogram rebuild + threshold recomputation (§3.2).
   // The rebuild uses the rolling history, which is longer (hence less
-  // biased) than the detector's comparison window.
+  // biased) than the detector's comparison window. The site's report
+  // carries the window; if every retransmission of it is lost, the
+  // recomputation is skipped until the detector fires again.
   if (change_detected) {
     size_t si = static_cast<size_t>(change_site);
     std::vector<int64_t> window(history_[si].begin(), history_[si].end());
     if (!window.empty()) {
-      int64_t observed_max =
-          *std::max_element(window.begin(), window.end());
-      int64_t m = std::max(
-          domain_max_[si],
-          static_cast<int64_t>(std::llround(
-              options_.domain_headroom *
-              static_cast<double>(std::max<int64_t>(observed_max, 1)))));
-      domain_max_[si] = m;
-      DCV_ASSIGN_OR_RETURN(auto model, BuildModel(window, m));
-      models_[si] = std::move(model);
-      detectors_[si]->Reset(std::move(window));
-      DCV_RETURN_IF_ERROR(RecomputeThresholds());
-      ++num_recomputes_;
-      // One report from the changed site, new thresholds to every site.
-      ctx_.counter->Count(MessageType::kFilterReport);
-      ctx_.counter->Count(MessageType::kThresholdUpdate, ctx_.num_sites);
+      // The site resets its detector locally either way.
+      detectors_[si]->Reset(window);
+      SendStatus s = ch.SendFromSite(change_site, MessageType::kFilterReport,
+                                     /*reliable=*/true);
+      if (s == SendStatus::kDelivered) {
+        int64_t observed_max =
+            *std::max_element(window.begin(), window.end());
+        int64_t m = std::max(
+            domain_max_[si],
+            static_cast<int64_t>(std::llround(
+                options_.domain_headroom *
+                static_cast<double>(std::max<int64_t>(observed_max, 1)))));
+        domain_max_[si] = m;
+        DCV_ASSIGN_OR_RETURN(auto model, BuildModel(window, m));
+        models_[si] = std::move(model);
+        DCV_RETURN_IF_ERROR(RecomputeThresholds());
+        ++num_recomputes_;
+        // New thresholds to every site.
+        std::vector<int> all_sites(static_cast<size_t>(ctx_.num_sites));
+        for (int i = 0; i < ctx_.num_sites; ++i) {
+          all_sites[static_cast<size_t>(i)] = i;
+        }
+        PushThresholds(all_sites);
+      }
     }
   }
   return result;

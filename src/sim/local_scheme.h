@@ -121,16 +121,25 @@ class LocalThresholdScheme : public DetectionScheme {
 
  private:
   Status RecomputeThresholds();
+  /// Pushes the coordinator's current thresholds to the given sites over
+  /// the channel; sites that receive (possibly late) install them.
+  void PushThresholds(const std::vector<int>& sites);
   Result<std::unique_ptr<DistributionModel>> BuildModel(
       const std::vector<int64_t>& data, int64_t domain_max) const;
 
   Options options_;
   std::string name_;
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
   std::vector<std::unique_ptr<DistributionModel>> models_;
   std::vector<std::unique_ptr<ChangeDetector>> detectors_;
   std::vector<std::deque<int64_t>> history_;  ///< Rolling rebuild windows.
   std::vector<int64_t> thresholds_;
+  /// What each site actually enforces; diverges from the coordinator's
+  /// `thresholds_` when a push is lost or the site is crashed, and
+  /// converges again via the recovery re-sync.
+  std::vector<int64_t> site_thresholds_;
   std::vector<int64_t> domain_max_;
   // GlobalCheck::kTrack state: filter center per tracked (above-threshold)
   // site; -1 when the site is quiet.

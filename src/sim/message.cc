@@ -16,6 +16,8 @@ std::string_view MessageTypeName(MessageType type) {
       return "filter_report";
     case MessageType::kFilterUpdate:
       return "filter_update";
+    case MessageType::kAck:
+      return "ack";
   }
   return "?";
 }

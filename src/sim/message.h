@@ -18,9 +18,17 @@ enum class MessageType {
   kThresholdUpdate = 3,  ///< Coordinator -> site: new local threshold.
   kFilterReport = 4,     ///< Site -> coordinator: adaptive-filter breach.
   kFilterUpdate = 5,     ///< Coordinator -> site: new filter interval.
+  kAck = 6,              ///< Receiver -> sender: reliable-delivery ack.
 };
 
-inline constexpr int kNumMessageTypes = 6;
+/// kNumMessageTypes is derived from the last enumerator so the two cannot
+/// drift; MessageTypeName's switch has no default, so a compiler warning
+/// flags any enumerator added without a name.
+inline constexpr MessageType kLastMessageType = MessageType::kAck;
+inline constexpr int kNumMessageTypes = static_cast<int>(kLastMessageType) + 1;
+static_assert(kNumMessageTypes == 7,
+              "keep kLastMessageType and MessageTypeName in sync with the "
+              "MessageType enum");
 
 std::string_view MessageTypeName(MessageType type);
 

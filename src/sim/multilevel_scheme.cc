@@ -24,6 +24,7 @@ Status MultiLevelScheme::Initialize(const SimContext& ctx) {
     return InvalidArgumentError("site count / weights mismatch");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
 
   // Build training models and solve for the certified top rungs T_i.
   std::vector<EquiDepthHistogram> models;
@@ -94,8 +95,14 @@ Status MultiLevelScheme::Initialize(const SimContext& ctx) {
     }
   }
 
-  band_.assign(static_cast<size_t>(ctx.num_sites), 0);
-  bootstrapped_ = false;
+  band_.clear();
+  reported_band_.assign(static_cast<size_t>(ctx.num_sites), -1);
+  pessimistic_.clear();
+  for (int i = 0; i < ctx.num_sites; ++i) {
+    // Unknown sites sit in the virtual overflow band until they report.
+    band_.push_back(static_cast<int>(edges_[static_cast<size_t>(i)].size()));
+    pessimistic_.push_back(edges_[static_cast<size_t>(i)].back());
+  }
   return OkStatus();
 }
 
@@ -112,23 +119,51 @@ Result<EpochResult> MultiLevelScheme::OnEpoch(
     return InvalidArgumentError("epoch size mismatch");
   }
   EpochResult result;
+  Channel& ch = *channel_;
 
-  if (!bootstrapped_) {
-    ctx_.counter->Count(MessageType::kFilterReport, ctx_.num_sites);
-    for (int i = 0; i < ctx_.num_sites; ++i) {
-      band_[static_cast<size_t>(i)] = BandOf(i, values[static_cast<size_t>(i)]);
+  // A recovered site lost its band state and must re-introduce itself;
+  // until its report lands the coordinator pessimistically places it in
+  // the overflow band (forcing polls rather than missing violations).
+  for (int site : ch.newly_recovered()) {
+    size_t si = static_cast<size_t>(site);
+    reported_band_[si] = -1;
+    band_[si] = static_cast<int>(edges_[si].size());
+    ch.CountResync();
+  }
+
+  // Band reports delayed in the network land now: late bands still refine
+  // the coordinator's bound.
+  for (const Channel::Arrival& a :
+       ch.TakeArrivals(MessageType::kFilterReport)) {
+    band_[static_cast<size_t>(a.site)] = static_cast<int>(a.payload);
+  }
+
+  // Sites report band changes only (one message each). The site compares
+  // against the band it last put on the wire, the coordinator against the
+  // band it actually received — the two views diverge under faults and
+  // reconverge on the next successful report.
+  for (int i = 0; i < ctx_.num_sites; ++i) {
+    size_t si = static_cast<size_t>(i);
+    if (!ch.SiteUp(i)) {
+      continue;  // A crashed site observes and reports nothing.
     }
-    bootstrapped_ = true;
-  } else {
-    // Sites report band changes only (one message each).
-    for (int i = 0; i < ctx_.num_sites; ++i) {
-      size_t si = static_cast<size_t>(i);
-      int b = BandOf(i, values[si]);
-      if (b != band_[si]) {
-        band_[si] = b;
-        ctx_.counter->Count(MessageType::kFilterReport);
+    int b = BandOf(i, values[si]);
+    if (b != reported_band_[si]) {
+      // The introduction report (reported_band_ == -1) is bootstrap
+      // traffic, not an alarm.
+      if (reported_band_[si] != -1) {
         ++result.num_alarms;
       }
+      SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
+                                     /*reliable=*/true, b);
+      if (s == SendStatus::kDelivered) {
+        reported_band_[si] = b;
+        band_[si] = b;
+      } else if (s == SendStatus::kDelayed) {
+        reported_band_[si] = b;
+      }
+      // Lost outright: the site re-reports next epoch (its wire view
+      // still shows the old band).
     }
   }
 
@@ -146,15 +181,9 @@ Result<EpochResult> MultiLevelScheme::OnEpoch(
   }
 
   if (overflow_band || bound > ctx_.global_threshold) {
-    ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-    ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+    PollOutcome poll = ch.PollSites(values, ctx_.weights, pessimistic_);
     result.polled = true;
-    int64_t sum = 0;
-    for (int i = 0; i < ctx_.num_sites; ++i) {
-      size_t si = static_cast<size_t>(i);
-      sum += ctx_.weights[si] * values[si];
-    }
-    result.violation_reported = sum > ctx_.global_threshold;
+    result.violation_reported = poll.weighted_sum > ctx_.global_threshold;
   }
   return result;
 }

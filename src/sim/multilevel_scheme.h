@@ -1,6 +1,7 @@
 #ifndef DCV_SIM_MULTILEVEL_SCHEME_H_
 #define DCV_SIM_MULTILEVEL_SCHEME_H_
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheme.h"
@@ -64,9 +65,18 @@ class MultiLevelScheme : public DetectionScheme {
 
   Options options_;
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
   std::vector<std::vector<int64_t>> edges_;  // edges_[site], ascending.
-  std::vector<int> band_;                    // Coordinator's view per site.
-  bool bootstrapped_ = false;
+  /// Coordinator's view per site; starts (and re-enters after a crash) at
+  /// the virtual overflow band, which forces polling until a report lands.
+  std::vector<int> band_;
+  /// Band the site last put on the wire; -1 before the site introduces
+  /// itself (or after it recovers from a crash and must re-introduce).
+  std::vector<int> reported_band_;
+  /// edges_[site].back(), the assume-breach substitute for unpollable
+  /// sites.
+  std::vector<int64_t> pessimistic_;
 };
 
 }  // namespace dcv

@@ -10,6 +10,7 @@ Status PollingScheme::Initialize(const SimContext& ctx) {
     return InvalidArgumentError("weights size mismatch");
   }
   ctx_ = ctx;
+  DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
   tick_ = 0;
   return OkStatus();
 }
@@ -23,15 +24,13 @@ Result<EpochResult> PollingScheme::OnEpoch(
   if (tick_++ % period_ != 0) {
     return result;
   }
-  ctx_.counter->Count(MessageType::kPollRequest, ctx_.num_sites);
-  ctx_.counter->Count(MessageType::kPollResponse, ctx_.num_sites);
+  // Periodic poll with a per-epoch deadline; unreachable sites are
+  // resolved by the channel's degradation policy (this scheme has no local
+  // thresholds, so its only pessimistic fallback is the last-known table).
+  PollOutcome poll = channel_->PollSites(values, ctx_.weights,
+                                         /*pessimistic=*/{});
   result.polled = true;
-  int64_t sum = 0;
-  for (int i = 0; i < ctx_.num_sites; ++i) {
-    sum += ctx_.weights[static_cast<size_t>(i)] *
-           values[static_cast<size_t>(i)];
-  }
-  result.violation_reported = sum > ctx_.global_threshold;
+  result.violation_reported = poll.weighted_sum > ctx_.global_threshold;
   return result;
 }
 

@@ -1,6 +1,8 @@
 #ifndef DCV_SIM_POLLING_SCHEME_H_
 #define DCV_SIM_POLLING_SCHEME_H_
 
+#include <memory>
+
 #include "sim/scheme.h"
 
 namespace dcv {
@@ -26,6 +28,8 @@ class PollingScheme : public DetectionScheme {
   int64_t period_;
   int64_t tick_ = 0;
   SimContext ctx_;
+  Channel* channel_ = nullptr;
+  std::unique_ptr<Channel> owned_channel_;
 };
 
 }  // namespace dcv

@@ -41,18 +41,23 @@ Result<std::vector<SimResult>> RunSimulationSegments(
   DCV_RETURN_IF_ERROR(ValidateAndFillWeights(training, eval, options, &weights));
   const int n = eval.num_sites();
 
-  // One shared counter; per-segment deltas are computed at boundaries.
+  // One shared counter and channel; per-segment deltas are computed at
+  // segment boundaries.
   MessageCounter counter;
+  Channel channel(options.faults);
+  DCV_RETURN_IF_ERROR(channel.Init(n, &counter));
   SimContext ctx;
   ctx.num_sites = n;
   ctx.weights = weights;
   ctx.global_threshold = options.global_threshold;
   ctx.training = &training;
   ctx.counter = &counter;
+  ctx.channel = &channel;
   DCV_RETURN_IF_ERROR(scheme->Initialize(ctx));
 
   std::vector<SimResult> segments;
   MessageCounter counted_so_far;
+  ChannelStats stats_so_far;
   SimResult current;
   current.scheme_name = std::string(scheme->name());
 
@@ -64,6 +69,8 @@ Result<std::vector<SimResult>> RunSimulationSegments(
       counted_so_far.Count(type,
                            counter.of(type) - counted_so_far.of(type));
     }
+    current.reliability = channel.stats() - stats_so_far;
+    stats_so_far = channel.stats();
     segments.push_back(current);
     current = SimResult{};
     current.scheme_name = std::string(scheme->name());
@@ -71,6 +78,13 @@ Result<std::vector<SimResult>> RunSimulationSegments(
 
   for (int64_t t = 0; t < eval.num_epochs(); ++t) {
     const std::vector<int64_t>& values = eval.epoch(t);
+    if (static_cast<int>(values.size()) != n) {
+      return InvalidArgumentError(
+          "eval epoch " + std::to_string(t) + " has " +
+          std::to_string(values.size()) + " values; expected " +
+          std::to_string(n));
+    }
+    channel.BeginEpoch(t);
     DCV_ASSIGN_OR_RETURN(EpochResult epoch, scheme->OnEpoch(values));
 
     ++current.epochs;
@@ -118,12 +132,15 @@ Result<SimResult> RunSimulation(DetectionScheme* scheme,
     DCV_RETURN_IF_ERROR(
         ValidateAndFillWeights(training, eval, options, &weights));
     MessageCounter counter;
+    Channel channel(options.faults);
+    DCV_RETURN_IF_ERROR(channel.Init(eval.num_sites(), &counter));
     SimContext ctx;
     ctx.num_sites = eval.num_sites();
     ctx.weights = weights;
     ctx.global_threshold = options.global_threshold;
     ctx.training = &training;
     ctx.counter = &counter;
+    ctx.channel = &channel;
     DCV_RETURN_IF_ERROR(scheme->Initialize(ctx));
     SimResult empty;
     empty.scheme_name = std::string(scheme->name());

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "sim/channel.h"
 #include "sim/message.h"
 #include "sim/scheme.h"
 #include "trace/trace.h"
@@ -26,6 +27,11 @@ struct SimOptions {
   /// default sum_i A_i X_i > T is used. Schemes are configured separately;
   /// this only controls how the runner scores detections.
   std::function<bool(const std::vector<int64_t>&)> is_violation;
+
+  /// Fault injection for the site<->coordinator channel. The default spec
+  /// is the perfect network, under which every scheme's message counts and
+  /// detections are bit-identical to the pre-channel protocol.
+  FaultSpec faults;
 };
 
 /// Aggregate outcome of a run. `messages` is the paper's §6.2 metric
@@ -44,6 +50,11 @@ struct SimResult {
   int64_t detected_violations = 0;  ///< True violations the scheme reported.
   int64_t missed_violations = 0;    ///< True violations it did not report.
   int64_t false_alarm_epochs = 0;   ///< Polled epochs without a violation.
+
+  /// Channel-level reliability accounting for this run/segment:
+  /// retransmissions, timed-out polls, degraded decisions, late-delivery
+  /// latency (detection latency of delayed alarms, in epochs), and more.
+  ChannelStats reliability;
 
   /// messages.total() averaged per epoch.
   double MessagesPerEpoch() const {

@@ -2,10 +2,12 @@
 #define DCV_SIM_SCHEME_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "sim/channel.h"
 #include "sim/message.h"
 #include "trace/trace.h"
 
@@ -13,15 +15,34 @@ namespace dcv {
 
 /// Everything a detection scheme sees at initialization time: the global
 /// SUM constraint (sum_i weights[i] * X_i <= global_threshold), the
-/// training trace it may mine for distributions, and the message counter it
-/// must charge for every message its protocol sends.
+/// training trace it may mine for distributions, the message counter, and
+/// the channel every protocol message must be routed through.
 struct SimContext {
   int num_sites = 0;
   std::vector<int64_t> weights;  ///< Size num_sites; the A_i (all >= 1).
   int64_t global_threshold = 0;  ///< T.
   const Trace* training = nullptr;  ///< May be null for schemes not using it.
   MessageCounter* counter = nullptr;
+
+  /// Transport for all site<->coordinator traffic. The runner installs one
+  /// built from SimOptions::faults; contexts constructed by hand (tests)
+  /// may leave it null, in which case the scheme falls back to an owned
+  /// perfect channel via EnsureChannel.
+  Channel* channel = nullptr;
 };
+
+/// Returns ctx->channel, creating and installing a perfect owned channel
+/// bound to ctx->counter when none was provided.
+inline Result<Channel*> EnsureChannel(SimContext* ctx,
+                                      std::unique_ptr<Channel>* owned) {
+  if (ctx->channel != nullptr) {
+    return ctx->channel;
+  }
+  *owned = std::make_unique<Channel>();
+  DCV_RETURN_IF_ERROR((*owned)->Init(ctx->num_sites, ctx->counter));
+  ctx->channel = owned->get();
+  return ctx->channel;
+}
 
 /// What a scheme did during one epoch.
 struct EpochResult {

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/parser.h"
+#include "sim/adaptive_filter_scheme.h"
+#include "sim/boolean_scheme.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/multilevel_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+// End-to-end fault-injection coverage: every scheme runs over the channel,
+// the zero-fault spec reproduces the perfect-network protocol bit for bit,
+// and faulty runs are deterministic in (spec, seed).
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeWorkload(uint64_t seed, int num_sites = 4,
+                      int64_t train_epochs = 800, int64_t eval_epochs = 800) {
+  SyntheticTraceOptions options;
+  options.num_sites = num_sites;
+  options.num_epochs = train_epochs + eval_epochs;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.8;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, train_epochs);
+  w.eval = *trace->Slice(train_epochs, train_epochs + eval_epochs);
+  return w;
+}
+
+int64_t PickThreshold(const Workload& w, double overflow_fraction) {
+  auto t = ThresholdForOverflowFraction(w.eval, {}, overflow_fraction);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+void ExpectSameResult(const SimResult& a, const SimResult& b,
+                      const std::string& label) {
+  for (int m = 0; m < kNumMessageTypes; ++m) {
+    MessageType type = static_cast<MessageType>(m);
+    EXPECT_EQ(a.messages.of(type), b.messages.of(type))
+        << label << ": " << MessageTypeName(type);
+  }
+  EXPECT_EQ(a.total_alarms, b.total_alarms) << label;
+  EXPECT_EQ(a.alarm_epochs, b.alarm_epochs) << label;
+  EXPECT_EQ(a.polled_epochs, b.polled_epochs) << label;
+  EXPECT_EQ(a.true_violations, b.true_violations) << label;
+  EXPECT_EQ(a.detected_violations, b.detected_violations) << label;
+  EXPECT_EQ(a.missed_violations, b.missed_violations) << label;
+  EXPECT_EQ(a.false_alarm_epochs, b.false_alarm_epochs) << label;
+  EXPECT_EQ(a.reliability.transmissions, b.reliability.transmissions) << label;
+  EXPECT_EQ(a.reliability.retransmissions, b.reliability.retransmissions)
+      << label;
+  EXPECT_EQ(a.reliability.dropped, b.reliability.dropped) << label;
+  EXPECT_EQ(a.reliability.timed_out_polls, b.reliability.timed_out_polls)
+      << label;
+  EXPECT_EQ(a.reliability.degraded_decisions, b.reliability.degraded_decisions)
+      << label;
+}
+
+// The zero-fault FaultSpec must leave every scheme's message counts and
+// detections exactly as the pre-channel protocol produced them, regardless
+// of seed or degrade mode — no randomness may be consumed on the perfect
+// path, and no kAck may appear while acks are off.
+TEST(FaultInjectionTest, ZeroFaultSpecIsBitIdenticalForEveryScheme) {
+  Workload w = MakeWorkload(7);
+  const int64_t threshold = PickThreshold(w, 0.02);
+  FptasSolver solver(0.05);
+
+  auto parsed = ParseConstraint("a + b + c + d <= " +
+                                std::to_string(threshold));
+  ASSERT_TRUE(parsed.ok());
+
+  struct Case {
+    std::string label;
+    std::function<std::unique_ptr<DetectionScheme>()> make;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"local", [&] {
+                     LocalThresholdScheme::Options o;
+                     o.solver = &solver;
+                     return std::make_unique<LocalThresholdScheme>(o);
+                   }});
+  cases.push_back({"local-tracking", [&] {
+                     LocalThresholdScheme::Options o;
+                     o.solver = &solver;
+                     o.global_check =
+                         LocalThresholdScheme::GlobalCheck::kTrack;
+                     return std::make_unique<LocalThresholdScheme>(o);
+                   }});
+  cases.push_back({"local-change-detection", [&] {
+                     LocalThresholdScheme::Options o;
+                     o.solver = &solver;
+                     o.change_detection = true;
+                     return std::make_unique<LocalThresholdScheme>(o);
+                   }});
+  cases.push_back(
+      {"geometric", [&] { return std::make_unique<GeometricScheme>(); }});
+  cases.push_back(
+      {"polling", [&] { return std::make_unique<PollingScheme>(10); }});
+  cases.push_back({"adaptive-filters", [&] {
+                     AdaptiveFilterScheme::Options o;
+                     o.realloc_period = 60;
+                     return std::make_unique<AdaptiveFilterScheme>(o);
+                   }});
+  cases.push_back({"multi-level", [&] {
+                     MultiLevelScheme::Options o;
+                     o.solver = &solver;
+                     return std::make_unique<MultiLevelScheme>(o);
+                   }});
+  cases.push_back({"boolean-local", [&] {
+                     BooleanLocalScheme::Options o;
+                     o.solver = &solver;
+                     return std::make_unique<BooleanLocalScheme>(
+                         parsed->expr, o);
+                   }});
+
+  for (const Case& c : cases) {
+    SimOptions base;
+    base.global_threshold = threshold;
+    auto baseline_scheme = c.make();
+    auto baseline = RunSimulation(baseline_scheme.get(), base, w.training,
+                                  w.eval);
+    ASSERT_TRUE(baseline.ok()) << c.label;
+
+    // Same run with an explicit (still zero-fault) spec that differs in
+    // every knob randomness could leak through.
+    SimOptions with_spec = base;
+    with_spec.faults.seed = 0xabcdef;
+    with_spec.faults.degrade = DegradeMode::kAssumeBreach;
+    with_spec.faults.max_delay_epochs = 7;
+    auto scheme = c.make();
+    auto result = RunSimulation(scheme.get(), with_spec, w.training, w.eval);
+    ASSERT_TRUE(result.ok()) << c.label;
+
+    ExpectSameResult(*baseline, *result, c.label);
+    EXPECT_EQ(result->messages.of(MessageType::kAck), 0) << c.label;
+    EXPECT_EQ(result->reliability.retransmissions, 0) << c.label;
+    EXPECT_EQ(result->reliability.dropped, 0) << c.label;
+  }
+}
+
+TEST(FaultInjectionTest, SameSpecAndSeedGiveIdenticalResults) {
+  Workload w = MakeWorkload(11);
+  const int64_t threshold = PickThreshold(w, 0.02);
+  FptasSolver solver(0.05);
+
+  SimOptions sim;
+  sim.global_threshold = threshold;
+  sim.faults.loss = 0.1;
+  sim.faults.duplicate = 0.05;
+  sim.faults.delay = 0.05;
+  sim.faults.retry.enable_acks = true;
+  sim.faults.retry.max_attempts = 5;
+  sim.faults.seed = 1234;
+
+  auto run = [&] {
+    LocalThresholdScheme::Options o;
+    o.solver = &solver;
+    LocalThresholdScheme scheme(o);
+    return RunSimulation(&scheme, sim, w.training, w.eval);
+  };
+  auto r1 = run();
+  auto r2 = run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Faults actually fired...
+  EXPECT_GT(r1->reliability.dropped, 0);
+  EXPECT_GT(r1->reliability.retransmissions, 0);
+  // ...yet the two runs are indistinguishable, retransmissions included.
+  ExpectSameResult(*r1, *r2, "local-under-faults");
+
+  // A different seed draws a different fault pattern.
+  sim.faults.seed = 4321;
+  auto r3 = run();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(r1->reliability.dropped, r3->reliability.dropped);
+}
+
+// ISSUE acceptance: under 10% loss with retries enabled, the paper's scheme
+// still detects within 5% of its fault-free detections.
+TEST(FaultInjectionTest, LocalSchemeKeepsDetectionUnderTenPercentLoss) {
+  Workload w = MakeWorkload(3);
+  const int64_t threshold = PickThreshold(w, 0.02);
+  FptasSolver solver(0.05);
+
+  auto run = [&](const FaultSpec& spec) {
+    LocalThresholdScheme::Options o;
+    o.solver = &solver;
+    LocalThresholdScheme scheme(o);
+    SimOptions sim;
+    sim.global_threshold = threshold;
+    sim.faults = spec;
+    return RunSimulation(&scheme, sim, w.training, w.eval);
+  };
+
+  auto clean = run(FaultSpec{});
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GT(clean->true_violations, 0);
+  ASSERT_EQ(clean->detected_violations, clean->true_violations);
+
+  FaultSpec lossy;
+  lossy.loss = 0.1;
+  lossy.retry.enable_acks = true;
+  lossy.retry.max_attempts = 6;
+  lossy.degrade = DegradeMode::kAssumeBreach;
+  auto faulty = run(lossy);
+  ASSERT_TRUE(faulty.ok());
+  EXPECT_GT(faulty->reliability.retransmissions, 0);
+  EXPECT_GE(static_cast<double>(faulty->detected_violations),
+            0.95 * static_cast<double>(clean->detected_violations));
+}
+
+TEST(FaultInjectionTest, CrashedSiteDegradesPollsAndResyncsOnRecovery) {
+  Workload w = MakeWorkload(5);
+  const int64_t threshold = PickThreshold(w, 0.05);
+
+  FaultSpec spec;
+  spec.crashes = {CrashWindow{0, 100, 300}};
+
+  {
+    PollingScheme scheme(1);
+    SimOptions sim;
+    sim.global_threshold = threshold;
+    sim.faults = spec;
+    auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+    ASSERT_TRUE(result.ok());
+    // 200 epochs of polls could not reach site 0 and were resolved by
+    // degradation.
+    EXPECT_GE(result->reliability.timed_out_polls, 200);
+    EXPECT_GE(result->reliability.degraded_decisions, 200);
+    EXPECT_GT(result->reliability.blackholed, 0);
+  }
+  {
+    GeometricScheme scheme;
+    SimOptions sim;
+    sim.global_threshold = threshold;
+    sim.faults = spec;
+    auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+    ASSERT_TRUE(result.ok());
+    // The site recovered at epoch 300 and was re-synced.
+    EXPECT_GE(result->reliability.resyncs, 1);
+  }
+}
+
+TEST(FaultInjectionTest, AcksStayOffByDefault) {
+  Workload w = MakeWorkload(9);
+  const int64_t threshold = PickThreshold(w, 0.02);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options o;
+  o.solver = &solver;
+  LocalThresholdScheme scheme(o);
+  SimOptions sim;
+  sim.global_threshold = threshold;
+  sim.faults.loss = 0.05;  // Faults on, but no retry machinery requested.
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->messages.of(MessageType::kAck), 0);
+  EXPECT_EQ(result->reliability.retransmissions, 0);
+  EXPECT_GT(result->reliability.dropped, 0);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -95,6 +95,26 @@ TEST(RunnerTest, MessagesPerEpoch) {
   EXPECT_DOUBLE_EQ(result->MessagesPerEpoch(), 2.0);
 }
 
+TEST(RunnerTest, RejectsNonPositiveSegmentEpochs) {
+  Trace t = MakeTrace({{1}, {2}}, 1);
+  PollingScheme scheme(1);
+  EXPECT_FALSE(
+      RunSimulationSegments(&scheme, MakeSimOptions(5), t, t, 0).ok());
+  EXPECT_FALSE(
+      RunSimulationSegments(&scheme, MakeSimOptions(5), t, t, -5).ok());
+}
+
+TEST(RunnerTest, RejectsBadFaultSpec) {
+  Trace t = MakeTrace({{1}}, 1);
+  PollingScheme scheme(1);
+  SimOptions options = MakeSimOptions(5);
+  options.faults.loss = 1.5;
+  EXPECT_FALSE(RunSimulation(&scheme, options, t, t).ok());
+  options = MakeSimOptions(5);
+  options.faults.crashes = {CrashWindow{3, 0, 10}};  // Site out of range.
+  EXPECT_FALSE(RunSimulation(&scheme, options, t, t).ok());
+}
+
 TEST(RunnerTest, SchemeNameIsRecorded) {
   Trace t = MakeTrace({{1}}, 1);
   PollingScheme scheme(1);

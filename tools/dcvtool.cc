@@ -14,8 +14,17 @@
 //   dcvtool simulate --trace trace.csv --threshold T
 //           [--train-epochs N] [--scheme fptas|equal-value|equal-tail|
 //            geometric|polling|filters|multilevel] [--poll-period 5]
+//           [--loss P] [--dup P] [--delay-prob P] [--max-delay E]
+//           [--acks 0|1] [--max-attempts K]
+//           [--degrade last-known|assume-breach]
+//           [--crash site:from:to[,site:from:to...]]
+//           [--partition from:to[,from:to...]] [--fault-seed S]
 //       Replay the remaining epochs through a detection scheme and report
-//       messages and detection accuracy.
+//       messages and detection accuracy. The fault flags inject link loss,
+//       duplication, delay, site crashes, and coordinator partitions into
+//       the site<->coordinator channel (epochs are relative to the start of
+//       the evaluation slice); when any are set a reliability breakdown is
+//       printed as well.
 //
 // Every subcommand prints machine-greppable "key: value" lines.
 
@@ -207,6 +216,64 @@ Status RunPlan(const Flags& flags) {
 }
 
 // ----------------------------------------------------------------------
+// Fault-injection flags for `simulate`, mapped onto sim/channel.h's
+// FaultSpec. Crash windows are "site:from:to" and partitions "from:to",
+// comma-separated.
+Result<FaultSpec> ParseFaultFlags(const Flags& flags) {
+  FaultSpec spec;
+  DCV_ASSIGN_OR_RETURN(spec.loss, flags.GetDouble("loss", 0.0));
+  DCV_ASSIGN_OR_RETURN(spec.duplicate, flags.GetDouble("dup", 0.0));
+  DCV_ASSIGN_OR_RETURN(spec.delay, flags.GetDouble("delay-prob", 0.0));
+  DCV_ASSIGN_OR_RETURN(int64_t max_delay, flags.GetInt("max-delay", 3));
+  spec.max_delay_epochs = static_cast<int>(max_delay);
+  DCV_ASSIGN_OR_RETURN(int64_t acks, flags.GetInt("acks", 0));
+  spec.retry.enable_acks = acks != 0;
+  DCV_ASSIGN_OR_RETURN(int64_t attempts, flags.GetInt("max-attempts", 4));
+  spec.retry.max_attempts = static_cast<int>(attempts);
+  DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("fault-seed", 0x5eed));
+  spec.seed = static_cast<uint64_t>(seed);
+
+  std::string degrade = flags.GetString("degrade", "last-known");
+  if (degrade == "last-known") {
+    spec.degrade = DegradeMode::kLastKnown;
+  } else if (degrade == "assume-breach") {
+    spec.degrade = DegradeMode::kAssumeBreach;
+  } else {
+    return InvalidArgumentError(
+        "--degrade must be last-known or assume-breach");
+  }
+
+  std::string crash = flags.GetString("crash", "");
+  if (!crash.empty()) {
+    for (const std::string& item : StrSplit(crash, ',')) {
+      std::vector<std::string> parts = StrSplit(item, ':');
+      if (parts.size() != 3) {
+        return InvalidArgumentError("--crash entries must be site:from:to");
+      }
+      CrashWindow w;
+      DCV_ASSIGN_OR_RETURN(int64_t site, ParseInt64(parts[0]));
+      w.site = static_cast<int>(site);
+      DCV_ASSIGN_OR_RETURN(w.from, ParseInt64(parts[1]));
+      DCV_ASSIGN_OR_RETURN(w.to, ParseInt64(parts[2]));
+      spec.crashes.push_back(w);
+    }
+  }
+  std::string partition = flags.GetString("partition", "");
+  if (!partition.empty()) {
+    for (const std::string& item : StrSplit(partition, ',')) {
+      std::vector<std::string> parts = StrSplit(item, ':');
+      if (parts.size() != 2) {
+        return InvalidArgumentError("--partition entries must be from:to");
+      }
+      EpochWindow w;
+      DCV_ASSIGN_OR_RETURN(w.from, ParseInt64(parts[0]));
+      DCV_ASSIGN_OR_RETURN(w.to, ParseInt64(parts[1]));
+      spec.partitions.push_back(w);
+    }
+  }
+  return spec;
+}
+
 Status RunSimulate(const Flags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
@@ -255,6 +322,7 @@ Status RunSimulate(const Flags& flags) {
 
   SimOptions sim;
   sim.global_threshold = threshold;
+  DCV_ASSIGN_OR_RETURN(sim.faults, ParseFaultFlags(flags));
   DCV_ASSIGN_OR_RETURN(SimResult result,
                        RunSimulation(scheme.get(), sim, training, eval));
 
@@ -273,6 +341,15 @@ Status RunSimulate(const Flags& flags) {
               static_cast<long long>(result.missed_violations));
   std::printf("false-alarm-epochs: %lld\n",
               static_cast<long long>(result.false_alarm_epochs));
+  if (sim.faults.any_faults() || sim.faults.retry.enable_acks) {
+    std::printf("reliability: %s\n", result.reliability.ToString().c_str());
+    std::printf("retransmissions: %lld\n",
+                static_cast<long long>(result.reliability.retransmissions));
+    std::printf("timed-out-polls: %lld\n",
+                static_cast<long long>(result.reliability.timed_out_polls));
+    std::printf("degraded-decisions: %lld\n",
+                static_cast<long long>(result.reliability.degraded_decisions));
+  }
   return OkStatus();
 }
 
