@@ -44,7 +44,10 @@ struct SweepPoint {
   int64_t messages[kNumSchemes][kEvalWeeks];
 };
 
-int Main() {
+// `metrics_out`: optional path for a BENCH_figure1.json-style metrics dump;
+// null runs uninstrumented (the timing baseline the A/B overhead check
+// compares against).
+int Main(const char* metrics_out) {
   SnmpTraceOptions trace_options;
   trace_options.num_sites = kNumSites;
   trace_options.num_weeks = 1 + kEvalWeeks;
@@ -74,6 +77,7 @@ int Main() {
   FptasSolver fptas(0.05);
   EqualValueSolver equal_value;
   EqualTailSolver equal_tail;
+  obs::MetricsRegistry registry;
 
   const double fractions[] = {0.001, 0.005, 0.01, 0.02, 0.05, 0.10};
   std::vector<SweepPoint> sweep;
@@ -106,6 +110,7 @@ int Main() {
 
     SimOptions sim;
     sim.global_threshold = *threshold;
+    sim.metrics = metrics_out != nullptr ? &registry : nullptr;
     for (int s = 0; s < kNumSchemes; ++s) {
       // One continuous run over the four weeks, split for per-week
       // reporting: adapted state (recomputed thresholds, Geometric
@@ -149,10 +154,16 @@ int Main() {
       "\nPaper's claim: FPTAS ~70%% fewer messages than Equal-Value "
       "(EV/FPTAS ~3x)\nand ~50%% fewer than Equal-Tail/Geometric "
       "(~2x), across all four weeks.\n");
+  if (metrics_out != nullptr) {
+    bench::WriteMetricsJson(registry, metrics_out);
+    std::printf("\nmetrics written to %s\n", metrics_out);
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace dcv
 
-int main() { return dcv::Main(); }
+int main(int argc, char** argv) {
+  return dcv::Main(argc > 1 ? argv[1] : nullptr);
+}

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace dcv::bench {
 
 /// Prints a separator + title line for one experiment.
@@ -33,6 +35,27 @@ inline std::string Fmt(double v, int precision = 2) {
 }
 
 inline std::string Fmt(int64_t v) { return std::to_string(v); }
+
+/// Dumps a registry snapshot as JSON to `path` (the BENCH_*.json pattern:
+/// each harness can leave a machine-readable metrics file next to its
+/// table output). Returns false (after a warning on stderr) on I/O errors
+/// so harnesses can ignore the failure without aborting the run.
+inline bool WriteMetricsJson(const obs::MetricsRegistry& registry,
+                             const std::string& path) {
+  const std::string json = registry.Snapshot().ToJson() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                 path.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = std::fclose(f) == 0 && written == json.size();
+  if (!ok) {
+    std::fprintf(stderr, "warning: short metrics write to %s\n", path.c_str());
+  }
+  return ok;
+}
 
 }  // namespace dcv::bench
 

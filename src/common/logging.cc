@@ -9,6 +9,7 @@ namespace dcv {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+ScopedLogCapture* g_capture = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -43,12 +44,21 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  std::cerr << "[" << LevelTag(level_) << " " << Basename(file_) << ":" << line_
-            << "] " << stream_.str() << std::endl;
+  if (g_capture != nullptr) {
+    g_capture->entries_.push_back(
+        ScopedLogCapture::Entry{level_, stream_.str()});
+  } else {
+    std::cerr << "[" << LevelTag(level_) << " " << Basename(file_) << ":"
+              << line_ << "] " << stream_.str() << std::endl;
+  }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }
 }
 
 }  // namespace internal
+
+ScopedLogCapture::ScopedLogCapture() { g_capture = this; }
+
+ScopedLogCapture::~ScopedLogCapture() { g_capture = nullptr; }
 }  // namespace dcv

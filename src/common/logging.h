@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace dcv {
 
@@ -15,6 +16,15 @@ void SetLogLevel(LogLevel level);
 
 /// Returns the current minimum severity.
 LogLevel GetLogLevel();
+
+/// The single emission predicate: a message of `severity` is emitted iff
+/// severity >= the current level. In particular SetLogLevel(kDebug) makes
+/// kDebug messages visible (the boundary is inclusive); the DCV_LOG macro
+/// and everything else must route through this so the `<` vs `<=`
+/// comparison cannot drift (pinned by tests/logging_test.cc).
+inline bool LogLevelEnabled(LogLevel severity) {
+  return severity >= GetLogLevel();
+}
 
 namespace internal {
 
@@ -43,20 +53,43 @@ struct LogMessageVoidify {
 };
 
 }  // namespace internal
+
+/// Test hook: while alive, redirects every emitted log message (except the
+/// abort side effect of kFatal) into an in-memory list instead of stderr.
+/// Not reentrant; intended for single-threaded test bodies.
+class ScopedLogCapture {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string message;  ///< The streamed text, without the [..] prefix.
+  };
+
+  ScopedLogCapture();
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  friend class internal::LogMessage;
+  std::vector<Entry> entries_;
+};
 }  // namespace dcv
 
-#define DCV_LOG_INTERNAL_LEVEL_kDebug ::dcv::LogLevel::kDebug
-#define DCV_LOG_INTERNAL_LEVEL_kInfo ::dcv::LogLevel::kInfo
-#define DCV_LOG_INTERNAL_LEVEL_kWarning ::dcv::LogLevel::kWarning
-#define DCV_LOG_INTERNAL_LEVEL_kError ::dcv::LogLevel::kError
-#define DCV_LOG_INTERNAL_LEVEL_kFatal ::dcv::LogLevel::kFatal
+#define DCV_LOG_INTERNAL_LEVEL_DEBUG ::dcv::LogLevel::kDebug
+#define DCV_LOG_INTERNAL_LEVEL_INFO ::dcv::LogLevel::kInfo
+#define DCV_LOG_INTERNAL_LEVEL_WARNING ::dcv::LogLevel::kWarning
+#define DCV_LOG_INTERNAL_LEVEL_ERROR ::dcv::LogLevel::kError
+#define DCV_LOG_INTERNAL_LEVEL_FATAL ::dcv::LogLevel::kFatal
 
-/// DCV_LOG(INFO) << "message"; — emitted iff INFO >= current level.
+/// DCV_LOG(INFO) << "message"; — emitted iff INFO >= current level. The
+/// streamed expression is not evaluated when the message is suppressed.
 #define DCV_LOG(severity)                                                 \
-  (::dcv::LogLevel::k##severity < ::dcv::GetLogLevel())                   \
+  !::dcv::LogLevelEnabled(DCV_LOG_INTERNAL_LEVEL_##severity)              \
       ? (void)0                                                           \
       : ::dcv::internal::LogMessageVoidify() &                            \
-            ::dcv::internal::LogMessage(::dcv::LogLevel::k##severity,     \
+            ::dcv::internal::LogMessage(DCV_LOG_INTERNAL_LEVEL_##severity, \
                                         __FILE__, __LINE__)               \
                 .stream()
 

@@ -1,0 +1,61 @@
+#ifndef DCV_OBS_JSON_WRITER_H_
+#define DCV_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcv::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double as JSON: locale-independent decimal point, shortest
+/// round-trippable form, and "0" for non-finite values (JSON has no inf/nan).
+std::string JsonDouble(double v);
+
+/// Minimal streaming JSON writer. The caller drives structure explicitly:
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("epochs"); w.Value(int64_t{42});
+///   w.Key("sites");  w.BeginArray(); w.Value(int64_t{1}); w.EndArray();
+///   w.EndObject();
+///   std::string json = w.str();
+///
+/// Commas are inserted automatically; nesting is tracked with a small stack.
+/// No validation beyond comma placement — mismatched Begin/End is on the
+/// caller (tests pin the exported formats).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+  /// Splices an already-serialized JSON value verbatim (comma handling
+  /// included) — for composing exports that own their own ToJson.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  /// True immediately after Key() — the next value is not comma-separated.
+  bool pending_key_ = false;
+};
+
+}  // namespace dcv::obs
+
+#endif  // DCV_OBS_JSON_WRITER_H_

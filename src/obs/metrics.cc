@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace dcv::obs {
+namespace {
+
+/// Relaxed add for atomic<double> (fetch_add on floating atomics is C++20
+/// but not universally lock-free; a CAS loop is portable and contention here
+/// is negligible).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = DefaultLatencyBoundsUs();
+  }
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  // First observation seeds min/max; count_ is bumped last so a concurrent
+  // snapshot never sees count > sum of buckets by more than in-flight obs.
+  int64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  if (prev == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    AtomicMin(&min_, v);
+    AtomicMax(&max_, v);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsUs() {
+  static const std::vector<double> kBounds = ExponentialBounds(1.0, 2.0, 24);
+  return kBounds;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot d;
+  d.gauges = gauges;
+  for (const auto& [name, v] : counters) {
+    auto it = base.counters.find(name);
+    d.counters[name] = it == base.counters.end() ? v : v - it->second;
+  }
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot dh = h;
+    auto it = base.histograms.find(name);
+    if (it != base.histograms.end() &&
+        it->second.counts.size() == h.counts.size()) {
+      for (size_t i = 0; i < dh.counts.size(); ++i) {
+        dh.counts[i] -= it->second.counts[i];
+      }
+      dh.count -= it->second.count;
+      dh.sum -= it->second.sum;
+    }
+    d.histograms[name] = std::move(dh);
+  }
+  return d;
+}
+
+namespace {
+
+void AppendHistogram(JsonWriter* w, const HistogramSnapshot& h) {
+  w->BeginObject();
+  w->Key("bounds").BeginArray();
+  for (double b : h.bounds) {
+    w->Value(b);
+  }
+  w->EndArray();
+  w->Key("counts").BeginArray();
+  for (int64_t c : h.counts) {
+    w->Value(c);
+  }
+  w->EndArray();
+  w->Key("count").Value(h.count);
+  w->Key("sum").Value(h.sum);
+  w->Key("min").Value(h.min);
+  w->Key("max").Value(h.max);
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, v] : counters) {
+    w.Key(name).Value(v);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, v] : gauges) {
+    w.Key(name).Value(v);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name);
+    AppendHistogram(&w, h);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      s.counters[name] = e.counter->value();
+    } else if (e.gauge != nullptr) {
+      s.gauges[name] = e.gauge->value();
+    } else if (e.histogram != nullptr) {
+      s.histograms[name] = e.histogram->Snapshot();
+    }
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      e.counter->Reset();
+    } else if (e.gauge != nullptr) {
+      e.gauge->Reset();
+    } else if (e.histogram != nullptr) {
+      e.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace dcv::obs

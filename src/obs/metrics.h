@@ -1,0 +1,171 @@
+#ifndef DCV_OBS_METRICS_H_
+#define DCV_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcv::obs {
+
+/// Monotonically increasing named count. Thread-safe; relaxed atomics — the
+/// registry snapshot is the synchronization point readers care about.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-written named value (queue depth, current threshold, grid size).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of one histogram, safe to serialize/diff.
+struct HistogramSnapshot {
+  /// Inclusive upper bounds of the finite buckets; counts has one extra
+  /// overflow bucket for values above bounds.back().
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  ///< Size bounds.size() + 1.
+  int64_t count = 0;            ///< Total observations.
+  double sum = 0.0;
+  double min = 0.0;  ///< Meaningful only when count > 0.
+  double max = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-bucket histogram for latency / value distributions. Bucket i
+/// counts observations v with v <= bounds[i] (first matching bucket);
+/// values above the last bound land in a final overflow bucket. Observe is
+/// lock-free; Snapshot is weakly consistent under concurrent writes (every
+/// completed Observe before the snapshot is included).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and nonempty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// bounds {start, start*factor, start*factor^2, ...} with `count` entries
+  /// — the standard shape for microsecond latency histograms.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+
+  /// Default microsecond-latency bounds: 1us .. ~8s, doubling.
+  static const std::vector<double>& DefaultLatencyBoundsUs();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  ///< bounds_.size() + 1.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every metric in a registry. Map-keyed by name so
+/// iteration (and the JSON export) is deterministically sorted.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter and histogram deltas relative to `base` (an earlier snapshot
+  /// of the same registry); gauges keep their current value. Used for
+  /// per-segment reporting. Histogram min/max stay cumulative.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& base) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"bounds":
+  /// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M}}}
+  std::string ToJson() const;
+};
+
+/// Thread-safe name -> metric registry. Metrics are created on first use
+/// and live as long as the registry; returned pointers are stable, so hot
+/// paths look a metric up once and then touch only the atomic.
+class MetricsRegistry {
+ public:
+  /// Get-or-create. A name names one metric kind forever; requesting an
+  /// existing name as a different kind returns nullptr (programming error
+  /// surfaced loudly in tests, tolerated silently in release).
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  /// `bounds` applies only on first creation (empty = default latency
+  /// bounds); later calls return the existing histogram regardless.
+  Histogram* histogram(std::string_view name, std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric; registrations (and outstanding pointers) survive.
+  void Reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RAII wall-time probe: records elapsed microseconds into a histogram on
+/// destruction. A null histogram disables it entirely (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h) {
+    if (h_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr) {
+      h_->Observe(static_cast<double>(ElapsedUs()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  int64_t ElapsedUs() const {
+    if (h_ == nullptr) {
+      return 0;
+    }
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dcv::obs
+
+#endif  // DCV_OBS_METRICS_H_

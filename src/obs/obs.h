@@ -1,0 +1,14 @@
+#ifndef DCV_OBS_OBS_H_
+#define DCV_OBS_OBS_H_
+
+// Umbrella header for the observability layer: the metrics registry
+// (counters/gauges/histograms + ScopedTimer), the trace-event recorder with
+// JSONL / Chrome trace_event export, and the null-safe DCV_OBS_* macros.
+// Instrumented code holds possibly-null MetricsRegistry*/TraceRecorder*
+// pointers; everything is inert (one branch) until a caller attaches real
+// instances via SimOptions or Channel::SetObserver.
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+#endif  // DCV_OBS_OBS_H_

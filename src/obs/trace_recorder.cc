@@ -1,0 +1,220 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace dcv::obs {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kLocalAlarm:
+      return "local_alarm";
+    case TraceEventKind::kPollStart:
+      return "poll_start";
+    case TraceEventKind::kPollEnd:
+      return "poll_end";
+    case TraceEventKind::kThresholdRecompute:
+      return "threshold_recompute";
+    case TraceEventKind::kThresholdUpdate:
+      return "threshold_update";
+    case TraceEventKind::kFilterReport:
+      return "filter_report";
+    case TraceEventKind::kFilterUpdate:
+      return "filter_update";
+    case TraceEventKind::kBandChange:
+      return "band_change";
+    case TraceEventKind::kWidthRealloc:
+      return "width_realloc";
+    case TraceEventKind::kRetransmission:
+      return "retransmission";
+    case TraceEventKind::kGiveUp:
+      return "give_up";
+    case TraceEventKind::kCrash:
+      return "crash";
+    case TraceEventKind::kRecovery:
+      return "recovery";
+    case TraceEventKind::kResync:
+      return "resync";
+    case TraceEventKind::kDegraded:
+      return "degraded";
+    case TraceEventKind::kSolverSolve:
+      return "solver_solve";
+    case TraceEventKind::kViolation:
+      return "violation";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Record(TraceEventKind kind, int64_t epoch, int32_t site,
+                           int64_t value, int64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e{kind, epoch, site, value, duration_us};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  wrapped_ = true;
+  ring_[next_] = e;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) {
+    return ring_;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<ptrdiff_t>(next_));
+  return out;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+void TraceRecorder::DeclareSites(int num_sites) {
+  std::lock_guard<std::mutex> lock(mu_);
+  declared_sites_ = std::max(declared_sites_, num_sites);
+}
+
+std::string TraceRecorder::ToJsonl() const {
+  std::string out;
+  for (const TraceEvent& e : Events()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("kind").Value(TraceEventKindName(e.kind));
+    w.Key("epoch").Value(e.epoch);
+    w.Key("site").Value(static_cast<int64_t>(e.site));
+    w.Key("value").Value(e.value);
+    if (e.duration_us != 0) {
+      w.Key("duration_us").Value(e.duration_us);
+    }
+    w.EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  // Track layout: pid 1 throughout; tid 0 is the coordinator, tid i+1 is
+  // site i. thread_name metadata labels the tracks, thread_sort_index keeps
+  // the coordinator on top.
+  const std::vector<TraceEvent> events = Events();
+  int num_sites;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    num_sites = declared_sites_;
+  }
+  for (const TraceEvent& e : events) {
+    num_sites = std::max(num_sites, e.site + 1);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+
+  auto metadata = [&](int64_t tid, const std::string& name, int64_t sort) {
+    w.BeginObject();
+    w.Key("name").Value("thread_name");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(int64_t{1});
+    w.Key("tid").Value(tid);
+    w.Key("args").BeginObject().Key("name").Value(name).EndObject();
+    w.EndObject();
+    w.BeginObject();
+    w.Key("name").Value("thread_sort_index");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(int64_t{1});
+    w.Key("tid").Value(tid);
+    w.Key("args").BeginObject().Key("sort_index").Value(sort).EndObject();
+    w.EndObject();
+  };
+  metadata(0, "coordinator", 0);
+  for (int i = 0; i < num_sites; ++i) {
+    metadata(i + 1, "site " + std::to_string(i), i + 1);
+  }
+
+  for (const TraceEvent& e : events) {
+    const int64_t tid = e.site < 0 ? 0 : e.site + 1;
+    const int64_t ts = e.epoch * 1000;  // One epoch = 1 ms = 1000 us.
+    w.BeginObject();
+    w.Key("name").Value(TraceEventKindName(e.kind));
+    w.Key("cat").Value("dcv");
+    if (e.duration_us > 0) {
+      w.Key("ph").Value("X");
+      w.Key("dur").Value(e.duration_us);
+    } else {
+      w.Key("ph").Value("i");
+      w.Key("s").Value("t");
+    }
+    w.Key("ts").Value(ts);
+    w.Key("pid").Value(int64_t{1});
+    w.Key("tid").Value(tid);
+    w.Key("args")
+        .BeginObject()
+        .Key("epoch")
+        .Value(e.epoch)
+        .Key("value")
+        .Value(e.value)
+        .EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status TraceRecorder::WriteJsonl(const std::string& path) const {
+  return WriteFile(path, ToJsonl());
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, ToChromeJson());
+}
+
+}  // namespace dcv::obs

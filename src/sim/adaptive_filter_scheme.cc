@@ -73,6 +73,9 @@ void AdaptiveFilterScheme::ReallocateWidths() {
   for (int i = 0; i < ctx_.num_sites; ++i) {
     channel_->SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
   }
+  DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kWidthRealloc,
+                channel_->epoch(), obs::TraceRecorder::kCoordinator,
+                total_breaches);
 }
 
 Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
@@ -134,6 +137,8 @@ Result<EpochResult> AdaptiveFilterScheme::OnEpoch(
     if (values[si] < lo || values[si] > hi) {
       // Filter breach: report and re-center.
       ++result.num_alarms;
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kFilterReport,
+                    ch.epoch(), i, values[si]);
       SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
                                      /*reliable=*/true, values[si]);
       if (s == SendStatus::kDelivered) {

@@ -47,6 +47,7 @@ Status BooleanLocalScheme::Initialize(const SimContext& ctx) {
   BooleanThresholdSolver::Options solver_options;
   solver_options.lift_rounds = options_.lift_rounds;
   BooleanThresholdSolver solver(options_.solver, solver_options);
+  solver.set_metrics(ctx_.metrics);
   DCV_ASSIGN_OR_RETURN(BooleanSolution solution,
                        solver.Solve(cnf, model_ptrs));
   bounds_ = std::move(solution.bounds);
@@ -74,6 +75,8 @@ Result<EpochResult> BooleanLocalScheme::OnEpoch(
     }
     if (!bounds_[si].Contains(values[si])) {
       ++result.num_alarms;
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kLocalAlarm,
+                    ch.epoch(), i, values[si]);
       SendStatus s =
           ch.SendFromSite(i, MessageType::kAlarm, /*reliable=*/true);
       if (s == SendStatus::kDelivered) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/json_writer.h"
+
 namespace dcv {
 
 bool FaultSpec::any_faults() const {
@@ -87,6 +89,29 @@ std::string ChannelStats::ToString() const {
   return out.empty() ? "none" : out;
 }
 
+std::string ChannelStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("transmissions").Value(transmissions);
+  w.Key("delivered").Value(delivered);
+  w.Key("dropped").Value(dropped);
+  w.Key("blackholed").Value(blackholed);
+  w.Key("duplicates").Value(duplicates);
+  w.Key("delayed").Value(delayed);
+  w.Key("late_deliveries").Value(late_deliveries);
+  w.Key("delivery_delay_epochs").Value(delivery_delay_epochs);
+  w.Key("retransmissions").Value(retransmissions);
+  w.Key("backoff_ticks").Value(backoff_ticks);
+  w.Key("acks").Value(acks);
+  w.Key("give_ups").Value(give_ups);
+  w.Key("crashed_sends").Value(crashed_sends);
+  w.Key("timed_out_polls").Value(timed_out_polls);
+  w.Key("degraded_decisions").Value(degraded_decisions);
+  w.Key("resyncs").Value(resyncs);
+  w.EndObject();
+  return w.str();
+}
+
 ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   ChannelStats d;
   d.transmissions = a.transmissions - b.transmissions;
@@ -137,6 +162,20 @@ Status Channel::Init(int num_sites, MessageCounter* counter) {
   return OkStatus();
 }
 
+void Channel::SetObserver(obs::MetricsRegistry* metrics,
+                          obs::TraceRecorder* recorder) {
+  metrics_ = metrics;
+  recorder_ = recorder;
+  msg_counters_.fill(nullptr);
+  if (metrics_ != nullptr) {
+    for (int m = 0; m < kNumMessageTypes; ++m) {
+      msg_counters_[static_cast<size_t>(m)] = metrics_->counter(
+          "channel/msg/" +
+          std::string(MessageTypeName(static_cast<MessageType>(m))));
+    }
+  }
+}
+
 void Channel::BeginEpoch(int64_t epoch) {
   epoch_ = epoch;
   newly_recovered_.clear();
@@ -154,6 +193,9 @@ void Channel::BeginEpoch(int64_t epoch) {
     size_t si = static_cast<size_t>(i);
     if (up_[si] == 0 && !down) {
       newly_recovered_.push_back(i);
+      DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kRecovery, epoch, i);
+    } else if (up_[si] != 0 && down) {
+      DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kCrash, epoch, i);
     }
     up_[si] = down ? 0 : 1;
   }
@@ -231,7 +273,7 @@ bool Channel::Lose(int site) {
 SendStatus Channel::TransmitOnce(int site, MessageType type, int64_t payload,
                                  bool to_coordinator, bool receiver_up,
                                  bool allow_delay) {
-  counter_->Count(type);
+  Charge(type);
   ++stats_.transmissions;
   if (partitioned_ || !receiver_up) {
     ++stats_.blackholed;
@@ -250,7 +292,7 @@ SendStatus Channel::TransmitOnce(int site, MessageType type, int64_t payload,
   }
   ++stats_.delivered;
   if (spec_.duplicate > 0.0 && rng_.Bernoulli(spec_.duplicate)) {
-    counter_->Count(type);
+    Charge(type);
     ++stats_.transmissions;
     ++stats_.duplicates;
   }
@@ -260,7 +302,7 @@ SendStatus Channel::TransmitOnce(int site, MessageType type, int64_t payload,
 SendStatus Channel::SendOneWay(int site, MessageType type, bool reliable,
                                int64_t payload, bool to_coordinator) {
   if (perfect_) {
-    counter_->Count(type);
+    Charge(type);
     ++stats_.transmissions;
     ++stats_.delivered;
     return SendStatus::kDelivered;
@@ -287,6 +329,8 @@ SendStatus Channel::SendOneWay(int site, MessageType type, bool reliable,
       stats_.backoff_ticks +=
           static_cast<int64_t>(spec_.retry.backoff_base_ticks)
           << (attempt - 2);
+      DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kRetransmission, epoch_,
+                    site, attempt);
     }
     SendStatus fate =
         TransmitOnce(site, type, payload, to_coordinator, receiver_up,
@@ -305,7 +349,7 @@ SendStatus Channel::SendOneWay(int site, MessageType type, bool reliable,
     }
     got_through = true;
     // The ack travels the reverse direction over the same lossy link.
-    counter_->Count(MessageType::kAck);
+    Charge(MessageType::kAck);
     ++stats_.transmissions;
     ++stats_.acks;
     if (!Lose(site)) {
@@ -314,6 +358,7 @@ SendStatus Channel::SendOneWay(int site, MessageType type, bool reliable,
     ++stats_.dropped;  // Lost ack: the sender retransmits.
   }
   ++stats_.give_ups;
+  DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kGiveUp, epoch_, site);
   if (got_through) {
     return SendStatus::kDelivered;
   }
@@ -338,6 +383,9 @@ void Channel::RecordLastKnown(int site, int64_t value) {
 PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
                                const std::vector<int64_t>& weights,
                                const std::vector<int64_t>& pessimistic) {
+  DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kPollStart, epoch_);
+  obs::ScopedTimer poll_timer(
+      metrics_ != nullptr ? metrics_->histogram("channel/poll_us") : nullptr);
   PollOutcome out;
   out.values.assign(static_cast<size_t>(num_sites_), 0);
   auto weight = [&](int i) {
@@ -345,8 +393,8 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
   };
 
   if (perfect_) {
-    counter_->Count(MessageType::kPollRequest, num_sites_);
-    counter_->Count(MessageType::kPollResponse, num_sites_);
+    Charge(MessageType::kPollRequest, num_sites_);
+    Charge(MessageType::kPollResponse, num_sites_);
     stats_.transmissions += 2 * num_sites_;
     stats_.delivered += 2 * num_sites_;
     for (int i = 0; i < num_sites_; ++i) {
@@ -356,6 +404,9 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
       out.weighted_sum += weight(i) * true_values[si];
     }
     out.responses = num_sites_;
+    DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kPollEnd, epoch_,
+                  obs::TraceRecorder::kCoordinator, out.responses,
+                  poll_timer.ElapsedUs());
     return out;
   }
 
@@ -370,10 +421,12 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
         stats_.backoff_ticks +=
             static_cast<int64_t>(spec_.retry.backoff_base_ticks)
             << (attempt - 2);
+        DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kRetransmission, epoch_,
+                      i, attempt);
       }
       // Request leg. A delayed request misses the epoch deadline, so delay
       // counts as a timeout for the round trip.
-      counter_->Count(MessageType::kPollRequest);
+      Charge(MessageType::kPollRequest);
       ++stats_.transmissions;
       if (partitioned_ || !SiteUp(i)) {
         ++stats_.blackholed;
@@ -384,7 +437,7 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
         continue;
       }
       // Response leg.
-      counter_->Count(MessageType::kPollResponse);
+      Charge(MessageType::kPollResponse);
       ++stats_.transmissions;
       if (Lose(i) || (spec_.delay > 0.0 && rng_.Bernoulli(spec_.delay))) {
         ++stats_.dropped;
@@ -400,6 +453,7 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
     } else {
       ++out.timeouts;
       ++stats_.timed_out_polls;
+      DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kDegraded, epoch_, i);
       int64_t fallback =
           si < pessimistic.size() ? pessimistic[si] : int64_t{0};
       if (spec_.degrade == DegradeMode::kLastKnown && has_last_known_[si]) {
@@ -414,6 +468,9 @@ PollOutcome Channel::PollSites(const std::vector<int64_t>& true_values,
     out.degraded = true;
     ++stats_.degraded_decisions;
   }
+  DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kPollEnd, epoch_,
+                obs::TraceRecorder::kCoordinator, out.responses,
+                poll_timer.ElapsedUs());
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 #include "sim/message.h"
 
 namespace dcv {
@@ -116,6 +117,12 @@ struct ChannelStats {
   int64_t resyncs = 0;            ///< State re-syncs after site recovery.
 
   std::string ToString() const;
+
+  /// JSON object with every field (zeros included) in declaration order,
+  /// e.g. {"transmissions":12,...,"resyncs":0} — merged into the unified
+  /// metrics export (SimResult::ToJson) so reliability counters live next
+  /// to the message and detection counters instead of in a parallel struct.
+  std::string ToJson() const;
 };
 
 /// Field-wise difference, for per-segment reporting.
@@ -155,6 +162,14 @@ class Channel {
 
   /// Validates the spec and binds the counter every transmission charges.
   Status Init(int num_sites, MessageCounter* counter);
+
+  /// Attaches observability sinks (either may be null). The channel then
+  /// records crash/recovery, retransmission, give-up, poll and degradation
+  /// trace events and mirrors wire traffic into `metrics` counters
+  /// ("channel/msg/<type>"). Detached (the default) the instrumentation is
+  /// a null-pointer branch per event — the perfect-channel fast path stays
+  /// allocation-free.
+  void SetObserver(obs::MetricsRegistry* metrics, obs::TraceRecorder* recorder);
 
   /// Advances simulated time: applies the crash/recovery schedule and
   /// partition windows, and moves due delayed messages into the arrival
@@ -211,7 +226,11 @@ class Channel {
 
   /// Charges nothing; bumps the resync stat (schemes call this when they
   /// push recovery state to a rejoined site).
-  void CountResync(int64_t n = 1) { stats_.resyncs += n; }
+  void CountResync(int64_t n = 1) {
+    stats_.resyncs += n;
+    DCV_OBS_EVENT(recorder_, obs::TraceEventKind::kResync, epoch_,
+                  obs::TraceRecorder::kCoordinator, n);
+  }
 
   const ChannelStats& stats() const { return stats_; }
   const FaultSpec& spec() const { return spec_; }
@@ -231,6 +250,13 @@ class Channel {
 
   double LossFor(int site) const;
   bool Lose(int site);
+
+  /// Charges `n` wire messages of `type` to the MessageCounter and, when an
+  /// observer is attached, to the mirrored registry counter.
+  void Charge(MessageType type, int64_t n = 1) {
+    counter_->Count(type, n);
+    DCV_OBS_COUNT(msg_counters_[static_cast<size_t>(type)], n);
+  }
   /// One-way transmission fate shared by both directions. Charges the
   /// counter; returns kDelivered/kDelayed/kLost. `receiver_up` covers the
   /// crashed-receiver black hole.
@@ -254,6 +280,13 @@ class Channel {
   std::vector<int64_t> last_known_;
   std::vector<char> has_last_known_;
   ChannelStats stats_;
+
+  /// Observability (all null when detached). msg_counters_ caches one
+  /// registry counter per MessageType so charging a message is one relaxed
+  /// atomic add, with no name lookup on the hot path.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* recorder_ = nullptr;
+  std::array<obs::Counter*, kNumMessageTypes> msg_counters_{};
 };
 
 }  // namespace dcv

@@ -54,6 +54,8 @@ Result<EpochResult> GeometricScheme::OnEpoch(
     }
     if (values[si] > site_thresholds_[si]) {
       ++result.num_alarms;
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kLocalAlarm,
+                    ch.epoch(), i, values[si]);
       SendStatus s =
           ch.SendFromSite(i, MessageType::kAlarm, /*reliable=*/true);
       if (s == SendStatus::kDelivered) {
@@ -99,8 +101,13 @@ Result<EpochResult> GeometricScheme::OnEpoch(
         ch.SendToSite(i, MessageType::kThresholdUpdate, /*reliable=*/true);
     if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
       site_thresholds_[si] = thresholds_[si];
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kThresholdUpdate,
+                    ch.epoch(), i, thresholds_[si]);
     }
   }
+  DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kThresholdRecompute,
+                ch.epoch(), obs::TraceRecorder::kCoordinator,
+                static_cast<int64_t>(ctx_.num_sites));
   return result;
 }
 

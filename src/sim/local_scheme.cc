@@ -42,6 +42,7 @@ Status LocalThresholdScheme::Initialize(const SimContext& ctx) {
   }
   ctx_ = ctx;
   DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
+  options_.solver->set_metrics(ctx_.metrics);
 
   models_.clear();
   detectors_.clear();
@@ -81,6 +82,8 @@ void LocalThresholdScheme::PushThresholds(const std::vector<int>& sites) {
     if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
       site_thresholds_[static_cast<size_t>(i)] =
           thresholds_[static_cast<size_t>(i)];
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kThresholdUpdate,
+                    channel_->epoch(), i, thresholds_[static_cast<size_t>(i)]);
     }
   }
 }
@@ -105,6 +108,9 @@ Result<std::unique_ptr<DistributionModel>> LocalThresholdScheme::BuildModel(
 }
 
 Status LocalThresholdScheme::RecomputeThresholds() {
+  obs::ScopedTimer timer(ctx_.metrics != nullptr
+                             ? ctx_.metrics->histogram("scheme/recompute_us")
+                             : nullptr);
   ThresholdProblem problem;
   problem.budget = static_cast<int64_t>(
       options_.budget_discount *
@@ -117,6 +123,10 @@ Status LocalThresholdScheme::RecomputeThresholds() {
   DCV_ASSIGN_OR_RETURN(ThresholdSolution solution,
                        options_.solver->Solve(problem));
   thresholds_ = std::move(solution.thresholds);
+  DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kThresholdRecompute,
+                channel_ != nullptr ? channel_->epoch() : 0,
+                obs::TraceRecorder::kCoordinator,
+                static_cast<int64_t>(thresholds_.size()), timer.ElapsedUs());
   return OkStatus();
 }
 
@@ -163,6 +173,8 @@ Result<EpochResult> LocalThresholdScheme::OnEpoch(
     if (!tracking) {
       if (values[si] > site_thresholds_[si]) {
         ++result.num_alarms;
+        DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kLocalAlarm,
+                      ch.epoch(), i, values[si]);
         SendStatus s = ch.SendFromSite(i, MessageType::kAlarm,
                                        /*reliable=*/true, values[si]);
         if (s == SendStatus::kDelivered) {
@@ -181,25 +193,35 @@ Result<EpochResult> LocalThresholdScheme::OnEpoch(
         // a filter installation ack. The filter is only considered
         // installed when the alarm actually reached the coordinator.
         ++result.num_alarms;
+        DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kLocalAlarm,
+                      ch.epoch(), i, values[si]);
         SendStatus s = ch.SendFromSite(i, MessageType::kAlarm,
                                        /*reliable=*/true, values[si]);
         if (s == SendStatus::kDelivered) {
           ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
           track_center_[si] = values[si];
+          DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kFilterUpdate,
+                        ch.epoch(), i, values[si]);
         }
       } else if (above) {
         if (std::llabs(values[si] - track_center_[si]) > w) {
           // Filter breach while tracked: report + recenter ack.
+          DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kFilterReport,
+                        ch.epoch(), i, values[si]);
           SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
                                          /*reliable=*/true, values[si]);
           if (s == SendStatus::kDelivered) {
             ch.SendToSite(i, MessageType::kFilterUpdate, /*reliable=*/true);
             track_center_[si] = values[si];
+            DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kFilterUpdate,
+                          ch.epoch(), i, values[si]);
           }
         }
       } else if (track_center_[si] >= 0) {
         // Back below the threshold: all-clear, filter dismantled (the
         // coordinator keeps tracking until the all-clear arrives).
+        DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kFilterReport,
+                      ch.epoch(), i, values[si]);
         SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
                                        /*reliable=*/true, values[si]);
         if (s == SendStatus::kDelivered) {

@@ -25,6 +25,7 @@ Status MultiLevelScheme::Initialize(const SimContext& ctx) {
   }
   ctx_ = ctx;
   DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
+  options_.solver->set_metrics(ctx_.metrics);
 
   // Build training models and solve for the certified top rungs T_i.
   std::vector<EquiDepthHistogram> models;
@@ -153,7 +154,11 @@ Result<EpochResult> MultiLevelScheme::OnEpoch(
       // traffic, not an alarm.
       if (reported_band_[si] != -1) {
         ++result.num_alarms;
+        DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kLocalAlarm,
+                      ch.epoch(), i, values[si]);
       }
+      DCV_OBS_EVENT(ctx_.recorder, obs::TraceEventKind::kBandChange,
+                    ch.epoch(), i, b);
       SendStatus s = ch.SendFromSite(i, MessageType::kFilterReport,
                                      /*reliable=*/true, b);
       if (s == SendStatus::kDelivered) {

@@ -12,6 +12,9 @@ Status PollingScheme::Initialize(const SimContext& ctx) {
   ctx_ = ctx;
   DCV_ASSIGN_OR_RETURN(channel_, EnsureChannel(&ctx_, &owned_channel_));
   tick_ = 0;
+  periodic_polls_ = ctx_.metrics != nullptr
+                        ? ctx_.metrics->counter("scheme/periodic_polls")
+                        : nullptr;
   return OkStatus();
 }
 
@@ -27,6 +30,7 @@ Result<EpochResult> PollingScheme::OnEpoch(
   // Periodic poll with a per-epoch deadline; unreachable sites are
   // resolved by the channel's degradation policy (this scheme has no local
   // thresholds, so its only pessimistic fallback is the last-known table).
+  DCV_OBS_COUNT(periodic_polls_, 1);
   PollOutcome poll = channel_->PollSites(values, ctx_.weights,
                                          /*pessimistic=*/{});
   result.polled = true;

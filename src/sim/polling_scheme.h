@@ -30,6 +30,7 @@ class PollingScheme : public DetectionScheme {
   SimContext ctx_;
   Channel* channel_ = nullptr;
   std::unique_ptr<Channel> owned_channel_;
+  obs::Counter* periodic_polls_ = nullptr;  ///< Cached; null = metrics off.
 };
 
 }  // namespace dcv

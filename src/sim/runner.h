@@ -32,6 +32,16 @@ struct SimOptions {
   /// is the perfect network, under which every scheme's message counts and
   /// detections are bit-identical to the pre-channel protocol.
   FaultSpec faults;
+
+  /// Optional observability sinks (both default null = observation off).
+  /// When `metrics` is set the runner, channel, and scheme mirror their
+  /// tallies into registry counters/histograms and each SimResult carries a
+  /// per-segment MetricsSnapshot delta. When `recorder` is set, typed
+  /// per-epoch trace events are captured for JSONL / Chrome-trace export.
+  /// Attaching observers never changes protocol behavior: same messages,
+  /// same detections, bit for bit.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* recorder = nullptr;
 };
 
 /// Aggregate outcome of a run. `messages` is the paper's §6.2 metric
@@ -56,12 +66,21 @@ struct SimResult {
   /// latency (detection latency of delayed alarms, in epochs), and more.
   ChannelStats reliability;
 
+  /// Per-segment delta of every registered metric (counters, gauges,
+  /// histograms). Empty unless SimOptions::metrics was attached.
+  obs::MetricsSnapshot metrics;
+
   /// messages.total() averaged per epoch.
   double MessagesPerEpoch() const {
     return epochs > 0 ? static_cast<double>(messages.total()) /
                             static_cast<double>(epochs)
                       : 0.0;
   }
+
+  /// The unified telemetry export: one JSON object combining the per-type
+  /// message counts, the detection tallies, ChannelStats::ToJson, and (when
+  /// a registry was attached) MetricsSnapshot::ToJson under "metrics".
+  std::string ToJson() const;
 };
 
 /// Replays `eval` through `scheme` and tallies messages and detection

@@ -29,6 +29,13 @@ struct SimContext {
   /// may leave it null, in which case the scheme falls back to an owned
   /// perfect channel via EnsureChannel.
   Channel* channel = nullptr;
+
+  /// Optional observability sinks (both default null = observation off).
+  /// Schemes record per-epoch trace events (local alarms, recomputes, band
+  /// changes, ...) and registry counters through these; every record site
+  /// goes through the DCV_OBS_* macros so a detached run costs one branch.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* recorder = nullptr;
 };
 
 /// Returns ctx->channel, creating and installing a perfect owned channel

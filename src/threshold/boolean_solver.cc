@@ -98,6 +98,12 @@ bool BoundsCover(const std::vector<Clause>& clauses,
 Result<BooleanSolution> BooleanThresholdSolver::Solve(
     const CnfConstraint& cnf,
     const std::vector<const DistributionModel*>& models) const {
+  obs::ScopedTimer timer(metrics_ != nullptr
+                             ? metrics_->histogram("solver/boolean/solve_us")
+                             : nullptr);
+  obs::Counter* subproblems =
+      metrics_ != nullptr ? metrics_->counter("solver/boolean/subproblems")
+                          : nullptr;
   const size_t n = models.size();
   for (size_t v = 0; v < n; ++v) {
     if (models[v] == nullptr) {
@@ -158,6 +164,7 @@ Result<BooleanSolution> BooleanThresholdSolver::Solve(
       }
       DCV_ASSIGN_OR_RETURN(ThresholdProblem problem,
                            MakeProblem(ineq, models));
+      DCV_OBS_COUNT(subproblems, 1);
       DCV_ASSIGN_OR_RETURN(ThresholdSolution sol, base_->Solve(problem));
       if (!have_choice || sol.log_probability > best_log_prob) {
         have_choice = true;
@@ -191,8 +198,12 @@ Result<BooleanSolution> BooleanThresholdSolver::Solve(
   }
 
   // §5.3/5.4 lift: widen bounds while the covering check still passes.
+  obs::Counter* lift_rounds =
+      metrics_ != nullptr ? metrics_->counter("solver/boolean/lift_rounds")
+                          : nullptr;
   for (int round = 0; round < options_.lift_rounds; ++round) {
     bool changed = false;
+    DCV_OBS_COUNT(lift_rounds, 1);
     for (size_t v = 0; v < n; ++v) {
       // Widen hi by binary search over the largest feasible value.
       if (out.bounds[v].hi < domain_max[v] && !out.bounds[v].empty()) {

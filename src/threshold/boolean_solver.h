@@ -87,9 +87,18 @@ class BooleanThresholdSolver {
       const CnfConstraint& cnf,
       const std::vector<const DistributionModel*>& models) const;
 
+  /// Attaches a metrics registry to this solver AND its base solver (null
+  /// detaches both). Solve then records wall time, per-disjunct subproblem
+  /// counts, and lift rounds under "solver/boolean/...".
+  void set_metrics(obs::MetricsRegistry* metrics) const {
+    metrics_ = metrics;
+    base_->set_metrics(metrics);
+  }
+
  private:
   const ThresholdSolver* base_;
   Options options_;
+  mutable obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dcv

@@ -8,6 +8,9 @@ namespace dcv {
 
 Result<ThresholdSolution> ExactDpSolver::Solve(
     const ThresholdProblem& problem) const {
+  obs::ScopedTimer timer(
+      metrics_ != nullptr ? metrics_->histogram("solver/exact_dp/solve_us")
+                          : nullptr);
   DCV_RETURN_IF_ERROR(ValidateProblem(problem));
   const size_t n = problem.vars.size();
   if (n == 0) {
@@ -20,6 +23,11 @@ Result<ThresholdSolution> ExactDpSolver::Solve(
         "exact DP table would need " +
         std::to_string(static_cast<int64_t>(n) * width) +
         " cells; budget too large for the pseudo-polynomial algorithm");
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("solver/exact_dp/solves")->Increment();
+    metrics_->counter("solver/exact_dp/table_cells")
+        ->Increment(static_cast<int64_t>(n) * width);
   }
 
   // prev[S] = best log product over the first i variables using weight <= S.

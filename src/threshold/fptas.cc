@@ -72,6 +72,9 @@ class LevelGenerator {
 
 Result<ThresholdSolution> FptasSolver::SolveWithStats(
     const ThresholdProblem& problem, Stats* stats) const {
+  obs::ScopedTimer timer(metrics_ != nullptr
+                             ? metrics_->histogram("solver/fptas/solve_us")
+                             : nullptr);
   DCV_RETURN_IF_ERROR(ValidateProblem(problem));
   if (options_.eps <= 0.0) {
     return InvalidArgumentError("FPTAS eps must be positive");
@@ -145,6 +148,15 @@ Result<ThresholdSolution> FptasSolver::SolveWithStats(
   stats->total_levels = static_cast<int64_t>(dp[1].size()) - 1;
   stats->dp_cells = static_cast<int64_t>(n) *
                     static_cast<int64_t>(dp[1].size());
+  if (metrics_ != nullptr) {
+    metrics_->counter("solver/fptas/solves")->Increment();
+    metrics_->counter("solver/fptas/dp_cells")->Increment(stats->dp_cells);
+    metrics_->counter("solver/fptas/levels")->Increment(stats->useful_levels);
+    // Size of the rounding grid (explored deficit columns) of the most
+    // recent solve — the quantity the 1/eps term of the FPTAS bound scales.
+    metrics_->gauge("solver/fptas/rounding_grid")
+        ->Set(static_cast<double>(stats->total_levels));
+  }
 
   if (p_star < 0) {
     if (cell_cap < natural_cap) {

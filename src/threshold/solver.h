@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/obs.h"
 #include "threshold/cdf_view.h"
 
 namespace dcv {
@@ -72,6 +73,16 @@ class ThresholdSolver {
   /// return solutions satisfying the budget (covering property).
   virtual Result<ThresholdSolution> Solve(
       const ThresholdProblem& problem) const = 0;
+
+  /// Attaches a metrics registry (null detaches). Instrumented solvers
+  /// record wall time and problem-size counters under "solver/<name>/..."
+  /// on every Solve. Const (with a mutable member) because schemes hold
+  /// `const ThresholdSolver*` yet must be able to wire observability
+  /// through at Initialize time; attaching never changes results.
+  void set_metrics(obs::MetricsRegistry* metrics) const { metrics_ = metrics; }
+
+ protected:
+  mutable obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The budget-respecting fallback shared by solvers when no positive-

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace dcv {
+namespace {
+
+// Restores the process-wide log level after each test so the suite does not
+// leak state into other test binaries' expectations.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+constexpr LogLevel kAllLevels[] = {LogLevel::kDebug, LogLevel::kInfo,
+                                   LogLevel::kWarning, LogLevel::kError,
+                                   LogLevel::kFatal};
+
+TEST_F(LoggingTest, EnabledIffSeverityAtLeastLevel) {
+  // Full matrix: the boundary is inclusive (severity == level is emitted).
+  for (LogLevel level : kAllLevels) {
+    SetLogLevel(level);
+    for (LogLevel severity : kAllLevels) {
+      EXPECT_EQ(LogLevelEnabled(severity),
+                static_cast<int>(severity) >= static_cast<int>(level))
+          << "level=" << static_cast<int>(level)
+          << " severity=" << static_cast<int>(severity);
+    }
+  }
+}
+
+TEST_F(LoggingTest, DebugVisibleAtDebugLevel) {
+  // Regression for the kDebug boundary: DEBUG must be emitted when the
+  // level is exactly kDebug, not only at some level below it.
+  SetLogLevel(LogLevel::kDebug);
+  ScopedLogCapture capture;
+  DCV_LOG(DEBUG) << "dbg";
+  ASSERT_EQ(capture.entries().size(), 1u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kDebug);
+  EXPECT_EQ(capture.entries()[0].message, "dbg");
+}
+
+TEST_F(LoggingTest, EverySeverityEmitsAtDebugLevel) {
+  SetLogLevel(LogLevel::kDebug);
+  ScopedLogCapture capture;
+  DCV_LOG(DEBUG) << "d";
+  DCV_LOG(INFO) << "i";
+  DCV_LOG(WARNING) << "w";
+  DCV_LOG(ERROR) << "e";
+  // kFatal aborts and is covered by the death test below.
+  ASSERT_EQ(capture.entries().size(), 4u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kDebug);
+  EXPECT_EQ(capture.entries()[1].level, LogLevel::kInfo);
+  EXPECT_EQ(capture.entries()[2].level, LogLevel::kWarning);
+  EXPECT_EQ(capture.entries()[3].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, BelowLevelMessagesAreSuppressed) {
+  SetLogLevel(LogLevel::kError);
+  ScopedLogCapture capture;
+  DCV_LOG(DEBUG) << "d";
+  DCV_LOG(INFO) << "i";
+  DCV_LOG(WARNING) << "w";
+  DCV_LOG(ERROR) << "e";
+  ASSERT_EQ(capture.entries().size(), 1u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kError);
+  EXPECT_EQ(capture.entries()[0].message, "e");
+}
+
+TEST_F(LoggingTest, SuppressedArgumentsAreNotEvaluated) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  DCV_LOG(DEBUG) << expensive();
+  DCV_LOG(INFO) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  DCV_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, FatalAborts) {
+  SetLogLevel(LogLevel::kFatal);
+  EXPECT_DEATH({ DCV_LOG(FATAL) << "boom"; }, "boom");
+}
+
+TEST_F(LoggingTest, CheckPassesAndFails) {
+  DCV_CHECK(1 + 1 == 2) << "never shown";
+  EXPECT_DEATH({ DCV_CHECK(false) << "detail"; },
+               "Check failed: false detail");
+}
+
+}  // namespace
+}  // namespace dcv

@@ -1,0 +1,235 @@
+// End-to-end observability checks: attaching a MetricsRegistry and a
+// TraceRecorder to a run must (a) mirror the SimResult tallies exactly and
+// (b) never change protocol behavior — same messages, same detections, bit
+// for bit, for every scheme.
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "constraints/parser.h"
+#include "obs/obs.h"
+#include "sim/adaptive_filter_scheme.h"
+#include "sim/boolean_scheme.h"
+#include "sim/geometric_scheme.h"
+#include "sim/local_scheme.h"
+#include "sim/multilevel_scheme.h"
+#include "sim/polling_scheme.h"
+#include "sim/runner.h"
+#include "threshold/fptas.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+  int64_t threshold = 0;
+};
+
+Workload MakeWorkload(uint64_t seed, int num_sites = 4,
+                      int64_t train_epochs = 600, int64_t eval_epochs = 600,
+                      double overflow_fraction = 0.03) {
+  SyntheticTraceOptions options;
+  options.num_sites = num_sites;
+  options.num_epochs = train_epochs + eval_epochs;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.8;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, train_epochs);
+  w.eval = *trace->Slice(train_epochs, train_epochs + eval_epochs);
+  auto t = ThresholdForOverflowFraction(w.eval, {}, overflow_fraction);
+  EXPECT_TRUE(t.ok());
+  w.threshold = *t;
+  return w;
+}
+
+std::map<obs::TraceEventKind, int64_t> CountByKind(
+    const obs::TraceRecorder& rec) {
+  std::map<obs::TraceEventKind, int64_t> counts;
+  for (const obs::TraceEvent& e : rec.Events()) {
+    ++counts[e.kind];
+  }
+  return counts;
+}
+
+TEST(ObsIntegrationTest, TraceEventCountsMatchSimResultTallies) {
+  Workload w = MakeWorkload(11);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  sim.metrics = &registry;
+  sim.recorder = &recorder;
+
+  auto result = RunSimulation(&scheme, sim, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->total_alarms, 0) << "workload produced no activity";
+  ASSERT_GT(result->true_violations, 0);
+  EXPECT_EQ(recorder.dropped(), 0);
+
+  auto kinds = CountByKind(recorder);
+  EXPECT_EQ(kinds[obs::TraceEventKind::kLocalAlarm], result->total_alarms);
+  EXPECT_EQ(kinds[obs::TraceEventKind::kPollStart], result->polled_epochs);
+  EXPECT_EQ(kinds[obs::TraceEventKind::kPollEnd], result->polled_epochs);
+  EXPECT_EQ(kinds[obs::TraceEventKind::kViolation], result->true_violations);
+  // Initial thresholds install out of band (one recompute, no pushes), and
+  // without change detection or faults nothing is pushed later.
+  EXPECT_EQ(kinds[obs::TraceEventKind::kThresholdRecompute], 1);
+  EXPECT_EQ(kinds[obs::TraceEventKind::kThresholdUpdate], 0);
+
+  // Registry counters mirror the same tallies...
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("sim/epochs"), result->epochs);
+  EXPECT_EQ(snap.counters.at("sim/alarms"), result->total_alarms);
+  EXPECT_EQ(snap.counters.at("sim/polled_epochs"), result->polled_epochs);
+  EXPECT_EQ(snap.counters.at("sim/true_violations"), result->true_violations);
+  EXPECT_EQ(snap.counters.at("sim/detected_violations"),
+            result->detected_violations);
+  EXPECT_EQ(snap.counters.at("channel/msg/alarm"),
+            result->messages.of(MessageType::kAlarm));
+  EXPECT_EQ(snap.counters.at("channel/msg/poll_request"),
+            result->messages.of(MessageType::kPollRequest));
+  EXPECT_EQ(snap.counters.at("channel/msg/poll_response"),
+            result->messages.of(MessageType::kPollResponse));
+  // ...and solver instrumentation fired.
+  EXPECT_EQ(snap.counters.at("solver/fptas/solves"), 1);
+  EXPECT_GT(snap.counters.at("solver/fptas/dp_cells"), 0);
+  EXPECT_EQ(snap.histograms.at("solver/fptas/solve_us").count, 1);
+  EXPECT_EQ(snap.histograms.at("channel/poll_us").count,
+            result->polled_epochs);
+
+  // The single-segment result carries the full snapshot delta.
+  EXPECT_EQ(result->metrics.counters.at("sim/alarms"), result->total_alarms);
+
+  // Unified JSON export includes all three sections.
+  std::string json = result->ToJson();
+  EXPECT_NE(json.find("\"messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"detection\""), std::string::npos);
+  EXPECT_NE(json.find("\"reliability\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim/alarms\""), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, SegmentMetricsDeltasSumToWholeRun) {
+  Workload w = MakeWorkload(12);
+  FptasSolver solver(0.05);
+  LocalThresholdScheme::Options options;
+  options.solver = &solver;
+  LocalThresholdScheme scheme(options);
+
+  obs::MetricsRegistry registry;
+  SimOptions sim;
+  sim.global_threshold = w.threshold;
+  sim.metrics = &registry;
+
+  auto segments =
+      RunSimulationSegments(&scheme, sim, w.training, w.eval, 200);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 3u);
+  int64_t alarm_delta_sum = 0;
+  int64_t epoch_delta_sum = 0;
+  for (const SimResult& seg : *segments) {
+    alarm_delta_sum += seg.metrics.counters.at("sim/alarms");
+    epoch_delta_sum += seg.metrics.counters.at("sim/epochs");
+    EXPECT_EQ(seg.metrics.counters.at("sim/alarms"), seg.total_alarms);
+    EXPECT_EQ(seg.metrics.counters.at("sim/epochs"), seg.epochs);
+  }
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("sim/alarms"), alarm_delta_sum);
+  EXPECT_EQ(snap.counters.at("sim/epochs"), epoch_delta_sum);
+  EXPECT_EQ(epoch_delta_sum, w.eval.num_epochs());
+}
+
+// Runs `make_scheme()` twice — observed and unobserved — and requires
+// bit-identical protocol outcomes.
+void ExpectObserversAreInert(
+    const std::function<std::unique_ptr<DetectionScheme>()>& make_scheme,
+    const Workload& w) {
+  SimOptions plain;
+  plain.global_threshold = w.threshold;
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  SimOptions observed = plain;
+  observed.metrics = &registry;
+  observed.recorder = &recorder;
+
+  auto scheme_a = make_scheme();
+  auto scheme_b = make_scheme();
+  auto a = RunSimulation(scheme_a.get(), plain, w.training, w.eval);
+  auto b = RunSimulation(scheme_b.get(), observed, w.training, w.eval);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  SCOPED_TRACE(a->scheme_name);
+  for (int m = 0; m < kNumMessageTypes; ++m) {
+    MessageType type = static_cast<MessageType>(m);
+    EXPECT_EQ(a->messages.of(type), b->messages.of(type))
+        << MessageTypeName(type);
+  }
+  EXPECT_EQ(a->epochs, b->epochs);
+  EXPECT_EQ(a->alarm_epochs, b->alarm_epochs);
+  EXPECT_EQ(a->total_alarms, b->total_alarms);
+  EXPECT_EQ(a->polled_epochs, b->polled_epochs);
+  EXPECT_EQ(a->true_violations, b->true_violations);
+  EXPECT_EQ(a->detected_violations, b->detected_violations);
+  EXPECT_EQ(a->missed_violations, b->missed_violations);
+  EXPECT_EQ(a->false_alarm_epochs, b->false_alarm_epochs);
+  EXPECT_GT(b->messages.total(), 0) << "inertness check needs traffic";
+}
+
+TEST(ObsIntegrationTest, ObserversDoNotChangeProtocolForAnyScheme) {
+  Workload w = MakeWorkload(13);
+  FptasSolver solver(0.05);
+
+  ExpectObserversAreInert(
+      [&] {
+        LocalThresholdScheme::Options o;
+        o.solver = &solver;
+        return std::make_unique<LocalThresholdScheme>(o);
+      },
+      w);
+  ExpectObserversAreInert([] { return std::make_unique<GeometricScheme>(); },
+                          w);
+  ExpectObserversAreInert([] { return std::make_unique<PollingScheme>(7); },
+                          w);
+  ExpectObserversAreInert(
+      [] { return std::make_unique<AdaptiveFilterScheme>(); }, w);
+  ExpectObserversAreInert(
+      [&] {
+        MultiLevelScheme::Options o;
+        o.solver = &solver;
+        return std::make_unique<MultiLevelScheme>(o);
+      },
+      w);
+
+  auto constraint = ParseConstraintWithVars(
+      "s0 + s1 + s2 + s3 <= " + std::to_string(w.threshold),
+      {"s0", "s1", "s2", "s3"});
+  ASSERT_TRUE(constraint.ok()) << constraint.status();
+  ExpectObserversAreInert(
+      [&] {
+        BooleanLocalScheme::Options o;
+        o.solver = &solver;
+        return std::make_unique<BooleanLocalScheme>(*constraint, o);
+      },
+      w);
+}
+
+}  // namespace
+}  // namespace dcv

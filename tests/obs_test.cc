@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace dcv::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetAndReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.Set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({10.0, 20.0, 30.0});
+  // Exactly on a bound lands in that bound's bucket (inclusive).
+  h.Observe(10.0);
+  h.Observe(10.5);  // > 10 -> second bucket.
+  h.Observe(20.0);
+  h.Observe(30.0);
+  h.Observe(30.0001);  // Above the last bound -> overflow bucket.
+  h.Observe(-5.0);     // Below everything -> first bucket.
+  HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 finite buckets + overflow.
+  EXPECT_EQ(s.counts[0], 2);       // -5, 10.
+  EXPECT_EQ(s.counts[1], 2);       // 10.5, 20.
+  EXPECT_EQ(s.counts[2], 1);       // 30.
+  EXPECT_EQ(s.counts[3], 1);       // 30.0001.
+  EXPECT_EQ(s.count, 6);
+  EXPECT_DOUBLE_EQ(s.min, -5.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0001);
+}
+
+TEST(HistogramTest, SumMinMaxMean) {
+  Histogram h({100.0});
+  h.Observe(10.0);
+  h.Observe(30.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  h.Reset();
+  s = h.Snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  std::vector<double> b = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x");
+  Counter* b = reg.counter("x");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(reg.counter("x")->value(), 3);
+  EXPECT_NE(reg.counter("y"), a);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.counter("m"), nullptr);
+  EXPECT_EQ(reg.gauge("m"), nullptr);
+  EXPECT_EQ(reg.histogram("m"), nullptr);
+  ASSERT_NE(reg.histogram("h"), nullptr);
+  EXPECT_EQ(reg.counter("h"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotAndReset) {
+  MetricsRegistry reg;
+  reg.counter("c")->Increment(7);
+  reg.gauge("g")->Set(1.25);
+  reg.histogram("h", {10.0})->Observe(3.0);
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.counters.at("c"), 7);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 1.25);
+  EXPECT_EQ(s.histograms.at("h").count, 1);
+  reg.Reset();
+  s = reg.Snapshot();
+  EXPECT_EQ(s.counters.at("c"), 0);
+  EXPECT_DOUBLE_EQ(s.gauges.at("g"), 0.0);
+  EXPECT_EQ(s.histograms.at("h").count, 0);
+}
+
+TEST(RegistryTest, DiffSinceSubtractsCountersAndHistograms) {
+  MetricsRegistry reg;
+  reg.counter("c")->Increment(5);
+  reg.histogram("h", {10.0})->Observe(2.0);
+  MetricsSnapshot base = reg.Snapshot();
+  reg.counter("c")->Increment(3);
+  reg.gauge("g")->Set(9.0);
+  reg.histogram("h")->Observe(4.0);
+  MetricsSnapshot diff = reg.Snapshot().DiffSince(base);
+  EXPECT_EQ(diff.counters.at("c"), 3);
+  EXPECT_DOUBLE_EQ(diff.gauges.at("g"), 9.0);  // Gauges keep current value.
+  EXPECT_EQ(diff.histograms.at("h").count, 1);
+  EXPECT_DOUBLE_EQ(diff.histograms.at("h").sum, 4.0);
+}
+
+TEST(RegistryTest, ConcurrencySmoke) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("shared");
+      Histogram* h = reg.histogram("lat", {1.0, 10.0, 100.0});
+      for (int i = 0; i < kIters; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.counters.at("shared"), kThreads * kIters);
+  EXPECT_EQ(s.histograms.at("lat").count, kThreads * kIters);
+  int64_t bucket_total = 0;
+  for (int64_t n : s.histograms.at("lat").counts) {
+    bucket_total += n;
+  }
+  EXPECT_EQ(bucket_total, kThreads * kIters);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsInert) {
+  ScopedTimer t(nullptr);
+  EXPECT_EQ(t.ElapsedUs(), 0);
+}
+
+TEST(ScopedTimerTest, RecordsOneObservation) {
+  Histogram h({1e9});
+  {
+    ScopedTimer t(&h);
+    EXPECT_GE(t.ElapsedUs(), 0);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1);
+}
+
+TEST(SnapshotJsonTest, DeterministicSortedExport) {
+  MetricsRegistry reg;
+  reg.counter("b")->Increment(2);
+  reg.counter("a")->Increment(1);
+  reg.gauge("g")->Set(0.5);
+  std::string json = reg.Snapshot().ToJson();
+  // Map-keyed snapshot => keys in sorted order, independent of creation.
+  EXPECT_NE(json.find("\"counters\":{\"a\":1,\"b\":2}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g\":0.5"), std::string::npos) << json;
+}
+
+TEST(JsonWriterTest, EscapingAndDoubles) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonDouble(3.0), "3");
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  // Non-finite values are not valid JSON; exported as 0.
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonWriterTest, CommaPlacementAndRaw) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Value(int64_t{1});
+  w.Key("b").BeginArray().Value(int64_t{2}).Value(true).EndArray();
+  w.Key("c").Raw("{\"pre\":0}");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2,true],\"c\":{\"pre\":0}}");
+}
+
+}  // namespace
+}  // namespace dcv::obs

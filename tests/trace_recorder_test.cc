@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+
+namespace dcv::obs {
+namespace {
+
+TEST(TraceRecorderTest, RecordsEventsInOrder) {
+  TraceRecorder rec;
+  rec.Record(TraceEventKind::kLocalAlarm, 5, 2, 97);
+  rec.Record(TraceEventKind::kPollStart, 5);
+  rec.Record(TraceEventKind::kPollEnd, 5, TraceRecorder::kCoordinator, 3, 12);
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kLocalAlarm);
+  EXPECT_EQ(events[0].epoch, 5);
+  EXPECT_EQ(events[0].site, 2);
+  EXPECT_EQ(events[0].value, 97);
+  EXPECT_EQ(events[1].site, TraceRecorder::kCoordinator);
+  EXPECT_EQ(events[2].value, 3);
+  EXPECT_EQ(events[2].duration_us, 12);
+  EXPECT_EQ(rec.dropped(), 0);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder rec(/*capacity=*/3);
+  for (int64_t e = 0; e < 5; ++e) {
+    rec.Record(TraceEventKind::kLocalAlarm, e, 0, e);
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2);
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first: epochs 2, 3, 4 survive.
+  EXPECT_EQ(events[0].epoch, 2);
+  EXPECT_EQ(events[1].epoch, 3);
+  EXPECT_EQ(events[2].epoch, 4);
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  TraceRecorder rec(/*capacity=*/2);
+  rec.Record(TraceEventKind::kCrash, 1, 0);
+  rec.Record(TraceEventKind::kRecovery, 2, 0);
+  rec.Record(TraceEventKind::kResync, 3, 0);
+  EXPECT_EQ(rec.dropped(), 1);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0);
+  EXPECT_TRUE(rec.Events().empty());
+  rec.Record(TraceEventKind::kViolation, 9);
+  ASSERT_EQ(rec.Events().size(), 1u);
+  EXPECT_EQ(rec.Events()[0].epoch, 9);
+}
+
+TEST(TraceRecorderTest, KindNamesAreStable) {
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kLocalAlarm), "local_alarm");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kThresholdRecompute),
+            "threshold_recompute");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kViolation), "violation");
+}
+
+TEST(TraceRecorderTest, JsonlGolden) {
+  TraceRecorder rec;
+  rec.Record(TraceEventKind::kLocalAlarm, 12, 3, 97);
+  rec.Record(TraceEventKind::kPollEnd, 12, TraceRecorder::kCoordinator, 4, 38);
+  EXPECT_EQ(rec.ToJsonl(),
+            "{\"kind\":\"local_alarm\",\"epoch\":12,\"site\":3,\"value\":97}\n"
+            "{\"kind\":\"poll_end\",\"epoch\":12,\"site\":-1,\"value\":4,"
+            "\"duration_us\":38}\n");
+}
+
+TEST(TraceRecorderTest, ChromeTraceGolden) {
+  TraceRecorder rec;
+  rec.DeclareSites(1);
+  rec.Record(TraceEventKind::kLocalAlarm, 2, 0, 7);
+  rec.Record(TraceEventKind::kThresholdRecompute, 3,
+             TraceRecorder::kCoordinator, 1, 50);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      // Coordinator track metadata.
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"coordinator\"}},"
+      "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"sort_index\":0}},"
+      // Site 0 track metadata.
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"site 0\"}},"
+      "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"sort_index\":1}},"
+      // Instant on the site track: ts = epoch * 1000.
+      "{\"name\":\"local_alarm\",\"cat\":\"dcv\",\"ph\":\"i\",\"s\":\"t\","
+      "\"ts\":2000,\"pid\":1,\"tid\":1,\"args\":{\"epoch\":2,\"value\":7}},"
+      // Duration slice on the coordinator track.
+      "{\"name\":\"threshold_recompute\",\"cat\":\"dcv\",\"ph\":\"X\","
+      "\"dur\":50,\"ts\":3000,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"epoch\":3,\"value\":1}}"
+      "]}";
+  EXPECT_EQ(rec.ToChromeJson(), expected);
+}
+
+TEST(TraceRecorderTest, ChromeTraceEmitsDeclaredSiteTracksWithoutEvents) {
+  TraceRecorder rec;
+  rec.DeclareSites(3);
+  std::string json = rec.ToChromeJson();
+  // One named track per declared site even though nothing was recorded.
+  EXPECT_NE(json.find("\"name\":\"site 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"site 2\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"site 3\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeTraceInfersSitesFromEvents) {
+  TraceRecorder rec;  // No DeclareSites call.
+  rec.Record(TraceEventKind::kLocalAlarm, 0, 4, 1);
+  std::string json = rec.ToChromeJson();
+  // Max site index 4 => tracks for sites 0..4.
+  EXPECT_NE(json.find("\"name\":\"site 4\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"site 0\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteFilesRoundTrip) {
+  TraceRecorder rec;
+  rec.Record(TraceEventKind::kViolation, 1, TraceRecorder::kCoordinator, 1);
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(rec.WriteJsonl(dir + "/trace.jsonl").ok());
+  ASSERT_TRUE(rec.WriteChromeTrace(dir + "/trace.json").ok());
+  EXPECT_FALSE(rec.WriteJsonl("/nonexistent-dir/trace.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace dcv::obs

@@ -12,22 +12,31 @@
 //       print/write a deployable monitor plan.
 //
 //   dcvtool simulate --trace trace.csv --threshold T
-//           [--train-epochs N] [--scheme fptas|equal-value|equal-tail|
-//            geometric|polling|filters|multilevel] [--poll-period 5]
+//           [--train-epochs N] [--scheme local|fptas|exact-dp|equal-value|
+//            equal-tail|geometric|polling|filters|multilevel] [--poll-period 5]
 //           [--loss P] [--dup P] [--delay-prob P] [--max-delay E]
 //           [--acks 0|1] [--max-attempts K]
 //           [--degrade last-known|assume-breach]
 //           [--crash site:from:to[,site:from:to...]]
 //           [--partition from:to[,from:to...]] [--fault-seed S]
+//           [--metrics-json out.json] [--trace-out out.trace]
+//           [--trace-format jsonl|chrome] [--quiet]
 //       Replay the remaining epochs through a detection scheme and report
 //       messages and detection accuracy. The fault flags inject link loss,
 //       duplication, delay, site crashes, and coordinator partitions into
 //       the site<->coordinator channel (epochs are relative to the start of
 //       the evaluation slice); when any are set a reliability breakdown is
-//       printed as well.
+//       printed as well. --metrics-json dumps the unified telemetry JSON
+//       (message/detection/reliability counters plus every registry metric);
+//       --trace-out captures per-epoch protocol events as JSONL or Chrome
+//       trace_event JSON (loadable in Perfetto); --quiet suppresses the
+//       stdout table (JSON outputs are still written).
 //
-// Every subcommand prints machine-greppable "key: value" lines.
+// Every subcommand prints machine-greppable "key: value" lines in a fixed
+// order with locale-independent number formatting, so CI can diff them.
+// Flags accept both "--flag value" and "--flag=value".
 
+#include <clocale>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -58,7 +67,8 @@ namespace dcv {
 namespace {
 
 // ----------------------------------------------------------------------
-// Minimal --flag value parsing.
+// Minimal flag parsing: "--flag value", "--flag=value", and bare boolean
+// flags ("--quiet").
 class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
@@ -69,12 +79,26 @@ class Flags {
         return InvalidArgumentError("expected --flag, got '" + arg + "'");
       }
       std::string key = arg.substr(2);
+      size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        flags.values_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
+      if (IsBoolFlag(key)) {
+        flags.values_[key] = "1";
+        continue;
+      }
       if (i + 1 >= argc) {
         return InvalidArgumentError("flag --" + key + " needs a value");
       }
       flags.values_[key] = argv[++i];
     }
     return flags;
+  }
+
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "0";
   }
 
   std::string GetString(const std::string& key,
@@ -108,8 +132,24 @@ class Flags {
   }
 
  private:
+  /// Flags that take no value; present means "1".
+  static bool IsBoolFlag(const std::string& key) { return key == "quiet"; }
+
   std::map<std::string, std::string> values_;
 };
+
+/// Writes `content` to `path`, overwriting.
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  if (std::fclose(f) != 0 || written != content.size()) {
+    return InternalError("short write to '" + path + "'");
+  }
+  return OkStatus();
+}
 
 // ----------------------------------------------------------------------
 Status RunGenerate(const Flags& flags) {
@@ -299,8 +339,13 @@ Status RunSimulate(const Flags& flags) {
   std::unique_ptr<ThresholdSolver> base;
   std::unique_ptr<DetectionScheme> scheme;
   if (scheme_name == "fptas" || scheme_name == "equal-value" ||
-      scheme_name == "equal-tail" || scheme_name == "exact-dp") {
-    DCV_ASSIGN_OR_RETURN(base, MakeSolver(scheme_name, eps));
+      scheme_name == "equal-tail" || scheme_name == "exact-dp" ||
+      scheme_name == "local") {
+    // "local" is the paper's local-threshold scheme with its default
+    // (FPTAS) solver; the solver names select the same scheme with a
+    // specific threshold-selection algorithm.
+    DCV_ASSIGN_OR_RETURN(
+        base, MakeSolver(scheme_name == "local" ? "fptas" : scheme_name, eps));
     LocalThresholdScheme::Options options;
     options.solver = base.get();
     scheme = std::make_unique<LocalThresholdScheme>(options);
@@ -320,11 +365,45 @@ Status RunSimulate(const Flags& flags) {
     return InvalidArgumentError("unknown scheme '" + scheme_name + "'");
   }
 
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string trace_format = flags.GetString("trace-format", "jsonl");
+  const bool quiet = flags.GetBool("quiet");
+  if (trace_format != "jsonl" && trace_format != "chrome") {
+    return InvalidArgumentError("--trace-format must be jsonl or chrome");
+  }
+
   SimOptions sim;
   sim.global_threshold = threshold;
   DCV_ASSIGN_OR_RETURN(sim.faults, ParseFaultFlags(flags));
+
+  // Observability is attached only when an export was requested, so plain
+  // runs keep the uninstrumented fast path.
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(/*capacity=*/1 << 20);
+  if (!metrics_json.empty()) {
+    sim.metrics = &registry;
+  }
+  if (!trace_out.empty()) {
+    sim.recorder = &recorder;
+  }
+
   DCV_ASSIGN_OR_RETURN(SimResult result,
                        RunSimulation(scheme.get(), sim, training, eval));
+
+  if (!metrics_json.empty()) {
+    DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
+  }
+  if (!trace_out.empty()) {
+    if (trace_format == "chrome") {
+      DCV_RETURN_IF_ERROR(recorder.WriteChromeTrace(trace_out));
+    } else {
+      DCV_RETURN_IF_ERROR(recorder.WriteJsonl(trace_out));
+    }
+  }
+  if (quiet) {
+    return OkStatus();
+  }
 
   std::printf("scheme: %s\n", result.scheme_name.c_str());
   std::printf("threshold: %lld\n", static_cast<long long>(threshold));
@@ -420,6 +499,9 @@ int Usage() {
 }
 
 int Main(int argc, char** argv) {
+  // Pin numeric formatting to the C locale so the printed tables (and any
+  // %.3f therein) are byte-identical regardless of the caller's LC_ALL.
+  std::setlocale(LC_ALL, "C");
   if (argc < 2) {
     return Usage();
   }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validates a `dcvtool simulate --metrics-json` file against the checked-in
+schema (tools/metrics_schema.json): the document must be valid JSON and
+contain every required key path, and — when the run had a metrics registry
+attached — every required registry counter.
+
+Usage: validate_metrics.py <metrics.json> [--schema <schema.json>]
+
+Exit status 0 on success, 1 with a per-failure message otherwise. Stdlib
+only, so it runs on any CI image with a Python 3 interpreter.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def lookup(doc, dotted_path):
+    """Returns (found, value) for a dot-separated key path."""
+    node = doc
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="metrics JSON file to validate")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "metrics_schema.json"),
+        help="schema file (default: metrics_schema.json next to this script)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.schema, encoding="utf-8") as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot load schema {args.schema}: {e}")
+        return 1
+
+    try:
+        with open(args.metrics, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot load metrics {args.metrics}: {e}")
+        return 1
+
+    failures = []
+    for path in schema.get("required", []):
+        found, _ = lookup(doc, path)
+        if not found:
+            failures.append(f"missing required key: {path}")
+
+    found, counters = lookup(doc, "metrics.counters")
+    if found and isinstance(counters, dict) and counters:
+        for name in schema.get("required_counters", []):
+            if name not in counters:
+                failures.append(f"missing required counter: {name}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: {args.metrics} matches {os.path.basename(args.schema)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
