@@ -1,0 +1,106 @@
+#include "common/flags.h"
+
+#include "common/strings.h"
+
+namespace dcv {
+
+FlagSet& FlagSet::Value(const std::string& name) {
+  value_flags_.insert(name);
+  return *this;
+}
+
+FlagSet& FlagSet::Boolean(const std::string& name) {
+  bool_flags_.insert(name);
+  return *this;
+}
+
+Result<ParsedFlags> FlagSet::Parse(int argc, char* const* argv,
+                                   int first) const {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > first ? argc - first : 0));
+  for (int i = first; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  return Parse(args);
+}
+
+Result<ParsedFlags> FlagSet::Parse(const std::vector<std::string>& args) const {
+  ParsedFlags flags;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      return InvalidArgumentError("expected --flag, got '" + arg + "'");
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      have_value = true;
+    }
+    const bool is_bool = bool_flags_.count(key) > 0;
+    if (!is_bool && value_flags_.count(key) == 0) {
+      return InvalidArgumentError("unknown flag --" + key);
+    }
+    if (flags.values_.count(key) > 0) {
+      return InvalidArgumentError("duplicate flag --" + key);
+    }
+    if (!have_value) {
+      if (is_bool) {
+        value = "1";
+      } else {
+        if (i + 1 >= args.size()) {
+          return InvalidArgumentError("flag --" + key + " needs a value");
+        }
+        value = args[++i];
+      }
+    }
+    flags.values_[key] = value;
+  }
+  return flags;
+}
+
+bool ParsedFlags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+bool ParsedFlags::GetBool(const std::string& key) const {
+  auto it = values_.find(key);
+  return it != values_.end() && it->second != "0";
+}
+
+std::string ParsedFlags::GetString(const std::string& key,
+                                   const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<std::string> ParsedFlags::GetRequired(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return InvalidArgumentError("missing required flag --" + key);
+  }
+  return it->second;
+}
+
+Result<int64_t> ParsedFlags::GetInt(const std::string& key,
+                                    int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return ParseInt64(it->second);
+}
+
+Result<double> ParsedFlags::GetDouble(const std::string& key,
+                                      double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  return ParseDouble(it->second);
+}
+
+}  // namespace dcv

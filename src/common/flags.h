@@ -1,0 +1,64 @@
+#ifndef DCV_COMMON_FLAGS_H_
+#define DCV_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dcv {
+
+class ParsedFlags;
+
+/// Declarative "--key value" / "--key=value" command-line parser shared by
+/// the dcvtool subcommands. A FlagSet names every flag a command accepts;
+/// Parse rejects unknown and duplicate flags instead of silently ignoring
+/// them (a mistyped "--treshold" aborts the run rather than simulating with
+/// the default).
+class FlagSet {
+ public:
+  /// Declares a flag that takes a value ("--sites 8" or "--sites=8").
+  FlagSet& Value(const std::string& name);
+
+  /// Declares a bare boolean flag ("--quiet"; "--quiet=0" also accepted).
+  FlagSet& Boolean(const std::string& name);
+
+  /// Parses argv[first..argc). Errors: an argument not starting with "--",
+  /// an undeclared flag, a repeated flag, or a value flag at the end of the
+  /// line with nothing following it.
+  Result<ParsedFlags> Parse(int argc, char* const* argv, int first) const;
+
+  /// Convenience overload for tests.
+  Result<ParsedFlags> Parse(const std::vector<std::string>& args) const;
+
+ private:
+  std::set<std::string> value_flags_;
+  std::set<std::string> bool_flags_;
+};
+
+/// The result of FlagSet::Parse: typed lookups with fallbacks. Lookup of a
+/// flag that was never declared in the FlagSet is a programming error and
+/// returns the fallback (GetRequired returns an error).
+class ParsedFlags {
+ public:
+  bool GetBool(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  Result<std::string> GetRequired(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// True when the flag appeared on the command line.
+  bool Has(const std::string& key) const;
+
+ private:
+  friend class FlagSet;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_COMMON_FLAGS_H_

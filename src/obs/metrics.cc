@@ -46,17 +46,13 @@ void Histogram::Observe(double v) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   size_t idx = static_cast<size_t>(it - bounds_.begin());
   counts_[idx].fetch_add(1, std::memory_order_relaxed);
-  // First observation seeds min/max; count_ is bumped last so a concurrent
-  // snapshot never sees count > sum of buckets by more than in-flight obs.
-  int64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, v);
-  if (prev == 0) {
-    min_.store(v, std::memory_order_relaxed);
-    max_.store(v, std::memory_order_relaxed);
-  } else {
-    AtomicMin(&min_, v);
-    AtomicMax(&max_, v);
-  }
+  // Unconditional CAS-min/CAS-max against the +/-inf idle sentinels: the
+  // old "first observation stores, later ones CAS" scheme let a first
+  // Observe overwrite a concurrent second one's extremum.
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -68,8 +64,13 @@ HistogramSnapshot Histogram::Snapshot() const {
   }
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
-  s.min = min_.load(std::memory_order_relaxed);
-  s.max = max_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  } else {
+    s.min = 0.0;  // Hide the idle +/-inf sentinels from exports.
+    s.max = 0.0;
+  }
   return s;
 }
 
@@ -79,8 +80,10 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,

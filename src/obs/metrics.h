@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -79,8 +80,12 @@ class Histogram {
   std::unique_ptr<std::atomic<int64_t>[]> counts_;  ///< bounds_.size() + 1.
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  /// min_/max_ idle at +/-inf so every Observe is a plain CAS-min/CAS-max;
+  /// a "seed on first observation" store would race with a concurrent
+  /// extremum update and could overwrite it. Snapshot maps the idle
+  /// sentinels back to 0 when count == 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Point-in-time copy of every metric in a registry. Map-keyed by name so

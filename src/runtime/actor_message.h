@@ -1,0 +1,62 @@
+#ifndef DCV_RUNTIME_ACTOR_MESSAGE_H_
+#define DCV_RUNTIME_ACTOR_MESSAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dcv {
+
+/// Address of the coordinator actor; sites are addressed 0..num_sites-1.
+inline constexpr int32_t kCoordinatorId = -1;
+
+/// What travels between actors. The runtime deliberately splits two planes:
+///
+///  * the DATA plane — protocol messages of the detection scheme (alarms,
+///    poll rounds, threshold pushes). Their *fate* (loss, delay,
+///    duplication, crash black-holing) and their MessageCounter charge are
+///    decided by the coordinator-owned fault-injecting `Channel`, exactly
+///    as in the lockstep simulator;
+///  * the CONTROL plane — virtual-clock synchronization (kEpochStart /
+///    kEpochReport) and lifecycle (kShutdown / kSiteDone). Control messages
+///    are free: they model the passage of simulated time, not network
+///    traffic, and are never charged or faulted.
+///
+/// The transport itself is reliable; it carries ground truth between
+/// threads. This is what makes virtual-time runs bit-identical to the
+/// simulator: the Channel consumes the same inputs in the same order no
+/// matter how the threads interleave.
+enum class ActorMsgKind : uint8_t {
+  // Control plane.
+  kEpochStart,   ///< Coordinator -> site: begin epoch; flag = site is up.
+  kEpochReport,  ///< Site -> coordinator: epoch done; flag = local alarm
+                 ///< (value = observed X_i when alarmed, else 0).
+  kShutdown,     ///< Coordinator -> site: drain and exit.
+  kSiteDone,     ///< Site -> coordinator: workload exhausted
+                 ///< (value = updates processed).
+  // Data plane (free-running mode; virtual mode batches these into the
+  // epoch report / poll round).
+  kAlarm,            ///< Site -> coordinator: local constraint violated.
+  kPollRequest,      ///< Coordinator -> site: report your current value.
+  kPollResponse,     ///< Site -> coordinator: current value.
+  kThresholdUpdate,  ///< Coordinator -> site: new local threshold (value).
+};
+
+std::string_view ActorMsgKindName(ActorMsgKind kind);
+
+struct ActorMessage {
+  ActorMsgKind kind = ActorMsgKind::kEpochStart;
+  int64_t epoch = 0;  ///< Virtual epoch (site-local update index when free).
+  int64_t value = 0;  ///< Kind-specific payload.
+  bool flag = false;  ///< kEpochStart: site up; kEpochReport: alarmed.
+};
+
+/// A routed message: `to`/`from` are actor ids (kCoordinatorId or a site).
+struct Envelope {
+  int32_t from = kCoordinatorId;
+  int32_t to = kCoordinatorId;
+  ActorMessage msg;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_ACTOR_MESSAGE_H_

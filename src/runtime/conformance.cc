@@ -1,0 +1,108 @@
+#include "runtime/conformance.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "sim/local_scheme.h"
+#include "sim/polling_scheme.h"
+
+namespace dcv {
+namespace {
+
+std::string DescribeEpochDiff(const EpochDetection& sim,
+                              const EpochDetection& rt) {
+  std::ostringstream os;
+  os << "epoch " << sim.epoch << ": lockstep{alarms=" << sim.num_alarms
+     << " polled=" << sim.polled << " violation=" << sim.violation_reported
+     << "} runtime{alarms=" << rt.num_alarms << " polled=" << rt.polled
+     << " violation=" << rt.violation_reported << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Result<ConformanceReport> RunConformance(const Trace& training,
+                                         const Trace& eval,
+                                         const ConformanceSpec& spec) {
+  ConformanceReport report;
+
+  // Lockstep reference run, with the per-epoch detection trail captured.
+  SimOptions sim_options;
+  sim_options.weights = spec.weights;
+  sim_options.global_threshold = spec.global_threshold;
+  sim_options.faults = spec.faults;
+  sim_options.on_epoch = [&report](int64_t t, const EpochResult& r) {
+    EpochDetection det;
+    det.epoch = t;
+    det.num_alarms = r.num_alarms;
+    det.polled = r.polled;
+    det.violation_reported = r.violation_reported;
+    report.lockstep_epochs.push_back(det);
+  };
+
+  std::unique_ptr<DetectionScheme> scheme;
+  if (spec.protocol == RuntimeProtocol::kLocalThreshold) {
+    if (spec.solver == nullptr) {
+      return InvalidArgumentError("local-threshold conformance needs a solver");
+    }
+    LocalThresholdScheme::Options o;
+    o.solver = spec.solver;
+    scheme = std::make_unique<LocalThresholdScheme>(o);
+  } else {
+    scheme = std::make_unique<PollingScheme>(spec.poll_period);
+  }
+  DCV_ASSIGN_OR_RETURN(
+      report.lockstep,
+      RunSimulation(scheme.get(), sim_options, training, eval));
+
+  // Threaded run of the same scenario, virtual-time mode.
+  RuntimeOptions rt_options;
+  rt_options.protocol = spec.protocol;
+  rt_options.weights = spec.weights;
+  rt_options.global_threshold = spec.global_threshold;
+  rt_options.poll_period = spec.poll_period;
+  rt_options.num_workers = spec.num_workers;
+  rt_options.virtual_time = true;
+  rt_options.solver = spec.solver;
+  rt_options.faults = spec.faults;
+  DCV_ASSIGN_OR_RETURN(report.runtime,
+                       RunMonitorRuntime(training, eval, rt_options));
+
+  // Diff: per-epoch detections, then per-type wire counts, then the
+  // channel's reliability accounting. First divergence wins.
+  if (report.lockstep_epochs.size() != report.runtime.detections.size()) {
+    report.mismatch = "epoch count mismatch";
+    return report;
+  }
+  for (size_t t = 0; t < report.lockstep_epochs.size(); ++t) {
+    if (!(report.lockstep_epochs[t] == report.runtime.detections[t])) {
+      report.mismatch =
+          DescribeEpochDiff(report.lockstep_epochs[t],
+                            report.runtime.detections[t]);
+      return report;
+    }
+  }
+  for (int m = 0; m < kNumMessageTypes; ++m) {
+    MessageType type = static_cast<MessageType>(m);
+    if (report.lockstep.messages.of(type) != report.runtime.messages.of(type)) {
+      std::ostringstream os;
+      os << "message count mismatch for " << MessageTypeName(type)
+         << ": lockstep=" << report.lockstep.messages.of(type)
+         << " runtime=" << report.runtime.messages.of(type);
+      report.mismatch = os.str();
+      return report;
+    }
+  }
+  if (report.lockstep.reliability.ToJson() !=
+      report.runtime.reliability.ToJson()) {
+    report.mismatch = "reliability stats mismatch: lockstep=" +
+                      report.lockstep.reliability.ToJson() +
+                      " runtime=" + report.runtime.reliability.ToJson();
+    return report;
+  }
+  report.identical = true;
+  return report;
+}
+
+}  // namespace dcv

@@ -1,0 +1,49 @@
+#ifndef DCV_RUNTIME_CONFORMANCE_H_
+#define DCV_RUNTIME_CONFORMANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/runtime.h"
+#include "sim/runner.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// One conformance scenario: the same trace, constraint, solver, and fault
+/// spec run through both the lockstep simulator and the threaded runtime in
+/// virtual-time mode.
+struct ConformanceSpec {
+  RuntimeProtocol protocol = RuntimeProtocol::kLocalThreshold;
+  const ThresholdSolver* solver = nullptr;  ///< kLocalThreshold only.
+  int64_t poll_period = 5;                  ///< kPolling only.
+  std::vector<int64_t> weights;             ///< Empty = all ones.
+  int64_t global_threshold = 0;
+  FaultSpec faults;
+  int num_workers = 0;  ///< 0 = one thread per site.
+};
+
+/// Side-by-side outcome plus the verdict. `identical` demands agreement
+/// per epoch (alarms, polled, violation_reported), on every per-type
+/// message count, and on the channel's wire-level reliability stats — not
+/// just equal totals.
+struct ConformanceReport {
+  SimResult lockstep;
+  RuntimeResult runtime;
+  std::vector<EpochDetection> lockstep_epochs;
+  bool identical = false;
+  std::string mismatch;  ///< Empty when identical; else first divergence.
+};
+
+/// Runs both implementations and diffs them. A non-OK status means a run
+/// failed outright; a report with identical == false means both ran but
+/// disagreed (the mismatch string says where first).
+Result<ConformanceReport> RunConformance(const Trace& training,
+                                         const Trace& eval,
+                                         const ConformanceSpec& spec);
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_CONFORMANCE_H_

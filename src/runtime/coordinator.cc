@@ -1,0 +1,310 @@
+#include "runtime/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcv {
+
+CoordinatorActor::CoordinatorActor(Config config)
+    : config_(std::move(config)), channel_(config_.faults) {}
+
+Status CoordinatorActor::Init() {
+  if (config_.num_sites < 1) {
+    return InvalidArgumentError("coordinator needs at least one site");
+  }
+  if (static_cast<int>(config_.weights.size()) != config_.num_sites) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  if (config_.protocol == RuntimeProtocol::kPolling &&
+      config_.poll_period < 1) {
+    return InvalidArgumentError("polling period must be >= 1");
+  }
+  if (config_.protocol == RuntimeProtocol::kLocalThreshold) {
+    if (static_cast<int>(config_.thresholds.size()) != config_.num_sites) {
+      return InvalidArgumentError("thresholds size mismatch");
+    }
+    if (static_cast<int>(config_.domain_max.size()) != config_.num_sites) {
+      return InvalidArgumentError("domain_max size mismatch");
+    }
+  }
+  DCV_RETURN_IF_ERROR(channel_.Init(config_.num_sites, &counter_));
+  channel_.SetObserver(config_.metrics, config_.recorder);
+  if (config_.metrics != nullptr) {
+    alarms_rx_ = config_.metrics->counter("runtime/coordinator/alarms");
+    polls_ = config_.metrics->counter("runtime/coordinator/polls");
+  }
+  return OkStatus();
+}
+
+Status CoordinatorActor::PollRound(Transport* transport, int64_t epoch,
+                                   std::vector<int64_t>* values) {
+  DCV_OBS_COUNT(polls_, 1);
+  ActorMessage request;
+  request.kind = ActorMsgKind::kPollRequest;
+  request.epoch = epoch;
+  for (int i = 0; i < config_.num_sites; ++i) {
+    if (!transport->Send(Envelope{kCoordinatorId, i, request})) {
+      return InternalError("transport closed during poll round");
+    }
+  }
+  values->assign(static_cast<size_t>(config_.num_sites), 0);
+  int pending = config_.num_sites;
+  Envelope e;
+  while (pending > 0) {
+    if (!transport->RecvCoordinator(&e)) {
+      return InternalError("transport closed while collecting poll responses");
+    }
+    if (e.msg.kind != ActorMsgKind::kPollResponse) {
+      return InternalError(std::string("unexpected ") +
+                           std::string(ActorMsgKindName(e.msg.kind)) +
+                           " during poll round");
+    }
+    (*values)[static_cast<size_t>(e.from)] = e.msg.value;
+    --pending;
+  }
+  return OkStatus();
+}
+
+Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
+                                    RuntimeResult* out) {
+  out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
+                      ? "local-threshold"
+                      : "polling";
+  out->mode = "virtual";
+  out->epochs = num_epochs;
+  out->detections.clear();
+  out->detections.reserve(static_cast<size_t>(num_epochs));
+
+  const int n = config_.num_sites;
+  std::vector<char> alarmed(static_cast<size_t>(n), 0);
+  std::vector<int64_t> alarm_value(static_cast<size_t>(n), 0);
+  std::vector<int64_t> poll_values;
+
+  for (int64_t t = 0; t < num_epochs; ++t) {
+    // Same call order as the lockstep runner + scheme, so the channel's RNG
+    // stream (and thus every fault fate) is bit-identical.
+    channel_.BeginEpoch(t);
+
+    // Recovered sites missed threshold pushes while down: re-sync. The wire
+    // send goes through the channel (charged + can itself be lost); the
+    // transport push carries the ground truth only when the wire said the
+    // update got through. It is sent before this epoch's kEpochStart, and
+    // the mailbox is per-producer FIFO, so the site installs the threshold
+    // before it evaluates — exactly the lockstep scheme, which re-syncs at
+    // the top of OnEpoch.
+    if (config_.protocol == RuntimeProtocol::kLocalThreshold &&
+        !channel_.newly_recovered().empty()) {
+      const std::vector<int> recovered = channel_.newly_recovered();
+      for (int i : recovered) {
+        SendStatus s = channel_.SendToSite(i, MessageType::kThresholdUpdate,
+                                           /*reliable=*/true);
+        if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
+          ActorMessage update;
+          update.kind = ActorMsgKind::kThresholdUpdate;
+          update.epoch = t;
+          update.value = config_.thresholds[static_cast<size_t>(i)];
+          if (!transport->Send(Envelope{kCoordinatorId, i, update})) {
+            return InternalError("transport closed during threshold re-sync");
+          }
+          DCV_OBS_EVENT(config_.recorder, obs::TraceEventKind::kThresholdUpdate,
+                        t, i, config_.thresholds[static_cast<size_t>(i)]);
+        }
+      }
+      channel_.CountResync(static_cast<int64_t>(recovered.size()));
+    }
+
+    // Epoch barrier: every site observes its value and reports back whether
+    // its local constraint fired. These are synchronization messages (they
+    // model the passage of simulated time), not protocol traffic — the
+    // protocol's alarms are replayed through the channel below.
+    for (int i = 0; i < n; ++i) {
+      ActorMessage start;
+      start.kind = ActorMsgKind::kEpochStart;
+      start.epoch = t;
+      start.flag = channel_.SiteUp(i);
+      if (!transport->Send(Envelope{kCoordinatorId, i, start})) {
+        return InternalError("transport closed during epoch start");
+      }
+    }
+    std::fill(alarmed.begin(), alarmed.end(), 0);
+    int reports_pending = n;
+    Envelope e;
+    while (reports_pending > 0) {
+      if (!transport->RecvCoordinator(&e)) {
+        return InternalError("transport closed while collecting reports");
+      }
+      if (e.msg.kind != ActorMsgKind::kEpochReport || e.msg.epoch != t) {
+        return InternalError("out-of-order message at epoch barrier");
+      }
+      alarmed[static_cast<size_t>(e.from)] = e.msg.flag ? 1 : 0;
+      alarm_value[static_cast<size_t>(e.from)] = e.msg.value;
+      --reports_pending;
+    }
+
+    EpochDetection det;
+    det.epoch = t;
+    if (config_.protocol == RuntimeProtocol::kLocalThreshold) {
+      // Delayed alarms arriving now still trigger a poll; late reports of
+      // other kinds are consumed and ignored (mirrors the lockstep scheme).
+      std::vector<Channel::Arrival> stale_alarms =
+          channel_.TakeArrivals(MessageType::kAlarm);
+      channel_.TakeArrivals(MessageType::kFilterReport);
+
+      int delivered_alarms = 0;
+      for (int i = 0; i < n; ++i) {
+        if (!alarmed[static_cast<size_t>(i)]) {
+          continue;
+        }
+        ++det.num_alarms;
+        DCV_OBS_COUNT(alarms_rx_, 1);
+        SendStatus s =
+            channel_.SendFromSite(i, MessageType::kAlarm, /*reliable=*/true,
+                                  alarm_value[static_cast<size_t>(i)]);
+        if (s == SendStatus::kDelivered) {
+          ++delivered_alarms;
+        }
+      }
+      if (delivered_alarms > 0 || !stale_alarms.empty()) {
+        DCV_RETURN_IF_ERROR(PollRound(transport, t, &poll_values));
+        PollOutcome poll = channel_.PollSites(poll_values, config_.weights,
+                                              config_.domain_max);
+        det.polled = true;
+        det.violation_reported = poll.weighted_sum > config_.global_threshold;
+      }
+    } else {  // kPolling
+      if (t % config_.poll_period == 0) {
+        DCV_RETURN_IF_ERROR(PollRound(transport, t, &poll_values));
+        PollOutcome poll = channel_.PollSites(poll_values, config_.weights,
+                                              /*pessimistic=*/{});
+        det.polled = true;
+        det.violation_reported = poll.weighted_sum > config_.global_threshold;
+      }
+    }
+    out->detections.push_back(det);
+  }
+
+  ActorMessage shutdown;
+  shutdown.kind = ActorMsgKind::kShutdown;
+  for (int i = 0; i < n; ++i) {
+    transport->Send(Envelope{kCoordinatorId, i, shutdown});
+  }
+  out->messages = counter_;
+  out->reliability = channel_.stats();
+  return OkStatus();
+}
+
+Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
+  out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
+                      ? "local-threshold"
+                      : "polling";
+  out->mode = "free-running";
+
+  const int n = config_.num_sites;
+  out->site_updates.assign(static_cast<size_t>(n), 0);
+
+  // Simulated time degrades to a watermark: the highest site-local update
+  // index seen on any alarm. The channel only ever moves forward (crash and
+  // partition windows still engage), never re-runs an epoch transition.
+  int64_t watermark = -1;
+  bool poll_outstanding = false;
+  bool poll_dirty = false;  ///< Alarm arrived mid-round: re-poll after.
+  int poll_pending = 0;
+  std::vector<int64_t> poll_values(static_cast<size_t>(n), 0);
+  int sites_done = 0;
+
+  auto advance_watermark = [&](int64_t epoch) {
+    if (epoch > watermark) {
+      channel_.BeginEpoch(epoch);
+      watermark = epoch;
+    }
+  };
+  auto start_poll = [&]() -> Status {
+    ActorMessage request;
+    request.kind = ActorMsgKind::kPollRequest;
+    request.epoch = std::max<int64_t>(watermark, 0);
+    for (int i = 0; i < n; ++i) {
+      if (!transport->Send(Envelope{kCoordinatorId, i, request})) {
+        return InternalError("transport closed during poll round");
+      }
+    }
+    std::fill(poll_values.begin(), poll_values.end(), 0);
+    poll_pending = n;
+    poll_outstanding = true;
+    DCV_OBS_COUNT(polls_, 1);
+    return OkStatus();
+  };
+
+  Envelope e;
+  while (sites_done < n || poll_outstanding) {
+    if (!transport->RecvCoordinator(&e)) {
+      return InternalError("transport closed while sites were live");
+    }
+    switch (e.msg.kind) {
+      case ActorMsgKind::kAlarm: {
+        advance_watermark(e.msg.epoch);
+        DCV_OBS_COUNT(alarms_rx_, 1);
+        ++out->total_alarms;
+        SendStatus s = channel_.SendFromSite(e.from, MessageType::kAlarm,
+                                             /*reliable=*/true, e.msg.value);
+        std::vector<Channel::Arrival> stale =
+            channel_.TakeArrivals(MessageType::kAlarm);
+        if (s == SendStatus::kDelivered || !stale.empty()) {
+          // At most one outstanding round: a burst of alarms collapses into
+          // one poll now plus one catch-up poll after it resolves.
+          if (poll_outstanding) {
+            poll_dirty = true;
+          } else {
+            DCV_RETURN_IF_ERROR(start_poll());
+          }
+        }
+        break;
+      }
+      case ActorMsgKind::kPollResponse: {
+        if (!poll_outstanding) {
+          break;  // Response to a round we already resolved; ignore.
+        }
+        poll_values[static_cast<size_t>(e.from)] = e.msg.value;
+        if (--poll_pending == 0) {
+          PollOutcome poll = channel_.PollSites(
+              poll_values, config_.weights,
+              config_.protocol == RuntimeProtocol::kLocalThreshold
+                  ? config_.domain_max
+                  : std::vector<int64_t>{});
+          ++out->polled_epochs;
+          if (poll.weighted_sum > config_.global_threshold) {
+            ++out->violations_flagged;
+          }
+          poll_outstanding = false;
+          if (poll_dirty) {
+            poll_dirty = false;
+            DCV_RETURN_IF_ERROR(start_poll());
+          }
+        }
+        break;
+      }
+      case ActorMsgKind::kSiteDone: {
+        out->site_updates[static_cast<size_t>(e.from)] = e.msg.value;
+        ++sites_done;
+        break;
+      }
+      default:
+        return InternalError(std::string("unexpected ") +
+                             std::string(ActorMsgKindName(e.msg.kind)) +
+                             " in free-running mode");
+    }
+  }
+
+  ActorMessage shutdown;
+  shutdown.kind = ActorMsgKind::kShutdown;
+  for (int i = 0; i < n; ++i) {
+    transport->Send(Envelope{kCoordinatorId, i, shutdown});
+  }
+  out->messages = counter_;
+  out->reliability = channel_.stats();
+  for (int64_t u : out->site_updates) {
+    out->total_updates += u;
+  }
+  return OkStatus();
+}
+
+}  // namespace dcv

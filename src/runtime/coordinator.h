@@ -1,0 +1,93 @@
+#ifndef DCV_RUNTIME_COORDINATOR_H_
+#define DCV_RUNTIME_COORDINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/obs.h"
+#include "runtime/runtime_result.h"
+#include "runtime/transport.h"
+#include "sim/channel.h"
+
+namespace dcv {
+
+/// Which coordinator state machine to run.
+enum class RuntimeProtocol {
+  /// The paper's scheme: static local thresholds; any delivered (or
+  /// delayed-then-arrived) alarm triggers a full poll round; recovered
+  /// sites get their thresholds re-pushed.
+  kLocalThreshold,
+  /// Brute-force baseline: poll every `poll_period` epochs.
+  kPolling,
+};
+
+/// The coordinator actor. Runs on its own thread (the caller's); sites talk
+/// to it only through the Transport.
+///
+/// Concurrency contract that makes virtual-time runs bit-identical to the
+/// lockstep simulator: the fault-injecting `Channel` — the single source of
+/// message fates, RNG draws, and MessageCounter charges — is owned by the
+/// coordinator and touched by no other thread. The transport delivers
+/// ground truth (sites' observed values); the coordinator then replays the
+/// protocol's sends through the Channel in ascending site order, which is
+/// exactly the order the single-threaded schemes use. Thread interleaving
+/// can reorder transport deliveries, but never the Channel's RNG stream.
+class CoordinatorActor {
+ public:
+  struct Config {
+    int num_sites = 0;
+    std::vector<int64_t> weights;  ///< Size num_sites.
+    int64_t global_threshold = 0;
+    RuntimeProtocol protocol = RuntimeProtocol::kLocalThreshold;
+    int64_t poll_period = 5;  ///< kPolling only.
+
+    /// kLocalThreshold: the coordinator's threshold table (pushed to
+    /// recovered sites) and the per-site pessimistic poll fallbacks.
+    std::vector<int64_t> thresholds;
+    std::vector<int64_t> domain_max;
+
+    FaultSpec faults;
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceRecorder* recorder = nullptr;
+  };
+
+  explicit CoordinatorActor(Config config);
+
+  /// Validates the config and initializes the channel. Call before Run*.
+  Status Init();
+
+  /// Virtual-time mode: drives `num_epochs` epochs in lockstep with the
+  /// site actors (epoch barrier via kEpochStart / kEpochReport), then shuts
+  /// the sites down. Fills `out`'s detections, messages, and reliability.
+  Status RunVirtual(Transport* transport, int64_t num_epochs,
+                    RuntimeResult* out);
+
+  /// Free-running mode: serves alarms and poll rounds in arrival order
+  /// until every site reports kSiteDone, then shuts the sites down. Epoch
+  /// semantics degrade to a watermark (the highest site-local update index
+  /// seen), so fault windows still engage, but no per-epoch determinism is
+  /// claimed.
+  Status RunFree(Transport* transport, RuntimeResult* out);
+
+  const MessageCounter& messages() const { return counter_; }
+  const Channel& channel() const { return channel_; }
+
+ private:
+  /// One epoch-batched poll round over the transport: all kPollRequests go
+  /// out, then all kPollResponses are collected (sites respond with ground
+  /// truth; Channel::PollSites afterwards decides what actually got
+  /// through and charges the wire).
+  Status PollRound(Transport* transport, int64_t epoch,
+                   std::vector<int64_t>* values);
+
+  Config config_;
+  MessageCounter counter_;
+  Channel channel_;
+  obs::Counter* alarms_rx_ = nullptr;  ///< "runtime/coordinator/alarms".
+  obs::Counter* polls_ = nullptr;      ///< "runtime/coordinator/polls".
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_COORDINATOR_H_

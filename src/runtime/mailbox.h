@@ -1,0 +1,134 @@
+#ifndef DCV_RUNTIME_MAILBOX_H_
+#define DCV_RUNTIME_MAILBOX_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dcv {
+
+/// Outcome of a non-blocking push attempt.
+enum class MailboxPush {
+  kOk,      ///< Enqueued.
+  kFull,    ///< At capacity; try again or fall back to blocking Push.
+  kClosed,  ///< Mailbox closed; the message will never be accepted.
+};
+
+/// Bounded multi-producer queue — the runtime's only cross-thread channel.
+/// Producers block in Push when the box is full (backpressure: a slow
+/// consumer throttles its senders instead of growing an unbounded queue).
+/// Close() wakes every blocked producer and consumer; after it, pushes are
+/// rejected but Pop keeps draining whatever was already enqueued, so a
+/// graceful shutdown never loses accepted messages.
+///
+/// Ordering guarantee: messages from one producer are delivered in that
+/// producer's push order (single lock, single FIFO). Messages from
+/// different producers interleave arbitrarily.
+///
+/// The intended topology is MPSC — many actors feeding one owner's inbox —
+/// but nothing breaks with several consumers (each message is delivered
+/// exactly once).
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Blocks while full; returns false iff the mailbox was closed before the
+  /// message could be enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) {
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  MailboxPush TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return MailboxPush::kClosed;
+      }
+      if (queue_.size() >= capacity_) {
+        return MailboxPush::kFull;
+      }
+      queue_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return MailboxPush::kOk;
+  }
+
+  /// Blocks while empty; returns false iff the mailbox is closed and fully
+  /// drained (the consumer's signal to exit its loop).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return false;  // Closed and drained.
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop; false when nothing is immediately available.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        return false;
+      }
+      *out = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes every blocked thread. Idempotent.
+  /// Already-enqueued messages stay poppable (drain-on-shutdown).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_MAILBOX_H_

@@ -1,0 +1,257 @@
+#include "runtime/runtime.h"
+
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "runtime/plan.h"
+#include "runtime/site_actor.h"
+#include "runtime/transport.h"
+
+namespace dcv {
+namespace {
+
+struct LaunchPlan {
+  std::vector<int64_t> weights;
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> domain_max;
+};
+
+Status ResolveWeights(int n, const RuntimeOptions& options,
+                      std::vector<int64_t>* weights) {
+  *weights = options.weights;
+  if (weights->empty()) {
+    weights->assign(static_cast<size_t>(n), 1);
+  }
+  if (static_cast<int>(weights->size()) != n) {
+    return InvalidArgumentError("weights size mismatch");
+  }
+  for (int64_t w : *weights) {
+    if (w < 1) {
+      return InvalidArgumentError("weights must be >= 1");
+    }
+  }
+  return OkStatus();
+}
+
+/// Resolves thresholds + domain maxima: explicit plan > solver-built plan >
+/// unconstrained sites (synthetic throughput runs, polling protocol).
+Status ResolvePlan(int n, const Trace* training, const RuntimeOptions& options,
+                   LaunchPlan* plan) {
+  if (!options.thresholds.empty()) {
+    if (static_cast<int>(options.thresholds.size()) != n) {
+      return InvalidArgumentError("thresholds size mismatch");
+    }
+    plan->thresholds = options.thresholds;
+    plan->domain_max = options.domain_max;
+  } else if (options.protocol == RuntimeProtocol::kLocalThreshold &&
+             training != nullptr && training->num_epochs() > 0) {
+    if (options.solver == nullptr) {
+      return InvalidArgumentError(
+          "local-threshold runtime needs a solver or explicit thresholds");
+    }
+    DCV_ASSIGN_OR_RETURN(
+        LocalPlan built,
+        BuildLocalPlan(*training, plan->weights, options.global_threshold,
+                       *options.solver, options.histogram_buckets,
+                       options.domain_headroom));
+    plan->thresholds = std::move(built.thresholds);
+    plan->domain_max = std::move(built.domain_max);
+  } else {
+    // No local constraints: sites never alarm. The polling protocol and
+    // pure-throughput synthetic runs live here.
+    plan->thresholds.assign(static_cast<size_t>(n),
+                            std::numeric_limits<int64_t>::max());
+    plan->domain_max.assign(static_cast<size_t>(n),
+                            options.synthetic_max);
+  }
+  if (plan->domain_max.empty()) {
+    plan->domain_max.assign(static_cast<size_t>(n), 0);
+  }
+  if (static_cast<int>(plan->domain_max.size()) != n) {
+    return InvalidArgumentError("domain_max size mismatch");
+  }
+  return OkStatus();
+}
+
+/// Builds actors and threads, runs the coordinator on the calling thread,
+/// joins, and fills the throughput/capture fields. `eval` is null for
+/// synthetic runs.
+Result<RuntimeResult> Launch(int n, const Trace* eval,
+                             int64_t updates_per_site,
+                             const LaunchPlan& plan,
+                             const RuntimeOptions& options) {
+  int workers = options.num_workers == 0 ? n : options.num_workers;
+  if (workers < 1 || workers > n) {
+    return InvalidArgumentError("num_workers must be in [1, num_sites]");
+  }
+  DCV_ASSIGN_OR_RETURN(std::unique_ptr<ThreadTransport> transport,
+                       ThreadTransport::Create(n, workers));
+  if (options.recorder != nullptr) {
+    options.recorder->DeclareSites(n);
+  }
+
+  // Sites never alarm in the polling protocol: the coordinator drives every
+  // contact. The provisioned thresholds still ship so WhatIf-style reuse of
+  // the plan is possible, but the site constraint is disabled.
+  const bool local = options.protocol == RuntimeProtocol::kLocalThreshold;
+  std::vector<std::unique_ptr<SiteActor>> sites;
+  sites.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    SiteActor::Config cfg;
+    cfg.site = i;
+    cfg.threshold = local ? plan.thresholds[static_cast<size_t>(i)]
+                          : std::numeric_limits<int64_t>::max();
+    if (eval != nullptr) {
+      cfg.series = eval->SiteSeries(i);
+    } else {
+      cfg.synthetic_updates = updates_per_site;
+    }
+    cfg.seed = options.seed;
+    cfg.synthetic_max = options.synthetic_max;
+    cfg.capture_updates = options.capture_updates;
+    cfg.metrics = options.metrics;
+    cfg.recorder = options.recorder;
+    sites.push_back(std::make_unique<SiteActor>(cfg));
+  }
+  std::vector<std::vector<SiteActor*>> owned(static_cast<size_t>(workers));
+  for (int i = 0; i < n; ++i) {
+    owned[static_cast<size_t>(transport->WorkerOf(i))].push_back(
+        sites[static_cast<size_t>(i)].get());
+  }
+
+  CoordinatorActor::Config ccfg;
+  ccfg.num_sites = n;
+  ccfg.weights = plan.weights;
+  ccfg.global_threshold = options.global_threshold;
+  ccfg.protocol = options.protocol;
+  ccfg.poll_period = options.poll_period;
+  ccfg.thresholds = plan.thresholds;
+  ccfg.domain_max = plan.domain_max;
+  ccfg.faults = options.faults;
+  ccfg.metrics = options.metrics;
+  ccfg.recorder = options.recorder;
+  CoordinatorActor coordinator(std::move(ccfg));
+  DCV_RETURN_IF_ERROR(coordinator.Init());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    Transport* t = transport.get();
+    const std::vector<SiteActor*>& mine = owned[static_cast<size_t>(w)];
+    if (options.virtual_time) {
+      threads.emplace_back([t, w, &mine] { RunSiteWorkerVirtual(t, w, mine); });
+    } else {
+      threads.emplace_back([t, w, &mine] { RunSiteWorkerFree(t, w, mine); });
+    }
+  }
+
+  RuntimeResult result;
+  Status run_status =
+      options.virtual_time
+          ? coordinator.RunVirtual(transport.get(), updates_per_site, &result)
+          : coordinator.RunFree(transport.get(), &result);
+  // Join before surfacing any error: the workers exit on the kShutdown
+  // broadcast; if the run failed midway, closing the boxes unblocks them.
+  if (!run_status.ok()) {
+    transport->Shutdown();
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  DCV_RETURN_IF_ERROR(run_status);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.site_updates.clear();
+  result.total_updates = 0;
+  for (const auto& s : sites) {
+    result.site_updates.push_back(s->updates_processed());
+    result.total_updates += s->updates_processed();
+  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.updates_per_second =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.total_updates) / result.elapsed_seconds
+          : 0.0;
+  if (options.capture_updates) {
+    for (const auto& s : sites) {
+      result.captured_updates.push_back(s->captured_updates());
+    }
+  }
+  return result;
+}
+
+/// Scores virtual-time detections against ground truth, exactly like the
+/// lockstep runner's per-epoch accounting.
+void ScoreAgainstTruth(const Trace& eval, const std::vector<int64_t>& weights,
+                       const RuntimeOptions& options, RuntimeResult* result) {
+  for (const EpochDetection& det : result->detections) {
+    if (det.num_alarms > 0) {
+      ++result->alarm_epochs;
+      result->total_alarms += det.num_alarms;
+    }
+    if (det.polled) {
+      ++result->polled_epochs;
+    }
+    const bool violated =
+        eval.WeightedSum(det.epoch, weights) > options.global_threshold;
+    if (violated) {
+      ++result->true_violations;
+      DCV_OBS_EVENT(options.recorder, obs::TraceEventKind::kViolation,
+                    det.epoch, obs::TraceRecorder::kCoordinator,
+                    det.violation_reported ? 1 : 0);
+      if (det.violation_reported) {
+        ++result->detected_violations;
+      } else {
+        ++result->missed_violations;
+      }
+    } else if (det.polled) {
+      ++result->false_alarm_epochs;
+    }
+  }
+}
+
+}  // namespace
+
+Result<RuntimeResult> RunMonitorRuntime(const Trace& training,
+                                        const Trace& eval,
+                                        const RuntimeOptions& options) {
+  const int n = eval.num_sites();
+  if (n < 1 || eval.num_epochs() == 0) {
+    return InvalidArgumentError("eval trace must be nonempty");
+  }
+  if (training.num_epochs() > 0 && training.num_sites() != n) {
+    return InvalidArgumentError(
+        "training and eval traces have different site counts");
+  }
+  LaunchPlan plan;
+  DCV_RETURN_IF_ERROR(ResolveWeights(n, options, &plan.weights));
+  DCV_RETURN_IF_ERROR(ResolvePlan(n, &training, options, &plan));
+  DCV_ASSIGN_OR_RETURN(
+      RuntimeResult result,
+      Launch(n, &eval, eval.num_epochs(), plan, options));
+  if (options.virtual_time) {
+    ScoreAgainstTruth(eval, plan.weights, options, &result);
+  }
+  return result;
+}
+
+Result<RuntimeResult> RunSyntheticRuntime(int num_sites,
+                                          int64_t updates_per_site,
+                                          const RuntimeOptions& options) {
+  if (num_sites < 1 || updates_per_site < 1) {
+    return InvalidArgumentError(
+        "synthetic runtime needs >= 1 site and >= 1 update per site");
+  }
+  LaunchPlan plan;
+  DCV_RETURN_IF_ERROR(ResolveWeights(num_sites, options, &plan.weights));
+  DCV_RETURN_IF_ERROR(
+      ResolvePlan(num_sites, /*training=*/nullptr, options, &plan));
+  return Launch(num_sites, /*eval=*/nullptr, updates_per_site, plan, options);
+}
+
+}  // namespace dcv

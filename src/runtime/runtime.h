@@ -1,0 +1,81 @@
+#ifndef DCV_RUNTIME_RUNTIME_H_
+#define DCV_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/obs.h"
+#include "runtime/coordinator.h"
+#include "runtime/runtime_result.h"
+#include "sim/channel.h"
+#include "threshold/solver.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Configuration for one threaded-runtime run (the concurrent counterpart
+/// of SimOptions).
+struct RuntimeOptions {
+  RuntimeProtocol protocol = RuntimeProtocol::kLocalThreshold;
+
+  /// Per-site weights A_i; empty = all ones.
+  std::vector<int64_t> weights;
+  int64_t global_threshold = 0;
+  int64_t poll_period = 5;  ///< kPolling only.
+
+  /// Site-to-worker multiplexing: 0 = one worker thread per site; k in
+  /// [1, num_sites] packs the sites onto k threads (site s -> s % k).
+  int num_workers = 0;
+
+  /// Virtual-time mode runs the sites in epoch lockstep with the
+  /// coordinator and is bit-identical to the lockstep simulator (the
+  /// conformance harness asserts this). Free-running mode lets every site
+  /// push updates as fast as its thread allows — throughput numbers, no
+  /// per-epoch determinism.
+  bool virtual_time = true;
+
+  /// Local-threshold provisioning. When `thresholds` is nonempty it (with
+  /// `domain_max`) is used verbatim; otherwise trace-driven runs build the
+  /// plan with `solver` via BuildLocalPlan, and synthetic runs leave the
+  /// sites unconstrained (no local alarms).
+  std::vector<int64_t> thresholds;
+  std::vector<int64_t> domain_max;
+  const ThresholdSolver* solver = nullptr;
+  int histogram_buckets = 100;
+  double domain_headroom = 4.0;
+
+  FaultSpec faults;
+
+  /// Synthetic workloads: per-site streams derive from (seed, site), so a
+  /// seed pins every site's update sequence regardless of thread schedule.
+  uint64_t seed = 42;
+  int64_t synthetic_max = 1000000;
+
+  /// Record every consumed update into RuntimeResult::captured_updates
+  /// (seed-determinism tests; memory-proportional to the workload).
+  bool capture_updates = false;
+
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* recorder = nullptr;
+};
+
+/// Trace-driven run: site i consumes eval column i (one value per epoch in
+/// virtual-time mode, free pace otherwise); `training` provisions the local
+/// thresholds when the options don't carry a precomputed plan. Virtual-time
+/// results are scored against ground truth exactly like the lockstep
+/// runner.
+Result<RuntimeResult> RunMonitorRuntime(const Trace& training,
+                                        const Trace& eval,
+                                        const RuntimeOptions& options);
+
+/// Synthetic run: `num_sites` sites each generate `updates_per_site` values
+/// from their (seed, site) stream. The workhorse of bench_runtime and the
+/// seed-determinism tests.
+Result<RuntimeResult> RunSyntheticRuntime(int num_sites,
+                                          int64_t updates_per_site,
+                                          const RuntimeOptions& options);
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_RUNTIME_H_

@@ -1,0 +1,197 @@
+#include "runtime/site_actor.h"
+
+#include <algorithm>
+
+namespace dcv {
+namespace {
+
+/// Finds the owned actor a site-addressed envelope is for (workers own a
+/// handful of sites; linear scan beats a map at that size).
+SiteActor* FindSite(const std::vector<SiteActor*>& sites, int32_t id) {
+  for (SiteActor* s : sites) {
+    if (s->site() == id) {
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Rng MakeSiteRng(uint64_t seed, int site) {
+  // Mix the site id in with an odd multiplier (SplitMix64's increment) so
+  // site k's stream is unrelated to site k+1's even for adjacent seeds; the
+  // Rng constructor then SplitMix-expands the mixed seed into full state.
+  uint64_t mixed =
+      seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(site) + 1));
+  return Rng(mixed);
+}
+
+SiteActor::SiteActor(Config config)
+    : config_(std::move(config)), rng_(MakeSiteRng(config_.seed, config_.site)) {
+  if (config_.metrics != nullptr) {
+    updates_counter_ = config_.metrics->counter("runtime/site/updates");
+    alarms_counter_ = config_.metrics->counter("runtime/site/alarms");
+  }
+}
+
+int64_t SiteActor::workload_size() const {
+  return config_.series.empty() ? config_.synthetic_updates
+                                : static_cast<int64_t>(config_.series.size());
+}
+
+int64_t SiteActor::ValueAt(int64_t index) {
+  if (!config_.series.empty()) {
+    return config_.series[static_cast<size_t>(index)];
+  }
+  // Synthetic stream: one draw per update, in stream order, from the
+  // (seed, site)-derived RNG — reproducible regardless of interleaving.
+  return rng_.UniformInt(0, config_.synthetic_max);
+}
+
+ActorMessage SiteActor::OnEpochStart(int64_t epoch, bool up) {
+  current_value_ = ValueAt(epoch);
+  ++updates_processed_;
+  DCV_OBS_COUNT(updates_counter_, 1);
+  if (config_.capture_updates) {
+    captured_.push_back(current_value_);
+  }
+  ActorMessage report;
+  report.kind = ActorMsgKind::kEpochReport;
+  report.epoch = epoch;
+  const bool alarmed = up && current_value_ > config_.threshold;
+  report.flag = alarmed;
+  report.value = alarmed ? current_value_ : 0;
+  if (alarmed) {
+    DCV_OBS_COUNT(alarms_counter_, 1);
+    DCV_OBS_EVENT(config_.recorder, obs::TraceEventKind::kLocalAlarm, epoch,
+                  config_.site, current_value_);
+  }
+  return report;
+}
+
+bool SiteActor::NextUpdate(int64_t* value, bool* alarmed) {
+  if (cursor_ >= workload_size()) {
+    return false;
+  }
+  current_value_ = ValueAt(cursor_);
+  ++cursor_;
+  ++updates_processed_;
+  DCV_OBS_COUNT(updates_counter_, 1);
+  if (config_.capture_updates) {
+    captured_.push_back(current_value_);
+  }
+  *value = current_value_;
+  *alarmed = current_value_ > config_.threshold;
+  if (*alarmed) {
+    DCV_OBS_COUNT(alarms_counter_, 1);
+    DCV_OBS_EVENT(config_.recorder, obs::TraceEventKind::kLocalAlarm,
+                  cursor_ - 1, config_.site, current_value_);
+  }
+  return true;
+}
+
+ActorMessage SiteActor::OnPollRequest(int64_t epoch) {
+  ActorMessage response;
+  response.kind = ActorMsgKind::kPollResponse;
+  response.epoch = epoch;
+  response.value = current_value_;
+  return response;
+}
+
+void RunSiteWorkerVirtual(Transport* transport, int worker,
+                          const std::vector<SiteActor*>& sites) {
+  size_t live = sites.size();
+  Envelope e;
+  while (live > 0 && transport->RecvWorker(worker, &e)) {
+    SiteActor* site = FindSite(sites, e.to);
+    if (site == nullptr) {
+      continue;
+    }
+    switch (e.msg.kind) {
+      case ActorMsgKind::kEpochStart:
+        transport->Send(Envelope{site->site(), kCoordinatorId,
+                                 site->OnEpochStart(e.msg.epoch, e.msg.flag)});
+        break;
+      case ActorMsgKind::kPollRequest:
+        transport->Send(Envelope{site->site(), kCoordinatorId,
+                                 site->OnPollRequest(e.msg.epoch)});
+        break;
+      case ActorMsgKind::kThresholdUpdate:
+        site->OnThresholdUpdate(e.msg.value);
+        break;
+      case ActorMsgKind::kShutdown:
+        --live;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void RunSiteWorkerFree(Transport* transport, int worker,
+                       const std::vector<SiteActor*>& sites) {
+  size_t shutdowns_pending = sites.size();
+  std::vector<SiteActor*> active(sites.begin(), sites.end());
+  Envelope e;
+
+  auto handle = [&](const Envelope& env) {
+    SiteActor* site = FindSite(sites, env.to);
+    if (site == nullptr) {
+      return;
+    }
+    switch (env.msg.kind) {
+      case ActorMsgKind::kPollRequest:
+        transport->Send(Envelope{site->site(), kCoordinatorId,
+                                 site->OnPollRequest(env.msg.epoch)});
+        break;
+      case ActorMsgKind::kThresholdUpdate:
+        site->OnThresholdUpdate(env.msg.value);
+        break;
+      case ActorMsgKind::kShutdown:
+        --shutdowns_pending;
+        break;
+      default:
+        break;
+    }
+  };
+
+  while (!active.empty()) {
+    // Service control traffic without blocking the update stream.
+    while (transport->TryRecvWorker(worker, &e)) {
+      handle(e);
+    }
+    for (size_t i = 0; i < active.size();) {
+      SiteActor* site = active[i];
+      int64_t value = 0;
+      bool alarmed = false;
+      if (!site->NextUpdate(&value, &alarmed)) {
+        ActorMessage done;
+        done.kind = ActorMsgKind::kSiteDone;
+        done.epoch = site->updates_processed();
+        done.value = site->updates_processed();
+        transport->Send(Envelope{site->site(), kCoordinatorId, done});
+        active[i] = active.back();
+        active.pop_back();
+        continue;
+      }
+      if (alarmed) {
+        ActorMessage alarm;
+        alarm.kind = ActorMsgKind::kAlarm;
+        alarm.epoch = site->updates_processed() - 1;
+        alarm.value = value;
+        // Blocks when the coordinator inbox is full: a slow coordinator
+        // throttles its sites instead of dropping or buffering unboundedly.
+        transport->Send(Envelope{site->site(), kCoordinatorId, alarm});
+      }
+      ++i;
+    }
+  }
+  // Workloads drained; keep answering polls until every owned site has been
+  // shut down (the coordinator may still be resolving in-flight rounds).
+  while (shutdowns_pending > 0 && transport->RecvWorker(worker, &e)) {
+    handle(e);
+  }
+}
+
+}  // namespace dcv

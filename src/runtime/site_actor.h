@@ -1,0 +1,112 @@
+#ifndef DCV_RUNTIME_SITE_ACTOR_H_
+#define DCV_RUNTIME_SITE_ACTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/obs.h"
+#include "runtime/actor_message.h"
+#include "runtime/transport.h"
+
+namespace dcv {
+
+/// Per-site RNG stream derived from (seed, site): the same seed always
+/// yields the same per-site update sequence, independent of how site
+/// workers interleave on threads. Derivation mixes the site id into the
+/// seed with a SplitMix64-style odd multiplier before Rng's own SplitMix
+/// expansion, so streams of neighboring sites are unrelated.
+Rng MakeSiteRng(uint64_t seed, int site);
+
+/// One monitored site: consumes its update stream (a trace column or a
+/// synthetic per-site RNG stream), checks the local constraint
+/// L_i : X_i <= T_i, and produces protocol messages. SiteActor is a passive
+/// state machine; a worker thread owns it and drives it from transport
+/// messages (virtual-time mode) or as fast as the hardware allows
+/// (free-running mode). No SiteActor state is ever touched by two threads.
+class SiteActor {
+ public:
+  struct Config {
+    int site = 0;
+
+    /// Local threshold T_i; max() = no local constraint (never alarms),
+    /// which is what the polling protocol and pure-throughput runs use.
+    int64_t threshold = std::numeric_limits<int64_t>::max();
+
+    /// Trace-driven workload: this site's column of the eval trace. When
+    /// empty, the site generates `synthetic_updates` values from its
+    /// (seed, site)-derived RNG instead.
+    std::vector<int64_t> series;
+    int64_t synthetic_updates = 0;
+    uint64_t seed = 42;
+    int64_t synthetic_max = 1000000;  ///< Synthetic values ~ U[0, max].
+
+    /// Record every consumed update (the seed-determinism regression test
+    /// compares these across runs).
+    bool capture_updates = false;
+
+    /// Optional observability; the recorder is thread-safe, so site threads
+    /// record their own local-alarm events (per-actor tracks).
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceRecorder* recorder = nullptr;
+  };
+
+  explicit SiteActor(Config config);
+
+  int site() const { return config_.site; }
+  int64_t threshold() const { return config_.threshold; }
+  int64_t updates_processed() const { return updates_processed_; }
+  int64_t current_value() const { return current_value_; }
+  const std::vector<int64_t>& captured_updates() const { return captured_; }
+
+  /// Total updates this site will consume (series length or synthetic
+  /// count).
+  int64_t workload_size() const;
+
+  // --- Virtual-time mode -------------------------------------------------
+  /// Observes epoch `epoch`'s value and returns the kEpochReport control
+  /// message. A down site (up == false) observes the value (it exists in
+  /// the world regardless) but evaluates nothing and never alarms — the
+  /// lockstep simulator's crash semantics.
+  ActorMessage OnEpochStart(int64_t epoch, bool up);
+
+  // --- Free-running mode -------------------------------------------------
+  /// Consumes the next update; false when the workload is exhausted.
+  /// `*alarmed` says whether the local constraint fired.
+  bool NextUpdate(int64_t* value, bool* alarmed);
+
+  // --- Both modes --------------------------------------------------------
+  /// kPollResponse carrying the most recently observed value.
+  ActorMessage OnPollRequest(int64_t epoch);
+  void OnThresholdUpdate(int64_t threshold) { config_.threshold = threshold; }
+
+ private:
+  int64_t ValueAt(int64_t index);
+
+  Config config_;
+  Rng rng_;
+  int64_t cursor_ = 0;  ///< Free-running position in the update stream.
+  int64_t current_value_ = 0;
+  int64_t updates_processed_ = 0;
+  std::vector<int64_t> captured_;
+  obs::Counter* updates_counter_ = nullptr;  ///< "runtime/site/updates".
+  obs::Counter* alarms_counter_ = nullptr;   ///< "runtime/site/alarms".
+};
+
+/// Worker loop, virtual-time mode: blockingly serves transport messages for
+/// the owned sites until each has received kShutdown. `sites` are borrowed.
+void RunSiteWorkerVirtual(Transport* transport, int worker,
+                          const std::vector<SiteActor*>& sites);
+
+/// Worker loop, free-running mode: rotates through the owned sites pushing
+/// updates (alarms go out through the transport, blocking on coordinator
+/// backpressure), interleaved with non-blocking service of poll requests
+/// and threshold updates; once every owned workload is exhausted it keeps
+/// serving polls until each site has received kShutdown.
+void RunSiteWorkerFree(Transport* transport, int worker,
+                       const std::vector<SiteActor*>& sites);
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_SITE_ACTOR_H_

@@ -1,0 +1,96 @@
+#include "runtime/transport.h"
+
+namespace dcv {
+
+std::string_view ActorMsgKindName(ActorMsgKind kind) {
+  switch (kind) {
+    case ActorMsgKind::kEpochStart:
+      return "epoch_start";
+    case ActorMsgKind::kEpochReport:
+      return "epoch_report";
+    case ActorMsgKind::kShutdown:
+      return "shutdown";
+    case ActorMsgKind::kSiteDone:
+      return "site_done";
+    case ActorMsgKind::kAlarm:
+      return "alarm";
+    case ActorMsgKind::kPollRequest:
+      return "poll_request";
+    case ActorMsgKind::kPollResponse:
+      return "poll_response";
+    case ActorMsgKind::kThresholdUpdate:
+      return "threshold_update";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<ThreadTransport>> ThreadTransport::Create(
+    int num_sites, int num_workers, size_t coordinator_capacity,
+    size_t worker_capacity) {
+  if (num_sites < 1) {
+    return InvalidArgumentError("transport needs at least one site");
+  }
+  if (num_workers < 1 || num_workers > num_sites) {
+    return InvalidArgumentError(
+        "num_workers must be in [1, num_sites]");
+  }
+  if (coordinator_capacity == 0) {
+    coordinator_capacity = 2 * static_cast<size_t>(num_sites) + 16;
+  }
+  if (worker_capacity == 0) {
+    // Ceil(sites / workers) sites share a worker inbox.
+    size_t per_worker =
+        (static_cast<size_t>(num_sites) + static_cast<size_t>(num_workers) -
+         1) /
+        static_cast<size_t>(num_workers);
+    worker_capacity = 4 * per_worker + 8;
+  }
+  return std::unique_ptr<ThreadTransport>(new ThreadTransport(
+      num_sites, num_workers, coordinator_capacity, worker_capacity));
+}
+
+ThreadTransport::ThreadTransport(int num_sites, int num_workers,
+                                 size_t coordinator_capacity,
+                                 size_t worker_capacity)
+    : num_sites_(num_sites), num_workers_(num_workers) {
+  coordinator_box_ = std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
+  worker_boxes_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    worker_boxes_.push_back(std::make_unique<Mailbox<Envelope>>(worker_capacity));
+  }
+}
+
+bool ThreadTransport::Send(const Envelope& e) {
+  if (e.to == kCoordinatorId) {
+    return coordinator_box_->Push(e);
+  }
+  if (e.to < 0 || e.to >= num_sites_) {
+    return false;
+  }
+  return worker_boxes_[static_cast<size_t>(WorkerOf(e.to))]->Push(e);
+}
+
+bool ThreadTransport::RecvCoordinator(Envelope* out) {
+  return coordinator_box_->Pop(out);
+}
+
+bool ThreadTransport::TryRecvCoordinator(Envelope* out) {
+  return coordinator_box_->TryPop(out);
+}
+
+bool ThreadTransport::RecvWorker(int worker, Envelope* out) {
+  return worker_boxes_[static_cast<size_t>(worker)]->Pop(out);
+}
+
+bool ThreadTransport::TryRecvWorker(int worker, Envelope* out) {
+  return worker_boxes_[static_cast<size_t>(worker)]->TryPop(out);
+}
+
+void ThreadTransport::Shutdown() {
+  coordinator_box_->Close();
+  for (auto& box : worker_boxes_) {
+    box->Close();
+  }
+}
+
+}  // namespace dcv

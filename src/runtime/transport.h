@@ -1,0 +1,92 @@
+#ifndef DCV_RUNTIME_TRANSPORT_H_
+#define DCV_RUNTIME_TRANSPORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/actor_message.h"
+#include "runtime/mailbox.h"
+
+namespace dcv {
+
+/// Message fabric between the coordinator and the site workers. The
+/// interface is deliberately socket-shaped — opaque routed envelopes, a
+/// blocking receive per endpoint, an explicit shutdown — so a future
+/// `SocketTransport` (TCP, one connection per worker) can slot in without
+/// touching the actors. The first implementation is in-process
+/// (`ThreadTransport` below): one bounded Mailbox per worker thread plus
+/// one for the coordinator.
+///
+/// Sites are multiplexed onto workers: `WorkerOf(site)` names the worker
+/// inbox a site-addressed envelope lands in. With num_workers == num_sites
+/// every site has its own thread; with fewer, workers round-robin their
+/// sites (how `dcvtool run --threads` maps N sites onto K threads).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int num_sites() const = 0;
+  virtual int num_workers() const = 0;
+  virtual int WorkerOf(int site) const = 0;
+
+  /// Routes by e.to; blocks when the destination inbox is full
+  /// (backpressure). Returns false iff the destination is closed.
+  virtual bool Send(const Envelope& e) = 0;
+
+  /// Blocking receive on the coordinator inbox; false = closed and drained.
+  virtual bool RecvCoordinator(Envelope* out) = 0;
+  virtual bool TryRecvCoordinator(Envelope* out) = 0;
+
+  /// Blocking receive on a worker inbox; false = closed and drained.
+  virtual bool RecvWorker(int worker, Envelope* out) = 0;
+  virtual bool TryRecvWorker(int worker, Envelope* out) = 0;
+
+  /// Closes every inbox (receivers drain, then their Recv returns false).
+  virtual void Shutdown() = 0;
+};
+
+/// In-process transport over bounded mailboxes, one per worker plus one for
+/// the coordinator. Capacity invariants the runtime relies on to stay
+/// deadlock-free with blocking sends:
+///
+///  * the coordinator never blocks on a worker inbox: at most one epoch
+///    start, one poll request, one threshold update, and one shutdown can
+///    be in flight per owned site, and worker capacity covers that;
+///  * sites may block pushing into the coordinator inbox (that is the
+///    backpressure path), but the coordinator is always in its receive
+///    loop, so the box drains.
+class ThreadTransport : public Transport {
+ public:
+  /// `coordinator_capacity` 0 = auto (2 * num_sites + 16).
+  /// `worker_capacity` 0 = auto (4 * sites-per-worker + 8).
+  static Result<std::unique_ptr<ThreadTransport>> Create(
+      int num_sites, int num_workers, size_t coordinator_capacity = 0,
+      size_t worker_capacity = 0);
+
+  int num_sites() const override { return num_sites_; }
+  int num_workers() const override { return num_workers_; }
+  int WorkerOf(int site) const override { return site % num_workers_; }
+
+  bool Send(const Envelope& e) override;
+  bool RecvCoordinator(Envelope* out) override;
+  bool TryRecvCoordinator(Envelope* out) override;
+  bool RecvWorker(int worker, Envelope* out) override;
+  bool TryRecvWorker(int worker, Envelope* out) override;
+  void Shutdown() override;
+
+  size_t coordinator_capacity() const { return coordinator_box_->capacity(); }
+
+ private:
+  ThreadTransport(int num_sites, int num_workers, size_t coordinator_capacity,
+                  size_t worker_capacity);
+
+  int num_sites_;
+  int num_workers_;
+  std::unique_ptr<Mailbox<Envelope>> coordinator_box_;
+  std::vector<std::unique_ptr<Mailbox<Envelope>>> worker_boxes_;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_TRANSPORT_H_

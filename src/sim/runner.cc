@@ -129,6 +129,9 @@ Result<std::vector<SimResult>> RunSimulationSegments(
     }
     channel.BeginEpoch(t);
     DCV_ASSIGN_OR_RETURN(EpochResult epoch, scheme->OnEpoch(values));
+    if (options.on_epoch) {
+      options.on_epoch(t, epoch);
+    }
 
     ++current.epochs;
     DCV_OBS_COUNT(oc.epochs, 1);

@@ -33,6 +33,12 @@ struct SimOptions {
   /// detections are bit-identical to the pre-channel protocol.
   FaultSpec faults;
 
+  /// Optional per-epoch observer, called after each scheme OnEpoch with the
+  /// epoch index and the scheme's result. The conformance harness uses it
+  /// to capture the lockstep per-epoch detection trail that the threaded
+  /// runtime must reproduce. Never changes protocol behavior.
+  std::function<void(int64_t, const EpochResult&)> on_epoch;
+
   /// Optional observability sinks (both default null = observation off).
   /// When `metrics` is set the runner, channel, and scheme mirror their
   /// tallies into registry counters/histograms and each SimResult carries a

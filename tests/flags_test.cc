@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dcv {
+namespace {
+
+FlagSet MakeSet() {
+  FlagSet flags;
+  flags.Value("sites").Value("trace").Value("eps");
+  flags.Boolean("quiet").Boolean("virtual-time");
+  return flags;
+}
+
+TEST(FlagSetTest, ParsesBothValueSyntaxes) {
+  auto parsed = MakeSet().Parse({"--sites=8", "--trace", "week.csv"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->GetString("sites", ""), "8");
+  EXPECT_EQ(parsed->GetString("trace", ""), "week.csv");
+  EXPECT_TRUE(parsed->Has("sites"));
+  EXPECT_FALSE(parsed->Has("eps"));
+}
+
+TEST(FlagSetTest, TypedLookupsAndFallbacks) {
+  auto parsed = MakeSet().Parse({"--sites", "12", "--eps=0.25"});
+  ASSERT_TRUE(parsed.ok());
+  auto sites = parsed->GetInt("sites", 4);
+  ASSERT_TRUE(sites.ok());
+  EXPECT_EQ(*sites, 12);
+  auto eps = parsed->GetDouble("eps", 0.1);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ(*eps, 0.25);
+  auto fallback = parsed->GetInt("trace", 99);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(*fallback, 99);
+}
+
+TEST(FlagSetTest, BooleanFlags) {
+  auto parsed = MakeSet().Parse({"--quiet", "--virtual-time=0"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("quiet"));
+  EXPECT_FALSE(parsed->GetBool("virtual-time"));
+
+  auto absent = MakeSet().Parse(std::vector<std::string>{});
+  ASSERT_TRUE(absent.ok());
+  EXPECT_FALSE(absent->GetBool("quiet"));
+}
+
+TEST(FlagSetTest, RejectsUnknownFlag) {
+  auto parsed = MakeSet().Parse({"--treshold", "5"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unknown flag"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(FlagSetTest, RejectsDuplicateFlag) {
+  auto parsed = MakeSet().Parse({"--sites", "4", "--sites=8"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate flag"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(FlagSetTest, RejectsMissingValueAndBadSyntax) {
+  EXPECT_FALSE(MakeSet().Parse({"--sites"}).ok());
+  EXPECT_FALSE(MakeSet().Parse({"sites=4"}).ok());
+  EXPECT_FALSE(MakeSet().Parse({"-sites", "4"}).ok());
+}
+
+TEST(FlagSetTest, RequiredAndNumericErrors) {
+  auto parsed = MakeSet().Parse({"--sites=abc"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetInt("sites", 0).ok());
+  EXPECT_FALSE(parsed->GetRequired("trace").ok());
+  auto req = parsed->GetRequired("sites");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(*req, "abc");
+}
+
+TEST(FlagSetTest, ParsesFromArgv) {
+  const char* argv[] = {"dcvtool", "run", "--sites=3", "--quiet"};
+  auto parsed = MakeSet().Parse(4, const_cast<char* const*>(argv), 2);
+  ASSERT_TRUE(parsed.ok());
+  auto sites = parsed->GetInt("sites", 0);
+  ASSERT_TRUE(sites.ok());
+  EXPECT_EQ(*sites, 3);
+  EXPECT_TRUE(parsed->GetBool("quiet"));
+}
+
+}  // namespace
+}  // namespace dcv

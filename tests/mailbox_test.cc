@@ -1,0 +1,130 @@
+#include "runtime/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dcv {
+namespace {
+
+TEST(MailboxTest, FifoWithinCapacity) {
+  Mailbox<int> box(4);
+  EXPECT_EQ(box.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(box.TryPush(i), MailboxPush::kOk);
+  }
+  EXPECT_EQ(box.TryPush(99), MailboxPush::kFull);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(box.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(box.TryPop(&v));
+}
+
+TEST(MailboxTest, BoundedPushBlocksUntilConsumerDrains) {
+  Mailbox<int> box(1);
+  ASSERT_TRUE(box.Push(0));
+  std::atomic<bool> second_accepted{false};
+  std::thread producer([&] {
+    // Full box: this Push must block until the consumer pops.
+    ASSERT_TRUE(box.Push(1));
+    second_accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_accepted.load());
+
+  int v = -1;
+  ASSERT_TRUE(box.Pop(&v));
+  EXPECT_EQ(v, 0);
+  producer.join();
+  EXPECT_TRUE(second_accepted.load());
+  ASSERT_TRUE(box.Pop(&v));
+  EXPECT_EQ(v, 1);
+}
+
+TEST(MailboxTest, CloseWakesBlockedProducer) {
+  Mailbox<int> box(1);
+  ASSERT_TRUE(box.Push(0));
+  std::thread producer([&] {
+    // Blocked on a full box; Close must wake it with a rejection.
+    EXPECT_FALSE(box.Push(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.Close();
+  producer.join();
+  EXPECT_EQ(box.TryPush(2), MailboxPush::kClosed);
+}
+
+TEST(MailboxTest, CloseWakesBlockedConsumer) {
+  Mailbox<int> box(1);
+  std::thread consumer([&] {
+    int v = 0;
+    // Blocked on an empty box; Close must wake it with end-of-stream.
+    EXPECT_FALSE(box.Pop(&v));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.Close();
+  consumer.join();
+}
+
+TEST(MailboxTest, DrainOnShutdown) {
+  Mailbox<int> box(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(box.Push(i));
+  }
+  box.Close();
+  box.Close();  // Idempotent.
+  EXPECT_TRUE(box.closed());
+  // Accepted messages survive the close and drain in order...
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(box.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  // ...and only then does Pop report end-of-stream.
+  EXPECT_FALSE(box.Pop(&v));
+}
+
+TEST(MailboxTest, MultiProducerPerProducerOrdering) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  Mailbox<std::pair<int, int>> box(16);  // Small: forces backpressure.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.Push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next_expected(kProducers, 0);
+  std::pair<int, int> item;
+  for (int received = 0; received < kProducers * kPerProducer; ++received) {
+    ASSERT_TRUE(box.Pop(&item));
+    // Interleaving across producers is arbitrary, but each producer's
+    // messages must arrive in its push order.
+    EXPECT_EQ(item.second, next_expected[item.first]);
+    ++next_expected[item.first];
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+TEST(MailboxTest, ZeroCapacityClampsToOne) {
+  Mailbox<int> box(0);
+  EXPECT_EQ(box.capacity(), 1u);
+  EXPECT_EQ(box.TryPush(1), MailboxPush::kOk);
+  EXPECT_EQ(box.TryPush(2), MailboxPush::kFull);
+}
+
+}  // namespace
+}  // namespace dcv

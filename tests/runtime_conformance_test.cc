@@ -1,0 +1,178 @@
+#include "runtime/conformance.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/plan.h"
+#include "sim/local_scheme.h"
+#include "threshold/fptas.h"
+#include "threshold/heuristics.h"
+#include "trace/snmp_synth.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+// The tentpole guarantee: the threaded runtime in virtual-time mode is
+// bit-identical to the lockstep simulator — same per-epoch alarms, polls,
+// and violation verdicts, same per-type message counts, same wire-level
+// reliability stats — because the coordinator replays the protocol through
+// the fault-injecting Channel in the exact order the lockstep schemes use.
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeSyntheticWorkload(uint64_t seed, int num_sites = 4,
+                               int64_t train_epochs = 600,
+                               int64_t eval_epochs = 600) {
+  SyntheticTraceOptions options;
+  options.num_sites = num_sites;
+  options.num_epochs = train_epochs + eval_epochs;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.8;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, train_epochs);
+  w.eval = *trace->Slice(train_epochs, train_epochs + eval_epochs);
+  return w;
+}
+
+int64_t PickThreshold(const Workload& w, double overflow_fraction,
+                      const std::vector<int64_t>& weights = {}) {
+  auto t = ThresholdForOverflowFraction(w.eval, weights, overflow_fraction);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+void ExpectConformant(const Workload& w, const ConformanceSpec& spec) {
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  // The run must be non-trivial: something happened worth comparing.
+  EXPECT_GT(report->lockstep.messages.total(), 0);
+  EXPECT_EQ(report->lockstep.epochs,
+            static_cast<int64_t>(report->runtime.detections.size()));
+  // Aggregate scoring agrees too (implied by per-epoch equality, but this
+  // also exercises the runtime's own ground-truth accounting).
+  EXPECT_EQ(report->lockstep.true_violations, report->runtime.true_violations);
+  EXPECT_EQ(report->lockstep.detected_violations,
+            report->runtime.detected_violations);
+  EXPECT_EQ(report->lockstep.missed_violations,
+            report->runtime.missed_violations);
+  EXPECT_EQ(report->lockstep.false_alarm_epochs,
+            report->runtime.false_alarm_epochs);
+  EXPECT_EQ(report->lockstep.total_alarms, report->runtime.total_alarms);
+  EXPECT_EQ(report->lockstep.polled_epochs, report->runtime.polled_epochs);
+}
+
+TEST(RuntimeConformanceTest, LocalFptasOnSnmpTrace) {
+  SnmpTraceOptions options;
+  options.num_sites = 5;
+  options.num_weeks = 2;
+  options.seed = 7;
+  auto trace = GenerateSnmpTrace(options);
+  ASSERT_TRUE(trace.ok());
+  const int64_t week = EpochsPerWeek(options);
+  Workload w;
+  w.training = *trace->Slice(0, week);
+  w.eval = *trace->Slice(week, 2 * week);
+
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.01);
+  ExpectConformant(w, spec);
+}
+
+TEST(RuntimeConformanceTest, LocalEqualValueWithWeights) {
+  Workload w = MakeSyntheticWorkload(21);
+  EqualValueSolver solver;
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.weights = {3, 1, 2, 1};
+  spec.global_threshold = PickThreshold(w, 0.02, spec.weights);
+  spec.num_workers = 2;  // Multiplexed workers must not change anything.
+  ExpectConformant(w, spec);
+}
+
+TEST(RuntimeConformanceTest, PollingBaseline) {
+  Workload w = MakeSyntheticWorkload(33);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kPolling;
+  spec.poll_period = 3;
+  spec.global_threshold = PickThreshold(w, 0.05);
+  ExpectConformant(w, spec);
+}
+
+TEST(RuntimeConformanceTest, LocalFptasUnderChannelFaults) {
+  Workload w = MakeSyntheticWorkload(55, /*num_sites=*/5);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.faults.loss = 0.1;
+  spec.faults.duplicate = 0.05;
+  spec.faults.delay = 0.1;
+  spec.faults.max_delay_epochs = 2;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.retry.max_attempts = 3;
+  spec.faults.crashes = {{/*site=*/1, /*from=*/100, /*to=*/220},
+                         {/*site=*/3, /*from=*/400, /*to=*/450}};
+  spec.faults.partitions = {{/*from=*/300, /*to=*/320}};
+  spec.faults.degrade = DegradeMode::kAssumeBreach;
+  spec.faults.seed = 0xfeedULL;
+  ExpectConformant(w, spec);
+}
+
+TEST(RuntimeConformanceTest, PollingUnderLoss) {
+  Workload w = MakeSyntheticWorkload(77);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kPolling;
+  spec.poll_period = 2;
+  spec.global_threshold = PickThreshold(w, 0.05);
+  spec.faults.loss = 0.15;
+  spec.faults.retry.enable_acks = true;
+  ExpectConformant(w, spec);
+}
+
+// The runtime's deployment plan must provision the same thresholds the
+// lockstep scheme computes for itself from the same training data.
+TEST(RuntimeConformanceTest, BuildLocalPlanMatchesSchemeThresholds) {
+  Workload w = MakeSyntheticWorkload(91);
+  FptasSolver solver(0.05);
+  std::vector<int64_t> weights(4, 1);
+  const int64_t threshold = PickThreshold(w, 0.01);
+
+  auto plan = BuildLocalPlan(w.training, weights, threshold, solver);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+  LocalThresholdScheme::Options o;
+  o.solver = &solver;
+  LocalThresholdScheme scheme(o);
+  SimOptions sim_options;
+  sim_options.global_threshold = threshold;
+  auto result = RunSimulation(&scheme, sim_options, w.training, w.eval);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(plan->thresholds, scheme.thresholds());
+  ASSERT_EQ(plan->domain_max.size(), 4u);
+  for (int64_t m : plan->domain_max) {
+    EXPECT_GT(m, 0);
+  }
+}
+
+}  // namespace
+}  // namespace dcv

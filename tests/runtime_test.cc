@@ -1,0 +1,242 @@
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "runtime/site_actor.h"
+#include "runtime/transport.h"
+#include "trace/trace.h"
+
+namespace dcv {
+namespace {
+
+// --- Transport ------------------------------------------------------------
+
+TEST(ThreadTransportTest, ValidatesShape) {
+  EXPECT_FALSE(ThreadTransport::Create(0, 1).ok());
+  EXPECT_FALSE(ThreadTransport::Create(4, 0).ok());
+  EXPECT_FALSE(ThreadTransport::Create(4, 5).ok());
+  EXPECT_TRUE(ThreadTransport::Create(4, 4).ok());
+}
+
+TEST(ThreadTransportTest, RoutesBySiteAndMultiplexesWorkers) {
+  auto transport = ThreadTransport::Create(5, 2);
+  ASSERT_TRUE(transport.ok());
+  Transport& t = **transport;
+  EXPECT_EQ(t.WorkerOf(0), 0);
+  EXPECT_EQ(t.WorkerOf(1), 1);
+  EXPECT_EQ(t.WorkerOf(4), 0);
+
+  ActorMessage msg;
+  msg.kind = ActorMsgKind::kPollRequest;
+  msg.epoch = 7;
+  ASSERT_TRUE(t.Send(Envelope{kCoordinatorId, 4, msg}));
+  msg.kind = ActorMsgKind::kEpochReport;
+  ASSERT_TRUE(t.Send(Envelope{3, kCoordinatorId, msg}));
+
+  Envelope e;
+  // Site 4 lives in worker 0's inbox; worker 1's is empty.
+  ASSERT_TRUE(t.TryRecvWorker(0, &e));
+  EXPECT_EQ(e.to, 4);
+  EXPECT_EQ(e.msg.kind, ActorMsgKind::kPollRequest);
+  EXPECT_EQ(e.msg.epoch, 7);
+  EXPECT_FALSE(t.TryRecvWorker(1, &e));
+  ASSERT_TRUE(t.TryRecvCoordinator(&e));
+  EXPECT_EQ(e.from, 3);
+
+  t.Shutdown();
+  EXPECT_FALSE(t.RecvCoordinator(&e));
+  EXPECT_FALSE(t.RecvWorker(0, &e));
+  EXPECT_FALSE(t.Send(Envelope{kCoordinatorId, 0, msg}));
+}
+
+// --- Virtual-time runtime on a hand-checked trace --------------------------
+
+// Two sites, thresholds {10, 10}, weights {1, 1}, global threshold 25.
+//   epoch 0: {5, 5}    quiet
+//   epoch 1: {12, 5}   alarm site 0, poll, sum 17 -> no violation
+//   epoch 2: {12, 14}  both alarm, poll, sum 26 -> violation
+//   epoch 3: {9, 9}    quiet again
+Trace HandTrace() {
+  Trace t(2);
+  EXPECT_TRUE(t.AppendEpoch({5, 5}).ok());
+  EXPECT_TRUE(t.AppendEpoch({12, 5}).ok());
+  EXPECT_TRUE(t.AppendEpoch({12, 14}).ok());
+  EXPECT_TRUE(t.AppendEpoch({9, 9}).ok());
+  return t;
+}
+
+RuntimeOptions HandOptions() {
+  RuntimeOptions options;
+  options.protocol = RuntimeProtocol::kLocalThreshold;
+  options.global_threshold = 25;
+  options.thresholds = {10, 10};
+  options.domain_max = {40, 40};
+  return options;
+}
+
+TEST(RuntimeVirtualTest, DetectsHandCheckedViolations) {
+  Trace eval = HandTrace();
+  auto result = RunMonitorRuntime(Trace(2), eval, HandOptions());
+  ASSERT_TRUE(result.ok()) << result.status().message();
+
+  EXPECT_EQ(result->mode, "virtual");
+  EXPECT_EQ(result->epochs, 4);
+  ASSERT_EQ(result->detections.size(), 4u);
+  EXPECT_EQ(result->detections[0], (EpochDetection{0, 0, false, false}));
+  EXPECT_EQ(result->detections[1], (EpochDetection{1, 1, true, false}));
+  EXPECT_EQ(result->detections[2], (EpochDetection{2, 2, true, true}));
+  EXPECT_EQ(result->detections[3], (EpochDetection{3, 0, false, false}));
+
+  EXPECT_EQ(result->total_alarms, 3);
+  EXPECT_EQ(result->alarm_epochs, 2);
+  EXPECT_EQ(result->polled_epochs, 2);
+  EXPECT_EQ(result->true_violations, 1);
+  EXPECT_EQ(result->detected_violations, 1);
+  EXPECT_EQ(result->missed_violations, 0);
+  EXPECT_EQ(result->false_alarm_epochs, 1);
+
+  // Wire accounting: 3 alarms + 2 polls * (2 requests + 2 responses).
+  EXPECT_EQ(result->messages.of(MessageType::kAlarm), 3);
+  EXPECT_EQ(result->messages.of(MessageType::kPollRequest), 4);
+  EXPECT_EQ(result->messages.of(MessageType::kPollResponse), 4);
+  EXPECT_EQ(result->messages.total(), 11);
+
+  // Every site consumed one update per epoch.
+  EXPECT_EQ(result->total_updates, 8);
+}
+
+TEST(RuntimeVirtualTest, PollingProtocolPollsOnSchedule) {
+  Trace eval = HandTrace();
+  RuntimeOptions options;
+  options.protocol = RuntimeProtocol::kPolling;
+  options.global_threshold = 25;
+  options.poll_period = 2;
+  auto result = RunMonitorRuntime(Trace(2), eval, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_EQ(result->detections.size(), 4u);
+  // Polls at epochs 0 and 2; the epoch-2 poll sees the violation.
+  EXPECT_EQ(result->detections[0], (EpochDetection{0, 0, true, false}));
+  EXPECT_EQ(result->detections[1], (EpochDetection{1, 0, false, false}));
+  EXPECT_EQ(result->detections[2], (EpochDetection{2, 0, true, true}));
+  EXPECT_EQ(result->detections[3], (EpochDetection{3, 0, false, false}));
+  EXPECT_EQ(result->messages.total(), 2 * 4);
+}
+
+TEST(RuntimeVirtualTest, WorkerMultiplexingDoesNotChangeResults) {
+  Trace eval = HandTrace();
+  RuntimeOptions options = HandOptions();
+  auto per_site = RunMonitorRuntime(Trace(2), eval, options);
+  ASSERT_TRUE(per_site.ok());
+  options.num_workers = 1;  // Both sites share one thread.
+  auto packed = RunMonitorRuntime(Trace(2), eval, options);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_EQ(per_site->detections.size(), packed->detections.size());
+  for (size_t t = 0; t < per_site->detections.size(); ++t) {
+    EXPECT_EQ(per_site->detections[t], packed->detections[t]);
+  }
+  EXPECT_EQ(per_site->messages.total(), packed->messages.total());
+}
+
+// --- Free-running mode ------------------------------------------------------
+
+TEST(RuntimeFreeTest, ProcessesFullWorkloadAcrossThreads) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.global_threshold = 1;  // Any alarm-triggered poll flags.
+  options.seed = 11;
+  options.synthetic_max = 1000;
+  options.thresholds = std::vector<int64_t>(8, 900);  // Rare local alarms.
+  options.domain_max = std::vector<int64_t>(8, 1000);
+  auto result = RunSyntheticRuntime(8, 500, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->mode, "free-running");
+  EXPECT_EQ(result->total_updates, 8 * 500);
+  ASSERT_EQ(result->site_updates.size(), 8u);
+  for (int64_t u : result->site_updates) {
+    EXPECT_EQ(u, 500);
+  }
+  EXPECT_GT(result->updates_per_second, 0.0);
+  // ~10% of updates breach a 900 threshold on U[0,1000]: alarms must flow.
+  EXPECT_GT(result->total_alarms, 0);
+  EXPECT_GT(result->polled_epochs, 0);
+  EXPECT_EQ(result->violations_flagged, result->polled_epochs);
+  EXPECT_EQ(result->messages.of(MessageType::kAlarm), result->total_alarms);
+}
+
+TEST(RuntimeFreeTest, FewerWorkersThanSites) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.num_workers = 2;
+  options.seed = 3;
+  auto result = RunSyntheticRuntime(6, 200, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_updates, 6 * 200);
+}
+
+// --- Seed determinism -------------------------------------------------------
+
+TEST(SeedDeterminismTest, SameSeedSameStreamsRegardlessOfThreads) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.capture_updates = true;
+  options.seed = 1234;
+  auto a = RunSyntheticRuntime(4, 300, options);
+  ASSERT_TRUE(a.ok());
+  options.num_workers = 1;  // Different thread schedule, same streams.
+  auto b = RunSyntheticRuntime(4, 300, options);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->captured_updates.size(), 4u);
+  ASSERT_EQ(b->captured_updates.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a->captured_updates[static_cast<size_t>(i)],
+              b->captured_updates[static_cast<size_t>(i)])
+        << "site " << i;
+  }
+}
+
+TEST(SeedDeterminismTest, DifferentSeedsDiverge) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.capture_updates = true;
+  options.seed = 1;
+  auto a = RunSyntheticRuntime(2, 100, options);
+  ASSERT_TRUE(a.ok());
+  options.seed = 2;
+  auto b = RunSyntheticRuntime(2, 100, options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->captured_updates[0], b->captured_updates[0]);
+}
+
+TEST(SeedDeterminismTest, SiteStreamsAreUnrelated) {
+  // Adjacent sites under the same seed must not share a stream.
+  Rng r0 = MakeSiteRng(42, 0);
+  Rng r1 = MakeSiteRng(42, 1);
+  std::vector<int64_t> s0, s1;
+  for (int i = 0; i < 50; ++i) {
+    s0.push_back(r0.UniformInt(0, 1000000));
+    s1.push_back(r1.UniformInt(0, 1000000));
+  }
+  EXPECT_NE(s0, s1);
+}
+
+// --- Trace-driven free-running ---------------------------------------------
+
+TEST(RuntimeFreeTest, TraceWorkloadDrains) {
+  Trace eval = HandTrace();
+  RuntimeOptions options = HandOptions();
+  options.virtual_time = false;
+  auto result = RunMonitorRuntime(Trace(2), eval, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_updates, 8);
+  // Three local threshold breaches exist in the trace; the reliable
+  // perfect-network channel delivers each alarm.
+  EXPECT_EQ(result->total_alarms, 3);
+  EXPECT_GE(result->polled_epochs, 1);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -32,23 +32,42 @@
 //       trace_event JSON (loadable in Perfetto); --quiet suppresses the
 //       stdout table (JSON outputs are still written).
 //
+//   dcvtool run [--trace trace.csv [--train-epochs N] [--threshold T]]
+//           [--sites 4] [--updates 100000] [--seed 42] [--synthetic-max M]
+//           [--scheme local|polling] [--solver fptas|...] [--eps 0.05]
+//           [--poll-period 5] [--threads K] [--virtual-time] [--conformance]
+//           [--metrics-json out.json] [--quiet] [+ fault flags as above]
+//       Run the concurrent coordinator/site runtime (src/runtime): real
+//       threads behind a mailbox transport instead of the lockstep
+//       simulator. With --trace the sites replay trace columns; without,
+//       each of --sites generates --updates synthetic values from its
+//       (seed, site) stream. --virtual-time runs the deterministic
+//       epoch-barrier mode (bit-identical to `simulate`); the default is
+//       free-running throughput mode. --conformance (needs --trace) runs
+//       the lockstep simulator AND the virtual-time runtime and verifies
+//       they agree epoch by epoch. --threads packs the sites onto K worker
+//       threads (default: one thread per site).
+//
 // Every subcommand prints machine-greppable "key: value" lines in a fixed
 // order with locale-independent number formatting, so CI can diff them.
-// Flags accept both "--flag value" and "--flag=value".
+// Flags accept both "--flag value" and "--flag=value"; unknown or repeated
+// flags are rejected (common/flags.h).
 
 #include <clocale>
 #include <cmath>
 #include <cstdio>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/result.h"
 #include "common/strings.h"
 #include "constraints/normalize.h"
 #include "constraints/parser.h"
 #include "histogram/equi_depth.h"
+#include "runtime/conformance.h"
+#include "runtime/runtime.h"
 #include "sim/adaptive_filter_scheme.h"
 #include "sim/geometric_scheme.h"
 #include "sim/local_scheme.h"
@@ -66,78 +85,6 @@
 namespace dcv {
 namespace {
 
-// ----------------------------------------------------------------------
-// Minimal flag parsing: "--flag value", "--flag=value", and bare boolean
-// flags ("--quiet").
-class Flags {
- public:
-  static Result<Flags> Parse(int argc, char** argv, int first) {
-    Flags flags;
-    for (int i = first; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (!StartsWith(arg, "--")) {
-        return InvalidArgumentError("expected --flag, got '" + arg + "'");
-      }
-      std::string key = arg.substr(2);
-      size_t eq = key.find('=');
-      if (eq != std::string::npos) {
-        flags.values_[key.substr(0, eq)] = key.substr(eq + 1);
-        continue;
-      }
-      if (IsBoolFlag(key)) {
-        flags.values_[key] = "1";
-        continue;
-      }
-      if (i + 1 >= argc) {
-        return InvalidArgumentError("flag --" + key + " needs a value");
-      }
-      flags.values_[key] = argv[++i];
-    }
-    return flags;
-  }
-
-  bool GetBool(const std::string& key) const {
-    auto it = values_.find(key);
-    return it != values_.end() && it->second != "0";
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-
-  Result<std::string> GetRequired(const std::string& key) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) {
-      return InvalidArgumentError("missing required flag --" + key);
-    }
-    return it->second;
-  }
-
-  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) {
-      return fallback;
-    }
-    return ParseInt64(it->second);
-  }
-
-  Result<double> GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) {
-      return fallback;
-    }
-    return ParseDouble(it->second);
-  }
-
- private:
-  /// Flags that take no value; present means "1".
-  static bool IsBoolFlag(const std::string& key) { return key == "quiet"; }
-
-  std::map<std::string, std::string> values_;
-};
-
 /// Writes `content` to `path`, overwriting.
 Status WriteFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -152,7 +99,7 @@ Status WriteFile(const std::string& path, const std::string& content) {
 }
 
 // ----------------------------------------------------------------------
-Status RunGenerate(const Flags& flags) {
+Status RunGenerate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
   SnmpTraceOptions options;
   DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 10));
@@ -194,7 +141,7 @@ Result<std::unique_ptr<ThresholdSolver>> MakeSolver(const std::string& name,
   return InvalidArgumentError("unknown solver '" + name + "'");
 }
 
-Status RunPlan(const Flags& flags) {
+Status RunPlan(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(std::string constraint_text,
                        flags.GetRequired("constraint"));
@@ -256,10 +203,16 @@ Status RunPlan(const Flags& flags) {
 }
 
 // ----------------------------------------------------------------------
-// Fault-injection flags for `simulate`, mapped onto sim/channel.h's
-// FaultSpec. Crash windows are "site:from:to" and partitions "from:to",
-// comma-separated.
-Result<FaultSpec> ParseFaultFlags(const Flags& flags) {
+// Fault-injection flags shared by `simulate` and `run`, mapped onto
+// sim/channel.h's FaultSpec. Crash windows are "site:from:to" and
+// partitions "from:to", comma-separated.
+void DeclareFaultFlags(FlagSet* flags) {
+  flags->Value("loss").Value("dup").Value("delay-prob").Value("max-delay")
+      .Value("acks").Value("max-attempts").Value("fault-seed")
+      .Value("degrade").Value("crash").Value("partition");
+}
+
+Result<FaultSpec> ParseFaultFlags(const ParsedFlags& flags) {
   FaultSpec spec;
   DCV_ASSIGN_OR_RETURN(spec.loss, flags.GetDouble("loss", 0.0));
   DCV_ASSIGN_OR_RETURN(spec.duplicate, flags.GetDouble("dup", 0.0));
@@ -314,7 +267,7 @@ Result<FaultSpec> ParseFaultFlags(const Flags& flags) {
   return spec;
 }
 
-Status RunSimulate(const Flags& flags) {
+Status RunSimulate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
   DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
@@ -433,7 +386,170 @@ Status RunSimulate(const Flags& flags) {
 }
 
 // ----------------------------------------------------------------------
-Status RunCheck(const Flags& flags) {
+// `dcvtool run`: the concurrent coordinator/site runtime.
+Status PrintRuntimeResult(const RuntimeResult& result, bool show_reliability) {
+  std::printf("protocol: %s\n", result.protocol.c_str());
+  std::printf("mode: %s\n", result.mode.c_str());
+  std::printf("sites: %zu\n", result.site_updates.size());
+  std::printf("messages: %lld\n",
+              static_cast<long long>(result.messages.total()));
+  std::printf("messages-breakdown: %s\n", result.messages.ToString().c_str());
+  if (result.mode == "virtual") {
+    std::printf("epochs: %lld\n", static_cast<long long>(result.epochs));
+    std::printf("alarm-epochs: %lld\n",
+                static_cast<long long>(result.alarm_epochs));
+    std::printf("polled-epochs: %lld\n",
+                static_cast<long long>(result.polled_epochs));
+    std::printf("true-violations: %lld\n",
+                static_cast<long long>(result.true_violations));
+    std::printf("detected: %lld\n",
+                static_cast<long long>(result.detected_violations));
+    std::printf("missed: %lld\n",
+                static_cast<long long>(result.missed_violations));
+    std::printf("false-alarm-epochs: %lld\n",
+                static_cast<long long>(result.false_alarm_epochs));
+  } else {
+    std::printf("alarms: %lld\n", static_cast<long long>(result.total_alarms));
+    std::printf("polls: %lld\n", static_cast<long long>(result.polled_epochs));
+    std::printf("violations-flagged: %lld\n",
+                static_cast<long long>(result.violations_flagged));
+  }
+  std::printf("updates: %lld\n", static_cast<long long>(result.total_updates));
+  std::printf("elapsed-seconds: %.3f\n", result.elapsed_seconds);
+  std::printf("updates-per-second: %.0f\n", result.updates_per_second);
+  if (show_reliability) {
+    std::printf("reliability: %s\n", result.reliability.ToString().c_str());
+  }
+  return OkStatus();
+}
+
+Status RunRuntime(const ParsedFlags& flags) {
+  RuntimeOptions options;
+  DCV_ASSIGN_OR_RETURN(options.faults, ParseFaultFlags(flags));
+  DCV_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  options.num_workers = static_cast<int>(threads);
+  options.virtual_time = flags.GetBool("virtual-time");
+  DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  options.seed = static_cast<uint64_t>(seed);
+  DCV_ASSIGN_OR_RETURN(options.synthetic_max,
+                       flags.GetInt("synthetic-max", 1'000'000));
+  DCV_ASSIGN_OR_RETURN(options.poll_period, flags.GetInt("poll-period", 5));
+  DCV_ASSIGN_OR_RETURN(double eps, flags.GetDouble("eps", 0.05));
+
+  const std::string scheme_name = flags.GetString("scheme", "local");
+  if (scheme_name == "local") {
+    options.protocol = RuntimeProtocol::kLocalThreshold;
+  } else if (scheme_name == "polling") {
+    options.protocol = RuntimeProtocol::kPolling;
+  } else {
+    return InvalidArgumentError(
+        "run --scheme must be local or polling, got '" + scheme_name + "'");
+  }
+  DCV_ASSIGN_OR_RETURN(auto solver,
+                       MakeSolver(flags.GetString("solver", "fptas"), eps));
+  options.solver = solver.get();
+
+  const std::string metrics_json = flags.GetString("metrics-json", "");
+  const bool quiet = flags.GetBool("quiet");
+  const bool conformance = flags.GetBool("conformance");
+  const bool show_reliability =
+      options.faults.any_faults() || options.faults.retry.enable_acks;
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (trace_path.empty()) {
+    // Synthetic workload: per-site (seed, site) streams.
+    if (conformance) {
+      return InvalidArgumentError("--conformance needs --trace");
+    }
+    DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 4));
+    DCV_ASSIGN_OR_RETURN(int64_t updates, flags.GetInt("updates", 100000));
+    DCV_ASSIGN_OR_RETURN(
+        int64_t threshold,
+        flags.GetInt("threshold",
+                     static_cast<int64_t>(sites) * options.synthetic_max));
+    options.global_threshold = threshold;
+    // Local constraints at ~2% breach rate keep protocol traffic honest
+    // without serializing every update on the coordinator.
+    if (options.protocol == RuntimeProtocol::kLocalThreshold) {
+      options.thresholds.assign(
+          static_cast<size_t>(sites),
+          options.synthetic_max - options.synthetic_max / 50);
+      options.domain_max.assign(static_cast<size_t>(sites),
+                                options.synthetic_max);
+    }
+    DCV_ASSIGN_OR_RETURN(
+        RuntimeResult result,
+        RunSyntheticRuntime(static_cast<int>(sites), updates, options));
+    if (!metrics_json.empty()) {
+      DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
+    }
+    if (quiet) {
+      return OkStatus();
+    }
+    return PrintRuntimeResult(result, show_reliability);
+  }
+
+  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
+                       flags.GetInt("train-epochs", trace.num_epochs() / 2));
+  if (train_epochs < 1 || train_epochs >= trace.num_epochs()) {
+    return InvalidArgumentError("--train-epochs out of range");
+  }
+  DCV_ASSIGN_OR_RETURN(Trace training, trace.Slice(0, train_epochs));
+  DCV_ASSIGN_OR_RETURN(Trace eval,
+                       trace.Slice(train_epochs, trace.num_epochs()));
+  DCV_ASSIGN_OR_RETURN(int64_t threshold, flags.GetInt("threshold", -1));
+  if (threshold < 0) {
+    DCV_ASSIGN_OR_RETURN(threshold,
+                         ThresholdForOverflowFraction(eval, {}, 0.01));
+  }
+  options.global_threshold = threshold;
+
+  if (conformance) {
+    ConformanceSpec spec;
+    spec.protocol = options.protocol;
+    spec.solver = options.solver;
+    spec.poll_period = options.poll_period;
+    spec.global_threshold = threshold;
+    spec.faults = options.faults;
+    spec.num_workers = options.num_workers;
+    DCV_ASSIGN_OR_RETURN(ConformanceReport report,
+                         RunConformance(training, eval, spec));
+    if (!quiet) {
+      std::printf("threshold: %lld\n", static_cast<long long>(threshold));
+      std::printf("epochs: %lld\n",
+                  static_cast<long long>(report.lockstep.epochs));
+      std::printf("lockstep-messages: %lld\n",
+                  static_cast<long long>(report.lockstep.messages.total()));
+      std::printf("runtime-messages: %lld\n",
+                  static_cast<long long>(report.runtime.messages.total()));
+      std::printf("conformance: %s\n",
+                  report.identical ? "IDENTICAL" : "MISMATCH");
+      if (!report.identical) {
+        std::printf("mismatch: %s\n", report.mismatch.c_str());
+      }
+    }
+    if (!report.identical) {
+      return InternalError("runtime diverged from the lockstep simulator: " +
+                           report.mismatch);
+    }
+    return OkStatus();
+  }
+
+  DCV_ASSIGN_OR_RETURN(RuntimeResult result,
+                       RunMonitorRuntime(training, eval, options));
+  if (!metrics_json.empty()) {
+    DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
+  }
+  if (quiet) {
+    return OkStatus();
+  }
+  std::printf("threshold: %lld\n", static_cast<long long>(threshold));
+  return PrintRuntimeResult(result, show_reliability);
+}
+
+// ----------------------------------------------------------------------
+Status RunCheck(const ParsedFlags& flags) {
   // Replay a trace against a shipped monitor plan: per-epoch local checks
   // plus exact evaluation of the plan's constraint, reporting alarm and
   // violation statistics — what an operator runs before rolling a plan out.
@@ -491,10 +607,55 @@ Status RunCheck(const Flags& flags) {
   return OkStatus();
 }
 
+// ----------------------------------------------------------------------
+// Per-command flag declarations: Parse rejects anything not declared here,
+// so a typo aborts instead of silently running with a default.
+FlagSet GenerateFlags() {
+  FlagSet flags;
+  flags.Value("out").Value("sites").Value("weeks").Value("seed")
+      .Value("shift-week");
+  return flags;
+}
+
+FlagSet PlanFlags() {
+  FlagSet flags;
+  flags.Value("trace").Value("constraint").Value("train-epochs").Value("eps")
+      .Value("buckets").Value("solver").Value("out");
+  return flags;
+}
+
+FlagSet SimulateFlags() {
+  FlagSet flags;
+  flags.Value("trace").Value("train-epochs").Value("threshold").Value("eps")
+      .Value("poll-period").Value("levels").Value("scheme")
+      .Value("metrics-json").Value("trace-out").Value("trace-format");
+  flags.Boolean("quiet");
+  DeclareFaultFlags(&flags);
+  return flags;
+}
+
+FlagSet RunFlags() {
+  FlagSet flags;
+  flags.Value("trace").Value("train-epochs").Value("threshold").Value("eps")
+      .Value("scheme").Value("solver").Value("poll-period").Value("threads")
+      .Value("sites").Value("updates").Value("seed").Value("synthetic-max")
+      .Value("metrics-json");
+  flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance");
+  DeclareFaultFlags(&flags);
+  return flags;
+}
+
+FlagSet CheckFlags() {
+  FlagSet flags;
+  flags.Value("plan").Value("trace");
+  return flags;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcvtool <generate|plan|simulate|check> --flag value "
-               "...\nsee the header of tools/dcvtool.cc for details\n");
+               "usage: dcvtool <generate|plan|simulate|run|check> "
+               "--flag value ...\nsee the header of tools/dcvtool.cc for "
+               "details\n");
   return 2;
 }
 
@@ -506,23 +667,32 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  auto flags = Flags::Parse(argc, argv, 2);
+  FlagSet flag_set;
+  Status (*handler)(const ParsedFlags&) = nullptr;
+  if (command == "generate") {
+    flag_set = GenerateFlags();
+    handler = RunGenerate;
+  } else if (command == "plan") {
+    flag_set = PlanFlags();
+    handler = RunPlan;
+  } else if (command == "simulate") {
+    flag_set = SimulateFlags();
+    handler = RunSimulate;
+  } else if (command == "run") {
+    flag_set = RunFlags();
+    handler = RunRuntime;
+  } else if (command == "check") {
+    flag_set = CheckFlags();
+    handler = RunCheck;
+  } else {
+    return Usage();
+  }
+  auto flags = flag_set.Parse(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
     return Usage();
   }
-  Status status = OkStatus();
-  if (command == "generate") {
-    status = RunGenerate(*flags);
-  } else if (command == "plan") {
-    status = RunPlan(*flags);
-  } else if (command == "simulate") {
-    status = RunSimulate(*flags);
-  } else if (command == "check") {
-    status = RunCheck(*flags);
-  } else {
-    return Usage();
-  }
+  Status status = handler(*flags);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
