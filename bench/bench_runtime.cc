@@ -6,16 +6,23 @@
 //
 // Usage: bench_runtime [--updates 200000] [--sites 2,4,8,16] [--seed 42]
 //                      [--alarm-fraction 0.02] [--workers 0]
+//                      [--transport thread|socket]
+//
+// --transport socket runs the same workload through the TCP transport on
+// loopback (worker drivers in-process, one per worker thread), measuring
+// the framing + kernel socket overhead against the mailbox baseline.
 
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/strings.h"
 #include "runtime/runtime.h"
+#include "runtime/site_worker.h"
 
 namespace dcv {
 namespace {
@@ -26,12 +33,13 @@ struct BenchConfig {
   uint64_t seed = 42;
   double alarm_fraction = 0.02;  ///< Fraction of updates breaching T_i.
   int workers = 0;               ///< 0 = one thread per site.
+  bool socket = false;           ///< Loopback TCP instead of mailboxes.
 };
 
 Result<BenchConfig> ParseArgs(int argc, char** argv) {
   FlagSet flags;
   flags.Value("updates").Value("sites").Value("seed").Value("alarm-fraction")
-      .Value("workers");
+      .Value("workers").Value("transport");
   DCV_ASSIGN_OR_RETURN(ParsedFlags parsed, flags.Parse(argc, argv, 1));
   BenchConfig config;
   DCV_ASSIGN_OR_RETURN(config.updates,
@@ -53,6 +61,12 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
       config.site_counts.push_back(static_cast<int>(n));
     }
   }
+  const std::string transport = parsed.GetString("transport", "thread");
+  if (transport == "socket") {
+    config.socket = true;
+  } else if (transport != "thread") {
+    return InvalidArgumentError("--transport must be thread or socket");
+  }
   return config;
 }
 
@@ -65,8 +79,9 @@ int RunBench(const BenchConfig& config) {
       static_cast<double>(kSyntheticMax) * (1.0 - config.alarm_fraction));
 
   std::printf("# free-running runtime throughput (updates/site: %" PRId64
-              ", alarm fraction: %.3f)\n",
-              config.updates, config.alarm_fraction);
+              ", alarm fraction: %.3f, transport: %s)\n",
+              config.updates, config.alarm_fraction,
+              config.socket ? "socket" : "thread");
   std::printf("%8s %8s %14s %12s %14s %10s %10s\n", "sites", "threads",
               "updates", "seconds", "updates/sec", "alarms", "polls");
   for (int sites : config.site_counts) {
@@ -80,7 +95,41 @@ int RunBench(const BenchConfig& config) {
         static_cast<int64_t>(sites) * kSyntheticMax;  // Polls never flag.
     options.thresholds.assign(static_cast<size_t>(sites), site_threshold);
     options.domain_max.assign(static_cast<size_t>(sites), kSyntheticMax);
+
+    // Socket mode: the coordinator listens on an ephemeral loopback port
+    // and each worker drives its sites through a real TCP connection from
+    // an in-process thread.
+    std::vector<std::thread> worker_threads;
+    if (config.socket) {
+      const int num_workers =
+          options.num_workers == 0 ? sites : options.num_workers;
+      options.transport = TransportKind::kSocket;
+      options.listen_port = 0;
+      options.on_listening = [&worker_threads, num_workers, sites,
+                              &config](int port) {
+        for (int w = 0; w < num_workers; ++w) {
+          worker_threads.emplace_back([w, port, num_workers, sites, &config] {
+            SiteWorkerOptions wo;
+            wo.port = port;
+            wo.worker = w;
+            wo.num_workers = num_workers;
+            wo.num_sites = sites;
+            wo.synthetic_updates = config.updates;
+            wo.seed = config.seed;
+            wo.synthetic_max = 1'000'000;
+            auto report = RunSiteWorker(nullptr, wo);
+            if (!report.ok()) {
+              std::fprintf(stderr, "bench_runtime worker %d: %s\n", w,
+                           std::string(report.status().message()).c_str());
+            }
+          });
+        }
+      };
+    }
     auto result = RunSyntheticRuntime(sites, config.updates, options);
+    for (std::thread& t : worker_threads) {
+      t.join();
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "bench_runtime: %s\n",
                    std::string(result.status().message()).c_str());

@@ -1,8 +1,33 @@
 #include "common/flags.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/strings.h"
 
 namespace dcv {
+namespace {
+
+/// Canonical boolean spellings, case-insensitive: 1/true/yes and
+/// 0/false/no. Anything else ("maybe", "ture", an accidentally grabbed
+/// file name) is an error — a malformed --acks=false must never silently
+/// enable acks.
+Result<bool> ParseBoolToken(const std::string& raw) {
+  std::string v = raw;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "1" || v == "true" || v == "yes") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no") {
+    return false;
+  }
+  return InvalidArgumentError("invalid boolean value '" + raw +
+                              "' (expected 0/1/true/false/yes/no)");
+}
+
+}  // namespace
 
 FlagSet& FlagSet::Value(const std::string& name) {
   value_flags_.insert(name);
@@ -51,11 +76,24 @@ Result<ParsedFlags> FlagSet::Parse(const std::vector<std::string>& args) const {
       if (is_bool) {
         value = "1";
       } else {
-        if (i + 1 >= args.size()) {
+        // A following "--token" is the next flag, not a value: "--sites
+        // --virtual-time" means the value was forgotten, and consuming the
+        // flag would turn the mistake into a baffling downstream error.
+        if (i + 1 >= args.size() || StartsWith(args[i + 1], "--")) {
           return InvalidArgumentError("flag --" + key + " needs a value");
         }
         value = args[++i];
       }
+    }
+    if (is_bool) {
+      // Validate and normalize at parse time so "--quiet=maybe" fails here
+      // with the flag named, not wherever GetBool happens to be called.
+      auto parsed = ParseBoolToken(value);
+      if (!parsed.ok()) {
+        return InvalidArgumentError("flag --" + key + ": " +
+                                    std::string(parsed.status().message()));
+      }
+      value = *parsed ? "1" : "0";
     }
     flags.values_[key] = value;
   }
@@ -67,8 +105,23 @@ bool ParsedFlags::Has(const std::string& key) const {
 }
 
 bool ParsedFlags::GetBool(const std::string& key) const {
+  // Boolean flags were validated and normalized to "1"/"0" at parse time.
   auto it = values_.find(key);
-  return it != values_.end() && it->second != "0";
+  return it != values_.end() && it->second == "1";
+}
+
+Result<bool> ParsedFlags::GetBoolValue(const std::string& key,
+                                       bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  auto parsed = ParseBoolToken(it->second);
+  if (!parsed.ok()) {
+    return InvalidArgumentError("flag --" + key + ": " +
+                                std::string(parsed.status().message()));
+  }
+  return *parsed;
 }
 
 std::string ParsedFlags::GetString(const std::string& key,

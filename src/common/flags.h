@@ -44,7 +44,14 @@ class FlagSet {
 /// returns the fallback (GetRequired returns an error).
 class ParsedFlags {
  public:
+  /// Boolean-declared flags only: values were validated and normalized at
+  /// parse time, so this is absent=false, "--flag"/"--flag=true"=true.
   bool GetBool(const std::string& key) const;
+
+  /// Boolean lookup for a Value-declared flag ("--acks 1", "--acks=false").
+  /// Accepts 0/1/true/false/yes/no case-insensitively; anything else is an
+  /// error, not silently-true.
+  Result<bool> GetBoolValue(const std::string& key, bool fallback) const;
   std::string GetString(const std::string& key,
                         const std::string& fallback) const;
   Result<std::string> GetRequired(const std::string& key) const;

@@ -2,8 +2,10 @@
 
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "runtime/site_worker.h"
 #include "sim/local_scheme.h"
 #include "sim/polling_scheme.h"
 
@@ -11,13 +13,47 @@ namespace dcv {
 namespace {
 
 std::string DescribeEpochDiff(const EpochDetection& sim,
-                              const EpochDetection& rt) {
+                              const EpochDetection& rt,
+                              const std::string& label) {
   std::ostringstream os;
   os << "epoch " << sim.epoch << ": lockstep{alarms=" << sim.num_alarms
      << " polled=" << sim.polled << " violation=" << sim.violation_reported
-     << "} runtime{alarms=" << rt.num_alarms << " polled=" << rt.polled
+     << "} " << label << "{alarms=" << rt.num_alarms << " polled=" << rt.polled
      << " violation=" << rt.violation_reported << "}";
   return os.str();
+}
+
+/// Diffs one runtime run against the lockstep reference: per-epoch
+/// detections, per-type wire counts, reliability accounting; first
+/// divergence wins. Empty string = identical.
+std::string DiffAgainstLockstep(const SimResult& lockstep,
+                                const std::vector<EpochDetection>& epochs,
+                                const RuntimeResult& rt,
+                                const std::string& label) {
+  if (epochs.size() != rt.detections.size()) {
+    return label + " epoch count mismatch";
+  }
+  for (size_t t = 0; t < epochs.size(); ++t) {
+    if (!(epochs[t] == rt.detections[t])) {
+      return DescribeEpochDiff(epochs[t], rt.detections[t], label);
+    }
+  }
+  for (int m = 0; m < kNumMessageTypes; ++m) {
+    MessageType type = static_cast<MessageType>(m);
+    if (lockstep.messages.of(type) != rt.messages.of(type)) {
+      std::ostringstream os;
+      os << "message count mismatch for " << MessageTypeName(type)
+         << ": lockstep=" << lockstep.messages.of(type) << " " << label << "="
+         << rt.messages.of(type);
+      return os.str();
+    }
+  }
+  if (lockstep.reliability.ToJson() != rt.reliability.ToJson()) {
+    return "reliability stats mismatch: lockstep=" +
+           lockstep.reliability.ToJson() + " " + label + "=" +
+           rt.reliability.ToJson();
+  }
+  return "";
 }
 
 }  // namespace
@@ -68,39 +104,59 @@ Result<ConformanceReport> RunConformance(const Trace& training,
   rt_options.faults = spec.faults;
   DCV_ASSIGN_OR_RETURN(report.runtime,
                        RunMonitorRuntime(training, eval, rt_options));
+  report.mismatch = DiffAgainstLockstep(report.lockstep, report.lockstep_epochs,
+                                        report.runtime, "runtime");
+  if (!report.mismatch.empty()) {
+    return report;
+  }
 
-  // Diff: per-epoch detections, then per-type wire counts, then the
-  // channel's reliability accounting. First divergence wins.
-  if (report.lockstep_epochs.size() != report.runtime.detections.size()) {
-    report.mismatch = "epoch count mismatch";
-    return report;
-  }
-  for (size_t t = 0; t < report.lockstep_epochs.size(); ++t) {
-    if (!(report.lockstep_epochs[t] == report.runtime.detections[t])) {
-      report.mismatch =
-          DescribeEpochDiff(report.lockstep_epochs[t],
-                            report.runtime.detections[t]);
+  if (spec.transport == TransportKind::kSocket) {
+    // Third run: the same scenario over loopback TCP, with one in-process
+    // site-worker driver per worker connecting to an ephemeral port.
+    const int n = eval.num_sites();
+    const int workers = spec.num_workers == 0 ? n : spec.num_workers;
+    std::vector<std::thread> worker_threads;
+    std::vector<Status> worker_status(static_cast<size_t>(workers),
+                                      OkStatus());
+    RuntimeOptions socket_options = rt_options;
+    socket_options.transport = TransportKind::kSocket;
+    socket_options.listen_port = 0;
+    socket_options.on_listening = [&](int port) {
+      for (int w = 0; w < workers; ++w) {
+        worker_threads.emplace_back([&, w, port] {
+          SiteWorkerOptions wo;
+          wo.port = port;
+          wo.worker = w;
+          wo.num_workers = workers;
+          wo.num_sites = n;
+          auto r = RunSiteWorker(&eval, wo);
+          if (!r.ok()) {
+            worker_status[static_cast<size_t>(w)] = r.status();
+          }
+        });
+      }
+    };
+    Result<RuntimeResult> socket_run =
+        RunMonitorRuntime(training, eval, socket_options);
+    for (std::thread& th : worker_threads) {
+      th.join();
+    }
+    if (!socket_run.ok()) {
+      return socket_run.status();
+    }
+    for (const Status& s : worker_status) {
+      DCV_RETURN_IF_ERROR(s);
+    }
+    report.socket_runtime = std::move(*socket_run);
+    report.ran_socket = true;
+    report.mismatch =
+        DiffAgainstLockstep(report.lockstep, report.lockstep_epochs,
+                            report.socket_runtime, "socket-runtime");
+    if (!report.mismatch.empty()) {
       return report;
     }
   }
-  for (int m = 0; m < kNumMessageTypes; ++m) {
-    MessageType type = static_cast<MessageType>(m);
-    if (report.lockstep.messages.of(type) != report.runtime.messages.of(type)) {
-      std::ostringstream os;
-      os << "message count mismatch for " << MessageTypeName(type)
-         << ": lockstep=" << report.lockstep.messages.of(type)
-         << " runtime=" << report.runtime.messages.of(type);
-      report.mismatch = os.str();
-      return report;
-    }
-  }
-  if (report.lockstep.reliability.ToJson() !=
-      report.runtime.reliability.ToJson()) {
-    report.mismatch = "reliability stats mismatch: lockstep=" +
-                      report.lockstep.reliability.ToJson() +
-                      " runtime=" + report.runtime.reliability.ToJson();
-    return report;
-  }
+
   report.identical = true;
   return report;
 }

@@ -23,6 +23,12 @@ struct ConformanceSpec {
   int64_t global_threshold = 0;
   FaultSpec faults;
   int num_workers = 0;  ///< 0 = one thread per site.
+
+  /// kSocket adds a THIRD run over loopback TCP: the harness spawns one
+  /// in-process site-worker driver per worker (the exact code `dcvtool
+  /// site-worker` runs), connects them to an ephemeral-port coordinator,
+  /// and diffs that run against the lockstep reference too.
+  TransportKind transport = TransportKind::kThread;
 };
 
 /// Side-by-side outcome plus the verdict. `identical` demands agreement
@@ -33,6 +39,8 @@ struct ConformanceReport {
   SimResult lockstep;
   RuntimeResult runtime;
   std::vector<EpochDetection> lockstep_epochs;
+  RuntimeResult socket_runtime;  ///< Filled when ran_socket.
+  bool ran_socket = false;
   bool identical = false;
   std::string mismatch;  ///< Empty when identical; else first divergence.
 };

@@ -76,6 +76,100 @@ Status ResolvePlan(int n, const Trace* training, const RuntimeOptions& options,
   return OkStatus();
 }
 
+/// Builds the coordinator config shared by every transport.
+CoordinatorActor::Config MakeCoordinatorConfig(int n, const LaunchPlan& plan,
+                                               const RuntimeOptions& options) {
+  CoordinatorActor::Config ccfg;
+  ccfg.num_sites = n;
+  ccfg.weights = plan.weights;
+  ccfg.global_threshold = options.global_threshold;
+  ccfg.protocol = options.protocol;
+  ccfg.poll_period = options.poll_period;
+  ccfg.thresholds = plan.thresholds;
+  ccfg.domain_max = plan.domain_max;
+  ccfg.faults = options.faults;
+  ccfg.metrics = options.metrics;
+  ccfg.recorder = options.recorder;
+  return ccfg;
+}
+
+/// Socket-transport launch: this process runs only the coordinator; the
+/// site actors live in site-worker processes (site_worker.h) that connect
+/// over TCP. The protocol state machines are untouched — the coordinator
+/// sees the same Transport interface — so virtual-time runs stay
+/// bit-identical to the in-process and lockstep paths.
+Result<RuntimeResult> LaunchSocket(int n, int64_t updates_per_site,
+                                   const LaunchPlan& plan,
+                                   const RuntimeOptions& options) {
+  if (options.capture_updates) {
+    return InvalidArgumentError(
+        "capture_updates is not supported over the socket transport");
+  }
+  int workers = options.num_workers == 0 ? n : options.num_workers;
+  if (workers < 1 || workers > n) {
+    return InvalidArgumentError("num_workers must be in [1, num_sites]");
+  }
+  SocketTransport::Options sopts = options.socket;
+  sopts.virtual_time = options.virtual_time;
+  sopts.metrics = options.metrics;
+  DCV_ASSIGN_OR_RETURN(
+      std::unique_ptr<SocketTransport> transport,
+      SocketTransport::Listen(n, workers, options.listen_port, sopts));
+  if (options.on_listening) {
+    options.on_listening(transport->port());
+  }
+  DCV_RETURN_IF_ERROR(transport->AcceptWorkers());
+  if (options.recorder != nullptr) {
+    options.recorder->DeclareSites(n);
+  }
+
+  CoordinatorActor coordinator(MakeCoordinatorConfig(n, plan, options));
+  DCV_RETURN_IF_ERROR(coordinator.Init());
+
+  // Initial threshold sync: in-process runs bake the thresholds into the
+  // SiteActor configs; remote workers get them as the connection's first
+  // envelopes instead. Control plane (uncharged — provisioning, not
+  // protocol traffic), and per-connection FIFO means every site installs
+  // its threshold before it evaluates anything.
+  const bool local = options.protocol == RuntimeProtocol::kLocalThreshold;
+  for (int i = 0; i < n; ++i) {
+    ActorMessage update;
+    update.kind = ActorMsgKind::kThresholdUpdate;
+    update.epoch = -1;
+    update.value = local ? plan.thresholds[static_cast<size_t>(i)]
+                         : std::numeric_limits<int64_t>::max();
+    if (!transport->Send(Envelope{kCoordinatorId, i, update})) {
+      return InternalError("worker connection closed during threshold sync");
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RuntimeResult result;
+  Status run_status =
+      options.virtual_time
+          ? coordinator.RunVirtual(transport.get(), updates_per_site, &result)
+          : coordinator.RunFree(transport.get(), &result);
+  // Flushes the queued kShutdown broadcast, then closes the connections
+  // (workers see a clean end of stream and exit their loops).
+  transport->Shutdown();
+  DCV_RETURN_IF_ERROR(run_status);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (options.virtual_time) {
+    // Every site observes every epoch in lockstep; the actual counters live
+    // in the worker processes.
+    result.site_updates.assign(static_cast<size_t>(n), updates_per_site);
+    result.total_updates = static_cast<int64_t>(n) * updates_per_site;
+  }  // Free-running mode: RunFree filled these from the kSiteDone reports.
+  result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.updates_per_second =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.total_updates) / result.elapsed_seconds
+          : 0.0;
+  result.socket = transport->stats();
+  return result;
+}
+
 /// Builds actors and threads, runs the coordinator on the calling thread,
 /// joins, and fills the throughput/capture fields. `eval` is null for
 /// synthetic runs.
@@ -83,6 +177,9 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
                              int64_t updates_per_site,
                              const LaunchPlan& plan,
                              const RuntimeOptions& options) {
+  if (options.transport == TransportKind::kSocket) {
+    return LaunchSocket(n, updates_per_site, plan, options);
+  }
   int workers = options.num_workers == 0 ? n : options.num_workers;
   if (workers < 1 || workers > n) {
     return InvalidArgumentError("num_workers must be in [1, num_sites]");
@@ -122,18 +219,7 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
         sites[static_cast<size_t>(i)].get());
   }
 
-  CoordinatorActor::Config ccfg;
-  ccfg.num_sites = n;
-  ccfg.weights = plan.weights;
-  ccfg.global_threshold = options.global_threshold;
-  ccfg.protocol = options.protocol;
-  ccfg.poll_period = options.poll_period;
-  ccfg.thresholds = plan.thresholds;
-  ccfg.domain_max = plan.domain_max;
-  ccfg.faults = options.faults;
-  ccfg.metrics = options.metrics;
-  ccfg.recorder = options.recorder;
-  CoordinatorActor coordinator(std::move(ccfg));
+  CoordinatorActor coordinator(MakeCoordinatorConfig(n, plan, options));
   DCV_RETURN_IF_ERROR(coordinator.Init());
 
   const auto t0 = std::chrono::steady_clock::now();

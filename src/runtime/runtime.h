@@ -2,17 +2,26 @@
 #define DCV_RUNTIME_RUNTIME_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
 #include "obs/obs.h"
 #include "runtime/coordinator.h"
 #include "runtime/runtime_result.h"
+#include "runtime/socket_transport.h"
 #include "sim/channel.h"
 #include "threshold/solver.h"
 #include "trace/trace.h"
 
 namespace dcv {
+
+/// Which message fabric carries the coordinator <-> site traffic.
+enum class TransportKind {
+  kThread,  ///< In-process bounded mailboxes (the default).
+  kSocket,  ///< TCP: this process is the coordinator; site-worker processes
+            ///< connect over loopback or the network (see site_worker.h).
+};
 
 /// Configuration for one threaded-runtime run (the concurrent counterpart
 /// of SimOptions).
@@ -53,8 +62,20 @@ struct RuntimeOptions {
   int64_t synthetic_max = 1000000;
 
   /// Record every consumed update into RuntimeResult::captured_updates
-  /// (seed-determinism tests; memory-proportional to the workload).
+  /// (seed-determinism tests; memory-proportional to the workload). Not
+  /// supported over the socket transport (the updates live in the worker
+  /// processes).
   bool capture_updates = false;
+
+  /// kSocket: listen on `listen_port` (0 = ephemeral) and wait for
+  /// `num_workers` site-worker processes. `on_listening` fires once the
+  /// port is bound, before accepting — publish the port (or spawn local
+  /// workers in tests) from it. Timeouts/backoff/capacities in `socket`;
+  /// its virtual_time and metrics fields are overridden from this struct.
+  TransportKind transport = TransportKind::kThread;
+  int listen_port = 0;
+  SocketTransport::Options socket;
+  std::function<void(int port)> on_listening;
 
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* recorder = nullptr;

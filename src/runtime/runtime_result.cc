@@ -38,6 +38,17 @@ std::string RuntimeResult::ToJson() const {
   }
   w.EndArray();
   w.EndObject();
+  w.Key("socket").BeginObject();
+  w.Key("frames_sent").Value(socket.frames_sent);
+  w.Key("frames_received").Value(socket.frames_received);
+  w.Key("bytes_sent").Value(socket.bytes_sent);
+  w.Key("bytes_received").Value(socket.bytes_received);
+  w.Key("connect_attempts").Value(socket.connect_attempts);
+  w.Key("connect_retries").Value(socket.connect_retries);
+  w.Key("accept_timeouts").Value(socket.accept_timeouts);
+  w.Key("decode_errors").Value(socket.decode_errors);
+  w.Key("disconnects").Value(socket.disconnects);
+  w.EndObject();
   w.EndObject();
   return w.str();
 }

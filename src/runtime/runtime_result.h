@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/wire.h"
 #include "sim/channel.h"
 #include "sim/message.h"
 
@@ -62,6 +63,10 @@ struct RuntimeResult {
   /// Per-site update sequences, filled only when
   /// RuntimeOptions::capture_updates was set (seed-determinism tests).
   std::vector<std::vector<int64_t>> captured_updates;
+
+  /// Socket-transport runs only: the coordinator side's wire-level
+  /// reliability counters (all zero for in-process transports).
+  SocketStats socket;
 
   /// Unified telemetry export in the SimResult::ToJson style: messages,
   /// detection tallies, reliability, and throughput in one object.

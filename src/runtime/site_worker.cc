@@ -1,0 +1,118 @@
+#include "runtime/site_worker.h"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "runtime/site_actor.h"
+
+namespace dcv {
+
+Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
+                                       const SiteWorkerOptions& options) {
+  if (options.num_sites < 1 || options.num_workers < 1 ||
+      options.num_workers > options.num_sites) {
+    return InvalidArgumentError("bad fabric shape");
+  }
+  if (options.worker < 0 || options.worker >= options.num_workers) {
+    return InvalidArgumentError("worker index out of range");
+  }
+  if (eval != nullptr && eval->num_sites() != options.num_sites) {
+    return InvalidArgumentError("eval trace site count does not match fabric");
+  }
+  if (eval == nullptr && options.synthetic_updates < 1) {
+    return InvalidArgumentError(
+        "site worker needs an eval trace or a synthetic workload");
+  }
+
+  SocketTransport::Options sopts = options.socket;
+  sopts.metrics = options.metrics;
+  DCV_ASSIGN_OR_RETURN(
+      std::unique_ptr<SocketTransport> transport,
+      SocketTransport::Connect(options.host, options.port, options.worker,
+                               options.num_sites, options.num_workers, sopts));
+
+  // Owned actors start unconstrained; the real thresholds arrive as the
+  // coordinator's first envelopes (per-connection FIFO guarantees they
+  // install before any epoch start or poll reaches the site).
+  std::vector<std::unique_ptr<SiteActor>> actors;
+  std::vector<SiteActor*> owned;
+  for (int i = options.worker; i < options.num_sites;
+       i += options.num_workers) {
+    SiteActor::Config cfg;
+    cfg.site = i;
+    cfg.threshold = std::numeric_limits<int64_t>::max();
+    if (eval != nullptr) {
+      cfg.series = eval->SiteSeries(i);
+    } else {
+      cfg.synthetic_updates = options.synthetic_updates;
+    }
+    cfg.seed = options.seed;
+    cfg.synthetic_max = options.synthetic_max;
+    cfg.metrics = options.metrics;
+    actors.push_back(std::make_unique<SiteActor>(cfg));
+    owned.push_back(actors.back().get());
+  }
+
+  SiteWorkerReport report;
+  for (const SiteActor* s : owned) {
+    report.sites.push_back(s->site());
+  }
+  report.virtual_time = transport->virtual_time();
+
+  // Initial threshold sync: exactly one kThresholdUpdate per owned site
+  // before the run proper. A kShutdown here means the coordinator aborted
+  // during startup; exit cleanly instead of erroring.
+  size_t pending = owned.size();
+  bool aborted = false;
+  Envelope e;
+  while (pending > 0 && !aborted) {
+    if (!transport->RecvWorker(options.worker, &e)) {
+      transport->Shutdown();
+      return InternalError(
+          "connection closed before initial threshold sync completed");
+    }
+    switch (e.msg.kind) {
+      case ActorMsgKind::kThresholdUpdate: {
+        bool found = false;
+        for (SiteActor* s : owned) {
+          if (s->site() == e.to) {
+            s->OnThresholdUpdate(e.msg.value);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          transport->Shutdown();
+          return InternalError("threshold sync addressed to unowned site " +
+                               std::to_string(e.to));
+        }
+        --pending;
+        break;
+      }
+      case ActorMsgKind::kShutdown:
+        aborted = true;
+        break;
+      default:
+        transport->Shutdown();
+        return InternalError("unexpected message during threshold sync");
+    }
+  }
+
+  if (!aborted) {
+    if (report.virtual_time) {
+      RunSiteWorkerVirtual(transport.get(), options.worker, owned);
+    } else {
+      RunSiteWorkerFree(transport.get(), options.worker, owned);
+    }
+  }
+  transport->Shutdown();
+
+  for (const SiteActor* s : owned) {
+    report.total_updates += s->updates_processed();
+  }
+  report.socket = transport->stats();
+  return report;
+}
+
+}  // namespace dcv

@@ -1,0 +1,594 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace dcv {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void SetSendTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    return;
+  }
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer; false on any error (including send timeout).
+bool WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking read of exactly one frame, bounded by `timeout_ms` total.
+/// Handshake-only: steady-state reads go through ReaderLoop.
+Result<WireFrame> ReadFrame(int fd, int timeout_ms, FrameReader* reader) {
+  WireFrame frame;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    DCV_ASSIGN_OR_RETURN(bool ready, reader->Next(&frame));
+    if (ready) {
+      return frame;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return ResourceExhaustedError("timed out waiting for handshake frame");
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    pollfd p{fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, std::max(1, wait_ms));
+    if (rc < 0 && errno != EINTR) {
+      return ErrnoError("poll during handshake");
+    }
+    if (rc <= 0) {
+      continue;
+    }
+    uint8_t buf[4096];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return InternalError("peer closed the connection during handshake");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return ErrnoError("recv during handshake");
+    }
+    reader->Append(buf, static_cast<size_t>(n));
+  }
+}
+
+/// One non-blocking connect attempt bounded by `timeout_ms`; returns the
+/// connected fd (restored to blocking mode) or an error.
+Result<int> ConnectOnce(const sockaddr_in& addr, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return ErrnoError("socket");
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return ErrnoError("connect");
+  }
+  if (rc != 0) {
+    pollfd p{fd, POLLOUT, 0};
+    rc = ::poll(&p, 1, timeout_ms);
+    if (rc <= 0) {
+      ::close(fd);
+      return ResourceExhaustedError("connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      return ErrnoError("connect");
+    }
+  }
+  // Back to blocking mode for the reader/writer threads.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+  return fd;
+}
+
+size_t AutoWorkerCapacity(int num_sites, int num_workers) {
+  size_t per_worker =
+      (static_cast<size_t>(num_sites) + static_cast<size_t>(num_workers) - 1) /
+      static_cast<size_t>(num_workers);
+  return 4 * per_worker + 8;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
+                                 int worker, const Options& options)
+    : role_(role),
+      num_sites_(num_sites),
+      num_workers_(num_workers),
+      worker_(worker),
+      options_(options) {
+  const size_t coordinator_capacity =
+      options_.coordinator_capacity != 0
+          ? options_.coordinator_capacity
+          : 2 * static_cast<size_t>(num_sites) + 16;
+  const size_t worker_capacity =
+      options_.worker_capacity != 0
+          ? options_.worker_capacity
+          : AutoWorkerCapacity(num_sites, num_workers);
+  if (role_ == Role::kCoordinator) {
+    inbox_ = std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
+    conns_.resize(static_cast<size_t>(num_workers));
+    for (Connection& c : conns_) {
+      // The coordinator's queue toward one worker plays the worker-inbox
+      // role, so it inherits that capacity (deadlock-freedom invariant).
+      c.send_box = std::make_unique<Mailbox<Envelope>>(worker_capacity);
+    }
+  } else {
+    inbox_ = std::make_unique<Mailbox<Envelope>>(worker_capacity);
+    conns_.resize(1);
+    // The worker's queue toward the coordinator mirrors the coordinator
+    // inbox: sites block here under backpressure, exactly as they block on
+    // the shared inbox in ThreadTransport.
+    conns_[0].send_box =
+        std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
+  }
+  if (options_.metrics != nullptr) {
+    c_frames_tx_ = options_.metrics->counter("runtime/socket/frames_tx");
+    c_frames_rx_ = options_.metrics->counter("runtime/socket/frames_rx");
+    c_bytes_tx_ = options_.metrics->counter("runtime/socket/bytes_tx");
+    c_bytes_rx_ = options_.metrics->counter("runtime/socket/bytes_rx");
+    c_connect_retries_ =
+        options_.metrics->counter("runtime/socket/connect_retries");
+    c_disconnects_ = options_.metrics->counter("runtime/socket/disconnects");
+  }
+}
+
+SocketTransport::~SocketTransport() { Shutdown(); }
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
+    int num_sites, int num_workers, int port, const Options& options) {
+  if (num_sites < 1) {
+    return InvalidArgumentError("socket transport needs at least one site");
+  }
+  if (num_workers < 1 || num_workers > num_sites) {
+    return InvalidArgumentError("num_workers must be in [1, num_sites]");
+  }
+  if (port < 0 || port > 65535) {
+    return InvalidArgumentError("listen port must be in [0, 65535]");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = ErrnoError("bind to port " + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, num_workers) != 0) {
+    Status s = ErrnoError("listen");
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = ErrnoError("getsockname");
+    ::close(fd);
+    return s;
+  }
+  auto transport = std::unique_ptr<SocketTransport>(new SocketTransport(
+      Role::kCoordinator, num_sites, num_workers, /*worker=*/-1, options));
+  transport->listen_fd_ = fd;
+  transport->port_ = static_cast<int>(ntohs(bound.sin_port));
+  transport->virtual_time_ = options.virtual_time;
+  return transport;
+}
+
+Status SocketTransport::AcceptWorkers() {
+  if (role_ != Role::kCoordinator || listen_fd_ < 0) {
+    return FailedPreconditionError("AcceptWorkers needs a listening transport");
+  }
+  std::vector<int> fds(static_cast<size_t>(num_workers_), -1);
+  std::vector<std::string> residuals(static_cast<size_t>(num_workers_));
+  auto reject_all = [&fds](Status s) {
+    for (int fd : fds) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+    return s;
+  };
+  for (int pending = num_workers_; pending > 0; --pending) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&p, 1, options_.accept_timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      return reject_all(ErrnoError("poll on listen socket"));
+    }
+    if (rc <= 0) {
+      accept_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return reject_all(ResourceExhaustedError(
+          "timed out waiting for worker connections (" +
+          std::to_string(num_workers_ - pending) + " of " +
+          std::to_string(num_workers_) + " connected)"));
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return reject_all(ErrnoError("accept"));
+    }
+    SetNoDelay(fd);
+    SetSendTimeout(fd, options_.io_timeout_ms);
+
+    FrameReader reader;
+    auto frame = ReadFrame(fd, options_.io_timeout_ms, &reader);
+    std::string reply;
+    HelloAckFrame ack;
+    ack.num_sites = num_sites_;
+    ack.num_workers = num_workers_;
+    ack.virtual_time = virtual_time_ ? 1 : 0;
+    Status verdict = OkStatus();
+    int worker = -1;
+    if (!frame.ok()) {
+      verdict = InternalError("worker handshake failed: " +
+                              std::string(frame.status().message()));
+    } else if (frame->type != FrameType::kHello) {
+      verdict = InternalError("expected hello frame, got another type");
+    } else {
+      const HelloFrame& hello = frame->hello;
+      worker = hello.worker;
+      if (hello.num_sites != num_sites_ || hello.num_workers != num_workers_) {
+        verdict = InvalidArgumentError(
+            "worker fabric shape mismatch: worker says " +
+            std::to_string(hello.num_sites) + " sites / " +
+            std::to_string(hello.num_workers) + " workers, coordinator has " +
+            std::to_string(num_sites_) + " / " + std::to_string(num_workers_));
+      } else if (worker < 0 || worker >= num_workers_) {
+        verdict = InvalidArgumentError("worker index " +
+                                       std::to_string(worker) +
+                                       " out of range");
+      } else if (fds[static_cast<size_t>(worker)] >= 0) {
+        verdict = InvalidArgumentError("worker " + std::to_string(worker) +
+                                       " connected twice");
+      }
+    }
+    ack.ok = verdict.ok() ? 1 : 0;
+    AppendHelloAckFrame(ack, &reply);
+    WriteAll(fd, reply.data(), reply.size());
+    if (!verdict.ok()) {
+      ::close(fd);
+      return reject_all(verdict);
+    }
+    fds[static_cast<size_t>(worker)] = fd;
+    residuals[static_cast<size_t>(worker)] = reader.TakeBuffered();
+  }
+  for (size_t w = 0; w < fds.size(); ++w) {
+    StartConnection(w, fds[w], std::move(residuals[w]));
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& host, int port, int worker, int num_sites,
+    int num_workers, const Options& options) {
+  if (num_sites < 1 || num_workers < 1 || num_workers > num_sites) {
+    return InvalidArgumentError("bad fabric shape");
+  }
+  if (worker < 0 || worker >= num_workers) {
+    return InvalidArgumentError("worker index out of range");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("cannot parse host address '" + host +
+                                "' (dotted IPv4 expected)");
+  }
+
+  auto transport = std::unique_ptr<SocketTransport>(new SocketTransport(
+      Role::kWorker, num_sites, num_workers, worker, options));
+  int fd = -1;
+  int backoff = std::max(1, options.connect_backoff_ms);
+  Status last = OkStatus();
+  for (int attempt = 0; attempt < std::max(1, options.connect_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      transport->connect_retries_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(transport->c_connect_retries_, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, 2000);
+    }
+    transport->connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    auto attempt_fd = ConnectOnce(addr, options.connect_timeout_ms);
+    if (attempt_fd.ok()) {
+      fd = *attempt_fd;
+      break;
+    }
+    last = attempt_fd.status();
+  }
+  if (fd < 0) {
+    return InternalError("could not connect to " + host + ":" +
+                         std::to_string(port) + " after " +
+                         std::to_string(std::max(1, options.connect_attempts)) +
+                         " attempts: " + std::string(last.message()));
+  }
+  SetNoDelay(fd);
+  SetSendTimeout(fd, options.io_timeout_ms);
+
+  HelloFrame hello;
+  hello.worker = worker;
+  hello.num_workers = num_workers;
+  hello.num_sites = num_sites;
+  std::string out;
+  AppendHelloFrame(hello, &out);
+  if (!WriteAll(fd, out.data(), out.size())) {
+    ::close(fd);
+    return ErrnoError("sending hello");
+  }
+  FrameReader reader;
+  auto ack = ReadFrame(fd, options.io_timeout_ms, &reader);
+  if (!ack.ok()) {
+    ::close(fd);
+    return ack.status();
+  }
+  if (ack->type != FrameType::kHelloAck) {
+    ::close(fd);
+    return InternalError("expected hello-ack frame");
+  }
+  if (ack->hello_ack.ok == 0) {
+    ::close(fd);
+    return InvalidArgumentError(
+        "coordinator rejected the handshake (shape mismatch or duplicate "
+        "worker)");
+  }
+  transport->virtual_time_ = ack->hello_ack.virtual_time != 0;
+  // TCP can coalesce the ack with the coordinator's first data frames
+  // (e.g. the initial threshold sync); hand the tail to the reader thread.
+  transport->StartConnection(0, fd, reader.TakeBuffered());
+  return transport;
+}
+
+void SocketTransport::StartConnection(size_t index, int fd,
+                                      std::string residual) {
+  Connection& c = conns_[index];
+  c.fd = fd;
+  c.residual = std::move(residual);
+  c.reader = std::thread([this, index] { ReaderLoop(index); });
+  c.writer = std::thread([this, index] { WriterLoop(index); });
+}
+
+void SocketTransport::ReaderLoop(size_t index) {
+  Connection& c = conns_[index];
+  FrameReader reader;
+  uint8_t buf[65536];
+  bool clean = false;
+
+  // Decodes everything buffered in `reader`; false = drop the connection.
+  auto drain_frames = [&]() {
+    for (;;) {
+      WireFrame frame;
+      auto r = reader.Next(&frame);
+      if (!r.ok()) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (!*r) {
+        return true;
+      }
+      if (frame.type != FrameType::kEnvelope) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // Stray handshake frame mid-run; drop it.
+      }
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_frames_rx_, 1);
+      if (!inbox_->Push(frame.envelope)) {
+        return false;  // Inbox closed: we are shutting down.
+      }
+    }
+  };
+
+  // Bytes the handshake read past its own frame come first: they are
+  // earlier in the stream than anything recv() will return.
+  bool stream_ok = true;
+  if (!c.residual.empty()) {
+    reader.Append(reinterpret_cast<const uint8_t*>(c.residual.data()),
+                  c.residual.size());
+    c.residual.clear();
+    stream_ok = drain_frames();
+  }
+  while (stream_ok) {
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      clean = true;  // Peer finished sending: graceful end of stream.
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // Reset/abort — or our own Shutdown closed the socket.
+    }
+    bytes_received_.fetch_add(n, std::memory_order_relaxed);
+    DCV_OBS_COUNT(c_bytes_rx_, n);
+    reader.Append(buf, static_cast<size_t>(n));
+    stream_ok = drain_frames();
+  }
+  if (!clean && !shutting_down_.load(std::memory_order_relaxed)) {
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+    DCV_OBS_COUNT(c_disconnects_, 1);
+  }
+  // End of stream — graceful or not — means no more messages can arrive on
+  // this connection; close the inbox so blocked receivers drain and exit,
+  // matching ThreadTransport's closed-and-drained contract.
+  inbox_->Close();
+  c.send_box->Close();
+}
+
+void SocketTransport::WriterLoop(size_t index) {
+  Connection& c = conns_[index];
+  std::string buf;
+  Envelope e;
+  while (c.send_box->Pop(&e)) {
+    buf.clear();
+    AppendEnvelopeFrame(e, &buf);
+    int64_t frames = 1;
+    // Coalesce whatever is already queued into one write (epoch barriers
+    // broadcast N small frames back to back).
+    while (buf.size() < 32768 && c.send_box->TryPop(&e)) {
+      AppendEnvelopeFrame(e, &buf);
+      ++frames;
+    }
+    if (!WriteAll(c.fd, buf.data(), buf.size())) {
+      if (!shutting_down_.load(std::memory_order_relaxed)) {
+        disconnects_.fetch_add(1, std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_disconnects_, 1);
+        inbox_->Close();
+      }
+      c.send_box->Close();
+      while (c.send_box->Pop(&e)) {
+        // Drain so producers blocked in Push wake and see closed.
+      }
+      return;
+    }
+    frames_sent_.fetch_add(frames, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(static_cast<int64_t>(buf.size()),
+                          std::memory_order_relaxed);
+    DCV_OBS_COUNT(c_frames_tx_, frames);
+    DCV_OBS_COUNT(c_bytes_tx_, static_cast<int64_t>(buf.size()));
+  }
+  // Send queue closed and drained: our side is done sending. Half-close so
+  // the peer's reader sees a clean end of stream once it drains.
+  ::shutdown(c.fd, SHUT_WR);
+}
+
+bool SocketTransport::Send(const Envelope& e) {
+  if (role_ == Role::kCoordinator) {
+    if (e.to < 0 || e.to >= num_sites_) {
+      return false;
+    }
+    return conns_[static_cast<size_t>(WorkerOf(e.to))].send_box->Push(e);
+  }
+  if (e.to != kCoordinatorId) {
+    return false;
+  }
+  return conns_[0].send_box->Push(e);
+}
+
+bool SocketTransport::RecvCoordinator(Envelope* out) {
+  return role_ == Role::kCoordinator && inbox_->Pop(out);
+}
+
+bool SocketTransport::TryRecvCoordinator(Envelope* out) {
+  return role_ == Role::kCoordinator && inbox_->TryPop(out);
+}
+
+bool SocketTransport::RecvWorker(int worker, Envelope* out) {
+  return role_ == Role::kWorker && worker == worker_ && inbox_->Pop(out);
+}
+
+bool SocketTransport::TryRecvWorker(int worker, Envelope* out) {
+  return role_ == Role::kWorker && worker == worker_ && inbox_->TryPop(out);
+}
+
+void SocketTransport::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shutdown_done_) {
+    return;
+  }
+  shutdown_done_ = true;
+  shutting_down_.store(true, std::memory_order_relaxed);
+  // Phase 1: flush. Closing a mailbox still lets Pop drain it, so the
+  // writers push every queued frame (including a final kShutdown
+  // broadcast) before half-closing their sockets.
+  for (Connection& c : conns_) {
+    if (c.send_box != nullptr) {
+      c.send_box->Close();
+    }
+  }
+  for (Connection& c : conns_) {
+    if (c.writer.joinable()) {
+      c.writer.join();
+    }
+  }
+  // Phase 2: stop receiving. Shut the sockets to wake blocked readers and
+  // close the inbox so blocked receivers drain out.
+  for (Connection& c : conns_) {
+    if (c.fd >= 0) {
+      ::shutdown(c.fd, SHUT_RDWR);
+    }
+  }
+  inbox_->Close();
+  for (Connection& c : conns_) {
+    if (c.reader.joinable()) {
+      c.reader.join();
+    }
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+SocketStats SocketTransport::stats() const {
+  SocketStats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.connect_attempts = connect_attempts_.load(std::memory_order_relaxed);
+  s.connect_retries = connect_retries_.load(std::memory_order_relaxed);
+  s.accept_timeouts = accept_timeouts_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dcv

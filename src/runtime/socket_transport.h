@@ -1,0 +1,155 @@
+#ifndef DCV_RUNTIME_SOCKET_TRANSPORT_H_
+#define DCV_RUNTIME_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/obs.h"
+#include "runtime/mailbox.h"
+#include "runtime/transport.h"
+#include "runtime/wire.h"
+
+namespace dcv {
+
+/// TCP implementation of the Transport interface: the coordinator process
+/// listens and accepts exactly one connection per worker process; site
+/// workers connect, identify themselves with a versioned handshake
+/// (wire.h), and then exchange length-prefixed Envelope frames.
+///
+/// Backpressure mirrors ThreadTransport: every connection owns a bounded
+/// send-queue Mailbox with the same capacity formula as the in-process
+/// inboxes, so Send blocks when the peer falls behind (the TCP socket adds
+/// kernel-buffer slack but never unbounded memory). A writer thread drains
+/// each send queue onto the socket; a reader thread decodes frames into
+/// the owner's inbox.
+///
+/// Lifecycle and failure semantics:
+///  * Connect retries with bounded attempts and exponential backoff;
+///    Listen/AcceptWorkers bound the wait per expected connection. Both
+///    surface in SocketStats (and "runtime/socket/*" obs counters).
+///  * A peer closing its stream (EOF) closes this side's inbox: blocked
+///    receivers drain and then observe transport-closed, exactly like
+///    ThreadTransport::Shutdown. Mid-run resets count as `disconnects`.
+///  * Shutdown flushes the send queues (writers drain the bounded boxes
+///    before the sockets close), so a graceful kShutdown broadcast is
+///    never lost.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    int accept_timeout_ms = 30000;  ///< Per expected worker connection.
+    int connect_timeout_ms = 5000;  ///< Per connect() attempt.
+    int connect_attempts = 10;      ///< Bounded reconnect budget.
+    int connect_backoff_ms = 100;   ///< Doubles per retry, capped at 2 s.
+    int io_timeout_ms = 30000;      ///< Handshake reads + steady-state sends.
+    size_t coordinator_capacity = 0;  ///< 0 = auto (2 * num_sites + 16).
+    size_t worker_capacity = 0;       ///< 0 = auto (4 * ceil(sites/workers) + 8).
+    bool virtual_time = true;  ///< Coordinator role: mode pushed to workers.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Coordinator role: binds and listens on `port` (0 = ephemeral; see
+  /// port()). Returns before any worker has connected so the caller can
+  /// publish the port; call AcceptWorkers() to complete the fabric.
+  static Result<std::unique_ptr<SocketTransport>> Listen(
+      int num_sites, int num_workers, int port, const Options& options);
+
+  /// Coordinator role: accepts and handshakes all `num_workers`
+  /// connections, then starts the per-connection reader/writer threads.
+  /// Fails on accept timeout, handshake mismatch, or duplicate workers.
+  Status AcceptWorkers();
+
+  /// Worker role: connects to the coordinator (bounded retries) and
+  /// handshakes as `worker`. The run mode the coordinator advertises is
+  /// available as virtual_time() afterwards.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& host, int port, int worker, int num_sites,
+      int num_workers, const Options& options);
+
+  ~SocketTransport() override;
+
+  /// Bound listen port (coordinator role; resolves port 0 to the actual).
+  int port() const { return port_; }
+
+  /// Worker role: the run mode from the coordinator's handshake ack.
+  bool virtual_time() const { return virtual_time_; }
+
+  SocketStats stats() const;
+
+  int num_sites() const override { return num_sites_; }
+  int num_workers() const override { return num_workers_; }
+  int WorkerOf(int site) const override { return site % num_workers_; }
+  bool Send(const Envelope& e) override;
+  bool RecvCoordinator(Envelope* out) override;
+  bool TryRecvCoordinator(Envelope* out) override;
+  bool RecvWorker(int worker, Envelope* out) override;
+  bool TryRecvWorker(int worker, Envelope* out) override;
+  void Shutdown() override;
+
+ private:
+  enum class Role { kCoordinator, kWorker };
+
+  /// One TCP connection: the socket, its bounded send queue, and the two
+  /// threads that pump it. Coordinator role has one per worker; worker
+  /// role has exactly one (index 0).
+  struct Connection {
+    int fd = -1;
+    /// Bytes the handshake read past its own frame (TCP coalescing can put
+    /// the first data frames in the same segment as the hello/ack); the
+    /// reader thread consumes these before touching the socket.
+    std::string residual;
+    std::unique_ptr<Mailbox<Envelope>> send_box;
+    std::thread reader;
+    std::thread writer;
+  };
+
+  SocketTransport(Role role, int num_sites, int num_workers, int worker,
+                  const Options& options);
+
+  void StartConnection(size_t index, int fd, std::string residual);
+  void ReaderLoop(size_t index);
+  void WriterLoop(size_t index);
+
+  const Role role_;
+  const int num_sites_;
+  const int num_workers_;
+  const int worker_;  ///< Worker role: this process's worker index.
+  Options options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool virtual_time_ = true;
+
+  /// Coordinator role: the coordinator inbox. Worker role: this worker's
+  /// inbox. Fed by the reader thread(s).
+  std::unique_ptr<Mailbox<Envelope>> inbox_;
+  std::vector<Connection> conns_;
+
+  std::atomic<bool> shutting_down_{false};
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+
+  // Wire-level counters (stats() snapshot + optional obs mirror).
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> connect_attempts_{0};
+  std::atomic<int64_t> connect_retries_{0};
+  std::atomic<int64_t> accept_timeouts_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> disconnects_{0};
+  obs::Counter* c_frames_tx_ = nullptr;
+  obs::Counter* c_frames_rx_ = nullptr;
+  obs::Counter* c_bytes_tx_ = nullptr;
+  obs::Counter* c_bytes_rx_ = nullptr;
+  obs::Counter* c_connect_retries_ = nullptr;
+  obs::Counter* c_disconnects_ = nullptr;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_SOCKET_TRANSPORT_H_

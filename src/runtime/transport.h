@@ -77,6 +77,13 @@ class ThreadTransport : public Transport {
 
   size_t coordinator_capacity() const { return coordinator_box_->capacity(); }
 
+  /// Capacity of each worker inbox (identical across workers; with uneven
+  /// site division the formula uses ceil(sites/workers), so the most-loaded
+  /// worker still fits its 4-messages-per-owned-site worst case).
+  size_t worker_capacity() const {
+    return worker_boxes_.empty() ? 0 : worker_boxes_[0]->capacity();
+  }
+
  private:
   ThreadTransport(int num_sites, int num_workers, size_t coordinator_capacity,
                   size_t worker_capacity);

@@ -1,0 +1,241 @@
+#include "runtime/wire.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace dcv {
+namespace {
+
+// All integers travel little-endian regardless of host order, written and
+// read a byte at a time (no aliasing, no alignment assumptions).
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+void PutI64(int64_t v, std::string* out) {
+  uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+  }
+}
+
+/// Cursor over a received payload; all Get* fail softly by flagging
+/// `ok = false` so the caller can return one error for any short body.
+struct Cursor {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+  bool ok = true;
+
+  uint8_t U8() {
+    if (pos + 1 > len) {
+      ok = false;
+      return 0;
+    }
+    return data[pos++];
+  }
+  uint32_t U32() {
+    if (pos + 4 > len) {
+      ok = false;
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data[pos++]) << (8 * i);
+    }
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() {
+    if (pos + 8 > len) {
+      ok = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data[pos++]) << (8 * i);
+    }
+    return static_cast<int64_t>(v);
+  }
+};
+
+/// Reserves the 4-byte length prefix, returns its offset for patching.
+size_t BeginFrame(std::string* out) {
+  size_t at = out->size();
+  PutU32(0, out);
+  return at;
+}
+
+void EndFrame(size_t prefix_at, std::string* out) {
+  uint32_t payload = static_cast<uint32_t>(out->size() - prefix_at - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[prefix_at + static_cast<size_t>(i)] =
+        static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace
+
+void AppendEnvelopeFrame(const Envelope& e, std::string* out) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kEnvelope), out);
+  PutI32(e.from, out);
+  PutI32(e.to, out);
+  PutU8(static_cast<uint8_t>(e.msg.kind), out);
+  PutU8(e.msg.flag ? 1 : 0, out);
+  PutI64(e.msg.epoch, out);
+  PutI64(e.msg.value, out);
+  EndFrame(at, out);
+}
+
+void AppendHelloFrame(const HelloFrame& h, std::string* out) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kHello), out);
+  PutU32(h.magic, out);
+  PutI32(h.worker, out);
+  PutI32(h.num_workers, out);
+  PutI32(h.num_sites, out);
+  EndFrame(at, out);
+}
+
+void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kHelloAck), out);
+  PutU32(a.magic, out);
+  PutU8(a.ok, out);
+  PutU8(a.virtual_time, out);
+  PutI32(a.num_sites, out);
+  PutI32(a.num_workers, out);
+  EndFrame(at, out);
+}
+
+Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
+  Cursor c{data, len};
+  uint8_t version = c.U8();
+  uint8_t type = c.U8();
+  if (!c.ok) {
+    return InvalidArgumentError("frame payload shorter than its header");
+  }
+  if (version != kWireVersion) {
+    return InvalidArgumentError("wire version mismatch: got " +
+                                std::to_string(version) + ", want " +
+                                std::to_string(kWireVersion));
+  }
+  WireFrame frame;
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kEnvelope: {
+      frame.type = FrameType::kEnvelope;
+      frame.envelope.from = c.I32();
+      frame.envelope.to = c.I32();
+      uint8_t kind = c.U8();
+      frame.envelope.msg.flag = c.U8() != 0;
+      frame.envelope.msg.epoch = c.I64();
+      frame.envelope.msg.value = c.I64();
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed envelope frame body");
+      }
+      if (kind > static_cast<uint8_t>(ActorMsgKind::kThresholdUpdate)) {
+        return InvalidArgumentError("invalid actor message kind " +
+                                    std::to_string(kind));
+      }
+      frame.envelope.msg.kind = static_cast<ActorMsgKind>(kind);
+      return frame;
+    }
+    case FrameType::kHello: {
+      frame.type = FrameType::kHello;
+      frame.hello.magic = c.U32();
+      frame.hello.worker = c.I32();
+      frame.hello.num_workers = c.I32();
+      frame.hello.num_sites = c.I32();
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed hello frame body");
+      }
+      if (frame.hello.magic != kWireMagic) {
+        return InvalidArgumentError("hello magic mismatch (not a dcv peer?)");
+      }
+      return frame;
+    }
+    case FrameType::kHelloAck: {
+      frame.type = FrameType::kHelloAck;
+      frame.hello_ack.magic = c.U32();
+      frame.hello_ack.ok = c.U8();
+      frame.hello_ack.virtual_time = c.U8();
+      frame.hello_ack.num_sites = c.I32();
+      frame.hello_ack.num_workers = c.I32();
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed hello-ack frame body");
+      }
+      if (frame.hello_ack.magic != kWireMagic) {
+        return InvalidArgumentError("hello-ack magic mismatch");
+      }
+      return frame;
+    }
+  }
+  return InvalidArgumentError("unknown frame type " + std::to_string(type));
+}
+
+void FrameReader::Append(const uint8_t* data, size_t n) {
+  buffer_.append(reinterpret_cast<const char*>(data), n);
+}
+
+Result<bool> FrameReader::Next(WireFrame* out) {
+  if (buffer_.size() - pos_ < 4) {
+    return false;
+  }
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(buffer_.data()) + pos_;
+  uint32_t payload = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload |= static_cast<uint32_t>(base[i]) << (8 * i);
+  }
+  if (payload > kMaxFramePayload) {
+    return InvalidArgumentError("oversized frame payload (" +
+                                std::to_string(payload) +
+                                " bytes): corrupt stream");
+  }
+  if (buffer_.size() - pos_ < 4 + static_cast<size_t>(payload)) {
+    return false;
+  }
+  DCV_ASSIGN_OR_RETURN(WireFrame frame, DecodeFramePayload(base + 4, payload));
+  *out = frame;
+  pos_ += 4 + static_cast<size_t>(payload);
+  // Compact once the consumed prefix dominates, keeping amortized O(1).
+  if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return true;
+}
+
+std::string FrameReader::TakeBuffered() {
+  std::string rest = buffer_.substr(pos_);
+  buffer_.clear();
+  pos_ = 0;
+  return rest;
+}
+
+std::string SocketStats::ToString() const {
+  std::ostringstream os;
+  os << "frames_tx=" << frames_sent << " frames_rx=" << frames_received
+     << " bytes_tx=" << bytes_sent << " bytes_rx=" << bytes_received
+     << " connect_attempts=" << connect_attempts
+     << " connect_retries=" << connect_retries
+     << " accept_timeouts=" << accept_timeouts
+     << " decode_errors=" << decode_errors << " disconnects=" << disconnects;
+  return os.str();
+}
+
+}  // namespace dcv

@@ -1,0 +1,124 @@
+#ifndef DCV_RUNTIME_WIRE_H_
+#define DCV_RUNTIME_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "runtime/actor_message.h"
+
+namespace dcv {
+
+// Binary framing for the socket transport. Every frame on the wire is
+//
+//   u32  payload length (little-endian, excludes the prefix itself)
+//   u8   wire version (kWireVersion)
+//   u8   frame type (FrameType)
+//   ...  type-specific body, fixed layout, little-endian
+//
+// The version byte leads every payload so an incompatible peer is detected
+// on the first frame instead of producing garbled envelopes. Length is
+// bounded by kMaxFramePayload; anything larger is treated as a corrupt or
+// hostile stream and fails decoding rather than allocating unboundedly.
+
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Handshake magic ("DCVS"): rejects a non-dcv peer on byte one of the
+/// hello body instead of mid-run.
+inline constexpr uint32_t kWireMagic = 0x53564344;
+
+/// Largest payload any current frame needs is < 64 bytes; the cap exists
+/// purely to bound damage from a corrupt length prefix.
+inline constexpr uint32_t kMaxFramePayload = 4096;
+
+enum class FrameType : uint8_t {
+  kEnvelope = 0,  ///< A routed ActorMessage (the steady-state frame).
+  kHello = 1,     ///< Worker -> coordinator, first frame after connect.
+  kHelloAck = 2,  ///< Coordinator -> worker, handshake verdict + run mode.
+};
+
+/// Worker self-identification, sent once per connection.
+struct HelloFrame {
+  uint32_t magic = kWireMagic;
+  int32_t worker = 0;       ///< This connection's worker index.
+  int32_t num_workers = 0;  ///< Worker's view of the fabric shape.
+  int32_t num_sites = 0;
+};
+
+/// Coordinator's handshake reply. `ok == 0` means the hello was rejected
+/// (shape mismatch, duplicate worker) and the connection is about to close.
+struct HelloAckFrame {
+  uint32_t magic = kWireMagic;
+  uint8_t ok = 0;
+  uint8_t virtual_time = 0;  ///< Run mode the worker must adopt.
+  int32_t num_sites = 0;
+  int32_t num_workers = 0;
+};
+
+/// One decoded frame; `type` selects which member is meaningful.
+struct WireFrame {
+  FrameType type = FrameType::kEnvelope;
+  Envelope envelope;
+  HelloFrame hello;
+  HelloAckFrame hello_ack;
+};
+
+/// Append the length-prefixed encoding of a frame to `out`.
+void AppendEnvelopeFrame(const Envelope& e, std::string* out);
+void AppendHelloFrame(const HelloFrame& h, std::string* out);
+void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out);
+
+/// Decodes one payload (the bytes after the length prefix). Fails on short
+/// bodies, unknown frame types, version or magic mismatches, and invalid
+/// enum values.
+Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len);
+
+/// Incremental frame assembler for a TCP byte stream: feed whatever read()
+/// returned, pop complete frames. Handles frames split across arbitrarily
+/// many reads and multiple frames per read.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the stream.
+  void Append(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame into `*out`. Returns true when a frame
+  /// was produced, false when more bytes are needed; a non-OK status means
+  /// the stream is corrupt (oversized length, bad version/type) and the
+  /// connection must be dropped.
+  Result<bool> Next(WireFrame* out);
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  size_t buffered() const { return buffer_.size() - pos_; }
+
+  /// Removes and returns the unconsumed bytes, leaving the reader empty.
+  /// Used to hand leftover bytes from a handshake-time reader to the
+  /// steady-state reader: TCP may coalesce the hello-ack and the first
+  /// data frames into one segment, and dropping the tail would lose them.
+  std::string TakeBuffered();
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;  ///< Consumed prefix of buffer_; compacted lazily.
+};
+
+/// Wire-level reliability counters for one SocketTransport, the
+/// ChannelStats analogue for the TCP fabric. Mirrored into obs metrics
+/// under "runtime/socket/*" when a registry is attached.
+struct SocketStats {
+  int64_t frames_sent = 0;
+  int64_t frames_received = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t connect_attempts = 0;  ///< Total connect() calls (1 = first try).
+  int64_t connect_retries = 0;   ///< Attempts after the first.
+  int64_t accept_timeouts = 0;
+  int64_t decode_errors = 0;
+  int64_t disconnects = 0;  ///< Peers lost outside a graceful shutdown.
+
+  std::string ToString() const;
+};
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_WIRE_H_

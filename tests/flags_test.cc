@@ -49,6 +49,77 @@ TEST(FlagSetTest, BooleanFlags) {
   EXPECT_FALSE(absent->GetBool("quiet"));
 }
 
+TEST(FlagSetTest, BooleanWordSpellings) {
+  auto parsed = MakeSet().Parse({"--quiet=true", "--virtual-time=False"});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed->GetBool("quiet"));
+  EXPECT_FALSE(parsed->GetBool("virtual-time"));
+
+  auto yes_no = MakeSet().Parse({"--quiet=YES", "--virtual-time=no"});
+  ASSERT_TRUE(yes_no.ok());
+  EXPECT_TRUE(yes_no->GetBool("quiet"));
+  EXPECT_FALSE(yes_no->GetBool("virtual-time"));
+}
+
+TEST(FlagSetTest, RejectsMalformedBooleanAtParseTime) {
+  // The old behavior treated any value != "0" as true, so "--quiet=maybe"
+  // (or a typo like "flase") silently enabled the flag. It must error.
+  auto parsed = MakeSet().Parse({"--quiet=maybe"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("invalid boolean value 'maybe'"),
+            std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("--quiet"), std::string::npos);
+
+  EXPECT_FALSE(MakeSet().Parse({"--virtual-time=flase"}).ok());
+  EXPECT_FALSE(MakeSet().Parse({"--quiet=2"}).ok());
+  EXPECT_FALSE(MakeSet().Parse({"--quiet="}).ok());
+}
+
+TEST(FlagSetTest, GetBoolValueOnValueFlags) {
+  auto parsed = MakeSet().Parse({"--trace", "false", "--sites=1"});
+  ASSERT_TRUE(parsed.ok());
+  auto off = parsed->GetBoolValue("trace", true);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(*off);
+  // "--sites=1" reads as boolean true; absent flag yields the fallback.
+  auto on = parsed->GetBoolValue("sites", false);
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(*on);
+  auto fallback = parsed->GetBoolValue("eps", true);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_TRUE(*fallback);
+}
+
+TEST(FlagSetTest, GetBoolValueRejectsGarbage) {
+  // Value flags skip parse-time boolean validation (most are not booleans),
+  // so the typed lookup must do it: "--acks ture" must not enable acks.
+  auto parsed = MakeSet().Parse({"--trace=ture"});
+  ASSERT_TRUE(parsed.ok());
+  auto as_bool = parsed->GetBoolValue("trace", false);
+  ASSERT_FALSE(as_bool.ok());
+  EXPECT_NE(as_bool.status().message().find("invalid boolean value 'ture'"),
+            std::string::npos)
+      << as_bool.status().message();
+}
+
+TEST(FlagSetTest, SpaceFormDoesNotConsumeNextFlag) {
+  // "--trace --quiet" forgot the value; the old parser consumed "--quiet"
+  // as the trace path and then reported the *next* flag as unknown (or
+  // silently misbehaved). It must name the flag whose value is missing.
+  auto parsed = MakeSet().Parse({"--trace", "--quiet"});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("flag --trace needs a value"),
+            std::string::npos)
+      << parsed.status().message();
+  // A value that merely starts with a dash (not double) still parses.
+  auto negative = MakeSet().Parse({"--eps", "-0.5"});
+  ASSERT_TRUE(negative.ok());
+  auto eps = negative->GetDouble("eps", 0.0);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ(*eps, -0.5);
+}
+
 TEST(FlagSetTest, RejectsUnknownFlag) {
   auto parsed = MakeSet().Parse({"--treshold", "5"});
   ASSERT_FALSE(parsed.ok());

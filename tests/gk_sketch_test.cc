@@ -29,6 +29,39 @@ TEST(GkSketchTest, SingleElement) {
   EXPECT_EQ(*sketch.Quantile(1.0), 7);
 }
 
+TEST(GkSketchTest, AllDuplicates) {
+  // A constant stream has exactly one answer for every phi; compression
+  // must not manufacture any other value or lose the count.
+  GkSketch sketch(0.05);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    sketch.Insert(42);
+  }
+  EXPECT_EQ(sketch.count(), n);
+  for (double phi : {0.0, 0.001, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(*sketch.Quantile(phi), 42) << "phi=" << phi;
+  }
+}
+
+TEST(GkSketchTest, TwoElements) {
+  GkSketch sketch(0.1);
+  sketch.Insert(10);
+  sketch.Insert(20);
+  // phi=0 targets rank 1 (the minimum); phi=1 targets rank 2 (the maximum).
+  EXPECT_EQ(*sketch.Quantile(0.0), 10);
+  EXPECT_EQ(*sketch.Quantile(1.0), 20);
+}
+
+TEST(GkSketchTest, OutOfRangePhiIsClamped) {
+  GkSketch sketch(0.05);
+  for (int i = 1; i <= 100; ++i) {
+    sketch.Insert(i);
+  }
+  EXPECT_EQ(*sketch.Quantile(-0.5), *sketch.Quantile(0.0));
+  EXPECT_EQ(*sketch.Quantile(1.5), *sketch.Quantile(1.0));
+  EXPECT_EQ(*sketch.Quantile(1.5), 100);
+}
+
 TEST(GkSketchTest, ExactOnSmallStreams) {
   GkSketch sketch(0.01);
   for (int i = 1; i <= 20; ++i) {

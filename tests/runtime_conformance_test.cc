@@ -148,6 +148,67 @@ TEST(RuntimeConformanceTest, PollingUnderLoss) {
   ExpectConformant(w, spec);
 }
 
+// The socket transport must be indistinguishable from the in-process
+// transport: a third run over real loopback TCP (multi-process topology,
+// in-process worker drivers) produces the same per-epoch detections and
+// message counts as both the lockstep simulator and the thread runtime.
+TEST(RuntimeConformanceTest, SocketTransportMatchesLockstep) {
+  Workload w = MakeSyntheticWorkload(101);
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 2;
+  spec.transport = TransportKind::kSocket;
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  ASSERT_TRUE(report->ran_socket);
+  EXPECT_EQ(report->socket_runtime.messages.total(),
+            report->lockstep.messages.total());
+  EXPECT_EQ(report->socket_runtime.detected_violations,
+            report->lockstep.detected_violations);
+  // The TCP fabric itself must have been clean: no decode errors, no
+  // unexpected disconnects, every frame accounted for.
+  EXPECT_EQ(report->socket_runtime.socket.decode_errors, 0);
+  EXPECT_EQ(report->socket_runtime.socket.disconnects, 0);
+  EXPECT_GT(report->socket_runtime.socket.frames_sent, 0);
+}
+
+TEST(RuntimeConformanceTest, SocketTransportUnderChannelFaults) {
+  // Channel faults are simulated above the transport, so they must replay
+  // identically over TCP too — including ack retries and crash windows.
+  Workload w = MakeSyntheticWorkload(113, /*num_sites=*/5,
+                                     /*train_epochs=*/400,
+                                     /*eval_epochs=*/400);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 3;
+  spec.transport = TransportKind::kSocket;
+  spec.faults.loss = 0.1;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.retry.max_attempts = 3;
+  spec.faults.crashes = {{/*site=*/2, /*from=*/50, /*to=*/120}};
+  spec.faults.seed = 0xabcdULL;
+  ExpectConformant(w, spec);
+}
+
+TEST(RuntimeConformanceTest, SocketPollingBaseline) {
+  Workload w = MakeSyntheticWorkload(131, /*num_sites=*/3,
+                                     /*train_epochs=*/300,
+                                     /*eval_epochs=*/300);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kPolling;
+  spec.poll_period = 4;
+  spec.global_threshold = PickThreshold(w, 0.05);
+  spec.transport = TransportKind::kSocket;
+  ExpectConformant(w, spec);
+}
+
 // The runtime's deployment plan must provision the same thresholds the
 // lockstep scheme computes for itself from the same training data.
 TEST(RuntimeConformanceTest, BuildLocalPlanMatchesSchemeThresholds) {

@@ -53,6 +53,44 @@ TEST(ThreadTransportTest, RoutesBySiteAndMultiplexesWorkers) {
   EXPECT_FALSE(t.Send(Envelope{kCoordinatorId, 0, msg}));
 }
 
+TEST(ThreadTransportTest, WorkerCapacityRoundsUpForUnevenShapes) {
+  // 5 sites over 2 workers: worker 0 owns 3 sites, so the per-worker inbox
+  // must be sized for ceil(5/2) = 3 sites (4 * 3 + 8), not floor = 2. With
+  // floor sizing a full epoch barrier could overfill worker 0's inbox.
+  auto uneven = ThreadTransport::Create(5, 2);
+  ASSERT_TRUE(uneven.ok());
+  EXPECT_EQ((*uneven)->worker_capacity(), 4u * 3u + 8u);
+
+  auto even = ThreadTransport::Create(6, 2);
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ((*even)->worker_capacity(), 4u * 3u + 8u);
+
+  auto single = ThreadTransport::Create(7, 1);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*single)->worker_capacity(), 4u * 7u + 8u);
+}
+
+TEST(ThreadTransportTest, UnevenShapeSurvivesBurstWithoutBlocking) {
+  // The invariant behind the capacity formula: the coordinator can push a
+  // whole epoch's worth of traffic (kEpochStart + a threshold update per
+  // site) at the most-loaded worker without anyone draining.
+  auto transport = ThreadTransport::Create(5, 2);
+  ASSERT_TRUE(transport.ok());
+  Transport& t = **transport;
+  ActorMessage msg;
+  msg.kind = ActorMsgKind::kEpochStart;
+  for (int round = 0; round < 4; ++round) {
+    for (int site : {0, 2, 4}) {  // Worker 0's sites.
+      ASSERT_TRUE(t.Send(Envelope{kCoordinatorId, site, msg}));
+    }
+  }
+  Envelope e;
+  for (int k = 0; k < 12; ++k) {
+    ASSERT_TRUE(t.TryRecvWorker(0, &e));
+  }
+  EXPECT_FALSE(t.TryRecvWorker(0, &e));
+}
+
 // --- Virtual-time runtime on a hand-checked trace --------------------------
 
 // Two sites, thresholds {10, 10}, weights {1, 1}, global threshold 25.
@@ -175,6 +213,23 @@ TEST(RuntimeFreeTest, FewerWorkersThanSites) {
   auto result = RunSyntheticRuntime(6, 200, options);
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_EQ(result->total_updates, 6 * 200);
+}
+
+TEST(RuntimeFreeTest, UnevenSitesPerWorkerDrainsFully) {
+  // 5 sites % 2 workers != 0: the heavier worker owns three sites and its
+  // inbox still absorbs every control message (ceil-based capacity).
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.num_workers = 2;
+  options.seed = 9;
+  options.thresholds = std::vector<int64_t>(5, 800);
+  options.domain_max = std::vector<int64_t>(5, 1000);
+  options.synthetic_max = 1000;
+  options.global_threshold = 1;
+  auto result = RunSyntheticRuntime(5, 400, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_updates, 5 * 400);
+  EXPECT_GT(result->total_alarms, 0);
 }
 
 // --- Seed determinism -------------------------------------------------------

@@ -1,0 +1,263 @@
+#include "runtime/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcv {
+namespace {
+
+Envelope MakeEnvelope(int32_t from, int32_t to, ActorMsgKind kind,
+                      int64_t epoch, int64_t value, bool flag) {
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.msg.kind = kind;
+  e.msg.epoch = epoch;
+  e.msg.value = value;
+  e.msg.flag = flag;
+  return e;
+}
+
+void ExpectEnvelopeEq(const Envelope& want, const Envelope& got) {
+  EXPECT_EQ(want.from, got.from);
+  EXPECT_EQ(want.to, got.to);
+  EXPECT_EQ(want.msg.kind, got.msg.kind);
+  EXPECT_EQ(want.msg.epoch, got.msg.epoch);
+  EXPECT_EQ(want.msg.value, got.msg.value);
+  EXPECT_EQ(want.msg.flag, got.msg.flag);
+}
+
+TEST(WireTest, EnvelopeRoundTripAllKinds) {
+  for (uint8_t k = 0;
+       k <= static_cast<uint8_t>(ActorMsgKind::kThresholdUpdate); ++k) {
+    Envelope e = MakeEnvelope(
+        /*from=*/kCoordinatorId, /*to=*/7, static_cast<ActorMsgKind>(k),
+        /*epoch=*/-1, /*value=*/INT64_MIN, /*flag=*/k % 2 == 0);
+    std::string buf;
+    AppendEnvelopeFrame(e, &buf);
+    auto frame = DecodeFramePayload(
+        reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+    ASSERT_TRUE(frame.ok()) << frame.status().message();
+    ASSERT_EQ(frame->type, FrameType::kEnvelope);
+    ExpectEnvelopeEq(e, frame->envelope);
+  }
+}
+
+TEST(WireTest, HelloRoundTrip) {
+  HelloFrame h;
+  h.worker = 3;
+  h.num_workers = 4;
+  h.num_sites = 17;
+  std::string buf;
+  AppendHelloFrame(h, &buf);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kHello);
+  EXPECT_EQ(frame->hello.worker, 3);
+  EXPECT_EQ(frame->hello.num_workers, 4);
+  EXPECT_EQ(frame->hello.num_sites, 17);
+}
+
+TEST(WireTest, HelloAckRoundTrip) {
+  HelloAckFrame a;
+  a.ok = 1;
+  a.virtual_time = 0;
+  a.num_sites = 9;
+  a.num_workers = 2;
+  std::string buf;
+  AppendHelloAckFrame(a, &buf);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kHelloAck);
+  EXPECT_EQ(frame->hello_ack.ok, 1);
+  EXPECT_EQ(frame->hello_ack.virtual_time, 0);
+  EXPECT_EQ(frame->hello_ack.num_sites, 9);
+  EXPECT_EQ(frame->hello_ack.num_workers, 2);
+}
+
+TEST(WireTest, RejectsVersionMismatch) {
+  std::string buf;
+  AppendHelloFrame(HelloFrame{}, &buf);
+  buf[4] = static_cast<char>(kWireVersion + 1);  // Version byte.
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("wire version"), std::string::npos);
+}
+
+TEST(WireTest, RejectsBadMagicAndBadKind) {
+  std::string hello;
+  AppendHelloFrame(HelloFrame{}, &hello);
+  hello[6] = 'X';  // First magic byte.
+  EXPECT_FALSE(DecodeFramePayload(
+                   reinterpret_cast<const uint8_t*>(hello.data()) + 4,
+                   hello.size() - 4)
+                   .ok());
+
+  std::string env;
+  AppendEnvelopeFrame(Envelope{}, &env);
+  env[14] = 50;  // ActorMsgKind byte, way out of enum range.
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(env.data()) + 4, env.size() - 4);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("message kind"), std::string::npos);
+}
+
+TEST(WireTest, RejectsShortAndOverlongBodies) {
+  std::string buf;
+  AppendEnvelopeFrame(Envelope{}, &buf);
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(buf.data()) + 4;
+  // Every truncation of the payload fails rather than decoding garbage.
+  for (size_t len = 0; len < buf.size() - 4; ++len) {
+    EXPECT_FALSE(DecodeFramePayload(payload, len).ok()) << "len=" << len;
+  }
+  // Trailing bytes are corruption too (fixed layouts are exact).
+  std::string padded = buf + std::string(1, '\0');
+  EXPECT_FALSE(DecodeFramePayload(
+                   reinterpret_cast<const uint8_t*>(padded.data()) + 4,
+                   padded.size() - 4)
+                   .ok());
+}
+
+TEST(WireTest, ReaderReassemblesByteAtATime) {
+  std::vector<Envelope> sent;
+  std::string stream;
+  for (int i = 0; i < 20; ++i) {
+    Envelope e = MakeEnvelope(i, kCoordinatorId, ActorMsgKind::kAlarm,
+                              1000 + i, -i * 7, i % 3 == 0);
+    sent.push_back(e);
+    AppendEnvelopeFrame(e, &stream);
+  }
+  FrameReader reader;
+  std::vector<Envelope> got;
+  for (char byte : stream) {
+    reader.Append(reinterpret_cast<const uint8_t*>(&byte), 1);
+    for (;;) {
+      WireFrame frame;
+      auto r = reader.Next(&frame);
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      if (!*r) {
+        break;
+      }
+      got.push_back(frame.envelope);
+    }
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectEnvelopeEq(sent[i], got[i]);
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, ReaderHandlesRandomChunkingAndMixedTypes) {
+  // Fuzz-ish: a long stream of mixed frames fed in random-size chunks must
+  // come out intact regardless of where the chunk boundaries fall.
+  Rng rng(1234);
+  std::string stream;
+  int envelopes = 0;
+  for (int i = 0; i < 200; ++i) {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {
+        AppendEnvelopeFrame(
+            MakeEnvelope(rng.UniformInt(0, 100), kCoordinatorId,
+                         ActorMsgKind::kPollResponse,
+                         rng.UniformInt(0, 1 << 20),
+                         rng.UniformInt(0, 1 << 30), false),
+            &stream);
+        ++envelopes;
+        break;
+      }
+      case 1:
+        AppendHelloFrame(HelloFrame{}, &stream);
+        break;
+      default:
+        AppendHelloAckFrame(HelloAckFrame{}, &stream);
+        break;
+    }
+  }
+  FrameReader reader;
+  int got_envelopes = 0;
+  int got_total = 0;
+  size_t off = 0;
+  while (off < stream.size()) {
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 37));
+    n = std::min(n, stream.size() - off);
+    reader.Append(reinterpret_cast<const uint8_t*>(stream.data()) + off, n);
+    off += n;
+    for (;;) {
+      WireFrame frame;
+      auto r = reader.Next(&frame);
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      if (!*r) {
+        break;
+      }
+      ++got_total;
+      if (frame.type == FrameType::kEnvelope) {
+        ++got_envelopes;
+      }
+    }
+  }
+  EXPECT_EQ(got_total, 200);
+  EXPECT_EQ(got_envelopes, envelopes);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, ReaderRejectsOversizedLength) {
+  // A corrupt length prefix must fail fast, not trigger a giant buffer.
+  uint8_t prefix[4] = {0xff, 0xff, 0xff, 0x7f};
+  FrameReader reader;
+  reader.Append(prefix, sizeof(prefix));
+  WireFrame frame;
+  auto r = reader.Next(&frame);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("oversized"), std::string::npos);
+}
+
+TEST(WireTest, ReaderTakeBufferedReturnsUnconsumedTail) {
+  // The handshake reader may pull data frames in with the hello-ack; the
+  // tail must transfer losslessly to the steady-state reader.
+  std::string stream;
+  AppendHelloAckFrame(HelloAckFrame{}, &stream);
+  Envelope e = MakeEnvelope(kCoordinatorId, 2, ActorMsgKind::kThresholdUpdate,
+                            -1, 424242, false);
+  AppendEnvelopeFrame(e, &stream);
+
+  FrameReader handshake;
+  handshake.Append(reinterpret_cast<const uint8_t*>(stream.data()),
+                   stream.size());
+  WireFrame frame;
+  auto r = handshake.Next(&frame);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(*r);
+  ASSERT_EQ(frame.type, FrameType::kHelloAck);
+
+  std::string rest = handshake.TakeBuffered();
+  EXPECT_EQ(handshake.buffered(), 0u);
+  FrameReader steady;
+  steady.Append(reinterpret_cast<const uint8_t*>(rest.data()), rest.size());
+  r = steady.Next(&frame);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(*r);
+  ASSERT_EQ(frame.type, FrameType::kEnvelope);
+  ExpectEnvelopeEq(e, frame.envelope);
+}
+
+TEST(WireTest, SocketStatsToString) {
+  SocketStats s;
+  s.frames_sent = 5;
+  s.disconnects = 1;
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("frames_tx=5"), std::string::npos);
+  EXPECT_NE(text.find("disconnects=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcv

@@ -36,6 +36,7 @@
 //           [--sites 4] [--updates 100000] [--seed 42] [--synthetic-max M]
 //           [--scheme local|polling] [--solver fptas|...] [--eps 0.05]
 //           [--poll-period 5] [--threads K] [--virtual-time] [--conformance]
+//           [--transport thread|socket] [--listen-port P]
 //           [--metrics-json out.json] [--quiet] [+ fault flags as above]
 //       Run the concurrent coordinator/site runtime (src/runtime): real
 //       threads behind a mailbox transport instead of the lockstep
@@ -45,8 +46,26 @@
 //       epoch-barrier mode (bit-identical to `simulate`); the default is
 //       free-running throughput mode. --conformance (needs --trace) runs
 //       the lockstep simulator AND the virtual-time runtime and verifies
-//       they agree epoch by epoch. --threads packs the sites onto K worker
-//       threads (default: one thread per site).
+//       they agree epoch by epoch (with --transport socket a third run
+//       over loopback TCP is verified as well). --threads packs the sites
+//       onto K worker threads (default: one thread per site).
+//       --transport socket makes this process the coordinator: it listens
+//       on --listen-port (0 = ephemeral; the bound port is printed as
+//       "listening-port: P"), waits for one `dcvtool site-worker` process
+//       per worker slot, and prints the wire stats as "socket: ...".
+//
+//   dcvtool site-worker --port P --worker W --workers K
+//           [--host 127.0.0.1] [--trace trace.csv --train-epochs N]
+//           [--sites N --updates U --seed 42 --synthetic-max M]
+//           [--connect-attempts A] [--connect-timeout-ms T] [--quiet]
+//       The worker half of a socket-transport run: connects to the
+//       coordinator at host:port, identifies as worker W of K, and serves
+//       the sites s with s % K == W until the coordinator shuts the run
+//       down. The workload flags must match the coordinator's run: the
+//       same --trace/--train-epochs (sites replay their eval columns) or
+//       the same --sites/--updates/--seed synthetic stream. The run mode
+//       (virtual-time or free-running) is adopted from the coordinator's
+//       handshake, not a flag.
 //
 // Every subcommand prints machine-greppable "key: value" lines in a fixed
 // order with locale-independent number formatting, so CI can diff them.
@@ -68,6 +87,7 @@
 #include "histogram/equi_depth.h"
 #include "runtime/conformance.h"
 #include "runtime/runtime.h"
+#include "runtime/site_worker.h"
 #include "sim/adaptive_filter_scheme.h"
 #include "sim/geometric_scheme.h"
 #include "sim/local_scheme.h"
@@ -219,8 +239,8 @@ Result<FaultSpec> ParseFaultFlags(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(spec.delay, flags.GetDouble("delay-prob", 0.0));
   DCV_ASSIGN_OR_RETURN(int64_t max_delay, flags.GetInt("max-delay", 3));
   spec.max_delay_epochs = static_cast<int>(max_delay);
-  DCV_ASSIGN_OR_RETURN(int64_t acks, flags.GetInt("acks", 0));
-  spec.retry.enable_acks = acks != 0;
+  DCV_ASSIGN_OR_RETURN(bool acks, flags.GetBoolValue("acks", false));
+  spec.retry.enable_acks = acks;
   DCV_ASSIGN_OR_RETURN(int64_t attempts, flags.GetInt("max-attempts", 4));
   spec.retry.max_attempts = static_cast<int>(attempts);
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("fault-seed", 0x5eed));
@@ -387,7 +407,8 @@ Status RunSimulate(const ParsedFlags& flags) {
 
 // ----------------------------------------------------------------------
 // `dcvtool run`: the concurrent coordinator/site runtime.
-Status PrintRuntimeResult(const RuntimeResult& result, bool show_reliability) {
+Status PrintRuntimeResult(const RuntimeResult& result, bool show_reliability,
+                          bool show_socket) {
   std::printf("protocol: %s\n", result.protocol.c_str());
   std::printf("mode: %s\n", result.mode.c_str());
   std::printf("sites: %zu\n", result.site_updates.size());
@@ -420,6 +441,9 @@ Status PrintRuntimeResult(const RuntimeResult& result, bool show_reliability) {
   if (show_reliability) {
     std::printf("reliability: %s\n", result.reliability.ToString().c_str());
   }
+  if (show_socket) {
+    std::printf("socket: %s\n", result.socket.ToString().c_str());
+  }
   return OkStatus();
 }
 
@@ -429,6 +453,22 @@ Status RunRuntime(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
   options.num_workers = static_cast<int>(threads);
   options.virtual_time = flags.GetBool("virtual-time");
+
+  const std::string transport_name = flags.GetString("transport", "thread");
+  if (transport_name == "socket") {
+    options.transport = TransportKind::kSocket;
+    DCV_ASSIGN_OR_RETURN(int64_t port, flags.GetInt("listen-port", 0));
+    options.listen_port = static_cast<int>(port);
+    // The smoke scripts parse this line to learn the ephemeral port, so it
+    // must hit the pipe before the (long) accept wait starts.
+    options.on_listening = [](int bound_port) {
+      std::printf("listening-port: %d\n", bound_port);
+      std::fflush(stdout);
+    };
+  } else if (transport_name != "thread") {
+    return InvalidArgumentError(
+        "--transport must be thread or socket, got '" + transport_name + "'");
+  }
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
   DCV_ASSIGN_OR_RETURN(options.synthetic_max,
@@ -486,7 +526,8 @@ Status RunRuntime(const ParsedFlags& flags) {
     if (quiet) {
       return OkStatus();
     }
-    return PrintRuntimeResult(result, show_reliability);
+    return PrintRuntimeResult(result, show_reliability,
+                              options.transport == TransportKind::kSocket);
   }
 
   DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
@@ -513,6 +554,7 @@ Status RunRuntime(const ParsedFlags& flags) {
     spec.global_threshold = threshold;
     spec.faults = options.faults;
     spec.num_workers = options.num_workers;
+    spec.transport = options.transport;
     DCV_ASSIGN_OR_RETURN(ConformanceReport report,
                          RunConformance(training, eval, spec));
     if (!quiet) {
@@ -523,6 +565,13 @@ Status RunRuntime(const ParsedFlags& flags) {
                   static_cast<long long>(report.lockstep.messages.total()));
       std::printf("runtime-messages: %lld\n",
                   static_cast<long long>(report.runtime.messages.total()));
+      if (report.ran_socket) {
+        std::printf("socket-messages: %lld\n",
+                    static_cast<long long>(
+                        report.socket_runtime.messages.total()));
+        std::printf("socket: %s\n",
+                    report.socket_runtime.socket.ToString().c_str());
+      }
       std::printf("conformance: %s\n",
                   report.identical ? "IDENTICAL" : "MISMATCH");
       if (!report.identical) {
@@ -545,7 +594,77 @@ Status RunRuntime(const ParsedFlags& flags) {
     return OkStatus();
   }
   std::printf("threshold: %lld\n", static_cast<long long>(threshold));
-  return PrintRuntimeResult(result, show_reliability);
+  return PrintRuntimeResult(result, show_reliability,
+                            options.transport == TransportKind::kSocket);
+}
+
+// ----------------------------------------------------------------------
+// `dcvtool site-worker`: the worker-process half of a socket run.
+Status RunSiteWorkerCommand(const ParsedFlags& flags) {
+  SiteWorkerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  DCV_ASSIGN_OR_RETURN(int64_t port, flags.GetInt("port", 0));
+  if (port < 1 || port > 65535) {
+    return InvalidArgumentError("site-worker needs --port in [1, 65535]");
+  }
+  options.port = static_cast<int>(port);
+  DCV_ASSIGN_OR_RETURN(int64_t worker, flags.GetInt("worker", 0));
+  options.worker = static_cast<int>(worker);
+  DCV_ASSIGN_OR_RETURN(int64_t workers, flags.GetInt("workers", 1));
+  options.num_workers = static_cast<int>(workers);
+  DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  options.seed = static_cast<uint64_t>(seed);
+  DCV_ASSIGN_OR_RETURN(options.synthetic_max,
+                       flags.GetInt("synthetic-max", 1'000'000));
+  DCV_ASSIGN_OR_RETURN(
+      int64_t attempts,
+      flags.GetInt("connect-attempts", options.socket.connect_attempts));
+  options.socket.connect_attempts = static_cast<int>(attempts);
+  DCV_ASSIGN_OR_RETURN(
+      int64_t connect_timeout,
+      flags.GetInt("connect-timeout-ms", options.socket.connect_timeout_ms));
+  options.socket.connect_timeout_ms = static_cast<int>(connect_timeout);
+  const bool quiet = flags.GetBool("quiet");
+
+  // Workload: the eval slice of a trace (must match the coordinator's
+  // --trace/--train-epochs split) or a synthetic per-site stream (must
+  // match its --sites/--updates/--seed).
+  Trace eval(0);
+  bool have_trace = false;
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+    DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
+                         flags.GetInt("train-epochs", trace.num_epochs() / 2));
+    if (train_epochs < 1 || train_epochs >= trace.num_epochs()) {
+      return InvalidArgumentError("--train-epochs out of range");
+    }
+    DCV_ASSIGN_OR_RETURN(eval, trace.Slice(train_epochs, trace.num_epochs()));
+    options.num_sites = eval.num_sites();
+    have_trace = true;
+  } else {
+    DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 4));
+    options.num_sites = static_cast<int>(sites);
+    DCV_ASSIGN_OR_RETURN(options.synthetic_updates,
+                         flags.GetInt("updates", 100000));
+  }
+
+  DCV_ASSIGN_OR_RETURN(
+      SiteWorkerReport report,
+      RunSiteWorker(have_trace ? &eval : nullptr, options));
+  if (quiet) {
+    return OkStatus();
+  }
+  std::printf("worker: %d\n", options.worker);
+  std::string owned;
+  for (size_t i = 0; i < report.sites.size(); ++i) {
+    owned += (i > 0 ? "," : "") + std::to_string(report.sites[i]);
+  }
+  std::printf("sites-owned: %s\n", owned.c_str());
+  std::printf("mode: %s\n", report.virtual_time ? "virtual" : "free-running");
+  std::printf("updates: %lld\n", static_cast<long long>(report.total_updates));
+  std::printf("socket: %s\n", report.socket.ToString().c_str());
+  return OkStatus();
 }
 
 // ----------------------------------------------------------------------
@@ -639,9 +758,19 @@ FlagSet RunFlags() {
   flags.Value("trace").Value("train-epochs").Value("threshold").Value("eps")
       .Value("scheme").Value("solver").Value("poll-period").Value("threads")
       .Value("sites").Value("updates").Value("seed").Value("synthetic-max")
-      .Value("metrics-json");
+      .Value("metrics-json").Value("transport").Value("listen-port");
   flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance");
   DeclareFaultFlags(&flags);
+  return flags;
+}
+
+FlagSet SiteWorkerFlags() {
+  FlagSet flags;
+  flags.Value("host").Value("port").Value("worker").Value("workers")
+      .Value("trace").Value("train-epochs").Value("sites").Value("updates")
+      .Value("seed").Value("synthetic-max").Value("connect-attempts")
+      .Value("connect-timeout-ms");
+  flags.Boolean("quiet");
   return flags;
 }
 
@@ -653,7 +782,7 @@ FlagSet CheckFlags() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcvtool <generate|plan|simulate|run|check> "
+               "usage: dcvtool <generate|plan|simulate|run|site-worker|check> "
                "--flag value ...\nsee the header of tools/dcvtool.cc for "
                "details\n");
   return 2;
@@ -681,6 +810,9 @@ int Main(int argc, char** argv) {
   } else if (command == "run") {
     flag_set = RunFlags();
     handler = RunRuntime;
+  } else if (command == "site-worker") {
+    flag_set = SiteWorkerFlags();
+    handler = RunSiteWorkerCommand;
   } else if (command == "check") {
     flag_set = CheckFlags();
     handler = RunCheck;

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Multi-process socket transport smoke test.
+
+Launches a dcvtool coordinator (`run --transport socket`) plus N separate
+`dcvtool site-worker` processes on loopback, waits for the run to finish,
+then runs the same workload on the in-process thread transport and asserts
+that every protocol-relevant output line is identical: per-run detection
+counts, message totals and per-type breakdown. Timing lines and wire-level
+socket stats are excluded (they legitimately differ between transports).
+
+Exit code 0 on success; non-zero with a diagnostic otherwise.
+"""
+
+import argparse
+import subprocess
+import sys
+
+# Output keys that must be bit-identical across transports.
+COMPARED_KEYS = [
+    "threshold",
+    "protocol",
+    "mode",
+    "sites",
+    "messages",
+    "messages-breakdown",
+    "reliability",
+    "epochs",
+    "alarm-epochs",
+    "polled-epochs",
+    "true-violations",
+    "detected",
+    "missed",
+    "false-alarm-epochs",
+    "updates",
+]
+
+
+def parse_output(text):
+    values = {}
+    for line in text.splitlines():
+        if ": " in line:
+            key, value = line.split(": ", 1)
+            values[key.strip()] = value.strip()
+    return values
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dcvtool", required=True)
+    parser.add_argument("--trace", required=True)
+    parser.add_argument("--train-epochs", type=int, required=True)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=240.0)
+    args = parser.parse_args()
+
+    coordinator = subprocess.Popen(
+        [
+            args.dcvtool, "run",
+            "--trace", args.trace,
+            "--train-epochs", str(args.train_epochs),
+            "--virtual-time",
+            "--transport", "socket",
+            "--listen-port", "0",
+            "--threads", str(args.workers),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    # The coordinator prints the resolved ephemeral port first.
+    first_line = coordinator.stdout.readline()
+    if not first_line.startswith("listening-port: "):
+        coordinator.kill()
+        rest = coordinator.stdout.read()
+        sys.exit("coordinator did not announce a port: %r %r"
+                 % (first_line, rest))
+    port = int(first_line.split(": ", 1)[1])
+
+    site_workers = []
+    for w in range(args.workers):
+        site_workers.append(subprocess.Popen(
+            [
+                args.dcvtool, "site-worker",
+                "--port", str(port),
+                "--worker", str(w),
+                "--workers", str(args.workers),
+                "--trace", args.trace,
+                "--train-epochs", str(args.train_epochs),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        ))
+
+    try:
+        socket_out, _ = coordinator.communicate(timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        coordinator.kill()
+        for p in site_workers:
+            p.kill()
+        sys.exit("coordinator timed out after %.0fs" % args.timeout)
+    socket_out = first_line + socket_out
+    if coordinator.returncode != 0:
+        for p in site_workers:
+            p.kill()
+        sys.exit("coordinator failed (rc=%d):\n%s"
+                 % (coordinator.returncode, socket_out))
+
+    for w, p in enumerate(site_workers):
+        try:
+            out, _ = p.communicate(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            p.kill()
+            sys.exit("site-worker %d timed out" % w)
+        if p.returncode != 0:
+            sys.exit("site-worker %d failed (rc=%d):\n%s"
+                     % (w, p.returncode, out))
+
+    thread = subprocess.run(
+        [
+            args.dcvtool, "run",
+            "--trace", args.trace,
+            "--train-epochs", str(args.train_epochs),
+            "--virtual-time",
+            "--threads", str(args.workers),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=args.timeout,
+    )
+    if thread.returncode != 0:
+        sys.exit("thread-transport run failed (rc=%d):\n%s%s"
+                 % (thread.returncode, thread.stdout, thread.stderr))
+
+    socket_values = parse_output(socket_out)
+    thread_values = parse_output(thread.stdout)
+    mismatches = []
+    for key in COMPARED_KEYS:
+        if key not in socket_values and key not in thread_values:
+            continue  # e.g. "reliability" only appears under fault flags.
+        if socket_values.get(key) != thread_values.get(key):
+            mismatches.append("  %s: socket=%r thread=%r"
+                              % (key, socket_values.get(key),
+                                 thread_values.get(key)))
+    if mismatches:
+        sys.exit("socket run diverged from thread run:\n"
+                 + "\n".join(mismatches)
+                 + "\n--- socket output ---\n" + socket_out
+                 + "\n--- thread output ---\n" + thread.stdout)
+
+    print("socket smoke OK: %d workers on port %d, %s messages, %s epochs"
+          % (args.workers, port, socket_values.get("messages"),
+             socket_values.get("epochs")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
