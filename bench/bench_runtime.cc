@@ -1,13 +1,18 @@
 // Throughput of the concurrent runtime (src/runtime) in free-running mode:
 // N site threads push synthetic updates through the mailbox transport while
 // the coordinator serves alarms and poll rounds. Reports aggregate
-// updates/sec per site count — the scaling story for the threaded runtime
-// vs. the single-threaded lockstep simulator.
+// updates/sec per (site count, shard count) — the scaling story for the
+// threaded runtime vs. the single-threaded lockstep simulator, and for the
+// two-level coordinator tree (--shards) vs. the flat coordinator.
 //
-// Usage: bench_runtime [--updates 200000] [--sites 2,4,8,16] [--seed 42]
-//                      [--alarm-fraction 0.02] [--workers 0]
-//                      [--transport thread|socket]
+// Usage: bench_runtime [--updates 200000] [--sites 2,4,8,16] [--shards 1]
+//                      [--seed 42] [--alarm-fraction 0.02] [--workers 0]
+//                      [--transport thread|socket] [--json out.json]
 //
+// --shards takes a comma list of coordinator shard counts; each is run
+// against each site count (shard counts above the site count are skipped).
+// --json writes every configuration's updates/sec and coordinator latency
+// distribution to a metrics JSON file (the BENCH_runtime.json artifact).
 // --transport socket runs the same workload through the TCP transport on
 // loopback (worker drivers in-process, one per worker thread), measuring
 // the framing + kernel socket overhead against the mailbox baseline.
@@ -19,8 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 #include "runtime/runtime.h"
 #include "runtime/site_worker.h"
 
@@ -30,16 +37,28 @@ namespace {
 struct BenchConfig {
   int64_t updates = 200000;  ///< Per site.
   std::vector<int> site_counts = {2, 4, 8, 16};
+  std::vector<int> shard_counts = {1};
   uint64_t seed = 42;
   double alarm_fraction = 0.02;  ///< Fraction of updates breaching T_i.
   int workers = 0;               ///< 0 = one thread per site.
   bool socket = false;           ///< Loopback TCP instead of mailboxes.
+  std::string json_path;         ///< Empty = no JSON artifact.
 };
+
+Result<std::vector<int>> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  for (const std::string& tok : StrSplit(csv, ',')) {
+    DCV_ASSIGN_OR_RETURN(int64_t n, ParseInt64(tok));
+    out.push_back(static_cast<int>(n));
+  }
+  return out;
+}
 
 Result<BenchConfig> ParseArgs(int argc, char** argv) {
   FlagSet flags;
-  flags.Value("updates").Value("sites").Value("seed").Value("alarm-fraction")
-      .Value("workers").Value("transport");
+  flags.Value("updates").Value("sites").Value("shards").Value("seed")
+      .Value("alarm-fraction").Value("workers").Value("transport")
+      .Value("json");
   DCV_ASSIGN_OR_RETURN(ParsedFlags parsed, flags.Parse(argc, argv, 1));
   BenchConfig config;
   DCV_ASSIGN_OR_RETURN(config.updates,
@@ -54,13 +73,14 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
                        parsed.GetInt("workers", config.workers));
   config.workers = static_cast<int>(workers);
   if (parsed.Has("sites")) {
-    config.site_counts.clear();
-    for (const std::string& tok :
-         StrSplit(parsed.GetString("sites", ""), ',')) {
-      DCV_ASSIGN_OR_RETURN(int64_t n, ParseInt64(tok));
-      config.site_counts.push_back(static_cast<int>(n));
-    }
+    DCV_ASSIGN_OR_RETURN(config.site_counts,
+                         ParseIntList(parsed.GetString("sites", "")));
   }
+  if (parsed.Has("shards")) {
+    DCV_ASSIGN_OR_RETURN(config.shard_counts,
+                         ParseIntList(parsed.GetString("shards", "")));
+  }
+  config.json_path = parsed.GetString("json", "");
   const std::string transport = parsed.GetString("transport", "thread");
   if (transport == "socket") {
     config.socket = true;
@@ -78,69 +98,111 @@ int RunBench(const BenchConfig& config) {
   const int64_t site_threshold = static_cast<int64_t>(
       static_cast<double>(kSyntheticMax) * (1.0 - config.alarm_fraction));
 
+  // Every configuration's headline numbers land in this registry under a
+  // "bench/runtime/sites=N/shards=K/" prefix; --json dumps it at the end.
+  obs::MetricsRegistry summary;
+
   std::printf("# free-running runtime throughput (updates/site: %" PRId64
               ", alarm fraction: %.3f, transport: %s)\n",
               config.updates, config.alarm_fraction,
               config.socket ? "socket" : "thread");
-  std::printf("%8s %8s %14s %12s %14s %10s %10s\n", "sites", "threads",
-              "updates", "seconds", "updates/sec", "alarms", "polls");
+  std::printf("%8s %8s %8s %14s %12s %14s %10s %10s %14s\n", "sites",
+              "threads", "shards", "updates", "seconds", "updates/sec",
+              "alarms", "polls", "poll-us(mean)");
   for (int sites : config.site_counts) {
-    RuntimeOptions options;
-    options.virtual_time = false;
-    options.num_workers =
-        config.workers == 0 ? 0 : std::min(config.workers, sites);
-    options.seed = config.seed;
-    options.synthetic_max = kSyntheticMax;
-    options.global_threshold =
-        static_cast<int64_t>(sites) * kSyntheticMax;  // Polls never flag.
-    options.thresholds.assign(static_cast<size_t>(sites), site_threshold);
-    options.domain_max.assign(static_cast<size_t>(sites), kSyntheticMax);
+    for (int shards : config.shard_counts) {
+      if (shards > sites) {
+        std::printf("# skipping shards=%d for sites=%d (shards > sites)\n",
+                    shards, sites);
+        continue;
+      }
+      // Per-run registry so the coordinator latency histograms are not
+      // merged across configurations.
+      obs::MetricsRegistry run_metrics;
+      RuntimeOptions options;
+      options.virtual_time = false;
+      options.num_workers =
+          config.workers == 0 ? 0 : std::min(config.workers, sites);
+      options.num_shards = shards;
+      options.seed = config.seed;
+      options.synthetic_max = kSyntheticMax;
+      options.global_threshold =
+          static_cast<int64_t>(sites) * kSyntheticMax;  // Polls never flag.
+      options.thresholds.assign(static_cast<size_t>(sites), site_threshold);
+      options.domain_max.assign(static_cast<size_t>(sites), kSyntheticMax);
+      options.metrics = &run_metrics;
 
-    // Socket mode: the coordinator listens on an ephemeral loopback port
-    // and each worker drives its sites through a real TCP connection from
-    // an in-process thread.
-    std::vector<std::thread> worker_threads;
-    if (config.socket) {
-      const int num_workers =
+      // Socket mode: the coordinator listens on an ephemeral loopback port
+      // and each worker drives its sites through a real TCP connection from
+      // an in-process thread.
+      std::vector<std::thread> worker_threads;
+      if (config.socket) {
+        const int num_workers =
+            options.num_workers == 0 ? sites : options.num_workers;
+        options.transport = TransportKind::kSocket;
+        options.listen_port = 0;
+        options.on_listening = [&worker_threads, num_workers, sites,
+                                &config](int port) {
+          for (int w = 0; w < num_workers; ++w) {
+            worker_threads.emplace_back([w, port, num_workers, sites,
+                                         &config] {
+              SiteWorkerOptions wo;
+              wo.port = port;
+              wo.worker = w;
+              wo.num_workers = num_workers;
+              wo.num_sites = sites;
+              wo.synthetic_updates = config.updates;
+              wo.seed = config.seed;
+              wo.synthetic_max = 1'000'000;
+              auto report = RunSiteWorker(nullptr, wo);
+              if (!report.ok()) {
+                std::fprintf(stderr, "bench_runtime worker %d: %s\n", w,
+                             std::string(report.status().message()).c_str());
+              }
+            });
+          }
+        };
+      }
+      auto result = RunSyntheticRuntime(sites, config.updates, options);
+      for (std::thread& t : worker_threads) {
+        t.join();
+      }
+      if (!result.ok()) {
+        std::fprintf(stderr, "bench_runtime: %s\n",
+                     std::string(result.status().message()).c_str());
+        return 1;
+      }
+      const obs::HistogramSnapshot poll_us =
+          run_metrics.histogram("runtime/coordinator/poll_round_us")
+              ->Snapshot();
+      const int threads =
           options.num_workers == 0 ? sites : options.num_workers;
-      options.transport = TransportKind::kSocket;
-      options.listen_port = 0;
-      options.on_listening = [&worker_threads, num_workers, sites,
-                              &config](int port) {
-        for (int w = 0; w < num_workers; ++w) {
-          worker_threads.emplace_back([w, port, num_workers, sites, &config] {
-            SiteWorkerOptions wo;
-            wo.port = port;
-            wo.worker = w;
-            wo.num_workers = num_workers;
-            wo.num_sites = sites;
-            wo.synthetic_updates = config.updates;
-            wo.seed = config.seed;
-            wo.synthetic_max = 1'000'000;
-            auto report = RunSiteWorker(nullptr, wo);
-            if (!report.ok()) {
-              std::fprintf(stderr, "bench_runtime worker %d: %s\n", w,
-                           std::string(report.status().message()).c_str());
-            }
-          });
-        }
-      };
+      std::printf("%8d %8d %8d %14" PRId64 " %12.3f %14.0f %10" PRId64
+                  " %10" PRId64 " %14.1f\n",
+                  sites, threads, shards, result->total_updates,
+                  result->elapsed_seconds, result->updates_per_second,
+                  result->total_alarms, result->polled_epochs,
+                  poll_us.mean());
+
+      const std::string prefix = "bench/runtime/sites=" +
+                                 std::to_string(sites) +
+                                 "/shards=" + std::to_string(shards) + "/";
+      summary.gauge(prefix + "updates_per_sec")
+          ->Set(result->updates_per_second);
+      summary.gauge(prefix + "elapsed_seconds")->Set(result->elapsed_seconds);
+      summary.gauge(prefix + "alarms")
+          ->Set(static_cast<double>(result->total_alarms));
+      summary.gauge(prefix + "polls")
+          ->Set(static_cast<double>(result->polled_epochs));
+      summary.gauge(prefix + "poll_round_us_mean")->Set(poll_us.mean());
+      summary.gauge(prefix + "poll_round_us_max")->Set(poll_us.max);
+      summary.gauge(prefix + "poll_round_count")
+          ->Set(static_cast<double>(poll_us.count));
     }
-    auto result = RunSyntheticRuntime(sites, config.updates, options);
-    for (std::thread& t : worker_threads) {
-      t.join();
-    }
-    if (!result.ok()) {
-      std::fprintf(stderr, "bench_runtime: %s\n",
-                   std::string(result.status().message()).c_str());
-      return 1;
-    }
-    const int threads = options.num_workers == 0 ? sites : options.num_workers;
-    std::printf("%8d %8d %14" PRId64 " %12.3f %14.0f %10" PRId64
-                " %10" PRId64 "\n",
-                sites, threads, result->total_updates,
-                result->elapsed_seconds, result->updates_per_second,
-                result->total_alarms, result->polled_epochs);
+  }
+  if (!config.json_path.empty() &&
+      !bench::WriteMetricsJson(summary, config.json_path)) {
+    return 1;
   }
   return 0;
 }

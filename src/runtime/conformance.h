@@ -24,6 +24,11 @@ struct ConformanceSpec {
   FaultSpec faults;
   int num_workers = 0;  ///< 0 = one thread per site.
 
+  /// Coordinator shard count for the runtime runs (two-level coordinator
+  /// tree; 1 = flat). Virtual-time results must be bit-identical for every
+  /// legal value — sharded conformance IS the determinism proof.
+  int num_shards = 1;
+
   /// kSocket adds a THIRD run over loopback TCP: the harness spawns one
   /// in-process site-worker driver per worker (the exact code `dcvtool
   /// site-worker` runs), connects them to an ephemeral-port coordinator,

@@ -1,9 +1,29 @@
 #include "runtime/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
 #include <utility>
 
+#include "runtime/mailbox.h"
+#include "runtime/plan.h"
+#include "runtime/shard.h"
+#include "runtime/shard_layout.h"
+
 namespace dcv {
+
+namespace {
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
 
 CoordinatorActor::CoordinatorActor(Config config)
     : config_(std::move(config)), channel_(config_.faults) {}
@@ -19,6 +39,8 @@ Status CoordinatorActor::Init() {
       config_.poll_period < 1) {
     return InvalidArgumentError("polling period must be >= 1");
   }
+  DCV_RETURN_IF_ERROR(
+      MakeShardLayout(config_.num_sites, config_.num_shards).status());
   if (config_.protocol == RuntimeProtocol::kLocalThreshold) {
     if (static_cast<int>(config_.thresholds.size()) != config_.num_sites) {
       return InvalidArgumentError("thresholds size mismatch");
@@ -32,6 +54,12 @@ Status CoordinatorActor::Init() {
   if (config_.metrics != nullptr) {
     alarms_rx_ = config_.metrics->counter("runtime/coordinator/alarms");
     polls_ = config_.metrics->counter("runtime/coordinator/polls");
+    epoch_us_ =
+        config_.metrics->histogram("runtime/coordinator/epoch_us",
+                                   obs::Histogram::DefaultLatencyBoundsUs());
+    poll_round_us_ =
+        config_.metrics->histogram("runtime/coordinator/poll_round_us",
+                                   obs::Histogram::DefaultLatencyBoundsUs());
   }
   return OkStatus();
 }
@@ -67,6 +95,9 @@ Status CoordinatorActor::PollRound(Transport* transport, int64_t epoch,
 
 Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
                                     RuntimeResult* out) {
+  if (config_.num_shards > 1) {
+    return RunVirtualSharded(transport, num_epochs, out);
+  }
   out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
                       ? "local-threshold"
                       : "polling";
@@ -81,6 +112,7 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
   std::vector<int64_t> poll_values;
 
   for (int64_t t = 0; t < num_epochs; ++t) {
+    obs::ScopedTimer epoch_timer(epoch_us_);
     // Same call order as the lockstep runner + scheme, so the channel's RNG
     // stream (and thus every fault fate) is bit-identical.
     channel_.BeginEpoch(t);
@@ -194,6 +226,9 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
 }
 
 Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
+  if (config_.num_shards > 1) {
+    return RunFreeSharded(transport, out);
+  }
   out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
                       ? "local-threshold"
                       : "polling";
@@ -218,6 +253,7 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
       watermark = epoch;
     }
   };
+  std::chrono::steady_clock::time_point round_start;
   auto start_poll = [&]() -> Status {
     ActorMessage request;
     request.kind = ActorMsgKind::kPollRequest;
@@ -231,6 +267,9 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
     poll_pending = n;
     poll_outstanding = true;
     DCV_OBS_COUNT(polls_, 1);
+    if (poll_round_us_ != nullptr) {
+      round_start = std::chrono::steady_clock::now();
+    }
     return OkStatus();
   };
 
@@ -275,6 +314,9 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
             ++out->violations_flagged;
           }
           poll_outstanding = false;
+          if (poll_round_us_ != nullptr) {
+            poll_round_us_->Observe(static_cast<double>(ElapsedUs(round_start)));
+          }
           if (poll_dirty) {
             poll_dirty = false;
             DCV_RETURN_IF_ERROR(start_poll());
@@ -305,6 +347,422 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
     out->total_updates += u;
   }
   return OkStatus();
+}
+
+Status CoordinatorActor::RunVirtualSharded(Transport* transport,
+                                           int64_t num_epochs,
+                                           RuntimeResult* out) {
+  out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
+                      ? "local-threshold"
+                      : "polling";
+  out->mode = "virtual";
+  out->epochs = num_epochs;
+  out->detections.clear();
+  out->detections.reserve(static_cast<size_t>(num_epochs));
+
+  const int n = config_.num_sites;
+  const int k = config_.num_shards;
+  DCV_ASSIGN_OR_RETURN(ShardLayout layout, MakeShardLayout(n, k));
+  if (transport->num_shards() != k) {
+    return InvalidArgumentError(
+        "transport shard count does not match coordinator num_shards");
+  }
+
+  // Spawn the shard coordinators. Virtual-time shards are channel-free
+  // relays: they run the epoch barrier and poll fan-out for their site
+  // range and feed ground truth back; every Channel call stays on this
+  // thread in flat-coordinator order, so the run is bit-identical to the
+  // lockstep simulator for any k.
+  const LocalPlan plan{config_.thresholds, config_.domain_max};
+  Mailbox<RootMsg> root_box(static_cast<size_t>(4 * k + 16));
+  std::vector<std::unique_ptr<Mailbox<ShardCmd>>> cmd_boxes;
+  std::vector<std::thread> shards;
+  cmd_boxes.reserve(static_cast<size_t>(k));
+  shards.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    cmd_boxes.push_back(std::make_unique<Mailbox<ShardCmd>>(4));
+  }
+  for (int s = 0; s < k; ++s) {
+    ShardContext ctx;
+    ctx.shard = s;
+    ctx.layout = layout;
+    ctx.transport = transport;
+    ctx.cmds = cmd_boxes[static_cast<size_t>(s)].get();
+    ctx.to_root = &root_box;
+    ctx.plan = SliceForShard(plan, layout, s);
+    ctx.protocol = config_.protocol;
+    shards.emplace_back(RunShardVirtual, std::move(ctx));
+  }
+
+  // Abort path: close the transport and the command boxes so every shard
+  // (blocked on either) wakes and exits, then join before returning.
+  auto abort_run = [&](Status status) {
+    transport->Shutdown();
+    for (auto& box : cmd_boxes) {
+      box->Close();
+    }
+    for (std::thread& th : shards) {
+      th.join();
+    }
+    return status;
+  };
+
+  // Collects one partial per shard for the current round; arrival order
+  // across shards is free, content is not.
+  std::vector<std::vector<std::pair<int, int64_t>>> partials(
+      static_cast<size_t>(k));
+  std::vector<RootMsg> root_batch;
+  auto collect = [&](RootMsg::Kind want, int64_t epoch) -> Status {
+    int received = 0;
+    while (received < k) {
+      root_batch.clear();
+      if (root_box.PopAll(&root_batch) == 0) {
+        return InternalError("root mailbox closed while collecting partials");
+      }
+      for (RootMsg& msg : root_batch) {
+        if (msg.kind == RootMsg::Kind::kError) {
+          return msg.status;
+        }
+        if (msg.kind != want || msg.epoch != epoch) {
+          return InternalError("out-of-order shard partial");
+        }
+        partials[static_cast<size_t>(msg.shard)] = std::move(msg.entries);
+        ++received;
+      }
+    }
+    return OkStatus();
+  };
+
+  std::vector<int64_t> poll_values(static_cast<size_t>(n), 0);
+  std::vector<std::vector<int>> resync(static_cast<size_t>(k));
+  auto poll_shards = [&](int64_t t) -> Status {
+    DCV_OBS_COUNT(polls_, 1);
+    for (int s = 0; s < k; ++s) {
+      ShardCmd cmd;
+      cmd.kind = ShardCmd::Kind::kPoll;
+      cmd.epoch = t;
+      if (!cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd))) {
+        return InternalError("shard command box closed");
+      }
+    }
+    DCV_RETURN_IF_ERROR(collect(RootMsg::Kind::kPollPartial, t));
+    for (int s = 0; s < k; ++s) {
+      for (const auto& [site, value] : partials[static_cast<size_t>(s)]) {
+        poll_values[static_cast<size_t>(site)] = value;
+      }
+    }
+    return OkStatus();
+  };
+
+  for (int64_t t = 0; t < num_epochs; ++t) {
+    obs::ScopedTimer epoch_timer(epoch_us_);
+    // The root replays the flat coordinator's channel-call sequence
+    // verbatim: BeginEpoch, re-sync sends, (barrier), stale arrivals,
+    // alarm replays in ascending site order, then the poll. Shards only
+    // move ground truth, so the RNG stream never diverges.
+    channel_.BeginEpoch(t);
+
+    for (auto& r : resync) {
+      r.clear();
+    }
+    if (config_.protocol == RuntimeProtocol::kLocalThreshold &&
+        !channel_.newly_recovered().empty()) {
+      const std::vector<int> recovered = channel_.newly_recovered();
+      for (int i : recovered) {
+        SendStatus s = channel_.SendToSite(i, MessageType::kThresholdUpdate,
+                                           /*reliable=*/true);
+        if (s == SendStatus::kDelivered || s == SendStatus::kDelayed) {
+          // The owning shard pushes the transport message (before its
+          // kEpochStart, preserving the per-site FIFO); the wire charge
+          // already happened here.
+          resync[static_cast<size_t>(layout.ShardOf(i))].push_back(i);
+          DCV_OBS_EVENT(config_.recorder, obs::TraceEventKind::kThresholdUpdate,
+                        t, i, config_.thresholds[static_cast<size_t>(i)]);
+        }
+      }
+      channel_.CountResync(static_cast<int64_t>(recovered.size()));
+    }
+
+    for (int s = 0; s < k; ++s) {
+      ShardCmd cmd;
+      cmd.kind = ShardCmd::Kind::kEpoch;
+      cmd.epoch = t;
+      const int start = layout.ShardStart(s);
+      const int size = layout.ShardSize(s);
+      cmd.up.resize(static_cast<size_t>(size));
+      for (int i = 0; i < size; ++i) {
+        cmd.up[static_cast<size_t>(i)] = channel_.SiteUp(start + i) ? 1 : 0;
+      }
+      cmd.resync_sites = std::move(resync[static_cast<size_t>(s)]);
+      if (!cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd))) {
+        return abort_run(InternalError("shard command box closed"));
+      }
+    }
+    if (Status st = collect(RootMsg::Kind::kEpochPartial, t); !st.ok()) {
+      return abort_run(st);
+    }
+
+    EpochDetection det;
+    det.epoch = t;
+    if (config_.protocol == RuntimeProtocol::kLocalThreshold) {
+      std::vector<Channel::Arrival> stale_alarms =
+          channel_.TakeArrivals(MessageType::kAlarm);
+      channel_.TakeArrivals(MessageType::kFilterReport);
+
+      int delivered_alarms = 0;
+      // Shards are contiguous and entries ascend within a shard, so this
+      // double loop visits alarmed sites in ascending global order — the
+      // flat coordinator's (and the lockstep scheme's) replay order.
+      for (int s = 0; s < k; ++s) {
+        for (const auto& [site, value] : partials[static_cast<size_t>(s)]) {
+          ++det.num_alarms;
+          DCV_OBS_COUNT(alarms_rx_, 1);
+          SendStatus st = channel_.SendFromSite(site, MessageType::kAlarm,
+                                                /*reliable=*/true, value);
+          if (st == SendStatus::kDelivered) {
+            ++delivered_alarms;
+          }
+        }
+      }
+      if (delivered_alarms > 0 || !stale_alarms.empty()) {
+        if (Status st = poll_shards(t); !st.ok()) {
+          return abort_run(st);
+        }
+        PollOutcome poll = channel_.PollSites(poll_values, config_.weights,
+                                              config_.domain_max);
+        det.polled = true;
+        det.violation_reported = poll.weighted_sum > config_.global_threshold;
+      }
+    } else {  // kPolling
+      if (t % config_.poll_period == 0) {
+        if (Status st = poll_shards(t); !st.ok()) {
+          return abort_run(st);
+        }
+        PollOutcome poll = channel_.PollSites(poll_values, config_.weights,
+                                              /*pessimistic=*/{});
+        det.polled = true;
+        det.violation_reported = poll.weighted_sum > config_.global_threshold;
+      }
+    }
+    out->detections.push_back(det);
+  }
+
+  for (int s = 0; s < k; ++s) {
+    ShardCmd cmd;
+    cmd.kind = ShardCmd::Kind::kShutdown;
+    cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd));
+  }
+  for (auto& box : cmd_boxes) {
+    box->Close();
+  }
+  for (std::thread& th : shards) {
+    th.join();
+  }
+  out->messages = counter_;
+  out->reliability = channel_.stats();
+  return OkStatus();
+}
+
+Status CoordinatorActor::RunFreeSharded(Transport* transport,
+                                        RuntimeResult* out) {
+  out->protocol = config_.protocol == RuntimeProtocol::kLocalThreshold
+                      ? "local-threshold"
+                      : "polling";
+  out->mode = "free-running";
+
+  const int n = config_.num_sites;
+  const int k = config_.num_shards;
+  DCV_ASSIGN_OR_RETURN(ShardLayout layout, MakeShardLayout(n, k));
+  if (transport->num_shards() != k) {
+    return InvalidArgumentError(
+        "transport shard count does not match coordinator num_shards");
+  }
+  out->site_updates.assign(static_cast<size_t>(n), 0);
+
+  // Free-running shards own the data plane for their slice: alarm intake,
+  // a private channel over shard-local ids (SliceFaultSpec), and the
+  // per-shard leg of every poll round, aggregated down to one partial
+  // SUM/MIN/MAX message. The root only routes round lifecycles — O(k)
+  // messages per round — and merges the per-shard accounting at exit.
+  const LocalPlan plan{config_.thresholds, config_.domain_max};
+  Mailbox<RootMsg> root_box(static_cast<size_t>(4 * k + 16));
+  std::vector<std::thread> shards;
+  shards.reserve(static_cast<size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    ShardContext ctx;
+    ctx.shard = s;
+    ctx.layout = layout;
+    ctx.transport = transport;
+    ctx.to_root = &root_box;
+    ctx.plan = SliceForShard(plan, layout, s);
+    ctx.protocol = config_.protocol;
+    const int start = layout.ShardStart(s);
+    const int size = layout.ShardSize(s);
+    ctx.weights.assign(
+        config_.weights.begin() + start,
+        config_.weights.begin() + start + size);
+    ctx.faults = SliceFaultSpec(config_.faults, layout, s);
+    ctx.metrics = config_.metrics;
+    ctx.recorder = config_.recorder;
+    ctx.alarms_rx = alarms_rx_;
+    shards.emplace_back(RunShardFree, std::move(ctx));
+  }
+
+  obs::Gauge* poll_min_gauge =
+      config_.metrics != nullptr
+          ? config_.metrics->gauge("runtime/coordinator/poll_min")
+          : nullptr;
+  obs::Gauge* poll_max_gauge =
+      config_.metrics != nullptr
+          ? config_.metrics->gauge("runtime/coordinator/poll_max")
+          : nullptr;
+
+  bool poll_outstanding = false;
+  bool poll_dirty = false;
+  int partials_pending = 0;
+  int64_t round_sum = 0;
+  int64_t round_min = 0;
+  int64_t round_max = 0;
+  int shards_done = 0;
+  int shard_exits = 0;
+  Status run_error = OkStatus();
+  std::chrono::steady_clock::time_point round_start;
+
+  auto start_round = [&]() -> bool {
+    // Kick every shard's poll leg. The command is an envelope from
+    // kCoordinatorId injected straight into the shard inbox (SendToShard
+    // never crosses a wire), so each shard still blocks on one source.
+    ActorMessage kick;
+    kick.kind = ActorMsgKind::kPollRequest;
+    for (int s = 0; s < k; ++s) {
+      if (!transport->SendToShard(s, Envelope{kCoordinatorId, kCoordinatorId,
+                                              kick})) {
+        return false;
+      }
+    }
+    partials_pending = k;
+    round_sum = 0;
+    round_min = std::numeric_limits<int64_t>::max();
+    round_max = std::numeric_limits<int64_t>::min();
+    poll_outstanding = true;
+    DCV_OBS_COUNT(polls_, 1);
+    if (poll_round_us_ != nullptr) {
+      round_start = std::chrono::steady_clock::now();
+    }
+    return true;
+  };
+  auto merge_exit = [&](RootMsg& msg) {
+    ++shard_exits;
+    out->total_alarms += msg.alarms;
+    counter_.Merge(msg.messages);
+    out->reliability = out->reliability + msg.reliability;
+    if (!msg.status.ok() && run_error.ok()) {
+      run_error = msg.status;
+    }
+  };
+
+  std::vector<RootMsg> batch;
+  while ((shards_done < k || poll_outstanding) && run_error.ok()) {
+    batch.clear();
+    if (root_box.PopAll(&batch) == 0) {
+      run_error = InternalError("root mailbox closed while shards were live");
+      break;
+    }
+    for (RootMsg& msg : batch) {
+      if (!run_error.ok()) {
+        break;
+      }
+      switch (msg.kind) {
+        case RootMsg::Kind::kAlarmNotice: {
+          // At most one outstanding global round, exactly like the flat
+          // coordinator: notices during a round collapse into one catch-up.
+          if (poll_outstanding) {
+            poll_dirty = true;
+          } else if (!start_round()) {
+            run_error = InternalError("transport closed during poll round");
+          }
+          break;
+        }
+        case RootMsg::Kind::kPollPartial: {
+          round_sum += msg.partial_sum;
+          round_min = std::min(round_min, msg.partial_min);
+          round_max = std::max(round_max, msg.partial_max);
+          if (--partials_pending == 0) {
+            ++out->polled_epochs;
+            if (round_sum > config_.global_threshold) {
+              ++out->violations_flagged;
+            }
+            poll_outstanding = false;
+            if (poll_round_us_ != nullptr) {
+              poll_round_us_->Observe(
+                  static_cast<double>(ElapsedUs(round_start)));
+            }
+            if (poll_min_gauge != nullptr) {
+              poll_min_gauge->Set(static_cast<double>(round_min));
+              poll_max_gauge->Set(static_cast<double>(round_max));
+            }
+            if (poll_dirty) {
+              poll_dirty = false;
+              if (!start_round()) {
+                run_error = InternalError("transport closed during poll round");
+              }
+            }
+          }
+          break;
+        }
+        case RootMsg::Kind::kShardDone: {
+          for (const auto& [site, updates] : msg.entries) {
+            out->site_updates[static_cast<size_t>(site)] = updates;
+          }
+          ++shards_done;
+          break;
+        }
+        case RootMsg::Kind::kShardExit: {
+          // Shards only exit unprompted when the transport died under
+          // them; surface that as the run error but keep their stats.
+          merge_exit(msg);
+          if (run_error.ok()) {
+            run_error = InternalError("shard exited while sites were live");
+          }
+          break;
+        }
+        case RootMsg::Kind::kError: {
+          run_error = msg.status;
+          break;
+        }
+      }
+    }
+  }
+
+  // Shutdown: command every shard to stop; each forwards kShutdown to its
+  // sites and reports final accounting. Exits are counted (not joined-for)
+  // so a shard blocked pushing to the root box can always drain.
+  ActorMessage stop;
+  stop.kind = ActorMsgKind::kShutdown;
+  for (int s = 0; s < k; ++s) {
+    transport->SendToShard(s, Envelope{kCoordinatorId, kCoordinatorId, stop});
+  }
+  while (shard_exits < k) {
+    batch.clear();
+    if (root_box.PopAll(&batch) == 0) {
+      break;
+    }
+    for (RootMsg& msg : batch) {
+      if (msg.kind == RootMsg::Kind::kShardExit) {
+        merge_exit(msg);
+      }
+      // Notices/partials that raced with shutdown are dropped.
+    }
+  }
+  for (std::thread& th : shards) {
+    th.join();
+  }
+
+  out->messages = counter_;
+  for (int64_t u : out->site_updates) {
+    out->total_updates += u;
+  }
+  return run_error;
 }
 
 }  // namespace dcv

@@ -39,6 +39,12 @@ class CoordinatorActor {
     int num_sites = 0;
     std::vector<int64_t> weights;  ///< Size num_sites.
     int64_t global_threshold = 0;
+    /// Two-level coordinator tree: partition the sites across this many
+    /// shard coordinator threads feeding a root aggregator. 1 (the
+    /// default) keeps the flat single-thread coordinator. Must satisfy
+    /// 1 <= num_shards <= num_sites, and the transport must be built with
+    /// the same shard count.
+    int num_shards = 1;
     RuntimeProtocol protocol = RuntimeProtocol::kLocalThreshold;
     int64_t poll_period = 5;  ///< kPolling only.
 
@@ -81,11 +87,25 @@ class CoordinatorActor {
   Status PollRound(Transport* transport, int64_t epoch,
                    std::vector<int64_t>* values);
 
+  /// Two-level paths (num_shards >= 2): the root thread drives k shard
+  /// coordinator threads (shard.h) and aggregates their partials. In
+  /// virtual mode the root still owns the only Channel and issues every
+  /// channel call in flat-coordinator order, so results stay bit-identical
+  /// to the lockstep simulator; in free-running mode each shard owns a
+  /// channel over its slice and the root merges stats at shutdown.
+  Status RunVirtualSharded(Transport* transport, int64_t num_epochs,
+                           RuntimeResult* out);
+  Status RunFreeSharded(Transport* transport, RuntimeResult* out);
+
   Config config_;
   MessageCounter counter_;
   Channel channel_;
   obs::Counter* alarms_rx_ = nullptr;  ///< "runtime/coordinator/alarms".
   obs::Counter* polls_ = nullptr;      ///< "runtime/coordinator/polls".
+  /// Per-epoch (virtual) / per-poll-round (free) root latency, recorded
+  /// for every shard count so bench_runtime can compare 1 vs k.
+  obs::Histogram* epoch_us_ = nullptr;       ///< "runtime/coordinator/epoch_us".
+  obs::Histogram* poll_round_us_ = nullptr;  ///< ".../poll_round_us".
 };
 
 }  // namespace dcv

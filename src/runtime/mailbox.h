@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace dcv {
 
@@ -83,6 +84,42 @@ class Mailbox {
     return true;
   }
 
+  /// Blocking batch drain: waits until at least one message is available
+  /// (or the box is closed and drained), then moves the *entire* queue into
+  /// `out` under one lock acquisition — the shard/root hot paths pay one
+  /// mutex round trip and one producer wake-up per burst instead of one per
+  /// message. Appends to `out`; returns the number of messages moved (0 =
+  /// closed and drained, the consumer's exit signal). FIFO order and the
+  /// per-producer ordering guarantee are preserved: the batch is exactly
+  /// the queue's front-to-back contents.
+  size_t PopAll(std::vector<T>* out) {
+    size_t moved = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      moved = DrainLocked(out);
+    }
+    if (moved > 0) {
+      // Every producer blocked on capacity can now make progress.
+      not_full_.notify_all();
+    }
+    return moved;
+  }
+
+  /// Non-blocking batch drain; 0 when nothing is immediately available
+  /// (which, unlike PopAll, says nothing about the box being closed).
+  size_t TryPopAll(std::vector<T>* out) {
+    size_t moved = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      moved = DrainLocked(out);
+    }
+    if (moved > 0) {
+      not_full_.notify_all();
+    }
+    return moved;
+  }
+
   /// Non-blocking Pop; false when nothing is immediately available.
   bool TryPop(T* out) {
     {
@@ -121,6 +158,16 @@ class Mailbox {
   size_t capacity() const { return capacity_; }
 
  private:
+  /// Moves the whole queue into `out`; caller holds mu_.
+  size_t DrainLocked(std::vector<T>* out) {
+    const size_t moved = queue_.size();
+    while (!queue_.empty()) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return moved;
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;

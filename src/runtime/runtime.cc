@@ -87,6 +87,7 @@ CoordinatorActor::Config MakeCoordinatorConfig(int n, const LaunchPlan& plan,
   ccfg.poll_period = options.poll_period;
   ccfg.thresholds = plan.thresholds;
   ccfg.domain_max = plan.domain_max;
+  ccfg.num_shards = options.num_shards;
   ccfg.faults = options.faults;
   ccfg.metrics = options.metrics;
   ccfg.recorder = options.recorder;
@@ -109,9 +110,11 @@ Result<RuntimeResult> LaunchSocket(int n, int64_t updates_per_site,
   if (workers < 1 || workers > n) {
     return InvalidArgumentError("num_workers must be in [1, num_sites]");
   }
+  DCV_RETURN_IF_ERROR(MakeShardLayout(n, options.num_shards).status());
   SocketTransport::Options sopts = options.socket;
   sopts.virtual_time = options.virtual_time;
   sopts.metrics = options.metrics;
+  sopts.num_shards = options.num_shards;
   DCV_ASSIGN_OR_RETURN(
       std::unique_ptr<SocketTransport> transport,
       SocketTransport::Listen(n, workers, options.listen_port, sopts));
@@ -184,8 +187,12 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
   if (workers < 1 || workers > n) {
     return InvalidArgumentError("num_workers must be in [1, num_sites]");
   }
+  DCV_RETURN_IF_ERROR(MakeShardLayout(n, options.num_shards).status());
   DCV_ASSIGN_OR_RETURN(std::unique_ptr<ThreadTransport> transport,
-                       ThreadTransport::Create(n, workers));
+                       ThreadTransport::Create(n, workers,
+                                               /*coordinator_capacity=*/0,
+                                               /*worker_capacity=*/0,
+                                               options.num_shards));
   if (options.recorder != nullptr) {
     options.recorder->DeclareSites(n);
   }

@@ -37,6 +37,13 @@ struct RuntimeOptions {
   /// [1, num_sites] packs the sites onto k threads (site s -> s % k).
   int num_workers = 0;
 
+  /// Coordinator-side sharding: partition the sites across this many shard
+  /// coordinator threads feeding a root aggregator (two-level tree). Must
+  /// be in [1, num_sites]; 1 = the flat single-thread coordinator.
+  /// Virtual-time results are bit-identical for every legal value (the
+  /// conformance harness asserts shards in {1, 2, 4}).
+  int num_shards = 1;
+
   /// Virtual-time mode runs the sites in epoch lockstep with the
   /// coordinator and is bit-identical to the lockstep simulator (the
   /// conformance harness asserts this). Free-running mode lets every site

@@ -1,0 +1,366 @@
+#include "runtime/shard.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace dcv {
+
+namespace {
+
+/// Pushes a kError to the root; a shard never returns a Status because it
+/// runs on its own thread — the root turns the first kError it sees into
+/// the run's failure.
+void ReportError(const ShardContext& ctx, std::string message) {
+  RootMsg err;
+  err.kind = RootMsg::Kind::kError;
+  err.shard = ctx.shard;
+  err.status = InternalError(std::move(message));
+  ctx.to_root->Push(std::move(err));
+}
+
+}  // namespace
+
+FaultSpec SliceFaultSpec(const FaultSpec& faults, const ShardLayout& layout,
+                         int shard) {
+  const int start = layout.ShardStart(shard);
+  const int size = layout.ShardSize(shard);
+  FaultSpec out = faults;
+  if (!faults.per_site_loss.empty()) {
+    out.per_site_loss.clear();
+    for (int i = 0; i < size; ++i) {
+      const size_t global = static_cast<size_t>(start + i);
+      out.per_site_loss.push_back(global < faults.per_site_loss.size()
+                                      ? faults.per_site_loss[global]
+                                      : faults.loss);
+    }
+  }
+  out.crashes.clear();
+  for (const CrashWindow& crash : faults.crashes) {
+    if (crash.site >= start && crash.site < start + size) {
+      CrashWindow local = crash;
+      local.site = crash.site - start;
+      out.crashes.push_back(local);
+    }
+  }
+  // Splitmix64 increment times (shard + 1): distinct, seed-deterministic
+  // streams per shard; shard 0 of a k=1 layout still differs from the flat
+  // coordinator's stream, which is fine — free-running mode claims no
+  // cross-configuration determinism.
+  out.seed = faults.seed ^ (0x9e3779b97f4a7c15ULL *
+                            static_cast<uint64_t>(shard + 1));
+  return out;
+}
+
+void RunShardVirtual(ShardContext ctx) {
+  const int start = ctx.layout.ShardStart(ctx.shard);
+  const int size = ctx.layout.ShardSize(ctx.shard);
+  std::vector<char> alarmed(static_cast<size_t>(size), 0);
+  std::vector<int64_t> values(static_cast<size_t>(size), 0);
+  std::vector<Envelope> batch;
+
+  ShardCmd cmd;
+  while (ctx.cmds->Pop(&cmd)) {
+    switch (cmd.kind) {
+      case ShardCmd::Kind::kShutdown: {
+        ActorMessage shutdown;
+        shutdown.kind = ActorMsgKind::kShutdown;
+        for (int i = 0; i < size; ++i) {
+          ctx.transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
+        }
+        return;
+      }
+      case ShardCmd::Kind::kEpoch: {
+        // Threshold re-syncs go out before this epoch's kEpochStart; the
+        // mailbox is per-producer FIFO and this thread is the only producer
+        // for its sites, so the site installs the threshold before it
+        // evaluates — same ordering the flat coordinator guarantees.
+        for (int site : cmd.resync_sites) {
+          ActorMessage update;
+          update.kind = ActorMsgKind::kThresholdUpdate;
+          update.epoch = cmd.epoch;
+          update.value =
+              ctx.plan.thresholds[static_cast<size_t>(site - start)];
+          if (!ctx.transport->Send(Envelope{kCoordinatorId, site, update})) {
+            ReportError(ctx, "transport closed during threshold re-sync");
+            return;
+          }
+        }
+        for (int i = 0; i < size; ++i) {
+          ActorMessage begin;
+          begin.kind = ActorMsgKind::kEpochStart;
+          begin.epoch = cmd.epoch;
+          begin.flag = cmd.up[static_cast<size_t>(i)] != 0;
+          if (!ctx.transport->Send(
+                  Envelope{kCoordinatorId, start + i, begin})) {
+            ReportError(ctx, "transport closed during epoch start");
+            return;
+          }
+        }
+        std::fill(alarmed.begin(), alarmed.end(), 0);
+        int pending = size;
+        while (pending > 0) {
+          batch.clear();
+          if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
+            ReportError(ctx, "transport closed while collecting reports");
+            return;
+          }
+          for (const Envelope& e : batch) {
+            if (e.msg.kind != ActorMsgKind::kEpochReport ||
+                e.msg.epoch != cmd.epoch) {
+              ReportError(ctx, "out-of-order message at epoch barrier");
+              return;
+            }
+            alarmed[static_cast<size_t>(e.from - start)] = e.msg.flag ? 1 : 0;
+            values[static_cast<size_t>(e.from - start)] = e.msg.value;
+            --pending;
+          }
+        }
+        RootMsg partial;
+        partial.kind = RootMsg::Kind::kEpochPartial;
+        partial.shard = ctx.shard;
+        partial.epoch = cmd.epoch;
+        for (int i = 0; i < size; ++i) {
+          if (alarmed[static_cast<size_t>(i)]) {
+            partial.entries.emplace_back(start + i,
+                                         values[static_cast<size_t>(i)]);
+          }
+        }
+        if (!ctx.to_root->Push(std::move(partial))) {
+          return;
+        }
+        break;
+      }
+      case ShardCmd::Kind::kPoll: {
+        ActorMessage request;
+        request.kind = ActorMsgKind::kPollRequest;
+        request.epoch = cmd.epoch;
+        for (int i = 0; i < size; ++i) {
+          if (!ctx.transport->Send(
+                  Envelope{kCoordinatorId, start + i, request})) {
+            ReportError(ctx, "transport closed during poll round");
+            return;
+          }
+        }
+        std::fill(values.begin(), values.end(), 0);
+        int pending = size;
+        while (pending > 0) {
+          batch.clear();
+          if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
+            ReportError(ctx,
+                        "transport closed while collecting poll responses");
+            return;
+          }
+          for (const Envelope& e : batch) {
+            if (e.msg.kind != ActorMsgKind::kPollResponse) {
+              ReportError(ctx,
+                          std::string("unexpected ") +
+                              std::string(ActorMsgKindName(e.msg.kind)) +
+                              " during poll round");
+              return;
+            }
+            values[static_cast<size_t>(e.from - start)] = e.msg.value;
+            --pending;
+          }
+        }
+        RootMsg partial;
+        partial.kind = RootMsg::Kind::kPollPartial;
+        partial.shard = ctx.shard;
+        partial.epoch = cmd.epoch;
+        partial.entries.reserve(static_cast<size_t>(size));
+        for (int i = 0; i < size; ++i) {
+          partial.entries.emplace_back(start + i,
+                                       values[static_cast<size_t>(i)]);
+        }
+        if (!ctx.to_root->Push(std::move(partial))) {
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void RunShardFree(ShardContext ctx) {
+  const int start = ctx.layout.ShardStart(ctx.shard);
+  const int size = ctx.layout.ShardSize(ctx.shard);
+
+  // Free-running shards own their slice of the data plane: a private
+  // channel over shard-local site ids charges a private counter, and the
+  // root merges the k (counter, stats, alarms) triples at kShardExit.
+  MessageCounter counter;
+  Channel channel(ctx.faults);
+  {
+    // A free-running shard always terminates via kShardExit — even on init
+    // failure — so the root can count k exits before joining.
+    Status init = channel.Init(size, &counter);
+    if (!init.ok()) {
+      RootMsg exit;
+      exit.kind = RootMsg::Kind::kShardExit;
+      exit.shard = ctx.shard;
+      exit.status = init;
+      ctx.to_root->Push(std::move(exit));
+      return;
+    }
+  }
+  channel.SetObserver(ctx.metrics, ctx.recorder);
+
+  int64_t watermark = -1;
+  bool poll_outstanding = false;
+  int poll_pending = 0;
+  bool notice_sent = false;  ///< Collapse alarms into one notice per round.
+  std::vector<int64_t> poll_values(static_cast<size_t>(size), 0);
+  std::vector<std::pair<int, int64_t>> done_entries;
+  int sites_done = 0;
+  int64_t alarms = 0;
+  std::vector<Envelope> batch;
+  bool running = true;
+  Status exit_status = OkStatus();
+
+  auto advance_watermark = [&](int64_t epoch) {
+    if (epoch > watermark) {
+      channel.BeginEpoch(epoch);
+      watermark = epoch;
+    }
+  };
+  auto start_local_poll = [&]() -> bool {
+    ActorMessage request;
+    request.kind = ActorMsgKind::kPollRequest;
+    request.epoch = std::max<int64_t>(watermark, 0);
+    for (int i = 0; i < size; ++i) {
+      if (!ctx.transport->Send(
+              Envelope{kCoordinatorId, start + i, request})) {
+        return false;
+      }
+    }
+    std::fill(poll_values.begin(), poll_values.end(), 0);
+    poll_pending = size;
+    poll_outstanding = true;
+    return true;
+  };
+
+  while (running) {
+    batch.clear();
+    if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
+      exit_status = InternalError("transport closed while sites were live");
+      break;
+    }
+    for (const Envelope& e : batch) {
+      if (!running) {
+        break;
+      }
+      if (e.from == kCoordinatorId) {
+        // Root command, injected shard-locally via SendToShard (never the
+        // wire): kPollRequest opens a poll leg, kShutdown ends the run.
+        if (e.msg.kind == ActorMsgKind::kShutdown) {
+          running = false;
+        } else if (e.msg.kind == ActorMsgKind::kPollRequest &&
+                   !poll_outstanding) {
+          notice_sent = false;
+          if (!start_local_poll()) {
+            exit_status = InternalError("transport closed during poll round");
+            running = false;
+          }
+        }
+        continue;
+      }
+      switch (e.msg.kind) {
+        case ActorMsgKind::kAlarm: {
+          advance_watermark(e.msg.epoch);
+          DCV_OBS_COUNT(ctx.alarms_rx, 1);
+          ++alarms;
+          SendStatus s =
+              channel.SendFromSite(e.from - start, MessageType::kAlarm,
+                                   /*reliable=*/true, e.msg.value);
+          std::vector<Channel::Arrival> stale =
+              channel.TakeArrivals(MessageType::kAlarm);
+          if ((s == SendStatus::kDelivered || !stale.empty()) &&
+              !notice_sent) {
+            // One notice per round: the root collapses notices from k
+            // shards into at most one outstanding global round plus one
+            // catch-up, so alarm fan-in costs O(k) root messages per round
+            // no matter how many sites fire.
+            RootMsg notice;
+            notice.kind = RootMsg::Kind::kAlarmNotice;
+            notice.shard = ctx.shard;
+            notice.epoch = watermark;
+            if (!ctx.to_root->Push(std::move(notice))) {
+              running = false;
+              break;
+            }
+            notice_sent = true;
+          }
+          break;
+        }
+        case ActorMsgKind::kPollResponse: {
+          if (!poll_outstanding) {
+            break;  // Response to a round we already resolved; ignore.
+          }
+          poll_values[static_cast<size_t>(e.from - start)] = e.msg.value;
+          if (--poll_pending == 0) {
+            PollOutcome poll = channel.PollSites(
+                poll_values, ctx.weights,
+                ctx.protocol == RuntimeProtocol::kLocalThreshold
+                    ? ctx.plan.domain_max
+                    : std::vector<int64_t>{});
+            poll_outstanding = false;
+            RootMsg partial;
+            partial.kind = RootMsg::Kind::kPollPartial;
+            partial.shard = ctx.shard;
+            partial.epoch = watermark;
+            partial.partial_sum = poll.weighted_sum;
+            partial.partial_min = poll.values.empty() ? 0 : poll.values[0];
+            partial.partial_max = partial.partial_min;
+            for (int64_t v : poll.values) {
+              partial.partial_min = std::min(partial.partial_min, v);
+              partial.partial_max = std::max(partial.partial_max, v);
+            }
+            partial.responses = poll.responses;
+            partial.timeouts = poll.timeouts;
+            if (!ctx.to_root->Push(std::move(partial))) {
+              running = false;
+            }
+          }
+          break;
+        }
+        case ActorMsgKind::kSiteDone: {
+          done_entries.emplace_back(e.from, e.msg.value);
+          if (++sites_done == size) {
+            std::sort(done_entries.begin(), done_entries.end());
+            RootMsg done;
+            done.kind = RootMsg::Kind::kShardDone;
+            done.shard = ctx.shard;
+            done.entries = done_entries;
+            if (!ctx.to_root->Push(std::move(done))) {
+              running = false;
+            }
+          }
+          break;
+        }
+        default:
+          exit_status = InternalError(
+              std::string("unexpected ") +
+              std::string(ActorMsgKindName(e.msg.kind)) +
+              " in free-running mode");
+          running = false;
+          break;
+      }
+    }
+  }
+
+  ActorMessage shutdown;
+  shutdown.kind = ActorMsgKind::kShutdown;
+  for (int i = 0; i < size; ++i) {
+    ctx.transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
+  }
+  RootMsg exit;
+  exit.kind = RootMsg::Kind::kShardExit;
+  exit.shard = ctx.shard;
+  exit.alarms = alarms;
+  exit.messages = counter;
+  exit.reliability = channel.stats();
+  exit.status = exit_status;
+  ctx.to_root->Push(std::move(exit));
+}
+
+}  // namespace dcv

@@ -1,0 +1,135 @@
+#ifndef DCV_RUNTIME_SHARD_H_
+#define DCV_RUNTIME_SHARD_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/obs.h"
+#include "runtime/coordinator.h"
+#include "runtime/mailbox.h"
+#include "runtime/plan.h"
+#include "runtime/shard_layout.h"
+#include "runtime/transport.h"
+#include "sim/channel.h"
+
+namespace dcv {
+
+/// The shard half of the two-level coordinator tree. Each shard
+/// coordinator thread owns a contiguous range of sites (shard_layout.h):
+/// alarm intake, threshold distribution, and the per-shard leg of every
+/// poll round for exactly those sites. The root aggregator (coordinator.cc)
+/// drives the shards and combines their partials into the global
+/// constraint decision, so per-round work at the root is O(num_shards)
+/// messages instead of O(num_sites).
+///
+/// Determinism contract (virtual-time mode): shards never touch a Channel.
+/// They relay ground truth between the transport and the root; every
+/// channel call — the single source of message fates, RNG draws, and
+/// MessageCounter charges — stays on the root thread, issued in the exact
+/// site order the flat coordinator used. That is why sharded virtual runs
+/// are bit-identical to the lockstep simulator (the conformance harness
+/// asserts it for 1, 2, and 4 shards).
+///
+/// Free-running mode inverts the split: each shard owns a Channel over its
+/// own site range (fault spec sliced via SliceFaultSpec) and aggregates
+/// its poll leg locally — partial weighted SUM plus MIN/MAX — so the root
+/// combines k partials without ever materializing per-site values. No
+/// per-epoch determinism is claimed in this mode, same as the flat
+/// coordinator.
+
+/// Root -> shard command, virtual-time mode only. Travels over an internal
+/// Mailbox (never the transport): epoch commands carry vectors that do not
+/// fit an Envelope, and in virtual mode the shard's blocking wait
+/// alternates strictly between this box and the transport, so two sources
+/// never race.
+struct ShardCmd {
+  enum class Kind {
+    kEpoch,     ///< Run one epoch barrier over the shard's sites.
+    kPoll,      ///< Fan out one poll round and report the responses.
+    kShutdown,  ///< Forward kShutdown to the sites and exit.
+  };
+  Kind kind = Kind::kEpoch;
+  int64_t epoch = 0;
+  /// kEpoch: up/down flag per shard-local site (the root owns the channel
+  /// and thus the crash schedule).
+  std::vector<char> up;
+  /// kEpoch: global site ids whose threshold re-sync got through the wire
+  /// this epoch (root already charged the sends); the shard pushes the
+  /// transport messages so the per-site update-before-epoch-start FIFO
+  /// holds with a single producer per site.
+  std::vector<int> resync_sites;
+};
+
+/// Shard -> root message (internal mailbox in both modes).
+struct RootMsg {
+  enum class Kind {
+    kEpochPartial,  ///< Virtual: epoch barrier done; entries = alarmed sites.
+    kPollPartial,   ///< Poll leg done. Virtual: entries = every site's value.
+                    ///< Free: aggregated sum/min/max, no per-site entries.
+    kAlarmNotice,   ///< Free: a delivered alarm needs a poll round.
+    kShardDone,     ///< Free: all owned sites reported kSiteDone.
+    kShardExit,     ///< Free: shard exiting; final per-shard accounting.
+    kError,         ///< Shard hit a protocol/transport error; see status.
+  };
+  Kind kind = Kind::kEpochPartial;
+  int shard = 0;
+  int64_t epoch = 0;
+  /// (global site, value) pairs in ascending site order. kEpochPartial:
+  /// alarmed sites and their observed values. kPollPartial (virtual): every
+  /// owned site's response. kShardDone: per-site update counts.
+  std::vector<std::pair<int, int64_t>> entries;
+  // kPollPartial, free-running mode: the shard-aggregated poll leg.
+  int64_t partial_sum = 0;  ///< Weighted sum over the shard's sites.
+  int64_t partial_min = 0;  ///< Min/max of the resolved per-site values —
+  int64_t partial_max = 0;  ///< groundwork for MIN/MAX runtime constraints.
+  int responses = 0;
+  int timeouts = 0;
+  // kShardExit: merged into the run totals by the root.
+  int64_t alarms = 0;
+  MessageCounter messages;
+  ChannelStats reliability;
+  Status status;  ///< kError (and kShardExit on abnormal transport close).
+};
+
+/// Everything one shard coordinator thread needs. Pointers are owned by
+/// the root and outlive the thread.
+struct ShardContext {
+  int shard = 0;
+  ShardLayout layout;
+  Transport* transport = nullptr;
+  Mailbox<ShardCmd>* cmds = nullptr;  ///< Virtual mode only.
+  Mailbox<RootMsg>* to_root = nullptr;
+  /// Shard-local plan slice (SliceForShard): thresholds for re-sync
+  /// pushes, domain_max as the pessimistic poll fallback.
+  LocalPlan plan;
+  RuntimeProtocol protocol = RuntimeProtocol::kLocalThreshold;
+  // Free-running mode only.
+  std::vector<int64_t> weights;  ///< Shard-local slice.
+  FaultSpec faults;              ///< Sliced via SliceFaultSpec.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* recorder = nullptr;
+  obs::Counter* alarms_rx = nullptr;  ///< Shared "runtime/coordinator/alarms".
+};
+
+/// Body of one shard coordinator thread, virtual-time mode: serve ShardCmds
+/// until kShutdown (or a closed box / transport error).
+void RunShardVirtual(ShardContext ctx);
+
+/// Body of one shard coordinator thread, free-running mode: drain the
+/// shard's transport inbox (alarms, poll responses, site-done, and the
+/// root's envelope-borne commands) until the root's kShutdown.
+void RunShardFree(ShardContext ctx);
+
+/// Remaps a global fault spec onto one shard's contiguous site range:
+/// per-site loss and crash windows are sliced and shifted to shard-local
+/// site ids, partitions (coordinator-wide by definition) are kept, and the
+/// channel seed is decorrelated per shard so the k private RNG streams are
+/// unrelated while still a pure function of (seed, shard).
+FaultSpec SliceFaultSpec(const FaultSpec& faults, const ShardLayout& layout,
+                         int shard);
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_SHARD_H_

@@ -145,16 +145,30 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
       num_workers_(num_workers),
       worker_(worker),
       options_(options) {
+  layout_.num_sites = num_sites;
+  layout_.num_shards = role == Role::kCoordinator
+                           ? std::max(1, options_.num_shards)
+                           : 1;  // Workers never see the shard split.
+  // Worker-role send queues size for the WHOLE coordinator fan-in (a
+  // worker's sites can span several shards); coordinator-role shard
+  // inboxes size for their own shard's fan-in only.
   const size_t coordinator_capacity =
       options_.coordinator_capacity != 0
           ? options_.coordinator_capacity
           : 2 * static_cast<size_t>(num_sites) + 16;
+  const size_t shard_capacity =
+      options_.coordinator_capacity != 0
+          ? options_.coordinator_capacity
+          : 2 * static_cast<size_t>(layout_.MaxShardSites()) + 16;
   const size_t worker_capacity =
       options_.worker_capacity != 0
           ? options_.worker_capacity
           : AutoWorkerCapacity(num_sites, num_workers);
   if (role_ == Role::kCoordinator) {
-    inbox_ = std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
+    inboxes_.reserve(static_cast<size_t>(layout_.num_shards));
+    for (int s = 0; s < layout_.num_shards; ++s) {
+      inboxes_.push_back(std::make_unique<Mailbox<Envelope>>(shard_capacity));
+    }
     conns_.resize(static_cast<size_t>(num_workers));
     for (Connection& c : conns_) {
       // The coordinator's queue toward one worker plays the worker-inbox
@@ -162,7 +176,7 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
       c.send_box = std::make_unique<Mailbox<Envelope>>(worker_capacity);
     }
   } else {
-    inbox_ = std::make_unique<Mailbox<Envelope>>(worker_capacity);
+    inboxes_.push_back(std::make_unique<Mailbox<Envelope>>(worker_capacity));
     conns_.resize(1);
     // The worker's queue toward the coordinator mirrors the coordinator
     // inbox: sites block here under backpressure, exactly as they block on
@@ -194,6 +208,9 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Listen(
   if (port < 0 || port > 65535) {
     return InvalidArgumentError("listen port must be in [0, 65535]");
   }
+  // Same validation the layout itself enforces; fail before binding.
+  DCV_RETURN_IF_ERROR(
+      MakeShardLayout(num_sites, std::max(1, options.num_shards)).status());
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return ErrnoError("socket");
@@ -425,7 +442,18 @@ void SocketTransport::ReaderLoop(size_t index) {
       }
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       DCV_OBS_COUNT(c_frames_rx_, 1);
-      if (!inbox_->Push(frame.envelope)) {
+      size_t inbox = 0;
+      if (role_ == Role::kCoordinator) {
+        // Coordinator-bound traffic fans across the shard inboxes by
+        // sender. A frame with an out-of-range sender has no shard; treat
+        // it like any other malformed frame.
+        if (frame.envelope.from < 0 || frame.envelope.from >= num_sites_) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        inbox = static_cast<size_t>(ShardOf(frame.envelope.from));
+      }
+      if (!inboxes_[inbox]->Push(frame.envelope)) {
         return false;  // Inbox closed: we are shutting down.
       }
     }
@@ -462,10 +490,16 @@ void SocketTransport::ReaderLoop(size_t index) {
     DCV_OBS_COUNT(c_disconnects_, 1);
   }
   // End of stream — graceful or not — means no more messages can arrive on
-  // this connection; close the inbox so blocked receivers drain and exit,
-  // matching ThreadTransport's closed-and-drained contract.
-  inbox_->Close();
+  // this connection; close the inboxes so blocked receivers drain and
+  // exit, matching ThreadTransport's closed-and-drained contract.
+  CloseInboxes();
   c.send_box->Close();
+}
+
+void SocketTransport::CloseInboxes() {
+  for (auto& box : inboxes_) {
+    box->Close();
+  }
 }
 
 void SocketTransport::WriterLoop(size_t index) {
@@ -486,7 +520,7 @@ void SocketTransport::WriterLoop(size_t index) {
       if (!shutting_down_.load(std::memory_order_relaxed)) {
         disconnects_.fetch_add(1, std::memory_order_relaxed);
         DCV_OBS_COUNT(c_disconnects_, 1);
-        inbox_->Close();
+        CloseInboxes();
       }
       c.send_box->Close();
       while (c.send_box->Pop(&e)) {
@@ -518,20 +552,43 @@ bool SocketTransport::Send(const Envelope& e) {
   return conns_[0].send_box->Push(e);
 }
 
-bool SocketTransport::RecvCoordinator(Envelope* out) {
-  return role_ == Role::kCoordinator && inbox_->Pop(out);
+bool SocketTransport::SendToShard(int shard, const Envelope& e) {
+  if (role_ != Role::kCoordinator || shard < 0 ||
+      shard >= layout_.num_shards) {
+    return false;
+  }
+  // Root-to-shard commands are coordinator-process-local: straight into
+  // the shard inbox, no frame, no socket.
+  return inboxes_[static_cast<size_t>(shard)]->Push(e);
 }
 
-bool SocketTransport::TryRecvCoordinator(Envelope* out) {
-  return role_ == Role::kCoordinator && inbox_->TryPop(out);
+bool SocketTransport::RecvShard(int shard, Envelope* out) {
+  return role_ == Role::kCoordinator && shard >= 0 &&
+         shard < layout_.num_shards &&
+         inboxes_[static_cast<size_t>(shard)]->Pop(out);
+}
+
+bool SocketTransport::TryRecvShard(int shard, Envelope* out) {
+  return role_ == Role::kCoordinator && shard >= 0 &&
+         shard < layout_.num_shards &&
+         inboxes_[static_cast<size_t>(shard)]->TryPop(out);
+}
+
+size_t SocketTransport::RecvShardAll(int shard, std::vector<Envelope>* out) {
+  if (role_ != Role::kCoordinator || shard < 0 ||
+      shard >= layout_.num_shards) {
+    return 0;
+  }
+  return inboxes_[static_cast<size_t>(shard)]->PopAll(out);
 }
 
 bool SocketTransport::RecvWorker(int worker, Envelope* out) {
-  return role_ == Role::kWorker && worker == worker_ && inbox_->Pop(out);
+  return role_ == Role::kWorker && worker == worker_ && inboxes_[0]->Pop(out);
 }
 
 bool SocketTransport::TryRecvWorker(int worker, Envelope* out) {
-  return role_ == Role::kWorker && worker == worker_ && inbox_->TryPop(out);
+  return role_ == Role::kWorker && worker == worker_ &&
+         inboxes_[0]->TryPop(out);
 }
 
 void SocketTransport::Shutdown() {
@@ -561,7 +618,7 @@ void SocketTransport::Shutdown() {
       ::shutdown(c.fd, SHUT_RDWR);
     }
   }
-  inbox_->Close();
+  CloseInboxes();
   for (Connection& c : conns_) {
     if (c.reader.joinable()) {
       c.reader.join();

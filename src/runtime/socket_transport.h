@@ -48,6 +48,13 @@ class SocketTransport : public Transport {
     size_t coordinator_capacity = 0;  ///< 0 = auto (2 * num_sites + 16).
     size_t worker_capacity = 0;       ///< 0 = auto (4 * ceil(sites/workers) + 8).
     bool virtual_time = true;  ///< Coordinator role: mode pushed to workers.
+
+    /// Coordinator role: shard-coordinator fan-in. Reader threads route
+    /// each inbound envelope to shard ShardOf(e.from)'s inbox (contiguous
+    /// balanced ranges, shard_layout.h). Coordinator-local: the wire
+    /// format and the worker handshake are unchanged, workers neither know
+    /// nor care how the coordinator process is sharded internally.
+    int num_shards = 1;
     obs::MetricsRegistry* metrics = nullptr;
   };
 
@@ -82,9 +89,13 @@ class SocketTransport : public Transport {
   int num_sites() const override { return num_sites_; }
   int num_workers() const override { return num_workers_; }
   int WorkerOf(int site) const override { return site % num_workers_; }
+  int num_shards() const override { return layout_.num_shards; }
+  int ShardOf(int site) const override { return layout_.ShardOf(site); }
   bool Send(const Envelope& e) override;
-  bool RecvCoordinator(Envelope* out) override;
-  bool TryRecvCoordinator(Envelope* out) override;
+  bool SendToShard(int shard, const Envelope& e) override;
+  bool RecvShard(int shard, Envelope* out) override;
+  bool TryRecvShard(int shard, Envelope* out) override;
+  size_t RecvShardAll(int shard, std::vector<Envelope>* out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
   void Shutdown() override;
@@ -113,19 +124,26 @@ class SocketTransport : public Transport {
   void ReaderLoop(size_t index);
   void WriterLoop(size_t index);
 
+  /// End-of-stream on any connection (or a fatal write error) closes every
+  /// shard inbox: no shard can make progress once a worker is gone, and
+  /// blocked receivers must drain out exactly as in ThreadTransport.
+  void CloseInboxes();
+
   const Role role_;
   const int num_sites_;
   const int num_workers_;
   const int worker_;  ///< Worker role: this process's worker index.
+  ShardLayout layout_;  ///< Coordinator role; 1 shard in worker role.
   Options options_;
 
   int listen_fd_ = -1;
   int port_ = 0;
   bool virtual_time_ = true;
 
-  /// Coordinator role: the coordinator inbox. Worker role: this worker's
-  /// inbox. Fed by the reader thread(s).
-  std::unique_ptr<Mailbox<Envelope>> inbox_;
+  /// Coordinator role: one inbox per shard coordinator, fed by the reader
+  /// threads routing on ShardOf(e.from). Worker role: exactly one — this
+  /// worker's inbox.
+  std::vector<std::unique_ptr<Mailbox<Envelope>>> inboxes_;
   std::vector<Connection> conns_;
 
   std::atomic<bool> shutting_down_{false};

@@ -26,7 +26,7 @@ std::string_view ActorMsgKindName(ActorMsgKind kind) {
 
 Result<std::unique_ptr<ThreadTransport>> ThreadTransport::Create(
     int num_sites, int num_workers, size_t coordinator_capacity,
-    size_t worker_capacity) {
+    size_t worker_capacity, int num_shards) {
   if (num_sites < 1) {
     return InvalidArgumentError("transport needs at least one site");
   }
@@ -34,8 +34,15 @@ Result<std::unique_ptr<ThreadTransport>> ThreadTransport::Create(
     return InvalidArgumentError(
         "num_workers must be in [1, num_sites]");
   }
+  DCV_ASSIGN_OR_RETURN(ShardLayout layout,
+                       MakeShardLayout(num_sites, num_shards));
   if (coordinator_capacity == 0) {
-    coordinator_capacity = 2 * static_cast<size_t>(num_sites) + 16;
+    // Per-shard fan-in: an epoch can put at most 2 messages per owned site
+    // in flight toward a shard (report + poll response), and the root's
+    // commands ride in the headroom. One shard degenerates to the
+    // historical 2 * num_sites + 16 whole-coordinator formula.
+    coordinator_capacity =
+        2 * static_cast<size_t>(layout.MaxShardSites()) + 16;
   }
   if (worker_capacity == 0) {
     // Ceil(sites / workers) sites share a worker inbox.
@@ -46,14 +53,20 @@ Result<std::unique_ptr<ThreadTransport>> ThreadTransport::Create(
     worker_capacity = 4 * per_worker + 8;
   }
   return std::unique_ptr<ThreadTransport>(new ThreadTransport(
-      num_sites, num_workers, coordinator_capacity, worker_capacity));
+      layout, num_workers, coordinator_capacity, worker_capacity));
 }
 
-ThreadTransport::ThreadTransport(int num_sites, int num_workers,
+ThreadTransport::ThreadTransport(ShardLayout layout, int num_workers,
                                  size_t coordinator_capacity,
                                  size_t worker_capacity)
-    : num_sites_(num_sites), num_workers_(num_workers) {
-  coordinator_box_ = std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
+    : num_sites_(layout.num_sites),
+      num_workers_(num_workers),
+      layout_(layout) {
+  shard_boxes_.reserve(static_cast<size_t>(layout_.num_shards));
+  for (int s = 0; s < layout_.num_shards; ++s) {
+    shard_boxes_.push_back(
+        std::make_unique<Mailbox<Envelope>>(coordinator_capacity));
+  }
   worker_boxes_.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
     worker_boxes_.push_back(std::make_unique<Mailbox<Envelope>>(worker_capacity));
@@ -62,7 +75,10 @@ ThreadTransport::ThreadTransport(int num_sites, int num_workers,
 
 bool ThreadTransport::Send(const Envelope& e) {
   if (e.to == kCoordinatorId) {
-    return coordinator_box_->Push(e);
+    if (e.from < 0 || e.from >= num_sites_) {
+      return false;
+    }
+    return shard_boxes_[static_cast<size_t>(ShardOf(e.from))]->Push(e);
   }
   if (e.to < 0 || e.to >= num_sites_) {
     return false;
@@ -70,12 +86,23 @@ bool ThreadTransport::Send(const Envelope& e) {
   return worker_boxes_[static_cast<size_t>(WorkerOf(e.to))]->Push(e);
 }
 
-bool ThreadTransport::RecvCoordinator(Envelope* out) {
-  return coordinator_box_->Pop(out);
+bool ThreadTransport::SendToShard(int shard, const Envelope& e) {
+  if (shard < 0 || shard >= layout_.num_shards) {
+    return false;
+  }
+  return shard_boxes_[static_cast<size_t>(shard)]->Push(e);
 }
 
-bool ThreadTransport::TryRecvCoordinator(Envelope* out) {
-  return coordinator_box_->TryPop(out);
+bool ThreadTransport::RecvShard(int shard, Envelope* out) {
+  return shard_boxes_[static_cast<size_t>(shard)]->Pop(out);
+}
+
+bool ThreadTransport::TryRecvShard(int shard, Envelope* out) {
+  return shard_boxes_[static_cast<size_t>(shard)]->TryPop(out);
+}
+
+size_t ThreadTransport::RecvShardAll(int shard, std::vector<Envelope>* out) {
+  return shard_boxes_[static_cast<size_t>(shard)]->PopAll(out);
 }
 
 bool ThreadTransport::RecvWorker(int worker, Envelope* out) {
@@ -87,7 +114,9 @@ bool ThreadTransport::TryRecvWorker(int worker, Envelope* out) {
 }
 
 void ThreadTransport::Shutdown() {
-  coordinator_box_->Close();
+  for (auto& box : shard_boxes_) {
+    box->Close();
+  }
   for (auto& box : worker_boxes_) {
     box->Close();
   }

@@ -7,21 +7,28 @@
 #include "common/result.h"
 #include "runtime/actor_message.h"
 #include "runtime/mailbox.h"
+#include "runtime/shard_layout.h"
 
 namespace dcv {
 
-/// Message fabric between the coordinator and the site workers. The
+/// Message fabric between the coordinator tree and the site workers. The
 /// interface is deliberately socket-shaped — opaque routed envelopes, a
 /// blocking receive per endpoint, an explicit shutdown — so a future
 /// `SocketTransport` (TCP, one connection per worker) can slot in without
 /// touching the actors. The first implementation is in-process
 /// (`ThreadTransport` below): one bounded Mailbox per worker thread plus
-/// one for the coordinator.
+/// one per shard coordinator.
 ///
 /// Sites are multiplexed onto workers: `WorkerOf(site)` names the worker
 /// inbox a site-addressed envelope lands in. With num_workers == num_sites
 /// every site has its own thread; with fewer, workers round-robin their
 /// sites (how `dcvtool run --threads` maps N sites onto K threads).
+///
+/// Coordinator-bound traffic is fanned across `num_shards` shard inboxes:
+/// a site-to-coordinator envelope lands in shard `ShardOf(e.from)`'s inbox
+/// (contiguous balanced ranges; see shard_layout.h). With num_shards == 1
+/// — the default — there is a single coordinator inbox and
+/// RecvCoordinator behaves exactly as before the coordinator tree existed.
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -30,13 +37,31 @@ class Transport {
   virtual int num_workers() const = 0;
   virtual int WorkerOf(int site) const = 0;
 
+  virtual int num_shards() const = 0;
+  virtual int ShardOf(int site) const = 0;
+
   /// Routes by e.to; blocks when the destination inbox is full
   /// (backpressure). Returns false iff the destination is closed.
+  /// Coordinator-bound envelopes (e.to == kCoordinatorId) land in shard
+  /// ShardOf(e.from)'s inbox.
   virtual bool Send(const Envelope& e) = 0;
 
-  /// Blocking receive on the coordinator inbox; false = closed and drained.
-  virtual bool RecvCoordinator(Envelope* out) = 0;
-  virtual bool TryRecvCoordinator(Envelope* out) = 0;
+  /// Injects a root-aggregator command (poll kick, shutdown) directly into
+  /// a shard coordinator's inbox, bypassing site routing. Local to the
+  /// coordinator process — never crosses the wire, so the socket transport
+  /// needs no new frame types for it. Returns false iff the inbox is
+  /// closed.
+  virtual bool SendToShard(int shard, const Envelope& e) = 0;
+
+  /// Blocking receive on one shard coordinator inbox; false = closed and
+  /// drained.
+  virtual bool RecvShard(int shard, Envelope* out) = 0;
+  virtual bool TryRecvShard(int shard, Envelope* out) = 0;
+
+  /// Batch drain of one shard inbox (Mailbox::PopAll): blocks for the
+  /// first message, then moves every queued message under one lock.
+  /// Appends to `out`; 0 = closed and drained.
+  virtual size_t RecvShardAll(int shard, std::vector<Envelope>* out) = 0;
 
   /// Blocking receive on a worker inbox; false = closed and drained.
   virtual bool RecvWorker(int worker, Envelope* out) = 0;
@@ -44,38 +69,53 @@ class Transport {
 
   /// Closes every inbox (receivers drain, then their Recv returns false).
   virtual void Shutdown() = 0;
+
+  /// Unsharded receive, kept for the num_shards == 1 paths (the flat
+  /// coordinator and every pre-sharding caller): shard 0 IS the
+  /// coordinator inbox when there is only one shard.
+  bool RecvCoordinator(Envelope* out) { return RecvShard(0, out); }
+  bool TryRecvCoordinator(Envelope* out) { return TryRecvShard(0, out); }
 };
 
-/// In-process transport over bounded mailboxes, one per worker plus one for
-/// the coordinator. Capacity invariants the runtime relies on to stay
+/// In-process transport over bounded mailboxes, one per worker plus one per
+/// shard coordinator. Capacity invariants the runtime relies on to stay
 /// deadlock-free with blocking sends:
 ///
-///  * the coordinator never blocks on a worker inbox: at most one epoch
-///    start, one poll request, one threshold update, and one shutdown can
-///    be in flight per owned site, and worker capacity covers that;
-///  * sites may block pushing into the coordinator inbox (that is the
-///    backpressure path), but the coordinator is always in its receive
-///    loop, so the box drains.
+///  * the coordinator tree never blocks on a worker inbox: at most one
+///    epoch start, one poll request, one threshold update, and one
+///    shutdown can be in flight per owned site, and worker capacity covers
+///    that;
+///  * sites may block pushing into a shard inbox (that is the backpressure
+///    path), but every shard coordinator is always in its receive loop, so
+///    the box drains. The root's SendToShard commands ride the same
+///    guarantee.
 class ThreadTransport : public Transport {
  public:
-  /// `coordinator_capacity` 0 = auto (2 * num_sites + 16).
-  /// `worker_capacity` 0 = auto (4 * sites-per-worker + 8).
+  /// `coordinator_capacity` 0 = auto (2 * max-sites-per-shard + 16; with
+  /// one shard that is the historical 2 * num_sites + 16).
+  /// `worker_capacity` 0 = auto (4 * ceil(sites/workers) + 8).
   static Result<std::unique_ptr<ThreadTransport>> Create(
       int num_sites, int num_workers, size_t coordinator_capacity = 0,
-      size_t worker_capacity = 0);
+      size_t worker_capacity = 0, int num_shards = 1);
 
   int num_sites() const override { return num_sites_; }
   int num_workers() const override { return num_workers_; }
   int WorkerOf(int site) const override { return site % num_workers_; }
+  int num_shards() const override { return layout_.num_shards; }
+  int ShardOf(int site) const override { return layout_.ShardOf(site); }
 
   bool Send(const Envelope& e) override;
-  bool RecvCoordinator(Envelope* out) override;
-  bool TryRecvCoordinator(Envelope* out) override;
+  bool SendToShard(int shard, const Envelope& e) override;
+  bool RecvShard(int shard, Envelope* out) override;
+  bool TryRecvShard(int shard, Envelope* out) override;
+  size_t RecvShardAll(int shard, std::vector<Envelope>* out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
   void Shutdown() override;
 
-  size_t coordinator_capacity() const { return coordinator_box_->capacity(); }
+  /// Capacity of each shard coordinator inbox (identical across shards;
+  /// the formula uses the most-loaded shard's site count).
+  size_t coordinator_capacity() const { return shard_boxes_[0]->capacity(); }
 
   /// Capacity of each worker inbox (identical across workers; with uneven
   /// site division the formula uses ceil(sites/workers), so the most-loaded
@@ -85,12 +125,13 @@ class ThreadTransport : public Transport {
   }
 
  private:
-  ThreadTransport(int num_sites, int num_workers, size_t coordinator_capacity,
-                  size_t worker_capacity);
+  ThreadTransport(ShardLayout layout, int num_workers,
+                  size_t coordinator_capacity, size_t worker_capacity);
 
   int num_sites_;
   int num_workers_;
-  std::unique_ptr<Mailbox<Envelope>> coordinator_box_;
+  ShardLayout layout_;
+  std::vector<std::unique_ptr<Mailbox<Envelope>>> shard_boxes_;
   std::vector<std::unique_ptr<Mailbox<Envelope>>> worker_boxes_;
 };
 

@@ -133,6 +133,27 @@ ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   return d;
 }
 
+ChannelStats operator+(const ChannelStats& a, const ChannelStats& b) {
+  ChannelStats s;
+  s.transmissions = a.transmissions + b.transmissions;
+  s.delivered = a.delivered + b.delivered;
+  s.dropped = a.dropped + b.dropped;
+  s.blackholed = a.blackholed + b.blackholed;
+  s.duplicates = a.duplicates + b.duplicates;
+  s.delayed = a.delayed + b.delayed;
+  s.late_deliveries = a.late_deliveries + b.late_deliveries;
+  s.delivery_delay_epochs = a.delivery_delay_epochs + b.delivery_delay_epochs;
+  s.retransmissions = a.retransmissions + b.retransmissions;
+  s.backoff_ticks = a.backoff_ticks + b.backoff_ticks;
+  s.acks = a.acks + b.acks;
+  s.give_ups = a.give_ups + b.give_ups;
+  s.crashed_sends = a.crashed_sends + b.crashed_sends;
+  s.timed_out_polls = a.timed_out_polls + b.timed_out_polls;
+  s.degraded_decisions = a.degraded_decisions + b.degraded_decisions;
+  s.resyncs = a.resyncs + b.resyncs;
+  return s;
+}
+
 Channel::Channel(FaultSpec spec)
     : spec_(std::move(spec)),
       perfect_(!spec_.any_faults()),

@@ -128,6 +128,9 @@ struct ChannelStats {
 /// Field-wise difference, for per-segment reporting.
 ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
 
+/// Field-wise sum, for merging per-shard channel stats into a run total.
+ChannelStats operator+(const ChannelStats& a, const ChannelStats& b);
+
 /// Outcome of one one-way send as observed by the *sender*.
 enum class SendStatus {
   kDelivered,   ///< Arrived this epoch (reliable: ack'd or known delivered).

@@ -54,6 +54,14 @@ class MessageCounter {
 
   void Reset() { counts_.fill(0); }
 
+  /// Adds another counter's tallies into this one (merging per-shard
+  /// counters into the run total).
+  void Merge(const MessageCounter& other) {
+    for (int m = 0; m < kNumMessageTypes; ++m) {
+      counts_[static_cast<size_t>(m)] += other.counts_[static_cast<size_t>(m)];
+    }
+  }
+
   std::string ToString() const;
 
  private:

@@ -126,5 +126,156 @@ TEST(MailboxTest, ZeroCapacityClampsToOne) {
   EXPECT_EQ(box.TryPush(2), MailboxPush::kFull);
 }
 
+TEST(MailboxTest, PopAllDrainsEverythingInFifoOrder) {
+  Mailbox<int> box(8);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(box.Push(i));
+  }
+  std::vector<int> out;
+  EXPECT_EQ(box.PopAll(&out), 6u);
+  ASSERT_EQ(out.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+  // The drain empties the box entirely.
+  int v = -1;
+  EXPECT_FALSE(box.TryPop(&v));
+}
+
+TEST(MailboxTest, PopAllAppendsWithoutClearing) {
+  Mailbox<int> box(4);
+  ASSERT_TRUE(box.Push(10));
+  std::vector<int> out = {7};
+  EXPECT_EQ(box.PopAll(&out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 7);
+  EXPECT_EQ(out[1], 10);
+}
+
+TEST(MailboxTest, PopAllBlocksUntilFirstMessage) {
+  Mailbox<int> box(4);
+  std::atomic<bool> drained{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    // Empty box: this PopAll must block until the producer pushes.
+    EXPECT_EQ(box.PopAll(&out), 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 42);
+    drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(drained.load());
+  ASSERT_TRUE(box.Push(42));
+  consumer.join();
+  EXPECT_TRUE(drained.load());
+}
+
+TEST(MailboxTest, PopAllWakesBlockedProducers) {
+  Mailbox<int> box(2);
+  ASSERT_TRUE(box.Push(0));
+  ASSERT_TRUE(box.Push(1));
+  std::atomic<bool> accepted{false};
+  std::thread producer([&] {
+    // Full box: blocked until the batch drain frees the whole capacity.
+    ASSERT_TRUE(box.Push(2));
+    accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());
+  std::vector<int> out;
+  EXPECT_GE(box.PopAll(&out), 2u);
+  producer.join();
+  EXPECT_TRUE(accepted.load());
+  // Whether 2 landed in the first drain or waits for the next, nothing is
+  // lost and order holds.
+  while (out.size() < 3u) {
+    int v = -1;
+    ASSERT_TRUE(box.Pop(&v));
+    out.push_back(v);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(MailboxTest, PopAllDrainsBacklogAfterCloseThenReportsEndOfStream) {
+  Mailbox<int> box(8);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(box.Push(i));
+  }
+  box.Close();
+  std::vector<int> out;
+  // Accepted messages survive the close and drain in one batch...
+  EXPECT_EQ(box.PopAll(&out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  // ...and only then does PopAll report end-of-stream.
+  out.clear();
+  EXPECT_EQ(box.PopAll(&out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MailboxTest, CloseWakesBlockedPopAll) {
+  Mailbox<int> box(4);
+  std::thread consumer([&] {
+    std::vector<int> out;
+    // Blocked on an empty box; Close must wake it with end-of-stream.
+    EXPECT_EQ(box.PopAll(&out), 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.Close();
+  consumer.join();
+}
+
+TEST(MailboxTest, TryPopAllNeverBlocks) {
+  Mailbox<int> box(4);
+  std::vector<int> out;
+  EXPECT_EQ(box.TryPopAll(&out), 0u);
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(box.Push(5));
+  ASSERT_TRUE(box.Push(6));
+  EXPECT_EQ(box.TryPopAll(&out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 6);
+  box.Close();
+  out.clear();
+  EXPECT_EQ(box.TryPopAll(&out), 0u);
+}
+
+TEST(MailboxTest, PopAllSeesEachMultiProducerMessageExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  Mailbox<std::pair<int, int>> box(16);  // Small: forces backpressure.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.Push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next_expected(kProducers, 0);
+  std::vector<std::pair<int, int>> batch;
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    batch.clear();
+    size_t got = box.PopAll(&batch);
+    ASSERT_GT(got, 0u);
+    ASSERT_EQ(got, batch.size());
+    for (const auto& [p, i] : batch) {
+      // Per-producer FIFO must survive batch drains.
+      EXPECT_EQ(i, next_expected[p]);
+      ++next_expected[p];
+    }
+    received += static_cast<int>(got);
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
 }  // namespace
 }  // namespace dcv

@@ -209,6 +209,157 @@ TEST(RuntimeConformanceTest, SocketPollingBaseline) {
   ExpectConformant(w, spec);
 }
 
+// Sharded coordinator tree (the two-level refactor): for every legal shard
+// count, virtual-time runs must stay bit-identical to the lockstep
+// simulator — the shards are channel-free relays, and the root issues every
+// channel call in flat-coordinator order. These tests are the determinism
+// proof for the topology, not just a smoke test.
+
+TEST(ShardedConformanceTest, LocalFptasShards2And4) {
+  Workload w = MakeSyntheticWorkload(21);
+  FptasSolver solver(0.05);
+  for (int shards : {2, 4}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_shards = shards;
+    ExpectConformant(w, spec);
+  }
+}
+
+TEST(ShardedConformanceTest, PollingShards2) {
+  Workload w = MakeSyntheticWorkload(33);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kPolling;
+  spec.poll_period = 3;
+  spec.global_threshold = PickThreshold(w, 0.05);
+  spec.num_shards = 2;
+  ExpectConformant(w, spec);
+}
+
+TEST(ShardedConformanceTest, LocalFptasUnderChannelFaultsShards2And4) {
+  // The hard case: loss, duplication, delay, ack retries, crash windows,
+  // and a coordinator partition, re-run at 2 and 4 shards. Identical
+  // reliability stats prove the root (not the shards) owns every channel
+  // RNG draw.
+  Workload w = MakeSyntheticWorkload(55, /*num_sites=*/5);
+  FptasSolver solver(0.1);
+  for (int shards : {2, 4}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_shards = shards;
+    spec.faults.loss = 0.1;
+    spec.faults.duplicate = 0.05;
+    spec.faults.delay = 0.1;
+    spec.faults.max_delay_epochs = 2;
+    spec.faults.retry.enable_acks = true;
+    spec.faults.retry.max_attempts = 3;
+    spec.faults.crashes = {{/*site=*/1, /*from=*/100, /*to=*/220},
+                           {/*site=*/3, /*from=*/400, /*to=*/450}};
+    spec.faults.partitions = {{/*from=*/300, /*to=*/320}};
+    spec.faults.degrade = DegradeMode::kAssumeBreach;
+    spec.faults.seed = 0xfeedULL;
+    ExpectConformant(w, spec);
+  }
+}
+
+TEST(ShardedConformanceTest, UnevenPartitionSevenSitesThreeShards) {
+  // Regression for the uneven split: 7 sites over 3 shards gives shard
+  // sizes {3, 2, 2}; the contiguous layout must keep the global replay
+  // order ascending across the size boundary.
+  Workload w = MakeSyntheticWorkload(143, /*num_sites=*/7);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_shards = 3;
+  spec.num_workers = 2;  // Worker multiplexing is independent of sharding.
+  spec.faults.loss = 0.05;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.crashes = {{/*site=*/2, /*from=*/80, /*to=*/160},
+                         {/*site=*/6, /*from=*/200, /*to=*/260}};
+  ExpectConformant(w, spec);
+}
+
+TEST(ShardedConformanceTest, SocketTransportShards2) {
+  // Sharding is coordinator-process-local: the wire format does not change,
+  // so a sharded coordinator over real loopback TCP must still match the
+  // lockstep simulator bit for bit.
+  Workload w = MakeSyntheticWorkload(101);
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 2;
+  spec.num_shards = 2;
+  spec.transport = TransportKind::kSocket;
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  ASSERT_TRUE(report->ran_socket);
+  EXPECT_EQ(report->socket_runtime.socket.decode_errors, 0);
+  EXPECT_EQ(report->socket_runtime.socket.disconnects, 0);
+}
+
+TEST(ShardedConformanceTest, SocketTransportUnderFaultsShards3) {
+  Workload w = MakeSyntheticWorkload(113, /*num_sites=*/5,
+                                     /*train_epochs=*/400,
+                                     /*eval_epochs=*/400);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 3;
+  spec.num_shards = 3;
+  spec.transport = TransportKind::kSocket;
+  spec.faults.loss = 0.1;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.retry.max_attempts = 3;
+  spec.faults.crashes = {{/*site=*/2, /*from=*/50, /*to=*/120}};
+  spec.faults.seed = 0xabcdULL;
+  ExpectConformant(w, spec);
+}
+
+// Free-running sharded mode has no determinism claim, but it must drain the
+// whole workload and account for every update exactly once.
+TEST(ShardedRuntimeFreeTest, DrainsFullWorkloadAcrossShardCounts) {
+  for (int shards : {1, 2, 3}) {
+    RuntimeOptions options;
+    options.virtual_time = false;
+    options.num_shards = shards;
+    options.seed = 9;
+    options.synthetic_max = 1000;
+    options.global_threshold = 7 * 1000;
+    options.thresholds.assign(7, 900);  // Alarm-heavy.
+    options.domain_max.assign(7, 1000);
+    auto result = RunSyntheticRuntime(7, 500, options);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result->total_updates, 7 * 500);
+    ASSERT_EQ(result->site_updates.size(), 7u);
+    for (int64_t u : result->site_updates) {
+      EXPECT_EQ(u, 500);
+    }
+    EXPECT_GT(result->total_alarms, 0);
+    EXPECT_GT(result->polled_epochs, 0);
+  }
+}
+
+// The runtime rejects shard counts outside [1, num_sites] up front.
+TEST(ShardedRuntimeTest, RejectsBadShardCounts) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.num_shards = 0;
+  EXPECT_FALSE(RunSyntheticRuntime(4, 10, options).ok());
+  options.num_shards = 5;
+  EXPECT_FALSE(RunSyntheticRuntime(4, 10, options).ok());
+}
+
 // The runtime's deployment plan must provision the same thresholds the
 // lockstep scheme computes for itself from the same training data.
 TEST(RuntimeConformanceTest, BuildLocalPlanMatchesSchemeThresholds) {

@@ -20,6 +20,85 @@ TEST(ThreadTransportTest, ValidatesShape) {
   EXPECT_FALSE(ThreadTransport::Create(4, 0).ok());
   EXPECT_FALSE(ThreadTransport::Create(4, 5).ok());
   EXPECT_TRUE(ThreadTransport::Create(4, 4).ok());
+  // Shard count must fit [1, num_sites].
+  EXPECT_FALSE(ThreadTransport::Create(4, 2, 0, 0, 0).ok());
+  EXPECT_FALSE(ThreadTransport::Create(4, 2, 0, 0, 5).ok());
+  EXPECT_TRUE(ThreadTransport::Create(4, 2, 0, 0, 4).ok());
+}
+
+TEST(ThreadTransportTest, ShardsRouteCoordinatorTrafficBySender) {
+  // 5 sites over 2 shards: shard 0 owns {0, 1, 2}, shard 1 owns {3, 4}.
+  auto transport = ThreadTransport::Create(5, 2, 0, 0, 2);
+  ASSERT_TRUE(transport.ok());
+  Transport& t = **transport;
+  EXPECT_EQ(t.num_shards(), 2);
+  EXPECT_EQ(t.ShardOf(0), 0);
+  EXPECT_EQ(t.ShardOf(2), 0);
+  EXPECT_EQ(t.ShardOf(3), 1);
+  EXPECT_EQ(t.ShardOf(4), 1);
+  // The shard inbox is sized for the most-loaded shard (3 sites here).
+  EXPECT_EQ((*transport)->coordinator_capacity(), 2u * 3u + 16u);
+
+  ActorMessage msg;
+  msg.kind = ActorMsgKind::kEpochReport;
+  ASSERT_TRUE(t.Send(Envelope{4, kCoordinatorId, msg}));
+  ASSERT_TRUE(t.Send(Envelope{0, kCoordinatorId, msg}));
+
+  Envelope e;
+  // Site 4's report lands in shard 1's inbox, site 0's in shard 0's.
+  ASSERT_TRUE(t.TryRecvShard(1, &e));
+  EXPECT_EQ(e.from, 4);
+  EXPECT_FALSE(t.TryRecvShard(1, &e));
+  ASSERT_TRUE(t.TryRecvShard(0, &e));
+  EXPECT_EQ(e.from, 0);
+}
+
+TEST(ThreadTransportTest, SendToShardAndBatchDrain) {
+  auto transport = ThreadTransport::Create(6, 2, 0, 0, 3);
+  ASSERT_TRUE(transport.ok());
+  Transport& t = **transport;
+
+  // Root command straight into shard 2's inbox, interleaved with site
+  // traffic; RecvShardAll drains the whole backlog in arrival order.
+  ActorMessage report;
+  report.kind = ActorMsgKind::kEpochReport;
+  ASSERT_TRUE(t.Send(Envelope{4, kCoordinatorId, report}));
+  ActorMessage cmd;
+  cmd.kind = ActorMsgKind::kPollRequest;
+  ASSERT_TRUE(t.SendToShard(2, Envelope{kCoordinatorId, kCoordinatorId, cmd}));
+  ASSERT_TRUE(t.Send(Envelope{5, kCoordinatorId, report}));
+
+  std::vector<Envelope> batch;
+  EXPECT_EQ(t.RecvShardAll(2, &batch), 3u);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].from, 4);
+  EXPECT_EQ(batch[1].from, kCoordinatorId);
+  EXPECT_EQ(batch[1].msg.kind, ActorMsgKind::kPollRequest);
+  EXPECT_EQ(batch[2].from, 5);
+
+  // Out-of-range shard ids are rejected, not misrouted.
+  EXPECT_FALSE(t.SendToShard(3, Envelope{kCoordinatorId, kCoordinatorId, cmd}));
+  EXPECT_FALSE(t.SendToShard(-1, Envelope{kCoordinatorId, kCoordinatorId,
+                                          cmd}));
+
+  t.Shutdown();
+  batch.clear();
+  EXPECT_EQ(t.RecvShardAll(2, &batch), 0u);
+}
+
+TEST(ThreadTransportTest, SingleShardIsTheFlatCoordinatorInbox) {
+  // RecvCoordinator is shard 0's inbox: the flat coordinator and every
+  // pre-sharding caller keep working unchanged.
+  auto transport = ThreadTransport::Create(3, 1);
+  ASSERT_TRUE(transport.ok());
+  Transport& t = **transport;
+  EXPECT_EQ(t.num_shards(), 1);
+  ActorMessage msg;
+  msg.kind = ActorMsgKind::kAlarm;
+  ASSERT_TRUE(t.Send(Envelope{2, kCoordinatorId, msg}));
+  Envelope e;
+  ASSERT_TRUE(t.TryRecvCoordinator(&e));
+  EXPECT_EQ(e.from, 2);
 }
 
 TEST(ThreadTransportTest, RoutesBySiteAndMultiplexesWorkers) {

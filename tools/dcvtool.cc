@@ -35,8 +35,8 @@
 //   dcvtool run [--trace trace.csv [--train-epochs N] [--threshold T]]
 //           [--sites 4] [--updates 100000] [--seed 42] [--synthetic-max M]
 //           [--scheme local|polling] [--solver fptas|...] [--eps 0.05]
-//           [--poll-period 5] [--threads K] [--virtual-time] [--conformance]
-//           [--transport thread|socket] [--listen-port P]
+//           [--poll-period 5] [--threads K] [--shards S] [--virtual-time]
+//           [--conformance] [--transport thread|socket] [--listen-port P]
 //           [--metrics-json out.json] [--quiet] [+ fault flags as above]
 //       Run the concurrent coordinator/site runtime (src/runtime): real
 //       threads behind a mailbox transport instead of the lockstep
@@ -48,7 +48,11 @@
 //       the lockstep simulator AND the virtual-time runtime and verifies
 //       they agree epoch by epoch (with --transport socket a third run
 //       over loopback TCP is verified as well). --threads packs the sites
-//       onto K worker threads (default: one thread per site).
+//       onto K worker threads (default: one thread per site). --shards S
+//       partitions the sites across S shard coordinator threads feeding a
+//       root aggregator (two-level coordinator tree; S in [1, sites],
+//       default 1 = flat coordinator); virtual-time results are identical
+//       for every legal S.
 //       --transport socket makes this process the coordinator: it listens
 //       on --listen-port (0 = ephemeral; the bound port is printed as
 //       "listening-port: P"), waits for one `dcvtool site-worker` process
@@ -452,6 +456,14 @@ Status RunRuntime(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(options.faults, ParseFaultFlags(flags));
   DCV_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
   options.num_workers = static_cast<int>(threads);
+  DCV_ASSIGN_OR_RETURN(int64_t shards, flags.GetInt("shards", 1));
+  if (shards < 1) {
+    return InvalidArgumentError(
+        "--shards must be >= 1, got " + std::to_string(shards));
+  }
+  // An upper bound (shards <= sites) is enforced by the runtime once the
+  // site count is known; both paths exit with a clear error.
+  options.num_shards = static_cast<int>(shards);
   options.virtual_time = flags.GetBool("virtual-time");
 
   const std::string transport_name = flags.GetString("transport", "thread");
@@ -554,6 +566,7 @@ Status RunRuntime(const ParsedFlags& flags) {
     spec.global_threshold = threshold;
     spec.faults = options.faults;
     spec.num_workers = options.num_workers;
+    spec.num_shards = options.num_shards;
     spec.transport = options.transport;
     DCV_ASSIGN_OR_RETURN(ConformanceReport report,
                          RunConformance(training, eval, spec));
@@ -757,8 +770,9 @@ FlagSet RunFlags() {
   FlagSet flags;
   flags.Value("trace").Value("train-epochs").Value("threshold").Value("eps")
       .Value("scheme").Value("solver").Value("poll-period").Value("threads")
-      .Value("sites").Value("updates").Value("seed").Value("synthetic-max")
-      .Value("metrics-json").Value("transport").Value("listen-port");
+      .Value("shards").Value("sites").Value("updates").Value("seed")
+      .Value("synthetic-max").Value("metrics-json").Value("transport")
+      .Value("listen-port");
   flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance");
   DeclareFaultFlags(&flags);
   return flags;

@@ -50,6 +50,8 @@ def main():
     parser.add_argument("--trace", required=True)
     parser.add_argument("--train-epochs", type=int, required=True)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="coordinator shard count (two-level tree)")
     parser.add_argument("--timeout", type=float, default=240.0)
     args = parser.parse_args()
 
@@ -62,6 +64,7 @@ def main():
             "--transport", "socket",
             "--listen-port", "0",
             "--threads", str(args.workers),
+            "--shards", str(args.shards),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -124,6 +127,7 @@ def main():
             "--train-epochs", str(args.train_epochs),
             "--virtual-time",
             "--threads", str(args.workers),
+            "--shards", str(args.shards),
         ],
         capture_output=True,
         text=True,
@@ -149,8 +153,9 @@ def main():
                  + "\n--- socket output ---\n" + socket_out
                  + "\n--- thread output ---\n" + thread.stdout)
 
-    print("socket smoke OK: %d workers on port %d, %s messages, %s epochs"
-          % (args.workers, port, socket_values.get("messages"),
+    print("socket smoke OK: %d workers, %d shards on port %d, "
+          "%s messages, %s epochs"
+          % (args.workers, args.shards, port, socket_values.get("messages"),
              socket_values.get("epochs")))
     return 0
 
