@@ -8,6 +8,8 @@
 // Usage: bench_runtime [--updates 200000] [--sites 2,4,8,16] [--shards 1]
 //                      [--seed 42] [--alarm-fraction 0.02] [--workers 0]
 //                      [--transport thread|socket] [--json out.json]
+//                      [--chaos none|kill-shard] [--chaos-seed 3]
+//                      [--heartbeat-timeout-ms 500]
 //
 // --shards takes a comma list of coordinator shard counts; each is run
 // against each site count (shard counts above the site count are skipped).
@@ -16,6 +18,11 @@
 // --transport socket runs the same workload through the TCP transport on
 // loopback (worker drivers in-process, one per worker thread), measuring
 // the framing + kernel socket overhead against the mailbox baseline.
+// --chaos kill-shard injects one seed-resolved shard crash into every
+// configuration and reports the measured recovery time; shards=1 configs
+// run healthy (a flat coordinator has no shard to lose). Recovery gauges
+// (shard_recoveries, recovery_ms) are always emitted so the JSON schema
+// is stable with and without chaos.
 
 #include <cinttypes>
 #include <cstdint>
@@ -28,6 +35,7 @@
 #include "common/flags.h"
 #include "common/strings.h"
 #include "obs/obs.h"
+#include "runtime/chaos.h"
 #include "runtime/runtime.h"
 #include "runtime/site_worker.h"
 
@@ -43,6 +51,8 @@ struct BenchConfig {
   int workers = 0;               ///< 0 = one thread per site.
   bool socket = false;           ///< Loopback TCP instead of mailboxes.
   std::string json_path;         ///< Empty = no JSON artifact.
+  ChaosSpec chaos;               ///< One injected failure per config.
+  int heartbeat_timeout_ms = 0;  ///< 0 = 500 when chaos is requested.
 };
 
 Result<std::vector<int>> ParseIntList(const std::string& csv) {
@@ -58,7 +68,8 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
   FlagSet flags;
   flags.Value("updates").Value("sites").Value("shards").Value("seed")
       .Value("alarm-fraction").Value("workers").Value("transport")
-      .Value("json");
+      .Value("json").Value("chaos").Value("chaos-seed")
+      .Value("heartbeat-timeout-ms");
   DCV_ASSIGN_OR_RETURN(ParsedFlags parsed, flags.Parse(argc, argv, 1));
   BenchConfig config;
   DCV_ASSIGN_OR_RETURN(config.updates,
@@ -86,6 +97,34 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
     config.socket = true;
   } else if (transport != "thread") {
     return InvalidArgumentError("--transport must be thread or socket");
+  }
+  if (parsed.Has("chaos")) {
+    DCV_ASSIGN_OR_RETURN(config.chaos.kind,
+                         ParseChaosKind(parsed.GetString("chaos", "none")));
+  }
+  if (config.chaos.kind == ChaosKind::kKillWorker ||
+      config.chaos.kind == ChaosKind::kReshard) {
+    // kill-worker and reshard only exist for the virtual-time/socket
+    // conformance runs; the free-running throughput sweep measures
+    // shard-loss recovery.
+    return InvalidArgumentError(
+        "bench_runtime only supports --chaos kill-shard (the free-running "
+        "sweep measures shard-loss recovery)");
+  }
+  DCV_ASSIGN_OR_RETURN(int64_t chaos_seed, parsed.GetInt("chaos-seed", 3));
+  config.chaos.seed = static_cast<uint64_t>(chaos_seed);
+  DCV_ASSIGN_OR_RETURN(
+      int64_t heartbeat,
+      parsed.GetInt("heartbeat-timeout-ms", config.heartbeat_timeout_ms));
+  if (heartbeat < 0) {
+    return InvalidArgumentError("--heartbeat-timeout-ms must be >= 0");
+  }
+  config.heartbeat_timeout_ms = static_cast<int>(heartbeat);
+  if (config.chaos.kind != ChaosKind::kNone &&
+      config.heartbeat_timeout_ms == 0) {
+    // A chaos sweep with no failure detector would hang forever; that is
+    // never what was asked for.
+    config.heartbeat_timeout_ms = 500;
   }
   return config;
 }
@@ -131,6 +170,17 @@ int RunBench(const BenchConfig& config) {
       options.thresholds.assign(static_cast<size_t>(sites), site_threshold);
       options.domain_max.assign(static_cast<size_t>(sites), kSyntheticMax);
       options.metrics = &run_metrics;
+      options.chaos = config.chaos;
+      options.heartbeat_timeout_ms = config.heartbeat_timeout_ms;
+      if (config.chaos.kind == ChaosKind::kKillShard && shards < 2) {
+        // A flat coordinator has no shard to lose; run this config healthy
+        // so the sweep still covers it.
+        std::printf("# shards=1 for sites=%d runs healthy (kill-shard needs "
+                    "a sharded tree)\n",
+                    sites);
+        options.chaos = ChaosSpec{};
+        options.heartbeat_timeout_ms = 0;
+      }
 
       // Socket mode: the coordinator listens on an ephemeral loopback port
       // and each worker drives its sites through a real TCP connection from
@@ -183,6 +233,11 @@ int RunBench(const BenchConfig& config) {
                   result->elapsed_seconds, result->updates_per_second,
                   result->total_alarms, result->polled_epochs,
                   poll_us.mean());
+      if (result->shard_recoveries > 0) {
+        std::printf("# recovered %" PRId64 " shard(s) in %.1f ms; no "
+                    "updates lost\n",
+                    result->shard_recoveries, result->recovery_ms);
+      }
 
       const std::string prefix = "bench/runtime/sites=" +
                                  std::to_string(sites) +
@@ -198,6 +253,9 @@ int RunBench(const BenchConfig& config) {
       summary.gauge(prefix + "poll_round_us_max")->Set(poll_us.max);
       summary.gauge(prefix + "poll_round_count")
           ->Set(static_cast<double>(poll_us.count));
+      summary.gauge(prefix + "shard_recoveries")
+          ->Set(static_cast<double>(result->shard_recoveries));
+      summary.gauge(prefix + "recovery_ms")->Set(result->recovery_ms);
     }
   }
   if (!config.json_path.empty() &&

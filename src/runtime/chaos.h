@@ -1,0 +1,117 @@
+#ifndef DCV_RUNTIME_CHAOS_H_
+#define DCV_RUNTIME_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace dcv {
+
+/// What the chaos harness breaks mid-run. Chaos is *runtime* fault
+/// injection — it kills pieces of the coordinator tree or severs transport
+/// links — as opposed to the FaultSpec Channel, which models the paper's
+/// lossy network between sites and coordinator. The two compose: a chaos
+/// run still routes every protocol message through the Channel.
+enum class ChaosKind : uint8_t {
+  kNone = 0,
+  /// Kill one shard coordinator thread. Virtual mode: the shard dies the
+  /// instant it receives the doomed epoch's command, before sending
+  /// anything, and the root re-adopts its sites (direct attachment) — the
+  /// Channel call sequence is unchanged, so detections stay bit-identical
+  /// to the lockstep simulator. Free-running mode: the shard dies between
+  /// inbox batches and the root respawns a replacement that drains the
+  /// same inbox, so no queued alarm or site-done message is lost.
+  kKillShard,
+  /// Sever the TCP link to one site-worker mid-run (socket transport
+  /// only). The worker redials, the handshake fences stale generations,
+  /// and unacked envelopes are replayed — detections are unaffected.
+  kKillWorker,
+  /// Push a rotated shard layout mid-run at a virtual epoch boundary
+  /// (kLayoutUpdate / ack / switch), rebalancing the site->shard
+  /// assignment without stopping the data plane.
+  kReshard,
+};
+
+/// A chaos scenario: what to break, resolved where/when from the seed.
+struct ChaosSpec {
+  ChaosKind kind = ChaosKind::kNone;
+  uint64_t seed = 0;
+
+  bool enabled() const { return kind != ChaosKind::kNone; }
+};
+
+/// Where and when the chaos fires, resolved deterministically from the
+/// spec's seed so every run of the same scenario breaks the same way.
+struct ResolvedChaos {
+  int target = -1;          ///< Shard (kKillShard) or worker (kKillWorker).
+  int64_t fire_epoch = -1;  ///< Virtual mode: epoch the chaos fires at.
+  int64_t fire_after_batches = -1;  ///< Free mode: inbox batches survived.
+};
+
+namespace chaos_internal {
+inline uint64_t Splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace chaos_internal
+
+/// Resolves a spec against the run's shape: `num_targets` is the shard
+/// count (kKillShard / kReshard) or worker count (kKillWorker), and
+/// `num_epochs` bounds the fire epoch. The fire epoch lands in
+/// [1, num_epochs - 1] when the run is long enough (never epoch 0, so the
+/// steady state is established first, and never past the end).
+inline ResolvedChaos ResolveChaos(const ChaosSpec& spec, int64_t num_epochs,
+                                  int num_targets) {
+  ResolvedChaos r;
+  if (!spec.enabled() || num_targets < 1) {
+    return r;
+  }
+  const uint64_t a = chaos_internal::Splitmix64(spec.seed);
+  const uint64_t b = chaos_internal::Splitmix64(a);
+  r.target = static_cast<int>(a % static_cast<uint64_t>(num_targets));
+  const int64_t span = num_epochs > 2 ? num_epochs - 2 : 1;
+  r.fire_epoch = 1 + static_cast<int64_t>(b % static_cast<uint64_t>(span));
+  r.fire_after_batches = 1 + static_cast<int64_t>(b % 8);
+  return r;
+}
+
+inline const char* ChaosKindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kNone:
+      return "none";
+    case ChaosKind::kKillShard:
+      return "kill-shard";
+    case ChaosKind::kKillWorker:
+      return "kill-worker";
+    case ChaosKind::kReshard:
+      return "reshard";
+  }
+  return "unknown";
+}
+
+/// Parses the `--chaos` flag values; "none" (or empty) disables chaos.
+inline Result<ChaosKind> ParseChaosKind(std::string_view text) {
+  if (text.empty() || text == "none") {
+    return ChaosKind::kNone;
+  }
+  if (text == "kill-shard") {
+    return ChaosKind::kKillShard;
+  }
+  if (text == "kill-worker") {
+    return ChaosKind::kKillWorker;
+  }
+  if (text == "reshard") {
+    return ChaosKind::kReshard;
+  }
+  return InvalidArgumentError(
+      "unknown chaos kind '" + std::string(text) +
+      "' (expected kill-shard, kill-worker, reshard, or none)");
+}
+
+}  // namespace dcv
+
+#endif  // DCV_RUNTIME_CHAOS_H_

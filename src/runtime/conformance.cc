@@ -103,6 +103,12 @@ Result<ConformanceReport> RunConformance(const Trace& training,
   rt_options.virtual_time = true;
   rt_options.solver = spec.solver;
   rt_options.faults = spec.faults;
+  rt_options.heartbeat_timeout_ms = spec.heartbeat_timeout_ms;
+  // kill-worker severs a TCP link, which only exists in the socket run;
+  // the in-process run stays healthy for that chaos kind.
+  if (spec.chaos.kind != ChaosKind::kKillWorker) {
+    rt_options.chaos = spec.chaos;
+  }
   DCV_ASSIGN_OR_RETURN(report.runtime,
                        RunMonitorRuntime(training, eval, rt_options));
   report.mismatch = DiffAgainstLockstep(report.lockstep, report.lockstep_epochs,
@@ -122,6 +128,8 @@ Result<ConformanceReport> RunConformance(const Trace& training,
     RuntimeOptions socket_options = rt_options;
     socket_options.transport = TransportKind::kSocket;
     socket_options.listen_port = 0;
+    socket_options.chaos = spec.chaos;  // All kinds apply to the socket run.
+    const bool reconnect = spec.chaos.kind == ChaosKind::kKillWorker;
     socket_options.on_listening = [&](int port) {
       for (int w = 0; w < workers; ++w) {
         worker_threads.emplace_back([&, w, port] {
@@ -130,6 +138,7 @@ Result<ConformanceReport> RunConformance(const Trace& training,
           wo.worker = w;
           wo.num_workers = workers;
           wo.num_sites = n;
+          wo.socket.allow_reconnect = reconnect;
           auto r = RunSiteWorker(&eval, wo);
           if (!r.ok()) {
             worker_status[static_cast<size_t>(w)] = r.status();

@@ -34,6 +34,18 @@ struct ConformanceSpec {
   /// site-worker` runs), connects them to an ephemeral-port coordinator,
   /// and diffs that run against the lockstep reference too.
   TransportKind transport = TransportKind::kThread;
+
+  /// Chaos: kill a shard coordinator / sever a worker link / push a
+  /// mid-run reshard at a seed-resolved point DURING the runtime runs (the
+  /// lockstep reference always runs healthy). Conformance with chaos on is
+  /// the recovery proof: the runtime must survive the failure AND still
+  /// produce bit-identical virtual-time detections. kill-worker needs the
+  /// socket transport (there is no link to sever in-process) and is
+  /// applied to the socket run only.
+  ChaosSpec chaos;
+  /// Dead-shard detection window for the runtime runs; must be > 0 when
+  /// chaos kills a shard (the root has to notice the silence).
+  int heartbeat_timeout_ms = 0;
 };
 
 /// Side-by-side outcome plus the verdict. `identical` demands agreement

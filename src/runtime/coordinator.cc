@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <string>
@@ -41,6 +42,20 @@ Status CoordinatorActor::Init() {
   }
   DCV_RETURN_IF_ERROR(
       MakeShardLayout(config_.num_sites, config_.num_shards).status());
+  if (config_.chaos.kind == ChaosKind::kKillShard ||
+      config_.chaos.kind == ChaosKind::kReshard) {
+    if (config_.num_shards < 2) {
+      return InvalidArgumentError(
+          std::string(ChaosKindName(config_.chaos.kind)) +
+          " chaos needs a sharded coordinator (num_shards >= 2)");
+    }
+  }
+  if (config_.chaos.kind == ChaosKind::kKillShard &&
+      config_.heartbeat_timeout_ms <= 0) {
+    return InvalidArgumentError(
+        "kill-shard chaos needs heartbeat_timeout_ms > 0 so the root can "
+        "detect the death");
+  }
   if (config_.protocol == RuntimeProtocol::kLocalThreshold) {
     if (static_cast<int>(config_.thresholds.size()) != config_.num_sites) {
       return InvalidArgumentError("thresholds size mismatch");
@@ -110,9 +125,20 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
   std::vector<char> alarmed(static_cast<size_t>(n), 0);
   std::vector<int64_t> alarm_value(static_cast<size_t>(n), 0);
   std::vector<int64_t> poll_values;
+  const ResolvedChaos chaos =
+      ResolveChaos(config_.chaos, num_epochs, transport->num_workers());
 
   for (int64_t t = 0; t < num_epochs; ++t) {
     obs::ScopedTimer epoch_timer(epoch_us_);
+    if (config_.chaos.kind == ChaosKind::kKillWorker &&
+        t == chaos.fire_epoch) {
+      // Sever one worker link mid-run. On the socket transport the worker
+      // redials and the seq replay heals the stream, so the run (and the
+      // Channel's RNG stream) is unaffected; transports without severable
+      // links report Unimplemented, which is fine to ignore.
+      Status severed = transport->InjectPeerFailure(chaos.target);
+      (void)severed;
+    }
     // Same call order as the lockstep runner + scheme, so the channel's RNG
     // stream (and thus every fault fate) is bit-identical.
     channel_.BeginEpoch(t);
@@ -367,6 +393,10 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
     return InvalidArgumentError(
         "transport shard count does not match coordinator num_shards");
   }
+  const ResolvedChaos chaos = ResolveChaos(
+      config_.chaos, num_epochs,
+      config_.chaos.kind == ChaosKind::kKillWorker ? transport->num_workers()
+                                                   : k);
 
   // Spawn the shard coordinators. Virtual-time shards are channel-free
   // relays: they run the epoch barrier and poll fan-out for their site
@@ -391,6 +421,9 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
     ctx.to_root = &root_box;
     ctx.plan = SliceForShard(plan, layout, s);
     ctx.protocol = config_.protocol;
+    if (config_.chaos.kind == ChaosKind::kKillShard && s == chaos.target) {
+      ctx.die_at_epoch = chaos.fire_epoch;
+    }
     shards.emplace_back(RunShardVirtual, std::move(ctx));
   }
 
@@ -407,17 +440,75 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
     return status;
   };
 
-  // Collects one partial per shard for the current round; arrival order
-  // across shards is free, content is not.
+  // Recovery state: a dead shard's sites are re-adopted by this thread
+  // (direct attachment) — the root re-executes the shard's pending command
+  // from its own copy and runs every later command for that range inline.
+  // The shard legs are the exact code the shard thread runs, and the plan
+  // re-slices from the root's full copy, so the sites see one producer and
+  // identical traffic; the Channel call sequence never changes.
+  std::vector<char> dead(static_cast<size_t>(k), 0);
+  std::vector<ShardCmd> pending_cmds(static_cast<size_t>(k));
+
+  // Collects one partial per live shard for the current round; arrival
+  // order across shards is free, content is not. A heartbeat timeout with
+  // nothing delivered marks the still-missing shards dead and re-executes
+  // their pending command inline.
   std::vector<std::vector<std::pair<int, int64_t>>> partials(
       static_cast<size_t>(k));
   std::vector<RootMsg> root_batch;
+  auto recover = [&](int s, RootMsg::Kind want) -> Status {
+    const auto t0 = std::chrono::steady_clock::now();
+    dead[static_cast<size_t>(s)] = 1;
+    Status st =
+        want == RootMsg::Kind::kEpochPartial
+            ? ShardEpochLeg(transport, layout, s,
+                            SliceForShard(plan, layout, s),
+                            pending_cmds[static_cast<size_t>(s)],
+                            &partials[static_cast<size_t>(s)])
+            : ShardPollLeg(transport, layout, s,
+                           pending_cmds[static_cast<size_t>(s)].epoch,
+                           &partials[static_cast<size_t>(s)]);
+    ++out->shard_recoveries;
+    out->recovery_ms = std::max(
+        out->recovery_ms, static_cast<double>(ElapsedUs(t0)) / 1000.0);
+    return st;
+  };
   auto collect = [&](RootMsg::Kind want, int64_t epoch) -> Status {
+    std::vector<char> got(static_cast<size_t>(k), 0);
+    int expected = 0;
+    for (int s = 0; s < k; ++s) {
+      if (dead[static_cast<size_t>(s)]) {
+        got[static_cast<size_t>(s)] = 1;  // Already executed inline.
+      } else {
+        ++expected;
+      }
+    }
     int received = 0;
-    while (received < k) {
+    while (received < expected) {
       root_batch.clear();
-      if (root_box.PopAll(&root_batch) == 0) {
-        return InternalError("root mailbox closed while collecting partials");
+      bool timed_out = false;
+      const size_t got_msgs =
+          config_.heartbeat_timeout_ms > 0
+              ? root_box.PopAllFor(&root_batch, config_.heartbeat_timeout_ms,
+                                   &timed_out)
+              : root_box.PopAll(&root_batch);
+      if (got_msgs == 0) {
+        if (!timed_out) {
+          return InternalError(
+              "root mailbox closed while collecting partials");
+        }
+        // Heartbeat timeout: every live shard still missing its partial is
+        // presumed dead (a live shard's barrier completes well inside the
+        // timeout); re-adopt its sites and run the leg here.
+        for (int s = 0; s < k; ++s) {
+          if (got[static_cast<size_t>(s)]) {
+            continue;
+          }
+          DCV_RETURN_IF_ERROR(recover(s, want));
+          got[static_cast<size_t>(s)] = 1;
+          --expected;
+        }
+        continue;
       }
       for (RootMsg& msg : root_batch) {
         if (msg.kind == RootMsg::Kind::kError) {
@@ -427,6 +518,7 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
           return InternalError("out-of-order shard partial");
         }
         partials[static_cast<size_t>(msg.shard)] = std::move(msg.entries);
+        got[static_cast<size_t>(msg.shard)] = 1;
         ++received;
       }
     }
@@ -441,8 +533,19 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
       ShardCmd cmd;
       cmd.kind = ShardCmd::Kind::kPoll;
       cmd.epoch = t;
+      pending_cmds[static_cast<size_t>(s)] = cmd;
+      if (dead[static_cast<size_t>(s)]) {
+        continue;  // Run inline below, after the live shards are going.
+      }
       if (!cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd))) {
         return InternalError("shard command box closed");
+      }
+    }
+    for (int s = 0; s < k; ++s) {
+      if (dead[static_cast<size_t>(s)]) {
+        DCV_RETURN_IF_ERROR(
+            ShardPollLeg(transport, layout, s, t,
+                         &partials[static_cast<size_t>(s)]));
       }
     }
     DCV_RETURN_IF_ERROR(collect(RootMsg::Kind::kPollPartial, t));
@@ -456,6 +559,38 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
 
   for (int64_t t = 0; t < num_epochs; ++t) {
     obs::ScopedTimer epoch_timer(epoch_us_);
+    if (config_.chaos.kind == ChaosKind::kKillWorker &&
+        t == chaos.fire_epoch) {
+      Status severed = transport->InjectPeerFailure(chaos.target);
+      (void)severed;  // Unimplemented on link-free transports; fine.
+    }
+    if (config_.chaos.kind == ChaosKind::kReshard && t == chaos.fire_epoch) {
+      // Reshard at the epoch boundary: no data-plane message is in flight
+      // (last epoch's barrier closed, this one has not started), so the
+      // routing swap cannot strand anything. UpdateLayout fences on every
+      // worker's ack; the FIFO command boxes make each shard adopt the new
+      // range strictly before its next epoch command. Poll values, partial
+      // order, and Channel calls are range-independent, so detections stay
+      // bit-identical.
+      ShardLayout next = RotateLayout(layout);
+      if (Status st = transport->UpdateLayout(next); !st.ok()) {
+        return abort_run(st);
+      }
+      layout = next;
+      ++out->reshards;
+      for (int s = 0; s < k; ++s) {
+        if (dead[static_cast<size_t>(s)]) {
+          continue;  // Inline legs read the root's `layout` directly.
+        }
+        ShardCmd cmd;
+        cmd.kind = ShardCmd::Kind::kLayout;
+        cmd.layout = layout;
+        cmd.plan = SliceForShard(plan, layout, s);
+        if (!cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd))) {
+          return abort_run(InternalError("shard command box closed"));
+        }
+      }
+    }
     // The root replays the flat coordinator's channel-call sequence
     // verbatim: BeginEpoch, re-sync sends, (barrier), stale arrivals,
     // alarm replays in ascending site order, then the poll. Shards only
@@ -494,8 +629,25 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
         cmd.up[static_cast<size_t>(i)] = channel_.SiteUp(start + i) ? 1 : 0;
       }
       cmd.resync_sites = std::move(resync[static_cast<size_t>(s)]);
+      // Keep a copy: if the shard dies holding this command, the root
+      // re-executes it from here.
+      pending_cmds[static_cast<size_t>(s)] = cmd;
+      if (dead[static_cast<size_t>(s)]) {
+        continue;  // Run inline below, once the live shards are going.
+      }
       if (!cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd))) {
         return abort_run(InternalError("shard command box closed"));
+      }
+    }
+    for (int s = 0; s < k; ++s) {
+      if (dead[static_cast<size_t>(s)]) {
+        if (Status st = ShardEpochLeg(transport, layout, s,
+                                      SliceForShard(plan, layout, s),
+                                      pending_cmds[static_cast<size_t>(s)],
+                                      &partials[static_cast<size_t>(s)]);
+            !st.ok()) {
+          return abort_run(st);
+        }
       }
     }
     if (Status st = collect(RootMsg::Kind::kEpochPartial, t); !st.ok()) {
@@ -548,6 +700,11 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
   }
 
   for (int s = 0; s < k; ++s) {
+    if (dead[static_cast<size_t>(s)]) {
+      // Re-adopted sites get their shutdown from the root directly.
+      ShardShutdownLeg(transport, layout, s);
+      continue;
+    }
     ShardCmd cmd;
     cmd.kind = ShardCmd::Kind::kShutdown;
     cmd_boxes[static_cast<size_t>(s)]->Push(std::move(cmd));
@@ -578,6 +735,7 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
         "transport shard count does not match coordinator num_shards");
   }
   out->site_updates.assign(static_cast<size_t>(n), 0);
+  const ResolvedChaos chaos = ResolveChaos(config_.chaos, /*num_epochs=*/0, k);
 
   // Free-running shards own the data plane for their slice: alarm intake,
   // a private channel over shard-local ids (SliceFaultSpec), and the
@@ -588,7 +746,7 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
   Mailbox<RootMsg> root_box(static_cast<size_t>(4 * k + 16));
   std::vector<std::thread> shards;
   shards.reserve(static_cast<size_t>(k));
-  for (int s = 0; s < k; ++s) {
+  auto make_ctx = [&](int s, int64_t die_after_batches) {
     ShardContext ctx;
     ctx.shard = s;
     ctx.layout = layout;
@@ -605,7 +763,16 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
     ctx.metrics = config_.metrics;
     ctx.recorder = config_.recorder;
     ctx.alarms_rx = alarms_rx_;
-    shards.emplace_back(RunShardFree, std::move(ctx));
+    ctx.die_after_batches = die_after_batches;
+    return ctx;
+  };
+  for (int s = 0; s < k; ++s) {
+    shards.emplace_back(
+        RunShardFree,
+        make_ctx(s, config_.chaos.kind == ChaosKind::kKillShard &&
+                            s == chaos.target
+                        ? chaos.fire_after_batches
+                        : -1));
   }
 
   obs::Gauge* poll_min_gauge =
@@ -623,36 +790,85 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
   int64_t round_sum = 0;
   int64_t round_min = 0;
   int64_t round_max = 0;
-  int shards_done = 0;
+  int sites_done = 0;
   int shard_exits = 0;
+  std::vector<char> partial_from(static_cast<size_t>(k), 0);
+  std::vector<char> exited(static_cast<size_t>(k), 0);
+  std::vector<char> respawned(static_cast<size_t>(k), 0);
+  int64_t probe_seq = 0;
+  std::vector<char>* probe_beats = nullptr;
+  int probe_beats_seen = 0;
   Status run_error = OkStatus();
   std::chrono::steady_clock::time_point round_start;
 
-  auto start_round = [&]() -> bool {
+  // With failure detection on, the root must never block pushing into a
+  // shard inbox: a dead shard's inbox stays full of blocked site updates,
+  // and a blocking push there would wedge the root — and with it the
+  // probe/respawn machinery — forever. Commands that do not fit are kept
+  // here (per-shard FIFO, so command order is preserved) and retried on
+  // every loop iteration; a replacement shard drains the inbox and the
+  // backlog follows. Without detection the historical blocking send is
+  // kept: every shard is assumed to stay in its receive loop.
+  const bool detect = config_.heartbeat_timeout_ms > 0;
+  std::vector<std::deque<ActorMessage>> cmd_backlog(static_cast<size_t>(k));
+  auto send_cmd = [&](int s, const ActorMessage& m) {
+    const Envelope env{kCoordinatorId, kCoordinatorId, m};
+    if (!detect) {
+      if (!transport->SendToShard(s, env) && run_error.ok()) {
+        run_error = InternalError("transport closed during a shard command");
+      }
+      return;
+    }
+    auto& backlog = cmd_backlog[static_cast<size_t>(s)];
+    if (backlog.empty() && transport->TrySendToShard(s, env)) {
+      return;
+    }
+    backlog.push_back(m);
+  };
+  auto flush_cmds = [&]() {
+    if (!detect) {
+      return;
+    }
+    for (int s = 0; s < k; ++s) {
+      auto& backlog = cmd_backlog[static_cast<size_t>(s)];
+      while (!backlog.empty() &&
+             transport->TrySendToShard(
+                 s, Envelope{kCoordinatorId, kCoordinatorId,
+                             backlog.front()})) {
+        backlog.pop_front();
+      }
+    }
+  };
+
+  auto start_round = [&]() {
     // Kick every shard's poll leg. The command is an envelope from
     // kCoordinatorId injected straight into the shard inbox (SendToShard
     // never crosses a wire), so each shard still blocks on one source.
     ActorMessage kick;
     kick.kind = ActorMsgKind::kPollRequest;
     for (int s = 0; s < k; ++s) {
-      if (!transport->SendToShard(s, Envelope{kCoordinatorId, kCoordinatorId,
-                                              kick})) {
-        return false;
-      }
+      send_cmd(s, kick);
     }
     partials_pending = k;
     round_sum = 0;
     round_min = std::numeric_limits<int64_t>::max();
     round_max = std::numeric_limits<int64_t>::min();
+    std::fill(partial_from.begin(), partial_from.end(), 0);
     poll_outstanding = true;
     DCV_OBS_COUNT(polls_, 1);
     if (poll_round_us_ != nullptr) {
       round_start = std::chrono::steady_clock::now();
     }
-    return true;
   };
   auto merge_exit = [&](RootMsg& msg) {
-    ++shard_exits;
+    // A respawn that raced a live-but-slow shard leaves two threads
+    // serving the same shard id; both report kShardExit. Their stats are
+    // disjoint halves of the shard's work — merge both — but the shard
+    // counts as exited once.
+    if (!exited[static_cast<size_t>(msg.shard)]) {
+      ++shard_exits;
+      exited[static_cast<size_t>(msg.shard)] = 1;
+    }
     out->total_alarms += msg.alarms;
     counter_.Merge(msg.messages);
     out->reliability = out->reliability + msg.reliability;
@@ -660,11 +876,177 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
       run_error = msg.status;
     }
   };
+  bool draining = false;  ///< Post-kShutdown: late messages are expected.
+  auto handle = [&](RootMsg& msg) {
+    // During a probe, ANY traffic from a shard proves it alive — the root
+    // box was empty when the silence was declared, so whatever arrives now
+    // was pushed inside the probe window. This matters when the ping
+    // itself is stuck in the command backlog behind a full inbox: a live
+    // shard grinding through that backlog must not get a twin respawned.
+    if (probe_beats != nullptr && msg.shard >= 0 && msg.shard < k &&
+        !(*probe_beats)[static_cast<size_t>(msg.shard)]) {
+      (*probe_beats)[static_cast<size_t>(msg.shard)] = 1;
+      ++probe_beats_seen;
+    }
+    switch (msg.kind) {
+      case RootMsg::Kind::kAlarmNotice: {
+        if (draining) {
+          break;
+        }
+        // At most one outstanding global round, exactly like the flat
+        // coordinator: notices during a round collapse into one catch-up.
+        if (poll_outstanding) {
+          poll_dirty = true;
+        } else {
+          start_round();
+        }
+        break;
+      }
+      case RootMsg::Kind::kPollPartial: {
+        if (draining || !poll_outstanding) {
+          break;
+        }
+        partial_from[static_cast<size_t>(msg.shard)] = 1;
+        round_sum += msg.partial_sum;
+        round_min = std::min(round_min, msg.partial_min);
+        round_max = std::max(round_max, msg.partial_max);
+        if (--partials_pending == 0) {
+          ++out->polled_epochs;
+          if (round_sum > config_.global_threshold) {
+            ++out->violations_flagged;
+          }
+          poll_outstanding = false;
+          if (poll_round_us_ != nullptr) {
+            poll_round_us_->Observe(
+                static_cast<double>(ElapsedUs(round_start)));
+          }
+          if (poll_min_gauge != nullptr) {
+            poll_min_gauge->Set(static_cast<double>(round_min));
+            poll_max_gauge->Set(static_cast<double>(round_max));
+          }
+          if (poll_dirty) {
+            poll_dirty = false;
+            start_round();
+          }
+        }
+        break;
+      }
+      case RootMsg::Kind::kSiteDone: {
+        // Relayed per site, so a shard death between relays loses nothing:
+        // the already-relayed sites stay counted and the replacement shard
+        // relays the rest from the same inbox.
+        for (const auto& [site, updates] : msg.entries) {
+          out->site_updates[static_cast<size_t>(site)] = updates;
+          ++sites_done;
+        }
+        break;
+      }
+      case RootMsg::Kind::kHeartbeat: {
+        break;  // Liveness was credited by the any-traffic marking above.
+      }
+      case RootMsg::Kind::kShardExit: {
+        // Shards only exit unprompted when the transport died under
+        // them; surface that as the run error but keep their stats.
+        merge_exit(msg);
+        if (!draining && run_error.ok()) {
+          run_error = InternalError("shard exited while sites were live");
+        }
+        break;
+      }
+      case RootMsg::Kind::kError: {
+        run_error = msg.status;
+        break;
+      }
+      default:
+        break;  // Virtual-mode partials cannot appear here.
+    }
+  };
 
   std::vector<RootMsg> batch;
-  while ((shards_done < k || poll_outstanding) && run_error.ok()) {
+  // Liveness probe after a silent stretch: ping every shard; the silent
+  // ones are dead — respawn a replacement that drains the SAME shard
+  // inbox, so every queued alarm / response / site-done survives the
+  // crash (bounded mailboxes mean nothing was dropped, senders just
+  // blocked). Replacement channels restart from the plan's fault slice.
+  auto probe_and_respawn = [&]() {
+    ++probe_seq;
+    std::vector<char> beats(static_cast<size_t>(k), 0);
+    probe_beats = &beats;
+    probe_beats_seen = 0;
+    const auto probe_start = std::chrono::steady_clock::now();
+    ActorMessage ping;
+    ping.kind = ActorMsgKind::kPing;
+    ping.epoch = probe_seq;
+    for (int s = 0; s < k; ++s) {
+      send_cmd(s, ping);
+    }
+    const auto deadline =
+        probe_start + std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+    while (probe_beats_seen < k && run_error.ok()) {
+      flush_cmds();
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        break;
+      }
+      const int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count();
+      batch.clear();
+      bool timed_out = false;
+      if (root_box.PopAllFor(&batch, std::max<int64_t>(1, remaining_ms),
+                             &timed_out) == 0) {
+        if (timed_out) {
+          break;
+        }
+        run_error = InternalError("root mailbox closed during probe");
+        break;
+      }
+      for (RootMsg& msg : batch) {
+        handle(msg);
+      }
+    }
+    probe_beats = nullptr;
+    for (int s = 0; s < k && run_error.ok(); ++s) {
+      if (beats[static_cast<size_t>(s)] || exited[static_cast<size_t>(s)]) {
+        continue;
+      }
+      if (respawned[static_cast<size_t>(s)]) {
+        run_error = InternalError(
+            "shard " + std::to_string(s) +
+            " went silent again after a respawn; giving up");
+        break;
+      }
+      respawned[static_cast<size_t>(s)] = 1;
+      shards.emplace_back(RunShardFree, make_ctx(s, /*die_after_batches=*/-1));
+      ++out->shard_recoveries;
+      out->recovery_ms =
+          std::max(out->recovery_ms,
+                   static_cast<double>(ElapsedUs(probe_start)) / 1000.0);
+      if (poll_outstanding && !partial_from[static_cast<size_t>(s)]) {
+        // The round the dead shard was serving would hang forever;
+        // re-kick the replacement's leg (fresh kPollRequest — stale
+        // responses already queued are ignored by the replacement).
+        ActorMessage kick;
+        kick.kind = ActorMsgKind::kPollRequest;
+        send_cmd(s, kick);
+      }
+    }
+  };
+
+  while ((sites_done < n || poll_outstanding) && run_error.ok()) {
+    flush_cmds();
     batch.clear();
-    if (root_box.PopAll(&batch) == 0) {
+    bool timed_out = false;
+    const size_t got =
+        detect ? root_box.PopAllFor(&batch, config_.heartbeat_timeout_ms,
+                                    &timed_out)
+               : root_box.PopAll(&batch);
+    if (got == 0) {
+      if (timed_out) {
+        probe_and_respawn();
+        continue;
+      }
       run_error = InternalError("root mailbox closed while shards were live");
       break;
     }
@@ -672,80 +1054,61 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
       if (!run_error.ok()) {
         break;
       }
-      switch (msg.kind) {
-        case RootMsg::Kind::kAlarmNotice: {
-          // At most one outstanding global round, exactly like the flat
-          // coordinator: notices during a round collapse into one catch-up.
-          if (poll_outstanding) {
-            poll_dirty = true;
-          } else if (!start_round()) {
-            run_error = InternalError("transport closed during poll round");
-          }
-          break;
-        }
-        case RootMsg::Kind::kPollPartial: {
-          round_sum += msg.partial_sum;
-          round_min = std::min(round_min, msg.partial_min);
-          round_max = std::max(round_max, msg.partial_max);
-          if (--partials_pending == 0) {
-            ++out->polled_epochs;
-            if (round_sum > config_.global_threshold) {
-              ++out->violations_flagged;
-            }
-            poll_outstanding = false;
-            if (poll_round_us_ != nullptr) {
-              poll_round_us_->Observe(
-                  static_cast<double>(ElapsedUs(round_start)));
-            }
-            if (poll_min_gauge != nullptr) {
-              poll_min_gauge->Set(static_cast<double>(round_min));
-              poll_max_gauge->Set(static_cast<double>(round_max));
-            }
-            if (poll_dirty) {
-              poll_dirty = false;
-              if (!start_round()) {
-                run_error = InternalError("transport closed during poll round");
-              }
-            }
-          }
-          break;
-        }
-        case RootMsg::Kind::kShardDone: {
-          for (const auto& [site, updates] : msg.entries) {
-            out->site_updates[static_cast<size_t>(site)] = updates;
-          }
-          ++shards_done;
-          break;
-        }
-        case RootMsg::Kind::kShardExit: {
-          // Shards only exit unprompted when the transport died under
-          // them; surface that as the run error but keep their stats.
-          merge_exit(msg);
-          if (run_error.ok()) {
-            run_error = InternalError("shard exited while sites were live");
-          }
-          break;
-        }
-        case RootMsg::Kind::kError: {
-          run_error = msg.status;
-          break;
-        }
-      }
+      handle(msg);
     }
   }
 
   // Shutdown: command every shard to stop; each forwards kShutdown to its
   // sites and reports final accounting. Exits are counted (not joined-for)
-  // so a shard blocked pushing to the root box can always drain.
+  // so a shard blocked pushing to the root box can always drain. A shard
+  // that died between the main loop and its kShutdown still gets one
+  // respawn (the replacement finds the queued kShutdown and exits).
+  draining = true;
   ActorMessage stop;
   stop.kind = ActorMsgKind::kShutdown;
   for (int s = 0; s < k; ++s) {
-    transport->SendToShard(s, Envelope{kCoordinatorId, kCoordinatorId, stop});
+    send_cmd(s, stop);
+    if (respawned[static_cast<size_t>(s)]) {
+      // If the respawn raced a live-but-slow original, two threads serve
+      // this shard id and each needs a stop; a surplus stop to a single
+      // survivor just sits unconsumed in the inbox.
+      send_cmd(s, stop);
+    }
   }
   while (shard_exits < k) {
+    flush_cmds();
     batch.clear();
-    if (root_box.PopAll(&batch) == 0) {
-      break;
+    bool timed_out = false;
+    const size_t got =
+        detect ? root_box.PopAllFor(&batch, config_.heartbeat_timeout_ms,
+                                    &timed_out)
+               : root_box.PopAll(&batch);
+    if (got == 0) {
+      if (!timed_out) {
+        break;
+      }
+      bool acted = false;
+      for (int s = 0; s < k; ++s) {
+        if (!exited[static_cast<size_t>(s)] &&
+            !respawned[static_cast<size_t>(s)]) {
+          respawned[static_cast<size_t>(s)] = 1;
+          shards.emplace_back(RunShardFree,
+                              make_ctx(s, /*die_after_batches=*/-1));
+          ++out->shard_recoveries;
+          // The original's stop is already queued or backlogged; one more
+          // covers the twin in case the original was merely slow.
+          send_cmd(s, stop);
+          acted = true;
+        }
+      }
+      if (!acted) {
+        if (run_error.ok()) {
+          run_error =
+              InternalError("timed out waiting for shard exits at shutdown");
+        }
+        break;
+      }
+      continue;
     }
     for (RootMsg& msg : batch) {
       if (msg.kind == RootMsg::Kind::kShardExit) {

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "obs/obs.h"
+#include "runtime/chaos.h"
 #include "runtime/runtime_result.h"
 #include "runtime/transport.h"
 #include "sim/channel.h"
@@ -54,6 +55,17 @@ class CoordinatorActor {
     std::vector<int64_t> domain_max;
 
     FaultSpec faults;
+
+    /// Chaos injection (chaos.h): kill a shard / sever a worker link /
+    /// push a reshard at a seed-resolved point. kNone = healthy run.
+    ChaosSpec chaos;
+    /// Sharded runs: how long the root waits for shard traffic before it
+    /// suspects a dead shard coordinator and starts recovery (virtual
+    /// mode: re-execute the pending command itself; free mode: kPing probe
+    /// and respawn the silent shards). 0 = detection off — the root waits
+    /// forever, the pre-recovery behavior.
+    int heartbeat_timeout_ms = 0;
+
     obs::MetricsRegistry* metrics = nullptr;
     obs::TraceRecorder* recorder = nullptr;
   };

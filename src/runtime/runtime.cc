@@ -89,6 +89,8 @@ CoordinatorActor::Config MakeCoordinatorConfig(int n, const LaunchPlan& plan,
   ccfg.domain_max = plan.domain_max;
   ccfg.num_shards = options.num_shards;
   ccfg.faults = options.faults;
+  ccfg.chaos = options.chaos;
+  ccfg.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
   ccfg.metrics = options.metrics;
   ccfg.recorder = options.recorder;
   return ccfg;
@@ -115,6 +117,11 @@ Result<RuntimeResult> LaunchSocket(int n, int64_t updates_per_site,
   sopts.virtual_time = options.virtual_time;
   sopts.metrics = options.metrics;
   sopts.num_shards = options.num_shards;
+  if (options.chaos.kind == ChaosKind::kKillWorker) {
+    // Severing a worker link only makes sense if the fabric can heal;
+    // workers must opt in on their side too (site-worker --allow-reconnect).
+    sopts.allow_reconnect = true;
+  }
   DCV_ASSIGN_OR_RETURN(
       std::unique_ptr<SocketTransport> transport,
       SocketTransport::Listen(n, workers, options.listen_port, sopts));

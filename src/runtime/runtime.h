@@ -63,6 +63,14 @@ struct RuntimeOptions {
 
   FaultSpec faults;
 
+  /// Chaos injection (chaos.h): kill a shard coordinator, sever a worker
+  /// link, or push a mid-run reshard at a seed-resolved point. Requires
+  /// `heartbeat_timeout_ms > 0` for kill-shard so the root notices.
+  ChaosSpec chaos;
+  /// Sharded runs: root-side dead-shard detection window in milliseconds.
+  /// 0 (default) disables detection — the root waits forever.
+  int heartbeat_timeout_ms = 0;
+
   /// Synthetic workloads: per-site streams derive from (seed, site), so a
   /// seed pins every site's update sequence regardless of thread schedule.
   uint64_t seed = 42;

@@ -27,6 +27,11 @@ std::string RuntimeResult::ToJson() const {
   w.Key("false_alarm_epochs").Value(false_alarm_epochs);
   w.Key("violations_flagged").Value(violations_flagged);
   w.EndObject();
+  w.Key("recovery").BeginObject();
+  w.Key("shard_recoveries").Value(shard_recoveries);
+  w.Key("reshards").Value(reshards);
+  w.Key("recovery_ms").Value(recovery_ms);
+  w.EndObject();
   w.Key("reliability").Raw(reliability.ToJson());
   w.Key("throughput").BeginObject();
   w.Key("total_updates").Value(total_updates);
@@ -48,6 +53,10 @@ std::string RuntimeResult::ToJson() const {
   w.Key("accept_timeouts").Value(socket.accept_timeouts);
   w.Key("decode_errors").Value(socket.decode_errors);
   w.Key("disconnects").Value(socket.disconnects);
+  w.Key("truncated_frames").Value(socket.truncated_frames);
+  w.Key("reconnects").Value(socket.reconnects);
+  w.Key("replayed_frames").Value(socket.replayed_frames);
+  w.Key("duplicate_frames").Value(socket.duplicate_frames);
   w.EndObject();
   w.EndObject();
   return w.str();

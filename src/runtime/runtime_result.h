@@ -64,6 +64,14 @@ struct RuntimeResult {
   /// RuntimeOptions::capture_updates was set (seed-determinism tests).
   std::vector<std::vector<int64_t>> captured_updates;
 
+  // Failure recovery accounting (chaos runs; all zero on a healthy run).
+  int64_t shard_recoveries = 0;  ///< Dead shards re-adopted or respawned.
+  int64_t reshards = 0;          ///< Mid-run layout pushes applied.
+  /// Wall-clock cost of the slowest single recovery: from the heartbeat
+  /// timeout firing to the dead shard's work being re-executed (virtual
+  /// direct attachment) or its replacement thread running (free mode).
+  double recovery_ms = 0.0;
+
   /// Socket-transport runs only: the coordinator side's wire-level
   /// reliability counters (all zero for in-process transports).
   SocketStats socket;

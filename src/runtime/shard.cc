@@ -11,11 +11,11 @@ namespace {
 /// Pushes a kError to the root; a shard never returns a Status because it
 /// runs on its own thread — the root turns the first kError it sees into
 /// the run's failure.
-void ReportError(const ShardContext& ctx, std::string message) {
+void ReportError(const ShardContext& ctx, Status status) {
   RootMsg err;
   err.kind = RootMsg::Kind::kError;
   err.shard = ctx.shard;
-  err.status = InternalError(std::move(message));
+  err.status = std::move(status);
   ctx.to_root->Push(std::move(err));
 }
 
@@ -52,126 +52,167 @@ FaultSpec SliceFaultSpec(const FaultSpec& faults, const ShardLayout& layout,
   return out;
 }
 
-void RunShardVirtual(ShardContext ctx) {
-  const int start = ctx.layout.ShardStart(ctx.shard);
-  const int size = ctx.layout.ShardSize(ctx.shard);
-  std::vector<char> alarmed(static_cast<size_t>(size), 0);
+Status ShardEpochLeg(Transport* transport, const ShardLayout& layout,
+                     int shard, const LocalPlan& plan, const ShardCmd& cmd,
+                     std::vector<std::pair<int, int64_t>>* alarmed) {
+  const int start = layout.ShardStart(shard);
+  const int size = layout.ShardSize(shard);
+  // Threshold re-syncs go out before this epoch's kEpochStart; the mailbox
+  // is per-producer FIFO and one thread at a time produces for these sites
+  // (the shard, or the root after re-adoption), so the site installs the
+  // threshold before it evaluates — same ordering the flat coordinator
+  // guarantees.
+  for (int site : cmd.resync_sites) {
+    ActorMessage update;
+    update.kind = ActorMsgKind::kThresholdUpdate;
+    update.epoch = cmd.epoch;
+    update.value = plan.thresholds[static_cast<size_t>(site - start)];
+    if (!transport->Send(Envelope{kCoordinatorId, site, update})) {
+      return InternalError("transport closed during threshold re-sync");
+    }
+  }
+  for (int i = 0; i < size; ++i) {
+    ActorMessage begin;
+    begin.kind = ActorMsgKind::kEpochStart;
+    begin.epoch = cmd.epoch;
+    begin.flag = cmd.up[static_cast<size_t>(i)] != 0;
+    if (!transport->Send(Envelope{kCoordinatorId, start + i, begin})) {
+      return InternalError("transport closed during epoch start");
+    }
+  }
+  std::vector<char> site_alarmed(static_cast<size_t>(size), 0);
   std::vector<int64_t> values(static_cast<size_t>(size), 0);
   std::vector<Envelope> batch;
+  int pending = size;
+  while (pending > 0) {
+    batch.clear();
+    if (transport->RecvShardAll(shard, &batch) == 0) {
+      return InternalError("transport closed while collecting reports");
+    }
+    for (const Envelope& e : batch) {
+      if (e.msg.kind != ActorMsgKind::kEpochReport ||
+          e.msg.epoch != cmd.epoch) {
+        return InternalError("out-of-order message at epoch barrier");
+      }
+      site_alarmed[static_cast<size_t>(e.from - start)] = e.msg.flag ? 1 : 0;
+      values[static_cast<size_t>(e.from - start)] = e.msg.value;
+      --pending;
+    }
+  }
+  alarmed->clear();
+  for (int i = 0; i < size; ++i) {
+    if (site_alarmed[static_cast<size_t>(i)]) {
+      alarmed->emplace_back(start + i, values[static_cast<size_t>(i)]);
+    }
+  }
+  return OkStatus();
+}
+
+Status ShardPollLeg(Transport* transport, const ShardLayout& layout,
+                    int shard, int64_t epoch,
+                    std::vector<std::pair<int, int64_t>>* values) {
+  const int start = layout.ShardStart(shard);
+  const int size = layout.ShardSize(shard);
+  ActorMessage request;
+  request.kind = ActorMsgKind::kPollRequest;
+  request.epoch = epoch;
+  for (int i = 0; i < size; ++i) {
+    if (!transport->Send(Envelope{kCoordinatorId, start + i, request})) {
+      return InternalError("transport closed during poll round");
+    }
+  }
+  std::vector<int64_t> responses(static_cast<size_t>(size), 0);
+  std::vector<Envelope> batch;
+  int pending = size;
+  while (pending > 0) {
+    batch.clear();
+    if (transport->RecvShardAll(shard, &batch) == 0) {
+      return InternalError("transport closed while collecting poll responses");
+    }
+    for (const Envelope& e : batch) {
+      if (e.msg.kind != ActorMsgKind::kPollResponse) {
+        return InternalError(std::string("unexpected ") +
+                             std::string(ActorMsgKindName(e.msg.kind)) +
+                             " during poll round");
+      }
+      responses[static_cast<size_t>(e.from - start)] = e.msg.value;
+      --pending;
+    }
+  }
+  values->clear();
+  values->reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    values->emplace_back(start + i, responses[static_cast<size_t>(i)]);
+  }
+  return OkStatus();
+}
+
+void ShardShutdownLeg(Transport* transport, const ShardLayout& layout,
+                      int shard) {
+  const int start = layout.ShardStart(shard);
+  const int size = layout.ShardSize(shard);
+  ActorMessage shutdown;
+  shutdown.kind = ActorMsgKind::kShutdown;
+  for (int i = 0; i < size; ++i) {
+    transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
+  }
+}
+
+void RunShardVirtual(ShardContext ctx) {
+  // Mutable: a kLayout command re-ranges the shard mid-run.
+  ShardLayout layout = ctx.layout;
+  LocalPlan plan = std::move(ctx.plan);
+  std::vector<std::pair<int, int64_t>> entries;
 
   ShardCmd cmd;
   while (ctx.cmds->Pop(&cmd)) {
     switch (cmd.kind) {
       case ShardCmd::Kind::kShutdown: {
-        ActorMessage shutdown;
-        shutdown.kind = ActorMsgKind::kShutdown;
-        for (int i = 0; i < size; ++i) {
-          ctx.transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
-        }
+        ShardShutdownLeg(ctx.transport, layout, ctx.shard);
         return;
       }
+      case ShardCmd::Kind::kLayout: {
+        layout = cmd.layout;
+        plan = std::move(cmd.plan);
+        break;
+      }
       case ShardCmd::Kind::kEpoch: {
-        // Threshold re-syncs go out before this epoch's kEpochStart; the
-        // mailbox is per-producer FIFO and this thread is the only producer
-        // for its sites, so the site installs the threshold before it
-        // evaluates — same ordering the flat coordinator guarantees.
-        for (int site : cmd.resync_sites) {
-          ActorMessage update;
-          update.kind = ActorMsgKind::kThresholdUpdate;
-          update.epoch = cmd.epoch;
-          update.value =
-              ctx.plan.thresholds[static_cast<size_t>(site - start)];
-          if (!ctx.transport->Send(Envelope{kCoordinatorId, site, update})) {
-            ReportError(ctx, "transport closed during threshold re-sync");
-            return;
-          }
+        if (cmd.epoch == ctx.die_at_epoch) {
+          // Chaos: crash before sending anything for this epoch. The
+          // consumed command is the only thing lost, and the root holds a
+          // copy — it re-executes the command itself after the heartbeat
+          // timeout, so the sites (still waiting for kEpochStart) see one
+          // producer and one barrier, exactly as if the shard had lived.
+          return;
         }
-        for (int i = 0; i < size; ++i) {
-          ActorMessage begin;
-          begin.kind = ActorMsgKind::kEpochStart;
-          begin.epoch = cmd.epoch;
-          begin.flag = cmd.up[static_cast<size_t>(i)] != 0;
-          if (!ctx.transport->Send(
-                  Envelope{kCoordinatorId, start + i, begin})) {
-            ReportError(ctx, "transport closed during epoch start");
-            return;
-          }
-        }
-        std::fill(alarmed.begin(), alarmed.end(), 0);
-        int pending = size;
-        while (pending > 0) {
-          batch.clear();
-          if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
-            ReportError(ctx, "transport closed while collecting reports");
-            return;
-          }
-          for (const Envelope& e : batch) {
-            if (e.msg.kind != ActorMsgKind::kEpochReport ||
-                e.msg.epoch != cmd.epoch) {
-              ReportError(ctx, "out-of-order message at epoch barrier");
-              return;
-            }
-            alarmed[static_cast<size_t>(e.from - start)] = e.msg.flag ? 1 : 0;
-            values[static_cast<size_t>(e.from - start)] = e.msg.value;
-            --pending;
-          }
+        if (Status st = ShardEpochLeg(ctx.transport, layout, ctx.shard, plan,
+                                      cmd, &entries);
+            !st.ok()) {
+          ReportError(ctx, std::move(st));
+          return;
         }
         RootMsg partial;
         partial.kind = RootMsg::Kind::kEpochPartial;
         partial.shard = ctx.shard;
         partial.epoch = cmd.epoch;
-        for (int i = 0; i < size; ++i) {
-          if (alarmed[static_cast<size_t>(i)]) {
-            partial.entries.emplace_back(start + i,
-                                         values[static_cast<size_t>(i)]);
-          }
-        }
+        partial.entries = std::move(entries);
         if (!ctx.to_root->Push(std::move(partial))) {
           return;
         }
         break;
       }
       case ShardCmd::Kind::kPoll: {
-        ActorMessage request;
-        request.kind = ActorMsgKind::kPollRequest;
-        request.epoch = cmd.epoch;
-        for (int i = 0; i < size; ++i) {
-          if (!ctx.transport->Send(
-                  Envelope{kCoordinatorId, start + i, request})) {
-            ReportError(ctx, "transport closed during poll round");
-            return;
-          }
-        }
-        std::fill(values.begin(), values.end(), 0);
-        int pending = size;
-        while (pending > 0) {
-          batch.clear();
-          if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
-            ReportError(ctx,
-                        "transport closed while collecting poll responses");
-            return;
-          }
-          for (const Envelope& e : batch) {
-            if (e.msg.kind != ActorMsgKind::kPollResponse) {
-              ReportError(ctx,
-                          std::string("unexpected ") +
-                              std::string(ActorMsgKindName(e.msg.kind)) +
-                              " during poll round");
-              return;
-            }
-            values[static_cast<size_t>(e.from - start)] = e.msg.value;
-            --pending;
-          }
+        if (Status st = ShardPollLeg(ctx.transport, layout, ctx.shard,
+                                     cmd.epoch, &entries);
+            !st.ok()) {
+          ReportError(ctx, std::move(st));
+          return;
         }
         RootMsg partial;
         partial.kind = RootMsg::Kind::kPollPartial;
         partial.shard = ctx.shard;
         partial.epoch = cmd.epoch;
-        partial.entries.reserve(static_cast<size_t>(size));
-        for (int i = 0; i < size; ++i) {
-          partial.entries.emplace_back(start + i,
-                                       values[static_cast<size_t>(i)]);
-        }
+        partial.entries = std::move(entries);
         if (!ctx.to_root->Push(std::move(partial))) {
           return;
         }
@@ -210,9 +251,8 @@ void RunShardFree(ShardContext ctx) {
   int poll_pending = 0;
   bool notice_sent = false;  ///< Collapse alarms into one notice per round.
   std::vector<int64_t> poll_values(static_cast<size_t>(size), 0);
-  std::vector<std::pair<int, int64_t>> done_entries;
-  int sites_done = 0;
   int64_t alarms = 0;
+  int64_t batches_survived = 0;
   std::vector<Envelope> batch;
   bool running = true;
   Status exit_status = OkStatus();
@@ -240,20 +280,39 @@ void RunShardFree(ShardContext ctx) {
   };
 
   while (running) {
+    if (ctx.die_after_batches >= 0 &&
+        batches_survived >= ctx.die_after_batches) {
+      // Chaos: crash at a batch boundary — every consumed message was
+      // fully handled (notices pushed, done reports relayed) and every
+      // unconsumed one is still queued in the shard inbox, which the
+      // root's respawned replacement drains. Nothing is lost; only this
+      // shard's channel/counter accounting dies with it.
+      return;
+    }
     batch.clear();
     if (ctx.transport->RecvShardAll(ctx.shard, &batch) == 0) {
       exit_status = InternalError("transport closed while sites were live");
       break;
     }
+    ++batches_survived;
     for (const Envelope& e : batch) {
       if (!running) {
         break;
       }
       if (e.from == kCoordinatorId) {
         // Root command, injected shard-locally via SendToShard (never the
-        // wire): kPollRequest opens a poll leg, kShutdown ends the run.
+        // wire): kPollRequest opens a poll leg, kPing asks for a liveness
+        // heartbeat, kShutdown ends the run.
         if (e.msg.kind == ActorMsgKind::kShutdown) {
           running = false;
+        } else if (e.msg.kind == ActorMsgKind::kPing) {
+          RootMsg beat;
+          beat.kind = RootMsg::Kind::kHeartbeat;
+          beat.shard = ctx.shard;
+          beat.epoch = e.msg.epoch;  // Echo the probe id.
+          if (!ctx.to_root->Push(std::move(beat))) {
+            running = false;
+          }
         } else if (e.msg.kind == ActorMsgKind::kPollRequest &&
                    !poll_outstanding) {
           notice_sent = false;
@@ -324,16 +383,15 @@ void RunShardFree(ShardContext ctx) {
           break;
         }
         case ActorMsgKind::kSiteDone: {
-          done_entries.emplace_back(e.from, e.msg.value);
-          if (++sites_done == size) {
-            std::sort(done_entries.begin(), done_entries.end());
-            RootMsg done;
-            done.kind = RootMsg::Kind::kShardDone;
-            done.shard = ctx.shard;
-            done.entries = done_entries;
-            if (!ctx.to_root->Push(std::move(done))) {
-              running = false;
-            }
+          // Per-site relay (not batched per shard): the root counts sites,
+          // not shards, so its done-tracking survives a shard death and
+          // respawn mid-drain.
+          RootMsg done;
+          done.kind = RootMsg::Kind::kSiteDone;
+          done.shard = ctx.shard;
+          done.entries.emplace_back(e.from, e.msg.value);
+          if (!ctx.to_root->Push(std::move(done))) {
+            running = false;
           }
           break;
         }
@@ -348,11 +406,7 @@ void RunShardFree(ShardContext ctx) {
     }
   }
 
-  ActorMessage shutdown;
-  shutdown.kind = ActorMsgKind::kShutdown;
-  for (int i = 0; i < size; ++i) {
-    ctx.transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
-  }
+  ShardShutdownLeg(ctx.transport, ctx.layout, ctx.shard);
   RootMsg exit;
   exit.kind = RootMsg::Kind::kShardExit;
   exit.shard = ctx.shard;

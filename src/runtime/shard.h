@@ -48,6 +48,7 @@ struct ShardCmd {
   enum class Kind {
     kEpoch,     ///< Run one epoch barrier over the shard's sites.
     kPoll,      ///< Fan out one poll round and report the responses.
+    kLayout,    ///< Adopt a new shard layout (and plan slice) mid-run.
     kShutdown,  ///< Forward kShutdown to the sites and exit.
   };
   Kind kind = Kind::kEpoch;
@@ -60,6 +61,12 @@ struct ShardCmd {
   /// transport messages so the per-site update-before-epoch-start FIFO
   /// holds with a single producer per site.
   std::vector<int> resync_sites;
+  /// kLayout: the new versioned layout plus this shard's plan slice under
+  /// it. Sent only at an epoch boundary (no in-flight data-plane traffic),
+  /// after the transport itself adopted the layout, and the command box is
+  /// FIFO — so the shard switches ranges strictly between epochs.
+  ShardLayout layout;
+  LocalPlan plan;
 };
 
 /// Shard -> root message (internal mailbox in both modes).
@@ -69,7 +76,12 @@ struct RootMsg {
     kPollPartial,   ///< Poll leg done. Virtual: entries = every site's value.
                     ///< Free: aggregated sum/min/max, no per-site entries.
     kAlarmNotice,   ///< Free: a delivered alarm needs a poll round.
-    kShardDone,     ///< Free: all owned sites reported kSiteDone.
+    kSiteDone,      ///< Free: one owned site reported kSiteDone. Relayed
+                    ///< per site (not batched per shard) so the root's
+                    ///< done-tracking survives a shard death: whatever the
+                    ///< dead shard already relayed stays counted, and the
+                    ///< replacement relays the rest.
+    kHeartbeat,     ///< Free: reply to the root's kPing liveness probe.
     kShardExit,     ///< Free: shard exiting; final per-shard accounting.
     kError,         ///< Shard hit a protocol/transport error; see status.
   };
@@ -78,7 +90,7 @@ struct RootMsg {
   int64_t epoch = 0;
   /// (global site, value) pairs in ascending site order. kEpochPartial:
   /// alarmed sites and their observed values. kPollPartial (virtual): every
-  /// owned site's response. kShardDone: per-site update counts.
+  /// owned site's response. kSiteDone: the one site's update count.
   std::vector<std::pair<int, int64_t>> entries;
   // kPollPartial, free-running mode: the shard-aggregated poll leg.
   int64_t partial_sum = 0;  ///< Weighted sum over the shard's sites.
@@ -111,11 +123,40 @@ struct ShardContext {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* recorder = nullptr;
   obs::Counter* alarms_rx = nullptr;  ///< Shared "runtime/coordinator/alarms".
+  // Chaos injection (tests / --chaos runs): the shard kills itself at a
+  // deterministic point, simulating a crashed coordinator thread.
+  /// Virtual mode: die the instant the kEpoch command for this epoch
+  /// arrives, before sending anything — the root re-executes the command.
+  int64_t die_at_epoch = -1;
+  /// Free mode: die after fully processing this many inbox batches. Dying
+  /// at a batch boundary means every consumed message was handled and
+  /// every unconsumed one is still queued for the replacement shard.
+  int64_t die_after_batches = -1;
 };
 
 /// Body of one shard coordinator thread, virtual-time mode: serve ShardCmds
 /// until kShutdown (or a closed box / transport error).
 void RunShardVirtual(ShardContext ctx);
+
+/// The three virtual-mode shard legs, exposed so the root can re-execute a
+/// dead shard's pending command itself (direct attachment after a shard
+/// crash). Both the shard thread and the root's recovery path run exactly
+/// this code, which is what makes recovery transparent: the sites cannot
+/// tell who is on the other end of the transport.
+///
+/// ShardEpochLeg: threshold re-syncs, then the epoch barrier over the
+/// shard's sites; `alarmed` gets (global site, value) for every alarmed
+/// site in ascending order. ShardPollLeg: one poll fan-out; `values` gets
+/// every owned site's response in ascending order. ShardShutdownLeg:
+/// forwards kShutdown to every owned site.
+Status ShardEpochLeg(Transport* transport, const ShardLayout& layout,
+                     int shard, const LocalPlan& plan, const ShardCmd& cmd,
+                     std::vector<std::pair<int, int64_t>>* alarmed);
+Status ShardPollLeg(Transport* transport, const ShardLayout& layout,
+                    int shard, int64_t epoch,
+                    std::vector<std::pair<int, int64_t>>* values);
+void ShardShutdownLeg(Transport* transport, const ShardLayout& layout,
+                      int shard);
 
 /// Body of one shard coordinator thread, free-running mode: drain the
 /// shard's transport inbox (alarms, poll responses, site-done, and the

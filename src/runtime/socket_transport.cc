@@ -145,10 +145,13 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
       num_workers_(num_workers),
       worker_(worker),
       options_(options) {
-  layout_.num_sites = num_sites;
-  layout_.num_shards = role == Role::kCoordinator
-                           ? std::max(1, options_.num_shards)
-                           : 1;  // Workers never see the shard split.
+  ShardLayout lay;
+  lay.num_sites = num_sites;
+  lay.num_shards = role == Role::kCoordinator
+                       ? std::max(1, options_.num_shards)
+                       : 1;  // Workers never see the shard split.
+  layouts_.push_back(std::make_unique<ShardLayout>(lay));
+  layout_ptr_.store(layouts_.back().get(), std::memory_order_release);
   // Worker-role send queues size for the WHOLE coordinator fan-in (a
   // worker's sites can span several shards); coordinator-role shard
   // inboxes size for their own shard's fan-in only.
@@ -159,29 +162,31 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
   const size_t shard_capacity =
       options_.coordinator_capacity != 0
           ? options_.coordinator_capacity
-          : 2 * static_cast<size_t>(layout_.MaxShardSites()) + 16;
+          : 2 * static_cast<size_t>(lay.MaxShardSites()) + 16;
   const size_t worker_capacity =
       options_.worker_capacity != 0
           ? options_.worker_capacity
           : AutoWorkerCapacity(num_sites, num_workers);
   if (role_ == Role::kCoordinator) {
-    inboxes_.reserve(static_cast<size_t>(layout_.num_shards));
-    for (int s = 0; s < layout_.num_shards; ++s) {
+    inboxes_.reserve(static_cast<size_t>(lay.num_shards));
+    for (int s = 0; s < lay.num_shards; ++s) {
       inboxes_.push_back(std::make_unique<Mailbox<Envelope>>(shard_capacity));
     }
-    conns_.resize(static_cast<size_t>(num_workers));
-    for (Connection& c : conns_) {
+    layout_acked_.assign(static_cast<size_t>(num_workers), 0);
+    for (int w = 0; w < num_workers; ++w) {
+      conns_.push_back(std::make_unique<Connection>());
       // The coordinator's queue toward one worker plays the worker-inbox
       // role, so it inherits that capacity (deadlock-freedom invariant).
-      c.send_box = std::make_unique<Mailbox<Envelope>>(worker_capacity);
+      conns_.back()->send_box =
+          std::make_unique<Mailbox<Envelope>>(worker_capacity);
     }
   } else {
     inboxes_.push_back(std::make_unique<Mailbox<Envelope>>(worker_capacity));
-    conns_.resize(1);
+    conns_.push_back(std::make_unique<Connection>());
     // The worker's queue toward the coordinator mirrors the coordinator
     // inbox: sites block here under backpressure, exactly as they block on
     // the shared inbox in ThreadTransport.
-    conns_[0].send_box =
+    conns_.back()->send_box =
         std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
   }
   if (options_.metrics != nullptr) {
@@ -192,6 +197,7 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
     c_connect_retries_ =
         options_.metrics->counter("runtime/socket/connect_retries");
     c_disconnects_ = options_.metrics->counter("runtime/socket/disconnects");
+    c_reconnects_ = options_.metrics->counter("runtime/socket/reconnects");
   }
 }
 
@@ -326,6 +332,9 @@ Status SocketTransport::AcceptWorkers() {
   for (size_t w = 0; w < fds.size(); ++w) {
     StartConnection(w, fds[w], std::move(residuals[w]));
   }
+  if (options_.allow_reconnect) {
+    acceptor_ = std::thread([this] { AcceptorLoop(); });
+  }
   return OkStatus();
 }
 
@@ -348,6 +357,8 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
 
   auto transport = std::unique_ptr<SocketTransport>(new SocketTransport(
       Role::kWorker, num_sites, num_workers, worker, options));
+  transport->peer_host_ = host;
+  transport->peer_port_ = port;
   int fd = -1;
   int backoff = std::max(1, options.connect_backoff_ms);
   Status last = OkStatus();
@@ -411,21 +422,28 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
 
 void SocketTransport::StartConnection(size_t index, int fd,
                                       std::string residual) {
-  Connection& c = conns_[index];
-  c.fd = fd;
-  c.residual = std::move(residual);
+  Connection& c = *conns_[index];
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.fd = fd;
+    c.residual = std::move(residual);
+  }
   c.reader = std::thread([this, index] { ReaderLoop(index); });
   c.writer = std::thread([this, index] { WriterLoop(index); });
 }
 
 void SocketTransport::ReaderLoop(size_t index) {
-  Connection& c = conns_[index];
-  FrameReader reader;
+  Connection& c = *conns_[index];
   uint8_t buf[65536];
-  bool clean = false;
+  std::string residual;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    residual = std::move(c.residual);
+    c.residual.clear();
+  }
 
   // Decodes everything buffered in `reader`; false = drop the connection.
-  auto drain_frames = [&]() {
+  auto drain_frames = [&](FrameReader& reader) {
     for (;;) {
       WireFrame frame;
       auto r = reader.Next(&frame);
@@ -436,9 +454,50 @@ void SocketTransport::ReaderLoop(size_t index) {
       if (!*r) {
         return true;
       }
+      if (frame.type == FrameType::kLayoutUpdate) {
+        if (role_ != Role::kWorker) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Adopt the pushed layout version and ack it (the coordinator's
+        // fence waits for every worker's ack before switching routing).
+        adopted_layout_version_.store(frame.layout.version,
+                                      std::memory_order_release);
+        LayoutAckFrame la;
+        la.version = frame.layout.version;
+        std::string ack_bytes;
+        AppendLayoutAckFrame(la, &ack_bytes);
+        std::lock_guard<std::mutex> wl(c.write_mu);
+        if (c.fd >= 0) {
+          WriteAll(c.fd, ack_bytes.data(), ack_bytes.size());
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kLayoutAck) {
+        if (role_ != Role::kCoordinator) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(layout_mu_);
+          layout_acked_[index] = frame.layout_ack.version;
+        }
+        layout_cv_.notify_all();
+        continue;
+      }
       if (frame.type != FrameType::kEnvelope) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
         continue;  // Stray handshake frame mid-run; drop it.
+      }
+      // Sequence dedup: a resume replays the suffix the peer thinks we
+      // missed; anything at or below our high-water mark already arrived
+      // on the previous incarnation.
+      if (frame.seq != 0) {
+        if (frame.seq <= c.last_seq_received.load(std::memory_order_relaxed)) {
+          duplicate_frames_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        c.last_seq_received.store(frame.seq, std::memory_order_relaxed);
       }
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       DCV_OBS_COUNT(c_frames_rx_, 1);
@@ -459,38 +518,65 @@ void SocketTransport::ReaderLoop(size_t index) {
     }
   };
 
-  // Bytes the handshake read past its own frame come first: they are
-  // earlier in the stream than anything recv() will return.
-  bool stream_ok = true;
-  if (!c.residual.empty()) {
-    reader.Append(reinterpret_cast<const uint8_t*>(c.residual.data()),
-                  c.residual.size());
-    c.residual.clear();
-    stream_ok = drain_frames();
-  }
-  while (stream_ok) {
-    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
-    if (n == 0) {
-      clean = true;  // Peer finished sending: graceful end of stream.
+  // One outer iteration per connection incarnation: read until the stream
+  // ends, then (with reconnection enabled) park for a resume and go again.
+  for (;;) {
+    int fd = -1;
+    uint32_t gen = 0;
+    {
+      std::lock_guard<std::mutex> lock(c.mu);
+      fd = c.fd;
+      gen = c.generation;
+    }
+    FrameReader reader;
+    bool clean = false;
+    bool stream_ok = true;
+    // Bytes the handshake read past its own frame come first: they are
+    // earlier in the stream than anything recv() will return.
+    if (!residual.empty()) {
+      reader.Append(reinterpret_cast<const uint8_t*>(residual.data()),
+                    residual.size());
+      residual.clear();
+      stream_ok = drain_frames(reader);
+    }
+    while (stream_ok) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) {
+        clean = true;  // Peer finished sending: graceful end of stream.
+        break;
+      }
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // Reset/abort — or our own Shutdown closed the socket.
+      }
+      bytes_received_.fetch_add(n, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_bytes_rx_, n);
+      reader.Append(buf, static_cast<size_t>(n));
+      stream_ok = drain_frames(reader);
+    }
+    if (stream_ok && !reader.Finish().ok()) {
+      // The connection dropped inside a length-prefixed frame: a distinct
+      // failure mode from both a clean end and a decode error. The partial
+      // bytes are discarded; a resume replays the full frame.
+      truncated_frames_.fetch_add(1, std::memory_order_relaxed);
+      clean = false;
+    }
+    const bool down = shutting_down_.load(std::memory_order_relaxed);
+    if (!clean && !down) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_disconnects_, 1);
+    }
+    if (down || !options_.allow_reconnect) {
       break;
     }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      break;  // Reset/abort — or our own Shutdown closed the socket.
+    if (!AwaitResume(index, gen, &residual)) {
+      break;  // Window expired or shutdown: fail like a real crash.
     }
-    bytes_received_.fetch_add(n, std::memory_order_relaxed);
-    DCV_OBS_COUNT(c_bytes_rx_, n);
-    reader.Append(buf, static_cast<size_t>(n));
-    stream_ok = drain_frames();
   }
-  if (!clean && !shutting_down_.load(std::memory_order_relaxed)) {
-    disconnects_.fetch_add(1, std::memory_order_relaxed);
-    DCV_OBS_COUNT(c_disconnects_, 1);
-  }
-  // End of stream — graceful or not — means no more messages can arrive on
-  // this connection; close the inboxes so blocked receivers drain and
+  // End of stream with no resume coming means no more messages can arrive
+  // on this connection; close the inboxes so blocked receivers drain and
   // exit, matching ThreadTransport's closed-and-drained contract.
   CloseInboxes();
   c.send_box->Close();
@@ -502,41 +588,297 @@ void SocketTransport::CloseInboxes() {
   }
 }
 
+void SocketTransport::RetireFd(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_fds_.push_back(fd);
+}
+
 void SocketTransport::WriterLoop(size_t index) {
-  Connection& c = conns_[index];
+  Connection& c = *conns_[index];
   std::string buf;
+  std::string frame;
+  std::vector<Envelope> batch;
   Envelope e;
-  while (c.send_box->Pop(&e)) {
-    buf.clear();
-    AppendEnvelopeFrame(e, &buf);
-    int64_t frames = 1;
+  for (;;) {
+    if (!c.send_box->Pop(&e)) {
+      break;  // Closed and drained: our side is done sending.
+    }
+    batch.clear();
+    batch.push_back(e);
     // Coalesce whatever is already queued into one write (epoch barriers
     // broadcast N small frames back to back).
-    while (buf.size() < 32768 && c.send_box->TryPop(&e)) {
-      AppendEnvelopeFrame(e, &buf);
-      ++frames;
+    while (batch.size() < 512 && c.send_box->TryPop(&e)) {
+      batch.push_back(e);
     }
-    if (!WriteAll(c.fd, buf.data(), buf.size())) {
-      if (!shutting_down_.load(std::memory_order_relaxed)) {
-        disconnects_.fetch_add(1, std::memory_order_relaxed);
-        DCV_OBS_COUNT(c_disconnects_, 1);
-        CloseInboxes();
+    bool wrote = false;
+    uint32_t gen = 0;
+    {
+      std::lock_guard<std::mutex> wl(c.write_mu);
+      {
+        std::lock_guard<std::mutex> lock(c.mu);
+        gen = c.generation;  // Incarnation this write lands on.
       }
-      c.send_box->Close();
-      while (c.send_box->Pop(&e)) {
-        // Drain so producers blocked in Push wake and see closed.
+      buf.clear();
+      for (const Envelope& env : batch) {
+        frame.clear();
+        AppendEnvelopeFrame(env, &frame, c.next_send_seq);
+        c.sent_ring.emplace_back(c.next_send_seq, frame);
+        while (c.sent_ring.size() > options_.replay_capacity) {
+          c.sent_ring.pop_front();
+        }
+        ++c.next_send_seq;
+        buf += frame;
       }
-      return;
+      wrote = c.fd >= 0 && WriteAll(c.fd, buf.data(), buf.size());
+      if (wrote) {
+        frames_sent_.fetch_add(static_cast<int64_t>(batch.size()),
+                               std::memory_order_relaxed);
+        bytes_sent_.fetch_add(static_cast<int64_t>(buf.size()),
+                              std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_frames_tx_, static_cast<int64_t>(batch.size()));
+        DCV_OBS_COUNT(c_bytes_tx_, static_cast<int64_t>(buf.size()));
+      }
     }
-    frames_sent_.fetch_add(frames, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(static_cast<int64_t>(buf.size()),
-                          std::memory_order_relaxed);
-    DCV_OBS_COUNT(c_frames_tx_, frames);
-    DCV_OBS_COUNT(c_bytes_tx_, static_cast<int64_t>(buf.size()));
+    if (wrote) {
+      continue;
+    }
+    // Write failed. The frames are already in the sent ring, so a resume
+    // replays them — park for the new incarnation instead of giving up.
+    if (!shutting_down_.load(std::memory_order_relaxed)) {
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_disconnects_, 1);
+    }
+    bool resumed = false;
+    if (options_.allow_reconnect &&
+        !shutting_down_.load(std::memory_order_relaxed)) {
+      std::unique_lock<std::mutex> lock(c.mu);
+      c.cv.wait_for(lock,
+                    std::chrono::milliseconds(options_.reconnect_window_ms +
+                                              options_.reconnect_grace_ms),
+                    [&] {
+                      return shutting_down_.load(std::memory_order_relaxed) ||
+                             c.generation != gen;
+                    });
+      resumed = !shutting_down_.load(std::memory_order_relaxed) &&
+                c.generation != gen;
+    }
+    if (resumed) {
+      continue;  // The installer replayed the failed frames already.
+    }
+    if (!shutting_down_.load(std::memory_order_relaxed)) {
+      CloseInboxes();
+    }
+    c.send_box->Close();
+    while (c.send_box->Pop(&e)) {
+      // Drain so producers blocked in Push wake and see closed.
+    }
+    return;
   }
-  // Send queue closed and drained: our side is done sending. Half-close so
-  // the peer's reader sees a clean end of stream once it drains.
-  ::shutdown(c.fd, SHUT_WR);
+  // Send queue closed and drained. Half-close so the peer's reader sees a
+  // clean end of stream once it drains.
+  std::lock_guard<std::mutex> wl(c.write_mu);
+  if (c.fd >= 0) {
+    ::shutdown(c.fd, SHUT_WR);
+  }
+}
+
+bool SocketTransport::InstallResumedFd(Connection* c, int fd,
+                                       uint32_t generation,
+                                       uint64_t peer_last_seq,
+                                       std::string residual) {
+  std::lock_guard<std::mutex> wl(c->write_mu);
+  // The ring holds the sent-frame suffix [next_send_seq - ring, next - 1].
+  // If the peer missed more than that, the link cannot be healed
+  // losslessly; fail the resume so the run aborts instead of silently
+  // dropping protocol messages.
+  const uint64_t want_from = peer_last_seq + 1;
+  if (want_from < c->next_send_seq &&
+      (c->sent_ring.empty() || c->sent_ring.front().first > want_from)) {
+    return false;
+  }
+  std::string replay;
+  int64_t replayed = 0;
+  for (const auto& [seq, bytes] : c->sent_ring) {
+    if (seq >= want_from) {
+      replay += bytes;
+      ++replayed;
+    }
+  }
+  if (!replay.empty() && !WriteAll(fd, replay.data(), replay.size())) {
+    return false;
+  }
+  replayed_frames_.fetch_add(replayed, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(static_cast<int64_t>(replay.size()),
+                        std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->fd >= 0 && c->fd != fd) {
+      RetireFd(c->fd);  // Fence the stale incarnation.
+    }
+    c->fd = fd;
+    c->generation = generation;
+    c->residual = std::move(residual);
+  }
+  c->cv.notify_all();
+  return true;
+}
+
+bool SocketTransport::TryWorkerResume(Connection* c, std::string* residual) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(peer_port_));
+  if (::inet_pton(AF_INET, peer_host_.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+  auto fd = ConnectOnce(addr, options_.connect_timeout_ms);
+  if (!fd.ok()) {
+    return false;
+  }
+  SetNoDelay(*fd);
+  SetSendTimeout(*fd, options_.io_timeout_ms);
+  HelloFrame hello;
+  hello.worker = worker_;
+  hello.num_workers = num_workers_;
+  hello.num_sites = num_sites_;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    hello.generation = c->generation + 1;
+  }
+  hello.last_seq_received = c->last_seq_received.load(std::memory_order_relaxed);
+  std::string out;
+  AppendHelloFrame(hello, &out);
+  if (!WriteAll(*fd, out.data(), out.size())) {
+    ::close(*fd);
+    return false;
+  }
+  FrameReader hs;
+  auto ack = ReadFrame(*fd, options_.io_timeout_ms, &hs);
+  if (!ack.ok() || ack->type != FrameType::kHelloAck ||
+      ack->hello_ack.ok == 0) {
+    ::close(*fd);
+    return false;
+  }
+  if (!InstallResumedFd(c, *fd, hello.generation,
+                        ack->hello_ack.last_seq_received, hs.TakeBuffered())) {
+    ::close(*fd);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    *residual = std::move(c->residual);
+    c->residual.clear();
+  }
+  return true;
+}
+
+bool SocketTransport::AwaitResume(size_t index, uint32_t seen_gen,
+                                  std::string* residual) {
+  Connection& c = *conns_[index];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.reconnect_window_ms);
+  if (role_ == Role::kWorker) {
+    // Grace period: on a graceful shutdown the site actors are already
+    // holding their kShutdown envelopes, so shutting_down_ flips almost
+    // immediately — don't redial a coordinator that is simply done.
+    {
+      std::unique_lock<std::mutex> lock(c.mu);
+      c.cv.wait_for(lock,
+                    std::chrono::milliseconds(options_.reconnect_grace_ms),
+                    [&] {
+                      return shutting_down_.load(std::memory_order_relaxed);
+                    });
+    }
+    int backoff = std::max(1, options_.connect_backoff_ms);
+    while (!shutting_down_.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      if (TryWorkerResume(&c, residual)) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_reconnects_, 1);
+        return true;
+      }
+      connect_retries_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_connect_retries_, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, 2000);
+    }
+    return false;
+  }
+  // Coordinator role: the acceptor thread installs the resumed fd; park
+  // until the generation moves past the incarnation we just lost.
+  std::unique_lock<std::mutex> lock(c.mu);
+  c.cv.wait_until(lock, deadline, [&] {
+    return shutting_down_.load(std::memory_order_relaxed) ||
+           c.generation != seen_gen;
+  });
+  if (shutting_down_.load(std::memory_order_relaxed) ||
+      c.generation == seen_gen) {
+    return false;
+  }
+  *residual = std::move(c.residual);
+  c.residual.clear();
+  return true;
+}
+
+void SocketTransport::AcceptorLoop() {
+  while (!shutting_down_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&p, 1, 100);
+    if (rc <= 0) {
+      continue;  // Timeout tick (checks shutting_down_) or EINTR.
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    SetNoDelay(fd);
+    SetSendTimeout(fd, options_.io_timeout_ms);
+    FrameReader hs;
+    const int handshake_ms =
+        std::min(options_.io_timeout_ms, options_.reconnect_window_ms);
+    auto frame = ReadFrame(fd, handshake_ms, &hs);
+    HelloAckFrame ack;
+    ack.num_sites = num_sites_;
+    ack.num_workers = num_workers_;
+    ack.virtual_time = virtual_time_ ? 1 : 0;
+    Connection* c = nullptr;
+    bool ok = frame.ok() && frame->type == FrameType::kHello;
+    if (ok) {
+      const HelloFrame& hello = frame->hello;
+      ok = hello.num_sites == num_sites_ &&
+           hello.num_workers == num_workers_ && hello.worker >= 0 &&
+           hello.worker < num_workers_;
+      if (ok) {
+        c = conns_[static_cast<size_t>(hello.worker)].get();
+        std::lock_guard<std::mutex> lock(c->mu);
+        // Generation fence: only a strictly newer incarnation may replace
+        // the connection; a stale or duplicate dial is rejected.
+        ok = hello.generation > c->generation;
+        ack.generation = hello.generation;
+      }
+    }
+    if (ok) {
+      ack.last_seq_received =
+          c->last_seq_received.load(std::memory_order_relaxed);
+    }
+    ack.ok = ok ? 1 : 0;
+    std::string reply;
+    AppendHelloAckFrame(ack, &reply);
+    if (!WriteAll(fd, reply.data(), reply.size()) || !ok) {
+      ::close(fd);
+      continue;
+    }
+    if (!InstallResumedFd(c, fd, frame->hello.generation,
+                          frame->hello.last_seq_received,
+                          hs.TakeBuffered())) {
+      ::close(fd);
+      continue;
+    }
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    DCV_OBS_COUNT(c_reconnects_, 1);
+  }
 }
 
 bool SocketTransport::Send(const Envelope& e) {
@@ -544,17 +886,17 @@ bool SocketTransport::Send(const Envelope& e) {
     if (e.to < 0 || e.to >= num_sites_) {
       return false;
     }
-    return conns_[static_cast<size_t>(WorkerOf(e.to))].send_box->Push(e);
+    return conns_[static_cast<size_t>(WorkerOf(e.to))]->send_box->Push(e);
   }
   if (e.to != kCoordinatorId) {
     return false;
   }
-  return conns_[0].send_box->Push(e);
+  return conns_[0]->send_box->Push(e);
 }
 
 bool SocketTransport::SendToShard(int shard, const Envelope& e) {
   if (role_ != Role::kCoordinator || shard < 0 ||
-      shard >= layout_.num_shards) {
+      shard >= static_cast<int>(inboxes_.size())) {
     return false;
   }
   // Root-to-shard commands are coordinator-process-local: straight into
@@ -562,24 +904,45 @@ bool SocketTransport::SendToShard(int shard, const Envelope& e) {
   return inboxes_[static_cast<size_t>(shard)]->Push(e);
 }
 
+bool SocketTransport::TrySendToShard(int shard, const Envelope& e) {
+  if (role_ != Role::kCoordinator || shard < 0 ||
+      shard >= static_cast<int>(inboxes_.size())) {
+    return false;
+  }
+  return inboxes_[static_cast<size_t>(shard)]->TryPush(e) == MailboxPush::kOk;
+}
+
 bool SocketTransport::RecvShard(int shard, Envelope* out) {
   return role_ == Role::kCoordinator && shard >= 0 &&
-         shard < layout_.num_shards &&
+         shard < static_cast<int>(inboxes_.size()) &&
          inboxes_[static_cast<size_t>(shard)]->Pop(out);
 }
 
 bool SocketTransport::TryRecvShard(int shard, Envelope* out) {
   return role_ == Role::kCoordinator && shard >= 0 &&
-         shard < layout_.num_shards &&
+         shard < static_cast<int>(inboxes_.size()) &&
          inboxes_[static_cast<size_t>(shard)]->TryPop(out);
 }
 
 size_t SocketTransport::RecvShardAll(int shard, std::vector<Envelope>* out) {
   if (role_ != Role::kCoordinator || shard < 0 ||
-      shard >= layout_.num_shards) {
+      shard >= static_cast<int>(inboxes_.size())) {
     return 0;
   }
   return inboxes_[static_cast<size_t>(shard)]->PopAll(out);
+}
+
+size_t SocketTransport::RecvShardAllFor(int shard, std::vector<Envelope>* out,
+                                        int64_t timeout_ms, bool* timed_out) {
+  if (role_ != Role::kCoordinator || shard < 0 ||
+      shard >= static_cast<int>(inboxes_.size())) {
+    if (timed_out != nullptr) {
+      *timed_out = false;
+    }
+    return 0;
+  }
+  return inboxes_[static_cast<size_t>(shard)]->PopAllFor(out, timeout_ms,
+                                                         timed_out);
 }
 
 bool SocketTransport::RecvWorker(int worker, Envelope* out) {
@@ -591,6 +954,80 @@ bool SocketTransport::TryRecvWorker(int worker, Envelope* out) {
          inboxes_[0]->TryPop(out);
 }
 
+Status SocketTransport::UpdateLayout(const ShardLayout& next) {
+  if (role_ != Role::kCoordinator) {
+    return FailedPreconditionError(
+        "layout updates originate at the coordinator");
+  }
+  const ShardLayout* live = current();
+  if (next.num_sites != live->num_sites ||
+      next.num_shards != live->num_shards) {
+    return InvalidArgumentError(
+        "layout update must keep the fabric shape (sites, shards)");
+  }
+  if (next.version <= live->version) {
+    return InvalidArgumentError("layout update version must be newer than " +
+                                std::to_string(live->version));
+  }
+  LayoutFrame lf;
+  lf.version = next.version;
+  lf.num_sites = next.num_sites;
+  lf.num_shards = next.num_shards;
+  lf.starts.resize(static_cast<size_t>(next.num_shards) + 1);
+  for (int s = 0; s < next.num_shards; ++s) {
+    lf.starts[static_cast<size_t>(s)] = next.ShardStart(s);
+  }
+  lf.starts[static_cast<size_t>(next.num_shards)] = next.num_sites;
+  std::string bytes;
+  AppendLayoutFrame(lf, &bytes);
+  for (auto& c : conns_) {
+    std::lock_guard<std::mutex> wl(c->write_mu);
+    if (c->fd < 0 || !WriteAll(c->fd, bytes.data(), bytes.size())) {
+      return InternalError("layout push failed on a worker connection");
+    }
+  }
+  // The fence: routing switches only after every worker acked, so no party
+  // still routes by the old layout once this returns.
+  std::unique_lock<std::mutex> lock(layout_mu_);
+  bool acked = layout_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.io_timeout_ms), [&] {
+        if (shutting_down_.load(std::memory_order_relaxed)) {
+          return true;
+        }
+        for (uint32_t v : layout_acked_) {
+          if (v < next.version) {
+            return false;
+          }
+        }
+        return true;
+      });
+  if (!acked || shutting_down_.load(std::memory_order_relaxed)) {
+    return ResourceExhaustedError(
+        "timed out waiting for layout acks from workers");
+  }
+  layouts_.push_back(std::make_unique<ShardLayout>(next));
+  layout_ptr_.store(layouts_.back().get(), std::memory_order_release);
+  return OkStatus();
+}
+
+Status SocketTransport::InjectPeerFailure(int worker) {
+  if (role_ != Role::kCoordinator) {
+    return FailedPreconditionError("failure injection needs the coordinator");
+  }
+  if (worker < 0 || worker >= num_workers_) {
+    return InvalidArgumentError("worker index out of range");
+  }
+  Connection& c = *conns_[static_cast<size_t>(worker)];
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.fd >= 0) {
+    // Hard sever both directions: the worker sees end-of-stream, our own
+    // reader/writer see failures — exactly the observable footprint of a
+    // crashed peer or a cut link.
+    ::shutdown(c.fd, SHUT_RDWR);
+  }
+  return OkStatus();
+}
+
 void SocketTransport::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (shutdown_done_) {
@@ -598,35 +1035,50 @@ void SocketTransport::Shutdown() {
   }
   shutdown_done_ = true;
   shutting_down_.store(true, std::memory_order_relaxed);
+  // Wake anything parked waiting for a resume; no resume is coming.
+  for (auto& c : conns_) {
+    c->cv.notify_all();
+  }
+  layout_cv_.notify_all();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
   // Phase 1: flush. Closing a mailbox still lets Pop drain it, so the
   // writers push every queued frame (including a final kShutdown
   // broadcast) before half-closing their sockets.
-  for (Connection& c : conns_) {
-    if (c.send_box != nullptr) {
-      c.send_box->Close();
+  for (auto& c : conns_) {
+    if (c->send_box != nullptr) {
+      c->send_box->Close();
     }
   }
-  for (Connection& c : conns_) {
-    if (c.writer.joinable()) {
-      c.writer.join();
+  for (auto& c : conns_) {
+    if (c->writer.joinable()) {
+      c->writer.join();
     }
   }
   // Phase 2: stop receiving. Shut the sockets to wake blocked readers and
   // close the inbox so blocked receivers drain out.
-  for (Connection& c : conns_) {
-    if (c.fd >= 0) {
-      ::shutdown(c.fd, SHUT_RDWR);
+  for (auto& c : conns_) {
+    if (c->fd >= 0) {
+      ::shutdown(c->fd, SHUT_RDWR);
     }
   }
   CloseInboxes();
-  for (Connection& c : conns_) {
-    if (c.reader.joinable()) {
-      c.reader.join();
+  for (auto& c : conns_) {
+    if (c->reader.joinable()) {
+      c->reader.join();
     }
-    if (c.fd >= 0) {
-      ::close(c.fd);
-      c.fd = -1;
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
     }
+  }
+  {
+    std::lock_guard<std::mutex> retired_lock(retired_mu_);
+    for (int fd : retired_fds_) {
+      ::close(fd);
+    }
+    retired_fds_.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -645,6 +1097,10 @@ SocketStats SocketTransport::stats() const {
   s.accept_timeouts = accept_timeouts_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.truncated_frames = truncated_frames_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.replayed_frames = replayed_frames_.load(std::memory_order_relaxed);
+  s.duplicate_frames = duplicate_frames_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -2,9 +2,14 @@
 #define DCV_RUNTIME_SOCKET_TRANSPORT_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -31,12 +36,24 @@ namespace dcv {
 ///  * Connect retries with bounded attempts and exponential backoff;
 ///    Listen/AcceptWorkers bound the wait per expected connection. Both
 ///    surface in SocketStats (and "runtime/socket/*" obs counters).
-///  * A peer closing its stream (EOF) closes this side's inbox: blocked
-///    receivers drain and then observe transport-closed, exactly like
-///    ThreadTransport::Shutdown. Mid-run resets count as `disconnects`.
+///  * Without reconnection (the default), a peer closing its stream (EOF)
+///    closes this side's inbox: blocked receivers drain and then observe
+///    transport-closed, exactly like ThreadTransport::Shutdown. Mid-run
+///    resets count as `disconnects`.
 ///  * Shutdown flushes the send queues (writers drain the bounded boxes
-///    before the sockets close), so a graceful kShutdown broadcast is
+///    before the sockets half-close), so a graceful kShutdown broadcast is
 ///    never lost.
+///
+/// Mid-run reconnection (Options::allow_reconnect): a lost connection
+/// parks this side instead of closing the inboxes. Every envelope frame
+/// carries a per-direction sequence number and each writer retains a
+/// bounded ring of sent frames; a returning worker handshakes with a
+/// bumped Hello generation (stale connections are fenced off) and each
+/// side replays exactly the suffix the peer missed, deduplicating replays
+/// by sequence number. The coordinator keeps an acceptor thread running so
+/// the resume handshake can land at any time; the worker side actively
+/// redials. Senders simply block on the bounded send queues during the
+/// outage, so no envelope is ever lost — the run resumes bit-identically.
 class SocketTransport : public Transport {
  public:
   struct Options {
@@ -55,6 +72,18 @@ class SocketTransport : public Transport {
     /// format and the worker handshake are unchanged, workers neither know
     /// nor care how the coordinator process is sharded internally.
     int num_shards = 1;
+
+    /// Survive a dropped worker connection: park instead of closing the
+    /// inboxes, accept/redial a resume handshake, replay the missed frame
+    /// suffix. Both sides must enable it (the worker redials, the
+    /// coordinator keeps accepting).
+    bool allow_reconnect = false;
+    int reconnect_window_ms = 5000;  ///< Park budget before giving up.
+    int reconnect_grace_ms = 100;    ///< Worker delay before redialing, so a
+                                     ///< graceful shutdown is not mistaken
+                                     ///< for a crash.
+    size_t replay_capacity = 4096;   ///< Sent-frame ring per connection.
+
     obs::MetricsRegistry* metrics = nullptr;
   };
 
@@ -65,7 +94,8 @@ class SocketTransport : public Transport {
       int num_sites, int num_workers, int port, const Options& options);
 
   /// Coordinator role: accepts and handshakes all `num_workers`
-  /// connections, then starts the per-connection reader/writer threads.
+  /// connections, then starts the per-connection reader/writer threads
+  /// (plus, with allow_reconnect, the resume acceptor thread).
   /// Fails on accept timeout, handshake mismatch, or duplicate workers.
   Status AcceptWorkers();
 
@@ -84,30 +114,58 @@ class SocketTransport : public Transport {
   /// Worker role: the run mode from the coordinator's handshake ack.
   bool virtual_time() const { return virtual_time_; }
 
+  /// Worker role: the newest shard-layout version adopted from a
+  /// kLayoutUpdate push (0 until one arrives).
+  uint32_t layout_version() const {
+    return adopted_layout_version_.load(std::memory_order_acquire);
+  }
+
   SocketStats stats() const;
 
   int num_sites() const override { return num_sites_; }
   int num_workers() const override { return num_workers_; }
   int WorkerOf(int site) const override { return site % num_workers_; }
-  int num_shards() const override { return layout_.num_shards; }
-  int ShardOf(int site) const override { return layout_.ShardOf(site); }
+  int num_shards() const override { return current()->num_shards; }
+  int ShardOf(int site) const override { return current()->ShardOf(site); }
   bool Send(const Envelope& e) override;
   bool SendToShard(int shard, const Envelope& e) override;
+  bool TrySendToShard(int shard, const Envelope& e) override;
   bool RecvShard(int shard, Envelope* out) override;
   bool TryRecvShard(int shard, Envelope* out) override;
   size_t RecvShardAll(int shard, std::vector<Envelope>* out) override;
+  size_t RecvShardAllFor(int shard, std::vector<Envelope>* out,
+                         int64_t timeout_ms, bool* timed_out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
   void Shutdown() override;
+  ShardLayout layout() const override { return *current(); }
+
+  /// Coordinator role: broadcasts the layout as a kLayoutUpdate frame,
+  /// waits for every worker's kLayoutAck (the fence), then swaps the
+  /// routing layout. Shape must match; version must be strictly newer.
+  Status UpdateLayout(const ShardLayout& next) override;
+
+  /// Coordinator role, chaos hook: hard-severs worker `w`'s TCP connection
+  /// (both directions), simulating a crash or partition. With
+  /// allow_reconnect on both sides the fabric heals via the resume
+  /// protocol; without it the run aborts exactly as a real crash would.
+  Status InjectPeerFailure(int worker) override;
 
  private:
   enum class Role { kCoordinator, kWorker };
 
   /// One TCP connection: the socket, its bounded send queue, and the two
   /// threads that pump it. Coordinator role has one per worker; worker
-  /// role has exactly one (index 0).
+  /// role has exactly one (index 0). Reconnection state lives here too:
+  /// `generation` names the fd incarnation (bumped by each successful
+  /// resume; parked threads wake on the bump), the writer-side ring holds
+  /// the replayable sent-frame suffix, and `last_seq_received` is the
+  /// receive direction's dedup high-water mark.
   struct Connection {
+    std::mutex mu;  ///< Guards fd (for readers), generation, residuals.
+    std::condition_variable cv;  ///< Signals generation bumps + shutdown.
     int fd = -1;
+    uint32_t generation = 0;
     /// Bytes the handshake read past its own frame (TCP coalescing can put
     /// the first data frames in the same segment as the hello/ack); the
     /// reader thread consumes these before touching the socket.
@@ -115,36 +173,86 @@ class SocketTransport : public Transport {
     std::unique_ptr<Mailbox<Envelope>> send_box;
     std::thread reader;
     std::thread writer;
+
+    /// Send direction (guarded by write_mu, which also serializes every
+    /// socket write so a resume replay never interleaves mid-frame).
+    std::mutex write_mu;
+    uint64_t next_send_seq = 1;
+    std::deque<std::pair<uint64_t, std::string>> sent_ring;
+
+    /// Receive direction: highest envelope seq seen (reader-owned, read by
+    /// the resume handshake to tell the peer where to resume).
+    std::atomic<uint64_t> last_seq_received{0};
   };
 
   SocketTransport(Role role, int num_sites, int num_workers, int worker,
                   const Options& options);
 
+  const ShardLayout* current() const {
+    return layout_ptr_.load(std::memory_order_acquire);
+  }
+
   void StartConnection(size_t index, int fd, std::string residual);
   void ReaderLoop(size_t index);
   void WriterLoop(size_t index);
+  void AcceptorLoop();
+
+  /// Replays the sent-ring suffix the peer missed onto `fd`, then installs
+  /// it as the connection's live socket (bumping the generation and waking
+  /// parked reader/writer). False if the gap exceeds the ring or the
+  /// replay write fails; the caller closes `fd`.
+  bool InstallResumedFd(Connection* c, int fd, uint32_t generation,
+                        uint64_t peer_last_seq, std::string residual);
+
+  /// Parks until the connection has a newer incarnation than `seen_gen`.
+  /// Worker role actively redials the coordinator while parked. True once
+  /// resumed (with `*residual` holding the resume handshake's tail); false
+  /// on shutdown or window expiry.
+  bool AwaitResume(size_t index, uint32_t seen_gen, std::string* residual);
+
+  /// Worker role: one redial + resume-handshake attempt. On success the
+  /// new fd is installed and `*residual` receives the handshake tail.
+  bool TryWorkerResume(Connection* c, std::string* residual);
 
   /// End-of-stream on any connection (or a fatal write error) closes every
   /// shard inbox: no shard can make progress once a worker is gone, and
   /// blocked receivers must drain out exactly as in ThreadTransport.
   void CloseInboxes();
 
+  /// Severs `fd` and queues it for close at Shutdown (closing immediately
+  /// could race a thread still blocked in a syscall on it).
+  void RetireFd(int fd);
+
   const Role role_;
   const int num_sites_;
   const int num_workers_;
   const int worker_;  ///< Worker role: this process's worker index.
-  ShardLayout layout_;  ///< Coordinator role; 1 shard in worker role.
   Options options_;
+
+  /// Routing layout (coordinator role; 1 shard in worker role). Reads are
+  /// lock-free; UpdateLayout retires superseded layouts into layouts_.
+  std::mutex layout_mu_;
+  std::vector<std::unique_ptr<ShardLayout>> layouts_;
+  std::atomic<const ShardLayout*> layout_ptr_{nullptr};
+  std::condition_variable layout_cv_;          ///< Waits for worker acks.
+  std::vector<uint32_t> layout_acked_;         ///< Per worker, by layout_mu_.
+  std::atomic<uint32_t> adopted_layout_version_{0};  ///< Worker role.
 
   int listen_fd_ = -1;
   int port_ = 0;
   bool virtual_time_ = true;
+  std::string peer_host_;  ///< Worker role: coordinator address for redial.
+  int peer_port_ = 0;
 
   /// Coordinator role: one inbox per shard coordinator, fed by the reader
   /// threads routing on ShardOf(e.from). Worker role: exactly one — this
   /// worker's inbox.
   std::vector<std::unique_ptr<Mailbox<Envelope>>> inboxes_;
-  std::vector<Connection> conns_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::thread acceptor_;  ///< Resume acceptor (coordinator, reconnect on).
+
+  std::mutex retired_mu_;
+  std::vector<int> retired_fds_;
 
   std::atomic<bool> shutting_down_{false};
   std::mutex shutdown_mu_;
@@ -160,12 +268,17 @@ class SocketTransport : public Transport {
   std::atomic<int64_t> accept_timeouts_{0};
   std::atomic<int64_t> decode_errors_{0};
   std::atomic<int64_t> disconnects_{0};
+  std::atomic<int64_t> truncated_frames_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> replayed_frames_{0};
+  std::atomic<int64_t> duplicate_frames_{0};
   obs::Counter* c_frames_tx_ = nullptr;
   obs::Counter* c_frames_rx_ = nullptr;
   obs::Counter* c_bytes_tx_ = nullptr;
   obs::Counter* c_bytes_rx_ = nullptr;
   obs::Counter* c_connect_retries_ = nullptr;
   obs::Counter* c_disconnects_ = nullptr;
+  obs::Counter* c_reconnects_ = nullptr;
 };
 
 }  // namespace dcv

@@ -20,6 +20,8 @@ std::string_view ActorMsgKindName(ActorMsgKind kind) {
       return "poll_response";
     case ActorMsgKind::kThresholdUpdate:
       return "threshold_update";
+    case ActorMsgKind::kPing:
+      return "ping";
   }
   return "unknown";
 }
@@ -59,11 +61,12 @@ Result<std::unique_ptr<ThreadTransport>> ThreadTransport::Create(
 ThreadTransport::ThreadTransport(ShardLayout layout, int num_workers,
                                  size_t coordinator_capacity,
                                  size_t worker_capacity)
-    : num_sites_(layout.num_sites),
-      num_workers_(num_workers),
-      layout_(layout) {
-  shard_boxes_.reserve(static_cast<size_t>(layout_.num_shards));
-  for (int s = 0; s < layout_.num_shards; ++s) {
+    : num_sites_(layout.num_sites), num_workers_(num_workers) {
+  layouts_.push_back(std::make_unique<ShardLayout>(std::move(layout)));
+  layout_ptr_.store(layouts_.back().get(), std::memory_order_release);
+  const int num_shards = layouts_.back()->num_shards;
+  shard_boxes_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
     shard_boxes_.push_back(
         std::make_unique<Mailbox<Envelope>>(coordinator_capacity));
   }
@@ -87,10 +90,18 @@ bool ThreadTransport::Send(const Envelope& e) {
 }
 
 bool ThreadTransport::SendToShard(int shard, const Envelope& e) {
-  if (shard < 0 || shard >= layout_.num_shards) {
+  if (shard < 0 || shard >= static_cast<int>(shard_boxes_.size())) {
     return false;
   }
   return shard_boxes_[static_cast<size_t>(shard)]->Push(e);
+}
+
+bool ThreadTransport::TrySendToShard(int shard, const Envelope& e) {
+  if (shard < 0 || shard >= static_cast<int>(shard_boxes_.size())) {
+    return false;
+  }
+  return shard_boxes_[static_cast<size_t>(shard)]->TryPush(e) ==
+         MailboxPush::kOk;
 }
 
 bool ThreadTransport::RecvShard(int shard, Envelope* out) {
@@ -103,6 +114,29 @@ bool ThreadTransport::TryRecvShard(int shard, Envelope* out) {
 
 size_t ThreadTransport::RecvShardAll(int shard, std::vector<Envelope>* out) {
   return shard_boxes_[static_cast<size_t>(shard)]->PopAll(out);
+}
+
+size_t ThreadTransport::RecvShardAllFor(int shard, std::vector<Envelope>* out,
+                                        int64_t timeout_ms, bool* timed_out) {
+  return shard_boxes_[static_cast<size_t>(shard)]->PopAllFor(out, timeout_ms,
+                                                             timed_out);
+}
+
+Status ThreadTransport::UpdateLayout(const ShardLayout& next) {
+  std::lock_guard<std::mutex> lock(layout_mu_);
+  const ShardLayout* live = current();
+  if (next.num_sites != live->num_sites ||
+      next.num_shards != live->num_shards) {
+    return InvalidArgumentError(
+        "layout update must keep the fabric shape (sites, shards)");
+  }
+  if (next.version <= live->version) {
+    return InvalidArgumentError("layout update version must be newer than " +
+                                std::to_string(live->version));
+  }
+  layouts_.push_back(std::make_unique<ShardLayout>(next));
+  layout_ptr_.store(layouts_.back().get(), std::memory_order_release);
+  return OkStatus();
 }
 
 bool ThreadTransport::RecvWorker(int worker, Envelope* out) {

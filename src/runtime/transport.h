@@ -1,7 +1,9 @@
 #ifndef DCV_RUNTIME_TRANSPORT_H_
 #define DCV_RUNTIME_TRANSPORT_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -53,6 +55,14 @@ class Transport {
   /// closed.
   virtual bool SendToShard(int shard, const Envelope& e) = 0;
 
+  /// Non-blocking SendToShard: queues the command iff the inbox has room
+  /// right now; false = full or closed, nothing was queued. The root's
+  /// failure-detection path uses this with its own retry backlog — a dead
+  /// shard's inbox stays full of blocked site updates, and a blocking
+  /// push into it would wedge the root (and with it the whole recovery
+  /// machinery) forever.
+  virtual bool TrySendToShard(int shard, const Envelope& e) = 0;
+
   /// Blocking receive on one shard coordinator inbox; false = closed and
   /// drained.
   virtual bool RecvShard(int shard, Envelope* out) = 0;
@@ -63,12 +73,44 @@ class Transport {
   /// Appends to `out`; 0 = closed and drained.
   virtual size_t RecvShardAll(int shard, std::vector<Envelope>* out) = 0;
 
+  /// RecvShardAll with a deadline: waits at most `timeout_ms` for the first
+  /// message. 0 with `*timed_out = true` means the deadline expired (the
+  /// root's cue to probe for dead shard coordinators); 0 with `*timed_out =
+  /// false` means closed and drained.
+  virtual size_t RecvShardAllFor(int shard, std::vector<Envelope>* out,
+                                 int64_t timeout_ms, bool* timed_out) = 0;
+
   /// Blocking receive on a worker inbox; false = closed and drained.
   virtual bool RecvWorker(int worker, Envelope* out) = 0;
   virtual bool TryRecvWorker(int worker, Envelope* out) = 0;
 
   /// Closes every inbox (receivers drain, then their Recv returns false).
   virtual void Shutdown() = 0;
+
+  /// The current site->shard assignment (reflects any layout pushed by
+  /// UpdateLayout).
+  virtual ShardLayout layout() const = 0;
+
+  /// Pushes a new versioned shard layout mid-run. The shape (num_sites,
+  /// num_shards) must match the current layout — a reshard rebalances the
+  /// boundaries, it does not grow the tree — and the version must be
+  /// strictly newer. The call returns once every routing party has adopted
+  /// the layout (for the socket transport: after each worker acked the
+  /// kLayoutUpdate frame), so the caller can treat it as a barrier fence:
+  /// envelopes sent afterward route by the new layout everywhere.
+  virtual Status UpdateLayout(const ShardLayout& next) {
+    (void)next;
+    return UnimplementedError("transport does not support layout updates");
+  }
+
+  /// Test/chaos hook: forcibly severs the link to one worker, simulating a
+  /// worker crash or network partition (for the socket transport, a hard
+  /// shutdown of the TCP connection). Transports without a severable link
+  /// report Unimplemented.
+  virtual Status InjectPeerFailure(int worker) {
+    (void)worker;
+    return UnimplementedError("transport has no severable worker links");
+  }
 
   /// Unsharded receive, kept for the num_shards == 1 paths (the flat
   /// coordinator and every pre-sharding caller): shard 0 IS the
@@ -101,17 +143,22 @@ class ThreadTransport : public Transport {
   int num_sites() const override { return num_sites_; }
   int num_workers() const override { return num_workers_; }
   int WorkerOf(int site) const override { return site % num_workers_; }
-  int num_shards() const override { return layout_.num_shards; }
-  int ShardOf(int site) const override { return layout_.ShardOf(site); }
+  int num_shards() const override { return current()->num_shards; }
+  int ShardOf(int site) const override { return current()->ShardOf(site); }
 
   bool Send(const Envelope& e) override;
   bool SendToShard(int shard, const Envelope& e) override;
+  bool TrySendToShard(int shard, const Envelope& e) override;
   bool RecvShard(int shard, Envelope* out) override;
   bool TryRecvShard(int shard, Envelope* out) override;
   size_t RecvShardAll(int shard, std::vector<Envelope>* out) override;
+  size_t RecvShardAllFor(int shard, std::vector<Envelope>* out,
+                         int64_t timeout_ms, bool* timed_out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
   void Shutdown() override;
+  ShardLayout layout() const override { return *current(); }
+  Status UpdateLayout(const ShardLayout& next) override;
 
   /// Capacity of each shard coordinator inbox (identical across shards;
   /// the formula uses the most-loaded shard's site count).
@@ -128,9 +175,18 @@ class ThreadTransport : public Transport {
   ThreadTransport(ShardLayout layout, int num_workers,
                   size_t coordinator_capacity, size_t worker_capacity);
 
+  /// The live layout. Routing reads are lock-free (acquire on an atomic
+  /// pointer); UpdateLayout retires superseded layouts into layouts_ so a
+  /// racing reader never dereferences freed memory.
+  const ShardLayout* current() const {
+    return layout_ptr_.load(std::memory_order_acquire);
+  }
+
   int num_sites_;
   int num_workers_;
-  ShardLayout layout_;
+  std::mutex layout_mu_;  ///< Serializes UpdateLayout calls.
+  std::vector<std::unique_ptr<ShardLayout>> layouts_;
+  std::atomic<const ShardLayout*> layout_ptr_{nullptr};
   std::vector<std::unique_ptr<Mailbox<Envelope>>> shard_boxes_;
   std::vector<std::unique_ptr<Mailbox<Envelope>>> worker_boxes_;
 };

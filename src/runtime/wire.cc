@@ -23,11 +23,14 @@ void PutI32(int32_t v, std::string* out) {
   PutU32(static_cast<uint32_t>(v), out);
 }
 
-void PutI64(int64_t v, std::string* out) {
-  uint64_t u = static_cast<uint64_t>(v);
+void PutU64(uint64_t v, std::string* out) {
   for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((u >> (8 * i)) & 0xff));
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
   }
+}
+
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
 }
 
 /// Cursor over a received payload; all Get* fail softly by flagging
@@ -57,7 +60,7 @@ struct Cursor {
     return v;
   }
   int32_t I32() { return static_cast<int32_t>(U32()); }
-  int64_t I64() {
+  uint64_t U64() {
     if (pos + 8 > len) {
       ok = false;
       return 0;
@@ -66,8 +69,9 @@ struct Cursor {
     for (int i = 0; i < 8; ++i) {
       v |= static_cast<uint64_t>(data[pos++]) << (8 * i);
     }
-    return static_cast<int64_t>(v);
+    return v;
   }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
 };
 
 /// Reserves the 4-byte length prefix, returns its offset for patching.
@@ -87,7 +91,7 @@ void EndFrame(size_t prefix_at, std::string* out) {
 
 }  // namespace
 
-void AppendEnvelopeFrame(const Envelope& e, std::string* out) {
+void AppendEnvelopeFrame(const Envelope& e, std::string* out, uint64_t seq) {
   size_t at = BeginFrame(out);
   PutU8(kWireVersion, out);
   PutU8(static_cast<uint8_t>(FrameType::kEnvelope), out);
@@ -97,6 +101,7 @@ void AppendEnvelopeFrame(const Envelope& e, std::string* out) {
   PutU8(e.msg.flag ? 1 : 0, out);
   PutI64(e.msg.epoch, out);
   PutI64(e.msg.value, out);
+  PutU64(seq, out);
   EndFrame(at, out);
 }
 
@@ -108,6 +113,8 @@ void AppendHelloFrame(const HelloFrame& h, std::string* out) {
   PutI32(h.worker, out);
   PutI32(h.num_workers, out);
   PutI32(h.num_sites, out);
+  PutU32(h.generation, out);
+  PutU64(h.last_seq_received, out);
   EndFrame(at, out);
 }
 
@@ -120,6 +127,29 @@ void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out) {
   PutU8(a.virtual_time, out);
   PutI32(a.num_sites, out);
   PutI32(a.num_workers, out);
+  PutU32(a.generation, out);
+  PutU64(a.last_seq_received, out);
+  EndFrame(at, out);
+}
+
+void AppendLayoutFrame(const LayoutFrame& l, std::string* out) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kLayoutUpdate), out);
+  PutU32(l.version, out);
+  PutI32(l.num_sites, out);
+  PutI32(l.num_shards, out);
+  for (int32_t s : l.starts) {
+    PutI32(s, out);
+  }
+  EndFrame(at, out);
+}
+
+void AppendLayoutAckFrame(const LayoutAckFrame& a, std::string* out) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kLayoutAck), out);
+  PutU32(a.version, out);
   EndFrame(at, out);
 }
 
@@ -145,6 +175,7 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       frame.envelope.msg.flag = c.U8() != 0;
       frame.envelope.msg.epoch = c.I64();
       frame.envelope.msg.value = c.I64();
+      frame.seq = c.U64();
       if (!c.ok || c.pos != len) {
         return InvalidArgumentError("malformed envelope frame body");
       }
@@ -161,6 +192,8 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       frame.hello.worker = c.I32();
       frame.hello.num_workers = c.I32();
       frame.hello.num_sites = c.I32();
+      frame.hello.generation = c.U32();
+      frame.hello.last_seq_received = c.U64();
       if (!c.ok || c.pos != len) {
         return InvalidArgumentError("malformed hello frame body");
       }
@@ -176,11 +209,52 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       frame.hello_ack.virtual_time = c.U8();
       frame.hello_ack.num_sites = c.I32();
       frame.hello_ack.num_workers = c.I32();
+      frame.hello_ack.generation = c.U32();
+      frame.hello_ack.last_seq_received = c.U64();
       if (!c.ok || c.pos != len) {
         return InvalidArgumentError("malformed hello-ack frame body");
       }
       if (frame.hello_ack.magic != kWireMagic) {
         return InvalidArgumentError("hello-ack magic mismatch");
+      }
+      return frame;
+    }
+    case FrameType::kLayoutUpdate: {
+      frame.type = FrameType::kLayoutUpdate;
+      frame.layout.version = c.U32();
+      frame.layout.num_sites = c.I32();
+      frame.layout.num_shards = c.I32();
+      if (!c.ok || frame.layout.num_shards < 1 ||
+          frame.layout.num_shards > kMaxWireShards) {
+        return InvalidArgumentError("malformed layout frame header");
+      }
+      frame.layout.starts.resize(
+          static_cast<size_t>(frame.layout.num_shards) + 1);
+      for (int32_t& s : frame.layout.starts) {
+        s = c.I32();
+      }
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed layout frame body");
+      }
+      // Boundaries must be a non-descending cover of [0, num_sites]:
+      // installing anything else would break the worker's routing.
+      if (frame.layout.starts.front() != 0 ||
+          frame.layout.starts.back() != frame.layout.num_sites) {
+        return InvalidArgumentError("layout frame boundaries do not cover "
+                                    "[0, num_sites]");
+      }
+      for (size_t i = 1; i < frame.layout.starts.size(); ++i) {
+        if (frame.layout.starts[i] < frame.layout.starts[i - 1]) {
+          return InvalidArgumentError("layout frame boundaries descend");
+        }
+      }
+      return frame;
+    }
+    case FrameType::kLayoutAck: {
+      frame.type = FrameType::kLayoutAck;
+      frame.layout_ack.version = c.U32();
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed layout-ack frame body");
       }
       return frame;
     }
@@ -220,6 +294,16 @@ Result<bool> FrameReader::Next(WireFrame* out) {
   return true;
 }
 
+Status FrameReader::Finish() const {
+  size_t tail = buffered();
+  if (tail == 0) {
+    return OkStatus();
+  }
+  return InternalError("truncated frame: stream ended with " +
+                       std::to_string(tail) +
+                       " byte(s) of an incomplete frame");
+}
+
 std::string FrameReader::TakeBuffered() {
   std::string rest = buffer_.substr(pos_);
   buffer_.clear();
@@ -234,7 +318,11 @@ std::string SocketStats::ToString() const {
      << " connect_attempts=" << connect_attempts
      << " connect_retries=" << connect_retries
      << " accept_timeouts=" << accept_timeouts
-     << " decode_errors=" << decode_errors << " disconnects=" << disconnects;
+     << " decode_errors=" << decode_errors << " disconnects=" << disconnects
+     << " truncated_frames=" << truncated_frames
+     << " reconnects=" << reconnects
+     << " replayed_frames=" << replayed_frames
+     << " duplicate_frames=" << duplicate_frames;
   return os.str();
 }
 

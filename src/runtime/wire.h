@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "runtime/actor_message.h"
@@ -21,53 +22,100 @@ namespace dcv {
 // on the first frame instead of producing garbled envelopes. Length is
 // bounded by kMaxFramePayload; anything larger is treated as a corrupt or
 // hostile stream and fails decoding rather than allocating unboundedly.
+//
+// Version 2 adds crash-recovery machinery: envelope frames carry a
+// per-connection-direction sequence number (for replay dedup after a
+// reconnect), hellos carry a generation counter (fences stale connections)
+// plus the receiver's high-water mark (tells the peer where to resume),
+// and kLayoutUpdate/kLayoutAck carry versioned shard-layout pushes.
 
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Handshake magic ("DCVS"): rejects a non-dcv peer on byte one of the
 /// hello body instead of mid-run.
 inline constexpr uint32_t kWireMagic = 0x53564344;
 
-/// Largest payload any current frame needs is < 64 bytes; the cap exists
-/// purely to bound damage from a corrupt length prefix.
+/// Largest fixed frame is < 64 bytes; a layout frame is 4 bytes per shard
+/// boundary. The cap exists purely to bound damage from a corrupt length
+/// prefix.
 inline constexpr uint32_t kMaxFramePayload = 4096;
 
+/// Upper bound on shard boundaries a kLayoutUpdate may carry (fits well
+/// under kMaxFramePayload and far exceeds any real coordinator tree).
+inline constexpr int32_t kMaxWireShards = 512;
+
 enum class FrameType : uint8_t {
-  kEnvelope = 0,  ///< A routed ActorMessage (the steady-state frame).
-  kHello = 1,     ///< Worker -> coordinator, first frame after connect.
-  kHelloAck = 2,  ///< Coordinator -> worker, handshake verdict + run mode.
+  kEnvelope = 0,      ///< A routed ActorMessage (the steady-state frame).
+  kHello = 1,         ///< Worker -> coordinator, first frame after connect.
+  kHelloAck = 2,      ///< Coordinator -> worker, handshake verdict + mode.
+  kLayoutUpdate = 3,  ///< Coordinator -> worker, versioned shard layout.
+  kLayoutAck = 4,     ///< Worker -> coordinator, layout version adopted.
 };
 
-/// Worker self-identification, sent once per connection.
+/// Worker self-identification, sent once per connection. `generation`
+/// starts at 0 on the first connect and increments on every reconnect;
+/// the coordinator fences any hello whose generation is not strictly newer
+/// than the connection it already holds. `last_seq_received` is the highest
+/// envelope sequence number the worker has seen from the coordinator, so
+/// the coordinator can replay exactly the suffix the worker missed.
 struct HelloFrame {
   uint32_t magic = kWireMagic;
   int32_t worker = 0;       ///< This connection's worker index.
   int32_t num_workers = 0;  ///< Worker's view of the fabric shape.
   int32_t num_sites = 0;
+  uint32_t generation = 0;
+  uint64_t last_seq_received = 0;
 };
 
 /// Coordinator's handshake reply. `ok == 0` means the hello was rejected
-/// (shape mismatch, duplicate worker) and the connection is about to close.
+/// (shape mismatch, duplicate worker, stale generation) and the connection
+/// is about to close. `last_seq_received` mirrors the worker-side field:
+/// the highest envelope sequence the coordinator has seen from this worker.
 struct HelloAckFrame {
   uint32_t magic = kWireMagic;
   uint8_t ok = 0;
   uint8_t virtual_time = 0;  ///< Run mode the worker must adopt.
   int32_t num_sites = 0;
   int32_t num_workers = 0;
+  uint32_t generation = 0;
+  uint64_t last_seq_received = 0;
+};
+
+/// A versioned site->shard assignment push (contiguous ranges: shard s owns
+/// sites [starts[s], starts[s+1])). Workers ack the version; the
+/// coordinator switches routing only after every ack (the fence that makes
+/// a mid-run reshard race-free).
+struct LayoutFrame {
+  uint32_t version = 0;
+  int32_t num_sites = 0;
+  int32_t num_shards = 0;
+  std::vector<int32_t> starts;  ///< num_shards + 1 ascending boundaries.
+};
+
+struct LayoutAckFrame {
+  uint32_t version = 0;
 };
 
 /// One decoded frame; `type` selects which member is meaningful.
 struct WireFrame {
   FrameType type = FrameType::kEnvelope;
   Envelope envelope;
+  uint64_t seq = 0;  ///< Envelope sequence number; 0 = unsequenced.
   HelloFrame hello;
   HelloAckFrame hello_ack;
+  LayoutFrame layout;
+  LayoutAckFrame layout_ack;
 };
 
-/// Append the length-prefixed encoding of a frame to `out`.
-void AppendEnvelopeFrame(const Envelope& e, std::string* out);
+/// Append the length-prefixed encoding of a frame to `out`. `seq` is the
+/// per-connection-direction sequence number (0 for unsequenced frames,
+/// e.g. unit tests or pre-handshake traffic).
+void AppendEnvelopeFrame(const Envelope& e, std::string* out,
+                         uint64_t seq = 0);
 void AppendHelloFrame(const HelloFrame& h, std::string* out);
 void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out);
+void AppendLayoutFrame(const LayoutFrame& l, std::string* out);
+void AppendLayoutAckFrame(const LayoutAckFrame& a, std::string* out);
 
 /// Decodes one payload (the bytes after the length prefix). Fails on short
 /// bodies, unknown frame types, version or magic mismatches, and invalid
@@ -87,6 +135,12 @@ class FrameReader {
   /// the stream is corrupt (oversized length, bad version/type) and the
   /// connection must be dropped.
   Result<bool> Next(WireFrame* out);
+
+  /// Call when the stream has ended (EOF). OK if the stream ended on a
+  /// frame boundary; a distinct `truncated frame` error if the connection
+  /// dropped mid-frame, so callers can count it instead of silently
+  /// discarding the partial bytes.
+  Status Finish() const;
 
   /// Bytes buffered but not yet consumed (diagnostics).
   size_t buffered() const { return buffer_.size() - pos_; }
@@ -114,7 +168,11 @@ struct SocketStats {
   int64_t connect_retries = 0;   ///< Attempts after the first.
   int64_t accept_timeouts = 0;
   int64_t decode_errors = 0;
-  int64_t disconnects = 0;  ///< Peers lost outside a graceful shutdown.
+  int64_t disconnects = 0;        ///< Peers lost outside a graceful shutdown.
+  int64_t truncated_frames = 0;   ///< Streams that ended mid-frame.
+  int64_t reconnects = 0;         ///< Successful mid-run resume handshakes.
+  int64_t replayed_frames = 0;    ///< Frames retransmitted on resume.
+  int64_t duplicate_frames = 0;   ///< Replayed frames dropped by seq dedup.
 
   std::string ToString() const;
 };

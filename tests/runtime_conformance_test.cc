@@ -360,6 +360,178 @@ TEST(ShardedRuntimeTest, RejectsBadShardCounts) {
   EXPECT_FALSE(RunSyntheticRuntime(4, 10, options).ok());
 }
 
+// Chaos conformance (the recovery proof): a shard coordinator killed at a
+// seed-resolved epoch, a mid-run reshard, or a severed worker TCP link must
+// leave the virtual-time detections bit-identical to the healthy lockstep
+// simulator — recovery that changes results is not recovery.
+
+TEST(ChaosConformanceTest, KillShardVirtualBitIdenticalAcrossSeeds) {
+  Workload w = MakeSyntheticWorkload(21);
+  FptasSolver solver(0.05);
+  for (uint64_t chaos_seed : {3ULL, 11ULL, 29ULL}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_shards = 2;
+    spec.chaos.kind = ChaosKind::kKillShard;
+    spec.chaos.seed = chaos_seed;
+    spec.heartbeat_timeout_ms = 300;
+    auto report = RunConformance(w.training, w.eval, spec);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_TRUE(report->identical)
+        << "chaos_seed=" << chaos_seed << ": " << report->mismatch;
+    // The shard really died and the root really recovered it.
+    EXPECT_EQ(report->runtime.shard_recoveries, 1) << "seed=" << chaos_seed;
+    EXPECT_GT(report->runtime.recovery_ms, 0.0);
+  }
+}
+
+TEST(ChaosConformanceTest, KillShardUnderChannelFaults) {
+  // Recovery must also replay the fault-injecting channel identically:
+  // the re-executed epoch leg goes through the same Channel calls in the
+  // same order, so even RNG-driven loss patterns stay bit-identical.
+  Workload w = MakeSyntheticWorkload(55, /*num_sites=*/5);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_shards = 4;
+  spec.faults.loss = 0.1;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.retry.max_attempts = 3;
+  spec.faults.crashes = {{/*site=*/1, /*from=*/100, /*to=*/220}};
+  spec.faults.seed = 0xfeedULL;
+  spec.chaos.kind = ChaosKind::kKillShard;
+  spec.chaos.seed = 7;
+  spec.heartbeat_timeout_ms = 300;
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  EXPECT_EQ(report->runtime.shard_recoveries, 1);
+}
+
+TEST(ChaosConformanceTest, KillShardSocketBitIdentical) {
+  // The dead shard's sites live in remote worker processes: the root's
+  // re-executed legs run over real TCP and must still match the lockstep
+  // simulator bit for bit.
+  Workload w = MakeSyntheticWorkload(101, /*num_sites=*/4,
+                                     /*train_epochs=*/300,
+                                     /*eval_epochs=*/300);
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 2;
+  spec.num_shards = 2;
+  spec.transport = TransportKind::kSocket;
+  spec.chaos.kind = ChaosKind::kKillShard;
+  spec.chaos.seed = 11;
+  spec.heartbeat_timeout_ms = 300;
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  ASSERT_TRUE(report->ran_socket);
+  EXPECT_EQ(report->runtime.shard_recoveries, 1);
+  EXPECT_EQ(report->socket_runtime.shard_recoveries, 1);
+  EXPECT_EQ(report->socket_runtime.socket.decode_errors, 0);
+}
+
+TEST(ChaosConformanceTest, ReshardMidRunBitIdentical) {
+  // A new site->shard layout pushed at an epoch boundary mid-run: routing
+  // changes, results must not.
+  Workload w = MakeSyntheticWorkload(143, /*num_sites=*/7);
+  FptasSolver solver(0.1);
+  for (uint64_t chaos_seed : {5ULL, 17ULL}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_shards = 3;
+    spec.chaos.kind = ChaosKind::kReshard;
+    spec.chaos.seed = chaos_seed;
+    auto report = RunConformance(w.training, w.eval, spec);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_TRUE(report->identical)
+        << "chaos_seed=" << chaos_seed << ": " << report->mismatch;
+    EXPECT_EQ(report->runtime.reshards, 1);
+    EXPECT_EQ(report->runtime.shard_recoveries, 0);
+  }
+}
+
+TEST(ChaosConformanceTest, KillWorkerSocketReconnectsAndMatches) {
+  // A worker's TCP link severed mid-run: the worker redials, both sides
+  // replay the missed suffix, the run completes with the correct final
+  // detections and a bounded duplicate count.
+  Workload w = MakeSyntheticWorkload(113, /*num_sites=*/4,
+                                     /*train_epochs=*/300,
+                                     /*eval_epochs=*/300);
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 2;
+  spec.num_shards = 2;
+  spec.transport = TransportKind::kSocket;
+  spec.chaos.kind = ChaosKind::kKillWorker;
+  spec.chaos.seed = 13;
+  auto report = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report->identical) << report->mismatch;
+  ASSERT_TRUE(report->ran_socket);
+  const SocketStats& s = report->socket_runtime.socket;
+  EXPECT_GE(s.disconnects, 1);
+  EXPECT_EQ(s.reconnects, 1);
+  // Replay may resend a handful of frames; dedup keeps them off the run.
+  EXPECT_LE(s.duplicate_frames, 16);
+  EXPECT_EQ(s.decode_errors, 0);
+}
+
+// Free-running mode claims no determinism, but chaos must not lose work:
+// a killed shard's replacement drains the same inboxes, so every update is
+// still consumed and every site still reports done exactly once.
+TEST(ChaosRuntimeFreeTest, KillShardFreeRunningLosesNothing) {
+  for (uint64_t chaos_seed : {3ULL, 9ULL}) {
+    RuntimeOptions options;
+    options.virtual_time = false;
+    options.num_shards = 2;
+    options.seed = 9;
+    options.synthetic_max = 1000;
+    options.global_threshold = 6 * 1000;
+    options.thresholds.assign(6, 900);  // Alarm-heavy: real recovery load.
+    options.domain_max.assign(6, 1000);
+    options.chaos.kind = ChaosKind::kKillShard;
+    options.chaos.seed = chaos_seed;
+    options.heartbeat_timeout_ms = 200;
+    auto result = RunSyntheticRuntime(6, 400, options);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result->total_updates, 6 * 400) << "seed=" << chaos_seed;
+    ASSERT_EQ(result->site_updates.size(), 6u);
+    for (int64_t u : result->site_updates) {
+      EXPECT_EQ(u, 400);
+    }
+    EXPECT_EQ(result->shard_recoveries, 1) << "seed=" << chaos_seed;
+    EXPECT_GT(result->recovery_ms, 0.0);
+  }
+}
+
+// Chaos needs a detectable configuration: kill-shard without a heartbeat
+// window or with a flat coordinator is rejected up front.
+TEST(ChaosRuntimeTest, RejectsUndetectableChaosConfigs) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.chaos.kind = ChaosKind::kKillShard;
+  options.num_shards = 1;  // No shard tree to kill a member of.
+  options.heartbeat_timeout_ms = 200;
+  EXPECT_FALSE(RunSyntheticRuntime(4, 10, options).ok());
+  options.num_shards = 2;
+  options.heartbeat_timeout_ms = 0;  // Root would never notice the death.
+  EXPECT_FALSE(RunSyntheticRuntime(4, 10, options).ok());
+}
+
 // The runtime's deployment plan must provision the same thresholds the
 // lockstep scheme computes for itself from the same training data.
 TEST(RuntimeConformanceTest, BuildLocalPlanMatchesSchemeThresholds) {

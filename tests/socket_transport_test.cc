@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
@@ -243,6 +244,97 @@ TEST(SocketTransportTest, RejectsShapeMismatchAndAdvertisesMode) {
   EXPECT_FALSE(workers[0]->virtual_time());
   workers[0]->Shutdown();
   (*relisten)->Shutdown();
+}
+
+TEST(SocketTransportTest, ConnectRetryExhaustionReturnsWithinDeadline) {
+  // Regression: a worker dialing a dead port must burn through its bounded
+  // retry budget and return a clean error well inside the configured
+  // deadline — never hang in connect() or sleep forever in backoff.
+  SocketTransport::Options options = FastOptions();
+  options.connect_attempts = 3;
+  options.connect_timeout_ms = 500;
+  options.connect_backoff_ms = 10;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Port 1 on loopback: nothing listens there, connect() is refused fast.
+  auto worker = SocketTransport::Connect("127.0.0.1", 1, /*worker=*/0,
+                                         /*num_sites=*/1, /*num_workers=*/1,
+                                         options);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(worker.ok());
+  EXPECT_NE(worker.status().message().find("after 3 attempts"),
+            std::string::npos)
+      << worker.status().message();
+  // Worst case: 3 * connect_timeout + 10 + 20 ms of backoff = 1.53 s.
+  // A generous 4 s bound still catches an unbounded hang.
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+}
+
+TEST(SocketTransportTest, ReconnectsAndReplaysAfterSeveredLink) {
+  // Kill the TCP link mid-run: with allow_reconnect on both sides the
+  // worker redials, the resume handshake fences the old connection, and
+  // both directions replay whatever the peer missed — nothing is lost and
+  // nothing is delivered twice.
+  SocketTransport::Options options = FastOptions();
+  options.allow_reconnect = true;
+  options.reconnect_window_ms = 5000;
+  options.reconnect_grace_ms = 20;
+  auto listen = SocketTransport::Listen(/*num_sites=*/1, /*num_workers=*/1,
+                                        /*port=*/0, options);
+  ASSERT_TRUE(listen.ok()) << listen.status().message();
+  auto coordinator = std::move(*listen);
+
+  std::unique_ptr<SocketTransport> worker;
+  std::thread dial([&] {
+    auto t = SocketTransport::Connect("127.0.0.1", coordinator->port(),
+                                      /*worker=*/0, /*num_sites=*/1,
+                                      /*num_workers=*/1, options);
+    if (t.ok()) {
+      worker = std::move(*t);
+    }
+  });
+  ASSERT_TRUE(coordinator->AcceptWorkers().ok());
+  dial.join();
+  ASSERT_TRUE(worker != nullptr);
+
+  // Sanity: one round trip on the healthy link.
+  ASSERT_TRUE(
+      coordinator->Send(ToSite(0, ActorMsgKind::kThresholdUpdate, 0, 50)));
+  Envelope e;
+  ASSERT_TRUE(worker->RecvWorker(0, &e));
+  EXPECT_EQ(e.msg.value, 50);
+
+  ASSERT_TRUE(coordinator->InjectPeerFailure(0).ok());
+
+  // Both directions keep sending through the outage; the bounded send
+  // queues absorb the burst and the resume replays the rest.
+  constexpr int kFrames = 50;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(
+        coordinator->Send(ToSite(0, ActorMsgKind::kPollRequest, i, 10 + i)));
+    ASSERT_TRUE(
+        worker->Send(ToCoordinator(0, ActorMsgKind::kAlarm, i, 20 + i)));
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(worker->RecvWorker(0, &e)) << "frame " << i;
+    EXPECT_EQ(e.msg.epoch, i);
+    EXPECT_EQ(e.msg.value, 10 + i);
+  }
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(coordinator->RecvCoordinator(&e)) << "frame " << i;
+    EXPECT_EQ(e.msg.epoch, i);
+    EXPECT_EQ(e.msg.value, 20 + i);
+  }
+
+  worker->Shutdown();
+  coordinator->Shutdown();
+  SocketStats cstats = coordinator->stats();
+  EXPECT_GE(cstats.disconnects, 1);
+  EXPECT_EQ(cstats.reconnects, 1);
+  // The dedup layer keeps duplicates off the inboxes; the counter just
+  // records how many the replay produced (bounded by the ring).
+  EXPECT_LE(cstats.duplicate_frames,
+            static_cast<int64_t>(options.replay_capacity));
+  EXPECT_EQ(worker->stats().reconnects, 1);
 }
 
 TEST(SocketTransportTest, ValidatesArguments) {

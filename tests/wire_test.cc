@@ -250,6 +250,117 @@ TEST(WireTest, ReaderTakeBufferedReturnsUnconsumedTail) {
   ExpectEnvelopeEq(e, frame.envelope);
 }
 
+TEST(WireTest, EnvelopeSequenceNumberRoundTrips) {
+  Envelope e = MakeEnvelope(3, kCoordinatorId, ActorMsgKind::kAlarm, 12, 99,
+                            true);
+  std::string buf;
+  AppendEnvelopeFrame(e, &buf, /*seq=*/0xdeadbeefcafe1234ULL);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ExpectEnvelopeEq(e, frame->envelope);
+  EXPECT_EQ(frame->seq, 0xdeadbeefcafe1234ULL);
+}
+
+TEST(WireTest, HelloCarriesGenerationAndHighWater) {
+  HelloFrame h;
+  h.worker = 1;
+  h.num_workers = 2;
+  h.num_sites = 8;
+  h.generation = 5;
+  h.last_seq_received = 777;
+  std::string buf;
+  AppendHelloFrame(h, &buf);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->hello.generation, 5u);
+  EXPECT_EQ(frame->hello.last_seq_received, 777u);
+
+  HelloAckFrame a;
+  a.ok = 1;
+  a.generation = 5;
+  a.last_seq_received = 123456789;
+  std::string ack;
+  AppendHelloAckFrame(a, &ack);
+  frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(ack.data()) + 4, ack.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->hello_ack.generation, 5u);
+  EXPECT_EQ(frame->hello_ack.last_seq_received, 123456789u);
+}
+
+TEST(WireTest, LayoutFrameRoundTripAndAck) {
+  LayoutFrame l;
+  l.version = 7;
+  l.num_sites = 10;
+  l.num_shards = 3;
+  l.starts = {0, 4, 7, 10};
+  std::string buf;
+  AppendLayoutFrame(l, &buf);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kLayoutUpdate);
+  EXPECT_EQ(frame->layout.version, 7u);
+  EXPECT_EQ(frame->layout.num_sites, 10);
+  EXPECT_EQ(frame->layout.num_shards, 3);
+  EXPECT_EQ(frame->layout.starts, (std::vector<int32_t>{0, 4, 7, 10}));
+
+  LayoutAckFrame a;
+  a.version = 7;
+  std::string ack;
+  AppendLayoutAckFrame(a, &ack);
+  frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(ack.data()) + 4, ack.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kLayoutAck);
+  EXPECT_EQ(frame->layout_ack.version, 7u);
+}
+
+TEST(WireTest, LayoutFrameRejectsMalformedBoundaries) {
+  // Non-ascending boundaries must fail decoding: a malicious or corrupt
+  // layout would otherwise install broken routing on the worker.
+  LayoutFrame l;
+  l.version = 1;
+  l.num_sites = 10;
+  l.num_shards = 2;
+  l.starts = {0, 7, 5};  // Descending tail.
+  std::string buf;
+  AppendLayoutFrame(l, &buf);
+  EXPECT_FALSE(DecodeFramePayload(
+                   reinterpret_cast<const uint8_t*>(buf.data()) + 4,
+                   buf.size() - 4)
+                   .ok());
+}
+
+TEST(WireTest, FinishDistinguishesCleanEofFromTruncation) {
+  std::string stream;
+  AppendEnvelopeFrame(Envelope{}, &stream);
+
+  // Clean EOF: every appended byte was consumed as a whole frame.
+  FrameReader clean;
+  clean.Append(reinterpret_cast<const uint8_t*>(stream.data()), stream.size());
+  WireFrame frame;
+  auto r = clean.Next(&frame);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(*r);
+  EXPECT_TRUE(clean.Finish().ok());
+
+  // EOF mid-frame at every split point: a distinct truncated-frame error,
+  // not a silent partial read.
+  for (size_t cut = 1; cut < stream.size(); ++cut) {
+    FrameReader torn;
+    torn.Append(reinterpret_cast<const uint8_t*>(stream.data()), cut);
+    r = torn.Next(&frame);
+    ASSERT_TRUE(r.ok()) << "cut=" << cut;
+    ASSERT_FALSE(*r);
+    Status fin = torn.Finish();
+    ASSERT_FALSE(fin.ok()) << "cut=" << cut;
+    EXPECT_NE(fin.message().find("truncated"), std::string::npos);
+  }
+}
+
 TEST(WireTest, SocketStatsToString) {
   SocketStats s;
   s.frames_sent = 5;

@@ -37,6 +37,8 @@
 //           [--scheme local|polling] [--solver fptas|...] [--eps 0.05]
 //           [--poll-period 5] [--threads K] [--shards S] [--virtual-time]
 //           [--conformance] [--transport thread|socket] [--listen-port P]
+//           [--chaos none|kill-shard|kill-worker|reshard] [--chaos-seed S]
+//           [--heartbeat-timeout-ms T] [--allow-reconnect]
 //           [--metrics-json out.json] [--quiet] [+ fault flags as above]
 //       Run the concurrent coordinator/site runtime (src/runtime): real
 //       threads behind a mailbox transport instead of the lockstep
@@ -57,11 +59,20 @@
 //       on --listen-port (0 = ephemeral; the bound port is printed as
 //       "listening-port: P"), waits for one `dcvtool site-worker` process
 //       per worker slot, and prints the wire stats as "socket: ...".
+//       --chaos injects one seed-resolved failure mid-run: kill-shard
+//       crashes a shard coordinator thread (the root detects the silence
+//       via --heartbeat-timeout-ms and recovers its sites), kill-worker
+//       severs a worker's TCP link (socket transport only; heals via the
+//       reconnect protocol), reshard pushes a new site->shard layout at an
+//       epoch boundary. Detection results must be unchanged — that is the
+//       point. --allow-reconnect keeps the coordinator accepting resume
+//       handshakes even without chaos (kill-worker implies it).
 //
 //   dcvtool site-worker --port P --worker W --workers K
 //           [--host 127.0.0.1] [--trace trace.csv --train-epochs N]
 //           [--sites N --updates U --seed 42 --synthetic-max M]
-//           [--connect-attempts A] [--connect-timeout-ms T] [--quiet]
+//           [--connect-attempts A] [--connect-timeout-ms T]
+//           [--allow-reconnect] [--reconnect-window-ms T] [--quiet]
 //       The worker half of a socket-transport run: connects to the
 //       coordinator at host:port, identifies as worker W of K, and serves
 //       the sites s with s % K == W until the coordinator shuts the run
@@ -291,6 +302,69 @@ Result<FaultSpec> ParseFaultFlags(const ParsedFlags& flags) {
   return spec;
 }
 
+/// Early fault-flag validation, before any thread or socket spins up: bad
+/// probabilities, out-of-range --crash site indices, inverted windows, and
+/// contradictory combinations all exit 1 with a message naming the flag
+/// (the deep Channel::Init checks would catch some of these, but only
+/// after the workload is loaded and the fabric is half-built).
+Status ValidateFaults(const FaultSpec& spec, int num_sites) {
+  auto probability = [](double p, const char* flag) -> Status {
+    if (p < 0.0 || p > 1.0) {
+      return InvalidArgumentError(std::string(flag) +
+                                  " must be a probability in [0, 1], got " +
+                                  std::to_string(p));
+    }
+    return OkStatus();
+  };
+  DCV_RETURN_IF_ERROR(probability(spec.loss, "--loss"));
+  DCV_RETURN_IF_ERROR(probability(spec.duplicate, "--dup"));
+  DCV_RETURN_IF_ERROR(probability(spec.delay, "--delay-prob"));
+  if (spec.delay > 0.0 && spec.max_delay_epochs < 1) {
+    return InvalidArgumentError(
+        "--delay-prob > 0 contradicts --max-delay < 1: delayed messages "
+        "would have nowhere to go");
+  }
+  if (spec.retry.enable_acks && spec.retry.max_attempts < 1) {
+    return InvalidArgumentError(
+        "--acks contradicts --max-attempts < 1: retries are enabled but no "
+        "attempt is allowed");
+  }
+  for (const CrashWindow& w : spec.crashes) {
+    if (w.site < 0 || w.site >= num_sites) {
+      return InvalidArgumentError(
+          "--crash site " + std::to_string(w.site) +
+          " is out of range for " + std::to_string(num_sites) + " sites");
+    }
+    if (w.from < 0 || w.to <= w.from) {
+      return InvalidArgumentError(
+          "--crash window for site " + std::to_string(w.site) +
+          " must satisfy 0 <= from < to, got " + std::to_string(w.from) +
+          ":" + std::to_string(w.to));
+    }
+  }
+  for (size_t i = 0; i < spec.crashes.size(); ++i) {
+    for (size_t j = i + 1; j < spec.crashes.size(); ++j) {
+      const CrashWindow& a = spec.crashes[i];
+      const CrashWindow& b = spec.crashes[j];
+      if (a.site == b.site && a.from < b.to && b.from < a.to) {
+        return InvalidArgumentError(
+            "--crash windows for site " + std::to_string(a.site) +
+            " overlap (" + std::to_string(a.from) + ":" +
+            std::to_string(a.to) + " vs " + std::to_string(b.from) + ":" +
+            std::to_string(b.to) + ")");
+      }
+    }
+  }
+  for (const EpochWindow& w : spec.partitions) {
+    if (w.from < 0 || w.to <= w.from) {
+      return InvalidArgumentError(
+          "--partition windows must satisfy 0 <= from < to, got " +
+          std::to_string(w.from) + ":" + std::to_string(w.to));
+    }
+  }
+  return OkStatus();
+}
+
 Status RunSimulate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
@@ -466,6 +540,24 @@ Status RunRuntime(const ParsedFlags& flags) {
   options.num_shards = static_cast<int>(shards);
   options.virtual_time = flags.GetBool("virtual-time");
 
+  DCV_ASSIGN_OR_RETURN(options.chaos.kind,
+                       ParseChaosKind(flags.GetString("chaos", "none")));
+  DCV_ASSIGN_OR_RETURN(int64_t chaos_seed, flags.GetInt("chaos-seed", 1));
+  options.chaos.seed = static_cast<uint64_t>(chaos_seed);
+  DCV_ASSIGN_OR_RETURN(int64_t heartbeat,
+                       flags.GetInt("heartbeat-timeout-ms", 0));
+  if (heartbeat < 0) {
+    return InvalidArgumentError("--heartbeat-timeout-ms must be >= 0");
+  }
+  options.heartbeat_timeout_ms = static_cast<int>(heartbeat);
+  if (options.chaos.kind == ChaosKind::kKillShard &&
+      options.heartbeat_timeout_ms == 0) {
+    // Default the detection window instead of failing: a kill-shard run
+    // without heartbeats would hang forever, which is never what was asked.
+    options.heartbeat_timeout_ms = 1000;
+  }
+  options.socket.allow_reconnect = flags.GetBool("allow-reconnect");
+
   const std::string transport_name = flags.GetString("transport", "thread");
   if (transport_name == "socket") {
     options.transport = TransportKind::kSocket;
@@ -480,6 +572,12 @@ Status RunRuntime(const ParsedFlags& flags) {
   } else if (transport_name != "thread") {
     return InvalidArgumentError(
         "--transport must be thread or socket, got '" + transport_name + "'");
+  }
+  if (options.chaos.kind == ChaosKind::kKillWorker &&
+      options.transport != TransportKind::kSocket) {
+    return InvalidArgumentError(
+        "--chaos kill-worker needs --transport socket: there is no "
+        "connection to sever in-process");
   }
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
@@ -514,6 +612,8 @@ Status RunRuntime(const ParsedFlags& flags) {
       return InvalidArgumentError("--conformance needs --trace");
     }
     DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 4));
+    DCV_RETURN_IF_ERROR(
+        ValidateFaults(options.faults, static_cast<int>(sites)));
     DCV_ASSIGN_OR_RETURN(int64_t updates, flags.GetInt("updates", 100000));
     DCV_ASSIGN_OR_RETURN(
         int64_t threshold,
@@ -551,6 +651,7 @@ Status RunRuntime(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(Trace training, trace.Slice(0, train_epochs));
   DCV_ASSIGN_OR_RETURN(Trace eval,
                        trace.Slice(train_epochs, trace.num_epochs()));
+  DCV_RETURN_IF_ERROR(ValidateFaults(options.faults, eval.num_sites()));
   DCV_ASSIGN_OR_RETURN(int64_t threshold, flags.GetInt("threshold", -1));
   if (threshold < 0) {
     DCV_ASSIGN_OR_RETURN(threshold,
@@ -568,6 +669,8 @@ Status RunRuntime(const ParsedFlags& flags) {
     spec.num_workers = options.num_workers;
     spec.num_shards = options.num_shards;
     spec.transport = options.transport;
+    spec.chaos = options.chaos;
+    spec.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
     DCV_ASSIGN_OR_RETURN(ConformanceReport report,
                          RunConformance(training, eval, spec));
     if (!quiet) {
@@ -622,8 +725,16 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
   }
   options.port = static_cast<int>(port);
   DCV_ASSIGN_OR_RETURN(int64_t worker, flags.GetInt("worker", 0));
-  options.worker = static_cast<int>(worker);
   DCV_ASSIGN_OR_RETURN(int64_t workers, flags.GetInt("workers", 1));
+  if (workers < 1) {
+    return InvalidArgumentError("site-worker needs --workers >= 1");
+  }
+  if (worker < 0 || worker >= workers) {
+    return InvalidArgumentError(
+        "--worker " + std::to_string(worker) + " is out of range for " +
+        std::to_string(workers) + " workers (must be in [0, --workers))");
+  }
+  options.worker = static_cast<int>(worker);
   options.num_workers = static_cast<int>(workers);
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
@@ -637,6 +748,11 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
       int64_t connect_timeout,
       flags.GetInt("connect-timeout-ms", options.socket.connect_timeout_ms));
   options.socket.connect_timeout_ms = static_cast<int>(connect_timeout);
+  options.socket.allow_reconnect = flags.GetBool("allow-reconnect");
+  DCV_ASSIGN_OR_RETURN(
+      int64_t reconnect_window,
+      flags.GetInt("reconnect-window-ms", options.socket.reconnect_window_ms));
+  options.socket.reconnect_window_ms = static_cast<int>(reconnect_window);
   const bool quiet = flags.GetBool("quiet");
 
   // Workload: the eval slice of a trace (must match the coordinator's
@@ -772,8 +888,10 @@ FlagSet RunFlags() {
       .Value("scheme").Value("solver").Value("poll-period").Value("threads")
       .Value("shards").Value("sites").Value("updates").Value("seed")
       .Value("synthetic-max").Value("metrics-json").Value("transport")
-      .Value("listen-port");
-  flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance");
+      .Value("listen-port").Value("chaos").Value("chaos-seed")
+      .Value("heartbeat-timeout-ms");
+  flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance")
+      .Boolean("allow-reconnect");
   DeclareFaultFlags(&flags);
   return flags;
 }
@@ -783,8 +901,8 @@ FlagSet SiteWorkerFlags() {
   flags.Value("host").Value("port").Value("worker").Value("workers")
       .Value("trace").Value("train-epochs").Value("sites").Value("updates")
       .Value("seed").Value("synthetic-max").Value("connect-attempts")
-      .Value("connect-timeout-ms");
-  flags.Boolean("quiet");
+      .Value("connect-timeout-ms").Value("reconnect-window-ms");
+  flags.Boolean("quiet").Boolean("allow-reconnect");
   return flags;
 }
 

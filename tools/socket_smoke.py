@@ -52,20 +52,36 @@ def main():
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--shards", type=int, default=1,
                         help="coordinator shard count (two-level tree)")
+    parser.add_argument("--chaos", default="none",
+                        choices=["none", "kill-shard", "kill-worker",
+                                 "reshard"],
+                        help="inject one seed-resolved failure into the "
+                             "socket run; the healthy thread run is still "
+                             "the comparison baseline, so a match proves "
+                             "zero lost detections across the failure")
+    parser.add_argument("--chaos-seed", type=int, default=3)
+    parser.add_argument("--heartbeat-timeout-ms", type=int, default=500)
     parser.add_argument("--timeout", type=float, default=240.0)
     args = parser.parse_args()
 
+    coordinator_cmd = [
+        args.dcvtool, "run",
+        "--trace", args.trace,
+        "--train-epochs", str(args.train_epochs),
+        "--virtual-time",
+        "--transport", "socket",
+        "--listen-port", "0",
+        "--threads", str(args.workers),
+        "--shards", str(args.shards),
+    ]
+    if args.chaos != "none":
+        coordinator_cmd += [
+            "--chaos", args.chaos,
+            "--chaos-seed", str(args.chaos_seed),
+            "--heartbeat-timeout-ms", str(args.heartbeat_timeout_ms),
+        ]
     coordinator = subprocess.Popen(
-        [
-            args.dcvtool, "run",
-            "--trace", args.trace,
-            "--train-epochs", str(args.train_epochs),
-            "--virtual-time",
-            "--transport", "socket",
-            "--listen-port", "0",
-            "--threads", str(args.workers),
-            "--shards", str(args.shards),
-        ],
+        coordinator_cmd,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -82,15 +98,20 @@ def main():
 
     site_workers = []
     for w in range(args.workers):
+        worker_cmd = [
+            args.dcvtool, "site-worker",
+            "--port", str(port),
+            "--worker", str(w),
+            "--workers", str(args.workers),
+            "--trace", args.trace,
+            "--train-epochs", str(args.train_epochs),
+        ]
+        if args.chaos == "kill-worker":
+            # The severed worker must redial; reconnection is opt-in on
+            # the worker side.
+            worker_cmd.append("--allow-reconnect")
         site_workers.append(subprocess.Popen(
-            [
-                args.dcvtool, "site-worker",
-                "--port", str(port),
-                "--worker", str(w),
-                "--workers", str(args.workers),
-                "--trace", args.trace,
-                "--train-epochs", str(args.train_epochs),
-            ],
+            worker_cmd,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -154,9 +175,9 @@ def main():
                  + "\n--- thread output ---\n" + thread.stdout)
 
     print("socket smoke OK: %d workers, %d shards on port %d, "
-          "%s messages, %s epochs"
+          "%s messages, %s epochs, chaos=%s"
           % (args.workers, args.shards, port, socket_values.get("messages"),
-             socket_values.get("epochs")))
+             socket_values.get("epochs"), args.chaos))
     return 0
 
 
