@@ -13,8 +13,11 @@
 //
 // --shards takes a comma list of coordinator shard counts; each is run
 // against each site count (shard counts above the site count are skipped).
-// --json writes every configuration's updates/sec and coordinator latency
-// distribution to a metrics JSON file (the BENCH_runtime.json artifact).
+// --json writes every configuration's updates/sec, coordinator latency
+// distribution, and detection-lag quantiles (p50/p95/p99 of
+// runtime/detection_lag_epochs — how far the free-running coordinator
+// trails the lockstep ground truth per poll round) to a metrics JSON file
+// (the BENCH_runtime.json artifact).
 // --transport socket runs the same workload through the TCP transport on
 // loopback (worker drivers in-process, one per worker thread), measuring
 // the framing + kernel socket overhead against the mailbox baseline.
@@ -225,6 +228,13 @@ int RunBench(const BenchConfig& config) {
       const obs::HistogramSnapshot poll_us =
           run_metrics.histogram("runtime/coordinator/poll_round_us")
               ->Snapshot();
+      // Detection lag: how many watermark epochs the free-running
+      // coordinator trails the lockstep ground truth (which detects in the
+      // trigger epoch itself) per poll round.
+      const obs::HistogramSnapshot lag =
+          run_metrics.histogram("runtime/detection_lag_epochs",
+                                obs::Histogram::ExponentialBounds(1.0, 2.0, 16))
+              ->Snapshot();
       const int threads =
           options.num_workers == 0 ? sites : options.num_workers;
       std::printf("%8d %8d %8d %14" PRId64 " %12.3f %14.0f %10" PRId64
@@ -233,6 +243,12 @@ int RunBench(const BenchConfig& config) {
                   result->elapsed_seconds, result->updates_per_second,
                   result->total_alarms, result->polled_epochs,
                   poll_us.mean());
+      if (lag.count > 0) {
+        std::printf("# detection lag (epochs): p50=%.1f p95=%.1f p99=%.1f "
+                    "over %" PRId64 " rounds\n",
+                    lag.Quantile(0.5), lag.Quantile(0.95), lag.Quantile(0.99),
+                    lag.count);
+      }
       if (result->shard_recoveries > 0) {
         std::printf("# recovered %" PRId64 " shard(s) in %.1f ms; no "
                     "updates lost\n",
@@ -256,6 +272,16 @@ int RunBench(const BenchConfig& config) {
       summary.gauge(prefix + "shard_recoveries")
           ->Set(static_cast<double>(result->shard_recoveries));
       summary.gauge(prefix + "recovery_ms")->Set(result->recovery_ms);
+      // Always emitted (0 when no poll round fired) so the JSON schema is
+      // stable across sweep shapes.
+      summary.gauge(prefix + "detection_lag_rounds")
+          ->Set(static_cast<double>(lag.count));
+      summary.gauge(prefix + "detection_lag_epochs_p50")
+          ->Set(lag.count > 0 ? lag.Quantile(0.5) : 0.0);
+      summary.gauge(prefix + "detection_lag_epochs_p95")
+          ->Set(lag.count > 0 ? lag.Quantile(0.95) : 0.0);
+      summary.gauge(prefix + "detection_lag_epochs_p99")
+          ->Set(lag.count > 0 ? lag.Quantile(0.99) : 0.0);
     }
   }
   if (!config.json_path.empty() &&

@@ -103,6 +103,69 @@ const std::vector<double>& Histogram::DefaultLatencyBoundsUs() {
   return kBounds;
 }
 
+double HistogramSnapshot::Quantile(double p) const {
+  if (count <= 0 || counts.empty()) {
+    return 0.0;
+  }
+  p = std::min(1.0, std::max(0.0, p));
+  const double target = p * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket edges: the first nonempty bucket opens at the observed min and
+    // the overflow bucket closes at the observed max, so the interpolation
+    // never reaches past real observations.
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) {
+      hi = lo;
+    }
+    const double frac = in_bucket > 0.0 ? (target - cum) / in_bucket : 0.0;
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max;
+}
+
+bool HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count > 0) {
+    min = count > 0 ? std::min(min, other.min) : other.min;
+    max = count > 0 ? std::max(max, other.max) : other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+  if (bounds != other.bounds || counts.size() != other.counts.size()) {
+    return false;  // Totals folded above; per-bucket shapes disagree.
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  return true;
+}
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other,
+                                const std::string& gauge_namespace) {
+  for (const auto& [name, v] : other.counters) {
+    counters[name] += v;
+  }
+  for (const auto& [name, v] : other.gauges) {
+    gauges[gauge_namespace.empty() ? name : gauge_namespace + "/" + name] = v;
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = h;
+    } else {
+      it->second.MergeFrom(h);
+    }
+  }
+}
+
 MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& base) const {
   MetricsSnapshot d;
   d.gauges = gauges;
@@ -144,6 +207,9 @@ void AppendHistogram(JsonWriter* w, const HistogramSnapshot& h) {
   w->Key("sum").Value(h.sum);
   w->Key("min").Value(h.min);
   w->Key("max").Value(h.max);
+  w->Key("p50").Value(h.Quantile(0.50));
+  w->Key("p95").Value(h.Quantile(0.95));
+  w->Key("p99").Value(h.Quantile(0.99));
   w->EndObject();
 }
 

@@ -49,6 +49,20 @@ struct HistogramSnapshot {
   double max = 0.0;
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Estimated p-quantile (p in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank. Bucket i spans (bounds[i-1], bounds[i]];
+  /// the first bucket's lower edge is the observed min and the overflow
+  /// bucket's upper edge is the observed max, so single-bucket and
+  /// overflow-heavy distributions interpolate against real data instead of
+  /// +/-inf. Returns 0 when the histogram is empty.
+  double Quantile(double p) const;
+
+  /// Adds `other`'s buckets into this snapshot (element-wise counts, summed
+  /// count/sum, widened min/max). Bounds must match; on mismatch the other
+  /// snapshot's totals are still folded into count/sum so nothing is lost,
+  /// but per-bucket counts are left alone. Returns false on bounds mismatch.
+  bool MergeFrom(const HistogramSnapshot& other);
 };
 
 /// Fixed-bucket histogram for latency / value distributions. Bucket i
@@ -104,8 +118,18 @@ struct MetricsSnapshot {
   /// per-segment reporting. Histogram min/max stay cumulative.
   MetricsSnapshot DiffSince(const MetricsSnapshot& base) const;
 
+  /// Folds another process's snapshot into this one: counters sum,
+  /// histograms merge bucket-wise (HistogramSnapshot::MergeFrom), and
+  /// gauges — which have no meaningful cross-process sum — are namespaced
+  /// under `gauge_namespace` + "/" + name (empty namespace keeps the raw
+  /// name, last-writer-wins). This is the coordinator-side merge for
+  /// kTelemetry frames.
+  void MergeFrom(const MetricsSnapshot& other,
+                 const std::string& gauge_namespace = "");
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {"bounds":
-  /// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M}}}
+  /// [...], "counts": [...], "count": n, "sum": s, "min": m, "max": M,
+  /// "p50": ..., "p95": ..., "p99": ...}}}
   std::string ToJson() const;
 };
 

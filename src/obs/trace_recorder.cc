@@ -1,7 +1,9 @@
 #include "obs/trace_recorder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <utility>
 
 #include "obs/json_writer.h"
 
@@ -43,6 +45,18 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "solver_solve";
     case TraceEventKind::kViolation:
       return "violation";
+    case TraceEventKind::kShardDeath:
+      return "shard_death";
+    case TraceEventKind::kShardRespawn:
+      return "shard_respawn";
+    case TraceEventKind::kLayoutRotation:
+      return "layout_rotation";
+    case TraceEventKind::kWorkerReconnect:
+      return "worker_reconnect";
+    case TraceEventKind::kFrameReplay:
+      return "frame_replay";
+    case TraceEventKind::kTelemetryFlush:
+      return "telemetry_flush";
   }
   return "?";
 }
@@ -54,14 +68,29 @@ TraceRecorder::TraceRecorder(size_t capacity)
 
 void TraceRecorder::Record(TraceEventKind kind, int64_t epoch, int32_t site,
                            int64_t value, int64_t duration_us) {
+  TraceEvent e;
+  e.kind = kind;
+  e.epoch = epoch;
+  e.site = site;
+  e.value = value;
+  e.duration_us = duration_us;
+  Record(e);
+}
+
+void TraceRecorder::Record(const TraceEvent& e) {
+  TraceEvent stamped = e;
+  if (stamped.ts_us == 0 && wall_clock_.load(std::memory_order_relaxed)) {
+    stamped.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  TraceEvent e{kind, epoch, site, value, duration_us};
   if (ring_.size() < capacity_) {
-    ring_.push_back(e);
+    ring_.push_back(stamped);
     return;
   }
   wrapped_ = true;
-  ring_[next_] = e;
+  ring_[next_] = stamped;
   next_ = (next_ + 1) % capacity_;
   ++dropped_;
 }
@@ -115,6 +144,17 @@ std::string TraceRecorder::ToJsonl() const {
     if (e.duration_us != 0) {
       w.Key("duration_us").Value(e.duration_us);
     }
+    // Distributed-trace fields are emitted only when set, so legacy
+    // single-process JSONL output is byte-identical.
+    if (e.ts_us != 0) {
+      w.Key("ts_us").Value(e.ts_us);
+    }
+    if (e.process != 0) {
+      w.Key("process").Value(static_cast<int64_t>(e.process));
+    }
+    if (e.shard >= 0) {
+      w.Key("shard").Value(static_cast<int64_t>(e.shard));
+    }
     w.EndObject();
     out += w.str();
     out += '\n';
@@ -123,17 +163,29 @@ std::string TraceRecorder::ToJsonl() const {
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  // Track layout: pid 1 throughout; tid 0 is the coordinator, tid i+1 is
-  // site i. thread_name metadata labels the tracks, thread_sort_index keeps
-  // the coordinator on top.
+  // Track layout: tid 0 is the coordinator (or the worker lane itself in a
+  // worker pid), tid i+1 is site i, and tid 1000+s is coordinator-tree
+  // shard s. Legacy single-process traces keep pid 1 throughout; a merged
+  // distributed trace (any event with a wall-clock ts_us) emits pid
+  // 1+process so Perfetto shows coordinator / worker process groups.
   const std::vector<TraceEvent> events = Events();
   int num_sites;
   {
     std::lock_guard<std::mutex> lock(mu_);
     num_sites = declared_sites_;
   }
+  bool wall_mode = false;
+  int64_t wall_base = 0;
+  int max_process = 0;
+  int max_shard = -1;
   for (const TraceEvent& e : events) {
     num_sites = std::max(num_sites, e.site + 1);
+    max_process = std::max(max_process, e.process);
+    max_shard = std::max(max_shard, e.shard);
+    if (e.ts_us != 0) {
+      wall_base = wall_mode ? std::min(wall_base, e.ts_us) : e.ts_us;
+      wall_mode = true;
+    }
   }
 
   JsonWriter w;
@@ -141,30 +193,75 @@ std::string TraceRecorder::ToChromeJson() const {
   w.Key("displayTimeUnit").Value("ms");
   w.Key("traceEvents").BeginArray();
 
-  auto metadata = [&](int64_t tid, const std::string& name, int64_t sort) {
+  auto metadata = [&](int64_t pid, int64_t tid, const std::string& name,
+                      int64_t sort) {
     w.BeginObject();
     w.Key("name").Value("thread_name");
     w.Key("ph").Value("M");
-    w.Key("pid").Value(int64_t{1});
+    w.Key("pid").Value(pid);
     w.Key("tid").Value(tid);
     w.Key("args").BeginObject().Key("name").Value(name).EndObject();
     w.EndObject();
     w.BeginObject();
     w.Key("name").Value("thread_sort_index");
     w.Key("ph").Value("M");
-    w.Key("pid").Value(int64_t{1});
+    w.Key("pid").Value(pid);
     w.Key("tid").Value(tid);
     w.Key("args").BeginObject().Key("sort_index").Value(sort).EndObject();
     w.EndObject();
   };
-  metadata(0, "coordinator", 0);
-  for (int i = 0; i < num_sites; ++i) {
-    metadata(i + 1, "site " + std::to_string(i), i + 1);
+  auto process_name = [&](int64_t pid, const std::string& name) {
+    w.BeginObject();
+    w.Key("name").Value("process_name");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(pid);
+    w.Key("tid").Value(int64_t{0});
+    w.Key("args").BeginObject().Key("name").Value(name).EndObject();
+    w.EndObject();
+  };
+
+  if (wall_mode) {
+    // Process lanes only exist in merged multi-process traces; the legacy
+    // single-process export stays byte-identical without them.
+    process_name(1, "coordinator");
+  }
+  metadata(1, 0, "coordinator", 0);
+  for (int s = 0; s <= max_shard; ++s) {
+    metadata(1, 1000 + s, "shard " + std::to_string(s), 500 + s);
+  }
+  if (wall_mode) {
+    // Merged trace: site lanes live in whichever worker pid produced their
+    // events; worker pids get their own lane plus process metadata.
+    for (int p = 1; p <= max_process; ++p) {
+      process_name(1 + p, "worker " + std::to_string(p - 1));
+      metadata(1 + p, 0, "worker " + std::to_string(p - 1), 0);
+    }
+    std::vector<std::pair<int32_t, int32_t>> seen;  // (process, site)
+    for (const TraceEvent& e : events) {
+      if (e.site < 0) {
+        continue;
+      }
+      std::pair<int32_t, int32_t> key{e.process, e.site};
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(key);
+        metadata(1 + e.process, e.site + 1,
+                 "site " + std::to_string(e.site), e.site + 1);
+      }
+    }
+  } else {
+    for (int i = 0; i < num_sites; ++i) {
+      metadata(1, i + 1, "site " + std::to_string(i), i + 1);
+    }
   }
 
   for (const TraceEvent& e : events) {
-    const int64_t tid = e.site < 0 ? 0 : e.site + 1;
-    const int64_t ts = e.epoch * 1000;  // One epoch = 1 ms = 1000 us.
+    const int64_t pid = wall_mode ? 1 + e.process : 1;
+    const int64_t tid =
+        e.site >= 0 ? e.site + 1 : (e.shard >= 0 ? 1000 + e.shard : 0);
+    // One epoch = 1 ms = 1000 us in the legacy timebase; wall mode uses
+    // microseconds since the earliest stamped event.
+    const int64_t ts =
+        e.ts_us != 0 ? e.ts_us - wall_base : e.epoch * 1000;
     w.BeginObject();
     w.Key("name").Value(TraceEventKindName(e.kind));
     w.Key("cat").Value("dcv");
@@ -176,7 +273,7 @@ std::string TraceRecorder::ToChromeJson() const {
       w.Key("s").Value("t");
     }
     w.Key("ts").Value(ts);
-    w.Key("pid").Value(int64_t{1});
+    w.Key("pid").Value(pid);
     w.Key("tid").Value(tid);
     w.Key("args")
         .BeginObject()

@@ -1,6 +1,7 @@
 #ifndef DCV_OBS_TRACE_RECORDER_H_
 #define DCV_OBS_TRACE_RECORDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -32,7 +33,14 @@ enum class TraceEventKind {
   kDegraded,             ///< Poll resolved with a substituted value.
   kSolverSolve,          ///< Threshold solver run (dur set).
   kViolation,            ///< Ground-truth violation (value = 1 if detected).
-  kLastKind = kViolation,
+  // Chaos / failure-tolerance lifecycle (runtime only; PR 6 machinery).
+  kShardDeath,           ///< Shard coordinator went silent (value = shard).
+  kShardRespawn,         ///< Replacement shard thread started (value = shard).
+  kLayoutRotation,       ///< Versioned shard layout pushed (value = version).
+  kWorkerReconnect,      ///< Worker TCP link resumed (value = worker).
+  kFrameReplay,          ///< Frames retransmitted on resume (value = count).
+  kTelemetryFlush,       ///< Worker pushed a telemetry frame (value = bytes).
+  kLastKind = kTelemetryFlush,
 };
 
 inline constexpr int kNumTraceEventKinds =
@@ -46,6 +54,11 @@ struct TraceEvent {
   int32_t site = -1;        ///< -1 = coordinator.
   int64_t value = 0;        ///< Kind-specific payload.
   int64_t duration_us = 0;  ///< Wall time for span-like events, else 0.
+  // Distributed-trace extensions (all default to the legacy single-process
+  // epoch timebase, so simulator callers are unchanged).
+  int64_t ts_us = 0;   ///< Wall-clock µs (coordinator clock); 0 = use epoch.
+  int32_t process = 0; ///< Lane: 0 = coordinator process, k+1 = worker k.
+  int32_t shard = -1;  ///< >= 0: coordinator-tree shard lane (site must be -1).
 };
 
 /// Bounded ring buffer of TraceEvents with JSONL and Chrome trace_event
@@ -62,6 +75,17 @@ class TraceRecorder {
 
   void Record(TraceEventKind kind, int64_t epoch, int32_t site = kCoordinator,
               int64_t value = 0, int64_t duration_us = 0);
+
+  /// Full-struct overload for the distributed-trace fields (wall-clock
+  /// timestamp, process lane, shard lane).
+  void Record(const TraceEvent& e);
+
+  /// Opt-in wall-clock stamping: every subsequently recorded event whose
+  /// ts_us is 0 gets the current wall time (system_clock µs) at Record
+  /// time. Off by default so single-process simulator traces keep their
+  /// epoch timebase (and byte-identical exports); the distributed runtime
+  /// enables it so merged traces line up across processes.
+  void EnableWallClock() { wall_clock_.store(true, std::memory_order_relaxed); }
 
   /// Oldest-first copy of the buffered events.
   std::vector<TraceEvent> Events() const;
@@ -83,13 +107,18 @@ class TraceRecorder {
   /// Chrome trace_event JSON (chrome://tracing / Perfetto): one named
   /// thread track per site plus a coordinator track; events with a duration
   /// become complete ("X") slices, the rest instants ("i"). Timebase: one
-  /// epoch = 1 ms, so ts = epoch * 1000 us.
+  /// epoch = 1 ms, so ts = epoch * 1000 us. When any event carries a
+  /// wall-clock ts_us (a merged distributed trace), the export switches to
+  /// wall time relative to the earliest stamped event, emits one Chrome pid
+  /// per process lane (coordinator = pid 1, worker k = pid 2+k), and gives
+  /// coordinator-tree shards their own threads within the coordinator pid.
   std::string ToChromeJson() const;
 
   Status WriteJsonl(const std::string& path) const;
   Status WriteChromeTrace(const std::string& path) const;
 
  private:
+  std::atomic<bool> wall_clock_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   size_t capacity_;

@@ -75,6 +75,11 @@ Status CoordinatorActor::Init() {
     poll_round_us_ =
         config_.metrics->histogram("runtime/coordinator/poll_round_us",
                                    obs::Histogram::DefaultLatencyBoundsUs());
+    // Epoch-scale bounds: lags are small integers (0 = resolved within the
+    // trigger epoch), but a stalled poll under chaos can reach thousands.
+    detection_lag_ = config_.metrics->histogram(
+        "runtime/detection_lag_epochs",
+        obs::Histogram::ExponentialBounds(1.0, 2.0, 16));
   }
   return OkStatus();
 }
@@ -280,10 +285,12 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
     }
   };
   std::chrono::steady_clock::time_point round_start;
+  int64_t poll_trigger_epoch = 0;  ///< Watermark when the round started.
   auto start_poll = [&]() -> Status {
     ActorMessage request;
     request.kind = ActorMsgKind::kPollRequest;
     request.epoch = std::max<int64_t>(watermark, 0);
+    poll_trigger_epoch = request.epoch;
     for (int i = 0; i < n; ++i) {
       if (!transport->Send(Envelope{kCoordinatorId, i, request})) {
         return InternalError("transport closed during poll round");
@@ -342,6 +349,13 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
           poll_outstanding = false;
           if (poll_round_us_ != nullptr) {
             poll_round_us_->Observe(static_cast<double>(ElapsedUs(round_start)));
+          }
+          if (detection_lag_ != nullptr) {
+            // Lag in watermark epochs between the triggering alarm and the
+            // round resolving (the lockstep ground truth detects at the
+            // trigger epoch itself).
+            detection_lag_->Observe(static_cast<double>(std::max<int64_t>(
+                0, std::max<int64_t>(watermark, 0) - poll_trigger_epoch)));
           }
           if (poll_dirty) {
             poll_dirty = false;
@@ -504,6 +518,14 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
           if (got[static_cast<size_t>(s)]) {
             continue;
           }
+          if (config_.recorder != nullptr) {
+            obs::TraceEvent ev;
+            ev.kind = obs::TraceEventKind::kShardDeath;
+            ev.epoch = epoch;
+            ev.shard = s;
+            ev.value = s;
+            config_.recorder->Record(ev);
+          }
           DCV_RETURN_IF_ERROR(recover(s, want));
           got[static_cast<size_t>(s)] = 1;
           --expected;
@@ -578,6 +600,13 @@ Status CoordinatorActor::RunVirtualSharded(Transport* transport,
       }
       layout = next;
       ++out->reshards;
+      if (config_.recorder != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEventKind::kLayoutRotation;
+        ev.epoch = t;
+        ev.value = static_cast<int64_t>(next.version);
+        config_.recorder->Record(ev);
+      }
       for (int s = 0; s < k; ++s) {
         if (dead[static_cast<size_t>(s)]) {
           continue;  // Inline legs read the root's `layout` directly.
@@ -787,6 +816,11 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
   bool poll_outstanding = false;
   bool poll_dirty = false;
   int partials_pending = 0;
+  // Max shard watermark seen on alarm notices / poll partials; the lag
+  // histogram measures how far it moved between a round's trigger and its
+  // resolution.
+  int64_t watermark = 0;
+  int64_t round_trigger_epoch = 0;
   int64_t round_sum = 0;
   int64_t round_min = 0;
   int64_t round_max = 0;
@@ -850,6 +884,7 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
       send_cmd(s, kick);
     }
     partials_pending = k;
+    round_trigger_epoch = watermark;
     round_sum = 0;
     round_min = std::numeric_limits<int64_t>::max();
     round_max = std::numeric_limits<int64_t>::min();
@@ -888,6 +923,11 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
       (*probe_beats)[static_cast<size_t>(msg.shard)] = 1;
       ++probe_beats_seen;
     }
+    if ((msg.kind == RootMsg::Kind::kAlarmNotice ||
+         msg.kind == RootMsg::Kind::kPollPartial) &&
+        msg.epoch > watermark) {
+      watermark = msg.epoch;
+    }
     switch (msg.kind) {
       case RootMsg::Kind::kAlarmNotice: {
         if (draining) {
@@ -919,6 +959,10 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
           if (poll_round_us_ != nullptr) {
             poll_round_us_->Observe(
                 static_cast<double>(ElapsedUs(round_start)));
+          }
+          if (detection_lag_ != nullptr) {
+            detection_lag_->Observe(static_cast<double>(
+                std::max<int64_t>(0, watermark - round_trigger_epoch)));
           }
           if (poll_min_gauge != nullptr) {
             poll_min_gauge->Set(static_cast<double>(round_min));
@@ -1018,7 +1062,23 @@ Status CoordinatorActor::RunFreeSharded(Transport* transport,
         break;
       }
       respawned[static_cast<size_t>(s)] = 1;
+      if (config_.recorder != nullptr) {
+        obs::TraceEvent death;
+        death.kind = obs::TraceEventKind::kShardDeath;
+        death.epoch = watermark;
+        death.shard = s;
+        death.value = s;
+        config_.recorder->Record(death);
+      }
       shards.emplace_back(RunShardFree, make_ctx(s, /*die_after_batches=*/-1));
+      if (config_.recorder != nullptr) {
+        obs::TraceEvent respawn;
+        respawn.kind = obs::TraceEventKind::kShardRespawn;
+        respawn.epoch = watermark;
+        respawn.shard = s;
+        respawn.value = s;
+        config_.recorder->Record(respawn);
+      }
       ++out->shard_recoveries;
       out->recovery_ms =
           std::max(out->recovery_ms,

@@ -118,6 +118,11 @@ class CoordinatorActor {
   /// for every shard count so bench_runtime can compare 1 vs k.
   obs::Histogram* epoch_us_ = nullptr;       ///< "runtime/coordinator/epoch_us".
   obs::Histogram* poll_round_us_ = nullptr;  ///< ".../poll_round_us".
+  /// Free-running detection lag: epochs (watermark units) between the
+  /// alarm that triggered a poll round and the round resolving. The
+  /// lockstep ground truth detects in the trigger epoch itself, so this is
+  /// the runtime's detection latency relative to the simulator.
+  obs::Histogram* detection_lag_ = nullptr;  ///< "runtime/detection_lag_epochs".
 };
 
 }  // namespace dcv

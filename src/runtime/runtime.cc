@@ -116,7 +116,13 @@ Result<RuntimeResult> LaunchSocket(int n, int64_t updates_per_site,
   SocketTransport::Options sopts = options.socket;
   sopts.virtual_time = options.virtual_time;
   sopts.metrics = options.metrics;
+  sopts.recorder = options.recorder;
   sopts.num_shards = options.num_shards;
+  if (options.recorder != nullptr) {
+    // Distributed run: coordinator-side events get wall timestamps so the
+    // merged Chrome trace can interleave them with worker lanes.
+    options.recorder->EnableWallClock();
+  }
   if (options.chaos.kind == ChaosKind::kKillWorker) {
     // Severing a worker link only makes sense if the fabric can heal;
     // workers must opt in on their side too (site-worker --allow-reconnect).
@@ -159,11 +165,44 @@ Result<RuntimeResult> LaunchSocket(int n, int64_t updates_per_site,
       options.virtual_time
           ? coordinator.RunVirtual(transport.get(), updates_per_site, &result)
           : coordinator.RunFree(transport.get(), &result);
+  // Each worker pushes a final cumulative telemetry frame after its run
+  // loop exits; wait for those pushes while the reader threads are still
+  // draining (Shutdown's SHUT_RDWR would race the stream tail).
+  if (run_status.ok() &&
+      (options.metrics != nullptr || options.recorder != nullptr)) {
+    transport->WaitForFinalTelemetry(/*timeout_ms=*/2000);
+  }
   // Flushes the queued kShutdown broadcast, then closes the connections
   // (workers see a clean end of stream and exit their loops).
   transport->Shutdown();
   DCV_RETURN_IF_ERROR(run_status);
   const auto t1 = std::chrono::steady_clock::now();
+
+  // Merge the telemetry plane: one document covering every process. The
+  // coordinator's registry is the base; each worker's cumulative snapshot
+  // folds in (counters sum, histograms merge, gauges namespace per worker)
+  // and its trace events land in the run recorder on the worker's lane,
+  // shifted onto the coordinator clock by the handshake-estimated offset.
+  if (options.metrics != nullptr) {
+    result.metrics = options.metrics->Snapshot();
+  }
+  for (const TelemetryFrame& f : transport->TakeWorkerTelemetry()) {
+    result.metrics.MergeFrom(f.metrics,
+                             "worker" + std::to_string(f.worker));
+    if (options.recorder != nullptr) {
+      for (const TelemetryTraceEvent& te : f.events) {
+        obs::TraceEvent ev;
+        ev.kind = static_cast<obs::TraceEventKind>(te.kind);
+        ev.epoch = te.epoch;
+        ev.site = te.site;
+        ev.value = te.value;
+        ev.duration_us = te.duration_us;
+        ev.ts_us = te.ts_us != 0 ? te.ts_us + f.clock_offset_us : 0;
+        ev.process = f.worker + 1;
+        options.recorder->Record(ev);
+      }
+    }
+  }
 
   if (options.virtual_time) {
     // Every site observes every epoch in lockstep; the actual counters live
@@ -281,6 +320,11 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
     for (const auto& s : sites) {
       result.captured_updates.push_back(s->captured_updates());
     }
+  }
+  if (options.metrics != nullptr) {
+    // Single shared registry: the "merged" document is just its snapshot,
+    // keeping the output shape identical to a socket-transport run.
+    result.metrics = options.metrics->Snapshot();
   }
   return result;
 }

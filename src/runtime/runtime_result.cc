@@ -58,6 +58,9 @@ std::string RuntimeResult::ToJson() const {
   w.Key("replayed_frames").Value(socket.replayed_frames);
   w.Key("duplicate_frames").Value(socket.duplicate_frames);
   w.EndObject();
+  if (!metrics.empty()) {
+    w.Key("metrics").Raw(metrics.ToJson());
+  }
   w.EndObject();
   return w.str();
 }

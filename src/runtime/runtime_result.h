@@ -76,8 +76,17 @@ struct RuntimeResult {
   /// reliability counters (all zero for in-process transports).
   SocketStats socket;
 
+  /// The run's merged metrics document, filled when a registry was
+  /// attached: the coordinator's own registry snapshot folded with every
+  /// worker's final kTelemetry push (counters summed, histograms merged
+  /// bucket-wise, worker gauges namespaced "workerK/..."). Thread-transport
+  /// runs fill it from the single shared registry, so the document shape is
+  /// transport-independent.
+  obs::MetricsSnapshot metrics;
+
   /// Unified telemetry export in the SimResult::ToJson style: messages,
-  /// detection tallies, reliability, and throughput in one object.
+  /// detection tallies, reliability, throughput, and (when a registry was
+  /// attached) the merged "metrics" section in one object.
   std::string ToJson() const;
 };
 

@@ -1,12 +1,61 @@
 #include "runtime/site_worker.h"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "runtime/site_actor.h"
 
 namespace dcv {
+namespace {
+
+/// Worker trace batches are bounded so a telemetry frame always fits under
+/// kMaxTelemetryPayload (each encoded event is ~40 bytes).
+constexpr size_t kMaxTelemetryEvents = 8192;
+
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+TelemetryFrame BuildTelemetryFrame(const SiteWorkerOptions& options,
+                                   SocketTransport* transport,
+                                   bool final_flush) {
+  TelemetryFrame t;
+  t.worker = options.worker;
+  t.final_flush = final_flush ? 1 : 0;
+  t.wall_time_us = WallUs();
+  t.clock_offset_us = transport->clock_offset_us();
+  if (options.metrics != nullptr) {
+    t.metrics = options.metrics->Snapshot();
+  }
+  if (options.recorder != nullptr) {
+    std::vector<obs::TraceEvent> events = options.recorder->Events();
+    const size_t start =
+        events.size() > kMaxTelemetryEvents ? events.size() - kMaxTelemetryEvents
+                                            : 0;
+    t.events.reserve(events.size() - start);
+    for (size_t i = start; i < events.size(); ++i) {
+      TelemetryTraceEvent te;
+      te.kind = static_cast<uint8_t>(events[i].kind);
+      te.epoch = events[i].epoch;
+      te.site = events[i].site;
+      te.value = events[i].value;
+      te.duration_us = events[i].duration_us;
+      te.ts_us = events[i].ts_us;
+      t.events.push_back(te);
+    }
+  }
+  return t;
+}
+
+}  // namespace
 
 Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
                                        const SiteWorkerOptions& options) {
@@ -25,8 +74,15 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
         "site worker needs an eval trace or a synthetic workload");
   }
 
+  if (options.recorder != nullptr) {
+    // Distributed run: worker events need wall timestamps so the
+    // coordinator's merged timeline can place them (after offset
+    // correction) alongside its own lanes.
+    options.recorder->EnableWallClock();
+  }
   SocketTransport::Options sopts = options.socket;
   sopts.metrics = options.metrics;
+  sopts.recorder = options.recorder;
   DCV_ASSIGN_OR_RETURN(
       std::unique_ptr<SocketTransport> transport,
       SocketTransport::Connect(options.host, options.port, options.worker,
@@ -50,6 +106,7 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
     cfg.seed = options.seed;
     cfg.synthetic_max = options.synthetic_max;
     cfg.metrics = options.metrics;
+    cfg.recorder = options.recorder;
     actors.push_back(std::make_unique<SiteActor>(cfg));
     owned.push_back(actors.back().get());
   }
@@ -99,6 +156,30 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
     }
   }
 
+  // Periodic telemetry flusher: pushes a cumulative registry snapshot (plus
+  // the recent trace-event tail) toward the coordinator. Latest-wins merge
+  // semantics make the cadence a freshness knob, not a correctness one.
+  std::mutex flush_mu;
+  std::condition_variable flush_cv;
+  bool flush_stop = false;
+  std::thread flusher;
+  if (options.telemetry_interval_ms > 0) {
+    flusher = std::thread([&] {
+      std::unique_lock<std::mutex> lock(flush_mu);
+      while (!flush_cv.wait_for(
+          lock, std::chrono::milliseconds(options.telemetry_interval_ms),
+          [&] { return flush_stop; })) {
+        lock.unlock();
+        TelemetryFrame t =
+            BuildTelemetryFrame(options, transport.get(), /*final_flush=*/false);
+        // A failed push (connection mid-resume) is harmless: the next tick
+        // or the final flush carries a fresher cumulative snapshot.
+        (void)transport->SendTelemetry(t);
+        lock.lock();
+      }
+    });
+  }
+
   if (!aborted) {
     if (report.virtual_time) {
       RunSiteWorkerVirtual(transport.get(), options.worker, owned);
@@ -106,6 +187,19 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
       RunSiteWorkerFree(transport.get(), options.worker, owned);
     }
   }
+
+  if (flusher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(flush_mu);
+      flush_stop = true;
+    }
+    flush_cv.notify_all();
+    flusher.join();
+  }
+  // Final flush: the frame the coordinator's WaitForFinalTelemetry blocks
+  // on. Sent after the run loop so it carries the complete counters.
+  (void)transport->SendTelemetry(
+      BuildTelemetryFrame(options, transport.get(), /*final_flush=*/true));
   transport->Shutdown();
 
   for (const SiteActor* s : owned) {

@@ -129,6 +129,15 @@ Result<int> ConnectOnce(const sockaddr_in& addr, int timeout_ms) {
   return fd;
 }
 
+/// Wall-clock microseconds (system_clock): the clock-offset handshake and
+/// merged-trace timestamps compare across processes, so steady_clock (an
+/// arbitrary per-process epoch) would be meaningless here.
+int64_t WallUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 size_t AutoWorkerCapacity(int num_sites, int num_workers) {
   size_t per_worker =
       (static_cast<size_t>(num_sites) + static_cast<size_t>(num_workers) - 1) /
@@ -189,15 +198,34 @@ SocketTransport::SocketTransport(Role role, int num_sites, int num_workers,
     conns_.back()->send_box =
         std::make_unique<Mailbox<Envelope>>(coordinator_capacity);
   }
+  if (role_ == Role::kCoordinator) {
+    worker_telemetry_.resize(static_cast<size_t>(num_workers));
+    worker_telemetry_valid_.assign(static_cast<size_t>(num_workers), 0);
+    worker_telemetry_final_.assign(static_cast<size_t>(num_workers), 0);
+  }
   if (options_.metrics != nullptr) {
+    // Every SocketStats field has a registry twin so --metrics-json covers
+    // the wire layer without the "socket:" side channel.
     c_frames_tx_ = options_.metrics->counter("runtime/socket/frames_tx");
     c_frames_rx_ = options_.metrics->counter("runtime/socket/frames_rx");
     c_bytes_tx_ = options_.metrics->counter("runtime/socket/bytes_tx");
     c_bytes_rx_ = options_.metrics->counter("runtime/socket/bytes_rx");
+    c_connect_attempts_ =
+        options_.metrics->counter("runtime/socket/connect_attempts");
     c_connect_retries_ =
         options_.metrics->counter("runtime/socket/connect_retries");
+    c_accept_timeouts_ =
+        options_.metrics->counter("runtime/socket/accept_timeouts");
+    c_decode_errors_ =
+        options_.metrics->counter("runtime/socket/decode_errors");
     c_disconnects_ = options_.metrics->counter("runtime/socket/disconnects");
+    c_truncated_frames_ =
+        options_.metrics->counter("runtime/socket/truncated_frames");
     c_reconnects_ = options_.metrics->counter("runtime/socket/reconnects");
+    c_replayed_frames_ =
+        options_.metrics->counter("runtime/socket/replayed_frames");
+    c_duplicate_frames_ =
+        options_.metrics->counter("runtime/socket/duplicate_frames");
   }
 }
 
@@ -275,6 +303,7 @@ Status SocketTransport::AcceptWorkers() {
     }
     if (rc <= 0) {
       accept_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_accept_timeouts_, 1);
       return reject_all(ResourceExhaustedError(
           "timed out waiting for worker connections (" +
           std::to_string(num_workers_ - pending) + " of " +
@@ -289,6 +318,7 @@ Status SocketTransport::AcceptWorkers() {
 
     FrameReader reader;
     auto frame = ReadFrame(fd, options_.io_timeout_ms, &reader);
+    const int64_t t2 = WallUs();  // Hello receive time (clock-offset t2).
     std::string reply;
     HelloAckFrame ack;
     ack.num_sites = num_sites_;
@@ -320,6 +350,11 @@ Status SocketTransport::AcceptWorkers() {
       }
     }
     ack.ok = verdict.ok() ? 1 : 0;
+    if (frame.ok() && frame->type == FrameType::kHello) {
+      ack.t1_us = frame->hello.t1_us;
+    }
+    ack.t2_us = t2;
+    ack.t3_us = WallUs();
     AppendHelloAckFrame(ack, &reply);
     WriteAll(fd, reply.data(), reply.size());
     if (!verdict.ok()) {
@@ -371,6 +406,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
       backoff = std::min(backoff * 2, 2000);
     }
     transport->connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    DCV_OBS_COUNT(transport->c_connect_attempts_, 1);
     auto attempt_fd = ConnectOnce(addr, options.connect_timeout_ms);
     if (attempt_fd.ok()) {
       fd = *attempt_fd;
@@ -391,6 +427,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
   hello.worker = worker;
   hello.num_workers = num_workers;
   hello.num_sites = num_sites;
+  hello.t1_us = WallUs();
   std::string out;
   AppendHelloFrame(hello, &out);
   if (!WriteAll(fd, out.data(), out.size())) {
@@ -399,6 +436,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
   }
   FrameReader reader;
   auto ack = ReadFrame(fd, options.io_timeout_ms, &reader);
+  const int64_t t4 = WallUs();  // Ack receive time (clock-offset t4).
   if (!ack.ok()) {
     ::close(fd);
     return ack.status();
@@ -414,6 +452,14 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
         "worker)");
   }
   transport->virtual_time_ = ack->hello_ack.virtual_time != 0;
+  if (ack->hello_ack.t2_us != 0) {
+    // NTP-style offset: assuming symmetric one-way delays, the coordinator
+    // clock reads (t2 - t1 + t3 - t4) / 2 ahead of the worker clock.
+    const HelloAckFrame& a = ack->hello_ack;
+    transport->clock_offset_us_.store(
+        ((a.t2_us - hello.t1_us) + (a.t3_us - t4)) / 2,
+        std::memory_order_relaxed);
+  }
   // TCP can coalesce the ack with the coordinator's first data frames
   // (e.g. the initial threshold sync); hand the tail to the reader thread.
   transport->StartConnection(0, fd, reader.TakeBuffered());
@@ -449,6 +495,7 @@ void SocketTransport::ReaderLoop(size_t index) {
       auto r = reader.Next(&frame);
       if (!r.ok()) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_decode_errors_, 1);
         return false;
       }
       if (!*r) {
@@ -457,6 +504,7 @@ void SocketTransport::ReaderLoop(size_t index) {
       if (frame.type == FrameType::kLayoutUpdate) {
         if (role_ != Role::kWorker) {
           decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          DCV_OBS_COUNT(c_decode_errors_, 1);
           continue;
         }
         // Adopt the pushed layout version and ack it (the coordinator's
@@ -476,6 +524,7 @@ void SocketTransport::ReaderLoop(size_t index) {
       if (frame.type == FrameType::kLayoutAck) {
         if (role_ != Role::kCoordinator) {
           decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          DCV_OBS_COUNT(c_decode_errors_, 1);
           continue;
         }
         {
@@ -485,8 +534,32 @@ void SocketTransport::ReaderLoop(size_t index) {
         layout_cv_.notify_all();
         continue;
       }
+      if (frame.type == FrameType::kTelemetry) {
+        if (role_ != Role::kCoordinator || frame.telemetry.worker < 0 ||
+            frame.telemetry.worker >= num_workers_) {
+          decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          DCV_OBS_COUNT(c_decode_errors_, 1);
+          continue;
+        }
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_frames_rx_, 1);
+        // Snapshots are cumulative, so latest-wins per worker: overwrite
+        // the slot and remember whether the worker's shutdown flush landed.
+        const size_t slot = static_cast<size_t>(frame.telemetry.worker);
+        {
+          std::lock_guard<std::mutex> lock(telemetry_mu_);
+          worker_telemetry_[slot] = std::move(frame.telemetry);
+          worker_telemetry_valid_[slot] = 1;
+          if (worker_telemetry_[slot].final_flush != 0) {
+            worker_telemetry_final_[slot] = 1;
+          }
+        }
+        telemetry_cv_.notify_all();
+        continue;
+      }
       if (frame.type != FrameType::kEnvelope) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        DCV_OBS_COUNT(c_decode_errors_, 1);
         continue;  // Stray handshake frame mid-run; drop it.
       }
       // Sequence dedup: a resume replays the suffix the peer thinks we
@@ -495,6 +568,7 @@ void SocketTransport::ReaderLoop(size_t index) {
       if (frame.seq != 0) {
         if (frame.seq <= c.last_seq_received.load(std::memory_order_relaxed)) {
           duplicate_frames_.fetch_add(1, std::memory_order_relaxed);
+          DCV_OBS_COUNT(c_duplicate_frames_, 1);
           continue;
         }
         c.last_seq_received.store(frame.seq, std::memory_order_relaxed);
@@ -508,6 +582,7 @@ void SocketTransport::ReaderLoop(size_t index) {
         // it like any other malformed frame.
         if (frame.envelope.from < 0 || frame.envelope.from >= num_sites_) {
           decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          DCV_OBS_COUNT(c_decode_errors_, 1);
           continue;
         }
         inbox = static_cast<size_t>(ShardOf(frame.envelope.from));
@@ -561,6 +636,7 @@ void SocketTransport::ReaderLoop(size_t index) {
       // failure mode from both a clean end and a decode error. The partial
       // bytes are discarded; a resume replays the full frame.
       truncated_frames_.fetch_add(1, std::memory_order_relaxed);
+      DCV_OBS_COUNT(c_truncated_frames_, 1);
       clean = false;
     }
     const bool down = shutting_down_.load(std::memory_order_relaxed);
@@ -709,8 +785,16 @@ bool SocketTransport::InstallResumedFd(Connection* c, int fd,
     return false;
   }
   replayed_frames_.fetch_add(replayed, std::memory_order_relaxed);
+  DCV_OBS_COUNT(c_replayed_frames_, replayed);
   bytes_sent_.fetch_add(static_cast<int64_t>(replay.size()),
                         std::memory_order_relaxed);
+  if (replayed > 0 && options_.recorder != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kFrameReplay;
+    ev.value = replayed;
+    ev.ts_us = WallUs();
+    options_.recorder->Record(ev);
+  }
   {
     std::lock_guard<std::mutex> lock(c->mu);
     if (c->fd >= 0 && c->fd != fd) {
@@ -732,6 +816,7 @@ bool SocketTransport::TryWorkerResume(Connection* c, std::string* residual) {
     return false;
   }
   connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+  DCV_OBS_COUNT(c_connect_attempts_, 1);
   auto fd = ConnectOnce(addr, options_.connect_timeout_ms);
   if (!fd.ok()) {
     return false;
@@ -747,6 +832,7 @@ bool SocketTransport::TryWorkerResume(Connection* c, std::string* residual) {
     hello.generation = c->generation + 1;
   }
   hello.last_seq_received = c->last_seq_received.load(std::memory_order_relaxed);
+  hello.t1_us = WallUs();
   std::string out;
   AppendHelloFrame(hello, &out);
   if (!WriteAll(*fd, out.data(), out.size())) {
@@ -755,10 +841,17 @@ bool SocketTransport::TryWorkerResume(Connection* c, std::string* residual) {
   }
   FrameReader hs;
   auto ack = ReadFrame(*fd, options_.io_timeout_ms, &hs);
+  const int64_t t4 = WallUs();
   if (!ack.ok() || ack->type != FrameType::kHelloAck ||
       ack->hello_ack.ok == 0) {
     ::close(*fd);
     return false;
+  }
+  if (ack->hello_ack.t2_us != 0) {
+    // Refresh the clock-offset estimate on every resume handshake.
+    const HelloAckFrame& a = ack->hello_ack;
+    clock_offset_us_.store(((a.t2_us - hello.t1_us) + (a.t3_us - t4)) / 2,
+                           std::memory_order_relaxed);
   }
   if (!InstallResumedFd(c, *fd, hello.generation,
                         ack->hello_ack.last_seq_received, hs.TakeBuffered())) {
@@ -797,6 +890,13 @@ bool SocketTransport::AwaitResume(size_t index, uint32_t seen_gen,
       if (TryWorkerResume(&c, residual)) {
         reconnects_.fetch_add(1, std::memory_order_relaxed);
         DCV_OBS_COUNT(c_reconnects_, 1);
+        if (options_.recorder != nullptr) {
+          obs::TraceEvent ev;
+          ev.kind = obs::TraceEventKind::kWorkerReconnect;
+          ev.value = worker_;
+          ev.ts_us = WallUs();
+          options_.recorder->Record(ev);
+        }
         return true;
       }
       connect_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -839,6 +939,7 @@ void SocketTransport::AcceptorLoop() {
     const int handshake_ms =
         std::min(options_.io_timeout_ms, options_.reconnect_window_ms);
     auto frame = ReadFrame(fd, handshake_ms, &hs);
+    const int64_t t2 = WallUs();
     HelloAckFrame ack;
     ack.num_sites = num_sites_;
     ack.num_workers = num_workers_;
@@ -864,6 +965,11 @@ void SocketTransport::AcceptorLoop() {
           c->last_seq_received.load(std::memory_order_relaxed);
     }
     ack.ok = ok ? 1 : 0;
+    if (frame.ok() && frame->type == FrameType::kHello) {
+      ack.t1_us = frame->hello.t1_us;
+    }
+    ack.t2_us = t2;
+    ack.t3_us = WallUs();
     std::string reply;
     AppendHelloAckFrame(ack, &reply);
     if (!WriteAll(fd, reply.data(), reply.size()) || !ok) {
@@ -878,6 +984,13 @@ void SocketTransport::AcceptorLoop() {
     }
     reconnects_.fetch_add(1, std::memory_order_relaxed);
     DCV_OBS_COUNT(c_reconnects_, 1);
+    if (options_.recorder != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEventKind::kWorkerReconnect;
+      ev.value = frame->hello.worker;
+      ev.ts_us = WallUs();
+      options_.recorder->Record(ev);
+    }
   }
 }
 
@@ -1028,6 +1141,61 @@ Status SocketTransport::InjectPeerFailure(int worker) {
   return OkStatus();
 }
 
+Status SocketTransport::SendTelemetry(const TelemetryFrame& t) {
+  if (role_ != Role::kWorker) {
+    return FailedPreconditionError("telemetry flows worker -> coordinator");
+  }
+  std::string bytes;
+  DCV_RETURN_IF_ERROR(AppendTelemetryFrame(t, &bytes));
+  // Telemetry bypasses the envelope queue and replay ring (the same
+  // direct-write path UpdateLayout uses): frames are unsequenced cumulative
+  // snapshots, so a resume never needs to replay them and dedup can never
+  // double-count them.
+  Connection& c = *conns_[0];
+  std::lock_guard<std::mutex> wl(c.write_mu);
+  if (c.fd < 0 || !WriteAll(c.fd, bytes.data(), bytes.size())) {
+    return InternalError("telemetry push failed (connection down)");
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(static_cast<int64_t>(bytes.size()),
+                        std::memory_order_relaxed);
+  DCV_OBS_COUNT(c_frames_tx_, 1);
+  DCV_OBS_COUNT(c_bytes_tx_, static_cast<int64_t>(bytes.size()));
+  return OkStatus();
+}
+
+std::vector<TelemetryFrame> SocketTransport::TakeWorkerTelemetry() {
+  std::vector<TelemetryFrame> out;
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  for (size_t w = 0; w < worker_telemetry_.size(); ++w) {
+    if (worker_telemetry_valid_[w] != 0) {
+      out.push_back(std::move(worker_telemetry_[w]));
+      worker_telemetry_[w] = TelemetryFrame{};
+      worker_telemetry_valid_[w] = 0;
+    }
+  }
+  return out;
+}
+
+bool SocketTransport::WaitForFinalTelemetry(int timeout_ms) {
+  if (role_ != Role::kCoordinator) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  return telemetry_cv_.wait_for(
+      lock, std::chrono::milliseconds(std::max(0, timeout_ms)), [&] {
+        if (shutting_down_.load(std::memory_order_relaxed)) {
+          return true;
+        }
+        for (uint8_t f : worker_telemetry_final_) {
+          if (f == 0) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
 void SocketTransport::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (shutdown_done_) {
@@ -1040,6 +1208,7 @@ void SocketTransport::Shutdown() {
     c->cv.notify_all();
   }
   layout_cv_.notify_all();
+  telemetry_cv_.notify_all();
   if (acceptor_.joinable()) {
     acceptor_.join();
   }

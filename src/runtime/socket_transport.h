@@ -85,6 +85,9 @@ class SocketTransport : public Transport {
     size_t replay_capacity = 4096;   ///< Sent-frame ring per connection.
 
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional distributed-trace sink: reconnect/replay lifecycle events
+    /// are recorded here with wall-clock timestamps.
+    obs::TraceRecorder* recorder = nullptr;
   };
 
   /// Coordinator role: binds and listens on `port` (0 = ephemeral; see
@@ -121,6 +124,31 @@ class SocketTransport : public Transport {
   }
 
   SocketStats stats() const;
+
+  /// Worker role: estimated coordinator-minus-worker wall-clock offset in
+  /// microseconds, from the NTP-style Hello/HelloAck timestamps (refreshed
+  /// on every resume handshake). 0 until a handshake completes.
+  int64_t clock_offset_us() const {
+    return clock_offset_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker role: serializes and sends a telemetry snapshot directly on the
+  /// connection (outside the envelope send queue — telemetry is unsequenced
+  /// and must never enter the replay ring). Safe to call concurrently with
+  /// envelope traffic; fails if the connection is down (the next push or the
+  /// final flush supersedes a lost snapshot anyway).
+  Status SendTelemetry(const TelemetryFrame& t);
+
+  /// Coordinator role: latest telemetry frame received from each worker
+  /// (cumulative snapshots, so only the newest matters). Entries are
+  /// returned worker-ascending; workers that never pushed are absent.
+  std::vector<TelemetryFrame> TakeWorkerTelemetry();
+
+  /// Coordinator role: blocks until every worker's final_flush telemetry
+  /// frame has arrived or `timeout_ms` elapses. Call after the protocol
+  /// run completes and before Shutdown(), so the reader threads are still
+  /// consuming the stream tail. Returns false on timeout.
+  bool WaitForFinalTelemetry(int timeout_ms);
 
   int num_sites() const override { return num_sites_; }
   int num_workers() const override { return num_workers_; }
@@ -258,6 +286,16 @@ class SocketTransport : public Transport {
   std::mutex shutdown_mu_;
   bool shutdown_done_ = false;
 
+  /// Coordinator role: latest-wins telemetry store, one slot per worker.
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  std::vector<TelemetryFrame> worker_telemetry_;
+  std::vector<uint8_t> worker_telemetry_valid_;
+  std::vector<uint8_t> worker_telemetry_final_;
+
+  /// Worker role: handshake-estimated clock offset (coordinator - worker).
+  std::atomic<int64_t> clock_offset_us_{0};
+
   // Wire-level counters (stats() snapshot + optional obs mirror).
   std::atomic<int64_t> frames_sent_{0};
   std::atomic<int64_t> frames_received_{0};
@@ -276,9 +314,15 @@ class SocketTransport : public Transport {
   obs::Counter* c_frames_rx_ = nullptr;
   obs::Counter* c_bytes_tx_ = nullptr;
   obs::Counter* c_bytes_rx_ = nullptr;
+  obs::Counter* c_connect_attempts_ = nullptr;
   obs::Counter* c_connect_retries_ = nullptr;
+  obs::Counter* c_accept_timeouts_ = nullptr;
+  obs::Counter* c_decode_errors_ = nullptr;
   obs::Counter* c_disconnects_ = nullptr;
+  obs::Counter* c_truncated_frames_ = nullptr;
   obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_replayed_frames_ = nullptr;
+  obs::Counter* c_duplicate_frames_ = nullptr;
 };
 
 }  // namespace dcv

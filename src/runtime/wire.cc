@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 namespace dcv {
 namespace {
@@ -31,6 +32,19 @@ void PutU64(uint64_t v, std::string* out) {
 
 void PutI64(int64_t v, std::string* out) {
   PutU64(static_cast<uint64_t>(v), out);
+}
+
+void PutF64(double v, std::string* out) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Length-prefixed UTF-8/opaque bytes (metric names).
+void PutStr(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
 }
 
 /// Cursor over a received payload; all Get* fail softly by flagging
@@ -72,6 +86,22 @@ struct Cursor {
     return v;
   }
   int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!ok || pos + n > len) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
 };
 
 /// Reserves the 4-byte length prefix, returns its offset for patching.
@@ -115,6 +145,7 @@ void AppendHelloFrame(const HelloFrame& h, std::string* out) {
   PutI32(h.num_sites, out);
   PutU32(h.generation, out);
   PutU64(h.last_seq_received, out);
+  PutI64(h.t1_us, out);
   EndFrame(at, out);
 }
 
@@ -129,6 +160,9 @@ void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out) {
   PutI32(a.num_workers, out);
   PutU32(a.generation, out);
   PutU64(a.last_seq_received, out);
+  PutI64(a.t1_us, out);
+  PutI64(a.t2_us, out);
+  PutI64(a.t3_us, out);
   EndFrame(at, out);
 }
 
@@ -151,6 +185,63 @@ void AppendLayoutAckFrame(const LayoutAckFrame& a, std::string* out) {
   PutU8(static_cast<uint8_t>(FrameType::kLayoutAck), out);
   PutU32(a.version, out);
   EndFrame(at, out);
+}
+
+Status AppendTelemetryFrame(const TelemetryFrame& t, std::string* out) {
+  std::string frame;
+  size_t at = BeginFrame(&frame);
+  PutU8(kWireVersion, &frame);
+  PutU8(static_cast<uint8_t>(FrameType::kTelemetry), &frame);
+  PutI32(t.worker, &frame);
+  PutU8(t.final_flush, &frame);
+  PutI64(t.wall_time_us, &frame);
+  PutI64(t.clock_offset_us, &frame);
+  PutU32(static_cast<uint32_t>(t.metrics.counters.size()), &frame);
+  for (const auto& [name, v] : t.metrics.counters) {
+    PutStr(name, &frame);
+    PutI64(v, &frame);
+  }
+  PutU32(static_cast<uint32_t>(t.metrics.gauges.size()), &frame);
+  for (const auto& [name, v] : t.metrics.gauges) {
+    PutStr(name, &frame);
+    PutF64(v, &frame);
+  }
+  PutU32(static_cast<uint32_t>(t.metrics.histograms.size()), &frame);
+  for (const auto& [name, h] : t.metrics.histograms) {
+    if (h.counts.size() != h.bounds.size() + 1) {
+      return InvalidArgumentError("telemetry histogram '" + name +
+                                  "' has inconsistent bucket shape");
+    }
+    PutStr(name, &frame);
+    PutU32(static_cast<uint32_t>(h.bounds.size()), &frame);
+    for (double b : h.bounds) {
+      PutF64(b, &frame);
+    }
+    for (int64_t c : h.counts) {
+      PutI64(c, &frame);
+    }
+    PutI64(h.count, &frame);
+    PutF64(h.sum, &frame);
+    PutF64(h.min, &frame);
+    PutF64(h.max, &frame);
+  }
+  PutU32(static_cast<uint32_t>(t.events.size()), &frame);
+  for (const TelemetryTraceEvent& e : t.events) {
+    PutU8(e.kind, &frame);
+    PutI64(e.epoch, &frame);
+    PutI32(e.site, &frame);
+    PutI64(e.value, &frame);
+    PutI64(e.duration_us, &frame);
+    PutI64(e.ts_us, &frame);
+  }
+  EndFrame(at, &frame);
+  if (frame.size() - 4 > kMaxTelemetryPayload) {
+    return InvalidArgumentError(
+        "telemetry frame payload " + std::to_string(frame.size() - 4) +
+        " exceeds kMaxTelemetryPayload; trim the trace-event batch");
+  }
+  out->append(frame);
+  return OkStatus();
 }
 
 Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
@@ -194,6 +285,7 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       frame.hello.num_sites = c.I32();
       frame.hello.generation = c.U32();
       frame.hello.last_seq_received = c.U64();
+      frame.hello.t1_us = c.I64();
       if (!c.ok || c.pos != len) {
         return InvalidArgumentError("malformed hello frame body");
       }
@@ -211,6 +303,9 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       frame.hello_ack.num_workers = c.I32();
       frame.hello_ack.generation = c.U32();
       frame.hello_ack.last_seq_received = c.U64();
+      frame.hello_ack.t1_us = c.I64();
+      frame.hello_ack.t2_us = c.I64();
+      frame.hello_ack.t3_us = c.I64();
       if (!c.ok || c.pos != len) {
         return InvalidArgumentError("malformed hello-ack frame body");
       }
@@ -258,6 +353,83 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
       }
       return frame;
     }
+    case FrameType::kTelemetry: {
+      frame.type = FrameType::kTelemetry;
+      TelemetryFrame& t = frame.telemetry;
+      t.worker = c.I32();
+      t.final_flush = c.U8();
+      t.wall_time_us = c.I64();
+      t.clock_offset_us = c.I64();
+      // Every element count is validated against the bytes actually left in
+      // the payload (8 = smallest possible element) so a corrupt count
+      // can't force an unbounded allocation.
+      auto plausible = [&](uint32_t n) {
+        return c.ok && static_cast<size_t>(n) <= (len - c.pos) / 8;
+      };
+      uint32_t n_counters = c.U32();
+      if (!plausible(n_counters)) {
+        return InvalidArgumentError("malformed telemetry counter table");
+      }
+      for (uint32_t i = 0; i < n_counters && c.ok; ++i) {
+        std::string name = c.Str();
+        t.metrics.counters[std::move(name)] = c.I64();
+      }
+      uint32_t n_gauges = c.U32();
+      if (!plausible(n_gauges)) {
+        return InvalidArgumentError("malformed telemetry gauge table");
+      }
+      for (uint32_t i = 0; i < n_gauges && c.ok; ++i) {
+        std::string name = c.Str();
+        t.metrics.gauges[std::move(name)] = c.F64();
+      }
+      uint32_t n_histograms = c.U32();
+      if (!plausible(n_histograms)) {
+        return InvalidArgumentError("malformed telemetry histogram table");
+      }
+      for (uint32_t i = 0; i < n_histograms && c.ok; ++i) {
+        std::string name = c.Str();
+        obs::HistogramSnapshot h;
+        uint32_t n_bounds = c.U32();
+        if (!plausible(n_bounds)) {
+          return InvalidArgumentError("malformed telemetry histogram bounds");
+        }
+        h.bounds.resize(n_bounds);
+        for (double& b : h.bounds) {
+          b = c.F64();
+        }
+        h.counts.resize(static_cast<size_t>(n_bounds) + 1);
+        for (int64_t& cnt : h.counts) {
+          cnt = c.I64();
+        }
+        h.count = c.I64();
+        h.sum = c.F64();
+        h.min = c.F64();
+        h.max = c.F64();
+        t.metrics.histograms[std::move(name)] = std::move(h);
+      }
+      uint32_t n_events = c.U32();
+      if (!plausible(n_events)) {
+        return InvalidArgumentError("malformed telemetry event batch");
+      }
+      t.events.resize(n_events);
+      for (TelemetryTraceEvent& e : t.events) {
+        e.kind = c.U8();
+        e.epoch = c.I64();
+        e.site = c.I32();
+        e.value = c.I64();
+        e.duration_us = c.I64();
+        e.ts_us = c.I64();
+        if (c.ok && e.kind > static_cast<uint8_t>(
+                                 obs::TraceEventKind::kLastKind)) {
+          return InvalidArgumentError("invalid telemetry trace-event kind " +
+                                      std::to_string(e.kind));
+        }
+      }
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed telemetry frame body");
+      }
+      return frame;
+    }
   }
   return InvalidArgumentError("unknown frame type " + std::to_string(type));
 }
@@ -275,10 +447,24 @@ Result<bool> FrameReader::Next(WireFrame* out) {
   for (int i = 0; i < 4; ++i) {
     payload |= static_cast<uint32_t>(base[i]) << (8 * i);
   }
-  if (payload > kMaxFramePayload) {
+  if (payload > kMaxTelemetryPayload) {
+    // No frame type is ever this big: fail fast on the length alone, no
+    // need to wait for more bytes of a corrupt stream.
     return InvalidArgumentError("oversized frame payload (" +
                                 std::to_string(payload) +
                                 " bytes): corrupt stream");
+  }
+  if (payload > kMaxFramePayload) {
+    // Only telemetry frames may exceed the data-frame cap; peek the type
+    // byte (offset 5: length(4) + version(1)) before trusting the length.
+    if (buffer_.size() - pos_ < 6) {
+      return false;  // Need the version+type bytes to judge the length.
+    }
+    if (base[5] != static_cast<uint8_t>(FrameType::kTelemetry)) {
+      return InvalidArgumentError("oversized frame payload (" +
+                                  std::to_string(payload) +
+                                  " bytes): corrupt stream");
+    }
   }
   if (buffer_.size() - pos_ < 4 + static_cast<size_t>(payload)) {
     return false;

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "runtime/actor_message.h"
 
 namespace dcv {
@@ -28,8 +30,18 @@ namespace dcv {
 // reconnect), hellos carry a generation counter (fences stale connections)
 // plus the receiver's high-water mark (tells the peer where to resume),
 // and kLayoutUpdate/kLayoutAck carry versioned shard-layout pushes.
+//
+// Version 3 adds the distributed telemetry plane: the Hello/HelloAck
+// handshake carries NTP-style wall-clock timestamps (t1 worker send, t2
+// coordinator receive, t3 coordinator send) so the worker can estimate its
+// clock offset from the coordinator, and kTelemetry frames carry a full
+// serialized metrics-registry snapshot plus a batch of wall-stamped trace
+// events from a worker process. Telemetry frames are unsequenced (seq 0,
+// cumulative latest-wins snapshots), so reconnect replay/dedup never
+// double-counts them, and they alone may exceed kMaxFramePayload (up to
+// kMaxTelemetryPayload).
 
-inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Handshake magic ("DCVS"): rejects a non-dcv peer on byte one of the
 /// hello body instead of mid-run.
@@ -39,6 +51,12 @@ inline constexpr uint32_t kWireMagic = 0x53564344;
 /// boundary. The cap exists purely to bound damage from a corrupt length
 /// prefix.
 inline constexpr uint32_t kMaxFramePayload = 4096;
+
+/// kTelemetry frames carry whole registry snapshots (name strings, bucket
+/// arrays, trace-event batches) and get their own, larger cap. The frame
+/// type is peeked before accepting an over-kMaxFramePayload length so a
+/// corrupt prefix still can't force a large allocation for data frames.
+inline constexpr uint32_t kMaxTelemetryPayload = 1u << 20;
 
 /// Upper bound on shard boundaries a kLayoutUpdate may carry (fits well
 /// under kMaxFramePayload and far exceeds any real coordinator tree).
@@ -50,6 +68,7 @@ enum class FrameType : uint8_t {
   kHelloAck = 2,      ///< Coordinator -> worker, handshake verdict + mode.
   kLayoutUpdate = 3,  ///< Coordinator -> worker, versioned shard layout.
   kLayoutAck = 4,     ///< Worker -> coordinator, layout version adopted.
+  kTelemetry = 5,     ///< Worker -> coordinator, metrics + trace snapshot.
 };
 
 /// Worker self-identification, sent once per connection. `generation`
@@ -65,6 +84,7 @@ struct HelloFrame {
   int32_t num_sites = 0;
   uint32_t generation = 0;
   uint64_t last_seq_received = 0;
+  int64_t t1_us = 0;  ///< Worker wall clock (µs) when the hello was sent.
 };
 
 /// Coordinator's handshake reply. `ok == 0` means the hello was rejected
@@ -79,6 +99,9 @@ struct HelloAckFrame {
   int32_t num_workers = 0;
   uint32_t generation = 0;
   uint64_t last_seq_received = 0;
+  int64_t t1_us = 0;  ///< Echo of the hello's t1 (lets the worker match).
+  int64_t t2_us = 0;  ///< Coordinator wall clock when the hello arrived.
+  int64_t t3_us = 0;  ///< Coordinator wall clock when this ack was sent.
 };
 
 /// A versioned site->shard assignment push (contiguous ranges: shard s owns
@@ -96,6 +119,31 @@ struct LayoutAckFrame {
   uint32_t version = 0;
 };
 
+/// One worker trace event inside a telemetry frame. Timestamps are in the
+/// worker's own clock; the coordinator applies the frame's clock offset
+/// when merging into the run-wide recorder.
+struct TelemetryTraceEvent {
+  uint8_t kind = 0;  ///< obs::TraceEventKind, validated on decode.
+  int64_t epoch = 0;
+  int32_t site = -1;
+  int64_t value = 0;
+  int64_t duration_us = 0;
+  int64_t ts_us = 0;  ///< Worker wall clock (µs); 0 = unstamped.
+};
+
+/// A worker's cumulative telemetry snapshot: the full metrics registry
+/// (counters/gauges/histograms) plus a bounded batch of trace events.
+/// Cumulative + latest-wins per worker, so resending after a reconnect is
+/// idempotent on the coordinator.
+struct TelemetryFrame {
+  int32_t worker = 0;
+  uint8_t final_flush = 0;      ///< 1 on the shutdown push.
+  int64_t wall_time_us = 0;     ///< Worker wall clock at serialization.
+  int64_t clock_offset_us = 0;  ///< Coordinator clock - worker clock (est.).
+  obs::MetricsSnapshot metrics;
+  std::vector<TelemetryTraceEvent> events;
+};
+
 /// One decoded frame; `type` selects which member is meaningful.
 struct WireFrame {
   FrameType type = FrameType::kEnvelope;
@@ -105,6 +153,7 @@ struct WireFrame {
   HelloAckFrame hello_ack;
   LayoutFrame layout;
   LayoutAckFrame layout_ack;
+  TelemetryFrame telemetry;
 };
 
 /// Append the length-prefixed encoding of a frame to `out`. `seq` is the
@@ -116,6 +165,11 @@ void AppendHelloFrame(const HelloFrame& h, std::string* out);
 void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out);
 void AppendLayoutFrame(const LayoutFrame& l, std::string* out);
 void AppendLayoutAckFrame(const LayoutAckFrame& a, std::string* out);
+
+/// Serializes a telemetry frame. Fails (kInvalidArgument) if the encoded
+/// payload would exceed kMaxTelemetryPayload — callers should trim the
+/// trace-event batch and retry rather than silently truncating metrics.
+Status AppendTelemetryFrame(const TelemetryFrame& t, std::string* out);
 
 /// Decodes one payload (the bytes after the length prefix). Fails on short
 /// bodies, unknown frame types, version or magic mismatches, and invalid

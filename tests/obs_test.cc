@@ -74,6 +74,127 @@ TEST(HistogramTest, ExponentialBounds) {
   EXPECT_DOUBLE_EQ(b[3], 8.0);
 }
 
+TEST(HistogramQuantileTest, EmptySnapshotReturnsZero) {
+  Histogram h({10.0, 20.0});
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesBetweenMinAndMax) {
+  // All observations land in one finite bucket: the interpolation range is
+  // clamped to [min, max], not the bucket's nominal [0, 100] span.
+  Histogram h({100.0});
+  h.Observe(40.0);
+  h.Observe(60.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_GE(s.Quantile(0.5), 40.0);
+  EXPECT_LE(s.Quantile(0.5), 60.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 60.0);
+  // Out-of-range p is clamped, not UB.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.5), s.Quantile(1.0));
+  EXPECT_GE(s.Quantile(-0.5), 40.0);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketClosesAtObservedMax) {
+  Histogram h({10.0});
+  h.Observe(5.0);
+  h.Observe(1000.0);  // Overflow bucket.
+  h.Observe(2000.0);  // Overflow bucket.
+  HistogramSnapshot s = h.Snapshot();
+  // High quantiles interpolate inside [bounds.back(), max], never past the
+  // largest real observation.
+  EXPECT_LE(s.Quantile(0.99), 2000.0);
+  EXPECT_GE(s.Quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 2000.0);
+}
+
+TEST(HistogramQuantileTest, MedianLandsInTheRightBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(5.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(25.0);
+  }
+  HistogramSnapshot s = h.Snapshot();
+  // p25 is inside the first bucket, p75 inside the third.
+  EXPECT_LE(s.Quantile(0.25), 10.0);
+  double p75 = s.Quantile(0.75);
+  EXPECT_GE(p75, 20.0);
+  EXPECT_LE(p75, 30.0);
+}
+
+TEST(HistogramSnapshotTest, MergeFromAddsBucketsAndWidensMinMax) {
+  Histogram a({10.0, 20.0});
+  Histogram b({10.0, 20.0});
+  a.Observe(5.0);
+  a.Observe(15.0);
+  b.Observe(15.0);
+  b.Observe(25.0);
+  HistogramSnapshot sa = a.Snapshot();
+  ASSERT_TRUE(sa.MergeFrom(b.Snapshot()));
+  EXPECT_EQ(sa.count, 4);
+  EXPECT_DOUBLE_EQ(sa.sum, 60.0);
+  EXPECT_DOUBLE_EQ(sa.min, 5.0);
+  EXPECT_DOUBLE_EQ(sa.max, 25.0);
+  ASSERT_EQ(sa.counts.size(), 3u);
+  EXPECT_EQ(sa.counts[0], 1);
+  EXPECT_EQ(sa.counts[1], 2);
+  EXPECT_EQ(sa.counts[2], 1);
+}
+
+TEST(HistogramSnapshotTest, MergeFromMismatchedBoundsFoldsTotalsOnly) {
+  Histogram a({10.0});
+  Histogram b({10.0, 20.0});
+  a.Observe(1.0);
+  b.Observe(1.0);
+  HistogramSnapshot sa = a.Snapshot();
+  // Shapes disagree: the merge reports it, folds the totals (so counts
+  // never lie), and leaves the per-bucket array alone.
+  EXPECT_FALSE(sa.MergeFrom(b.Snapshot()));
+  EXPECT_EQ(sa.count, 2);
+  ASSERT_EQ(sa.counts.size(), 2u);
+  EXPECT_EQ(sa.counts[0], 1);
+}
+
+TEST(MetricsSnapshotTest, MergeFromSumsCountersAndNamespacesGauges) {
+  MetricsRegistry coord;
+  MetricsRegistry worker;
+  coord.counter("runtime/site/updates")->Increment(10);
+  coord.gauge("queue_depth")->Set(1.0);
+  worker.counter("runtime/site/updates")->Increment(32);
+  worker.counter("runtime/socket/frames_tx")->Increment(7);
+  worker.gauge("queue_depth")->Set(2.0);
+  worker.histogram("lag", {1.0, 2.0})->Observe(1.5);
+
+  MetricsSnapshot merged = coord.Snapshot();
+  merged.MergeFrom(worker.Snapshot(), "worker1");
+  EXPECT_EQ(merged.counters["runtime/site/updates"], 42);
+  EXPECT_EQ(merged.counters["runtime/socket/frames_tx"], 7);
+  // The coordinator's own gauge is untouched; the worker's is namespaced.
+  EXPECT_DOUBLE_EQ(merged.gauges["queue_depth"], 1.0);
+  EXPECT_DOUBLE_EQ(merged.gauges["worker1/queue_depth"], 2.0);
+  EXPECT_EQ(merged.histograms["lag"].count, 1);
+}
+
+TEST(MetricsSnapshotTest, MergeFromMergesHistogramsBucketWise) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.histogram("lag", {1.0, 2.0})->Observe(0.5);
+  b.histogram("lag", {1.0, 2.0})->Observe(1.5);
+  b.histogram("lag", {1.0, 2.0})->Observe(9.0);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  const HistogramSnapshot& lag = merged.histograms["lag"];
+  EXPECT_EQ(lag.count, 3);
+  ASSERT_EQ(lag.counts.size(), 3u);
+  EXPECT_EQ(lag.counts[0], 1);
+  EXPECT_EQ(lag.counts[1], 1);
+  EXPECT_EQ(lag.counts[2], 1);
+}
+
 TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
   MetricsRegistry reg;
   Counter* a = reg.counter("x");

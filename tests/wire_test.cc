@@ -370,5 +370,148 @@ TEST(WireTest, SocketStatsToString) {
   EXPECT_NE(text.find("disconnects=1"), std::string::npos);
 }
 
+TEST(WireTest, HelloHandshakeTimestampsRoundTrip) {
+  HelloFrame h;
+  h.worker = 1;
+  h.t1_us = 1'234'567'890'123;
+  std::string buf;
+  AppendHelloFrame(h, &buf);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->hello.t1_us, h.t1_us);
+
+  HelloAckFrame a;
+  a.ok = 1;
+  a.t1_us = h.t1_us;        // Echo for the offset estimate.
+  a.t2_us = h.t1_us + 150;  // Coordinator receive.
+  a.t3_us = h.t1_us + 170;  // Coordinator send.
+  buf.clear();
+  AppendHelloAckFrame(a, &buf);
+  frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  EXPECT_EQ(frame->hello_ack.t1_us, a.t1_us);
+  EXPECT_EQ(frame->hello_ack.t2_us, a.t2_us);
+  EXPECT_EQ(frame->hello_ack.t3_us, a.t3_us);
+}
+
+TelemetryFrame MakeTelemetryFrame() {
+  TelemetryFrame t;
+  t.worker = 1;
+  t.final_flush = 1;
+  t.wall_time_us = 1'700'000'000'000'000;
+  t.clock_offset_us = -250;
+  t.metrics.counters["runtime/site/updates"] = 100000;
+  t.metrics.counters["runtime/socket/frames_tx"] = 42;
+  t.metrics.gauges["queue_depth"] = 3.5;
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {3, 2, 1, 0};
+  h.count = 6;
+  h.sum = 9.5;
+  h.min = 0.5;
+  h.max = 3.0;
+  t.metrics.histograms["lag"] = h;
+  TelemetryTraceEvent ev;
+  ev.kind = 1;
+  ev.epoch = 77;
+  ev.site = 3;
+  ev.value = -9;
+  ev.duration_us = 120;
+  ev.ts_us = t.wall_time_us - 5;
+  t.events.push_back(ev);
+  return t;
+}
+
+TEST(WireTest, TelemetryRoundTrip) {
+  TelemetryFrame t = MakeTelemetryFrame();
+  std::string buf;
+  ASSERT_TRUE(AppendTelemetryFrame(t, &buf).ok());
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kTelemetry);
+  const TelemetryFrame& got = frame->telemetry;
+  EXPECT_EQ(got.worker, 1);
+  EXPECT_EQ(got.final_flush, 1);
+  EXPECT_EQ(got.wall_time_us, t.wall_time_us);
+  EXPECT_EQ(got.clock_offset_us, -250);
+  EXPECT_EQ(got.metrics.counters.at("runtime/site/updates"), 100000);
+  EXPECT_DOUBLE_EQ(got.metrics.gauges.at("queue_depth"), 3.5);
+  const obs::HistogramSnapshot& lag = got.metrics.histograms.at("lag");
+  ASSERT_EQ(lag.bounds.size(), 3u);
+  ASSERT_EQ(lag.counts.size(), 4u);
+  EXPECT_EQ(lag.count, 6);
+  EXPECT_DOUBLE_EQ(lag.sum, 9.5);
+  EXPECT_DOUBLE_EQ(lag.min, 0.5);
+  EXPECT_DOUBLE_EQ(lag.max, 3.0);
+  ASSERT_EQ(got.events.size(), 1u);
+  EXPECT_EQ(got.events[0].epoch, 77);
+  EXPECT_EQ(got.events[0].site, 3);
+  EXPECT_EQ(got.events[0].value, -9);
+  EXPECT_EQ(got.events[0].duration_us, 120);
+  EXPECT_EQ(got.events[0].ts_us, t.wall_time_us - 5);
+}
+
+TEST(WireTest, ReaderAcceptsLargeTelemetryButNotLargeEnvelopes) {
+  // Telemetry frames are the one type allowed past kMaxFramePayload: the
+  // reader peeks the type byte before enforcing the size cap.
+  TelemetryFrame t = MakeTelemetryFrame();
+  for (int i = 0; i < 2000; ++i) {
+    t.metrics.counters["c/" + std::to_string(i)] = i;
+  }
+  std::string buf;
+  ASSERT_TRUE(AppendTelemetryFrame(t, &buf).ok());
+  ASSERT_GT(buf.size(), kMaxFramePayload);
+
+  FrameReader reader;
+  reader.Append(reinterpret_cast<const uint8_t*>(buf.data()), buf.size());
+  WireFrame frame;
+  auto r = reader.Next(&frame);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_TRUE(*r);
+  EXPECT_EQ(frame.type, FrameType::kTelemetry);
+  EXPECT_EQ(frame.telemetry.metrics.counters.size(),
+            t.metrics.counters.size());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, TelemetryRejectsOversizedPayload) {
+  // Past kMaxTelemetryPayload the append itself refuses — callers trim the
+  // event batch rather than shipping unbounded frames.
+  TelemetryFrame t;
+  const std::string big(2048, 'x');
+  for (int i = 0; i < 600; ++i) {
+    t.metrics.counters[big + std::to_string(i)] = i;
+  }
+  std::string buf;
+  Status st = AppendTelemetryFrame(t, &buf);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(WireTest, TelemetryRejectsMalformedHistogramShape) {
+  // counts must be exactly bounds.size() + 1; a mismatched snapshot is a
+  // programming error upstream and must not serialize.
+  TelemetryFrame t;
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 2};  // Missing the overflow bucket.
+  h.count = 3;
+  t.metrics.histograms["bad"] = h;
+  std::string buf;
+  EXPECT_FALSE(AppendTelemetryFrame(t, &buf).ok());
+}
+
+TEST(WireTest, TelemetryTruncationsNeverDecodeGarbage) {
+  TelemetryFrame t = MakeTelemetryFrame();
+  std::string buf;
+  ASSERT_TRUE(AppendTelemetryFrame(t, &buf).ok());
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(buf.data()) + 4;
+  for (size_t len = 0; len < buf.size() - 4; ++len) {
+    EXPECT_FALSE(DecodeFramePayload(payload, len).ok()) << "len=" << len;
+  }
+}
+
 }  // namespace
 }  // namespace dcv

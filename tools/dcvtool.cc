@@ -39,7 +39,9 @@
 //           [--conformance] [--transport thread|socket] [--listen-port P]
 //           [--chaos none|kill-shard|kill-worker|reshard] [--chaos-seed S]
 //           [--heartbeat-timeout-ms T] [--allow-reconnect]
-//           [--metrics-json out.json] [--quiet] [+ fault flags as above]
+//           [--metrics-json out.json] [--trace-out out.trace]
+//           [--trace-format jsonl|chrome] [--stats-interval-ms T]
+//           [--quiet] [+ fault flags as above]
 //       Run the concurrent coordinator/site runtime (src/runtime): real
 //       threads behind a mailbox transport instead of the lockstep
 //       simulator. With --trace the sites replay trace columns; without,
@@ -67,6 +69,15 @@
 //       epoch boundary. Detection results must be unchanged — that is the
 //       point. --allow-reconnect keeps the coordinator accepting resume
 //       handshakes even without chaos (kill-worker implies it).
+//       --metrics-json writes the merged telemetry document: the
+//       coordinator registry folded with every worker's final kTelemetry
+//       push (counters summed, histograms merged, worker gauges
+//       namespaced "workerK/..."), so the document shape matches a
+//       thread-transport run. --trace-out writes one merged timeline with
+//       coordinator, shard, and worker lanes (worker events are shifted
+//       by the handshake-estimated clock offset); chaos lifecycle shows
+//       up as instant events. --stats-interval-ms prints a live
+//       "stats: ..." snapshot line every T ms while the run is going.
 //
 //   dcvtool site-worker --port P --worker W --workers K
 //           [--host 127.0.0.1] [--trace trace.csv --train-epochs N]
@@ -87,11 +98,15 @@
 // Flags accept both "--flag value" and "--flag=value"; unknown or repeated
 // flags are rejected (common/flags.h).
 
+#include <chrono>
 #include <clocale>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -525,6 +540,71 @@ Status PrintRuntimeResult(const RuntimeResult& result, bool show_reliability,
   return OkStatus();
 }
 
+/// Live progress for long free-running runs: prints one "stats: ..." line
+/// every interval from the shared registry, on its own thread. RAII so
+/// every early-return path in RunRuntime joins it before the registry
+/// goes out of scope.
+class ScopedStatsPrinter {
+ public:
+  ScopedStatsPrinter(obs::MetricsRegistry* registry, int interval_ms)
+      : registry_(registry), interval_ms_(interval_ms) {
+    if (registry_ != nullptr && interval_ms_ > 0) {
+      thread_ = std::thread([this] { Loop(); });
+    }
+  }
+
+  ~ScopedStatsPrinter() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                         [this] { return stop_; })) {
+      lock.unlock();
+      PrintOnce();
+      lock.lock();
+    }
+  }
+
+  void PrintOnce() {
+    obs::MetricsSnapshot snap = registry_->Snapshot();
+    auto counter = [&snap](const char* name) -> long long {
+      auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0
+                                       : static_cast<long long>(it->second);
+    };
+    std::string lag;
+    auto hit = snap.histograms.find("runtime/detection_lag_epochs");
+    if (hit != snap.histograms.end() && hit->second.count > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " lag-p50=%.1f lag-p99=%.1f",
+                    hit->second.Quantile(0.5), hit->second.Quantile(0.99));
+      lag = buf;
+    }
+    std::printf("stats: alarms=%lld polls=%lld frames-rx=%lld%s\n",
+                counter("runtime/coordinator/alarms"),
+                counter("runtime/coordinator/polls"),
+                counter("runtime/socket/frames_rx"), lag.c_str());
+    std::fflush(stdout);
+  }
+
+  obs::MetricsRegistry* registry_;
+  int interval_ms_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 Status RunRuntime(const ParsedFlags& flags) {
   RuntimeOptions options;
   DCV_ASSIGN_OR_RETURN(options.faults, ParseFaultFlags(flags));
@@ -600,10 +680,48 @@ Status RunRuntime(const ParsedFlags& flags) {
   options.solver = solver.get();
 
   const std::string metrics_json = flags.GetString("metrics-json", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string trace_format = flags.GetString("trace-format", "jsonl");
+  if (trace_format != "jsonl" && trace_format != "chrome") {
+    return InvalidArgumentError("--trace-format must be jsonl or chrome");
+  }
+  DCV_ASSIGN_OR_RETURN(int64_t stats_interval,
+                       flags.GetInt("stats-interval-ms", 0));
+  if (stats_interval < 0) {
+    return InvalidArgumentError("--stats-interval-ms must be >= 0");
+  }
   const bool quiet = flags.GetBool("quiet");
   const bool conformance = flags.GetBool("conformance");
   const bool show_reliability =
       options.faults.any_faults() || options.faults.retry.enable_acks;
+
+  // Observability is attached only when an export (or live stats) was
+  // requested, so plain runs keep the uninstrumented fast path. On socket
+  // runs the registry holds the coordinator side; the workers' final
+  // telemetry pushes are merged in by the runtime before ToJson.
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(/*capacity=*/1 << 20);
+  if (!metrics_json.empty() || stats_interval > 0) {
+    options.metrics = &registry;
+  }
+  if (!trace_out.empty()) {
+    options.recorder = &recorder;
+  }
+  ScopedStatsPrinter stats_printer(options.metrics,
+                                   static_cast<int>(stats_interval));
+  auto write_outputs = [&](const RuntimeResult& result) -> Status {
+    if (!metrics_json.empty()) {
+      DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
+    }
+    if (!trace_out.empty()) {
+      if (trace_format == "chrome") {
+        DCV_RETURN_IF_ERROR(recorder.WriteChromeTrace(trace_out));
+      } else {
+        DCV_RETURN_IF_ERROR(recorder.WriteJsonl(trace_out));
+      }
+    }
+    return OkStatus();
+  };
 
   const std::string trace_path = flags.GetString("trace", "");
   if (trace_path.empty()) {
@@ -632,9 +750,7 @@ Status RunRuntime(const ParsedFlags& flags) {
     DCV_ASSIGN_OR_RETURN(
         RuntimeResult result,
         RunSyntheticRuntime(static_cast<int>(sites), updates, options));
-    if (!metrics_json.empty()) {
-      DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
-    }
+    DCV_RETURN_IF_ERROR(write_outputs(result));
     if (quiet) {
       return OkStatus();
     }
@@ -703,9 +819,7 @@ Status RunRuntime(const ParsedFlags& flags) {
 
   DCV_ASSIGN_OR_RETURN(RuntimeResult result,
                        RunMonitorRuntime(training, eval, options));
-  if (!metrics_json.empty()) {
-    DCV_RETURN_IF_ERROR(WriteFile(metrics_json, result.ToJson() + "\n"));
-  }
+  DCV_RETURN_IF_ERROR(write_outputs(result));
   if (quiet) {
     return OkStatus();
   }
@@ -777,6 +891,15 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
     DCV_ASSIGN_OR_RETURN(options.synthetic_updates,
                          flags.GetInt("updates", 100000));
   }
+
+  // Always instrument the worker: the per-process registry/recorder is what
+  // the periodic + final kTelemetry pushes serialize, and a bare worker
+  // would leave an empty hole in the coordinator's merged document. The
+  // ring is modest — pushes ship only the freshest events anyway.
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder(/*capacity=*/1 << 16);
+  options.metrics = &registry;
+  options.recorder = &recorder;
 
   DCV_ASSIGN_OR_RETURN(
       SiteWorkerReport report,
@@ -889,7 +1012,8 @@ FlagSet RunFlags() {
       .Value("shards").Value("sites").Value("updates").Value("seed")
       .Value("synthetic-max").Value("metrics-json").Value("transport")
       .Value("listen-port").Value("chaos").Value("chaos-seed")
-      .Value("heartbeat-timeout-ms");
+      .Value("heartbeat-timeout-ms").Value("trace-out").Value("trace-format")
+      .Value("stats-interval-ms");
   flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance")
       .Boolean("allow-reconnect");
   DeclareFaultFlags(&flags);

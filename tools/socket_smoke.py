@@ -8,10 +8,19 @@ that every protocol-relevant output line is identical: per-run detection
 counts, message totals and per-type breakdown. Timing lines and wire-level
 socket stats are excluded (they legitimately differ between transports).
 
+With --metrics-json the coordinator's merged telemetry document (its own
+registry folded with every worker's final kTelemetry push) is written,
+schema-validated via validate_metrics.py, and checked for worker-side
+counters. With --trace-out the merged Chrome trace is written and checked
+for one lane per process (and, under --chaos kill-worker, for the
+worker_reconnect recovery instant event).
+
 Exit code 0 on success; non-zero with a diagnostic otherwise.
 """
 
 import argparse
+import json
+import os
 import subprocess
 import sys
 
@@ -62,6 +71,13 @@ def main():
     parser.add_argument("--chaos-seed", type=int, default=3)
     parser.add_argument("--heartbeat-timeout-ms", type=int, default=500)
     parser.add_argument("--timeout", type=float, default=240.0)
+    parser.add_argument("--metrics-json", default="",
+                        help="write the coordinator's merged telemetry "
+                             "document here and validate it against "
+                             "tools/metrics_schema.json")
+    parser.add_argument("--trace-out", default="",
+                        help="write the merged Chrome trace here and assert "
+                             "it carries coordinator + worker lanes")
     args = parser.parse_args()
 
     coordinator_cmd = [
@@ -74,6 +90,11 @@ def main():
         "--threads", str(args.workers),
         "--shards", str(args.shards),
     ]
+    if args.metrics_json:
+        coordinator_cmd += ["--metrics-json", args.metrics_json]
+    if args.trace_out:
+        coordinator_cmd += ["--trace-out", args.trace_out,
+                            "--trace-format", "chrome"]
     if args.chaos != "none":
         coordinator_cmd += [
             "--chaos", args.chaos,
@@ -173,6 +194,41 @@ def main():
                  + "\n".join(mismatches)
                  + "\n--- socket output ---\n" + socket_out
                  + "\n--- thread output ---\n" + thread.stdout)
+
+    if args.metrics_json:
+        validator = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "validate_metrics.py")
+        check = subprocess.run(
+            [sys.executable, validator, args.metrics_json],
+            capture_output=True, text=True, timeout=30.0)
+        if check.returncode != 0:
+            sys.exit("merged metrics document failed schema validation:\n"
+                     + check.stdout + check.stderr)
+        with open(args.metrics_json, encoding="utf-8") as f:
+            merged = json.load(f)
+        counters = merged.get("metrics", {}).get("counters", {})
+        # The merge must actually contain worker-side work, not just the
+        # coordinator's own registry: site updates only ever tick inside the
+        # worker processes on a socket run.
+        if counters.get("runtime/site/updates", 0) <= 0:
+            sys.exit("merged document has no worker-side counters: %r"
+                     % {k: v for k, v in counters.items() if "site" in k})
+
+    if args.trace_out:
+        with open(args.trace_out, encoding="utf-8") as f:
+            trace = json.load(f)
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        lanes = {e["pid"] for e in events if e.get("ph") != "M"}
+        # One coordinator lane plus one per worker process.
+        if len(lanes) < 1 + args.workers:
+            sys.exit("merged trace has %d process lanes, want >= %d"
+                     % (len(lanes), 1 + args.workers))
+        if args.chaos == "kill-worker":
+            names = {e.get("name") for e in events}
+            if "worker_reconnect" not in names:
+                sys.exit("kill-worker trace lacks a worker_reconnect "
+                         "instant event; got %r" % sorted(
+                             n for n in names if n))
 
     print("socket smoke OK: %d workers, %d shards on port %d, "
           "%s messages, %s epochs, chaos=%s"

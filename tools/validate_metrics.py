@@ -1,8 +1,15 @@
 #!/usr/bin/env python3
-"""Validates a `dcvtool simulate --metrics-json` file against the checked-in
-schema (tools/metrics_schema.json): the document must be valid JSON and
-contain every required key path, and — when the run had a metrics registry
-attached — every required registry counter.
+"""Validates a `dcvtool --metrics-json` file against the checked-in schema
+(tools/metrics_schema.json). Two document shapes are understood:
+
+  * simulate documents (SimResult::ToJson, top-level "scheme" key): the
+    schema's "required" key paths and "required_counters".
+  * runtime documents (RuntimeResult::ToJson, top-level "protocol" key) —
+    including the merged cross-process telemetry document a socket-transport
+    coordinator writes: "runtime_required" key paths,
+    "runtime_required_counters", the "runtime_socket_counters" namespace
+    (enforced only when the run actually used the socket transport), and
+    the detection-lag histogram with its p50/p95/p99 quantile keys.
 
 Usage: validate_metrics.py <metrics.json> [--schema <schema.json>]
 
@@ -24,6 +31,28 @@ def lookup(doc, dotted_path):
             return False, None
         node = node[part]
     return True, node
+
+
+def check_counters(doc, names, failures):
+    found, counters = lookup(doc, "metrics.counters")
+    if not (found and isinstance(counters, dict) and counters):
+        return
+    for name in names:
+        if name not in counters:
+            failures.append(f"missing required counter: {name}")
+
+
+def check_histograms(doc, schema, failures):
+    found, histograms = lookup(doc, "metrics.histograms")
+    if not (found and isinstance(histograms, dict)):
+        return
+    for name in schema.get("runtime_required_histograms", []):
+        if name not in histograms:
+            failures.append(f"missing required histogram: {name}")
+            continue
+        for key in schema.get("histogram_required_keys", []):
+            if key not in histograms[name]:
+                failures.append(f"histogram {name} missing key: {key}")
 
 
 def main():
@@ -50,23 +79,35 @@ def main():
         print(f"FAIL: cannot load metrics {args.metrics}: {e}")
         return 1
 
+    is_runtime = isinstance(doc, dict) and "protocol" in doc
+    kind = "runtime" if is_runtime else "simulate"
+
     failures = []
-    for path in schema.get("required", []):
+    required = schema.get("runtime_required" if is_runtime else "required", [])
+    for path in required:
         found, _ = lookup(doc, path)
         if not found:
             failures.append(f"missing required key: {path}")
 
-    found, counters = lookup(doc, "metrics.counters")
-    if found and isinstance(counters, dict) and counters:
-        for name in schema.get("required_counters", []):
-            if name not in counters:
-                failures.append(f"missing required counter: {name}")
+    if is_runtime:
+        check_counters(doc, schema.get("runtime_required_counters", []),
+                       failures)
+        # The wire namespace only exists when frames actually flowed; a
+        # thread-transport runtime document legitimately omits it.
+        _, frames = lookup(doc, "socket.frames_sent")
+        if isinstance(frames, (int, float)) and frames > 0:
+            check_counters(doc, schema.get("runtime_socket_counters", []),
+                           failures)
+        check_histograms(doc, schema, failures)
+    else:
+        check_counters(doc, schema.get("required_counters", []), failures)
 
     if failures:
         for f in failures:
             print(f"FAIL: {f}")
         return 1
-    print(f"OK: {args.metrics} matches {os.path.basename(args.schema)}")
+    print(f"OK: {args.metrics} matches {os.path.basename(args.schema)} "
+          f"({kind} document)")
     return 0
 
 
