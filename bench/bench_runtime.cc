@@ -10,6 +10,14 @@
 //                      [--transport thread|socket] [--json out.json]
 //                      [--chaos none|kill-shard] [--chaos-seed 3]
 //                      [--heartbeat-timeout-ms 500]
+//                      [--trace file [--train-epochs N] [--threshold T]]
+//
+// --trace switches from the synthetic sweep to free-running replay of a
+// recorded trace (CSV or the dcvb binary format — sniffed by magic bytes):
+// the first --train-epochs epochs train local thresholds (FPTAS), the rest
+// replay through the runtime at full speed, one row per site update. The
+// --sites list is ignored (the trace fixes the site count); --shards still
+// sweeps.
 //
 // --shards takes a comma list of coordinator shard counts; each is run
 // against each site count (shard counts above the site count are skipped).
@@ -41,6 +49,9 @@
 #include "runtime/chaos.h"
 #include "runtime/runtime.h"
 #include "runtime/site_worker.h"
+#include "threshold/fptas.h"
+#include "trace/stats.h"
+#include "trace/trace_bin.h"
 
 namespace dcv {
 namespace {
@@ -56,6 +67,9 @@ struct BenchConfig {
   std::string json_path;         ///< Empty = no JSON artifact.
   ChaosSpec chaos;               ///< One injected failure per config.
   int heartbeat_timeout_ms = 0;  ///< 0 = 500 when chaos is requested.
+  std::string trace_path;        ///< Empty = synthetic sweep.
+  int64_t train_epochs = 0;      ///< 0 = half the trace.
+  int64_t threshold = -1;        ///< <0 = 1% overflow on the eval slice.
 };
 
 Result<std::vector<int>> ParseIntList(const std::string& csv) {
@@ -72,7 +86,8 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
   flags.Value("updates").Value("sites").Value("shards").Value("seed")
       .Value("alarm-fraction").Value("workers").Value("transport")
       .Value("json").Value("chaos").Value("chaos-seed")
-      .Value("heartbeat-timeout-ms");
+      .Value("heartbeat-timeout-ms").Value("trace").Value("train-epochs")
+      .Value("threshold");
   DCV_ASSIGN_OR_RETURN(ParsedFlags parsed, flags.Parse(argc, argv, 1));
   BenchConfig config;
   DCV_ASSIGN_OR_RETURN(config.updates,
@@ -129,7 +144,81 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
     // never what was asked for.
     config.heartbeat_timeout_ms = 500;
   }
+  config.trace_path = parsed.GetString("trace", "");
+  DCV_ASSIGN_OR_RETURN(config.train_epochs,
+                       parsed.GetInt("train-epochs", config.train_epochs));
+  DCV_ASSIGN_OR_RETURN(config.threshold,
+                       parsed.GetInt("threshold", config.threshold));
+  if (config.trace_path.empty() &&
+      (config.train_epochs != 0 || config.threshold >= 0)) {
+    return InvalidArgumentError(
+        "--train-epochs/--threshold only apply with --trace");
+  }
   return config;
+}
+
+/// Trace replay: free-running RunMonitorRuntime over the eval slice, one
+/// table row per shard count. Accepts both trace formats via LoadTrace —
+/// this is the disk-speed replay consumer of the binary container.
+Status RunTraceBench(const BenchConfig& config) {
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(config.trace_path));
+  const int64_t train = config.train_epochs > 0 ? config.train_epochs
+                                                : trace.num_epochs() / 2;
+  if (train < 1 || train >= trace.num_epochs()) {
+    return InvalidArgumentError("--train-epochs out of range");
+  }
+  DCV_ASSIGN_OR_RETURN(Trace training, trace.Slice(0, train));
+  DCV_ASSIGN_OR_RETURN(Trace eval, trace.Slice(train, trace.num_epochs()));
+  int64_t threshold = config.threshold;
+  if (threshold < 0) {
+    DCV_ASSIGN_OR_RETURN(threshold,
+                         ThresholdForOverflowFraction(eval, {}, 0.01));
+  }
+  FptasSolver solver(0.05);
+
+  obs::MetricsRegistry summary;
+  std::printf("# free-running trace replay (%s: %d sites, %" PRId64
+              " train + %" PRId64 " eval epochs, threshold %" PRId64 ")\n",
+              config.trace_path.c_str(), eval.num_sites(), train,
+              eval.num_epochs(), threshold);
+  std::printf("%8s %8s %14s %12s %14s %10s %10s\n", "sites", "shards",
+              "updates", "seconds", "updates/sec", "alarms", "polls");
+  for (int shards : config.shard_counts) {
+    if (shards > eval.num_sites()) {
+      std::printf("# skipping shards=%d (shards > sites)\n", shards);
+      continue;
+    }
+    obs::MetricsRegistry run_metrics;
+    RuntimeOptions options;
+    options.virtual_time = false;
+    options.num_workers =
+        config.workers == 0 ? 0 : std::min(config.workers, eval.num_sites());
+    options.num_shards = shards;
+    options.seed = config.seed;
+    options.global_threshold = threshold;
+    options.solver = &solver;
+    options.metrics = &run_metrics;
+    DCV_ASSIGN_OR_RETURN(RuntimeResult result,
+                         RunMonitorRuntime(training, eval, options));
+    std::printf("%8d %8d %14" PRId64 " %12.3f %14.0f %10" PRId64
+                " %10" PRId64 "\n",
+                eval.num_sites(), shards, result.total_updates,
+                result.elapsed_seconds, result.updates_per_second,
+                result.total_alarms, result.polled_epochs);
+    const std::string prefix =
+        "bench/runtime/trace/shards=" + std::to_string(shards) + "/";
+    summary.gauge(prefix + "updates_per_sec")->Set(result.updates_per_second);
+    summary.gauge(prefix + "elapsed_seconds")->Set(result.elapsed_seconds);
+    summary.gauge(prefix + "alarms")
+        ->Set(static_cast<double>(result.total_alarms));
+    summary.gauge(prefix + "polls")
+        ->Set(static_cast<double>(result.polled_epochs));
+  }
+  if (!config.json_path.empty() &&
+      !bench::WriteMetricsJson(summary, config.json_path)) {
+    return InternalError("cannot write " + config.json_path);
+  }
+  return OkStatus();
 }
 
 int RunBench(const BenchConfig& config) {
@@ -300,6 +389,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_runtime: %s\n",
                  std::string(config.status().message()).c_str());
     return 2;
+  }
+  if (!config->trace_path.empty()) {
+    dcv::Status status = dcv::RunTraceBench(*config);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_runtime: %s\n",
+                   std::string(status.message()).c_str());
+      return 1;
+    }
+    return 0;
   }
   return dcv::RunBench(*config);
 }

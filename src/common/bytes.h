@@ -1,0 +1,98 @@
+#ifndef DCV_COMMON_BYTES_H_
+#define DCV_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dcv {
+
+// Little-endian fixed-width and LEB128 varint byte helpers, shared by the
+// binary trace format (src/io) and anything else that serializes numbers.
+// All append functions grow a std::string (the project's byte-buffer type);
+// all readers take raw pointers so they work on any contiguous buffer.
+
+inline void AppendLe16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void AppendLe32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendLe64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline uint16_t ReadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+inline uint32_t ReadLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// ZigZag maps small-magnitude signed values (deltas hover around zero) to
+/// small unsigned values so they varint-encode in few bytes:
+/// 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);  // Arithmetic shift: 0 or ~0.
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation. At most 10
+/// bytes for a uint64.
+inline void AppendVarint64(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [p, end). Returns the position past the varint,
+/// or nullptr if the buffer ends mid-varint or the encoding overflows 64
+/// bits (more than 10 bytes, or set bits beyond bit 63).
+inline const uint8_t* DecodeVarint64(const uint8_t* p, const uint8_t* end,
+                                     uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (p < end && shift <= 63) {
+    uint8_t byte = *p++;
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return nullptr;  // Bits past 63: not representable.
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // Ran off the buffer (or an 11th continuation byte).
+}
+
+}  // namespace dcv
+
+#endif  // DCV_COMMON_BYTES_H_

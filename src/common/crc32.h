@@ -1,0 +1,22 @@
+#ifndef DCV_COMMON_CRC32_H_
+#define DCV_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dcv {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding every
+/// block of the binary trace format. Table-driven, ~1 GB/s single thread —
+/// never the bottleneck next to codec work. Pass a previous return value as
+/// `seed` to checksum discontiguous pieces incrementally.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace dcv
+
+#endif  // DCV_COMMON_CRC32_H_

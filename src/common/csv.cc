@@ -75,6 +75,15 @@ Result<std::vector<std::string>> ParseRecord(const std::string& text,
 
 }  // namespace
 
+void CsvTable::AddDoubleRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    cells.push_back(FormatDouble(v));
+  }
+  rows_.push_back(std::move(cells));
+}
+
 Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < header_.size(); ++i) {
     if (header_[i] == name) {

@@ -32,6 +32,11 @@ class CsvTable {
   /// Appends a row. Row width is validated at serialization time.
   void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
 
+  /// Appends a row of doubles encoded with FormatDouble (%.17g, canonical
+  /// "nan"/"inf"/"-inf"), so DoubleAt on a parsed-back table is bit-exact:
+  /// the lossless-CSV path for any artifact that must round-trip.
+  void AddDoubleRow(const std::vector<double>& row);
+
   /// Column index for a header name.
   Result<size_t> ColumnIndex(const std::string& name) const;
 

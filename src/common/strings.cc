@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace dcv {
@@ -79,13 +81,30 @@ Result<double> ParseDouble(std::string_view text) {
   errno = 0;
   char* end = nullptr;
   double v = std::strtod(buf.c_str(), &end);
-  if (errno == ERANGE) {
+  // ERANGE covers both overflow and underflow; underflow to a (possibly
+  // denormal) representable value is not an error — FormatDouble output for
+  // denormals must parse back bit-exact. Only overflow to ±HUGE_VAL fails.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
     return OutOfRangeError("number out of range: " + buf);
   }
   if (end != buf.c_str() + buf.size()) {
     return InvalidArgumentError("invalid numeric literal: " + buf);
   }
   return v;
+}
+
+std::string FormatDouble(double v) {
+  // Canonical non-finite spellings, independent of what the libc printf
+  // would produce ("nan" vs "-nan(0x...)" varies by platform).
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "inf" : "-inf";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace dcv

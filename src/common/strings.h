@@ -30,7 +30,18 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 Result<int64_t> ParseInt64(std::string_view text);
 
 /// Parses a floating-point number; the whole string must be consumed.
+/// Non-finite policy: the case-insensitive spellings "nan", "inf", and
+/// "infinity" (optionally signed) are accepted and produce the matching
+/// IEEE value, so FormatDouble output always parses back.
 Result<double> ParseDouble(std::string_view text);
+
+/// Formats a double so ParseDouble(FormatDouble(v)) is bit-exact (modulo
+/// NaN payload): finite values use %.17g (shortest representation that
+/// round-trips any IEEE double), non-finite values use the canonical
+/// lowercase spellings "nan", "inf", and "-inf". The sign of zero is
+/// preserved ("-0"). This is the encoding CSV cells and JSON-ish artifacts
+/// should use for any value that must survive a round-trip.
+std::string FormatDouble(double v);
 
 }  // namespace dcv
 

@@ -1,0 +1,298 @@
+#include "io/block_writer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "io/codec.h"
+#include "io/compress.h"
+
+namespace dcv::io {
+namespace {
+
+std::string EncodeHeader(const std::vector<std::string>& names,
+                         const WriterOptions& options) {
+  std::string out;
+  AppendLe32(kFileMagic, &out);
+  out.push_back(static_cast<char>(kFormatVersion));
+  out.push_back(static_cast<char>(options.codec));
+  out.push_back(static_cast<char>(options.compression));
+  out.push_back('\0');  // Reserved.
+  AppendLe32(static_cast<uint32_t>(names.size()), &out);
+  std::string schema;
+  for (const auto& name : names) {
+    AppendLe16(static_cast<uint16_t>(name.size()), &schema);
+    schema += name;
+  }
+  AppendLe32(static_cast<uint32_t>(schema.size()), &out);
+  out += schema;
+  AppendLe32(Crc32(out), &out);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockWriter>> BlockWriter::Open(
+    const std::string& path, std::vector<std::string> column_names,
+    const WriterOptions& options) {
+  if (column_names.empty() ||
+      column_names.size() > static_cast<size_t>(kMaxColumns)) {
+    return InvalidArgumentError(
+        "binary trace needs between 1 and " + std::to_string(kMaxColumns) +
+        " columns, got " + std::to_string(column_names.size()));
+  }
+  size_t schema_len = 0;
+  for (const auto& name : column_names) {
+    if (name.size() > 0xffff) {
+      return InvalidArgumentError("column name longer than 65535 bytes");
+    }
+    schema_len += 2 + name.size();
+  }
+  if (schema_len > kMaxSchemaLen) {
+    return InvalidArgumentError("schema section too large");
+  }
+  if (options.block_rows < 1 ||
+      options.block_rows > static_cast<int64_t>(kMaxBlockRows)) {
+    return InvalidArgumentError(
+        "block_rows must be in [1, " + std::to_string(kMaxBlockRows) +
+        "], got " + std::to_string(options.block_rows));
+  }
+  if (options.queue_blocks < 1) {
+    return InvalidArgumentError("queue_blocks must be >= 1");
+  }
+  if (options.compression == BlockCompression::kLz4 && !Lz4Available()) {
+    return UnimplementedError(
+        "LZ4 compression requested but this build has no LZ4 support");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot open '" + path + "' for writing");
+  }
+  auto writer = std::unique_ptr<BlockWriter>(
+      new BlockWriter(file, std::move(column_names), options));
+  DCV_RETURN_IF_ERROR(writer->EnqueueWrite(
+      EncodeHeader(writer->column_names_, writer->options_)));
+  return writer;
+}
+
+BlockWriter::BlockWriter(std::FILE* file,
+                         std::vector<std::string> column_names,
+                         const WriterOptions& options)
+    : file_(file),
+      column_names_(std::move(column_names)),
+      options_(options),
+      pending_(column_names_.size()) {
+  for (auto& col : pending_) {
+    col.reserve(static_cast<size_t>(options_.block_rows));
+  }
+  if (options_.async) {
+    writer_thread_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+BlockWriter::~BlockWriter() {
+  if (!finished_) {
+    // Abandoned writer: stop the thread and close the file. The file is
+    // missing its sentinel/footer, which readers report as truncation —
+    // exactly right for an aborted write.
+    if (options_.async) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      queue_cv_.notify_all();
+      if (writer_thread_.joinable()) {
+        writer_thread_.join();
+      }
+    }
+    std::fclose(file_);
+  }
+}
+
+Status BlockWriter::AppendRow(const std::vector<int64_t>& values) {
+  if (values.size() != column_names_.size()) {
+    return InvalidArgumentError(
+        "row has " + std::to_string(values.size()) + " values but the file "
+        "has " + std::to_string(column_names_.size()) + " columns");
+  }
+  if (finished_) {
+    return FailedPreconditionError("AppendRow after Finish");
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    pending_[c].push_back(values[c]);
+  }
+  if (++pending_rows_ >= options_.block_rows) {
+    return FlushBlock();
+  }
+  return OkStatus();
+}
+
+Status BlockWriter::AppendColumns(
+    const std::vector<std::vector<int64_t>>& columns, int64_t rows) {
+  if (columns.size() != column_names_.size()) {
+    return InvalidArgumentError("column-batch width mismatch");
+  }
+  if (finished_) {
+    return FailedPreconditionError("AppendColumns after Finish");
+  }
+  for (const auto& col : columns) {
+    if (static_cast<int64_t>(col.size()) != rows) {
+      return InvalidArgumentError("ragged column batch");
+    }
+  }
+  int64_t done = 0;
+  while (done < rows) {
+    const int64_t take =
+        std::min(rows - done, options_.block_rows - pending_rows_);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      pending_[c].insert(pending_[c].end(),
+                         columns[c].begin() + done,
+                         columns[c].begin() + done + take);
+    }
+    pending_rows_ += take;
+    done += take;
+    if (pending_rows_ >= options_.block_rows) {
+      DCV_RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  return OkStatus();
+}
+
+Status BlockWriter::FlushBlock() {
+  if (pending_rows_ == 0) {
+    return OkStatus();
+  }
+  std::string raw;
+  EncodeColumns(options_.codec, pending_, pending_rows_, &raw);
+  const size_t raw_len = raw.size();
+  std::string payload;
+  if (options_.compression == BlockCompression::kLz4) {
+    DCV_RETURN_IF_ERROR(Lz4Compress(raw, &payload));
+  } else {
+    payload = std::move(raw);
+  }
+  if (payload.size() > kMaxBlockPayload || raw_len > kMaxBlockPayload) {
+    return InternalError("encoded block exceeds kMaxBlockPayload");
+  }
+
+  std::string block;
+  AppendLe32(static_cast<uint32_t>(payload.size()), &block);
+  AppendLe32(static_cast<uint32_t>(pending_rows_), &block);
+  AppendLe32(static_cast<uint32_t>(raw_len), &block);
+  AppendLe32(Crc32(payload), &block);
+  block += payload;
+
+  index_.push_back({static_cast<uint64_t>(next_offset_),
+                    static_cast<uint64_t>(total_rows_),
+                    static_cast<uint32_t>(pending_rows_)});
+  total_rows_ += pending_rows_;
+  ++blocks_;
+  pending_rows_ = 0;
+  for (auto& col : pending_) {
+    col.clear();
+  }
+  return EnqueueWrite(std::move(block));
+}
+
+Status BlockWriter::Finish() {
+  if (finished_) {
+    return FailedPreconditionError("Finish called twice");
+  }
+  Status flush = FlushBlock();
+  if (flush.ok()) {
+    // Sentinel + footer.
+    std::string tail;
+    AppendLe32(0, &tail);  // End-of-data sentinel.
+    const uint64_t footer_offset = static_cast<uint64_t>(next_offset_) + 4;
+    std::string footer;
+    AppendLe32(static_cast<uint32_t>(index_.size()), &footer);
+    for (const auto& e : index_) {
+      AppendLe64(e.offset, &footer);
+      AppendLe64(e.first_row, &footer);
+      AppendLe32(e.rows, &footer);
+    }
+    AppendLe64(static_cast<uint64_t>(total_rows_), &footer);
+    AppendLe32(Crc32(footer), &footer);
+    tail += footer;
+    AppendLe64(footer_offset, &tail);
+    AppendLe32(kEndMagic, &tail);
+    flush = EnqueueWrite(std::move(tail));
+  }
+
+  // Drain and stop the writer thread, then close.
+  if (options_.async) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    if (writer_thread_.joinable()) {
+      writer_thread_.join();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (flush.ok() && !writer_status_.ok()) {
+      flush = writer_status_;
+    }
+  }
+  finished_ = true;
+  const bool flush_ok = std::fflush(file_) == 0;
+  const bool close_ok = std::fclose(file_) == 0;
+  if (flush.ok() && (!flush_ok || !close_ok)) {
+    return InternalError("error flushing binary trace to disk");
+  }
+  return flush;
+}
+
+Status BlockWriter::EnqueueWrite(std::string bytes) {
+  next_offset_ += static_cast<int64_t>(bytes.size());
+  if (!options_.async) {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      return InternalError("short write to binary trace file");
+    }
+    return OkStatus();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!writer_status_.ok()) {
+    return writer_status_;
+  }
+  space_cv_.wait(lock, [this] {
+    return queue_.size() < static_cast<size_t>(options_.queue_blocks) ||
+           !writer_status_.ok();
+  });
+  if (!writer_status_.ok()) {
+    return writer_status_;
+  }
+  queue_.push_back(std::move(bytes));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return OkStatus();
+}
+
+void BlockWriter::WriterLoop() {
+  for (;;) {
+    std::string bytes;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ and fully drained.
+      }
+      bytes = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size();
+    if (!ok) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (writer_status_.ok()) {
+        writer_status_ = InternalError("short write to binary trace file");
+      }
+      // Keep draining (and discarding) so the producer never deadlocks.
+      queue_.clear();
+    }
+    space_cv_.notify_all();
+  }
+}
+
+}  // namespace dcv::io

@@ -1,0 +1,116 @@
+#ifndef DCV_IO_BLOCK_WRITER_H_
+#define DCV_IO_BLOCK_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "io/format.h"
+
+namespace dcv::io {
+
+/// Streaming writer of the dcvb container (see format.h). Rows are
+/// buffered into structure-of-arrays column buffers; every
+/// `options.block_rows` rows the block is encoded (codec + optional LZ4)
+/// on the *caller's* thread and handed to a background writer thread over
+/// a bounded queue (`options.queue_blocks` deep, 2 = double buffering), so
+/// encoding and disk I/O overlap and a slow disk back-pressures the caller
+/// instead of growing memory without bound. `options.async = false` keeps
+/// everything on the caller thread (deterministic single-thread path, used
+/// by tests and tools that don't care about overlap).
+///
+/// Usage:
+///   DCV_ASSIGN_OR_RETURN(auto writer,
+///                        BlockWriter::Open(path, names, options));
+///   for (...) DCV_RETURN_IF_ERROR(writer->AppendRow(values));
+///   DCV_RETURN_IF_ERROR(writer->Finish());
+///
+/// Finish() flushes the partial block, writes the end sentinel and the
+/// block-index footer, and joins the writer thread; a writer destroyed
+/// without Finish() cleans up its thread but leaves the file truncated
+/// (readers will report it as such — a half-written file is never valid).
+class BlockWriter {
+ public:
+  static Result<std::unique_ptr<BlockWriter>> Open(
+      const std::string& path, std::vector<std::string> column_names,
+      const WriterOptions& options);
+
+  ~BlockWriter();
+
+  BlockWriter(const BlockWriter&) = delete;
+  BlockWriter& operator=(const BlockWriter&) = delete;
+
+  /// Appends one row; `values.size()` must equal the column count. Any
+  /// queued background write error surfaces here (and in Finish).
+  Status AppendRow(const std::vector<int64_t>& values);
+
+  /// Column-batch append: `columns[c]` holds `rows` values of column c.
+  /// Equivalent to `rows` AppendRow calls but skips per-row dispatch — the
+  /// fast path for converters that already hold columnar data.
+  Status AppendColumns(const std::vector<std::vector<int64_t>>& columns,
+                       int64_t rows);
+
+  /// Flushes, writes sentinel + footer, closes the file. Must be called
+  /// exactly once; returns the first error encountered anywhere in the
+  /// write pipeline.
+  Status Finish();
+
+  int64_t rows_written() const { return total_rows_; }
+  int64_t blocks_written() const { return blocks_; }
+
+  /// Bytes of the file as enqueued so far (header + blocks); final file
+  /// adds the sentinel + footer at Finish.
+  int64_t bytes_enqueued() const { return next_offset_; }
+
+ private:
+  BlockWriter(std::FILE* file, std::vector<std::string> column_names,
+              const WriterOptions& options);
+
+  /// Encodes + enqueues the buffered rows as one block; no-op when empty.
+  Status FlushBlock();
+
+  /// Hands `bytes` to the writer thread (or writes synchronously).
+  Status EnqueueWrite(std::string bytes);
+
+  /// Background thread main: pop, fwrite, record errors.
+  void WriterLoop();
+
+  std::FILE* file_;
+  std::vector<std::string> column_names_;
+  WriterOptions options_;
+
+  std::vector<std::vector<int64_t>> pending_;  ///< SoA buffer being filled.
+  int64_t pending_rows_ = 0;
+  int64_t total_rows_ = 0;
+  int64_t blocks_ = 0;
+  int64_t next_offset_ = 0;  ///< File offset after everything enqueued.
+  bool finished_ = false;
+
+  /// Footer index: (offset, first_row, rows) per block.
+  struct IndexEntry {
+    uint64_t offset;
+    uint64_t first_row;
+    uint32_t rows;
+  };
+  std::vector<IndexEntry> index_;
+
+  // Async machinery (untouched when options_.async is false).
+  std::thread writer_thread_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;   ///< Signals the writer thread.
+  std::condition_variable space_cv_;   ///< Signals the producer.
+  std::deque<std::string> queue_;
+  bool stop_ = false;
+  Status writer_status_;  ///< First fwrite failure, sticky.
+};
+
+}  // namespace dcv::io
+
+#endif  // DCV_IO_BLOCK_WRITER_H_

@@ -1,0 +1,40 @@
+#ifndef DCV_IO_CODEC_H_
+#define DCV_IO_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/format.h"
+
+namespace dcv::io {
+
+/// One decoded block in structure-of-arrays form: columns[c][r] is row r of
+/// column c. Every column has exactly `rows` entries.
+struct ColumnBlock {
+  int64_t first_row = 0;  ///< Global row index of row 0 of this block.
+  int64_t rows = 0;
+  std::vector<std::vector<int64_t>> columns;
+};
+
+/// Appends the codec encoding of `columns` (each with `rows` entries) to
+/// `*out`. Column order is preserved. `rows` >= 1; the caller (BlockWriter)
+/// guarantees rectangular input.
+void EncodeColumns(RowCodec codec,
+                   const std::vector<std::vector<int64_t>>& columns,
+                   int64_t rows, std::string* out);
+
+/// Decodes a payload produced by EncodeColumns into `columns` (resized to
+/// `num_columns`, each with exactly `rows` values). Fails with
+/// kInvalidArgument on any malformed payload: truncated varints, runs that
+/// over- or undershoot `rows`, or trailing bytes after the last column —
+/// a decode either recovers every value bit-exactly or errors, never
+/// partially succeeds.
+Status DecodeColumns(RowCodec codec, const uint8_t* data, size_t len,
+                     int64_t num_columns, int64_t rows,
+                     std::vector<std::vector<int64_t>>* columns);
+
+}  // namespace dcv::io
+
+#endif  // DCV_IO_CODEC_H_

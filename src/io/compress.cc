@@ -1,0 +1,74 @@
+#include "io/compress.h"
+
+#include <limits>
+
+#if DCV_HAVE_LZ4
+#include <lz4.h>
+#endif
+
+namespace dcv::io {
+
+#if DCV_HAVE_LZ4
+
+bool Lz4Available() { return true; }
+
+Status Lz4Compress(const std::string& raw, std::string* out) {
+  if (raw.size() >
+      static_cast<size_t>(std::numeric_limits<int>::max()) ||
+      raw.size() > static_cast<size_t>(LZ4_MAX_INPUT_SIZE)) {
+    return InvalidArgumentError("LZ4 input too large");
+  }
+  const int bound = LZ4_compressBound(static_cast<int>(raw.size()));
+  out->resize(static_cast<size_t>(bound));
+  const int written =
+      LZ4_compress_default(raw.data(), out->data(),
+                           static_cast<int>(raw.size()), bound);
+  if (written <= 0) {
+    return InternalError("LZ4 compression failed");
+  }
+  out->resize(static_cast<size_t>(written));
+  return OkStatus();
+}
+
+Status Lz4Decompress(const uint8_t* data, size_t len, size_t raw_len,
+                     std::string* out) {
+  if (len > static_cast<size_t>(std::numeric_limits<int>::max()) ||
+      raw_len > static_cast<size_t>(std::numeric_limits<int>::max())) {
+    return InvalidArgumentError("LZ4 block too large");
+  }
+  out->resize(raw_len);
+  const int produced = LZ4_decompress_safe(
+      reinterpret_cast<const char*>(data), out->data(),
+      static_cast<int>(len), static_cast<int>(raw_len));
+  if (produced < 0 || static_cast<size_t>(produced) != raw_len) {
+    return InvalidArgumentError("corrupt LZ4 block");
+  }
+  return OkStatus();
+}
+
+#else  // !DCV_HAVE_LZ4
+
+bool Lz4Available() { return false; }
+
+Status Lz4Compress(const std::string& raw, std::string* out) {
+  (void)raw;
+  (void)out;
+  return UnimplementedError(
+      "this build has no LZ4 support (liblz4 was not found at configure "
+      "time)");
+}
+
+Status Lz4Decompress(const uint8_t* data, size_t len, size_t raw_len,
+                     std::string* out) {
+  (void)data;
+  (void)len;
+  (void)raw_len;
+  (void)out;
+  return UnimplementedError(
+      "this file needs LZ4 decompression but the build has no LZ4 support "
+      "(liblz4 was not found at configure time)");
+}
+
+#endif  // DCV_HAVE_LZ4
+
+}  // namespace dcv::io

@@ -1,0 +1,37 @@
+#ifndef DCV_IO_COMPRESS_H_
+#define DCV_IO_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dcv::io {
+
+// LZ4 block compression behind a CMake-detected dependency. When the build
+// found no liblz4, every entry point stays present and returns a clear
+// kUnimplemented error instead of failing to link — readers and writers
+// degrade to the uncompressed path, and a file that *requires* LZ4 is
+// rejected with a message naming the missing dependency.
+
+/// True when this binary was built against liblz4 (DCV_HAVE_LZ4).
+bool Lz4Available();
+
+/// Compresses `raw` into `*out` (replacing its contents). Fails with
+/// kUnimplemented when built without LZ4. Note LZ4 can expand
+/// incompressible input slightly; callers who care should compare sizes
+/// and fall back to storing raw (the BlockWriter does not bother — trace
+/// payloads compress).
+Status Lz4Compress(const std::string& raw, std::string* out);
+
+/// Decompresses exactly `raw_len` bytes out of data[0, len) into `*out`.
+/// Fails with kUnimplemented without LZ4, and with kInvalidArgument on any
+/// malformed stream (never reads or writes out of bounds — safe on
+/// attacker-controlled input).
+Status Lz4Decompress(const uint8_t* data, size_t len, size_t raw_len,
+                     std::string* out);
+
+}  // namespace dcv::io
+
+#endif  // DCV_IO_COMPRESS_H_

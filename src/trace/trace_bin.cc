@@ -1,0 +1,67 @@
+#include "trace/trace_bin.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "io/block_reader.h"
+#include "io/block_writer.h"
+
+namespace dcv {
+
+Result<TraceFormat> SniffTraceFormat(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  uint8_t magic[4];
+  const size_t got = std::fread(magic, 1, sizeof(magic), file);
+  std::fclose(file);
+  if (got == sizeof(magic) && ReadLe32(magic) == io::kFileMagic) {
+    return TraceFormat::kBinary;
+  }
+  return TraceFormat::kCsv;
+}
+
+Status WriteTraceBin(const Trace& trace, const std::string& path,
+                     const io::WriterOptions& options) {
+  DCV_ASSIGN_OR_RETURN(
+      auto writer,
+      io::BlockWriter::Open(path, trace.site_names(), options));
+  for (int64_t t = 0; t < trace.num_epochs(); ++t) {
+    DCV_RETURN_IF_ERROR(writer->AppendRow(trace.epoch(t)));
+  }
+  return writer->Finish();
+}
+
+Result<Trace> ReadTraceBin(const std::string& path) {
+  DCV_ASSIGN_OR_RETURN(auto reader, io::BlockReader::Open(path));
+  Trace out(reader->column_names());
+  io::ColumnBlock block;
+  for (;;) {
+    DCV_ASSIGN_OR_RETURN(bool more, reader->Next(&block));
+    if (!more) {
+      break;
+    }
+    for (int64_t r = 0; r < block.rows; ++r) {
+      std::vector<int64_t> values;
+      values.reserve(block.columns.size());
+      for (const auto& col : block.columns) {
+        values.push_back(col[static_cast<size_t>(r)]);
+      }
+      DCV_RETURN_IF_ERROR(out.AppendEpoch(std::move(values)));
+    }
+  }
+  return out;
+}
+
+Result<Trace> LoadTrace(const std::string& path) {
+  DCV_ASSIGN_OR_RETURN(TraceFormat format, SniffTraceFormat(path));
+  if (format == TraceFormat::kBinary) {
+    return ReadTraceBin(path);
+  }
+  return Trace::ReadCsv(path);
+}
+
+}  // namespace dcv

@@ -1,0 +1,44 @@
+#ifndef DCV_TRACE_TRACE_BIN_H_
+#define DCV_TRACE_TRACE_BIN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "io/format.h"
+#include "trace/trace.h"
+
+namespace dcv {
+
+/// Trace container formats the tools understand. Binary is the dcvb blocked
+/// columnar format (src/io/format.h); CSV is the legacy "epoch,site0,..."
+/// text table.
+enum class TraceFormat {
+  kCsv,
+  kBinary,
+};
+
+/// Identifies a trace file by its leading magic bytes: "DCVB" means binary,
+/// anything else (including a short file) is assumed CSV — the CSV parser
+/// then produces the real diagnostic if it is neither. Only fails when the
+/// file cannot be opened at all.
+Result<TraceFormat> SniffTraceFormat(const std::string& path);
+
+/// Writes `trace` as a dcvb file: one column per site, named after the
+/// site; the epoch index is implicit in the row number (rows are epochs in
+/// order), which is also what makes delta/zoh coding effective.
+Status WriteTraceBin(const Trace& trace, const std::string& path,
+                     const io::WriterOptions& options = {});
+
+/// Reads a dcvb file written by WriteTraceBin (or `dcvtool convert`).
+/// Values are validated exactly like AppendEpoch (non-negative), so a
+/// corrupt-but-CRC-clean file cannot smuggle invalid observations in.
+Result<Trace> ReadTraceBin(const std::string& path);
+
+/// Loads a trace in either format, sniffing by magic bytes. This is the
+/// entry point every tool uses, so any command that accepts a trace file
+/// accepts both formats transparently.
+Result<Trace> LoadTrace(const std::string& path);
+
+}  // namespace dcv
+
+#endif  // DCV_TRACE_TRACE_BIN_H_

@@ -1,5 +1,10 @@
 #include "common/strings.h"
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace dcv {
@@ -76,6 +81,54 @@ TEST(ParseDoubleTest, RejectsInvalid) {
   EXPECT_FALSE(ParseDouble("").ok());
   EXPECT_FALSE(ParseDouble("1.2.3").ok());
   EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(ParseDoubleTest, RejectsOverflowOnly) {
+  // ERANGE overflow is a real error...
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+  // ...but ERANGE underflow to a representable denormal is not (glibc sets
+  // errno even when the value is exact).
+  auto denorm = ParseDouble("5e-324");
+  ASSERT_TRUE(denorm.ok()) << denorm.status();
+  EXPECT_EQ(*denorm, std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ParseDoubleTest, AcceptsNonFiniteSpellings) {
+  EXPECT_TRUE(std::isnan(*ParseDouble("nan")));
+  EXPECT_TRUE(std::isnan(*ParseDouble("NaN")));
+  EXPECT_EQ(*ParseDouble("inf"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(*ParseDouble("-inf"), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(*ParseDouble("Infinity"),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(FormatDoubleTest, CanonicalNonFiniteSpellings) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatDoubleTest, RoundTripsBitExact) {
+  const std::vector<double> goldens = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      0.1,
+      2.2250738585072011e-308,  // Largest subnormal-adjacent trouble value.
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+  };
+  for (double v : goldens) {
+    auto back = ParseDouble(FormatDouble(v));
+    ASSERT_TRUE(back.ok()) << FormatDouble(v) << ": " << back.status();
+    uint64_t want_bits = 0;
+    uint64_t got_bits = 0;
+    std::memcpy(&want_bits, &v, sizeof(want_bits));
+    std::memcpy(&got_bits, &*back, sizeof(got_bits));
+    EXPECT_EQ(got_bits, want_bits) << FormatDouble(v);
+  }
 }
 
 }  // namespace

@@ -1,7 +1,21 @@
 // dcvtool — command-line front end for the dcv library.
 //
 //   dcvtool generate --out trace.csv [--sites 10] [--weeks 5] [--seed 42]
-//       Write a synthetic SNMP-style multi-site trace as CSV.
+//           [--format csv|bin] [--codec flat|delta|zoh]
+//           [--compress none|lz4|auto] [--block-rows N]
+//       Write a synthetic SNMP-style multi-site trace. --format bin writes
+//       the dcvb binary columnar container (src/io/format.h) instead of
+//       CSV; the codec/compression flags tune it and are rejected with
+//       --format csv.
+//
+//   dcvtool convert --in trace.{csv|bin} --out other.{csv|bin}
+//           [--format csv|bin] [--codec flat|delta|zoh]
+//           [--compress none|lz4|auto] [--block-rows N]
+//       Convert a trace between CSV and the binary container (either
+//       direction; the input format is sniffed from its magic bytes).
+//       --format defaults to the opposite of the input. Conversion is
+//       lossless: csv -> bin -> csv reproduces the original file byte for
+//       byte.
 //
 //   dcvtool plan --trace trace.csv --constraint "a + b <= 100"
 //           [--train-epochs N] [--eps 0.05] [--buckets 100]
@@ -93,6 +107,10 @@
 //       (virtual-time or free-running) is adopted from the coordinator's
 //       handshake, not a flag.
 //
+// Every subcommand that takes a --trace accepts both formats transparently
+// (the loader sniffs the magic bytes), so a binary trace drops into any
+// existing pipeline.
+//
 // Every subcommand prints machine-greppable "key: value" lines in a fixed
 // order with locale-independent number formatting, so CI can diff them.
 // Flags accept both "--flag value" and "--flag=value"; unknown or repeated
@@ -129,8 +147,10 @@
 #include "threshold/exact_dp.h"
 #include "threshold/fptas.h"
 #include "threshold/heuristics.h"
+#include "io/format.h"
 #include "trace/snmp_synth.h"
 #include "trace/stats.h"
+#include "trace/trace_bin.h"
 
 namespace dcv {
 namespace {
@@ -148,6 +168,68 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return OkStatus();
 }
 
+/// Size of an existing file, for the convert/generate summary lines.
+Result<int64_t> FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) {
+    return InternalError("cannot size file: " + path);
+  }
+  return static_cast<int64_t>(size);
+}
+
+// ----------------------------------------------------------------------
+// Binary-trace output flags shared by `generate` and `convert`.
+void DeclareBinFlags(FlagSet* flags) {
+  flags->Value("format").Value("codec").Value("compress").Value("block-rows");
+}
+
+Result<io::WriterOptions> ParseBinFlags(const ParsedFlags& flags) {
+  io::WriterOptions options;
+  DCV_ASSIGN_OR_RETURN(options.codec,
+                       io::ParseRowCodec(flags.GetString("codec", "delta")));
+  DCV_ASSIGN_OR_RETURN(
+      options.compression,
+      io::ParseBlockCompression(flags.GetString("compress", "none")));
+  DCV_ASSIGN_OR_RETURN(int64_t block_rows,
+                       flags.GetInt("block-rows", options.block_rows));
+  options.block_rows = block_rows;
+  return options;
+}
+
+/// Rejects --codec/--compress/--block-rows when the output is CSV: a
+/// silently ignored tuning flag is how a benchmark ends up measuring the
+/// wrong file.
+Status RejectBinFlagsForCsv(const ParsedFlags& flags) {
+  for (const char* flag : {"codec", "compress", "block-rows"}) {
+    if (!flags.GetString(flag, "").empty()) {
+      return InvalidArgumentError(std::string("--") + flag +
+                                  " only applies to binary output "
+                                  "(--format bin)");
+    }
+  }
+  return OkStatus();
+}
+
+Status WriteTraceAs(const Trace& trace, const std::string& path,
+                    const std::string& format, const ParsedFlags& flags) {
+  if (format == "csv") {
+    DCV_RETURN_IF_ERROR(RejectBinFlagsForCsv(flags));
+    return trace.WriteCsv(path);
+  }
+  if (format == "bin") {
+    DCV_ASSIGN_OR_RETURN(io::WriterOptions options, ParseBinFlags(flags));
+    return WriteTraceBin(trace, path, options);
+  }
+  return InvalidArgumentError("--format must be csv or bin, got '" + format +
+                              "'");
+}
+
 // ----------------------------------------------------------------------
 Status RunGenerate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
@@ -160,13 +242,38 @@ Status RunGenerate(const ParsedFlags& flags) {
   options.num_weeks = static_cast<int>(weeks);
   options.seed = static_cast<uint64_t>(seed);
   options.shift_week = static_cast<int>(shift_week);
+  const std::string format = flags.GetString("format", "csv");
   DCV_ASSIGN_OR_RETURN(Trace trace, GenerateSnmpTrace(options));
-  DCV_RETURN_IF_ERROR(trace.WriteCsv(out));
+  DCV_RETURN_IF_ERROR(WriteTraceAs(trace, out, format, flags));
   std::printf("trace: %s\n", out.c_str());
+  std::printf("format: %s\n", format.c_str());
   std::printf("sites: %d\n", trace.num_sites());
   std::printf("epochs: %lld\n", static_cast<long long>(trace.num_epochs()));
   std::printf("epochs-per-week: %lld\n",
               static_cast<long long>(EpochsPerWeek(options)));
+  return OkStatus();
+}
+
+// ----------------------------------------------------------------------
+Status RunConvert(const ParsedFlags& flags) {
+  DCV_ASSIGN_OR_RETURN(std::string in, flags.GetRequired("in"));
+  DCV_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
+  DCV_ASSIGN_OR_RETURN(TraceFormat in_format, SniffTraceFormat(in));
+  const std::string format = flags.GetString(
+      "format", in_format == TraceFormat::kBinary ? "csv" : "bin");
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(in));
+  DCV_RETURN_IF_ERROR(WriteTraceAs(trace, out, format, flags));
+  DCV_ASSIGN_OR_RETURN(int64_t in_bytes, FileSize(in));
+  DCV_ASSIGN_OR_RETURN(int64_t out_bytes, FileSize(out));
+  std::printf("in: %s\n", in.c_str());
+  std::printf("in-format: %s\n",
+              in_format == TraceFormat::kBinary ? "bin" : "csv");
+  std::printf("out: %s\n", out.c_str());
+  std::printf("out-format: %s\n", format.c_str());
+  std::printf("sites: %d\n", trace.num_sites());
+  std::printf("epochs: %lld\n", static_cast<long long>(trace.num_epochs()));
+  std::printf("in-bytes: %lld\n", static_cast<long long>(in_bytes));
+  std::printf("out-bytes: %lld\n", static_cast<long long>(out_bytes));
   return OkStatus();
 }
 
@@ -195,7 +302,7 @@ Status RunPlan(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(std::string constraint_text,
                        flags.GetRequired("constraint"));
-  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
   DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
                        flags.GetInt("train-epochs", trace.num_epochs()));
   DCV_ASSIGN_OR_RETURN(double eps, flags.GetDouble("eps", 0.05));
@@ -382,7 +489,7 @@ Status ValidateFaults(const FaultSpec& spec, int num_sites) {
 
 Status RunSimulate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
-  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
   DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
                        flags.GetInt("train-epochs", trace.num_epochs() / 2));
   DCV_ASSIGN_OR_RETURN(int64_t threshold, flags.GetInt("threshold", -1));
@@ -758,7 +865,7 @@ Status RunRuntime(const ParsedFlags& flags) {
                               options.transport == TransportKind::kSocket);
   }
 
-  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
   DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
                        flags.GetInt("train-epochs", trace.num_epochs() / 2));
   if (train_epochs < 1 || train_epochs >= trace.num_epochs()) {
@@ -876,7 +983,7 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
   bool have_trace = false;
   const std::string trace_path = flags.GetString("trace", "");
   if (!trace_path.empty()) {
-    DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+    DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
     DCV_ASSIGN_OR_RETURN(int64_t train_epochs,
                          flags.GetInt("train-epochs", trace.num_epochs() / 2));
     if (train_epochs < 1 || train_epochs >= trace.num_epochs()) {
@@ -927,7 +1034,7 @@ Status RunCheck(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string plan_path, flags.GetRequired("plan"));
   DCV_ASSIGN_OR_RETURN(std::string trace_path, flags.GetRequired("trace"));
   DCV_ASSIGN_OR_RETURN(MonitorPlan plan, MonitorPlan::ReadFromFile(plan_path));
-  DCV_ASSIGN_OR_RETURN(Trace trace, Trace::ReadCsv(trace_path));
+  DCV_ASSIGN_OR_RETURN(Trace trace, LoadTrace(trace_path));
   if (trace.site_names() != plan.site_names) {
     return InvalidArgumentError(
         "trace site columns do not match the plan's sites");
@@ -985,6 +1092,14 @@ FlagSet GenerateFlags() {
   FlagSet flags;
   flags.Value("out").Value("sites").Value("weeks").Value("seed")
       .Value("shift-week");
+  DeclareBinFlags(&flags);
+  return flags;
+}
+
+FlagSet ConvertFlags() {
+  FlagSet flags;
+  flags.Value("in").Value("out");
+  DeclareBinFlags(&flags);
   return flags;
 }
 
@@ -1038,7 +1153,8 @@ FlagSet CheckFlags() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dcvtool <generate|plan|simulate|run|site-worker|check> "
+               "usage: dcvtool "
+               "<generate|convert|plan|simulate|run|site-worker|check> "
                "--flag value ...\nsee the header of tools/dcvtool.cc for "
                "details\n");
   return 2;
@@ -1057,6 +1173,9 @@ int Main(int argc, char** argv) {
   if (command == "generate") {
     flag_set = GenerateFlags();
     handler = RunGenerate;
+  } else if (command == "convert") {
+    flag_set = ConvertFlags();
+    handler = RunConvert;
   } else if (command == "plan") {
     flag_set = PlanFlags();
     handler = RunPlan;
