@@ -5,12 +5,22 @@
 // threaded runtime vs. the single-threaded lockstep simulator, and for the
 // two-level coordinator tree (--shards) vs. the flat coordinator.
 //
-// Usage: bench_runtime [--updates 200000] [--sites 2,4,8,16] [--shards 1]
+// Usage: bench_runtime [--updates U] [--sites 2,4,8,16] [--shards 1]
 //                      [--seed 42] [--alarm-fraction 0.02] [--workers 0]
+//                      [--engine multiplexed|actor]
 //                      [--transport thread|socket] [--json out.json]
 //                      [--chaos none|kill-shard] [--chaos-seed 3]
 //                      [--heartbeat-timeout-ms 500]
 //                      [--trace file [--train-epochs N] [--threshold T]]
+//
+// When --updates is omitted, each configuration gets a per-site update
+// count derived from a fixed total budget (~2e8 updates, clamped to
+// [50, 200000] per site), so a single sweep can span 2 sites to a million
+// sites without either finishing in microseconds or running for hours.
+// --engine picks the site-side data plane: "multiplexed" (default) packs
+// every worker's sites into one flat SoA loop; "actor" is the
+// one-object-per-site baseline the EXPERIMENTS comparison row measures
+// against.
 //
 // --trace switches from the synthetic sweep to free-running replay of a
 // recorded trace (CSV or the dcvb binary format — sniffed by magic bytes):
@@ -35,9 +45,11 @@
 // (shard_recoveries, recovery_ms) are always emitted so the JSON schema
 // is stable with and without chaos.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,12 +69,13 @@ namespace dcv {
 namespace {
 
 struct BenchConfig {
-  int64_t updates = 200000;  ///< Per site.
+  int64_t updates = 0;  ///< Per site; 0 = auto budget (see header comment).
   std::vector<int> site_counts = {2, 4, 8, 16};
   std::vector<int> shard_counts = {1};
   uint64_t seed = 42;
   double alarm_fraction = 0.02;  ///< Fraction of updates breaching T_i.
-  int workers = 0;               ///< 0 = one thread per site.
+  int workers = 0;               ///< 0 = auto (RuntimeOptions::num_workers).
+  SiteEngineKind engine = SiteEngineKind::kMultiplexed;
   bool socket = false;           ///< Loopback TCP instead of mailboxes.
   std::string json_path;         ///< Empty = no JSON artifact.
   ChaosSpec chaos;               ///< One injected failure per config.
@@ -72,26 +85,62 @@ struct BenchConfig {
   int64_t threshold = -1;        ///< <0 = 1% overflow on the eval slice.
 };
 
-Result<std::vector<int>> ParseIntList(const std::string& csv) {
+/// Largest site/shard/worker count any flag accepts. Same ceiling dcvtool
+/// enforces: keeps every derived quantity (mailbox capacities of
+/// 2 * sites + 16, budget divisions, per-run totals) inside int64 and the
+/// per-element static_cast<int> below lossless.
+constexpr int64_t kMaxSites = 50'000'000;
+
+/// Parses a comma list of counts, validating each element against
+/// [1, kMaxSites] so a value like 10e9 fails loudly here instead of
+/// wrapping negative in the int narrowing and crashing the fabric setup.
+Result<std::vector<int>> ParseIntList(const std::string& csv,
+                                      const char* flag) {
   std::vector<int> out;
   for (const std::string& tok : StrSplit(csv, ',')) {
     DCV_ASSIGN_OR_RETURN(int64_t n, ParseInt64(tok));
+    if (n < 1 || n > kMaxSites) {
+      return InvalidArgumentError(
+          std::string(flag) + " entries must be in [1, " +
+          std::to_string(kMaxSites) + "], got " + std::to_string(n));
+    }
     out.push_back(static_cast<int>(n));
   }
+  if (out.empty()) {
+    return InvalidArgumentError(std::string(flag) +
+                                " needs at least one value");
+  }
   return out;
+}
+
+/// Per-site update count for one configuration: the explicit --updates
+/// value, or a slice of the fixed total budget when the flag was omitted.
+int64_t UpdatesPerSite(const BenchConfig& config, int sites) {
+  if (config.updates > 0) {
+    return config.updates;
+  }
+  constexpr int64_t kTotalBudget = 200'000'000;
+  constexpr int64_t kMinPerSite = 50;
+  constexpr int64_t kMaxPerSite = 200'000;
+  const int64_t per_site = kTotalBudget / std::max(sites, 1);
+  return std::min(kMaxPerSite, std::max(kMinPerSite, per_site));
 }
 
 Result<BenchConfig> ParseArgs(int argc, char** argv) {
   FlagSet flags;
   flags.Value("updates").Value("sites").Value("shards").Value("seed")
-      .Value("alarm-fraction").Value("workers").Value("transport")
-      .Value("json").Value("chaos").Value("chaos-seed")
+      .Value("alarm-fraction").Value("workers").Value("engine")
+      .Value("transport").Value("json").Value("chaos").Value("chaos-seed")
       .Value("heartbeat-timeout-ms").Value("trace").Value("train-epochs")
       .Value("threshold");
   DCV_ASSIGN_OR_RETURN(ParsedFlags parsed, flags.Parse(argc, argv, 1));
   BenchConfig config;
   DCV_ASSIGN_OR_RETURN(config.updates,
                        parsed.GetInt("updates", config.updates));
+  if (parsed.Has("updates") && config.updates < 1) {
+    return InvalidArgumentError("--updates must be >= 1, got " +
+                                std::to_string(config.updates));
+  }
   DCV_ASSIGN_OR_RETURN(
       int64_t seed, parsed.GetInt("seed", static_cast<int64_t>(config.seed)));
   config.seed = static_cast<uint64_t>(seed);
@@ -100,14 +149,34 @@ Result<BenchConfig> ParseArgs(int argc, char** argv) {
       parsed.GetDouble("alarm-fraction", config.alarm_fraction));
   DCV_ASSIGN_OR_RETURN(int64_t workers,
                        parsed.GetInt("workers", config.workers));
+  if (workers < 0 || workers > kMaxSites) {
+    return InvalidArgumentError("--workers must be in [0, " +
+                                std::to_string(kMaxSites) + "], got " +
+                                std::to_string(workers));
+  }
   config.workers = static_cast<int>(workers);
+  const std::string engine = parsed.GetString("engine", "multiplexed");
+  if (engine == "actor") {
+    config.engine = SiteEngineKind::kActorPerSite;
+  } else if (engine != "multiplexed") {
+    return InvalidArgumentError("--engine must be multiplexed or actor");
+  }
   if (parsed.Has("sites")) {
-    DCV_ASSIGN_OR_RETURN(config.site_counts,
-                         ParseIntList(parsed.GetString("sites", "")));
+    DCV_ASSIGN_OR_RETURN(
+        config.site_counts,
+        ParseIntList(parsed.GetString("sites", ""), "--sites"));
   }
   if (parsed.Has("shards")) {
-    DCV_ASSIGN_OR_RETURN(config.shard_counts,
-                         ParseIntList(parsed.GetString("shards", "")));
+    DCV_ASSIGN_OR_RETURN(
+        config.shard_counts,
+        ParseIntList(parsed.GetString("shards", ""), "--shards"));
+  }
+  for (int sites : config.site_counts) {
+    if (config.updates > 0 &&
+        config.updates > std::numeric_limits<int64_t>::max() / sites) {
+      return InvalidArgumentError(
+          "--sites * --updates overflows a 64-bit total");
+    }
   }
   config.json_path = parsed.GetString("json", "");
   const std::string transport = parsed.GetString("transport", "thread");
@@ -191,6 +260,7 @@ Status RunTraceBench(const BenchConfig& config) {
     obs::MetricsRegistry run_metrics;
     RuntimeOptions options;
     options.virtual_time = false;
+    options.engine = config.engine;
     options.num_workers =
         config.workers == 0 ? 0 : std::min(config.workers, eval.num_sites());
     options.num_shards = shards;
@@ -233,10 +303,21 @@ int RunBench(const BenchConfig& config) {
   // "bench/runtime/sites=N/shards=K/" prefix; --json dumps it at the end.
   obs::MetricsRegistry summary;
 
-  std::printf("# free-running runtime throughput (updates/site: %" PRId64
-              ", alarm fraction: %.3f, transport: %s)\n",
-              config.updates, config.alarm_fraction,
-              config.socket ? "socket" : "thread");
+  if (config.updates > 0) {
+    std::printf("# free-running runtime throughput (updates/site: %" PRId64
+                ", alarm fraction: %.3f, engine: %s, transport: %s)\n",
+                config.updates, config.alarm_fraction,
+                config.engine == SiteEngineKind::kMultiplexed ? "multiplexed"
+                                                              : "actor",
+                config.socket ? "socket" : "thread");
+  } else {
+    std::printf("# free-running runtime throughput (updates/site: auto "
+                "budget, alarm fraction: %.3f, engine: %s, transport: %s)\n",
+                config.alarm_fraction,
+                config.engine == SiteEngineKind::kMultiplexed ? "multiplexed"
+                                                              : "actor",
+                config.socket ? "socket" : "thread");
+  }
   std::printf("%8s %8s %8s %14s %12s %14s %10s %10s %14s\n", "sites",
               "threads", "shards", "updates", "seconds", "updates/sec",
               "alarms", "polls", "poll-us(mean)");
@@ -247,11 +328,13 @@ int RunBench(const BenchConfig& config) {
                     shards, sites);
         continue;
       }
+      const int64_t updates = UpdatesPerSite(config, sites);
       // Per-run registry so the coordinator latency histograms are not
       // merged across configurations.
       obs::MetricsRegistry run_metrics;
       RuntimeOptions options;
       options.virtual_time = false;
+      options.engine = config.engine;
       options.num_workers =
           config.workers == 0 ? 0 : std::min(config.workers, sites);
       options.num_shards = shards;
@@ -283,17 +366,18 @@ int RunBench(const BenchConfig& config) {
             options.num_workers == 0 ? sites : options.num_workers;
         options.transport = TransportKind::kSocket;
         options.listen_port = 0;
-        options.on_listening = [&worker_threads, num_workers, sites,
+        options.on_listening = [&worker_threads, num_workers, sites, updates,
                                 &config](int port) {
           for (int w = 0; w < num_workers; ++w) {
-            worker_threads.emplace_back([w, port, num_workers, sites,
+            worker_threads.emplace_back([w, port, num_workers, sites, updates,
                                          &config] {
               SiteWorkerOptions wo;
               wo.port = port;
               wo.worker = w;
               wo.num_workers = num_workers;
               wo.num_sites = sites;
-              wo.synthetic_updates = config.updates;
+              wo.engine = config.engine;
+              wo.synthetic_updates = updates;
               wo.seed = config.seed;
               wo.synthetic_max = 1'000'000;
               auto report = RunSiteWorker(nullptr, wo);
@@ -305,7 +389,7 @@ int RunBench(const BenchConfig& config) {
           }
         };
       }
-      auto result = RunSyntheticRuntime(sites, config.updates, options);
+      auto result = RunSyntheticRuntime(sites, updates, options);
       for (std::thread& t : worker_threads) {
         t.join();
       }
@@ -324,8 +408,14 @@ int RunBench(const BenchConfig& config) {
           run_metrics.histogram("runtime/detection_lag_epochs",
                                 obs::Histogram::ExponentialBounds(1.0, 2.0, 16))
               ->Snapshot();
+      // Mirror Launch's auto-resolution: the multiplexed engine defaults to
+      // one thread per core, the actor engine to one thread per site.
+      const int hw = std::max(
+          1, static_cast<int>(std::thread::hardware_concurrency()));
       const int threads =
-          options.num_workers == 0 ? sites : options.num_workers;
+          options.num_workers != 0 ? options.num_workers
+          : config.engine == SiteEngineKind::kMultiplexed ? std::min(sites, hw)
+                                                          : sites;
       std::printf("%8d %8d %8d %14" PRId64 " %12.3f %14.0f %10" PRId64
                   " %10" PRId64 " %14.1f\n",
                   sites, threads, shards, result->total_updates,

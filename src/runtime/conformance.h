@@ -22,7 +22,13 @@ struct ConformanceSpec {
   std::vector<int64_t> weights;             ///< Empty = all ones.
   int64_t global_threshold = 0;
   FaultSpec faults;
-  int num_workers = 0;  ///< 0 = one thread per site.
+  int num_workers = 0;  ///< 0 = auto (see RuntimeOptions::num_workers).
+
+  /// Site-side engine for the runtime runs: the multiplexed SoA loop
+  /// (default) or the actor-per-site baseline. Conformance must hold for
+  /// both — the engine-conformance tests diff them against each other AND
+  /// the lockstep reference.
+  SiteEngineKind engine = SiteEngineKind::kMultiplexed;
 
   /// Coordinator shard count for the runtime runs (two-level coordinator
   /// tree; 1 = flat). Virtual-time results must be bit-identical for every

@@ -90,25 +90,31 @@ Status CoordinatorActor::PollRound(Transport* transport, int64_t epoch,
   ActorMessage request;
   request.kind = ActorMsgKind::kPollRequest;
   request.epoch = epoch;
+  std::vector<Envelope> requests;
+  requests.reserve(static_cast<size_t>(config_.num_sites));
   for (int i = 0; i < config_.num_sites; ++i) {
-    if (!transport->Send(Envelope{kCoordinatorId, i, request})) {
-      return InternalError("transport closed during poll round");
-    }
+    requests.push_back(Envelope{kCoordinatorId, i, request});
+  }
+  if (!transport->SendBatch(requests)) {
+    return InternalError("transport closed during poll round");
   }
   values->assign(static_cast<size_t>(config_.num_sites), 0);
   int pending = config_.num_sites;
-  Envelope e;
+  std::vector<Envelope> batch;
   while (pending > 0) {
-    if (!transport->RecvCoordinator(&e)) {
+    batch.clear();
+    if (transport->RecvShardAll(0, &batch) == 0) {
       return InternalError("transport closed while collecting poll responses");
     }
-    if (e.msg.kind != ActorMsgKind::kPollResponse) {
-      return InternalError(std::string("unexpected ") +
-                           std::string(ActorMsgKindName(e.msg.kind)) +
-                           " during poll round");
+    for (const Envelope& e : batch) {
+      if (e.msg.kind != ActorMsgKind::kPollResponse) {
+        return InternalError(std::string("unexpected ") +
+                             std::string(ActorMsgKindName(e.msg.kind)) +
+                             " during poll round");
+      }
+      (*values)[static_cast<size_t>(e.from)] = e.msg.value;
+      --pending;
     }
-    (*values)[static_cast<size_t>(e.from)] = e.msg.value;
-    --pending;
   }
   return OkStatus();
 }
@@ -130,6 +136,9 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
   std::vector<char> alarmed(static_cast<size_t>(n), 0);
   std::vector<int64_t> alarm_value(static_cast<size_t>(n), 0);
   std::vector<int64_t> poll_values;
+  std::vector<Envelope> starts;   ///< Reused per-epoch fan-out batch.
+  std::vector<Envelope> reports;  ///< Reused per-epoch drain batch.
+  starts.reserve(static_cast<size_t>(n));
   const ResolvedChaos chaos =
       ResolveChaos(config_.chaos, num_epochs, transport->num_workers());
 
@@ -179,29 +188,37 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
     // Epoch barrier: every site observes its value and reports back whether
     // its local constraint fired. These are synchronization messages (they
     // model the passage of simulated time), not protocol traffic — the
-    // protocol's alarms are replayed through the channel below.
+    // protocol's alarms are replayed through the channel below. One
+    // SendBatch per epoch fans the starts out; reports drain back in
+    // bursts. Batching cannot perturb detections: alarms are replayed in
+    // ascending site order after every report is in, so arrival order
+    // never reaches the channel.
+    starts.clear();
     for (int i = 0; i < n; ++i) {
       ActorMessage start;
       start.kind = ActorMsgKind::kEpochStart;
       start.epoch = t;
       start.flag = channel_.SiteUp(i);
-      if (!transport->Send(Envelope{kCoordinatorId, i, start})) {
-        return InternalError("transport closed during epoch start");
-      }
+      starts.push_back(Envelope{kCoordinatorId, i, start});
+    }
+    if (!transport->SendBatch(starts)) {
+      return InternalError("transport closed during epoch start");
     }
     std::fill(alarmed.begin(), alarmed.end(), 0);
     int reports_pending = n;
-    Envelope e;
     while (reports_pending > 0) {
-      if (!transport->RecvCoordinator(&e)) {
+      reports.clear();
+      if (transport->RecvShardAll(0, &reports) == 0) {
         return InternalError("transport closed while collecting reports");
       }
-      if (e.msg.kind != ActorMsgKind::kEpochReport || e.msg.epoch != t) {
-        return InternalError("out-of-order message at epoch barrier");
+      for (const Envelope& e : reports) {
+        if (e.msg.kind != ActorMsgKind::kEpochReport || e.msg.epoch != t) {
+          return InternalError("out-of-order message at epoch barrier");
+        }
+        alarmed[static_cast<size_t>(e.from)] = e.msg.flag ? 1 : 0;
+        alarm_value[static_cast<size_t>(e.from)] = e.msg.value;
+        --reports_pending;
       }
-      alarmed[static_cast<size_t>(e.from)] = e.msg.flag ? 1 : 0;
-      alarm_value[static_cast<size_t>(e.from)] = e.msg.value;
-      --reports_pending;
     }
 
     EpochDetection det;
@@ -248,9 +265,12 @@ Status CoordinatorActor::RunVirtual(Transport* transport, int64_t num_epochs,
 
   ActorMessage shutdown;
   shutdown.kind = ActorMsgKind::kShutdown;
+  std::vector<Envelope> shutdowns;
+  shutdowns.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    transport->Send(Envelope{kCoordinatorId, i, shutdown});
+    shutdowns.push_back(Envelope{kCoordinatorId, i, shutdown});
   }
+  transport->SendBatch(shutdowns);
   out->messages = counter_;
   out->reliability = channel_.stats();
   return OkStatus();
@@ -286,15 +306,19 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
   };
   std::chrono::steady_clock::time_point round_start;
   int64_t poll_trigger_epoch = 0;  ///< Watermark when the round started.
+  std::vector<Envelope> requests;  ///< Reused poll fan-out batch.
+  requests.reserve(static_cast<size_t>(n));
   auto start_poll = [&]() -> Status {
     ActorMessage request;
     request.kind = ActorMsgKind::kPollRequest;
     request.epoch = std::max<int64_t>(watermark, 0);
     poll_trigger_epoch = request.epoch;
+    requests.clear();
     for (int i = 0; i < n; ++i) {
-      if (!transport->Send(Envelope{kCoordinatorId, i, request})) {
-        return InternalError("transport closed during poll round");
-      }
+      requests.push_back(Envelope{kCoordinatorId, i, request});
+    }
+    if (!transport->SendBatch(requests)) {
+      return InternalError("transport closed during poll round");
     }
     std::fill(poll_values.begin(), poll_values.end(), 0);
     poll_pending = n;
@@ -306,9 +330,25 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
     return OkStatus();
   };
 
+  // Batch-drain the inbox: at scale the alarm stream arrives thousands per
+  // wakeup; one PopAll per burst replaces one mutex round trip per alarm.
+  std::vector<Envelope> burst;
+  size_t burst_next = 0;
+  auto next_envelope = [&](Envelope* out_env) {
+    if (burst_next >= burst.size()) {
+      burst.clear();
+      burst_next = 0;
+      if (transport->RecvShardAll(0, &burst) == 0) {
+        return false;
+      }
+    }
+    *out_env = burst[burst_next++];
+    return true;
+  };
+
   Envelope e;
   while (sites_done < n || poll_outstanding) {
-    if (!transport->RecvCoordinator(&e)) {
+    if (!next_envelope(&e)) {
       return InternalError("transport closed while sites were live");
     }
     switch (e.msg.kind) {
@@ -378,9 +418,12 @@ Status CoordinatorActor::RunFree(Transport* transport, RuntimeResult* out) {
 
   ActorMessage shutdown;
   shutdown.kind = ActorMsgKind::kShutdown;
+  std::vector<Envelope> shutdowns;
+  shutdowns.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    transport->Send(Envelope{kCoordinatorId, i, shutdown});
+    shutdowns.push_back(Envelope{kCoordinatorId, i, shutdown});
   }
+  transport->SendBatch(shutdowns);
   out->messages = counter_;
   out->reliability = channel_.stats();
   for (int64_t u : out->site_updates) {

@@ -55,6 +55,68 @@ class Mailbox {
     return true;
   }
 
+  /// Blocking batched push — the send-side mirror of PopAll. Enqueues the
+  /// whole vector, paying one mutex round trip per burst of free capacity
+  /// instead of one per message: each wakeup moves as many items as fit,
+  /// then waits for the consumer to make room. Per-producer FIFO order is
+  /// preserved (items land front-to-back). Returns false iff the mailbox
+  /// was closed before every item was enqueued; a prefix may already have
+  /// been accepted and stays poppable (drain-on-shutdown), same as a
+  /// sequence of single Pushes interrupted by Close.
+  bool PushAll(std::vector<T>&& items) {
+    size_t next = 0;
+    while (next < items.size()) {
+      size_t moved = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(
+            lock, [this] { return closed_ || queue_.size() < capacity_; });
+        if (closed_) {
+          return false;
+        }
+        while (next < items.size() && queue_.size() < capacity_) {
+          queue_.push_back(std::move(items[next]));
+          ++next;
+          ++moved;
+        }
+      }
+      if (moved == 1) {
+        not_empty_.notify_one();
+      } else {
+        not_empty_.notify_all();
+      }
+    }
+    return true;
+  }
+
+  /// Non-blocking batched push: enqueues the longest prefix of
+  /// items[begin..] that fits right now and returns its length (0 when the
+  /// box is full or closed; `*closed` distinguishes the two so callers can
+  /// stop retrying a dead box). Moved-from slots are left behind in
+  /// `items`; the caller advances its own cursor by the return value.
+  size_t TryPushAll(std::vector<T>* items, size_t begin, bool* closed) {
+    size_t moved = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed != nullptr) {
+        *closed = closed_;
+      }
+      if (closed_) {
+        return 0;
+      }
+      while (begin + moved < items->size() && queue_.size() < capacity_) {
+        queue_.push_back(std::move((*items)[begin + moved]));
+        ++moved;
+      }
+    }
+    if (moved == 1) {
+      not_empty_.notify_one();
+    } else if (moved > 1) {
+      not_empty_.notify_all();
+    }
+    return moved;
+  }
+
   MailboxPush TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);

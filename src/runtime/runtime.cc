@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <memory>
@@ -8,10 +9,18 @@
 
 #include "runtime/plan.h"
 #include "runtime/site_actor.h"
+#include "runtime/site_engine.h"
 #include "runtime/transport.h"
 
 namespace dcv {
 namespace {
+
+/// Hard ceiling on in-process worker threads. The actor engine's
+/// historical thread-per-site default is fine at conformance scale but a
+/// 100k-site run would ask the OS for 100k threads and die inside the
+/// std::thread constructor; large fabrics belong to the multiplexed
+/// engine, which never needs more threads than cores.
+constexpr int kMaxWorkerThreads = 10'000;
 
 struct LaunchPlan {
   std::vector<int64_t> weights;
@@ -229,9 +238,28 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
   if (options.transport == TransportKind::kSocket) {
     return LaunchSocket(n, updates_per_site, plan, options);
   }
-  int workers = options.num_workers == 0 ? n : options.num_workers;
+  const bool multiplexed = options.engine == SiteEngineKind::kMultiplexed;
+  int workers = options.num_workers;
+  if (workers == 0) {
+    // Actor engine: thread-per-site, the historical default. Multiplexed
+    // engine: one shard loop per core — a million sites must not mean a
+    // million threads.
+    workers = multiplexed
+                  ? std::min(n, std::max(1, static_cast<int>(
+                                                std::thread::
+                                                    hardware_concurrency())))
+                  : n;
+  }
   if (workers < 1 || workers > n) {
     return InvalidArgumentError("num_workers must be in [1, num_sites]");
+  }
+  if (workers > kMaxWorkerThreads) {
+    // std::thread construction past the OS task limit aborts the process
+    // with an uncatchable std::system_error mid-spawn; refuse up front.
+    return InvalidArgumentError(
+        "run would spawn " + std::to_string(workers) +
+        " worker threads (max " + std::to_string(kMaxWorkerThreads) +
+        "); pass an explicit thread count or use the multiplexed engine");
   }
   DCV_RETURN_IF_ERROR(MakeShardLayout(n, options.num_shards).status());
   DCV_ASSIGN_OR_RETURN(std::unique_ptr<ThreadTransport> transport,
@@ -248,28 +276,57 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
   // the plan is possible, but the site constraint is disabled.
   const bool local = options.protocol == RuntimeProtocol::kLocalThreshold;
   std::vector<std::unique_ptr<SiteActor>> sites;
-  sites.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    SiteActor::Config cfg;
-    cfg.site = i;
-    cfg.threshold = local ? plan.thresholds[static_cast<size_t>(i)]
-                          : std::numeric_limits<int64_t>::max();
-    if (eval != nullptr) {
-      cfg.series = eval->SiteSeries(i);
-    } else {
-      cfg.synthetic_updates = updates_per_site;
+  std::vector<std::vector<SiteActor*>> owned;
+  std::vector<std::unique_ptr<SiteEngine>> engines;
+  if (multiplexed) {
+    // One SoA engine per worker; per-site config lands in slot order
+    // (slot s of worker w is site s * workers + w).
+    engines.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      SiteEngine::Config ecfg;
+      ecfg.worker = w;
+      ecfg.num_workers = workers;
+      ecfg.num_sites = n;
+      for (int site = w; site < n; site += workers) {
+        ecfg.thresholds.push_back(
+            local ? plan.thresholds[static_cast<size_t>(site)]
+                  : std::numeric_limits<int64_t>::max());
+        if (eval != nullptr) {
+          ecfg.series.push_back(eval->SiteSeries(site));
+        }
+      }
+      ecfg.synthetic_updates = eval == nullptr ? updates_per_site : 0;
+      ecfg.seed = options.seed;
+      ecfg.synthetic_max = options.synthetic_max;
+      ecfg.capture_updates = options.capture_updates;
+      ecfg.metrics = options.metrics;
+      ecfg.recorder = options.recorder;
+      engines.push_back(std::make_unique<SiteEngine>(std::move(ecfg)));
     }
-    cfg.seed = options.seed;
-    cfg.synthetic_max = options.synthetic_max;
-    cfg.capture_updates = options.capture_updates;
-    cfg.metrics = options.metrics;
-    cfg.recorder = options.recorder;
-    sites.push_back(std::make_unique<SiteActor>(cfg));
-  }
-  std::vector<std::vector<SiteActor*>> owned(static_cast<size_t>(workers));
-  for (int i = 0; i < n; ++i) {
-    owned[static_cast<size_t>(transport->WorkerOf(i))].push_back(
-        sites[static_cast<size_t>(i)].get());
+  } else {
+    sites.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      SiteActor::Config cfg;
+      cfg.site = i;
+      cfg.threshold = local ? plan.thresholds[static_cast<size_t>(i)]
+                            : std::numeric_limits<int64_t>::max();
+      if (eval != nullptr) {
+        cfg.series = eval->SiteSeries(i);
+      } else {
+        cfg.synthetic_updates = updates_per_site;
+      }
+      cfg.seed = options.seed;
+      cfg.synthetic_max = options.synthetic_max;
+      cfg.capture_updates = options.capture_updates;
+      cfg.metrics = options.metrics;
+      cfg.recorder = options.recorder;
+      sites.push_back(std::make_unique<SiteActor>(cfg));
+    }
+    owned.resize(static_cast<size_t>(workers));
+    for (int i = 0; i < n; ++i) {
+      owned[static_cast<size_t>(transport->WorkerOf(i))].push_back(
+          sites[static_cast<size_t>(i)].get());
+    }
   }
 
   CoordinatorActor coordinator(MakeCoordinatorConfig(n, plan, options));
@@ -280,11 +337,21 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     Transport* t = transport.get();
-    const std::vector<SiteActor*>& mine = owned[static_cast<size_t>(w)];
-    if (options.virtual_time) {
-      threads.emplace_back([t, w, &mine] { RunSiteWorkerVirtual(t, w, mine); });
+    if (multiplexed) {
+      SiteEngine* engine = engines[static_cast<size_t>(w)].get();
+      if (options.virtual_time) {
+        threads.emplace_back([t, engine] { engine->RunVirtual(t); });
+      } else {
+        threads.emplace_back([t, engine] { engine->RunFree(t); });
+      }
     } else {
-      threads.emplace_back([t, w, &mine] { RunSiteWorkerFree(t, w, mine); });
+      const std::vector<SiteActor*>& mine = owned[static_cast<size_t>(w)];
+      if (options.virtual_time) {
+        threads.emplace_back(
+            [t, w, &mine] { RunSiteWorkerVirtual(t, w, mine); });
+      } else {
+        threads.emplace_back([t, w, &mine] { RunSiteWorkerFree(t, w, mine); });
+      }
     }
   }
 
@@ -293,11 +360,12 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
       options.virtual_time
           ? coordinator.RunVirtual(transport.get(), updates_per_site, &result)
           : coordinator.RunFree(transport.get(), &result);
-  // Join before surfacing any error: the workers exit on the kShutdown
-  // broadcast; if the run failed midway, closing the boxes unblocks them.
-  if (!run_status.ok()) {
-    transport->Shutdown();
-  }
+  // Close the boxes before joining, on success as well as failure: a clean
+  // run's workers exit on the kShutdown broadcast anyway (drain-on-shutdown
+  // keeps queued messages poppable), and a failed run's workers — possibly
+  // blocked mid-Push into a full inbox — are woken instead of wedging the
+  // join forever.
+  transport->Shutdown();
   for (std::thread& th : threads) {
     th.join();
   }
@@ -306,9 +374,19 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
 
   result.site_updates.clear();
   result.total_updates = 0;
-  for (const auto& s : sites) {
-    result.site_updates.push_back(s->updates_processed());
-    result.total_updates += s->updates_processed();
+  if (multiplexed) {
+    for (int i = 0; i < n; ++i) {
+      const SiteEngine& engine = *engines[static_cast<size_t>(i % workers)];
+      const int64_t processed =
+          engine.updates_processed()[static_cast<size_t>(i / workers)];
+      result.site_updates.push_back(processed);
+      result.total_updates += processed;
+    }
+  } else {
+    for (const auto& s : sites) {
+      result.site_updates.push_back(s->updates_processed());
+      result.total_updates += s->updates_processed();
+    }
   }
   result.elapsed_seconds =
       std::chrono::duration<double>(t1 - t0).count();
@@ -317,8 +395,16 @@ Result<RuntimeResult> Launch(int n, const Trace* eval,
           ? static_cast<double>(result.total_updates) / result.elapsed_seconds
           : 0.0;
   if (options.capture_updates) {
-    for (const auto& s : sites) {
-      result.captured_updates.push_back(s->captured_updates());
+    if (multiplexed) {
+      for (int i = 0; i < n; ++i) {
+        const SiteEngine& engine = *engines[static_cast<size_t>(i % workers)];
+        result.captured_updates.push_back(
+            engine.captured_updates()[static_cast<size_t>(i / workers)]);
+      }
+    } else {
+      for (const auto& s : sites) {
+        result.captured_updates.push_back(s->captured_updates());
+      }
     }
   }
   if (options.metrics != nullptr) {

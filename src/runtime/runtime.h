@@ -9,6 +9,7 @@
 #include "obs/obs.h"
 #include "runtime/coordinator.h"
 #include "runtime/runtime_result.h"
+#include "runtime/site_engine.h"
 #include "runtime/socket_transport.h"
 #include "sim/channel.h"
 #include "threshold/solver.h"
@@ -33,9 +34,20 @@ struct RuntimeOptions {
   int64_t global_threshold = 0;
   int64_t poll_period = 5;  ///< kPolling only.
 
-  /// Site-to-worker multiplexing: 0 = one worker thread per site; k in
-  /// [1, num_sites] packs the sites onto k threads (site s -> s % k).
+  /// Site-to-worker multiplexing: k in [1, num_sites] packs the sites onto
+  /// k threads (site s -> s % k). 0 = auto: one worker thread per site
+  /// with the actor-per-site engine (the historical default), or
+  /// min(num_sites, hardware_concurrency) with the multiplexed engine
+  /// (a million sites must not mean a million threads).
   int num_workers = 0;
+
+  /// Site-side execution engine. kMultiplexed (default) drives every
+  /// worker's sites over flat structure-of-arrays state with batched
+  /// transport drains; kActorPerSite is the original one-object-per-site
+  /// runtime, kept as the conformance baseline. Virtual-time detections
+  /// are bit-identical between the two (the conformance harness asserts
+  /// it).
+  SiteEngineKind engine = SiteEngineKind::kMultiplexed;
 
   /// Coordinator-side sharding: partition the sites across this many shard
   /// coordinator threads feeding a root aggregator (two-level tree). Must

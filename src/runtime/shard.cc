@@ -62,23 +62,27 @@ Status ShardEpochLeg(Transport* transport, const ShardLayout& layout,
   // (the shard, or the root after re-adoption), so the site installs the
   // threshold before it evaluates — same ordering the flat coordinator
   // guarantees.
+  // One batched fan-out per epoch leg: re-syncs first, then every start.
+  // SendBatch preserves batch order per destination inbox, so a site's
+  // re-sync still lands before its kEpochStart.
+  std::vector<Envelope> fanout;
+  fanout.reserve(cmd.resync_sites.size() + static_cast<size_t>(size));
   for (int site : cmd.resync_sites) {
     ActorMessage update;
     update.kind = ActorMsgKind::kThresholdUpdate;
     update.epoch = cmd.epoch;
     update.value = plan.thresholds[static_cast<size_t>(site - start)];
-    if (!transport->Send(Envelope{kCoordinatorId, site, update})) {
-      return InternalError("transport closed during threshold re-sync");
-    }
+    fanout.push_back(Envelope{kCoordinatorId, site, update});
   }
   for (int i = 0; i < size; ++i) {
     ActorMessage begin;
     begin.kind = ActorMsgKind::kEpochStart;
     begin.epoch = cmd.epoch;
     begin.flag = cmd.up[static_cast<size_t>(i)] != 0;
-    if (!transport->Send(Envelope{kCoordinatorId, start + i, begin})) {
-      return InternalError("transport closed during epoch start");
-    }
+    fanout.push_back(Envelope{kCoordinatorId, start + i, begin});
+  }
+  if (!transport->SendBatch(fanout)) {
+    return InternalError("transport closed during epoch start");
   }
   std::vector<char> site_alarmed(static_cast<size_t>(size), 0);
   std::vector<int64_t> values(static_cast<size_t>(size), 0);
@@ -116,10 +120,13 @@ Status ShardPollLeg(Transport* transport, const ShardLayout& layout,
   ActorMessage request;
   request.kind = ActorMsgKind::kPollRequest;
   request.epoch = epoch;
+  std::vector<Envelope> fanout;
+  fanout.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
-    if (!transport->Send(Envelope{kCoordinatorId, start + i, request})) {
-      return InternalError("transport closed during poll round");
-    }
+    fanout.push_back(Envelope{kCoordinatorId, start + i, request});
+  }
+  if (!transport->SendBatch(fanout)) {
+    return InternalError("transport closed during poll round");
   }
   std::vector<int64_t> responses(static_cast<size_t>(size), 0);
   std::vector<Envelope> batch;
@@ -153,9 +160,12 @@ void ShardShutdownLeg(Transport* transport, const ShardLayout& layout,
   const int size = layout.ShardSize(shard);
   ActorMessage shutdown;
   shutdown.kind = ActorMsgKind::kShutdown;
+  std::vector<Envelope> fanout;
+  fanout.reserve(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
-    transport->Send(Envelope{kCoordinatorId, start + i, shutdown});
+    fanout.push_back(Envelope{kCoordinatorId, start + i, shutdown});
   }
+  transport->SendBatch(fanout);
 }
 
 void RunShardVirtual(ShardContext ctx) {
@@ -263,15 +273,18 @@ void RunShardFree(ShardContext ctx) {
       watermark = epoch;
     }
   };
+  std::vector<Envelope> poll_fanout;
+  poll_fanout.reserve(static_cast<size_t>(size));
   auto start_local_poll = [&]() -> bool {
     ActorMessage request;
     request.kind = ActorMsgKind::kPollRequest;
     request.epoch = std::max<int64_t>(watermark, 0);
+    poll_fanout.clear();
     for (int i = 0; i < size; ++i) {
-      if (!ctx.transport->Send(
-              Envelope{kCoordinatorId, start + i, request})) {
-        return false;
-      }
+      poll_fanout.push_back(Envelope{kCoordinatorId, start + i, request});
+    }
+    if (!ctx.transport->SendBatch(poll_fanout)) {
+      return false;
     }
     std::fill(poll_values.begin(), poll_values.end(), 0);
     poll_pending = size;

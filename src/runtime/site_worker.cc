@@ -88,39 +88,62 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
       SocketTransport::Connect(options.host, options.port, options.worker,
                                options.num_sites, options.num_workers, sopts));
 
-  // Owned actors start unconstrained; the real thresholds arrive as the
+  // Owned sites start unconstrained; the real thresholds arrive as the
   // coordinator's first envelopes (per-connection FIFO guarantees they
   // install before any epoch start or poll reaches the site).
-  std::vector<std::unique_ptr<SiteActor>> actors;
-  std::vector<SiteActor*> owned;
+  const bool multiplexed = options.engine == SiteEngineKind::kMultiplexed;
+  std::vector<int> owned_sites;
   for (int i = options.worker; i < options.num_sites;
        i += options.num_workers) {
-    SiteActor::Config cfg;
-    cfg.site = i;
-    cfg.threshold = std::numeric_limits<int64_t>::max();
-    if (eval != nullptr) {
-      cfg.series = eval->SiteSeries(i);
-    } else {
-      cfg.synthetic_updates = options.synthetic_updates;
+    owned_sites.push_back(i);
+  }
+  std::vector<std::unique_ptr<SiteActor>> actors;
+  std::vector<SiteActor*> owned;
+  std::unique_ptr<SiteEngine> engine;
+  if (multiplexed) {
+    SiteEngine::Config ecfg;
+    ecfg.worker = options.worker;
+    ecfg.num_workers = options.num_workers;
+    ecfg.num_sites = options.num_sites;
+    for (int i : owned_sites) {
+      ecfg.thresholds.push_back(std::numeric_limits<int64_t>::max());
+      if (eval != nullptr) {
+        ecfg.series.push_back(eval->SiteSeries(i));
+      }
     }
-    cfg.seed = options.seed;
-    cfg.synthetic_max = options.synthetic_max;
-    cfg.metrics = options.metrics;
-    cfg.recorder = options.recorder;
-    actors.push_back(std::make_unique<SiteActor>(cfg));
-    owned.push_back(actors.back().get());
+    ecfg.synthetic_updates = eval == nullptr ? options.synthetic_updates : 0;
+    ecfg.seed = options.seed;
+    ecfg.synthetic_max = options.synthetic_max;
+    ecfg.metrics = options.metrics;
+    ecfg.recorder = options.recorder;
+    engine = std::make_unique<SiteEngine>(std::move(ecfg));
+  } else {
+    for (int i : owned_sites) {
+      SiteActor::Config cfg;
+      cfg.site = i;
+      cfg.threshold = std::numeric_limits<int64_t>::max();
+      if (eval != nullptr) {
+        cfg.series = eval->SiteSeries(i);
+      } else {
+        cfg.synthetic_updates = options.synthetic_updates;
+      }
+      cfg.seed = options.seed;
+      cfg.synthetic_max = options.synthetic_max;
+      cfg.metrics = options.metrics;
+      cfg.recorder = options.recorder;
+      actors.push_back(std::make_unique<SiteActor>(cfg));
+      owned.push_back(actors.back().get());
+    }
   }
 
   SiteWorkerReport report;
-  for (const SiteActor* s : owned) {
-    report.sites.push_back(s->site());
-  }
+  report.sites = owned_sites;
   report.virtual_time = transport->virtual_time();
 
   // Initial threshold sync: exactly one kThresholdUpdate per owned site
   // before the run proper. A kShutdown here means the coordinator aborted
   // during startup; exit cleanly instead of erroring.
-  size_t pending = owned.size();
+  size_t pending = owned_sites.size();
   bool aborted = false;
   Envelope e;
   while (pending > 0 && !aborted) {
@@ -132,11 +155,15 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
     switch (e.msg.kind) {
       case ActorMsgKind::kThresholdUpdate: {
         bool found = false;
-        for (SiteActor* s : owned) {
-          if (s->site() == e.to) {
-            s->OnThresholdUpdate(e.msg.value);
-            found = true;
-            break;
+        if (multiplexed) {
+          found = engine->ApplyThresholdUpdate(e.to, e.msg.value);
+        } else {
+          for (SiteActor* s : owned) {
+            if (s->site() == e.to) {
+              s->OnThresholdUpdate(e.msg.value);
+              found = true;
+              break;
+            }
           }
         }
         if (!found) {
@@ -181,7 +208,13 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
   }
 
   if (!aborted) {
-    if (report.virtual_time) {
+    if (multiplexed) {
+      if (report.virtual_time) {
+        engine->RunVirtual(transport.get());
+      } else {
+        engine->RunFree(transport.get());
+      }
+    } else if (report.virtual_time) {
       RunSiteWorkerVirtual(transport.get(), options.worker, owned);
     } else {
       RunSiteWorkerFree(transport.get(), options.worker, owned);
@@ -202,8 +235,14 @@ Result<SiteWorkerReport> RunSiteWorker(const Trace* eval,
       BuildTelemetryFrame(options, transport.get(), /*final_flush=*/true));
   transport->Shutdown();
 
-  for (const SiteActor* s : owned) {
-    report.total_updates += s->updates_processed();
+  if (multiplexed) {
+    for (int64_t u : engine->updates_processed()) {
+      report.total_updates += u;
+    }
+  } else {
+    for (const SiteActor* s : owned) {
+      report.total_updates += s->updates_processed();
+    }
   }
   report.socket = transport->stats();
   return report;

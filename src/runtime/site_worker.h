@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "obs/obs.h"
+#include "runtime/site_engine.h"
 #include "runtime/socket_transport.h"
 #include "trace/trace.h"
 
@@ -28,6 +29,11 @@ struct SiteWorkerOptions {
   int64_t synthetic_updates = 0;
   uint64_t seed = 42;
   int64_t synthetic_max = 1000000;
+
+  /// Site-side execution engine; must not affect results (virtual-time
+  /// conformance asserts bit-identity), only how the owned sites are
+  /// driven: one SoA engine loop (default) vs one SiteActor per site.
+  SiteEngineKind engine = SiteEngineKind::kMultiplexed;
 
   SocketTransport::Options socket;
   obs::MetricsRegistry* metrics = nullptr;

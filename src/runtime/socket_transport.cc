@@ -557,14 +557,16 @@ void SocketTransport::ReaderLoop(size_t index) {
         telemetry_cv_.notify_all();
         continue;
       }
-      if (frame.type != FrameType::kEnvelope) {
+      if (frame.type != FrameType::kEnvelope &&
+          frame.type != FrameType::kEnvelopeBatch) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
         DCV_OBS_COUNT(c_decode_errors_, 1);
         continue;  // Stray handshake frame mid-run; drop it.
       }
       // Sequence dedup: a resume replays the suffix the peer thinks we
       // missed; anything at or below our high-water mark already arrived
-      // on the previous incarnation.
+      // on the previous incarnation. A batch frame carries one seq for all
+      // its envelopes, so the burst is accepted or dropped whole.
       if (frame.seq != 0) {
         if (frame.seq <= c.last_seq_received.load(std::memory_order_relaxed)) {
           duplicate_frames_.fetch_add(1, std::memory_order_relaxed);
@@ -575,6 +577,32 @@ void SocketTransport::ReaderLoop(size_t index) {
       }
       frames_received_.fetch_add(1, std::memory_order_relaxed);
       DCV_OBS_COUNT(c_frames_rx_, 1);
+      if (frame.type == FrameType::kEnvelopeBatch) {
+        // Route the batch with one PushAll per destination inbox (one
+        // mutex round trip per burst, same as the thread transport).
+        if (role_ != Role::kCoordinator) {
+          if (!inboxes_[0]->PushAll(std::move(frame.batch))) {
+            return false;  // Inbox closed: we are shutting down.
+          }
+          continue;
+        }
+        std::vector<std::vector<Envelope>> per_shard(inboxes_.size());
+        for (Envelope& env : frame.batch) {
+          if (env.from < 0 || env.from >= num_sites_) {
+            decode_errors_.fetch_add(1, std::memory_order_relaxed);
+            DCV_OBS_COUNT(c_decode_errors_, 1);
+            continue;
+          }
+          per_shard[static_cast<size_t>(ShardOf(env.from))].push_back(env);
+        }
+        for (size_t s = 0; s < per_shard.size(); ++s) {
+          if (!per_shard[s].empty() &&
+              !inboxes_[s]->PushAll(std::move(per_shard[s]))) {
+            return false;
+          }
+        }
+        continue;
+      }
       size_t inbox = 0;
       if (role_ == Role::kCoordinator) {
         // Coordinator-bound traffic fans across the shard inboxes by
@@ -683,12 +711,13 @@ void SocketTransport::WriterLoop(size_t index) {
     batch.clear();
     batch.push_back(e);
     // Coalesce whatever is already queued into one write (epoch barriers
-    // broadcast N small frames back to back).
-    while (batch.size() < 512 && c.send_box->TryPop(&e)) {
+    // broadcast N small messages back to back).
+    while (batch.size() < kMaxBatchEnvelopes && c.send_box->TryPop(&e)) {
       batch.push_back(e);
     }
     bool wrote = false;
     uint32_t gen = 0;
+    int64_t wire_frames = 0;
     {
       std::lock_guard<std::mutex> wl(c.write_mu);
       {
@@ -696,23 +725,31 @@ void SocketTransport::WriterLoop(size_t index) {
         gen = c.generation;  // Incarnation this write lands on.
       }
       buf.clear();
-      for (const Envelope& env : batch) {
-        frame.clear();
-        AppendEnvelopeFrame(env, &frame, c.next_send_seq);
-        c.sent_ring.emplace_back(c.next_send_seq, frame);
-        while (c.sent_ring.size() > options_.replay_capacity) {
-          c.sent_ring.pop_front();
-        }
-        ++c.next_send_seq;
-        buf += frame;
+      // A multi-envelope burst becomes ONE kEnvelopeBatch frame under one
+      // sequence number; the whole frame is one sent-ring entry, so resume
+      // replay and the peer's high-water-mark dedup treat the burst
+      // atomically (never half-applied). A lone envelope keeps the v3
+      // kEnvelope framing.
+      frame.clear();
+      if (batch.size() == 1) {
+        AppendEnvelopeFrame(batch[0], &frame, c.next_send_seq);
+      } else {
+        AppendEnvelopeBatchFrame(batch.data(), batch.size(), &frame,
+                                 c.next_send_seq);
       }
+      c.sent_ring.emplace_back(c.next_send_seq, frame);
+      while (c.sent_ring.size() > options_.replay_capacity) {
+        c.sent_ring.pop_front();
+      }
+      ++c.next_send_seq;
+      buf += frame;
+      wire_frames = 1;
       wrote = c.fd >= 0 && WriteAll(c.fd, buf.data(), buf.size());
       if (wrote) {
-        frames_sent_.fetch_add(static_cast<int64_t>(batch.size()),
-                               std::memory_order_relaxed);
+        frames_sent_.fetch_add(wire_frames, std::memory_order_relaxed);
         bytes_sent_.fetch_add(static_cast<int64_t>(buf.size()),
                               std::memory_order_relaxed);
-        DCV_OBS_COUNT(c_frames_tx_, static_cast<int64_t>(batch.size()));
+        DCV_OBS_COUNT(c_frames_tx_, wire_frames);
         DCV_OBS_COUNT(c_bytes_tx_, static_cast<int64_t>(buf.size()));
       }
     }
@@ -1007,6 +1044,77 @@ bool SocketTransport::Send(const Envelope& e) {
   return conns_[0]->send_box->Push(e);
 }
 
+bool SocketTransport::SendBatch(const std::vector<Envelope>& batch) {
+  if (role_ != Role::kCoordinator) {
+    // Worker role: every envelope rides the one coordinator connection.
+    std::vector<Envelope> items;
+    items.reserve(batch.size());
+    for (const Envelope& e : batch) {
+      if (e.to != kCoordinatorId) {
+        return false;
+      }
+      items.push_back(e);
+    }
+    return conns_[0]->send_box->PushAll(std::move(items));
+  }
+  // Coordinator role: group per worker connection; each writer drains its
+  // send box into one coalesced kEnvelopeBatch wire frame per burst.
+  std::vector<std::vector<Envelope>> per_conn(conns_.size());
+  for (const Envelope& e : batch) {
+    if (e.to < 0 || e.to >= num_sites_) {
+      return false;
+    }
+    per_conn[static_cast<size_t>(WorkerOf(e.to))].push_back(e);
+  }
+  for (size_t w = 0; w < per_conn.size(); ++w) {
+    if (!per_conn[w].empty() &&
+        !conns_[w]->send_box->PushAll(std::move(per_conn[w]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t SocketTransport::TrySendBatch(const std::vector<Envelope>& batch,
+                                     size_t begin, bool* closed) {
+  // Prefix semantics (see Transport::TrySendBatch). The send boxes are
+  // drained by dedicated writer threads regardless of what the peer is
+  // doing, so kFull here only means a transient burst beyond the box
+  // capacity — the caller drains its own inbox and retries. kClosed and
+  // unroutable envelopes are permanent and flag `*closed`.
+  size_t sent = 0;
+  while (begin + sent < batch.size()) {
+    const Envelope& e = batch[begin + sent];
+    Mailbox<Envelope>* box = nullptr;
+    if (role_ == Role::kCoordinator) {
+      if (e.to < 0 || e.to >= num_sites_) {
+        if (closed != nullptr) {
+          *closed = true;
+        }
+        break;
+      }
+      box = conns_[static_cast<size_t>(WorkerOf(e.to))]->send_box.get();
+    } else {
+      if (e.to != kCoordinatorId) {
+        if (closed != nullptr) {
+          *closed = true;
+        }
+        break;
+      }
+      box = conns_[0]->send_box.get();
+    }
+    const MailboxPush push = box->TryPush(e);
+    if (push != MailboxPush::kOk) {
+      if (push == MailboxPush::kClosed && closed != nullptr) {
+        *closed = true;
+      }
+      break;
+    }
+    ++sent;
+  }
+  return sent;
+}
+
 bool SocketTransport::SendToShard(int shard, const Envelope& e) {
   if (role_ != Role::kCoordinator || shard < 0 ||
       shard >= static_cast<int>(inboxes_.size())) {
@@ -1065,6 +1173,21 @@ bool SocketTransport::RecvWorker(int worker, Envelope* out) {
 bool SocketTransport::TryRecvWorker(int worker, Envelope* out) {
   return role_ == Role::kWorker && worker == worker_ &&
          inboxes_[0]->TryPop(out);
+}
+
+size_t SocketTransport::RecvWorkerAll(int worker, std::vector<Envelope>* out) {
+  if (role_ != Role::kWorker || worker != worker_) {
+    return 0;
+  }
+  return inboxes_[0]->PopAll(out);
+}
+
+size_t SocketTransport::TryRecvWorkerAll(int worker,
+                                         std::vector<Envelope>* out) {
+  if (role_ != Role::kWorker || worker != worker_) {
+    return 0;
+  }
+  return inboxes_[0]->TryPopAll(out);
 }
 
 Status SocketTransport::UpdateLayout(const ShardLayout& next) {

@@ -156,6 +156,9 @@ class SocketTransport : public Transport {
   int num_shards() const override { return current()->num_shards; }
   int ShardOf(int site) const override { return current()->ShardOf(site); }
   bool Send(const Envelope& e) override;
+  bool SendBatch(const std::vector<Envelope>& batch) override;
+  size_t TrySendBatch(const std::vector<Envelope>& batch, size_t begin,
+                      bool* closed = nullptr) override;
   bool SendToShard(int shard, const Envelope& e) override;
   bool TrySendToShard(int shard, const Envelope& e) override;
   bool RecvShard(int shard, Envelope* out) override;
@@ -165,6 +168,8 @@ class SocketTransport : public Transport {
                          int64_t timeout_ms, bool* timed_out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
+  size_t RecvWorkerAll(int worker, std::vector<Envelope>* out) override;
+  size_t TryRecvWorkerAll(int worker, std::vector<Envelope>* out) override;
   void Shutdown() override;
   ShardLayout layout() const override { return *current(); }
 

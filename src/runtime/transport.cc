@@ -89,6 +89,82 @@ bool ThreadTransport::Send(const Envelope& e) {
   return worker_boxes_[static_cast<size_t>(WorkerOf(e.to))]->Push(e);
 }
 
+bool ThreadTransport::SendBatch(const std::vector<Envelope>& batch) {
+  // Group by destination mailbox so each box pays one PushAll per burst
+  // instead of one Push per envelope. A coordinator fan-out over N sites
+  // alternates workers every envelope (site % num_workers), so grouping —
+  // not run-length detection — is what recovers the batching win. Order
+  // within each group is batch order, preserving the per-producer FIFO
+  // guarantee every barrier in the runtime leans on.
+  std::vector<std::vector<Envelope>> to_shard(shard_boxes_.size());
+  std::vector<std::vector<Envelope>> to_worker(worker_boxes_.size());
+  for (const Envelope& e : batch) {
+    if (e.to == kCoordinatorId) {
+      if (e.from < 0 || e.from >= num_sites_) {
+        return false;
+      }
+      to_shard[static_cast<size_t>(ShardOf(e.from))].push_back(e);
+    } else {
+      if (e.to < 0 || e.to >= num_sites_) {
+        return false;
+      }
+      to_worker[static_cast<size_t>(WorkerOf(e.to))].push_back(e);
+    }
+  }
+  for (size_t s = 0; s < to_shard.size(); ++s) {
+    if (!to_shard[s].empty() &&
+        !shard_boxes_[s]->PushAll(std::move(to_shard[s]))) {
+      return false;
+    }
+  }
+  for (size_t w = 0; w < to_worker.size(); ++w) {
+    if (!to_worker[w].empty() &&
+        !worker_boxes_[w]->PushAll(std::move(to_worker[w]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t ThreadTransport::TrySendBatch(const std::vector<Envelope>& batch,
+                                     size_t begin, bool* closed) {
+  // Prefix semantics: stop at the first full/closed/unroutable destination
+  // so the caller's retry cursor stays a plain offset. `*closed` flags the
+  // permanent stop reasons (closed box, unroutable envelope) — a full box
+  // leaves it false so the caller retries after draining its own inbox.
+  size_t sent = 0;
+  while (begin + sent < batch.size()) {
+    const Envelope& e = batch[begin + sent];
+    Mailbox<Envelope>* box = nullptr;
+    if (e.to == kCoordinatorId) {
+      if (e.from < 0 || e.from >= num_sites_) {
+        if (closed != nullptr) {
+          *closed = true;
+        }
+        break;
+      }
+      box = shard_boxes_[static_cast<size_t>(ShardOf(e.from))].get();
+    } else {
+      if (e.to < 0 || e.to >= num_sites_) {
+        if (closed != nullptr) {
+          *closed = true;
+        }
+        break;
+      }
+      box = worker_boxes_[static_cast<size_t>(WorkerOf(e.to))].get();
+    }
+    const MailboxPush push = box->TryPush(e);
+    if (push != MailboxPush::kOk) {
+      if (push == MailboxPush::kClosed && closed != nullptr) {
+        *closed = true;
+      }
+      break;
+    }
+    ++sent;
+  }
+  return sent;
+}
+
 bool ThreadTransport::SendToShard(int shard, const Envelope& e) {
   if (shard < 0 || shard >= static_cast<int>(shard_boxes_.size())) {
     return false;
@@ -145,6 +221,15 @@ bool ThreadTransport::RecvWorker(int worker, Envelope* out) {
 
 bool ThreadTransport::TryRecvWorker(int worker, Envelope* out) {
   return worker_boxes_[static_cast<size_t>(worker)]->TryPop(out);
+}
+
+size_t ThreadTransport::RecvWorkerAll(int worker, std::vector<Envelope>* out) {
+  return worker_boxes_[static_cast<size_t>(worker)]->PopAll(out);
+}
+
+size_t ThreadTransport::TryRecvWorkerAll(int worker,
+                                         std::vector<Envelope>* out) {
+  return worker_boxes_[static_cast<size_t>(worker)]->TryPopAll(out);
 }
 
 void ThreadTransport::Shutdown() {

@@ -48,6 +48,50 @@ class Transport {
   /// ShardOf(e.from)'s inbox.
   virtual bool Send(const Envelope& e) = 0;
 
+  /// Batched Send: routes every envelope exactly as Send would (per-
+  /// destination FIFO order preserved — envelopes to the same inbox land in
+  /// batch order), but implementations amortize locking/framing across the
+  /// batch: the thread transport groups by destination mailbox and pays one
+  /// mutex round trip per box per burst (Mailbox::PushAll), the socket
+  /// transport coalesces each burst into one kEnvelopeBatch wire frame.
+  /// Blocks on full inboxes like Send; returns false iff a destination was
+  /// closed or an envelope was unroutable (a prefix may have been
+  /// delivered, exactly as a loop of Sends interrupted mid-way).
+  virtual bool SendBatch(const std::vector<Envelope>& batch) {
+    for (const Envelope& e : batch) {
+      if (!Send(e)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Non-blocking SendBatch: consumes the longest routable prefix of
+  /// batch[begin..] that fits right now and returns its length. The
+  /// multiplexed site engine uses this for data-plane pushes so a worker
+  /// never blocks on a full coordinator inbox while the coordinator blocks
+  /// fanning out to that worker — the classic A/B full-mailbox deadlock;
+  /// the engine keeps the unsent suffix and retries after draining its own
+  /// inbox. When the stop reason is permanent — destination closed or
+  /// envelope unroutable — `*closed` (if non-null) is set so the caller
+  /// stops retrying a dead fabric; a plain full inbox leaves it false.
+  /// Base transports without a non-blocking path may block (they fall back
+  /// to Send); the thread and socket transports override this.
+  virtual size_t TrySendBatch(const std::vector<Envelope>& batch, size_t begin,
+                              bool* closed = nullptr) {
+    size_t sent = 0;
+    while (begin + sent < batch.size()) {
+      if (!Send(batch[begin + sent])) {
+        if (closed != nullptr) {
+          *closed = true;
+        }
+        break;
+      }
+      ++sent;
+    }
+    return sent;
+  }
+
   /// Injects a root-aggregator command (poll kick, shutdown) directly into
   /// a shard coordinator's inbox, bypassing site routing. Local to the
   /// coordinator process — never crosses the wire, so the socket transport
@@ -83,6 +127,37 @@ class Transport {
   /// Blocking receive on a worker inbox; false = closed and drained.
   virtual bool RecvWorker(int worker, Envelope* out) = 0;
   virtual bool TryRecvWorker(int worker, Envelope* out) = 0;
+
+  /// Batch drain of a worker inbox — the worker-side mirror of
+  /// RecvShardAll: blocks for the first message, then moves every queued
+  /// message. Appends to `out`; 0 = closed and drained. The default
+  /// composes RecvWorker + TryRecvWorker; mailbox-backed transports
+  /// override with Mailbox::PopAll (one lock per burst).
+  virtual size_t RecvWorkerAll(int worker, std::vector<Envelope>* out) {
+    Envelope e;
+    if (!RecvWorker(worker, &e)) {
+      return 0;
+    }
+    out->push_back(e);
+    size_t moved = 1;
+    while (TryRecvWorker(worker, &e)) {
+      out->push_back(e);
+      ++moved;
+    }
+    return moved;
+  }
+
+  /// Non-blocking batch drain of a worker inbox; 0 = nothing immediately
+  /// available (says nothing about the box being closed).
+  virtual size_t TryRecvWorkerAll(int worker, std::vector<Envelope>* out) {
+    Envelope e;
+    size_t moved = 0;
+    while (TryRecvWorker(worker, &e)) {
+      out->push_back(e);
+      ++moved;
+    }
+    return moved;
+  }
 
   /// Closes every inbox (receivers drain, then their Recv returns false).
   virtual void Shutdown() = 0;
@@ -147,6 +222,9 @@ class ThreadTransport : public Transport {
   int ShardOf(int site) const override { return current()->ShardOf(site); }
 
   bool Send(const Envelope& e) override;
+  bool SendBatch(const std::vector<Envelope>& batch) override;
+  size_t TrySendBatch(const std::vector<Envelope>& batch, size_t begin,
+                      bool* closed = nullptr) override;
   bool SendToShard(int shard, const Envelope& e) override;
   bool TrySendToShard(int shard, const Envelope& e) override;
   bool RecvShard(int shard, Envelope* out) override;
@@ -156,6 +234,8 @@ class ThreadTransport : public Transport {
                          int64_t timeout_ms, bool* timed_out) override;
   bool RecvWorker(int worker, Envelope* out) override;
   bool TryRecvWorker(int worker, Envelope* out) override;
+  size_t RecvWorkerAll(int worker, std::vector<Envelope>* out) override;
+  size_t TryRecvWorkerAll(int worker, std::vector<Envelope>* out) override;
   void Shutdown() override;
   ShardLayout layout() const override { return *current(); }
   Status UpdateLayout(const ShardLayout& next) override;

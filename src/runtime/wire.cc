@@ -135,6 +135,24 @@ void AppendEnvelopeFrame(const Envelope& e, std::string* out, uint64_t seq) {
   EndFrame(at, out);
 }
 
+void AppendEnvelopeBatchFrame(const Envelope* envs, size_t count,
+                              std::string* out, uint64_t seq) {
+  size_t at = BeginFrame(out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(FrameType::kEnvelopeBatch), out);
+  PutU32(static_cast<uint32_t>(count), out);
+  for (size_t i = 0; i < count; ++i) {
+    PutI32(envs[i].from, out);
+    PutI32(envs[i].to, out);
+    PutU8(static_cast<uint8_t>(envs[i].msg.kind), out);
+    PutU8(envs[i].msg.flag ? 1 : 0, out);
+    PutI64(envs[i].msg.epoch, out);
+    PutI64(envs[i].msg.value, out);
+  }
+  PutU64(seq, out);
+  EndFrame(at, out);
+}
+
 void AppendHelloFrame(const HelloFrame& h, std::string* out) {
   size_t at = BeginFrame(out);
   PutU8(kWireVersion, out);
@@ -275,6 +293,37 @@ Result<WireFrame> DecodeFramePayload(const uint8_t* data, size_t len) {
                                     std::to_string(kind));
       }
       frame.envelope.msg.kind = static_cast<ActorMsgKind>(kind);
+      return frame;
+    }
+    case FrameType::kEnvelopeBatch: {
+      frame.type = FrameType::kEnvelopeBatch;
+      uint32_t count = c.U32();
+      // Each envelope body is 26 bytes; validating the count against the
+      // bytes actually present bounds the allocation before resize.
+      if (!c.ok || count < 1 || count > kMaxBatchEnvelopes ||
+          static_cast<size_t>(count) > (len - c.pos) / 26) {
+        return InvalidArgumentError("malformed envelope batch header");
+      }
+      frame.batch.resize(count);
+      for (Envelope& e : frame.batch) {
+        e.from = c.I32();
+        e.to = c.I32();
+        uint8_t kind = c.U8();
+        e.msg.flag = c.U8() != 0;
+        e.msg.epoch = c.I64();
+        e.msg.value = c.I64();
+        if (c.ok &&
+            kind > static_cast<uint8_t>(ActorMsgKind::kThresholdUpdate)) {
+          return InvalidArgumentError("invalid actor message kind " +
+                                      std::to_string(kind) +
+                                      " in envelope batch");
+        }
+        e.msg.kind = static_cast<ActorMsgKind>(kind);
+      }
+      frame.seq = c.U64();
+      if (!c.ok || c.pos != len) {
+        return InvalidArgumentError("malformed envelope batch body");
+      }
       return frame;
     }
     case FrameType::kHello: {
@@ -455,12 +504,16 @@ Result<bool> FrameReader::Next(WireFrame* out) {
                                 " bytes): corrupt stream");
   }
   if (payload > kMaxFramePayload) {
-    // Only telemetry frames may exceed the data-frame cap; peek the type
-    // byte (offset 5: length(4) + version(1)) before trusting the length.
+    // Only telemetry and envelope-batch frames may exceed the data-frame
+    // cap; peek the type byte (offset 5: length(4) + version(1)) before
+    // trusting the length, each against its own cap.
     if (buffer_.size() - pos_ < 6) {
       return false;  // Need the version+type bytes to judge the length.
     }
-    if (base[5] != static_cast<uint8_t>(FrameType::kTelemetry)) {
+    const bool telemetry = base[5] == static_cast<uint8_t>(FrameType::kTelemetry);
+    const bool batch =
+        base[5] == static_cast<uint8_t>(FrameType::kEnvelopeBatch);
+    if (!(telemetry || (batch && payload <= kMaxBatchPayload))) {
       return InvalidArgumentError("oversized frame payload (" +
                                   std::to_string(payload) +
                                   " bytes): corrupt stream");

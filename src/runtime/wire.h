@@ -40,8 +40,19 @@ namespace dcv {
 // cumulative latest-wins snapshots), so reconnect replay/dedup never
 // double-counts them, and they alone may exceed kMaxFramePayload (up to
 // kMaxTelemetryPayload).
+//
+// Version 4 adds kEnvelopeBatch: one length-prefixed frame carrying K
+// routed envelopes (a worker's coalesced per-epoch update burst) instead
+// of K separate kEnvelope frames — count(u32), then K fixed-layout
+// envelope bodies, then ONE sequence number for the whole frame. Batches
+// share the kEnvelope replay machinery wholesale: the frame is one
+// sent-ring entry under one seq, so reconnect replay retransmits it
+// atomically and the receiver's high-water-mark dedup accepts or drops
+// all K envelopes together — a batch can never be half-applied after a
+// resume. Batch frames may exceed kMaxFramePayload (up to
+// kMaxBatchPayload, type-peeked like telemetry).
 
-inline constexpr uint8_t kWireVersion = 3;
+inline constexpr uint8_t kWireVersion = 4;
 
 /// Handshake magic ("DCVS"): rejects a non-dcv peer on byte one of the
 /// hello body instead of mid-run.
@@ -62,6 +73,16 @@ inline constexpr uint32_t kMaxTelemetryPayload = 1u << 20;
 /// under kMaxFramePayload and far exceeds any real coordinator tree).
 inline constexpr int32_t kMaxWireShards = 512;
 
+/// Most envelopes one kEnvelopeBatch frame may carry. Writers chunk larger
+/// bursts; the decoder rejects bigger counts so a corrupt count field can't
+/// force an oversized allocation.
+inline constexpr uint32_t kMaxBatchEnvelopes = 4096;
+
+/// Payload cap for kEnvelopeBatch frames: count + kMaxBatchEnvelopes
+/// envelope bodies + seq fits comfortably. Like kMaxTelemetryPayload, the
+/// frame type is peeked before accepting an over-kMaxFramePayload length.
+inline constexpr uint32_t kMaxBatchPayload = 1u << 18;
+
 enum class FrameType : uint8_t {
   kEnvelope = 0,      ///< A routed ActorMessage (the steady-state frame).
   kHello = 1,         ///< Worker -> coordinator, first frame after connect.
@@ -69,6 +90,7 @@ enum class FrameType : uint8_t {
   kLayoutUpdate = 3,  ///< Coordinator -> worker, versioned shard layout.
   kLayoutAck = 4,     ///< Worker -> coordinator, layout version adopted.
   kTelemetry = 5,     ///< Worker -> coordinator, metrics + trace snapshot.
+  kEnvelopeBatch = 6, ///< K routed envelopes under one length prefix + seq.
 };
 
 /// Worker self-identification, sent once per connection. `generation`
@@ -149,6 +171,8 @@ struct WireFrame {
   FrameType type = FrameType::kEnvelope;
   Envelope envelope;
   uint64_t seq = 0;  ///< Envelope sequence number; 0 = unsequenced.
+  /// kEnvelopeBatch: the K envelopes, in send order, all under `seq`.
+  std::vector<Envelope> batch;
   HelloFrame hello;
   HelloAckFrame hello_ack;
   LayoutFrame layout;
@@ -161,6 +185,12 @@ struct WireFrame {
 /// e.g. unit tests or pre-handshake traffic).
 void AppendEnvelopeFrame(const Envelope& e, std::string* out,
                          uint64_t seq = 0);
+
+/// Serializes `count` envelopes from `envs` as one kEnvelopeBatch frame
+/// under a single sequence number. Requires 1 <= count <=
+/// kMaxBatchEnvelopes (callers chunk larger bursts).
+void AppendEnvelopeBatchFrame(const Envelope* envs, size_t count,
+                              std::string* out, uint64_t seq = 0);
 void AppendHelloFrame(const HelloFrame& h, std::string* out);
 void AppendHelloAckFrame(const HelloAckFrame& a, std::string* out);
 void AppendLayoutFrame(const LayoutFrame& l, std::string* out);

@@ -317,5 +317,74 @@ TEST(MailboxTest, PopAllSeesEachMultiProducerMessageExactlyOnce) {
   }
 }
 
+// Batched sends (the SendBatch substrate). PushAll must behave exactly like
+// the equivalent sequence of Pushes — same FIFO order, same blocking, same
+// drain-on-shutdown prefix semantics — just cheaper.
+
+TEST(MailboxTest, PushAllDeliversInOrderAcrossCapacityWaves) {
+  Mailbox<int> box(3);  // Batch is much larger than capacity.
+  std::vector<int> items;
+  for (int i = 0; i < 20; ++i) {
+    items.push_back(i);
+  }
+  std::thread producer([&] { ASSERT_TRUE(box.PushAll(std::move(items))); });
+  int v = -1;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(box.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  producer.join();
+}
+
+TEST(MailboxTest, PushAllBlockedOnFullBoxWakesOnCloseWithoutLosingPrefix) {
+  // The shutdown-deadlock regression: a producer mid-PushAll into a full
+  // box must be woken by Close with a rejection, and the prefix it already
+  // enqueued must stay poppable.
+  Mailbox<int> box(2);
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    std::vector<int> items = {1, 2, 3, 4, 5};
+    EXPECT_FALSE(box.PushAll(std::move(items)));  // Blocks, then rejected.
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(returned.load());  // Still blocked on the full box.
+  box.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  // The accepted prefix (capacity's worth) drains in order.
+  int v = -1;
+  ASSERT_TRUE(box.Pop(&v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(box.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(box.Pop(&v));  // Closed and drained.
+}
+
+TEST(MailboxTest, TryPushAllTakesLongestPrefixAndReportsClosure) {
+  Mailbox<int> box(3);
+  std::vector<int> items = {10, 11, 12, 13, 14};
+  bool closed = true;
+  // Room for 3: the prefix lands, the caller's cursor advances by 3.
+  EXPECT_EQ(box.TryPushAll(&items, 0, &closed), 3u);
+  EXPECT_FALSE(closed);
+  // Full now: transient 0, not closure — the caller should retry later.
+  EXPECT_EQ(box.TryPushAll(&items, 3, &closed), 0u);
+  EXPECT_FALSE(closed);
+  int v = -1;
+  ASSERT_TRUE(box.Pop(&v));
+  EXPECT_EQ(v, 10);
+  EXPECT_EQ(box.TryPushAll(&items, 3, &closed), 1u);
+  EXPECT_FALSE(closed);
+  // Closed: permanent 0 with the flag set — the caller should stop.
+  box.Close();
+  EXPECT_EQ(box.TryPushAll(&items, 4, &closed), 0u);
+  EXPECT_TRUE(closed);
+  // Everything accepted before the close is still there, in order.
+  std::vector<int> out;
+  EXPECT_EQ(box.TryPopAll(&out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{11, 12, 13}));
+}
+
 }  // namespace
 }  // namespace dcv

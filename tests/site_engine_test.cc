@@ -1,0 +1,289 @@
+#include "runtime/site_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/conformance.h"
+#include "runtime/runtime.h"
+#include "threshold/fptas.h"
+#include "trace/stats.h"
+#include "trace/synthetic.h"
+
+namespace dcv {
+namespace {
+
+// The multiplexed SoA engine's contract: driving a worker's sites from one
+// flat loop (batched sends, coalesced drains) is OBSERVATIONALLY IDENTICAL
+// to one SiteActor per site — same per-epoch detections, same per-type
+// message counts, same wire-level reliability stats — and both match the
+// lockstep simulator. These tests run every scenario through all three and
+// diff the two runtime engines against each other on top of the lockstep
+// diff RunConformance already performs.
+
+struct Workload {
+  Trace training{0};
+  Trace eval{0};
+};
+
+Workload MakeWorkload(uint64_t seed, int num_sites = 4,
+                      int64_t train_epochs = 500, int64_t eval_epochs = 500) {
+  SyntheticTraceOptions options;
+  options.num_sites = num_sites;
+  options.num_epochs = train_epochs + eval_epochs;
+  options.seed = seed;
+  options.marginal = Marginal::kLogNormal;
+  options.param1 = 4.0;
+  options.param2 = 0.8;
+  options.domain_max = 1'000'000;
+  options.heterogeneous = true;
+  auto trace = GenerateSyntheticTrace(options);
+  EXPECT_TRUE(trace.ok());
+  Workload w;
+  w.training = *trace->Slice(0, train_epochs);
+  w.eval = *trace->Slice(train_epochs, train_epochs + eval_epochs);
+  return w;
+}
+
+int64_t PickThreshold(const Workload& w, double overflow_fraction) {
+  auto t = ThresholdForOverflowFraction(w.eval, {}, overflow_fraction);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+/// Runs the spec once per engine and asserts (a) each engine is
+/// bit-identical to the lockstep reference and (b) the two engines'
+/// runtime reports agree with each other on detections, per-type message
+/// counts, and channel reliability stats.
+void ExpectEnginesAgree(const Workload& w, ConformanceSpec spec) {
+  spec.engine = SiteEngineKind::kMultiplexed;
+  auto multiplexed = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(multiplexed.ok()) << multiplexed.status().message();
+  EXPECT_TRUE(multiplexed->identical)
+      << "multiplexed: " << multiplexed->mismatch;
+
+  spec.engine = SiteEngineKind::kActorPerSite;
+  auto actor = RunConformance(w.training, w.eval, spec);
+  ASSERT_TRUE(actor.ok()) << actor.status().message();
+  EXPECT_TRUE(actor->identical) << "actor: " << actor->mismatch;
+
+  // Direct engine-vs-engine diff (both matching lockstep implies this, but
+  // a direct diff localizes a failure to the engines instead of the ref).
+  ASSERT_EQ(multiplexed->runtime.detections.size(),
+            actor->runtime.detections.size());
+  for (size_t t = 0; t < actor->runtime.detections.size(); ++t) {
+    EXPECT_TRUE(multiplexed->runtime.detections[t] ==
+                actor->runtime.detections[t])
+        << "detections diverge at epoch " << t;
+  }
+  for (int m = 0; m < kNumMessageTypes; ++m) {
+    MessageType type = static_cast<MessageType>(m);
+    EXPECT_EQ(multiplexed->runtime.messages.of(type),
+              actor->runtime.messages.of(type))
+        << "message count diverges for " << MessageTypeName(type);
+  }
+  EXPECT_EQ(multiplexed->runtime.reliability.ToJson(),
+            actor->runtime.reliability.ToJson());
+  EXPECT_EQ(multiplexed->runtime.total_updates, actor->runtime.total_updates);
+}
+
+TEST(SiteEngineConformanceTest, EnginesAgreeAcrossShardCounts) {
+  Workload w = MakeWorkload(211, /*num_sites=*/6);
+  FptasSolver solver(0.05);
+  for (int shards : {1, 2, 4}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_workers = 2;
+    spec.num_shards = shards;
+    ExpectEnginesAgree(w, spec);
+  }
+}
+
+TEST(SiteEngineConformanceTest, EnginesAgreeUnderChannelFaults) {
+  // Loss, duplication, delay, and ack retries: the channel RNG draws must
+  // land identically whichever engine produced the reports, because the
+  // root replays them in ascending site order regardless of transport
+  // batching.
+  Workload w = MakeWorkload(223, /*num_sites=*/5);
+  FptasSolver solver(0.1);
+  for (int shards : {1, 2}) {
+    ConformanceSpec spec;
+    spec.protocol = RuntimeProtocol::kLocalThreshold;
+    spec.solver = &solver;
+    spec.global_threshold = PickThreshold(w, 0.02);
+    spec.num_workers = 2;
+    spec.num_shards = shards;
+    spec.faults.loss = 0.1;
+    spec.faults.duplicate = 0.05;
+    spec.faults.delay = 0.1;
+    spec.faults.max_delay_epochs = 2;
+    spec.faults.retry.enable_acks = true;
+    spec.faults.retry.max_attempts = 3;
+    spec.faults.seed = 0xbeefULL;
+    ExpectEnginesAgree(w, spec);
+  }
+}
+
+TEST(SiteEngineConformanceTest, EnginesAgreePollingProtocol) {
+  Workload w = MakeWorkload(227);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kPolling;
+  spec.poll_period = 3;
+  spec.global_threshold = PickThreshold(w, 0.05);
+  spec.num_workers = 2;
+  ExpectEnginesAgree(w, spec);
+}
+
+TEST(SiteEngineConformanceTest, EnginesAgreeOverSocketTransport) {
+  // The coalesced kEnvelopeBatch wire path: a worker process's engine
+  // drains and sends through real loopback TCP frames and must still be
+  // indistinguishable from the actor baseline and the lockstep reference.
+  Workload w = MakeWorkload(229, /*num_sites=*/4, /*train_epochs=*/300,
+                            /*eval_epochs=*/300);
+  FptasSolver solver(0.05);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 2;
+  spec.num_shards = 2;
+  spec.transport = TransportKind::kSocket;
+  ExpectEnginesAgree(w, spec);
+}
+
+TEST(SiteEngineConformanceTest, EnginesAgreeOverSocketUnderLoss) {
+  Workload w = MakeWorkload(233, /*num_sites=*/5, /*train_epochs=*/300,
+                            /*eval_epochs=*/300);
+  FptasSolver solver(0.1);
+  ConformanceSpec spec;
+  spec.protocol = RuntimeProtocol::kLocalThreshold;
+  spec.solver = &solver;
+  spec.global_threshold = PickThreshold(w, 0.02);
+  spec.num_workers = 3;
+  spec.transport = TransportKind::kSocket;
+  spec.faults.loss = 0.1;
+  spec.faults.retry.enable_acks = true;
+  spec.faults.retry.max_attempts = 3;
+  spec.faults.seed = 0xabcULL;
+  ExpectEnginesAgree(w, spec);
+}
+
+// Free-running mode claims no bit-identity, but both engines must drain
+// the identical workload: every site processes every update exactly once.
+TEST(SiteEngineFreeTest, BothEnginesDrainFullWorkload) {
+  for (SiteEngineKind engine :
+       {SiteEngineKind::kMultiplexed, SiteEngineKind::kActorPerSite}) {
+    RuntimeOptions options;
+    options.virtual_time = false;
+    options.engine = engine;
+    options.num_workers = 2;
+    options.seed = 9;
+    options.synthetic_max = 1000;
+    options.global_threshold = 6 * 1000;
+    options.thresholds.assign(6, 900);  // Alarm-heavy.
+    options.domain_max.assign(6, 1000);
+    auto result = RunSyntheticRuntime(6, 400, options);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result->total_updates, 6 * 400);
+    ASSERT_EQ(result->site_updates.size(), 6u);
+    for (int64_t u : result->site_updates) {
+      EXPECT_EQ(u, 400);
+    }
+    EXPECT_GT(result->total_alarms, 0);
+  }
+}
+
+// Identical synthetic value streams regardless of engine: per-site RNG
+// streams are keyed by (seed, site), never by slot or processing order.
+TEST(SiteEngineFreeTest, CapturedUpdateStreamsMatchActorBaseline) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.num_workers = 2;
+  options.seed = 77;
+  options.synthetic_max = 5000;
+  options.global_threshold = 5 * 5000;
+  options.thresholds.assign(5, 4500);
+  options.domain_max.assign(5, 5000);
+  options.capture_updates = true;
+
+  options.engine = SiteEngineKind::kMultiplexed;
+  auto multiplexed = RunSyntheticRuntime(5, 64, options);
+  ASSERT_TRUE(multiplexed.ok()) << multiplexed.status().message();
+
+  options.engine = SiteEngineKind::kActorPerSite;
+  auto actor = RunSyntheticRuntime(5, 64, options);
+  ASSERT_TRUE(actor.ok()) << actor.status().message();
+
+  ASSERT_EQ(multiplexed->captured_updates.size(),
+            actor->captured_updates.size());
+  for (size_t s = 0; s < actor->captured_updates.size(); ++s) {
+    EXPECT_EQ(multiplexed->captured_updates[s], actor->captured_updates[s])
+        << "value stream diverges for site " << s;
+  }
+}
+
+// The shutdown-ordering stress (satellite of the million-site PR): a
+// free-running run at 10^5 sites multiplexed over a handful of workers and
+// a sharded coordinator tree must terminate — kShutdown fan-out lands in
+// bounded inboxes while engines are still producing, so any blocking send
+// in the wrong place deadlocks here — and account for every update.
+TEST(SiteEngineScaleTest, HundredThousandSitesShutdownCleanly) {
+  constexpr int kSites = 100'000;
+  constexpr int64_t kUpdates = 20;
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.num_workers = 4;
+  options.num_shards = 2;
+  options.seed = 5;
+  options.synthetic_max = 1000;
+  options.global_threshold = static_cast<int64_t>(kSites) * 1000;
+  options.thresholds.assign(kSites, 900);  // ~10% breach: alarm pressure.
+  options.domain_max.assign(kSites, 1000);
+  auto result = RunSyntheticRuntime(kSites, kUpdates, options);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->total_updates, static_cast<int64_t>(kSites) * kUpdates);
+  ASSERT_EQ(result->site_updates.size(), static_cast<size_t>(kSites));
+  for (int64_t u : result->site_updates) {
+    ASSERT_EQ(u, kUpdates);
+  }
+}
+
+// The actor engine's implicit thread-per-site default at 100k sites would
+// ask the OS for 100k threads and abort inside the std::thread
+// constructor; it must be refused with a clear error before any spawn.
+TEST(SiteEngineScaleTest, ActorThreadPerSiteAtScaleIsRejectedCleanly) {
+  RuntimeOptions options;
+  options.virtual_time = false;
+  options.engine = SiteEngineKind::kActorPerSite;
+  options.num_workers = 0;  // Resolves to one thread per site.
+  auto result = RunSyntheticRuntime(100'000, 1, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("worker threads"),
+            std::string::npos)
+      << result.status().message();
+}
+
+// Engine plumbing unit checks: dense slot mapping and threshold routing.
+TEST(SiteEngineTest, SlotMappingAndThresholdRouting) {
+  SiteEngine::Config cfg;
+  cfg.worker = 1;
+  cfg.num_workers = 3;
+  cfg.num_sites = 8;  // Worker 1 owns sites 1, 4, 7 -> slots 0, 1, 2.
+  cfg.thresholds = {100, 200, 300};
+  cfg.synthetic_updates = 1;
+  SiteEngine engine(std::move(cfg));
+  EXPECT_EQ(engine.num_slots(), 3);
+  EXPECT_EQ(engine.SiteOf(0), 1);
+  EXPECT_EQ(engine.SiteOf(1), 4);
+  EXPECT_EQ(engine.SiteOf(2), 7);
+  EXPECT_TRUE(engine.ApplyThresholdUpdate(4, 250));
+  EXPECT_FALSE(engine.ApplyThresholdUpdate(3, 250));  // Owned by worker 0.
+  EXPECT_FALSE(engine.ApplyThresholdUpdate(-1, 250));
+  EXPECT_FALSE(engine.ApplyThresholdUpdate(8, 250));  // Out of fabric.
+}
+
+}  // namespace
+}  // namespace dcv

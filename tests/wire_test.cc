@@ -513,5 +513,100 @@ TEST(WireTest, TelemetryTruncationsNeverDecodeGarbage) {
   }
 }
 
+// kEnvelopeBatch (wire v4): K routed envelopes under one length prefix and
+// one sequence number — the coalesced per-epoch update frame the writer
+// emits when its send queue bursts.
+
+TEST(WireTest, EnvelopeBatchRoundTrip) {
+  std::vector<Envelope> sent;
+  for (int i = 0; i < 37; ++i) {
+    sent.push_back(MakeEnvelope(i, kCoordinatorId, ActorMsgKind::kEpochReport,
+                                2000 + i, i * 11 - 5, i % 2 == 0));
+  }
+  std::string buf;
+  AppendEnvelopeBatchFrame(sent.data(), sent.size(), &buf, /*seq=*/99);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kEnvelopeBatch);
+  EXPECT_EQ(frame->seq, 99u);
+  ASSERT_EQ(frame->batch.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectEnvelopeEq(sent[i], frame->batch[i]);
+  }
+}
+
+TEST(WireTest, EnvelopeBatchSingletonMatchesLooseEnvelope) {
+  Envelope e = MakeEnvelope(4, kCoordinatorId, ActorMsgKind::kAlarm, 17, 23,
+                            true);
+  std::string buf;
+  AppendEnvelopeBatchFrame(&e, 1, &buf, /*seq=*/7);
+  auto frame = DecodeFramePayload(
+      reinterpret_cast<const uint8_t*>(buf.data()) + 4, buf.size() - 4);
+  ASSERT_TRUE(frame.ok()) << frame.status().message();
+  ASSERT_EQ(frame->type, FrameType::kEnvelopeBatch);
+  ASSERT_EQ(frame->batch.size(), 1u);
+  ExpectEnvelopeEq(e, frame->batch[0]);
+}
+
+TEST(WireTest, EnvelopeBatchMaxSizeRoundTripsThroughReader) {
+  // The largest legal batch must survive the FrameReader's oversized-frame
+  // peek (it is bigger than a loose envelope but under kMaxBatchPayload).
+  std::vector<Envelope> sent;
+  for (uint32_t i = 0; i < kMaxBatchEnvelopes; ++i) {
+    sent.push_back(MakeEnvelope(static_cast<int32_t>(i), kCoordinatorId,
+                                ActorMsgKind::kEpochReport, i, i * 3, false));
+  }
+  std::string stream;
+  AppendEnvelopeBatchFrame(sent.data(), sent.size(), &stream, /*seq=*/1);
+  FrameReader reader;
+  reader.Append(reinterpret_cast<const uint8_t*>(stream.data()),
+                stream.size());
+  WireFrame frame;
+  auto produced = reader.Next(&frame);
+  ASSERT_TRUE(produced.ok()) << produced.status().message();
+  ASSERT_TRUE(*produced);
+  ASSERT_EQ(frame.type, FrameType::kEnvelopeBatch);
+  ASSERT_EQ(frame.batch.size(), sent.size());
+  ExpectEnvelopeEq(sent.back(), frame.batch.back());
+  EXPECT_TRUE(reader.Finish().ok());
+}
+
+TEST(WireTest, EnvelopeBatchTruncationsNeverDecodeGarbage) {
+  std::vector<Envelope> sent;
+  for (int i = 0; i < 5; ++i) {
+    sent.push_back(MakeEnvelope(i, kCoordinatorId, ActorMsgKind::kAlarm,
+                                i, i, false));
+  }
+  std::string buf;
+  AppendEnvelopeBatchFrame(sent.data(), sent.size(), &buf, /*seq=*/3);
+  const uint8_t* payload = reinterpret_cast<const uint8_t*>(buf.data()) + 4;
+  for (size_t len = 0; len < buf.size() - 4; ++len) {
+    EXPECT_FALSE(DecodeFramePayload(payload, len).ok()) << "len=" << len;
+  }
+  // Trailing bytes are corruption too.
+  std::string padded = buf + std::string(1, '\0');
+  EXPECT_FALSE(DecodeFramePayload(
+                   reinterpret_cast<const uint8_t*>(padded.data()) + 4,
+                   padded.size() - 4)
+                   .ok());
+}
+
+TEST(WireTest, EnvelopeBatchRejectsLyingCount) {
+  // A count field claiming more envelopes than the body carries must fail
+  // loudly instead of reading past the payload.
+  Envelope e = MakeEnvelope(1, kCoordinatorId, ActorMsgKind::kAlarm, 1, 1,
+                            false);
+  std::string buf;
+  AppendEnvelopeBatchFrame(&e, 1, &buf, /*seq=*/5);
+  // Count lives right after the 3-byte header (version, magic, type) in the
+  // payload; bump it from 1 to 2.
+  buf[4 + 3] = 2;
+  EXPECT_FALSE(DecodeFramePayload(
+                   reinterpret_cast<const uint8_t*>(buf.data()) + 4,
+                   buf.size() - 4)
+                   .ok());
+}
+
 }  // namespace
 }  // namespace dcv

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Strict-parse a metrics JSON artifact: fail on NaN/Infinity anywhere.
+
+Regression harness for the bench emitters: a run with zero detections or
+zero poll rounds must still produce well-defined JSON (quantiles and means
+of empty histograms are 0, not NaN from a 0/0). Python's json module
+accepts the non-standard NaN/Infinity tokens by default, so this script
+parses with parse_constant wired to raise, then walks the result to catch
+any float that sneaked through.
+
+Usage: check_json_finite.py FILE [--expect-zero GAUGE ...]
+
+--expect-zero names gauges that must be present AND exactly 0 — the
+breach-free bench asserts its detection-lag and poll-round stats emit as
+explicit zeros rather than being dropped or polluted.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def reject_constant(token):
+    raise SystemExit(f"non-finite JSON token {token!r} in artifact")
+
+
+def walk(node, path):
+    if isinstance(node, float):
+        if math.isnan(node) or math.isinf(node):
+            raise SystemExit(f"non-finite value at {path}: {node}")
+    elif isinstance(node, dict):
+        for k, v in node.items():
+            walk(v, f"{path}/{k}")
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            walk(v, f"{path}[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument("--expect-zero", nargs="*", default=[])
+    args = parser.parse_args()
+
+    with open(args.file, "r", encoding="utf-8") as f:
+        doc = json.load(f, parse_constant=reject_constant)
+    walk(doc, "")
+
+    gauges = doc.get("gauges", {})
+    for name in args.expect_zero:
+        matches = [k for k in gauges if k.endswith(name)]
+        if not matches:
+            raise SystemExit(f"expected gauge suffix {name!r} missing "
+                             f"(have {sorted(gauges)})")
+        for k in matches:
+            if gauges[k] != 0:
+                raise SystemExit(f"expected {k} == 0, got {gauges[k]}")
+
+    print(f"ok: {args.file} finite"
+          + (f", {len(args.expect_zero)} zero-gauges verified"
+             if args.expect_zero else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@
 //           [--sites 4] [--updates 100000] [--seed 42] [--synthetic-max M]
 //           [--scheme local|polling] [--solver fptas|...] [--eps 0.05]
 //           [--poll-period 5] [--threads K] [--shards S] [--virtual-time]
+//           [--engine multiplexed|actor]
 //           [--conformance] [--transport thread|socket] [--listen-port P]
 //           [--chaos none|kill-shard|kill-worker|reshard] [--chaos-seed S]
 //           [--heartbeat-timeout-ms T] [--allow-reconnect]
@@ -66,7 +67,13 @@
 //       the lockstep simulator AND the virtual-time runtime and verifies
 //       they agree epoch by epoch (with --transport socket a third run
 //       over loopback TCP is verified as well). --threads packs the sites
-//       onto K worker threads (default: one thread per site). --shards S
+//       onto K worker threads (default: one per core with the multiplexed
+//       engine, one per site with --engine actor). --engine picks the
+//       site-side data plane: "multiplexed" (default) drives all of a
+//       worker's sites from one flat structure-of-arrays loop with batched
+//       transport drains — the only way a million sites fit on one box —
+//       while "actor" keeps the original one-object-per-site runtime
+//       (conformance baseline). Results are bit-identical. --shards S
 //       partitions the sites across S shard coordinator threads feeding a
 //       root aggregator (two-level coordinator tree; S in [1, sites],
 //       default 1 = flat coordinator); virtual-time results are identical
@@ -96,6 +103,7 @@
 //   dcvtool site-worker --port P --worker W --workers K
 //           [--host 127.0.0.1] [--trace trace.csv --train-epochs N]
 //           [--sites N --updates U --seed 42 --synthetic-max M]
+//           [--engine multiplexed|actor]
 //           [--connect-attempts A] [--connect-timeout-ms T]
 //           [--allow-reconnect] [--reconnect-window-ms T] [--quiet]
 //       The worker half of a socket-transport run: connects to the
@@ -121,6 +129,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -230,11 +239,57 @@ Status WriteTraceAs(const Trace& trace, const std::string& path,
                               "'");
 }
 
+/// Hard ceiling on site/worker counts accepted from the command line. The
+/// runtime indexes sites with int and sizes mailboxes from the per-worker
+/// site count, so this bound keeps every derived product (2 * sites + 16,
+/// sites * updates, ...) comfortably inside int64 while still allowing runs
+/// 50x beyond the million-site benchmark target.
+constexpr int64_t kMaxSites = 50'000'000;
+
+/// Validates an integer count flag against [lo, kMaxSites]; the flag name
+/// lands in the error so a bad value exits 1 with an actionable message
+/// instead of silently narrowing into a negative int downstream.
+Status ValidateCount(int64_t value, int64_t lo, const char* flag) {
+  if (value < lo || value > kMaxSites) {
+    return InvalidArgumentError(
+        std::string(flag) + " must be in [" + std::to_string(lo) + ", " +
+        std::to_string(kMaxSites) + "], got " + std::to_string(value));
+  }
+  return OkStatus();
+}
+
+/// Rejects workloads whose total update count (sites * updates) cannot be
+/// tracked in int64 accumulators.
+Status ValidateWorkload(int64_t sites, int64_t updates) {
+  if (updates < 1) {
+    return InvalidArgumentError("--updates must be >= 1, got " +
+                                std::to_string(updates));
+  }
+  if (sites > 0 && updates > std::numeric_limits<int64_t>::max() / sites) {
+    return InvalidArgumentError(
+        "--sites * --updates overflows a 64-bit total (" +
+        std::to_string(sites) + " * " + std::to_string(updates) + ")");
+  }
+  return OkStatus();
+}
+
+Result<SiteEngineKind> ParseEngineKind(const std::string& name) {
+  if (name == "multiplexed") {
+    return SiteEngineKind::kMultiplexed;
+  }
+  if (name == "actor") {
+    return SiteEngineKind::kActorPerSite;
+  }
+  return InvalidArgumentError(
+      "--engine must be multiplexed or actor, got '" + name + "'");
+}
+
 // ----------------------------------------------------------------------
 Status RunGenerate(const ParsedFlags& flags) {
   DCV_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
   SnmpTraceOptions options;
   DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 10));
+  DCV_RETURN_IF_ERROR(ValidateCount(sites, 1, "--sites"));
   DCV_ASSIGN_OR_RETURN(int64_t weeks, flags.GetInt("weeks", 5));
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   DCV_ASSIGN_OR_RETURN(int64_t shift_week, flags.GetInt("shift-week", -1));
@@ -716,7 +771,11 @@ Status RunRuntime(const ParsedFlags& flags) {
   RuntimeOptions options;
   DCV_ASSIGN_OR_RETURN(options.faults, ParseFaultFlags(flags));
   DCV_ASSIGN_OR_RETURN(int64_t threads, flags.GetInt("threads", 0));
+  DCV_RETURN_IF_ERROR(ValidateCount(threads, 0, "--threads"));
   options.num_workers = static_cast<int>(threads);
+  DCV_ASSIGN_OR_RETURN(options.engine,
+                       ParseEngineKind(flags.GetString("engine",
+                                                       "multiplexed")));
   DCV_ASSIGN_OR_RETURN(int64_t shards, flags.GetInt("shards", 1));
   if (shards < 1) {
     return InvalidArgumentError(
@@ -837,9 +896,11 @@ Status RunRuntime(const ParsedFlags& flags) {
       return InvalidArgumentError("--conformance needs --trace");
     }
     DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 4));
+    DCV_RETURN_IF_ERROR(ValidateCount(sites, 1, "--sites"));
     DCV_RETURN_IF_ERROR(
         ValidateFaults(options.faults, static_cast<int>(sites)));
     DCV_ASSIGN_OR_RETURN(int64_t updates, flags.GetInt("updates", 100000));
+    DCV_RETURN_IF_ERROR(ValidateWorkload(sites, updates));
     DCV_ASSIGN_OR_RETURN(
         int64_t threshold,
         flags.GetInt("threshold",
@@ -890,6 +951,7 @@ Status RunRuntime(const ParsedFlags& flags) {
     spec.global_threshold = threshold;
     spec.faults = options.faults;
     spec.num_workers = options.num_workers;
+    spec.engine = options.engine;
     spec.num_shards = options.num_shards;
     spec.transport = options.transport;
     spec.chaos = options.chaos;
@@ -947,9 +1009,7 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
   options.port = static_cast<int>(port);
   DCV_ASSIGN_OR_RETURN(int64_t worker, flags.GetInt("worker", 0));
   DCV_ASSIGN_OR_RETURN(int64_t workers, flags.GetInt("workers", 1));
-  if (workers < 1) {
-    return InvalidArgumentError("site-worker needs --workers >= 1");
-  }
+  DCV_RETURN_IF_ERROR(ValidateCount(workers, 1, "--workers"));
   if (worker < 0 || worker >= workers) {
     return InvalidArgumentError(
         "--worker " + std::to_string(worker) + " is out of range for " +
@@ -957,6 +1017,9 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
   }
   options.worker = static_cast<int>(worker);
   options.num_workers = static_cast<int>(workers);
+  DCV_ASSIGN_OR_RETURN(
+      options.engine,
+      ParseEngineKind(flags.GetString("engine", "multiplexed")));
   DCV_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   options.seed = static_cast<uint64_t>(seed);
   DCV_ASSIGN_OR_RETURN(options.synthetic_max,
@@ -994,9 +1057,11 @@ Status RunSiteWorkerCommand(const ParsedFlags& flags) {
     have_trace = true;
   } else {
     DCV_ASSIGN_OR_RETURN(int64_t sites, flags.GetInt("sites", 4));
+    DCV_RETURN_IF_ERROR(ValidateCount(sites, 1, "--sites"));
     options.num_sites = static_cast<int>(sites);
     DCV_ASSIGN_OR_RETURN(options.synthetic_updates,
                          flags.GetInt("updates", 100000));
+    DCV_RETURN_IF_ERROR(ValidateWorkload(sites, options.synthetic_updates));
   }
 
   // Always instrument the worker: the per-process registry/recorder is what
@@ -1128,7 +1193,7 @@ FlagSet RunFlags() {
       .Value("synthetic-max").Value("metrics-json").Value("transport")
       .Value("listen-port").Value("chaos").Value("chaos-seed")
       .Value("heartbeat-timeout-ms").Value("trace-out").Value("trace-format")
-      .Value("stats-interval-ms");
+      .Value("stats-interval-ms").Value("engine");
   flags.Boolean("virtual-time").Boolean("quiet").Boolean("conformance")
       .Boolean("allow-reconnect");
   DeclareFaultFlags(&flags);
@@ -1140,7 +1205,8 @@ FlagSet SiteWorkerFlags() {
   flags.Value("host").Value("port").Value("worker").Value("workers")
       .Value("trace").Value("train-epochs").Value("sites").Value("updates")
       .Value("seed").Value("synthetic-max").Value("connect-attempts")
-      .Value("connect-timeout-ms").Value("reconnect-window-ms");
+      .Value("connect-timeout-ms").Value("reconnect-window-ms")
+      .Value("engine");
   flags.Boolean("quiet").Boolean("allow-reconnect");
   return flags;
 }
